@@ -1,0 +1,287 @@
+//! The base Annotated Schema Graph `G_D` (§3.2, Fig. 9): a DAG over the
+//! relations referenced by the view, with leaves for exactly the relational
+//! attributes that appear as view-ASG leaves, and edges inferred from
+//! key/foreign-key constraints.
+
+use std::collections::BTreeSet;
+
+use ufilter_rdb::{ColRef, DatabaseSchema, DeletePolicy};
+
+use crate::closure::Closure;
+use crate::graph::JoinCond;
+
+/// One relation node with its leaf attributes.
+#[derive(Debug, Clone)]
+pub struct BaseRel {
+    pub name: String,
+    /// Leaf attribute names, lowercase `relation.attribute`.
+    pub leaves: Vec<String>,
+    /// Attributes marked with the `{Key}` property.
+    pub key: Vec<String>,
+}
+
+/// An edge `(referenced → referencing)` inferred from a foreign key,
+/// annotated with cardinality `*` and its join condition (Fig. 9's
+/// `(n1, n4): type = *, condition = {book.pubid = publisher.pubid}`).
+#[derive(Debug, Clone)]
+pub struct FkEdge {
+    /// Referenced (parent) relation.
+    pub parent: String,
+    /// Referencing (child) relation.
+    pub child: String,
+    pub condition: JoinCond,
+    pub policy: DeletePolicy,
+}
+
+/// The base ASG.
+#[derive(Debug, Clone)]
+pub struct BaseAsg {
+    pub rels: Vec<BaseRel>,
+    pub edges: Vec<FkEdge>,
+}
+
+impl BaseAsg {
+    /// Build `G_D` for the given relations, exposing `view_leaves` (the
+    /// union of view-ASG leaf attributes, §3.2) as leaf nodes.
+    pub fn build(schema: &DatabaseSchema, relations: &[String], view_leaves: &[ColRef]) -> BaseAsg {
+        let mut rels = Vec::new();
+        for r in relations {
+            let Some(t) = schema.table(r) else { continue };
+            let leaves: Vec<String> = view_leaves
+                .iter()
+                .filter(|c| c.table.eq_ignore_ascii_case(r))
+                .map(|c| format!("{}.{}", t.name, c.column).to_ascii_lowercase())
+                .collect();
+            let mut dedup = Vec::new();
+            for l in leaves {
+                if !dedup.contains(&l) {
+                    dedup.push(l);
+                }
+            }
+            rels.push(BaseRel { name: t.name.clone(), leaves: dedup, key: t.primary_key.clone() });
+        }
+        let mut edges = Vec::new();
+        for (owner, fk) in schema.foreign_keys() {
+            let in_view = |n: &str| relations.iter().any(|r| r.eq_ignore_ascii_case(n));
+            if !in_view(owner) || !in_view(&fk.ref_table) {
+                continue;
+            }
+            // Join condition `child.col = parent.refcol` (first column pair;
+            // composite keys contribute every pair).
+            for (c, rc) in fk.columns.iter().zip(&fk.ref_columns) {
+                edges.push(FkEdge {
+                    parent: fk.ref_table.clone(),
+                    child: owner.to_string(),
+                    condition: JoinCond {
+                        left: ColRef::new(owner, c.clone()),
+                        right: ColRef::new(fk.ref_table.clone(), rc.clone()),
+                    },
+                    policy: fk.on_delete,
+                });
+            }
+        }
+        BaseAsg { rels, edges }
+    }
+
+    pub fn rel(&self, name: &str) -> Option<&BaseRel> {
+        self.rels.iter().find(|r| r.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Referencing (child) relations of `name`, deduplicated.
+    pub fn children_of(&self, name: &str) -> Vec<&FkEdge> {
+        let mut seen = BTreeSet::new();
+        self.edges
+            .iter()
+            .filter(|e| e.parent.eq_ignore_ascii_case(name))
+            .filter(|e| seen.insert(e.child.to_ascii_lowercase()))
+            .collect()
+    }
+
+    /// Closure `n+` of a relation node under the configured delete
+    /// policies: own leaves plus, for each **cascading** foreign key, a
+    /// starred group of the child's closure (§5.1.2's "pre-selected update
+    /// policy: same type and delete cascade"; SET NULL / RESTRICT children
+    /// are not removed by a parent delete and therefore do not enter the
+    /// closure — the adjustment the paper's footnote describes).
+    pub fn closure_of(&self, name: &str) -> Closure {
+        let mut visiting = BTreeSet::new();
+        self.closure_inner(name, &mut visiting)
+    }
+
+    fn closure_inner(&self, name: &str, visiting: &mut BTreeSet<String>) -> Closure {
+        let mut out = Closure::default();
+        let Some(rel) = self.rel(name) else { return out };
+        if !visiting.insert(rel.name.to_ascii_lowercase()) {
+            return out; // FK cycle: stop expansion
+        }
+        for l in &rel.leaves {
+            out.add_leaf(l);
+        }
+        for edge in self.children_of(&rel.name) {
+            if edge.policy == DeletePolicy::Cascade {
+                let child = self.closure_inner(&edge.child, visiting);
+                out.add_group(child);
+            }
+        }
+        visiting.remove(&rel.name.to_ascii_lowercase());
+        out
+    }
+
+    /// The *mapping closure* `C_D` of a set of view leaf names (§5.1.2):
+    /// map each leaf to its owning relation node and take `⊔` of those
+    /// relations' closures.
+    pub fn mapping_closure(&self, leaf_names: &BTreeSet<String>) -> Closure {
+        let mut closures = Vec::new();
+        let mut seen_rel = BTreeSet::new();
+        for leaf in leaf_names {
+            let Some(rel) = self
+                .rels
+                .iter()
+                .find(|r| r.leaves.iter().any(|l| l == leaf))
+            else {
+                continue;
+            };
+            if seen_rel.insert(rel.name.to_ascii_lowercase()) {
+                closures.push(self.closure_of(&rel.name));
+            }
+        }
+        Closure::union_all(closures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufilter_rdb::{Column, DataType, TableSchema};
+
+    /// Fig. 1 schema with the BookView leaf attributes of Fig. 8.
+    fn fig9() -> BaseAsg {
+        let mut schema = DatabaseSchema::new();
+        schema.add(
+            TableSchema::new("publisher")
+                .column(Column::new("pubid", DataType::Str))
+                .column(Column::new("pubname", DataType::Str).not_null().unique())
+                .primary_key(["pubid"]),
+        );
+        schema.add(
+            TableSchema::new("book")
+                .column(Column::new("bookid", DataType::Str))
+                .column(Column::new("title", DataType::Str).not_null())
+                .column(Column::new("pubid", DataType::Str))
+                .column(Column::new("price", DataType::Double))
+                .column(Column::new("year", DataType::Date))
+                .primary_key(["bookid"])
+                .foreign_key("BookFK", vec!["pubid"], "publisher", vec!["pubid"], DeletePolicy::Cascade),
+        );
+        schema.add(
+            TableSchema::new("review")
+                .column(Column::new("bookid", DataType::Str))
+                .column(Column::new("reviewid", DataType::Str))
+                .column(Column::new("comment", DataType::Str))
+                .column(Column::new("reviewer", DataType::Str))
+                .primary_key(["bookid", "reviewid"])
+                .foreign_key("ReviewFK", vec!["bookid"], "book", vec!["bookid"], DeletePolicy::Cascade),
+        );
+        let relations = vec!["publisher".to_string(), "book".to_string(), "review".to_string()];
+        let leaves = vec![
+            ColRef::new("book", "bookid"),
+            ColRef::new("book", "title"),
+            ColRef::new("book", "price"),
+            ColRef::new("publisher", "pubid"),
+            ColRef::new("publisher", "pubname"),
+            ColRef::new("review", "reviewid"),
+            ColRef::new("review", "comment"),
+        ];
+        BaseAsg::build(&schema, &relations, &leaves)
+    }
+
+    #[test]
+    fn leaves_restricted_to_view_attributes() {
+        let g = fig9();
+        // Fig. 9: book has bookid, title, price — NOT pubid or year.
+        let book = g.rel("book").unwrap();
+        assert_eq!(book.leaves, vec!["book.bookid", "book.title", "book.price"]);
+    }
+
+    #[test]
+    fn edges_follow_fks() {
+        let g = fig9();
+        let pub_children: Vec<&str> =
+            g.children_of("publisher").iter().map(|e| e.child.as_str()).collect();
+        assert_eq!(pub_children, vec!["book"]);
+        let book_children: Vec<&str> =
+            g.children_of("book").iter().map(|e| e.child.as_str()).collect();
+        assert_eq!(book_children, vec!["review"]);
+    }
+
+    #[test]
+    fn n1_closure_matches_paper() {
+        // n1+ = {n2, n3, (n5, n6, n7, (n9, n10)*con2)*con1}
+        let g = fig9();
+        let n1 = g.closure_of("publisher");
+        assert_eq!(
+            n1.render(),
+            "{publisher.pubid, publisher.pubname, (book.bookid, book.price, book.title, \
+             (review.comment, review.reviewid)*)*}"
+        );
+    }
+
+    #[test]
+    fn leaf_closure_equals_parent_closure() {
+        // (n9)+ = (n8)+ = {n9, n10} — mapping_closure on review leaves.
+        let g = fig9();
+        let mut set = BTreeSet::new();
+        set.insert("review.reviewid".to_string());
+        let c = g.mapping_closure(&set);
+        assert_eq!(c, Closure::from_leaves(["review.reviewid", "review.comment"]));
+    }
+
+    #[test]
+    fn mapping_closure_union_example() {
+        // N = {n5 (book.bookid), n9 (review.reviewid)} → n4+ ⊔ n8+ = n4+.
+        let g = fig9();
+        let mut set = BTreeSet::new();
+        set.insert("book.bookid".to_string());
+        set.insert("review.reviewid".to_string());
+        let c = g.mapping_closure(&set);
+        assert_eq!(c, g.closure_of("book"));
+    }
+
+    #[test]
+    fn set_null_children_excluded_from_closure() {
+        let mut schema = DatabaseSchema::new();
+        schema.add(
+            TableSchema::new("a")
+                .column(Column::new("id", DataType::Int))
+                .primary_key(["id"]),
+        );
+        schema.add(
+            TableSchema::new("b")
+                .column(Column::new("id", DataType::Int))
+                .column(Column::new("a_id", DataType::Int))
+                .primary_key(["id"])
+                .foreign_key("b_fk", vec!["a_id"], "a", vec!["id"], DeletePolicy::SetNull),
+        );
+        let rels = vec!["a".to_string(), "b".to_string()];
+        let leaves = vec![ColRef::new("a", "id"), ColRef::new("b", "id")];
+        let g = BaseAsg::build(&schema, &rels, &leaves);
+        assert_eq!(g.closure_of("a"), Closure::from_leaves(["a.id"]));
+    }
+
+    #[test]
+    fn fk_cycles_terminate() {
+        let mut schema = DatabaseSchema::new();
+        schema.add(
+            TableSchema::new("emp")
+                .column(Column::new("id", DataType::Int))
+                .column(Column::new("boss", DataType::Int))
+                .primary_key(["id"])
+                .foreign_key("emp_fk", vec!["boss"], "emp", vec!["id"], DeletePolicy::Cascade),
+        );
+        let rels = vec!["emp".to_string()];
+        let leaves = vec![ColRef::new("emp", "id")];
+        let g = BaseAsg::build(&schema, &rels, &leaves);
+        let c = g.closure_of("emp");
+        assert!(c.leaves.contains("emp.id"));
+    }
+}

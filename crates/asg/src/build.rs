@@ -1,0 +1,318 @@
+//! Building the view ASG from a view query plus the relational schema
+//! (§3.2; computed "similarly as in SilkRoute").
+
+use ufilter_rdb::sat::Domain;
+use ufilter_rdb::{ColRef, DatabaseSchema};
+use ufilter_xquery::{Content, Flwr, Predicate, Source, ViewQuery};
+
+use crate::closure::Closure;
+use crate::graph::*;
+
+/// ASG construction failure: the query is outside the supported subset or
+/// inconsistent with the schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsgError {
+    pub message: String,
+}
+
+impl AsgError {
+    pub fn new(m: impl Into<String>) -> AsgError {
+        AsgError { message: m.into() }
+    }
+}
+
+impl std::fmt::Display for AsgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ASG construction error: {}", self.message)
+    }
+}
+
+impl std::error::Error for AsgError {}
+
+/// Variable scope during construction.
+#[derive(Debug, Clone, Default)]
+struct Scope {
+    /// var → relation bindings visible here (inner shadows outer).
+    vars: Vec<(String, String)>,
+    /// UCBinding of the nearest enclosing root/internal node.
+    ucb: Vec<String>,
+    /// Non-correlation predicates visible here (for leaf check merging).
+    preds: Vec<LocalPred>,
+}
+
+impl Scope {
+    fn table_of(&self, var: &str) -> Option<&str> {
+        self.vars.iter().rev().find(|(v, _)| v == var).map(|(_, t)| t.as_str())
+    }
+}
+
+/// Build the view ASG of Fig. 8 from the query of Fig. 3(a).
+pub fn build_view_asg(q: &ViewQuery, schema: &DatabaseSchema) -> Result<ViewAsg, AsgError> {
+    let mut asg = ViewAsg::new(q.root_tag.clone());
+    asg.relations = q.relations();
+    for r in &asg.relations.clone() {
+        if schema.table(r).is_none() {
+            return Err(AsgError::new(format!("view references unknown relation {r}")));
+        }
+    }
+    let root = asg.root();
+    let scope = Scope::default();
+    let mut b = Builder { schema, asg };
+    b.content(root, &q.content, &scope)?;
+    let mut asg = b.asg;
+    compute_upbindings(&mut asg);
+    Ok(asg)
+}
+
+struct Builder<'a> {
+    schema: &'a DatabaseSchema,
+    asg: ViewAsg,
+}
+
+impl<'a> Builder<'a> {
+    fn content(
+        &mut self,
+        parent: AsgNodeId,
+        items: &[Content],
+        scope: &Scope,
+    ) -> Result<(), AsgError> {
+        for item in items {
+            match item {
+                Content::Text(_) => {} // literal text carries no schema
+                Content::Projection(p) => {
+                    self.projection(parent, p, scope, Card::One)?;
+                }
+                Content::Element(e) => {
+                    // A directly-constructed element: internal node with
+                    // cardinality 1, inheriting the scope's UCBinding (vC2).
+                    let id = self.asg.push(AsgNodeKind::Internal, e.tag.clone());
+                    self.asg.attach(parent, id);
+                    {
+                        let node = self.asg.node_mut(id);
+                        node.card = Card::One;
+                        node.ucbinding = scope.ucb.clone();
+                    }
+                    self.content(id, &e.content, scope)?;
+                }
+                Content::Flwr(f) => {
+                    self.flwr(parent, f, scope)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn flwr(&mut self, parent: AsgNodeId, f: &Flwr, scope: &Scope) -> Result<(), AsgError> {
+        // Bind variables.
+        let mut inner = scope.clone();
+        let mut new_tables: Vec<String> = Vec::new();
+        let mut bindings: Vec<(String, String)> = Vec::new();
+        for b in &f.bindings {
+            let table = match &b.source {
+                Source::Table { table, .. } => table.clone(),
+                Source::Relative(p) => {
+                    return Err(AsgError::new(format!(
+                        "FOR ${} ranges over the relative path ${}/{} — outside the \
+                         SilkRoute view-forest subset the ASG supports",
+                        b.var,
+                        p.var,
+                        p.steps.join("/")
+                    )))
+                }
+            };
+            let t = self
+                .schema
+                .table(&table)
+                .ok_or_else(|| AsgError::new(format!("unknown relation {table}")))?;
+            inner.vars.push((b.var.clone(), t.name.clone()));
+            bindings.push((b.var.clone(), t.name.clone()));
+            if !new_tables.iter().any(|x| x.eq_ignore_ascii_case(&t.name)) {
+                new_tables.push(t.name.clone());
+            }
+        }
+        // Classify predicates.
+        let mut conditions: Vec<JoinCond> = Vec::new();
+        let mut local_preds: Vec<LocalPred> = Vec::new();
+        for p in &f.predicates {
+            match self.classify_pred(p, &inner)? {
+                Classified::Join(j) => conditions.push(j),
+                Classified::Local(l) => local_preds.push(l),
+            }
+        }
+        let mut inner_scope = inner.clone();
+        inner_scope.preds.extend(local_preds.iter().cloned());
+
+        // UCBinding of nodes this FLWR constructs.
+        let mut ucb = scope.ucb.clone();
+        for t in &new_tables {
+            if !ucb.iter().any(|x| x.eq_ignore_ascii_case(t)) {
+                ucb.push(t.clone());
+            }
+        }
+        inner_scope.ucb = ucb.clone();
+
+        for item in &f.ret {
+            match item {
+                Content::Element(e) => {
+                    let id = self.asg.push(AsgNodeKind::Internal, e.tag.clone());
+                    self.asg.attach(parent, id);
+                    {
+                        let node = self.asg.node_mut(id);
+                        node.card = Card::Many;
+                        node.conditions = conditions.clone();
+                        node.ucbinding = ucb.clone();
+                        node.bindings = bindings.clone();
+                        node.local_preds = local_preds.clone();
+                    }
+                    self.content(id, &e.content, &inner_scope)?;
+                }
+                Content::Projection(p) => {
+                    // Bare projection in RETURN: a repeated simple element.
+                    self.projection(parent, p, &inner_scope, Card::Many)?;
+                }
+                Content::Flwr(nested) => {
+                    self.flwr(parent, nested, &inner_scope)?;
+                }
+                Content::Text(_) => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn projection(
+        &mut self,
+        parent: AsgNodeId,
+        p: &ufilter_xquery::PathExpr,
+        scope: &Scope,
+        base_card: Card,
+    ) -> Result<(), AsgError> {
+        let table = scope
+            .table_of(&p.var)
+            .ok_or_else(|| AsgError::new(format!("unbound variable ${} in projection", p.var)))?
+            .to_string();
+        let attr = p
+            .attribute()
+            .ok_or_else(|| AsgError::new(format!("unsupported projection path {p}")))?;
+        let schema = self.schema.table(&table).expect("bound to known table");
+        let col = schema
+            .column_named(attr)
+            .ok_or_else(|| AsgError::new(format!("relation {table} has no attribute {attr}")))?;
+        let not_null = schema.is_not_null(attr);
+        let nullable_card = if not_null { Card::One } else { Card::Opt };
+        let card = if base_card == Card::Many { Card::Many } else { nullable_card };
+
+        // Merged check domain: relational CHECK atoms + scope predicates.
+        let mut check = Domain::default();
+        for c in &schema.checks {
+            for conj in c.expr.conjuncts() {
+                if let Some((cr, op, v)) = conj.as_column_literal() {
+                    if cr.column.eq_ignore_ascii_case(attr) {
+                        check.constrain(op, v);
+                    }
+                }
+            }
+        }
+        for lp in &scope.preds {
+            if lp.column.matches(&table, attr) {
+                check.constrain(lp.op, &lp.value);
+            }
+        }
+
+        let tag_id = self.asg.push(AsgNodeKind::Tag, col.name.clone());
+        self.asg.attach(parent, tag_id);
+        self.asg.node_mut(tag_id).card = card;
+        let leaf_id = self.asg.push(AsgNodeKind::Leaf, "text()".to_string());
+        self.asg.attach(tag_id, leaf_id);
+        {
+            let leaf = self.asg.node_mut(leaf_id);
+            leaf.card = nullable_card;
+            leaf.leaf = Some(LeafInfo {
+                name: ColRef::new(schema.name.clone(), col.name.clone()),
+                ty: col.ty,
+                not_null,
+                check,
+            });
+        }
+        Ok(())
+    }
+
+    fn classify_pred(&self, p: &Predicate, scope: &Scope) -> Result<Classified, AsgError> {
+        let qualify = |path: &ufilter_xquery::PathExpr| -> Result<ColRef, AsgError> {
+            let table = scope.table_of(&path.var).ok_or_else(|| {
+                AsgError::new(format!("unbound variable ${} in predicate", path.var))
+            })?;
+            let attr = path
+                .attribute()
+                .ok_or_else(|| AsgError::new(format!("unsupported predicate path {path}")))?;
+            let schema = self.schema.table(table).expect("bound");
+            let col = schema.column_named(attr).ok_or_else(|| {
+                AsgError::new(format!("relation {table} has no attribute {attr}"))
+            })?;
+            Ok(ColRef::new(schema.name.clone(), col.name.clone()))
+        };
+        if let Some((a, op, b)) = p.as_correlation() {
+            if op != ufilter_rdb::CmpOp::Eq {
+                // Non-equality correlations fall outside proper-Join
+                // analysis; record both sides as a join condition anyway so
+                // Rule 1 sees (and rejects) them.
+            }
+            return Ok(Classified::Join(JoinCond { left: qualify(a)?, right: qualify(b)? }));
+        }
+        if let Some((path, op, v)) = p.as_non_correlation() {
+            return Ok(Classified::Local(LocalPred {
+                column: qualify(path)?,
+                op,
+                value: v.clone(),
+            }));
+        }
+        Err(AsgError::new(format!("unsupported predicate shape: {p}")))
+    }
+}
+
+enum Classified {
+    Join(JoinCond),
+    Local(LocalPred),
+}
+
+/// `UPBinding(v)`: the relations owning the leaf attributes in `v`'s
+/// subtree, ordered by `rel(DEF_V)` (§3.2's worked values).
+fn compute_upbindings(asg: &mut ViewAsg) {
+    let order = asg.relations.clone();
+    let ids: Vec<AsgNodeId> = asg.iter().map(|n| n.id).collect();
+    for id in ids {
+        if !matches!(asg.node(id).kind, AsgNodeKind::Root | AsgNodeKind::Internal) {
+            continue;
+        }
+        let mut rels: Vec<String> = Vec::new();
+        for n in asg.subtree(id) {
+            if let Some(leaf) = &asg.node(n).leaf {
+                if !rels.iter().any(|r| r.eq_ignore_ascii_case(&leaf.name.table)) {
+                    rels.push(leaf.name.table.clone());
+                }
+            }
+        }
+        rels.sort_by_key(|r| {
+            order.iter().position(|o| o.eq_ignore_ascii_case(r)).unwrap_or(usize::MAX)
+        });
+        asg.node_mut(id).upbinding = rels;
+    }
+}
+
+/// The closure `v+` of a view-ASG node (§5.1.2): leaves of the subtree,
+/// with `*`/`+` children as starred groups and `1`/`?` children flattened.
+pub fn view_closure(asg: &ViewAsg, id: AsgNodeId) -> Closure {
+    let node = asg.node(id);
+    if let Some(leaf) = &node.leaf {
+        return Closure::leaf(&format!("{}.{}", leaf.name.table, leaf.name.column));
+    }
+    let mut out = Closure::default();
+    for c in &node.children {
+        let cc = view_closure(asg, *c);
+        if asg.node(*c).card.is_starred() {
+            out.add_group(cc);
+        } else {
+            out.absorb(cc);
+        }
+    }
+    out
+}

@@ -1,0 +1,240 @@
+//! Closure algebra (§5.1.2): canonical closures, containment `⊆`,
+//! equivalence `≡`, and the duplicate-eliminating union `⊔`.
+//!
+//! A closure is a set of leaf attributes plus a set of *starred groups*
+//! (sub-closures repeated under `*`/`+` cardinality; `1`/`?` children are
+//! flattened into the parent level, matching the paper's worked examples:
+//! `v+_C1 = {vL1…vL5, (vL6, vL7)*con2}`).
+
+use std::collections::BTreeSet;
+
+/// A canonical closure. Leaves are lowercase `relation.attribute` names so
+/// view-side and base-side closures compare directly (the mapping from view
+/// leaf `vL4` to base leaf `n2` is by this shared name, §5.1.2).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct Closure {
+    pub leaves: BTreeSet<String>,
+    pub groups: BTreeSet<Closure>,
+}
+
+impl Closure {
+    pub fn leaf(name: &str) -> Closure {
+        let mut c = Closure::default();
+        c.leaves.insert(name.to_ascii_lowercase());
+        c
+    }
+
+    pub fn from_leaves<'a>(names: impl IntoIterator<Item = &'a str>) -> Closure {
+        let mut c = Closure::default();
+        for n in names {
+            c.leaves.insert(n.to_ascii_lowercase());
+        }
+        c
+    }
+
+    pub fn add_leaf(&mut self, name: &str) {
+        self.leaves.insert(name.to_ascii_lowercase());
+    }
+
+    pub fn add_group(&mut self, group: Closure) {
+        if !group.is_empty() {
+            self.groups.insert(group);
+        }
+    }
+
+    /// Flatten another closure's content into this level (the `1`/`?`
+    /// cardinality case).
+    pub fn absorb(&mut self, other: Closure) {
+        self.leaves.extend(other.leaves);
+        self.groups.extend(other.groups);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty() && self.groups.is_empty()
+    }
+
+    /// All leaf names occurring anywhere in the closure (the `getNodes`
+    /// function of §5.1.2).
+    pub fn all_leaves(&self) -> BTreeSet<String> {
+        let mut out = self.leaves.clone();
+        for g in &self.groups {
+            out.extend(g.all_leaves());
+        }
+        out
+    }
+
+    /// `self ≡ other` — structural equality of canonical forms.
+    pub fn equiv(&self, other: &Closure) -> bool {
+        self == other
+    }
+
+    /// `other ⊆ self` — "`other` appears in `self`": either it matches this
+    /// level (leaves a subset, every group present), or it appears inside
+    /// one of the starred groups.
+    pub fn contains(&self, other: &Closure) -> bool {
+        if self == other {
+            return true;
+        }
+        let at_this_level = other.leaves.is_subset(&self.leaves)
+            && other.groups.iter().all(|g| self.groups.contains(g) || self.groups.iter().any(|sg| sg.contains(g)));
+        if at_this_level {
+            return true;
+        }
+        self.groups.iter().any(|g| g.contains(other))
+    }
+
+    /// `⊔` — union with duplicate elimination: any operand contained in
+    /// another is dropped; the survivors' contents merge at top level
+    /// (§5.1.2: `(n4, n8)+ = n4+ ⊔ n8+ = n4+`).
+    pub fn union_all(closures: Vec<Closure>) -> Closure {
+        let mut keep: Vec<Closure> = Vec::new();
+        'outer: for c in closures {
+            // Drop if contained in an already-kept closure.
+            if keep.iter().any(|k| k.contains(&c)) {
+                continue;
+            }
+            // Remove kept closures contained in the newcomer.
+            keep.retain(|k| !c.contains(k));
+            for k in &keep {
+                if *k == c {
+                    continue 'outer;
+                }
+            }
+            keep.push(c);
+        }
+        let mut out = Closure::default();
+        for k in keep {
+            out.absorb(k);
+        }
+        out
+    }
+
+    /// Render in the paper's notation: `{a, b, (c, d)*}`.
+    pub fn render(&self) -> String {
+        let mut parts: Vec<String> = self.leaves.iter().cloned().collect();
+        for g in &self.groups {
+            parts.push(format!("({})*", g.render_inner()));
+        }
+        format!("{{{}}}", parts.join(", "))
+    }
+
+    fn render_inner(&self) -> String {
+        let mut parts: Vec<String> = self.leaves.iter().cloned().collect();
+        for g in &self.groups {
+            parts.push(format!("({})*", g.render_inner()));
+        }
+        parts.join(", ")
+    }
+}
+
+impl std::fmt::Display for Closure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `n8+ = {n9, n10}` — the review closure from Fig. 9.
+    fn review() -> Closure {
+        Closure::from_leaves(["review.reviewid", "review.comment"])
+    }
+
+    /// `n4+ = {n5, n6, n7, (n9, n10)*}` — the book closure.
+    fn book() -> Closure {
+        let mut c = Closure::from_leaves(["book.bookid", "book.title", "book.price"]);
+        c.add_group(review());
+        c
+    }
+
+    /// `n1+ = {n2, n3, (n5, n6, n7, (n9, n10)*)*}` — the publisher closure.
+    fn publisher() -> Closure {
+        let mut c = Closure::from_leaves(["publisher.pubid", "publisher.pubname"]);
+        c.add_group(book());
+        c
+    }
+
+    #[test]
+    fn containment_examples_from_paper() {
+        // n8+ ⊆ n4+ (group membership).
+        assert!(book().contains(&review()));
+        // n4+ ⊄ n8+.
+        assert!(!review().contains(&book()));
+        // n8+ ⊆ n1+ (nested two levels).
+        assert!(publisher().contains(&review()));
+        // n5+ ≡ n6+ (both equal book closure).
+        assert!(book().equiv(&book()));
+    }
+
+    #[test]
+    fn union_drops_contained_operand() {
+        // (n4, n8)+ = n4+ ⊔ n8+ = n4+.
+        let u = Closure::union_all(vec![book(), review()]);
+        assert_eq!(u, book());
+        // Order-insensitive.
+        let u2 = Closure::union_all(vec![review(), book()]);
+        assert_eq!(u2, book());
+    }
+
+    #[test]
+    fn union_of_duplicates_is_idempotent() {
+        let u = Closure::union_all(vec![publisher(), publisher(), publisher()]);
+        assert_eq!(u, publisher());
+    }
+
+    #[test]
+    fn union_of_incomparable_merges() {
+        let a = Closure::from_leaves(["x.a"]);
+        let b = Closure::from_leaves(["y.b"]);
+        let u = Closure::union_all(vec![a, b]);
+        assert_eq!(u, Closure::from_leaves(["x.a", "y.b"]));
+    }
+
+    #[test]
+    fn vc2_mapping_closure_is_dirty() {
+        // CV of vC2 = {publisher.pubid, publisher.pubname}; CD = n1+.
+        let cv = Closure::from_leaves(["publisher.pubid", "publisher.pubname"]);
+        let cd = publisher();
+        assert!(!cv.equiv(&cd)); // dirty (Fig. 8 marks vC2 dirty)
+        assert!(cd.contains(&cv)); // CV appears inside CD though
+    }
+
+    #[test]
+    fn vc3_mapping_closure_is_clean() {
+        // CV of vC3 = {review.reviewid, review.comment}; CD = ⊔(n9+, n10+) =
+        // review closure → clean.
+        let cv = Closure::from_leaves(["review.reviewid", "review.comment"]);
+        let cd = Closure::union_all(vec![review(), review()]);
+        assert!(cv.equiv(&cd));
+    }
+
+    #[test]
+    fn all_leaves_flattens() {
+        let l = publisher().all_leaves();
+        assert_eq!(l.len(), 7);
+        assert!(l.contains("review.comment"));
+    }
+
+    #[test]
+    fn containment_is_reflexive_and_transitive() {
+        let closures = [review(), book(), publisher()];
+        for c in &closures {
+            assert!(c.contains(c));
+        }
+        // review ⊆ book ⊆ publisher ⟹ review ⊆ publisher.
+        assert!(book().contains(&review()));
+        assert!(publisher().contains(&book()));
+        assert!(publisher().contains(&review()));
+    }
+
+    #[test]
+    fn render_is_stable() {
+        assert_eq!(
+            review().render(),
+            "{review.comment, review.reviewid}"
+        );
+        assert!(book().render().contains("(review.comment, review.reviewid)*"));
+    }
+}

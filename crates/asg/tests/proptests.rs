@@ -1,0 +1,105 @@
+//! Property tests over the closure algebra (§5.1.2): containment is a
+//! partial order, `⊔` is idempotent/commutative/absorbing, and equivalence
+//! is containment both ways.
+
+use proptest::prelude::*;
+use ufilter_asg::Closure;
+
+fn leaf_name() -> impl Strategy<Value = String> {
+    "[a-c]\\.[a-e]"
+}
+
+fn closure_strategy() -> impl Strategy<Value = Closure> {
+    let flat = prop::collection::btree_set(leaf_name(), 0..4).prop_map(|leaves| {
+        let mut c = Closure::default();
+        for l in leaves {
+            c.add_leaf(&l);
+        }
+        c
+    });
+    flat.prop_recursive(3, 24, 3, |inner| {
+        (
+            prop::collection::btree_set(leaf_name(), 0..4),
+            prop::collection::vec(inner, 0..3),
+        )
+            .prop_map(|(leaves, groups)| {
+                let mut c = Closure::default();
+                for l in leaves {
+                    c.add_leaf(&l);
+                }
+                for g in groups {
+                    c.add_group(g);
+                }
+                c
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn containment_reflexive(c in closure_strategy()) {
+        prop_assert!(c.contains(&c));
+    }
+
+    #[test]
+    fn equivalence_is_two_way_containment(a in closure_strategy(), b in closure_strategy()) {
+        if a.equiv(&b) {
+            prop_assert!(a.contains(&b) && b.contains(&a));
+        }
+        if a.contains(&b) && b.contains(&a) {
+            // Canonical forms make mutual containment imply equality.
+            prop_assert!(a.equiv(&b), "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn union_idempotent(c in closure_strategy()) {
+        let u = Closure::union_all(vec![c.clone(), c.clone()]);
+        prop_assert!(u.equiv(&c), "c ⊔ c = {u}, expected {c}");
+    }
+
+    #[test]
+    fn union_commutative(a in closure_strategy(), b in closure_strategy()) {
+        let ab = Closure::union_all(vec![a.clone(), b.clone()]);
+        let ba = Closure::union_all(vec![b, a]);
+        prop_assert!(ab.equiv(&ba));
+    }
+
+    #[test]
+    fn union_absorbs_contained(a in closure_strategy(), b in closure_strategy()) {
+        if a.contains(&b) {
+            let u = Closure::union_all(vec![a.clone(), b]);
+            prop_assert!(u.equiv(&a), "a ⊔ (b ⊆ a) = {u}, expected {a}");
+        }
+    }
+
+    #[test]
+    fn union_covers_operand_leaves(a in closure_strategy(), b in closure_strategy()) {
+        let u = Closure::union_all(vec![a.clone(), b.clone()]);
+        let leaves = u.all_leaves();
+        for l in a.all_leaves().union(&b.all_leaves()) {
+            prop_assert!(leaves.contains(l), "leaf {l} lost in {u}");
+        }
+    }
+
+    #[test]
+    fn group_nesting_gives_containment(a in closure_strategy()) {
+        if a.is_empty() {
+            return Ok(());
+        }
+        let mut outer = Closure::default();
+        outer.add_leaf("z.z");
+        outer.add_group(a.clone());
+        prop_assert!(outer.contains(&a));
+        // Strictness: the outer has a leaf the inner lacks.
+        prop_assert!(!a.contains(&outer));
+    }
+
+    #[test]
+    fn render_distinguishes_inequivalent(a in closure_strategy(), b in closure_strategy()) {
+        // render() is a canonical form: equal renders ⟺ equivalent.
+        prop_assert_eq!(a.render() == b.render(), a.equiv(&b));
+    }
+}

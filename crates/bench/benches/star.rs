@@ -1,0 +1,35 @@
+//! Criterion micro-benches: STAR marking and checking costs (§7.2's claim
+//! that marking stays cheap and checking is "a hash operation time").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ufilter_core::bookdemo;
+use ufilter_core::UFilter;
+use ufilter_rdb::DeletePolicy;
+use ufilter_tpch::{tpch_schema, vfail_for, V_SUCCESS};
+
+fn bench_marking(c: &mut Criterion) {
+    let schema = tpch_schema(DeletePolicy::Cascade);
+    c.bench_function("star_marking_vsuccess", |b| {
+        b.iter(|| UFilter::compile(V_SUCCESS, &schema).unwrap())
+    });
+    let vfail = vfail_for("region");
+    c.bench_function("star_marking_vfail", |b| {
+        b.iter(|| UFilter::compile(&vfail, &schema).unwrap())
+    });
+}
+
+fn bench_checking(c: &mut Criterion) {
+    let filter = bookdemo::book_filter();
+    c.bench_function("star_check_delete_u8", |b| {
+        b.iter(|| filter.check_schema(bookdemo::U8))
+    });
+    c.bench_function("star_check_untranslatable_u10", |b| {
+        b.iter(|| filter.check_schema(bookdemo::U10))
+    });
+    c.bench_function("validation_invalid_u1", |b| {
+        b.iter(|| filter.check_schema(bookdemo::U1))
+    });
+}
+
+criterion_group!(benches, bench_marking, bench_checking);
+criterion_main!(benches);

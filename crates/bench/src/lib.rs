@@ -1,0 +1,492 @@
+//! # ufilter-bench — regenerating the paper's evaluation (§7)
+//!
+//! One runner per table/figure. Absolute numbers differ from the paper's
+//! 2005 Oracle testbed (this is an in-memory engine); each runner's *shape*
+//! is the reproduction target: who wins, by roughly what factor, and where
+//! the differences come from. See EXPERIMENTS.md for recorded runs.
+
+use std::time::{Duration, Instant};
+
+use ufilter_core::{blind_apply, Strategy, UFilter, UFilterConfig};
+use ufilter_rdb::{DatabaseSchema, Db, DeletePolicy};
+use ufilter_tpch::{generate, tpch_schema, updates, vfail_for, Scale, V_BUSH, V_SUCCESS};
+
+/// A printable result table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "\n## {}\n", self.title)?;
+        writeln!(f, "| {} |", self.headers.join(" | "))?;
+        let dashes: Vec<&str> = self.headers.iter().map(|_| "---").collect();
+        writeln!(f, "|{}|", dashes.join("|"))?;
+        for r in &self.rows {
+            writeln!(f, "| {} |", r.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+fn ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+/// Median-of-`reps` wall time of `f` run against fresh clones of `db`.
+fn time_on_clone(db: &Db, reps: usize, mut f: impl FnMut(&mut Db)) -> Duration {
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let mut copy = db.clone();
+        let t = Instant::now();
+        f(&mut copy);
+        samples.push(t.elapsed());
+    }
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+const LEVELS: [&str; 5] = ["region", "nation", "customer", "orders", "lineitem"];
+
+/// A key at each level guaranteed to exist for any scale (generators assign
+/// keys densely from 0).
+fn key_for(level: &str) -> i64 {
+    match level {
+        "region" => 1,
+        "nation" => 7,
+        "customer" => 3,
+        _ => 5,
+    }
+}
+
+fn schema() -> DatabaseSchema {
+    tpch_schema(DeletePolicy::Cascade)
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 12 — W3C use-case expressiveness
+// ---------------------------------------------------------------------------
+
+pub fn fig12() -> Table {
+    let rows = ufilter_usecases::evaluate()
+        .into_iter()
+        .map(|e| {
+            let reasons: Vec<String> = e.reasons.iter().map(|r| r.to_string()).collect();
+            vec![
+                format!("{}-{}", e.group, e.id),
+                if e.included { "yes".into() } else { "no".into() },
+                reasons.join(", "),
+            ]
+        })
+        .collect();
+    Table {
+        title: "Figure 12: Evaluation of W3C Use Cases (view-ASG expressiveness)".into(),
+        headers: vec!["View Query".into(), "Included".into(), "Reason".into()],
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 13 — translatable update on Vsuccess: Update vs Update+STARChecking
+// ---------------------------------------------------------------------------
+
+pub fn fig13(mb: usize, reps: usize) -> Table {
+    let filter = UFilter::compile(V_SUCCESS, &schema()).expect("Vsuccess compiles");
+    let db = generate(Scale::mb(mb), 42, DeletePolicy::Cascade);
+    let mut rows = Vec::new();
+    for level in LEVELS {
+        let update = updates::delete_at_level(level, key_for(level));
+        // "Update": translate + execute, no checking.
+        let t_plain = time_on_clone(&db, reps, |db| {
+            filter.apply_unchecked(&update, db).expect("translatable update");
+        });
+        // "Update With STARChecking": full three-step pipeline + execute.
+        let t_star = time_on_clone(&db, reps, |db| {
+            let reports = filter.apply(&update, db);
+            assert!(reports[0].outcome.is_translatable(), "{level}: {}", reports[0].outcome);
+        });
+        rows.push(vec![level.to_string(), ms(t_plain), ms(t_star)]);
+    }
+    Table {
+        title: format!(
+            "Figure 13: translatable delete per nesting level of Vsuccess \
+             (DB ≈ {mb} Mb-equivalent, {} rows)",
+            Scale::mb(mb).total_rows()
+        ),
+        headers: vec!["Relation".into(), "Update (ms)".into(), "Update+STARChecking (ms)".into()],
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 14 — untranslatable update on Vfail: blind+rollback vs STAR reject
+// ---------------------------------------------------------------------------
+
+pub fn fig14(mb: usize, reps: usize) -> Table {
+    let db = generate(Scale::mb(mb), 42, DeletePolicy::Cascade);
+    let mut rows = Vec::new();
+    for level in LEVELS {
+        let view = vfail_for(level);
+        let filter = UFilter::compile(&view, &schema()).expect("Vfail compiles");
+        let update = updates::delete_at_level(level, key_for(level));
+        // "Update": blind translate + execute + detect side effect + rollback.
+        let t_blind = time_on_clone(&db, reps, |db| {
+            let out = blind_apply(&filter, &update, db).expect("blind run");
+            assert!(out.rolled_back, "{level}: the blind update must roll back");
+        });
+        // "Update With STARChecking": rejected at Step 2, no data touched.
+        let t_star = time_on_clone(&db, reps, |db| {
+            let reports = filter.check(&update, db);
+            assert!(!reports[0].outcome.is_translatable());
+        });
+        rows.push(vec![level.to_string(), ms(t_blind), ms(t_star)]);
+    }
+    Table {
+        title: format!(
+            "Figure 14: untranslatable delete per republished relation of Vfail \
+             (DB ≈ {mb} Mb-equivalent; blind = execute+compare+rollback)"
+        ),
+        headers: vec![
+            "Relation".into(),
+            "Update (blind, ms)".into(),
+            "Update+STARChecking (ms)".into(),
+        ],
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// §7.2 text — STAR marking cost for Vsuccess and Vfail
+// ---------------------------------------------------------------------------
+
+pub fn marking_cost(reps: usize) -> Table {
+    let s = schema();
+    let mut rows = Vec::new();
+    for (name, view) in [("Vsuccess", V_SUCCESS.to_string()), ("Vfail", vfail_for("region"))] {
+        let mut samples = Vec::new();
+        for _ in 0..reps {
+            let t = Instant::now();
+            let f = UFilter::compile(&view, &s).expect("compiles");
+            samples.push(t.elapsed());
+            std::hint::black_box(&f.marking);
+        }
+        samples.sort();
+        rows.push(vec![name.to_string(), ms(samples[samples.len() / 2])]);
+    }
+    Table {
+        title: "STAR marking cost (compile-time, per view; paper: 0.12 s / 0.15 s)".into(),
+        headers: vec!["View".into(), "Marking time (ms)".into()],
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 15 — internal vs external strategy, insert lineitem over Vlinear
+// ---------------------------------------------------------------------------
+
+pub fn fig15(sweep: &[usize], reps: usize) -> Table {
+    let s = schema();
+    let internal = UFilter::compile(V_SUCCESS, &s)
+        .expect("compiles")
+        .with_config(UFilterConfig { strategy: Strategy::Internal, ..Default::default() });
+    let external = UFilter::compile(V_SUCCESS, &s)
+        .expect("compiles")
+        .with_config(UFilterConfig { strategy: Strategy::Hybrid, ..Default::default() });
+    let mut rows = Vec::new();
+    for &mb in sweep {
+        let db = generate(Scale::mb(mb), 42, DeletePolicy::Cascade);
+        let update = updates::insert_lineitem(3, 99);
+        let t_int = time_on_clone(&db, reps, |db| {
+            let reports = internal.apply(&update, db);
+            assert!(reports[0].outcome.is_translatable(), "{}", reports[0].outcome);
+        });
+        let t_ext = time_on_clone(&db, reps, |db| {
+            let reports = external.apply(&update, db);
+            assert!(reports[0].outcome.is_translatable(), "{}", reports[0].outcome);
+        });
+        rows.push(vec![mb.to_string(), ms(t_int), ms(t_ext)]);
+    }
+    Table {
+        title: "Figure 15: Internal vs External (hybrid) for lineitem insert over Vlinear".into(),
+        headers: vec!["DB size (Mb-equiv)".into(), "Internal (ms)".into(), "External (ms)".into()],
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 16 — outside vs hybrid over Vbush (successful delete)
+// ---------------------------------------------------------------------------
+
+pub fn fig16(sweep: &[usize], reps: usize) -> Table {
+    let s = schema();
+    let hybrid = UFilter::compile(V_BUSH, &s)
+        .expect("compiles")
+        .with_config(UFilterConfig { strategy: Strategy::Hybrid, ..Default::default() });
+    let outside = UFilter::compile(V_BUSH, &s)
+        .expect("compiles")
+        .with_config(UFilterConfig { strategy: Strategy::Outside, ..Default::default() });
+    let mut rows = Vec::new();
+    for &mb in sweep {
+        let db = generate(Scale::mb(mb), 42, DeletePolicy::Cascade);
+        let update = updates::bush_delete_nation_lineitems(3);
+        let t_h = time_on_clone(&db, reps, |db| {
+            let reports = hybrid.apply(&update, db);
+            assert!(reports[0].outcome.is_translatable(), "{}", reports[0].outcome);
+        });
+        let t_o = time_on_clone(&db, reps, |db| {
+            let reports = outside.apply(&update, db);
+            assert!(reports[0].outcome.is_translatable(), "{}", reports[0].outcome);
+        });
+        rows.push(vec![mb.to_string(), ms(t_h), ms(t_o)]);
+    }
+    Table {
+        title: "Figure 16: Outside vs Hybrid for lineitem delete over Vbush".into(),
+        headers: vec!["DB size (Mb-equiv)".into(), "hybrid (ms)".into(), "outside (ms)".into()],
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 17 — outside vs hybrid over Vlinear, failed cases
+// ---------------------------------------------------------------------------
+
+/// The paper's Fail1/Fail2 translate a customer-subtree delete into three
+/// per-table statements (lineitem, orders, customer). Fail1 matches no
+/// customer at all; Fail2 matches a customer whose orders have no
+/// lineitems. The outside strategy's empty probes skip statements early;
+/// the hybrid strategy executes them for "0 tuples deleted" warnings.
+pub fn fig17(sweep: &[usize], reps: usize) -> Table {
+    use ufilter_rdb::{ColRef, Delete, Expr, Select, Stmt, Value};
+    let mut rows = Vec::new();
+    for &mb in sweep {
+        let mut base = generate(Scale::mb(mb), 42, DeletePolicy::Cascade);
+        // Fail2 setup: one customer with orders but no lineitems.
+        let fail2_cust: i64 = 1_000_000;
+        base.execute_sql(&format!(
+            "INSERT INTO customer VALUES ({fail2_cust}, 'Fail2 Customer', 'addr', 0, \
+             '11-111-111', 0.0, 'BUILDING')"
+        ))
+        .unwrap();
+        for o in 0..3 {
+            base.execute_sql(&format!(
+                "INSERT INTO orders VALUES ({}, {fail2_cust}, 'O', 1.0, 9000, '5-LOW')",
+                2_000_000 + o
+            ))
+            .unwrap();
+        }
+
+        let mut row = vec![mb.to_string()];
+        for (label, cust) in [("Fail1", 3_000_000i64), ("Fail2", fail2_cust)] {
+            // Three-statement explicit translation with per-table probes.
+            let mk_probe = |table: &str, joins: &str| -> Select {
+                ufilter_rdb::Parser::parse_select(&format!(
+                    "SELECT {table}.rowid FROM {joins} WHERE customer.c_custkey = {cust}"
+                ))
+                .expect("probe parses")
+            };
+            let li_probe = mk_probe(
+                "lineitem",
+                "customer, orders, lineitem",
+            );
+            let li_probe = with_join(li_probe, &[
+                ("orders.o_custkey", "customer.c_custkey"),
+                ("lineitem.l_orderkey", "orders.o_orderkey"),
+            ]);
+            let ord_probe = with_join(
+                mk_probe("orders", "customer, orders"),
+                &[("orders.o_custkey", "customer.c_custkey")],
+            );
+            let cust_probe = mk_probe("customer", "customer");
+            let statements: Vec<(Select, Stmt)> = vec![
+                (
+                    li_probe.clone(),
+                    Stmt::Delete(Delete {
+                        table: "lineitem".into(),
+                        where_clause: Some(Expr::InSubquery {
+                            expr: Box::new(Expr::col("lineitem", "l_orderkey")),
+                            query: Box::new(with_projection(
+                                li_probe,
+                                ColRef::new("orders", "o_orderkey"),
+                            )),
+                            negated: false,
+                        }),
+                    }),
+                ),
+                (
+                    ord_probe.clone(),
+                    Stmt::Delete(Delete {
+                        table: "orders".into(),
+                        where_clause: Some(Expr::eq(
+                            Expr::col("orders", "o_custkey"),
+                            Expr::lit(Value::Int(cust)),
+                        )),
+                    }),
+                ),
+                (
+                    cust_probe.clone(),
+                    Stmt::Delete(Delete {
+                        table: "customer".into(),
+                        where_clause: Some(Expr::eq(
+                            Expr::col("customer", "c_custkey"),
+                            Expr::lit(Value::Int(cust)),
+                        )),
+                    }),
+                ),
+            ];
+            // hybrid: execute all three, collect warnings, commit.
+            let t_h = time_on_clone(&base, reps, |db| {
+                db.begin().unwrap();
+                for (_, stmt) in &statements {
+                    let _ = db.run(stmt.clone()).expect("hybrid statement");
+                }
+                db.commit().unwrap();
+            });
+            // outside: probe, skip empty, execute the rest.
+            let t_o = time_on_clone(&base, reps, |db| {
+                for (probe, stmt) in &statements {
+                    let rs = db.query(probe).expect("probe");
+                    if rs.is_empty() {
+                        continue;
+                    }
+                    let _ = db.run(stmt.clone()).expect("outside statement");
+                }
+            });
+            let _ = label;
+            row.push(ms(t_h));
+            row.push(ms(t_o));
+        }
+        rows.push(row);
+    }
+    Table {
+        title: "Figure 17: Outside vs Hybrid over Vlinear in failed cases".into(),
+        headers: vec![
+            "DB size (Mb-equiv)".into(),
+            "hybrid-Fail1 (ms)".into(),
+            "outside-Fail1 (ms)".into(),
+            "hybrid-Fail2 (ms)".into(),
+            "outside-Fail2 (ms)".into(),
+        ],
+        rows,
+    }
+}
+
+fn with_join(mut s: ufilter_rdb::Select, pairs: &[(&str, &str)]) -> ufilter_rdb::Select {
+    use ufilter_rdb::Expr;
+    let mut conj = match s.where_clause.take() {
+        Some(w) => vec![w],
+        None => Vec::new(),
+    };
+    for (a, b) in pairs {
+        let (at, ac) = a.split_once('.').unwrap();
+        let (bt, bc) = b.split_once('.').unwrap();
+        conj.push(Expr::eq(Expr::col(at, ac), Expr::col(bt, bc)));
+    }
+    s.where_clause = Some(Expr::and(conj));
+    s
+}
+
+fn with_projection(mut s: ufilter_rdb::Select, col: ufilter_rdb::ColRef) -> ufilter_rdb::Select {
+    use ufilter_rdb::{Expr, SelectItem};
+    s.items = vec![SelectItem::Expr { expr: Expr::Column(col), alias: None }];
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Ablations — design choices DESIGN.md calls out
+// ---------------------------------------------------------------------------
+
+/// Ablation 1: `StarMode::Strict` vs `Refined` — how many of the book
+/// demo's updates change classification, and what each mode costs.
+pub fn ablation_star_mode() -> Table {
+    use ufilter_core::{bookdemo, StarMode};
+    let mut rows = Vec::new();
+    for (name, update) in bookdemo::all_updates() {
+        let mut labels = Vec::new();
+        for mode in [StarMode::Refined, StarMode::Strict] {
+            let filter = bookdemo::book_filter()
+                .with_config(UFilterConfig { mode, strategy: Strategy::Outside });
+            let mut db = bookdemo::book_db();
+            let report = filter.check(update, &mut db).remove(0);
+            let step = report
+                .rejected_at()
+                .map(|s| format!(" @ {s}"))
+                .unwrap_or_default();
+            labels.push(format!("{}{step}", report.outcome.label()));
+        }
+        let diff = if labels[0] == labels[1] { "" } else { "← differs" };
+        rows.push(vec![name.to_string(), labels[0].clone(), labels[1].clone(), diff.into()]);
+    }
+    Table {
+        title: "Ablation: StarMode::Refined vs StarMode::Strict (Observation 2 handling)".into(),
+        headers: vec!["Update".into(), "Refined".into(), "Strict".into(), "".into()],
+        rows,
+    }
+}
+
+/// Ablation 2: planner access paths — the same translated delete with
+/// index joins, hash joins, or bare nested loops. Quantifies the index
+/// effect §7.2 credits for the hybrid strategy's win.
+pub fn ablation_planner(mb: usize, reps: usize) -> Table {
+    use ufilter_rdb::PlannerConfig;
+    let s = schema();
+    let filter = UFilter::compile(V_SUCCESS, &s)
+        .expect("compiles")
+        .with_config(UFilterConfig { strategy: Strategy::Hybrid, ..Default::default() });
+    let base = generate(Scale::mb(mb), 42, DeletePolicy::Cascade);
+    let update = updates::delete_lineitems_of_order(5);
+    let mut rows = Vec::new();
+    for (label, cfg) in [
+        ("index + hash joins", PlannerConfig { enable_index_join: true, enable_hash_join: true }),
+        ("hash joins only", PlannerConfig { enable_index_join: false, enable_hash_join: true }),
+        ("nested loops only", PlannerConfig { enable_index_join: false, enable_hash_join: false }),
+    ] {
+        let mut db = base.clone();
+        db.set_planner_config(cfg);
+        let t = time_on_clone(&db, reps, |db| {
+            let reports = filter.apply(&update, db);
+            assert!(reports[0].outcome.is_translatable());
+        });
+        rows.push(vec![label.to_string(), ms(t)]);
+    }
+    Table {
+        title: format!(
+            "Ablation: planner access paths for a translated delete \
+             (hybrid, {mb} Mb-equivalent)"
+        ),
+        headers: vec!["Planner".into(), "apply (ms)".into()],
+        rows,
+    }
+}
+
+/// Ablation 3: probe-result materialization (`TAB_…`) on vs off for the
+/// outside strategy — the reuse §6.1 argues for.
+pub fn ablation_materialization(mb: usize, reps: usize) -> Table {
+    let s = schema();
+    let base = generate(Scale::mb(mb), 42, DeletePolicy::Cascade);
+    let update = updates::delete_lineitems_of_order(5);
+    let outside = UFilter::compile(V_SUCCESS, &s)
+        .expect("compiles")
+        .with_config(UFilterConfig { strategy: Strategy::Outside, ..Default::default() });
+    let hybrid = UFilter::compile(V_SUCCESS, &s)
+        .expect("compiles")
+        .with_config(UFilterConfig { strategy: Strategy::Hybrid, ..Default::default() });
+    let t_with = time_on_clone(&base, reps, |db| {
+        let reports = outside.apply(&update, db);
+        assert!(reports[0].outcome.is_translatable());
+    });
+    let t_without = time_on_clone(&base, reps, |db| {
+        let reports = hybrid.apply(&update, db);
+        assert!(reports[0].outcome.is_translatable());
+    });
+    Table {
+        title: format!("Ablation: TAB materialization (outside) vs inline join (hybrid), {mb} Mb-equiv"),
+        headers: vec!["Variant".into(), "apply (ms)".into()],
+        rows: vec![
+            vec!["outside (materialize + probe)".into(), ms(t_with)],
+            vec!["hybrid (inline, no TAB)".into(), ms(t_without)],
+        ],
+    }
+}

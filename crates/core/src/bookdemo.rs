@@ -1,0 +1,250 @@
+//! The paper's running example as reusable fixtures: the Fig. 1 book
+//! database, the Fig. 3(a) BookView, and all thirteen updates of
+//! Figs. 4 and 10 (XML normalised — the figures contain unclosed tags).
+
+use ufilter_rdb::{Db, DatabaseSchema};
+
+use crate::pipeline::UFilter;
+
+/// Fig. 3(a): the BookView definition query.
+pub const BOOK_VIEW: &str = r#"
+<BookView>
+FOR $book IN document("default.xml")/book/row,
+$publisher IN document("default.xml")/publisher/row
+WHERE ($book/pubid = $publisher/pubid)
+AND ($book/price<50.00) AND ($book/year > 1990)
+RETURN {
+<book>
+$book/bookid, $book/title, $book/price,
+<publisher>
+$publisher/pubid, $publisher/pubname
+</publisher>,
+FOR $review IN document("default.xml")/review/row
+WHERE ($book/bookid = $review/bookid)
+RETURN{
+<review>
+$review/reviewid, $review/comment
+</review>}
+</book>},
+FOR $publisher IN document("default.xml")/publisher/row
+RETURN{
+<publisher>
+$publisher/pubid, $publisher/pubname
+</publisher>}
+</BookView>"#;
+
+/// Fig. 1's DDL (delete policy parameterizable; the paper's closures assume
+/// CASCADE).
+pub fn ddl(policy: &str) -> [String; 3] {
+    [
+        "CREATE TABLE publisher( \
+           pubid VARCHAR2(10), \
+           pubname VARCHAR2(100) UNIQUE NOT NULL, \
+           CONSTRAINTS PubPK PRIMARYKEY (pubid))"
+            .to_string(),
+        format!(
+            "CREATE TABLE book( \
+               bookid VARCHAR2(20), \
+               title VARCHAR2(100) NOT NULL, \
+               pubid VARCHAR2(10), \
+               price DOUBLE CHECK (price > 0.00), \
+               year DATE, \
+               CONSTRAINTS BookPK PRIMARYKEY (bookid), \
+               FOREIGNKEY (pubid) REFERENCES publisher (pubid) ON DELETE {policy})"
+        ),
+        format!(
+            "CREATE TABLE review( \
+               bookid VARCHAR2(20), \
+               reviewid VARCHAR2(3), \
+               comment VARCHAR2(100), \
+               reviewer VARCHAR2(10), \
+               CONSTRAINTS ReviewPK PRIMARYKEY (bookid, reviewid), \
+               FOREIGNKEY (bookid) REFERENCES book (bookid) ON DELETE {policy})"
+        ),
+    ]
+}
+
+/// Fig. 1's sample rows.
+pub const SAMPLE_ROWS: [&str; 8] = [
+    "INSERT INTO publisher VALUES ('A01', 'McGraw-Hill Inc.')",
+    "INSERT INTO publisher VALUES ('B01', 'Prentice-Hall Inc.')",
+    "INSERT INTO publisher VALUES ('A02', 'Simon & Schuster Inc.')",
+    "INSERT INTO book VALUES ('98001', 'TCP/IP Illustrated', 'A01', 37.00, 1997)",
+    "INSERT INTO book VALUES ('98002', 'Programming in Unix', 'A02', 45.00, 1985)",
+    "INSERT INTO book VALUES ('98003', 'Data on the Web', 'A01', 48.00, 2004)",
+    "INSERT INTO review VALUES ('98001', '001', 'A good book on network.', 'William')",
+    "INSERT INTO review VALUES ('98001', '002', 'Useful for advanced user.', 'John')",
+];
+
+/// Build the Fig. 1 database (CASCADE policy, sample rows loaded).
+pub fn book_db() -> Db {
+    let mut db = Db::new();
+    for stmt in ddl("CASCADE") {
+        db.execute_sql(&stmt).expect("fixture DDL");
+    }
+    for stmt in SAMPLE_ROWS {
+        db.execute_sql(stmt).expect("fixture rows");
+    }
+    db
+}
+
+/// The Fig. 1 schema alone.
+pub fn book_schema() -> DatabaseSchema {
+    book_db().schema().clone()
+}
+
+/// A compiled U-Filter for BookView over the Fig. 1 schema.
+pub fn book_filter() -> UFilter {
+    UFilter::compile(BOOK_VIEW, &book_schema()).expect("BookView compiles")
+}
+
+/// u1 (Fig. 4): insert a book with an empty title and price 0.00 —
+/// **invalid** (NOT NULL + CHECK).
+pub const U1: &str = r#"
+FOR $root IN document("BookView.xml")
+UPDATE $root {
+INSERT
+<book>
+<bookid>98004</bookid>
+<title> </title>
+<price> 0.00 </price>
+<publisher>
+<pubid>A01</pubid>
+<pubname> McGraw-Hill Inc. </pubname>
+</publisher>
+</book> }"#;
+
+/// u2 (Fig. 4): delete the publisher of book 98001 — **valid but
+/// untranslatable** (view side effect: the book would vanish).
+pub const U2: &str = r#"
+FOR $root IN document("BookView.xml"),
+$book IN $root/book
+WHERE $book/bookid/text() = "98001"
+UPDATE $root {
+DELETE $book/publisher}"#;
+
+/// u3 (Fig. 4): insert a review for a book absent from the view —
+/// **untranslatable** at the data-driven context check.
+pub const U3: &str = r#"
+FOR $book IN document("BookView.xml")/book
+WHERE $book/title/text() = "DB2 Universal Database"
+UPDATE $book {
+INSERT
+<review>
+<reviewid>001</reviewid>
+<comment> Easy read and useful. </comment>
+</review>}"#;
+
+/// u4 (Fig. 4): insert a book whose key already exists —
+/// **untranslatable** at the data-driven point check (refined mode).
+pub const U4: &str = r#"
+FOR $root IN document("BookView.xml")
+UPDATE $root {
+INSERT
+<book>
+<bookid>98001</bookid>
+<title>Operating Systems</title>
+<price> 20.00 </price>
+<publisher>
+<pubid>A01</pubid>
+<pubname>McGraw-Hill Inc.</pubname>
+</publisher>
+</book> }"#;
+
+/// u5 (Fig. 10): delete reviews of books costing more than $50 —
+/// **invalid** (the view holds only books under $50).
+pub const U5: &str = r#"
+FOR $book IN document("BookView.xml")/book
+WHERE $book/price/text() > 50.00
+UPDATE $book {
+DELETE $book/review }"#;
+
+/// u6 (Fig. 10): delete a bookid value — **invalid** (required leaf).
+pub const U6: &str = r#"
+FOR $book IN document("BookView.xml")/book
+UPDATE $book {
+DELETE $book/bookid/text() }"#;
+
+/// u7 (Fig. 10): insert a book without its publisher — **invalid**
+/// (each book has exactly one publisher).
+pub const U7: &str = r#"
+FOR $root IN document("BookView.xml")
+UPDATE $root {
+INSERT
+<book>
+<bookid>98004</bookid>
+<title>Operating Systems</title>
+<price> 20.00 </price>
+</book> }"#;
+
+/// u8 (Fig. 10): delete reviews of books under $40 —
+/// **unconditionally translatable** (vC3 is clean | safe-delete).
+pub const U8: &str = r#"
+FOR $book IN document("BookView.xml")/book
+WHERE $book/price < 40.00
+UPDATE $book {
+DELETE $book/review }"#;
+
+/// u9 (Fig. 10): delete books over $40 — **conditionally translatable**
+/// (translation minimization).
+pub const U9: &str = r#"
+FOR $root IN document("BookView.xml"),
+$book =$root/book
+WHERE $book/price > 40.00
+UPDATE $root {
+DELETE $book }"#;
+
+/// u10 (Fig. 10): delete the publisher of books over $40 —
+/// **untranslatable** (unsafe-delete).
+pub const U10: &str = r#"
+FOR $book IN document("BookView.xml")/book
+WHERE $book/price > 40.00
+UPDATE $book {
+DELETE $book/publisher }"#;
+
+/// u11 (Fig. 10): delete reviews of a book not in the view —
+/// **untranslatable** at the context check.
+pub const U11: &str = r#"
+FOR $book IN document("BookView.xml")/book
+WHERE $book/title/text() = "Programming in Unix"
+UPDATE $book {
+DELETE $book/review}"#;
+
+/// u12 (Fig. 10): delete reviews of "Data on the Web" (it has none) —
+/// translatable; the translation touches zero tuples.
+pub const U12: &str = r#"
+FOR $book IN document("BookView.xml")/book
+WHERE $book/title/text() = "Data on the Web"
+UPDATE $book {
+DELETE $book/review}"#;
+
+/// u13 (Fig. 10): insert a review for "Data on the Web" — translatable;
+/// the probe's bookid feeds the translated INSERT (§6.1's U1).
+pub const U13: &str = r#"
+FOR $book IN document("BookView.xml")/book
+WHERE $book/title/text() = "Data on the Web"
+UPDATE $book {
+INSERT
+<review>
+<reviewid>001</reviewid>
+<comment>Easy read and useful.</comment>
+</review>}"#;
+
+/// All thirteen updates with their paper labels.
+pub fn all_updates() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("u1", U1),
+        ("u2", U2),
+        ("u3", U3),
+        ("u4", U4),
+        ("u5", U5),
+        ("u6", U6),
+        ("u7", U7),
+        ("u8", U8),
+        ("u9", U9),
+        ("u10", U10),
+        ("u11", U11),
+        ("u12", U12),
+        ("u13", U13),
+    ]
+}

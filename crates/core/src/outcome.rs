@@ -1,0 +1,173 @@
+//! Outcome taxonomy: Fig. 6's partition of the view update domain, plus the
+//! conditions attached to conditionally-translatable updates and the
+//! step-by-step trace U-Filter reports.
+
+use ufilter_rdb::Stmt;
+
+/// Why Step 1 rejected an update as *invalid*.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InvalidReason {
+    /// The update's predicates cannot overlap the view content
+    /// (u5: `price > 50` against a `price < 50` view).
+    PredicateOutsideView { detail: String },
+    /// The deleted node's incoming edge is `1` (u6: a NOT NULL value).
+    NonDeletableNode { detail: String },
+    /// The inserted fragment does not conform to the view hierarchy
+    /// (u7: a `book` without its mandatory `publisher`).
+    HierarchyViolation { detail: String },
+    /// A leaf value is outside its domain type.
+    TypeViolation { detail: String },
+    /// A leaf value violates the merged check annotation (u1's price 0.00).
+    CheckViolation { detail: String },
+    /// An empty value for a `{Not Null}` leaf (u1's empty title).
+    NotNullViolation { detail: String },
+    /// The update addresses an element the view schema does not have.
+    UnknownTarget { detail: String },
+    /// The update statement itself is malformed for this view.
+    Malformed { detail: String },
+}
+
+impl std::fmt::Display for InvalidReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InvalidReason::PredicateOutsideView { detail } => {
+                write!(f, "predicate selects outside the view: {detail}")
+            }
+            InvalidReason::NonDeletableNode { detail } => {
+                write!(f, "node is not deletable: {detail}")
+            }
+            InvalidReason::HierarchyViolation { detail } => {
+                write!(f, "fragment violates the view hierarchy: {detail}")
+            }
+            InvalidReason::TypeViolation { detail } => write!(f, "type violation: {detail}"),
+            InvalidReason::CheckViolation { detail } => write!(f, "check violation: {detail}"),
+            InvalidReason::NotNullViolation { detail } => {
+                write!(f, "NOT NULL violation: {detail}")
+            }
+            InvalidReason::UnknownTarget { detail } => write!(f, "unknown target: {detail}"),
+            InvalidReason::Malformed { detail } => write!(f, "malformed update: {detail}"),
+        }
+    }
+}
+
+/// Conditions attached by Step 2 to conditionally-translatable updates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Condition {
+    /// Observation 1: a deletion on a `(dirty | safe-delete)` node requires
+    /// translated-update minimization (don't delete shared sources still
+    /// needed by the remaining view).
+    TranslationMinimization,
+    /// Observation 2: an insertion on a `(dirty | safe-insert)` node
+    /// requires the duplicated parts inside the element to be consistent.
+    DuplicationConsistency,
+    /// Refined handling of Rule-3 unsafe-insert (`StarMode::Refined`): the
+    /// shared sub-element's data must already reside in the named relations,
+    /// or the insert surfaces elsewhere in the view as a side effect.
+    SharedDataExistence { relations: Vec<String> },
+}
+
+impl std::fmt::Display for Condition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Condition::TranslationMinimization => f.write_str("translation minimization"),
+            Condition::DuplicationConsistency => f.write_str("duplication consistency"),
+            Condition::SharedDataExistence { relations } => {
+                write!(f, "shared data must pre-exist in {{{}}}", relations.join(", "))
+            }
+        }
+    }
+}
+
+/// Which step produced a rejection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckStep {
+    /// Step 1 (§4).
+    Validation,
+    /// Step 2 (§5).
+    Star,
+    /// Step 3a — data-driven update context check (§6.1).
+    DataContext,
+    /// Step 3b — data-driven update point check (§6.2).
+    DataPoint,
+}
+
+impl std::fmt::Display for CheckStep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CheckStep::Validation => "update validation",
+            CheckStep::Star => "schema-driven translatability reasoning",
+            CheckStep::DataContext => "data-driven update context check",
+            CheckStep::DataPoint => "data-driven update point check",
+        })
+    }
+}
+
+/// Final classification of one update action.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckOutcome {
+    /// Rejected at Step 1.
+    Invalid(InvalidReason),
+    /// Rejected at Step 2 or 3.
+    Untranslatable { step: CheckStep, reason: String },
+    /// Accepted: translation attached, with any discharged conditions.
+    Translatable { conditions: Vec<Condition>, translation: Vec<Stmt> },
+}
+
+impl CheckOutcome {
+    pub fn is_translatable(&self) -> bool {
+        matches!(self, CheckOutcome::Translatable { .. })
+    }
+
+    pub fn is_invalid(&self) -> bool {
+        matches!(self, CheckOutcome::Invalid(_))
+    }
+
+    /// Short label matching the paper's taxonomy (Fig. 6).
+    pub fn label(&self) -> &'static str {
+        match self {
+            CheckOutcome::Invalid(_) => "invalid",
+            CheckOutcome::Untranslatable { .. } => "untranslatable",
+            CheckOutcome::Translatable { conditions, .. } if conditions.is_empty() => {
+                "unconditionally translatable"
+            }
+            CheckOutcome::Translatable { .. } => "conditionally translatable",
+        }
+    }
+}
+
+impl std::fmt::Display for CheckOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckOutcome::Invalid(r) => write!(f, "invalid: {r}"),
+            CheckOutcome::Untranslatable { step, reason } => {
+                write!(f, "untranslatable (at {step}): {reason}")
+            }
+            CheckOutcome::Translatable { conditions, translation } => {
+                write!(f, "translatable")?;
+                if !conditions.is_empty() {
+                    let cs: Vec<String> = conditions.iter().map(|c| c.to_string()).collect();
+                    write!(f, " under {}", cs.join(" + "))?;
+                }
+                write!(f, "; {} SQL statement(s)", translation.len())
+            }
+        }
+    }
+}
+
+/// A full report: per-step trace plus the final outcome.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// `(step, human-readable note)` trace in execution order.
+    pub trace: Vec<(CheckStep, String)>,
+    pub outcome: CheckOutcome,
+}
+
+impl CheckReport {
+    pub fn rejected_at(&self) -> Option<CheckStep> {
+        match &self.outcome {
+            CheckOutcome::Invalid(_) => Some(CheckStep::Validation),
+            CheckOutcome::Untranslatable { step, .. } => Some(*step),
+            CheckOutcome::Translatable { .. } => None,
+        }
+    }
+}

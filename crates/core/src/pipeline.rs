@@ -1,0 +1,417 @@
+//! The U-Filter pipeline (Fig. 5): compile a view once (ASG construction +
+//! STAR marking), then push every incoming update through the three checks,
+//! handing survivors to the translation engine.
+
+use ufilter_asg::{build_view_asg, AsgNodeKind, BaseAsg, ViewAsg};
+use ufilter_rdb::{DatabaseSchema, Db, Row, Select};
+use ufilter_xquery::{features, parse_update, parse_view_query, UpdateStmt, ViewQuery};
+
+use crate::datacheck::{self, DataCheckReport, Strategy};
+use crate::outcome::{CheckOutcome, CheckReport, CheckStep};
+use crate::probe::{build_probe, path_info, SelectSpec};
+use crate::star::{self, StarMarking, StarMode, StarVerdict};
+use crate::target::{resolve, ResolvedAction};
+use crate::translate::build_plan;
+use crate::validate::validate;
+
+/// View compilation failure.
+#[derive(Debug, Clone)]
+pub enum CompileError {
+    /// The query text failed to parse.
+    Parse(String),
+    /// The query uses constructs outside the ASG subset (Fig. 12 exclusions).
+    Unsupported(Vec<ufilter_xquery::UnsupportedFeature>),
+    /// The ASG builder rejected the query/schema combination.
+    Asg(String),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Parse(m) => write!(f, "view query parse error: {m}"),
+            CompileError::Unsupported(fs) => {
+                let names: Vec<String> = fs.iter().map(|x| x.to_string()).collect();
+                write!(f, "view query outside the ASG subset: {}", names.join(", "))
+            }
+            CompileError::Asg(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UFilterConfig {
+    pub mode: StarMode,
+    pub strategy: Strategy,
+}
+
+/// A compiled view: ASGs built and STAR-marked, ready to check updates.
+pub struct UFilter {
+    pub query: ViewQuery,
+    pub schema: DatabaseSchema,
+    pub asg: ViewAsg,
+    pub base: BaseAsg,
+    pub marking: StarMarking,
+    pub config: UFilterConfig,
+}
+
+impl UFilter {
+    /// Compile a view: parse, expressibility-check, build both ASGs, run
+    /// the STAR marking procedure.
+    pub fn compile(view_text: &str, schema: &DatabaseSchema) -> Result<UFilter, CompileError> {
+        if let Err(found) = features::expressible(view_text) {
+            return Err(CompileError::Unsupported(found));
+        }
+        let query =
+            parse_view_query(view_text).map_err(|e| CompileError::Parse(e.to_string()))?;
+        Self::compile_query(query, schema)
+    }
+
+    /// Compile an already-parsed view query.
+    pub fn compile_query(
+        query: ViewQuery,
+        schema: &DatabaseSchema,
+    ) -> Result<UFilter, CompileError> {
+        let mut asg =
+            build_view_asg(&query, schema).map_err(|e| CompileError::Asg(e.to_string()))?;
+        let leaves: Vec<ufilter_rdb::ColRef> =
+            asg.iter().filter_map(|n| n.leaf.as_ref().map(|l| l.name.clone())).collect();
+        let base = BaseAsg::build(schema, &asg.relations, &leaves);
+        let marking = star::mark(&mut asg, &base, schema);
+        Ok(UFilter {
+            query,
+            schema: schema.clone(),
+            asg,
+            base,
+            marking,
+            config: UFilterConfig::default(),
+        })
+    }
+
+    pub fn with_config(mut self, config: UFilterConfig) -> UFilter {
+        self.config = config;
+        self
+    }
+
+    /// Parse an update against this view.
+    pub fn parse(&self, update_text: &str) -> Result<UpdateStmt, String> {
+        parse_update(update_text).map_err(|e| e.to_string())
+    }
+
+    /// Steps 1–2 only (no database access): validation + STAR.
+    pub fn check_schema(&self, update_text: &str) -> Vec<CheckReport> {
+        match self.parse(update_text) {
+            Ok(u) => self.run(&u, None, false),
+            Err(m) => vec![malformed(m)],
+        }
+    }
+
+    /// All three steps; data checks use non-destructive probes (the outside
+    /// strategy's probe set). The database is only touched to materialize
+    /// probe results (`TAB_…`), as the paper's Step 3 does.
+    pub fn check(&self, update_text: &str, db: &mut Db) -> Vec<CheckReport> {
+        match self.parse(update_text) {
+            Ok(u) => self.run(&u, Some(db), false),
+            Err(m) => vec![malformed(m)],
+        }
+    }
+
+    /// Full pipeline; translatable updates are executed with the configured
+    /// strategy.
+    pub fn apply(&self, update_text: &str, db: &mut Db) -> Vec<CheckReport> {
+        match self.parse(update_text) {
+            Ok(u) => self.run(&u, Some(db), true),
+            Err(m) => vec![malformed(m)],
+        }
+    }
+
+    /// Translate and execute **without any translatability checking** —
+    /// the "Update" baseline of Fig. 13 (a system that blindly trusts the
+    /// update). Returns total rows affected. Uses the hybrid execution path
+    /// so engine errors still abort.
+    pub fn apply_unchecked(&self, update_text: &str, db: &mut Db) -> Result<usize, String> {
+        let u = self.parse(update_text)?;
+        let actions = resolve(&self.asg, &u).map_err(|e| e.to_string())?;
+        let mut affected = 0;
+        for action in &actions {
+            let mut trace = Vec::new();
+            let (context_probe, context_rows, tab_name) = self
+                .context_check(action, db, &mut trace, false)
+                .map_err(|o| o.to_string())?;
+            let plan = build_plan(
+                &self.asg,
+                &self.marking,
+                &self.schema,
+                action,
+                context_probe,
+                &context_rows,
+                tab_name,
+            )
+            .map_err(|o| o.to_string())?;
+            let report = datacheck::run_hybrid(db, &plan, true);
+            if let Some((_, reason)) = report.rejected {
+                return Err(reason);
+            }
+            affected += report.rows_affected;
+        }
+        Ok(affected)
+    }
+
+    /// Check an already-parsed update.
+    ///
+    /// Two-phase: every action is validated, STAR-checked and planned
+    /// against the *pre-update* state first; only if all actions survive
+    /// are the plans executed (atomically, for multi-action blocks such as
+    /// REPLACE = delete + insert).
+    pub fn run(&self, u: &UpdateStmt, db: Option<&mut Db>, apply: bool) -> Vec<CheckReport> {
+        let actions = match resolve(&self.asg, u) {
+            Ok(a) => a,
+            Err(reason) => {
+                return vec![CheckReport {
+                    trace: vec![(CheckStep::Validation, reason.to_string())],
+                    outcome: CheckOutcome::Invalid(reason),
+                }]
+            }
+        };
+        let mut db = db;
+
+        // ---- Phase 1: check + plan every action ------------------------
+        let mut prepared = Vec::new();
+        let mut reports = Vec::new();
+        let mut any_rejected = false;
+        for action in &actions {
+            match self.prepare_action(action, db.as_deref_mut()) {
+                Ok((trace, conditions, plan)) => {
+                    prepared.push((action, trace, conditions, plan));
+                }
+                Err(report) => {
+                    any_rejected = true;
+                    reports.push(report);
+                }
+            }
+        }
+        if any_rejected || db.is_none() {
+            // Schema-only mode, or some action failed: report planned
+            // actions as translatable-with-translation but execute nothing.
+            for (_, trace, conditions, plan) in prepared {
+                let translation = plan.map(|p| p.sql()).unwrap_or_default();
+                reports.push(CheckReport {
+                    trace,
+                    outcome: CheckOutcome::Translatable { conditions, translation },
+                });
+            }
+            return reports;
+        }
+        let db = db.expect("checked above");
+
+        // ---- Phase 2: run the data checks (and optionally execute) -----
+        let own_txn = apply && prepared.len() > 1 && !db.in_transaction();
+        if own_txn {
+            db.begin().expect("no active transaction");
+        }
+        let mut failed = false;
+        for (action, mut trace, conditions, plan) in prepared {
+            let plan = plan.expect("phase 1 planned with a database");
+            if failed {
+                // An earlier action failed: report and skip.
+                trace.push((CheckStep::DataPoint, "skipped: earlier action rejected".into()));
+                reports.push(CheckReport {
+                    trace,
+                    outcome: CheckOutcome::Untranslatable {
+                        step: CheckStep::DataPoint,
+                        reason: "earlier action of the same update was rejected".into(),
+                    },
+                });
+                continue;
+            }
+            let report: DataCheckReport = match self.config.strategy {
+                Strategy::Outside => datacheck::run_outside(db, &plan, apply),
+                Strategy::Hybrid => datacheck::run_hybrid(db, &plan, apply),
+                Strategy::Internal => {
+                    datacheck::run_internal(db, &self.asg, &self.schema, action, &plan, apply)
+                }
+            };
+            for note in &report.notes {
+                trace.push((CheckStep::DataPoint, note.clone()));
+            }
+            if let Some((step, reason)) = report.rejected {
+                trace.push((step, reason.clone()));
+                reports
+                    .push(CheckReport { trace, outcome: CheckOutcome::Untranslatable { step, reason } });
+                failed = true;
+                continue;
+            }
+            reports.push(CheckReport {
+                trace,
+                outcome: CheckOutcome::Translatable { conditions, translation: plan.sql() },
+            });
+        }
+        if own_txn {
+            if failed {
+                db.rollback().expect("transaction active");
+            } else {
+                db.commit().expect("transaction active");
+            }
+        }
+        reports
+    }
+
+    /// Phase 1 for one action: Steps 1–2, the context check, and plan
+    /// construction. With no database, returns `Ok` with `plan = None`
+    /// (schema-only classification).
+    #[allow(clippy::type_complexity)]
+    fn prepare_action(
+        &self,
+        action: &ResolvedAction,
+        db: Option<&mut Db>,
+    ) -> Result<
+        (Vec<(CheckStep, String)>, Vec<crate::outcome::Condition>, Option<crate::translate::TranslationPlan>),
+        CheckReport,
+    > {
+        let mut trace: Vec<(CheckStep, String)> = Vec::new();
+
+        // ---- Step 1: update validation --------------------------------
+        if let Err(reason) = validate(&self.asg, action) {
+            trace.push((CheckStep::Validation, reason.to_string()));
+            return Err(CheckReport { trace, outcome: CheckOutcome::Invalid(reason) });
+        }
+        trace.push((CheckStep::Validation, "valid".into()));
+
+        // ---- Step 2: STAR ----------------------------------------------
+        let conditions = match star::check(&self.asg, &self.marking, action, self.config.mode) {
+            StarVerdict::Untranslatable(reason) => {
+                trace.push((CheckStep::Star, reason.clone()));
+                return Err(CheckReport {
+                    trace,
+                    outcome: CheckOutcome::Untranslatable { step: CheckStep::Star, reason },
+                });
+            }
+            StarVerdict::Ok(conditions) => {
+                let node = self.asg.node(action.node);
+                trace.push((
+                    CheckStep::Star,
+                    match (&node.upoint, &node.ucontext) {
+                        (Some(up), Some(uc)) => format!("target <{}> marked ({up}|{uc})", node.tag),
+                        _ => format!("target <{}>", node.tag),
+                    },
+                ));
+                conditions
+            }
+        };
+
+        // ---- Step 3 preparation ----------------------------------------
+        let Some(db) = db else {
+            return Ok((trace, conditions, None));
+        };
+
+        // 3a. Update context check (§6.1). Only the outside and internal
+        // strategies materialize the probe result (the hybrid strategy
+        // "does not materialize the intermediate result", §7.2).
+        let materialize_tab = self.config.strategy != Strategy::Hybrid;
+        let (context_probe, context_rows, tab_name) =
+            match self.context_check(action, db, &mut trace, materialize_tab) {
+                Ok(x) => x,
+                Err(outcome) => return Err(CheckReport { trace, outcome }),
+            };
+
+        // Build the translation plan.
+        let plan = match build_plan(
+            &self.asg,
+            &self.marking,
+            &self.schema,
+            action,
+            context_probe,
+            &context_rows,
+            tab_name,
+        ) {
+            Ok(p) => p,
+            Err(outcome) => {
+                if let CheckOutcome::Untranslatable { step, reason } = &outcome {
+                    trace.push((*step, reason.clone()));
+                }
+                return Err(CheckReport { trace, outcome });
+            }
+        };
+        for note in &plan.notes {
+            trace.push((CheckStep::DataPoint, note.clone()));
+        }
+        Ok((trace, conditions, Some(plan)))
+    }
+
+    /// The §6.1 update-context check. Returns the probe, its rows (header +
+    /// row pairs) and the materialized table name.
+    #[allow(clippy::type_complexity)]
+    fn context_check(
+        &self,
+        action: &ResolvedAction,
+        db: &mut Db,
+        trace: &mut Vec<(CheckStep, String)>,
+        materialize: bool,
+    ) -> Result<
+        (Option<Select>, Vec<(Vec<ufilter_rdb::ColRef>, Row)>, Option<String>),
+        CheckOutcome,
+    > {
+        let ctx = self.asg.node(action.context_node);
+        if ctx.kind == AsgNodeKind::Root {
+            trace.push((CheckStep::DataContext, "context is the view root".into()));
+            return Ok((None, Vec::new(), None));
+        }
+        // Prefer the deepest path that covers every update predicate: the
+        // user's FOR clause binds variables down to the predicate-bearing
+        // level, and only combinations matching *all* predicates invoke the
+        // UPDATE — so joining those relations into the probe is faithful
+        // and keeps it selective.
+        let mut info = path_info(&self.asg, action.context_node);
+        let covers = |info: &crate::probe::PathInfo| {
+            action
+                .predicates
+                .iter()
+                .all(|(c, _, _)| info.relations.iter().any(|r| r.eq_ignore_ascii_case(&c.table)))
+        };
+        if !covers(&info) {
+            let deeper = path_info(&self.asg, action.node);
+            if covers(&deeper) {
+                info = deeper;
+            }
+        }
+        let preds = datacheck::relevant_preds(&info, &action.predicates);
+        let probe = build_probe(&self.schema, &info, &preds, &SelectSpec::Keys);
+        let rs = db.query(&probe).map_err(|e| CheckOutcome::Untranslatable {
+            step: CheckStep::DataContext,
+            reason: e.to_string(),
+        })?;
+        if rs.is_empty() {
+            let reason = format!(
+                "the <{}> element the update addresses does not exist in the view",
+                ctx.tag
+            );
+            trace.push((CheckStep::DataContext, reason.clone()));
+            return Err(CheckOutcome::Untranslatable { step: CheckStep::DataContext, reason });
+        }
+        trace.push((
+            CheckStep::DataContext,
+            format!("context probe matched {} instance(s) of <{}>", rs.len(), ctx.tag),
+        ));
+        // Materialize for reuse (the paper's TAB_book) when requested.
+        let tab = if materialize {
+            let name = format!("TAB_{}", ctx.tag);
+            let _ = db.materialize(&name, &probe);
+            Some(name)
+        } else {
+            None
+        };
+        let rows: Vec<(Vec<ufilter_rdb::ColRef>, Row)> =
+            rs.rows.into_iter().map(|r| (rs.columns.clone(), r)).collect();
+        Ok((Some(probe), rows, tab))
+    }
+}
+
+fn malformed(m: String) -> CheckReport {
+    let reason = crate::outcome::InvalidReason::Malformed { detail: m };
+    CheckReport {
+        trace: vec![(CheckStep::Validation, reason.to_string())],
+        outcome: CheckOutcome::Invalid(reason),
+    }
+}

@@ -1,0 +1,213 @@
+//! Probe-query composition (§6.1): compose the view query with the user
+//! update into a SQL probe, "as done by most XML data management systems
+//! which support queries over views".
+//!
+//! A probe for an ASG node joins every relation bound on the root→node
+//! path, under (a) the edge join conditions, (b) the view's non-correlation
+//! predicates — including those on unprojected columns like
+//! `book.year > 1990` — and (c) the update's own predicates. PQ1/PQ2 of the
+//! paper are exactly this construction for `vC1`.
+
+use ufilter_asg::{AsgNodeId, AsgNodeKind, JoinCond, LocalPred, ViewAsg};
+use ufilter_rdb::{
+    CmpOp, ColRef, DatabaseSchema, Expr, FromItem, Select, SelectItem, TableRef, Value,
+};
+
+/// Everything the root→node path contributes to a probe.
+#[derive(Debug, Clone, Default)]
+pub struct PathInfo {
+    /// Relations in binding order.
+    pub relations: Vec<String>,
+    pub conditions: Vec<JoinCond>,
+    pub local_preds: Vec<LocalPred>,
+}
+
+/// Collect path info for `node` (root/internal ancestors inclusive).
+pub fn path_info(asg: &ViewAsg, node: AsgNodeId) -> PathInfo {
+    let mut chain = Vec::new();
+    let mut cur = Some(node);
+    while let Some(c) = cur {
+        let n = asg.node(c);
+        if matches!(n.kind, AsgNodeKind::Root | AsgNodeKind::Internal) {
+            chain.push(c);
+        }
+        cur = n.parent;
+    }
+    chain.reverse();
+    let mut info = PathInfo::default();
+    for id in chain {
+        let n = asg.node(id);
+        for (_, table) in &n.bindings {
+            if !info.relations.iter().any(|r| r.eq_ignore_ascii_case(table)) {
+                info.relations.push(table.clone());
+            }
+        }
+        info.conditions.extend(n.conditions.iter().cloned());
+        info.local_preds.extend(n.local_preds.iter().cloned());
+    }
+    info
+}
+
+/// What the probe should project.
+#[derive(Debug, Clone)]
+pub enum SelectSpec {
+    /// Primary-key columns of every path relation plus all join-condition
+    /// columns (enough to anchor translations).
+    Keys,
+    /// Specific columns.
+    Columns(Vec<ColRef>),
+    /// Every column of every path relation (the expensive fetch the
+    /// *internal* strategy needs, §6.2.1).
+    AllColumns,
+}
+
+/// Build the probe SELECT.
+pub fn build_probe(
+    schema: &DatabaseSchema,
+    info: &PathInfo,
+    update_preds: &[(ColRef, CmpOp, Value)],
+    spec: &SelectSpec,
+) -> Select {
+    let mut items: Vec<SelectItem> = Vec::new();
+    match spec {
+        SelectSpec::Keys => {
+            let mut seen: Vec<(String, String)> = Vec::new();
+            let mut push = |t: &str, c: &str, items: &mut Vec<SelectItem>| {
+                let key = (t.to_ascii_lowercase(), c.to_ascii_lowercase());
+                if !seen.contains(&key) {
+                    seen.push(key);
+                    items.push(SelectItem::Expr { expr: Expr::col(t, c), alias: None });
+                }
+            };
+            for r in &info.relations {
+                if let Some(t) = schema.table(r) {
+                    for k in &t.primary_key {
+                        push(&t.name, k, &mut items);
+                    }
+                }
+            }
+            for jc in &info.conditions {
+                push(&jc.left.table, &jc.left.column, &mut items);
+                push(&jc.right.table, &jc.right.column, &mut items);
+            }
+        }
+        SelectSpec::Columns(cols) => {
+            for c in cols {
+                items.push(SelectItem::Expr { expr: Expr::Column(c.clone()), alias: None });
+            }
+        }
+        SelectSpec::AllColumns => {
+            for r in &info.relations {
+                items.push(SelectItem::QualifiedWildcard(r.clone()));
+            }
+        }
+    }
+
+    let from: Vec<FromItem> =
+        info.relations.iter().map(|r| FromItem::Table(TableRef::named(r.clone()))).collect();
+
+    let mut conjuncts: Vec<Expr> = Vec::new();
+    for jc in &info.conditions {
+        conjuncts.push(Expr::eq(Expr::Column(jc.left.clone()), Expr::Column(jc.right.clone())));
+    }
+    for lp in &info.local_preds {
+        conjuncts.push(Expr::cmp(
+            lp.op,
+            Expr::Column(lp.column.clone()),
+            Expr::lit(lp.value.clone()),
+        ));
+    }
+    for (col, op, v) in update_preds {
+        conjuncts.push(Expr::cmp(*op, Expr::Column(col.clone()), Expr::lit(v.clone())));
+    }
+    let where_clause = if conjuncts.is_empty() { None } else { Some(Expr::and(conjuncts)) };
+    Select::new(items, from, where_clause)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bookdemo;
+    use ufilter_rdb::Value;
+
+    #[test]
+    fn path_info_for_review_node_spans_all_three_relations() {
+        let f = bookdemo::book_filter();
+        let vc3 = f.asg.resolve_path(&["book", "review"])[0];
+        let info = path_info(&f.asg, vc3);
+        assert_eq!(info.relations, vec!["book", "publisher", "review"]);
+        assert_eq!(info.conditions.len(), 2); // pubid join + bookid join
+        assert_eq!(info.local_preds.len(), 2); // price < 50, year > 1990
+    }
+
+    #[test]
+    fn pq1_shape_reproduced() {
+        // PQ1 of §6.1: probing the context of u3/u11 joins publisher, book
+        // (and review on the full path), with the view's hidden year
+        // predicate included.
+        let f = bookdemo::book_filter();
+        let vc1 = f.asg.resolve_path(&["book"])[0];
+        let info = path_info(&f.asg, vc1);
+        let preds = vec![(
+            ufilter_rdb::ColRef::new("book", "title"),
+            CmpOp::Eq,
+            Value::str("Programming in Unix"),
+        )];
+        let probe = build_probe(&bookdemo::book_schema(), &info, &preds, &SelectSpec::Keys);
+        let text = probe.to_string();
+        assert!(text.contains("FROM book, publisher"), "{text}");
+        assert!(text.contains("book.title = 'Programming in Unix'"), "{text}");
+        assert!(text.contains("book.price < 50"), "{text}");
+        assert!(text.contains("book.year > 1990"), "{text}");
+        assert!(text.contains("book.pubid = publisher.pubid"), "{text}");
+        // Empty on the Fig. 1 data (the book fails year > 1990).
+        let db = bookdemo::book_db();
+        assert!(db.query(&probe).unwrap().is_empty());
+    }
+
+    #[test]
+    fn keys_spec_includes_pks_and_join_columns_once() {
+        let f = bookdemo::book_filter();
+        let vc1 = f.asg.resolve_path(&["book"])[0];
+        let info = path_info(&f.asg, vc1);
+        let probe = build_probe(&bookdemo::book_schema(), &info, &[], &SelectSpec::Keys);
+        let names: Vec<String> = probe
+            .items
+            .iter()
+            .map(|i| match i {
+                ufilter_rdb::SelectItem::Expr { expr: Expr::Column(c), .. } => c.to_string(),
+                other => panic!("unexpected item {other:?}"),
+            })
+            .collect();
+        // book.bookid (pk), publisher.pubid (pk + join col), book.pubid (join col).
+        assert!(names.contains(&"book.bookid".to_string()));
+        assert!(names.contains(&"publisher.pubid".to_string()));
+        assert!(names.contains(&"book.pubid".to_string()));
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "no duplicate probe columns");
+    }
+
+    #[test]
+    fn all_columns_spec_uses_qualified_wildcards() {
+        let f = bookdemo::book_filter();
+        let vc1 = f.asg.resolve_path(&["book"])[0];
+        let info = path_info(&f.asg, vc1);
+        let probe = build_probe(&bookdemo::book_schema(), &info, &[], &SelectSpec::AllColumns);
+        assert_eq!(probe.items.len(), 2); // book.*, publisher.*
+        let db = bookdemo::book_db();
+        let rs = db.query(&probe).unwrap();
+        // All book columns + all publisher columns.
+        assert_eq!(rs.columns.len(), 5 + 2);
+        assert_eq!(rs.len(), 2); // the two in-view books
+    }
+
+    #[test]
+    fn root_path_is_empty() {
+        let f = bookdemo::book_filter();
+        let info = path_info(&f.asg, f.asg.root());
+        assert!(info.relations.is_empty());
+        assert!(info.conditions.is_empty());
+    }
+}

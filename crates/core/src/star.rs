@@ -1,0 +1,450 @@
+//! Step 2 — STAR: Schema-driven TrAnslatability Reasoning (§5).
+//!
+//! The **marking procedure** (Algorithm 1) runs once per view at compile
+//! time: Rules 1–3 decide each internal node's update context type
+//! (safe/unsafe × delete/insert), and closure comparison decides its update
+//! point type (clean/dirty). The **checking procedure** then classifies a
+//! valid update in O(1) by the `(UPoint | UContext)` pair of its target
+//! node (Observations 1 and 2).
+
+use std::collections::{HashMap, HashSet};
+
+use ufilter_asg::{
+    view_closure, AsgNodeId, AsgNodeKind, BaseAsg, UContext, UPoint, ViewAsg,
+};
+use ufilter_rdb::DatabaseSchema;
+use ufilter_xquery::UpdateKind;
+
+use crate::outcome::Condition;
+use crate::target::ResolvedAction;
+
+/// How Observation 2 treats Rule-3-induced unsafe-insert nodes
+/// (DESIGN.md faithfulness note 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StarMode {
+    /// Observation 2 verbatim: insertion on any unsafe-insert node is
+    /// untranslatable (u4 dies at Step 2).
+    Strict,
+    /// The paper's narrative: Rule-3 unsafe-inserts become conditionally
+    /// translatable (condition: shared data must pre-exist), discharged by
+    /// the Step-3 data check (u3/u4 die at Step 3).
+    #[default]
+    Refined,
+}
+
+/// Side information produced by marking, beyond the per-node
+/// `(UPoint|UContext)` pairs stored in the ASG.
+#[derive(Debug, Clone, Default)]
+pub struct StarMarking {
+    /// Nodes whose whole subtree Rule 1 declared unsafe (structural
+    /// duplication: missing or improper join).
+    pub rule1: HashSet<AsgNodeId>,
+    /// Rule 3 provenance: node → shared relations that make inserting it
+    /// risk surfacing content under an unsafe-delete non-descendant.
+    pub rule3: HashMap<AsgNodeId, Vec<String>>,
+    /// Rule 2 witness: for each safe-delete node, the `R ∈ CR(v)` whose
+    /// deletion is side-effect-free — the *clean extended source* anchor
+    /// the translation deletes from.
+    pub delete_anchor: HashMap<AsgNodeId, String>,
+}
+
+/// The STAR marking procedure (Algorithm 1): writes `(UPoint|UContext)`
+/// into `asg` and returns the side information.
+pub fn mark(asg: &mut ViewAsg, base: &BaseAsg, schema: &DatabaseSchema) -> StarMarking {
+    let mut marking = StarMarking::default();
+    let internals: Vec<AsgNodeId> = asg.internal_nodes().map(|n| n.id).collect();
+
+    // ---- Rule 1: structural duplication via missing/improper joins -------
+    for &c in &internals {
+        let node = asg.node(c);
+        if !node.card.is_starred() {
+            continue;
+        }
+        if rule1_violated(asg, schema, c) {
+            for s in asg.subtree(c) {
+                if asg.node(s).kind == AsgNodeKind::Internal {
+                    marking.rule1.insert(s);
+                    asg.node_mut(s).ucontext =
+                        Some(UContext { safe_delete: false, safe_insert: false });
+                }
+            }
+        }
+    }
+
+    // ---- Rule 2: unsafe-delete via shared relations -----------------------
+    for &c in &internals {
+        if asg.node(c).ucontext.is_some_and(|u| !u.safe_delete) {
+            continue; // already unsafe via Rule 1
+        }
+        let cr = asg.cr(c);
+        let nds = asg.non_descendant_internals(c);
+        let anchor = cr.iter().find(|r| {
+            let ext = schema.extend(r, Some(&asg.relations));
+            nds.iter().all(|v| {
+                !asg.node(*v)
+                    .ucbinding
+                    .iter()
+                    .any(|u| ext.iter().any(|e| e.eq_ignore_ascii_case(u)))
+            })
+        });
+        match anchor {
+            Some(r) => {
+                marking.delete_anchor.insert(c, r.clone());
+                let prev = asg.node(c).ucontext;
+                asg.node_mut(c).ucontext = Some(UContext {
+                    safe_delete: true,
+                    safe_insert: prev.is_none_or(|u| u.safe_insert),
+                });
+            }
+            None => {
+                let prev = asg.node(c).ucontext;
+                asg.node_mut(c).ucontext = Some(UContext {
+                    safe_delete: false,
+                    safe_insert: prev.is_none_or(|u| u.safe_insert),
+                });
+            }
+        }
+    }
+
+    // ---- Rule 3: unsafe-insert via overlap with unsafe-delete nodes ------
+    for &c in &internals {
+        if marking.rule1.contains(&c) {
+            continue; // already unsafe both ways
+        }
+        let upb = asg.node(c).upbinding.clone();
+        let mut shared: Vec<String> = Vec::new();
+        for v in asg.non_descendant_internals(c) {
+            let v_node = asg.node(v);
+            if v_node.ucontext.is_some_and(|u| u.safe_delete) {
+                continue; // (ii) of Rule 3 requires v' unsafe-delete
+            }
+            for r in asg.cr(v) {
+                if upb.iter().any(|u| u.eq_ignore_ascii_case(&r))
+                    && !shared.iter().any(|s| s.eq_ignore_ascii_case(&r))
+                {
+                    shared.push(r);
+                }
+            }
+        }
+        if !shared.is_empty() {
+            let prev = asg.node(c).ucontext.expect("set by Rule 2 pass");
+            asg.node_mut(c).ucontext =
+                Some(UContext { safe_delete: prev.safe_delete, safe_insert: false });
+            marking.rule3.insert(c, shared);
+        }
+    }
+
+    // ---- UPoint: clean iff CV ≡ CD (Definition 2) -------------------------
+    for &c in &internals {
+        let cv = view_closure(asg, c);
+        let cd = base.mapping_closure(&cv.all_leaves());
+        asg.node_mut(c).upoint =
+            Some(if cv.equiv(&cd) { UPoint::Clean } else { UPoint::Dirty });
+    }
+
+    marking
+}
+
+/// Rule 1 for one starred internal node: does its edge lack a *proper Join*?
+///
+/// Two sub-checks (see DESIGN.md):
+/// (a) when the parent is itself repeatable (non-root), some condition must
+///     link a new relation of `c` to a parent-scope relation through that
+///     parent relation's unique identifier — otherwise every parent
+///     instance replicates the same `c` content ("missing Join");
+/// (b) every *non-driving* relation bound at `c` must be joined through its
+///     own unique identifier — otherwise one driving tuple pairs with many,
+///     duplicating driving content across instances ("improper Join").
+fn rule1_violated(asg: &ViewAsg, schema: &DatabaseSchema, c: AsgNodeId) -> bool {
+    let node = asg.node(c);
+    let cr = asg.cr(c);
+    let parent = asg.internal_ancestor(c);
+    let parent_is_root = parent.is_none_or(|p| asg.node(p).kind == AsgNodeKind::Root);
+
+    let unique = |rel: &str, col: &str| {
+        schema.table(rel).is_some_and(|t| t.is_unique_identifier(col))
+    };
+
+    // (a) correlation to the parent scope.
+    if !parent_is_root {
+        if cr.is_empty() {
+            // Re-iterating relations already in scope duplicates content.
+            return true;
+        }
+        let parent_ucb = &asg.node(parent.expect("non-root parent")).ucbinding;
+        let in_cr = |t: &str| cr.iter().any(|r| r.eq_ignore_ascii_case(t));
+        let in_parent = |t: &str| parent_ucb.iter().any(|r| r.eq_ignore_ascii_case(t));
+        let proper = node.conditions.iter().any(|jc| {
+            (in_cr(&jc.left.table)
+                && in_parent(&jc.right.table)
+                && unique(&jc.right.table, &jc.right.column))
+                || (in_cr(&jc.right.table)
+                    && in_parent(&jc.left.table)
+                    && unique(&jc.left.table, &jc.left.column))
+        });
+        if !proper {
+            return true;
+        }
+    }
+
+    // (b) non-driving relations must join through their unique identifier.
+    let driving = node.bindings.first().map(|(_, t)| t.clone());
+    for r in &cr {
+        if driving.as_deref().is_some_and(|d| d.eq_ignore_ascii_case(r)) {
+            continue;
+        }
+        let ok = node.conditions.iter().any(|jc| {
+            (jc.left.table.eq_ignore_ascii_case(r) && unique(r, &jc.left.column))
+                || (jc.right.table.eq_ignore_ascii_case(r) && unique(r, &jc.right.column))
+        });
+        if !ok {
+            return true;
+        }
+    }
+    false
+}
+
+/// Verdict of the STAR checking procedure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StarVerdict {
+    Untranslatable(String),
+    /// Translatable, with the conditions (empty = unconditional).
+    Ok(Vec<Condition>),
+}
+
+/// The STAR checking procedure (Observations 1 and 2): constant-time lookup
+/// of the target node's `(UPoint | UContext)` mark.
+pub fn check(
+    asg: &ViewAsg,
+    marking: &StarMarking,
+    action: &ResolvedAction,
+    mode: StarMode,
+) -> StarVerdict {
+    let node = asg.node(action.node);
+    match node.kind {
+        // "Deleting the root node vR is always translatable. Similarly any
+        // valid update of a vL node will be translatable." (§5)
+        AsgNodeKind::Root => StarVerdict::Ok(Vec::new()),
+        AsgNodeKind::Leaf | AsgNodeKind::Tag => {
+            // One exception the vC treatment implies: deleting a value that
+            // a view non-correlation predicate ranges over (SET NULL makes
+            // the predicate unknown) silently drops the enclosing element —
+            // a view side effect.
+            if matches!(action.kind, UpdateKind::Delete | UpdateKind::Replace) {
+                if let Some(leaf) = crate::target::find_leaf(asg, action.node) {
+                    let mut cur = Some(action.node);
+                    while let Some(c) = cur {
+                        let n = asg.node(c);
+                        if n.local_preds.iter().any(|p| {
+                            p.column.matches(&leaf.name.table, &leaf.name.column)
+                        }) {
+                            return StarVerdict::Untranslatable(format!(
+                                "deleting the {} value nullifies the view predicate on it; \
+                                 the enclosing element would vanish as a side effect",
+                                leaf.name
+                            ));
+                        }
+                        cur = n.parent;
+                    }
+                }
+            }
+            StarVerdict::Ok(Vec::new())
+        }
+        AsgNodeKind::Internal => {
+            let uc = node.ucontext.expect("marked");
+            let up = node.upoint.expect("marked");
+            match action.kind {
+                UpdateKind::Delete | UpdateKind::Replace => {
+                    if !uc.safe_delete {
+                        return StarVerdict::Untranslatable(format!(
+                            "deletion on unsafe-delete node <{}> (CR = {{{}}} offers no \
+                             clean extended source)",
+                            node.tag,
+                            asg.cr(action.node).join(", ")
+                        ));
+                    }
+                    match up {
+                        UPoint::Clean => StarVerdict::Ok(Vec::new()),
+                        UPoint::Dirty => {
+                            StarVerdict::Ok(vec![Condition::TranslationMinimization])
+                        }
+                    }
+                }
+                UpdateKind::Insert => {
+                    if marking.rule1.contains(&action.node) {
+                        return StarVerdict::Untranslatable(format!(
+                            "insertion on <{}>: structural duplication (Rule 1)",
+                            node.tag
+                        ));
+                    }
+                    let mut conditions = Vec::new();
+                    if !uc.safe_insert {
+                        match mode {
+                            StarMode::Strict => {
+                                return StarVerdict::Untranslatable(format!(
+                                    "insertion on unsafe-insert node <{}> (shares {{{}}} \
+                                     with an unsafe-delete node)",
+                                    node.tag,
+                                    marking
+                                        .rule3
+                                        .get(&action.node)
+                                        .map(|v| v.join(", "))
+                                        .unwrap_or_default()
+                                ));
+                            }
+                            StarMode::Refined => {
+                                conditions.push(Condition::SharedDataExistence {
+                                    relations: marking
+                                        .rule3
+                                        .get(&action.node)
+                                        .cloned()
+                                        .unwrap_or_default(),
+                                });
+                            }
+                        }
+                    }
+                    if up == UPoint::Dirty {
+                        conditions.push(Condition::DuplicationConsistency);
+                    }
+                    StarVerdict::Ok(conditions)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bookdemo;
+    use crate::target::resolve;
+    use ufilter_asg::UPoint;
+
+    fn filter() -> crate::pipeline::UFilter {
+        bookdemo::book_filter()
+    }
+
+    #[test]
+    fn fig8_marks_reproduced() {
+        let f = filter();
+        let at = |steps: &[&str]| f.asg.node(f.asg.resolve_path(steps)[0]);
+        // vC1 book: (dirty | s-d ∧ u-i)
+        let vc1 = at(&["book"]);
+        assert_eq!(vc1.upoint, Some(UPoint::Dirty));
+        assert_eq!(vc1.ucontext, Some(UContext { safe_delete: true, safe_insert: false }));
+        // vC2 publisher-under-book: (dirty | u-d ∧ u-i)
+        let vc2 = at(&["book", "publisher"]);
+        assert_eq!(vc2.upoint, Some(UPoint::Dirty));
+        assert_eq!(vc2.ucontext, Some(UContext { safe_delete: false, safe_insert: false }));
+        // vC3 review: (clean | s-d ∧ s-i)
+        let vc3 = at(&["book", "review"]);
+        assert_eq!(vc3.upoint, Some(UPoint::Clean));
+        assert_eq!(vc3.ucontext, Some(UContext { safe_delete: true, safe_insert: true }));
+        // vC4 top-level publisher: (dirty | u-d ∧ s-i)
+        let vc4 = at(&["publisher"]);
+        assert_eq!(vc4.upoint, Some(UPoint::Dirty));
+        assert_eq!(vc4.ucontext, Some(UContext { safe_delete: false, safe_insert: true }));
+    }
+
+    #[test]
+    fn delete_anchors_recorded_for_safe_nodes() {
+        let f = filter();
+        let vc1 = f.asg.resolve_path(&["book"])[0];
+        let vc3 = f.asg.resolve_path(&["book", "review"])[0];
+        // The clean extended source of a book delete is the book relation
+        // (extend(book) = {book, review} misses vC4's {publisher}).
+        assert_eq!(f.marking.delete_anchor.get(&vc1).map(String::as_str), Some("book"));
+        assert_eq!(f.marking.delete_anchor.get(&vc3).map(String::as_str), Some("review"));
+        // Unsafe nodes have no anchor.
+        let vc2 = f.asg.resolve_path(&["book", "publisher"])[0];
+        assert!(!f.marking.delete_anchor.contains_key(&vc2));
+    }
+
+    #[test]
+    fn rule3_provenance_names_the_shared_relation() {
+        let f = filter();
+        let vc1 = f.asg.resolve_path(&["book"])[0];
+        assert_eq!(f.marking.rule3.get(&vc1), Some(&vec!["publisher".to_string()]));
+        let vc2 = f.asg.resolve_path(&["book", "publisher"])[0];
+        assert_eq!(f.marking.rule3.get(&vc2), Some(&vec!["publisher".to_string()]));
+    }
+
+    #[test]
+    fn rule1_missing_join_marks_subtree_unsafe() {
+        // Remove the review correlation: the whole review table nests under
+        // every book — the §5.1.1 "missing Join" example.
+        let view = bookdemo::BOOK_VIEW.replace("WHERE ($book/bookid = $review/bookid)\n", "");
+        let f = crate::pipeline::UFilter::compile(&view, &bookdemo::book_schema()).unwrap();
+        let vc3 = f.asg.resolve_path(&["book", "review"])[0];
+        assert!(f.marking.rule1.contains(&vc3));
+        let uc = f.asg.node(vc3).ucontext.unwrap();
+        assert!(!uc.safe_delete && !uc.safe_insert);
+    }
+
+    #[test]
+    fn rule1_improper_join_marks_subtree_unsafe() {
+        // Correlate on non-unique attributes: book.title = review.comment —
+        // the §5.1.1 "improper Join" example.
+        let view = bookdemo::BOOK_VIEW
+            .replace("($book/bookid = $review/bookid)", "($book/title = $review/comment)");
+        let f = crate::pipeline::UFilter::compile(&view, &bookdemo::book_schema()).unwrap();
+        let vc3 = f.asg.resolve_path(&["book", "review"])[0];
+        assert!(f.marking.rule1.contains(&vc3));
+    }
+
+    #[test]
+    fn strict_vs_refined_only_differ_on_rule3_inserts() {
+        let f = filter();
+        let u = ufilter_xquery::parse_update(bookdemo::U4).unwrap();
+        let actions = resolve(&f.asg, &u).unwrap();
+        let strict = check(&f.asg, &f.marking, &actions[0], StarMode::Strict);
+        let refined = check(&f.asg, &f.marking, &actions[0], StarMode::Refined);
+        assert!(matches!(strict, StarVerdict::Untranslatable(_)));
+        match refined {
+            StarVerdict::Ok(conds) => {
+                assert!(conds
+                    .iter()
+                    .any(|c| matches!(c, Condition::SharedDataExistence { .. })));
+                assert!(conds.iter().any(|c| matches!(c, Condition::DuplicationConsistency)));
+            }
+            other => panic!("refined mode must conditionally accept: {other:?}"),
+        }
+        // Deletes are identical across modes.
+        let u = ufilter_xquery::parse_update(bookdemo::U10).unwrap();
+        let actions = resolve(&f.asg, &u).unwrap();
+        for mode in [StarMode::Strict, StarMode::Refined] {
+            assert!(matches!(
+                check(&f.asg, &f.marking, &actions[0], mode),
+                StarVerdict::Untranslatable(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn value_delete_under_view_predicate_flagged() {
+        let f = filter();
+        let u = ufilter_xquery::parse_update(
+            r#"FOR $book IN document("V.xml")/book UPDATE $book { DELETE $book/price }"#,
+        )
+        .unwrap();
+        let actions = resolve(&f.asg, &u).unwrap();
+        assert!(matches!(
+            check(&f.asg, &f.marking, &actions[0], StarMode::Refined),
+            StarVerdict::Untranslatable(_)
+        ));
+    }
+
+    #[test]
+    fn checking_is_constant_time_in_practice() {
+        // §7.1: "The STAR checking procedure takes only a hash operation
+        // time." Sanity: 10k checks finish far under a second.
+        let f = filter();
+        let u = ufilter_xquery::parse_update(bookdemo::U8).unwrap();
+        let actions = resolve(&f.asg, &u).unwrap();
+        let t = std::time::Instant::now();
+        for _ in 0..10_000 {
+            let _ = check(&f.asg, &f.marking, &actions[0], StarMode::Refined);
+        }
+        assert!(t.elapsed().as_millis() < 500);
+    }
+}

@@ -1,0 +1,335 @@
+//! Resolving an update statement against the view ASG: which schema node is
+//! being inserted into / deleted, and what the update's predicates mean in
+//! relational terms.
+
+use std::collections::HashMap;
+
+use ufilter_asg::{AsgNodeId, AsgNodeKind, ViewAsg};
+use ufilter_rdb::{CmpOp, ColRef, Value};
+use ufilter_xml::Document;
+use ufilter_xquery::{Operand, UpdBinding, UpdateAction, UpdateKind, UpdateStmt};
+
+use crate::outcome::InvalidReason;
+
+/// One resolvable action of an update statement, tied to ASG nodes.
+#[derive(Debug, Clone)]
+pub struct ResolvedAction {
+    pub kind: UpdateKind,
+    /// The ASG node the action creates or removes instances of.
+    pub node: AsgNodeId,
+    /// The node bound by `UPDATE $var` — the context element.
+    pub context_node: AsgNodeId,
+    /// Update WHERE predicates, relation-qualified and typed.
+    pub predicates: Vec<(ColRef, CmpOp, Value)>,
+    /// Fragment for inserts/replacements.
+    pub fragment: Option<Document>,
+}
+
+/// Resolve every action of `u` against the ASG. Returns per-action
+/// resolutions, or the Step-1 invalidity that prevented resolution.
+pub fn resolve(asg: &ViewAsg, u: &UpdateStmt) -> Result<Vec<ResolvedAction>, InvalidReason> {
+    // Bind each variable to an ASG node by walking tag paths.
+    let mut var_nodes: HashMap<String, AsgNodeId> = HashMap::new();
+    for b in &u.bindings {
+        let node = match b {
+            UpdBinding::Document { var, steps, .. } => {
+                let steps: Vec<&str> = steps.iter().map(String::as_str).collect();
+                let node = resolve_steps(asg, asg.root(), &steps, var)?;
+                var_nodes.insert(var.clone(), node);
+                node
+            }
+            UpdBinding::Path { var, path } => {
+                let base = *var_nodes.get(&path.var).ok_or_else(|| {
+                    InvalidReason::Malformed { detail: format!("unbound variable ${}", path.var) }
+                })?;
+                let steps: Vec<&str> = path.steps.iter().map(String::as_str).collect();
+                let node = resolve_steps(asg, base, &steps, var)?;
+                var_nodes.insert(var.clone(), node);
+                node
+            }
+        };
+        let _ = node;
+    }
+
+    // Translate WHERE predicates to relational atoms through leaf names.
+    let mut predicates = Vec::new();
+    for p in &u.predicates {
+        let (path, op, value) = match (&p.lhs, &p.rhs) {
+            (Operand::Path(path), Operand::Literal(v)) => (path, p.op, v.clone()),
+            (Operand::Literal(v), Operand::Path(path)) => (path, p.op.flip(), v.clone()),
+            _ => {
+                return Err(InvalidReason::Malformed {
+                    detail: format!("unsupported update predicate: {p}"),
+                })
+            }
+        };
+        let base = *var_nodes.get(&path.var).ok_or_else(|| InvalidReason::Malformed {
+            detail: format!("unbound variable ${} in predicate", path.var),
+        })?;
+        let steps: Vec<&str> = path.element_steps().iter().map(String::as_str).collect();
+        let node = resolve_steps(asg, base, &steps, &path.var)?;
+        // The node should be a tag wrapping a leaf (or the leaf itself).
+        let leaf = find_leaf(asg, node).ok_or_else(|| InvalidReason::UnknownTarget {
+            detail: format!("predicate path {path} does not reach a value"),
+        })?;
+        // Type the literal according to the leaf's declared type.
+        let typed = match &value {
+            Value::Str(s) => Value::parse_as(s, leaf.ty).unwrap_or(value.clone()),
+            other => other.clone().coerce(leaf.ty),
+        };
+        predicates.push((leaf.name.clone(), op, typed));
+    }
+
+    let context_node = *var_nodes.get(&u.target).ok_or_else(|| InvalidReason::Malformed {
+        detail: format!("UPDATE target ${} is unbound", u.target),
+    })?;
+
+    let mut out = Vec::new();
+    for action in &u.actions {
+        match action {
+            UpdateAction::Insert(frag) => {
+                let tag = frag.name(frag.root()).unwrap_or("").to_string();
+                let node = child_named(asg, context_node, &tag).ok_or_else(|| {
+                    InvalidReason::HierarchyViolation {
+                        detail: format!(
+                            "element <{tag}> cannot occur under <{}>",
+                            asg.node(context_node).tag
+                        ),
+                    }
+                })?;
+                out.push(ResolvedAction {
+                    kind: UpdateKind::Insert,
+                    node,
+                    context_node,
+                    predicates: predicates.clone(),
+                    fragment: Some(frag.clone()),
+                });
+            }
+            UpdateAction::Delete(path) => {
+                let base = *var_nodes.get(&path.var).ok_or_else(|| InvalidReason::Malformed {
+                    detail: format!("unbound variable ${} in DELETE", path.var),
+                })?;
+                let steps: Vec<&str> = path.steps.iter().map(String::as_str).collect();
+                let node = resolve_steps(asg, base, &steps, &path.var)?;
+                out.push(ResolvedAction {
+                    kind: UpdateKind::Delete,
+                    node,
+                    context_node,
+                    predicates: predicates.clone(),
+                    fragment: None,
+                });
+            }
+            UpdateAction::Replace { target, with } => {
+                // Replace = delete the target node + insert the fragment
+                // under its parent (§4 footnote).
+                let base = *var_nodes.get(&target.var).ok_or_else(|| {
+                    InvalidReason::Malformed {
+                        detail: format!("unbound variable ${} in REPLACE", target.var),
+                    }
+                })?;
+                let steps: Vec<&str> = target.steps.iter().map(String::as_str).collect();
+                let node = resolve_steps(asg, base, &steps, &target.var)?;
+                out.push(ResolvedAction {
+                    kind: UpdateKind::Delete,
+                    node,
+                    context_node,
+                    predicates: predicates.clone(),
+                    fragment: None,
+                });
+                let parent = asg.node(node).parent.unwrap_or(asg.root());
+                let tag = with.name(with.root()).unwrap_or("").to_string();
+                let ins_node = child_named(asg, parent, &tag).ok_or_else(|| {
+                    InvalidReason::HierarchyViolation {
+                        detail: format!(
+                            "element <{tag}> cannot occur under <{}>",
+                            asg.node(parent).tag
+                        ),
+                    }
+                })?;
+                out.push(ResolvedAction {
+                    kind: UpdateKind::Insert,
+                    node: ins_node,
+                    context_node: parent,
+                    predicates: predicates.clone(),
+                    fragment: Some(with.clone()),
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn resolve_steps(
+    asg: &ViewAsg,
+    from: AsgNodeId,
+    steps: &[&str],
+    var: &str,
+) -> Result<AsgNodeId, InvalidReason> {
+    let mut cur = from;
+    for step in steps {
+        let next = if *step == "text()" {
+            asg.node(cur)
+                .children
+                .iter()
+                .copied()
+                .find(|c| asg.node(*c).kind == AsgNodeKind::Leaf)
+        } else {
+            child_named(asg, cur, step)
+        };
+        cur = next.ok_or_else(|| InvalidReason::UnknownTarget {
+            detail: format!(
+                "${var}: the view schema has no <{step}> under <{}>",
+                asg.node(cur).tag
+            ),
+        })?;
+    }
+    Ok(cur)
+}
+
+fn child_named(asg: &ViewAsg, parent: AsgNodeId, tag: &str) -> Option<AsgNodeId> {
+    asg.node(parent)
+        .children
+        .iter()
+        .copied()
+        .find(|c| asg.node(*c).tag.eq_ignore_ascii_case(tag))
+}
+
+/// The leaf info at-or-under a node (tag nodes wrap exactly one leaf).
+pub fn find_leaf(asg: &ViewAsg, id: AsgNodeId) -> Option<&ufilter_asg::LeafInfo> {
+    let n = asg.node(id);
+    if let Some(l) = &n.leaf {
+        return Some(l);
+    }
+    if n.kind == AsgNodeKind::Tag {
+        n.children.iter().find_map(|c| asg.node(*c).leaf.as_ref())
+    } else {
+        None
+    }
+}
+
+/// Strip the decorative quotes the paper's figures put around values
+/// (`<bookid>"98004"</bookid>`).
+pub fn clean_text(s: &str) -> String {
+    let t = s.trim();
+    for q in ['"', '\''] {
+        if t.len() >= 2 && t.starts_with(q) && t.ends_with(q) {
+            return t[1..t.len() - 1].trim().to_string();
+        }
+    }
+    t.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bookdemo;
+    use ufilter_rdb::CmpOp;
+
+    fn filter() -> crate::pipeline::UFilter {
+        bookdemo::book_filter()
+    }
+
+    fn resolve_text(update: &str) -> Result<Vec<ResolvedAction>, InvalidReason> {
+        let f = filter();
+        let u = ufilter_xquery::parse_update(update).unwrap();
+        resolve(&f.asg, &u)
+    }
+
+    #[test]
+    fn u2_resolves_to_publisher_under_book() {
+        let f = filter();
+        let actions = resolve_text(bookdemo::U2).unwrap();
+        assert_eq!(actions.len(), 1);
+        let a = &actions[0];
+        assert_eq!(a.kind, UpdateKind::Delete);
+        assert_eq!(f.asg.node(a.node).tag, "publisher");
+        // … the nested one, not the top-level list.
+        assert_eq!(f.asg.node(f.asg.node(a.node).parent.unwrap()).tag, "book");
+        // Context = UPDATE $root → the view root.
+        assert_eq!(a.context_node, f.asg.root());
+    }
+
+    #[test]
+    fn predicates_become_typed_relational_atoms() {
+        let actions = resolve_text(bookdemo::U8).unwrap();
+        let preds = &actions[0].predicates;
+        assert_eq!(preds.len(), 1);
+        let (col, op, v) = &preds[0];
+        assert!(col.matches("book", "price"));
+        assert_eq!(*op, CmpOp::Lt);
+        // Literal typed against the leaf's Double type.
+        assert_eq!(*v, Value::Double(40.0));
+    }
+
+    #[test]
+    fn string_literals_coerce_to_leaf_types() {
+        // bookid is a string column: "98001" stays a string.
+        let actions = resolve_text(bookdemo::U2).unwrap();
+        let (col, _, v) = &actions[0].predicates[0];
+        assert!(col.matches("book", "bookid"));
+        assert_eq!(*v, Value::str("98001"));
+    }
+
+    #[test]
+    fn unknown_path_is_invalid_target() {
+        let err = resolve_text(
+            r#"FOR $b IN document("V.xml")/book UPDATE $b { DELETE $b/isbn }"#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, InvalidReason::UnknownTarget { .. }), "{err}");
+    }
+
+    #[test]
+    fn unknown_fragment_tag_is_hierarchy_violation() {
+        let err = resolve_text(
+            r#"FOR $b IN document("V.xml")/book UPDATE $b { INSERT <isbn>1</isbn> }"#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, InvalidReason::HierarchyViolation { .. }), "{err}");
+    }
+
+    #[test]
+    fn unbound_variable_is_malformed() {
+        let err = resolve_text(
+            r#"FOR $b IN document("V.xml")/book UPDATE $b { DELETE $zzz/review }"#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, InvalidReason::Malformed { .. }), "{err}");
+    }
+
+    #[test]
+    fn replace_splits_into_delete_then_insert() {
+        let actions = resolve_text(
+            r#"FOR $b IN document("V.xml")/book, $r IN $b/review
+               UPDATE $b { REPLACE $r WITH <review><reviewid>9</reviewid></review> }"#,
+        )
+        .unwrap();
+        assert_eq!(actions.len(), 2);
+        assert_eq!(actions[0].kind, UpdateKind::Delete);
+        assert_eq!(actions[1].kind, UpdateKind::Insert);
+        // Insert context = the deleted node's parent (the book).
+        let f = filter();
+        assert_eq!(f.asg.node(actions[1].context_node).tag, "book");
+    }
+
+    #[test]
+    fn clean_text_strips_paper_style_quotes() {
+        assert_eq!(clean_text("\"98004\""), "98004");
+        assert_eq!(clean_text("' Operating Systems '"), "Operating Systems");
+        assert_eq!(clean_text("  plain  "), "plain");
+        assert_eq!(clean_text("\"unbalanced'"), "\"unbalanced'");
+    }
+
+    #[test]
+    fn ambiguous_publisher_paths_resolve_by_position() {
+        // document("V")/publisher → the top-level list, not the nested one.
+        let f = filter();
+        let actions = resolve_text(
+            r#"FOR $p IN document("V.xml")/publisher UPDATE $p { DELETE $p }"#,
+        )
+        .unwrap();
+        let node = f.asg.node(actions[0].node);
+        assert_eq!(node.tag, "publisher");
+        assert_eq!(node.parent, Some(f.asg.root()));
+    }
+}

@@ -1,0 +1,280 @@
+//! The thirteen updates of Figs. 4 and 10 must classify exactly as the
+//! paper says, and every accepted update must satisfy Definition 1's
+//! rectangle rule after translation.
+
+use ufilter_core::bookdemo::{self, all_updates};
+use ufilter_core::{
+    apply_and_verify, CheckOutcome, CheckStep, Condition, RectangleVerdict, StarMode, Strategy,
+    UFilter, UFilterConfig,
+};
+
+fn check(update: &str) -> CheckOutcome {
+    let filter = bookdemo::book_filter();
+    let mut db = bookdemo::book_db();
+    let reports = filter.check(update, &mut db);
+    assert_eq!(reports.len(), 1, "single-action update");
+    reports.into_iter().next().unwrap().outcome
+}
+
+#[test]
+fn u1_invalid_check_and_not_null() {
+    // Example 1: empty title (NOT NULL) and price 0.00 (CHECK).
+    let out = check(bookdemo::U1);
+    assert!(out.is_invalid(), "u1 must be invalid, got: {out}");
+}
+
+#[test]
+fn u2_valid_but_untranslatable_at_star() {
+    // Example 2: deleting a publisher under a book → view side effect.
+    let out = check(bookdemo::U2);
+    match out {
+        CheckOutcome::Untranslatable { step, .. } => assert_eq!(step, CheckStep::Star),
+        other => panic!("u2 must be untranslatable at Step 2, got: {other}"),
+    }
+}
+
+#[test]
+fn u3_untranslatable_at_context_check() {
+    // Example 3: the book "DB2 Universal Database" is not in the view.
+    let out = check(bookdemo::U3);
+    match out {
+        CheckOutcome::Untranslatable { step, .. } => assert_eq!(step, CheckStep::DataContext),
+        other => panic!("u3 must fail the context check, got: {other}"),
+    }
+}
+
+#[test]
+fn u4_untranslatable_at_point_check_refined() {
+    // Example 3 / §6.2: book key (98001) already exists.
+    let out = check(bookdemo::U4);
+    match out {
+        CheckOutcome::Untranslatable { step, reason } => {
+            assert_eq!(step, CheckStep::DataPoint, "u4 dies at the point check: {reason}");
+        }
+        other => panic!("u4 must be untranslatable, got: {other}"),
+    }
+}
+
+#[test]
+fn u4_untranslatable_at_star_in_strict_mode() {
+    // Observation 2 taken literally: vC1 is unsafe-insert.
+    let filter = bookdemo::book_filter()
+        .with_config(UFilterConfig { mode: StarMode::Strict, strategy: Strategy::Outside });
+    let mut db = bookdemo::book_db();
+    let out = filter.check(bookdemo::U4, &mut db).remove(0).outcome;
+    match out {
+        CheckOutcome::Untranslatable { step, .. } => assert_eq!(step, CheckStep::Star),
+        other => panic!("strict mode: u4 must die at Step 2, got: {other}"),
+    }
+}
+
+#[test]
+fn u5_invalid_predicate_outside_view() {
+    // price > 50 against a price < 50 view.
+    let out = check(bookdemo::U5);
+    match &out {
+        CheckOutcome::Invalid(r) => {
+            assert!(r.to_string().contains("predicate"), "{r}");
+        }
+        other => panic!("u5 must be invalid, got: {other}"),
+    }
+}
+
+#[test]
+fn u6_invalid_non_deletable_leaf() {
+    let out = check(bookdemo::U6);
+    match &out {
+        CheckOutcome::Invalid(r) => assert!(r.to_string().contains("deletable"), "{r}"),
+        other => panic!("u6 must be invalid, got: {other}"),
+    }
+}
+
+#[test]
+fn u7_invalid_missing_publisher() {
+    let out = check(bookdemo::U7);
+    match &out {
+        CheckOutcome::Invalid(r) => {
+            assert!(r.to_string().contains("publisher"), "{r}");
+        }
+        other => panic!("u7 must be invalid, got: {other}"),
+    }
+}
+
+#[test]
+fn u8_unconditionally_translatable() {
+    let out = check(bookdemo::U8);
+    match &out {
+        CheckOutcome::Translatable { conditions, translation } => {
+            assert!(conditions.is_empty(), "u8 is unconditional, got {conditions:?}");
+            assert!(!translation.is_empty());
+            // The correct translation deletes from review.
+            assert!(translation[0].to_string().starts_with("DELETE FROM review"));
+        }
+        other => panic!("u8 must be unconditionally translatable, got: {other}"),
+    }
+}
+
+#[test]
+fn u9_conditionally_translatable_minimization() {
+    let out = check(bookdemo::U9);
+    match &out {
+        CheckOutcome::Translatable { conditions, translation } => {
+            assert_eq!(conditions, &vec![Condition::TranslationMinimization]);
+            // Anchor delete on book; the shared publisher is retained.
+            assert!(translation.iter().any(|s| s.to_string().starts_with("DELETE FROM book")));
+            assert!(!translation.iter().any(|s| s.to_string().contains("DELETE FROM publisher")));
+        }
+        other => panic!("u9 must be conditionally translatable, got: {other}"),
+    }
+}
+
+#[test]
+fn u10_untranslatable_unsafe_delete() {
+    let out = check(bookdemo::U10);
+    match out {
+        CheckOutcome::Untranslatable { step, reason } => {
+            assert_eq!(step, CheckStep::Star);
+            assert!(reason.contains("unsafe-delete"), "{reason}");
+        }
+        other => panic!("u10 must be untranslatable, got: {other}"),
+    }
+}
+
+#[test]
+fn u11_untranslatable_context_missing() {
+    // "Programming in Unix" fails year > 1990: not in the view.
+    let out = check(bookdemo::U11);
+    match out {
+        CheckOutcome::Untranslatable { step, .. } => assert_eq!(step, CheckStep::DataContext),
+        other => panic!("u11 must fail the context check, got: {other}"),
+    }
+}
+
+#[test]
+fn u12_translatable_zero_effect() {
+    // "Data on the Web" is in the view but has no reviews: the update is
+    // accepted and the translation touches nothing.
+    let out = check(bookdemo::U12);
+    match &out {
+        CheckOutcome::Translatable { conditions, .. } => {
+            assert!(conditions.is_empty());
+        }
+        other => panic!("u12 must be translatable, got: {other}"),
+    }
+}
+
+#[test]
+fn u13_translatable_insert_uses_probe_bookid() {
+    let out = check(bookdemo::U13);
+    match &out {
+        CheckOutcome::Translatable { translation, .. } => {
+            let sql: Vec<String> = translation.iter().map(|s| s.to_string()).collect();
+            // §6.1's U1: INSERT INTO review VALUES "98003", "001", …
+            assert!(
+                sql.iter().any(|s| s.starts_with("INSERT INTO review") && s.contains("'98003'")),
+                "translated SQL: {sql:?}"
+            );
+        }
+        other => panic!("u13 must be translatable, got: {other}"),
+    }
+}
+
+#[test]
+fn full_taxonomy_matches_paper() {
+    // One table-driven pass over all thirteen updates (paper labels).
+    let expected: Vec<(&str, &str)> = vec![
+        ("u1", "invalid"),
+        ("u2", "untranslatable"),
+        ("u3", "untranslatable"),
+        ("u4", "untranslatable"),
+        ("u5", "invalid"),
+        ("u6", "invalid"),
+        ("u7", "invalid"),
+        ("u8", "unconditionally translatable"),
+        ("u9", "conditionally translatable"),
+        ("u10", "untranslatable"),
+        ("u11", "untranslatable"),
+        ("u12", "unconditionally translatable"),
+        ("u13", "unconditionally translatable"),
+    ];
+    for ((name, update), (ename, elabel)) in all_updates().into_iter().zip(expected) {
+        assert_eq!(name, ename);
+        let out = check(update);
+        assert_eq!(out.label(), elabel, "{name} classified as {out}");
+    }
+}
+
+#[test]
+fn rectangle_rule_holds_for_all_accepted_updates() {
+    // Definition 1: for every update U-Filter lets through, applying the
+    // translation and re-materializing must equal applying the update to
+    // the materialized view.
+    let filter = bookdemo::book_filter();
+    for (name, update) in all_updates() {
+        let mut db = bookdemo::book_db();
+        let (accepted, verdict) = apply_and_verify(&filter, update, &mut db).unwrap();
+        if accepted {
+            assert_eq!(
+                verdict,
+                Some(RectangleVerdict::Holds),
+                "{name}: accepted translation must satisfy the rectangle rule"
+            );
+        }
+    }
+}
+
+#[test]
+fn rejected_updates_leave_database_unchanged() {
+    let filter = bookdemo::book_filter();
+    for (name, update) in all_updates() {
+        let mut db = bookdemo::book_db();
+        let before = db.dump();
+        let reports = filter.check(update, &mut db);
+        if !reports[0].outcome.is_translatable() {
+            // Drop probe materializations before comparing.
+            for t in ["TAB_book", "TAB_publisher", "TAB_review", "TAB_BookView"] {
+                let _ = db.drop_table(t);
+            }
+            assert_eq!(db.dump(), before, "{name}: rejected update must not mutate");
+        }
+    }
+}
+
+#[test]
+fn strategies_agree_on_acceptance() {
+    // Hybrid and outside must accept/reject the same updates (they differ
+    // in cost and failure style, not in semantics).
+    for (name, update) in all_updates() {
+        let mut labels = Vec::new();
+        for strategy in [Strategy::Outside, Strategy::Hybrid] {
+            let filter = bookdemo::book_filter()
+                .with_config(UFilterConfig { mode: StarMode::Refined, strategy });
+            let mut db = bookdemo::book_db();
+            let out = filter.apply(update, &mut db).remove(0).outcome;
+            labels.push(out.is_translatable());
+        }
+        assert_eq!(labels[0], labels[1], "{name}: strategies disagree");
+    }
+}
+
+#[test]
+fn schema_only_check_needs_no_database() {
+    let filter = bookdemo::book_filter();
+    // u10 dies at Step 2 — no data needed.
+    let out = filter.check_schema(bookdemo::U10).remove(0).outcome;
+    assert!(matches!(out, CheckOutcome::Untranslatable { step: CheckStep::Star, .. }));
+    // u8 passes both schema steps.
+    let out = filter.check_schema(bookdemo::U8).remove(0).outcome;
+    assert!(out.is_translatable());
+}
+
+#[test]
+fn compile_rejects_unsupported_views() {
+    let err = UFilter::compile(
+        "<V> FOR $b IN document(\"d\")/book/row RETURN { count($b/price) } </V>",
+        &bookdemo::book_schema(),
+    )
+    .err()
+    .expect("aggregates are outside the subset");
+    assert!(err.to_string().contains("count"));
+}

@@ -1,0 +1,139 @@
+//! The §7.2 evaluation views behave as the paper claims: every internal
+//! node of Vsuccess is unconditionally updatable, Vfail's nested region is
+//! untranslatable, Vbush passes Rule 1, and accepted updates satisfy the
+//! rectangle rule on generated data.
+
+use ufilter_core::{
+    apply_and_verify, blind_apply, CheckOutcome, CheckStep, RectangleVerdict, UFilter,
+};
+use ufilter_rdb::DeletePolicy;
+use ufilter_tpch::{generate, tpch_schema, updates, Scale, V_BUSH, V_FAIL, V_SUCCESS};
+
+fn filter_for(view: &str) -> UFilter {
+    UFilter::compile(view, &tpch_schema(DeletePolicy::Cascade)).expect("view compiles")
+}
+
+#[test]
+fn vsuccess_every_internal_node_clean_and_safe() {
+    let f = filter_for(V_SUCCESS);
+    for n in f.asg.internal_nodes() {
+        let uc = n.ucontext.expect("marked");
+        let up = n.upoint.expect("marked");
+        assert!(uc.safe_delete && uc.safe_insert, "<{}> must be safe, got {uc}", n.tag);
+        assert_eq!(up, ufilter_asg::UPoint::Clean, "<{}> must be clean", n.tag);
+    }
+}
+
+#[test]
+fn vsuccess_deletes_all_levels_translatable_and_correct() {
+    let f = filter_for(V_SUCCESS);
+    let cases: Vec<(&str, String)> = vec![
+        ("region", updates::delete_region(2)),
+        ("nation", updates::delete_nation(7)),
+        ("customer", updates::delete_customer(3)),
+        ("order", updates::delete_order(5)),
+        ("lineitem", updates::delete_lineitems_of_order(5)),
+    ];
+    for (level, update) in cases {
+        let mut db = generate(Scale::tiny(), 11, DeletePolicy::Cascade);
+        let (accepted, verdict) = apply_and_verify(&f, &update, &mut db).unwrap();
+        assert!(accepted, "{level} delete must be accepted");
+        assert_eq!(verdict, Some(RectangleVerdict::Holds), "{level} delete side-effect-free");
+    }
+}
+
+#[test]
+fn vfail_nested_region_marked_unsafe_delete() {
+    let f = filter_for(V_FAIL);
+    let region = f.asg.resolve_path(&["region"])[0];
+    let uc = f.asg.node(region).ucontext.expect("marked");
+    assert!(!uc.safe_delete, "nested <region> must be unsafe-delete");
+    // The republished list itself is also unsafe-delete (same relation).
+    let list = f.asg.resolve_path(&["regionlist"])[0];
+    assert!(!f.asg.node(list).ucontext.unwrap().safe_delete);
+}
+
+#[test]
+fn vfail_delete_rejected_at_star_in_constant_time() {
+    let f = filter_for(V_FAIL);
+    let out = f.check_schema(&updates::fail_delete_region(1)).remove(0).outcome;
+    match out {
+        CheckOutcome::Untranslatable { step, .. } => assert_eq!(step, CheckStep::Star),
+        other => panic!("Vfail region delete must die at STAR, got {other}"),
+    }
+}
+
+#[test]
+fn vfail_blind_baseline_detects_side_effect_and_rolls_back() {
+    // The Fig. 14 baseline: execute blindly, compare views, roll back.
+    let f = filter_for(V_FAIL);
+    let mut db = generate(Scale::tiny(), 13, DeletePolicy::Cascade);
+    let before = db.dump();
+    let out = blind_apply(&f, &updates::fail_delete_region(1), &mut db).unwrap();
+    assert!(out.rolled_back, "the blind delete must be detected as a side effect");
+    assert_eq!(db.dump(), before, "rollback must restore the database");
+}
+
+#[test]
+fn vsuccess_blind_baseline_commits_clean_updates() {
+    let f = filter_for(V_SUCCESS);
+    let mut db = generate(Scale::tiny(), 13, DeletePolicy::Cascade);
+    let out = blind_apply(&f, &updates::delete_lineitems_of_order(4), &mut db).unwrap();
+    assert!(!out.rolled_back);
+}
+
+#[test]
+fn vbush_compiles_with_safe_marks() {
+    let f = filter_for(V_BUSH);
+    // Rule 1 must NOT fire: extensions join through unique keys.
+    for n in f.asg.internal_nodes() {
+        let uc = n.ucontext.expect("marked");
+        assert!(uc.safe_delete, "<{}> must be safe-delete in Vbush, got {uc}", n.tag);
+    }
+}
+
+#[test]
+fn vbush_lineitem_delete_round_trips() {
+    let f = filter_for(V_BUSH);
+    let mut db = generate(Scale::tiny(), 17, DeletePolicy::Cascade);
+    let (accepted, verdict) =
+        apply_and_verify(&f, &updates::bush_delete_lineitems(6), &mut db).unwrap();
+    assert!(accepted);
+    assert_eq!(verdict, Some(RectangleVerdict::Holds));
+}
+
+#[test]
+fn vlinear_insert_lineitem_round_trips() {
+    // Fig. 15's workload: insert a new lineitem into an order.
+    let f = filter_for(V_SUCCESS);
+    let mut db = generate(Scale::tiny(), 19, DeletePolicy::Cascade);
+    let before = db.row_count("lineitem");
+    let (accepted, verdict) =
+        apply_and_verify(&f, &updates::insert_lineitem(3, 99), &mut db).unwrap();
+    assert!(accepted, "lineitem insert must be accepted");
+    assert_eq!(verdict, Some(RectangleVerdict::Holds));
+    assert_eq!(db.row_count("lineitem"), before + 1);
+}
+
+#[test]
+fn duplicate_lineitem_insert_rejected_at_point_check() {
+    let f = filter_for(V_SUCCESS);
+    let mut db = generate(Scale::tiny(), 19, DeletePolicy::Cascade);
+    // linenumber 1 of order 3 exists by construction.
+    let out = f.check(&updates::insert_lineitem(3, 1), &mut db).remove(0).outcome;
+    match out {
+        CheckOutcome::Untranslatable { step, .. } => assert_eq!(step, CheckStep::DataPoint),
+        other => panic!("duplicate key insert must die at the point check, got {other}"),
+    }
+}
+
+#[test]
+fn missing_order_context_rejected() {
+    let f = filter_for(V_SUCCESS);
+    let mut db = generate(Scale::tiny(), 19, DeletePolicy::Cascade);
+    let out = f.check(&updates::insert_lineitem(999_999, 1), &mut db).remove(0).outcome;
+    match out {
+        CheckOutcome::Untranslatable { step, .. } => assert_eq!(step, CheckStep::DataContext),
+        other => panic!("absent order must die at the context check, got {other}"),
+    }
+}

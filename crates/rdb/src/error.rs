@@ -1,0 +1,101 @@
+//! Error and warning types surfaced by the engine.
+//!
+//! U-Filter's *hybrid* strategy (§6.2.2) deliberately leans on the engine's
+//! error/warning channel: a key conflict aborts the translated update batch,
+//! and a delete touching zero tuples raises a warning. Both are modelled here.
+
+use std::fmt;
+
+/// Engine errors. Constraint violations carry enough structure for the
+/// hybrid strategy to classify the failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RdbError {
+    /// Table or view not found.
+    NoSuchTable(String),
+    /// Column not found in the named table.
+    NoSuchColumn { table: String, column: String },
+    /// Value does not conform to the declared column type.
+    TypeMismatch { table: String, column: String, expected: String, got: String },
+    /// NOT NULL column received NULL.
+    NotNullViolation { table: String, column: String },
+    /// Primary key or UNIQUE constraint violated.
+    UniqueViolation { table: String, constraint: String, key: String },
+    /// CHECK constraint evaluated to false.
+    CheckViolation { table: String, constraint: String },
+    /// Foreign key: referenced row missing on insert/update.
+    ForeignKeyMissing { table: String, constraint: String, key: String },
+    /// Foreign key: RESTRICT policy blocked a delete of a referenced row.
+    ForeignKeyRestrict { table: String, constraint: String, key: String },
+    /// SQL text failed to lex/parse.
+    Parse(String),
+    /// Statement is well-formed but cannot be executed (semantic error).
+    Semantic(String),
+    /// View is not updatable in the requested way (internal strategy, §6.2.1).
+    ViewNotUpdatable(String),
+    /// No active transaction for COMMIT/ROLLBACK.
+    NoTransaction,
+    /// Column count mismatch on INSERT.
+    Arity { table: String, expected: usize, got: usize },
+}
+
+impl fmt::Display for RdbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdbError::NoSuchTable(t) => write!(f, "no such table or view: {t}"),
+            RdbError::NoSuchColumn { table, column } => {
+                write!(f, "no such column: {table}.{column}")
+            }
+            RdbError::TypeMismatch { table, column, expected, got } => write!(
+                f,
+                "type mismatch on {table}.{column}: expected {expected}, got {got}"
+            ),
+            RdbError::NotNullViolation { table, column } => {
+                write!(f, "NOT NULL violation on {table}.{column}")
+            }
+            RdbError::UniqueViolation { table, constraint, key } => {
+                write!(f, "unique constraint {constraint} on {table} violated by key {key}")
+            }
+            RdbError::CheckViolation { table, constraint } => {
+                write!(f, "check constraint {constraint} on {table} violated")
+            }
+            RdbError::ForeignKeyMissing { table, constraint, key } => write!(
+                f,
+                "foreign key {constraint} on {table}: referenced key {key} does not exist"
+            ),
+            RdbError::ForeignKeyRestrict { table, constraint, key } => write!(
+                f,
+                "foreign key {constraint}: delete of {table} key {key} blocked by RESTRICT"
+            ),
+            RdbError::Parse(m) => write!(f, "SQL parse error: {m}"),
+            RdbError::Semantic(m) => write!(f, "semantic error: {m}"),
+            RdbError::ViewNotUpdatable(m) => write!(f, "view not updatable: {m}"),
+            RdbError::NoTransaction => f.write_str("no active transaction"),
+            RdbError::Arity { table, expected, got } => {
+                write!(f, "INSERT into {table}: expected {expected} values, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RdbError {}
+
+/// Non-fatal conditions reported alongside a successful statement,
+/// mirroring the "zero tuples deleted" warning of §6.2.2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Warning {
+    /// A DELETE matched no rows.
+    ZeroRowsDeleted { table: String },
+    /// An UPDATE matched no rows.
+    ZeroRowsUpdated { table: String },
+}
+
+impl fmt::Display for Warning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Warning::ZeroRowsDeleted { table } => write!(f, "0 tuples deleted from {table}"),
+            Warning::ZeroRowsUpdated { table } => write!(f, "0 tuples updated in {table}"),
+        }
+    }
+}
+
+pub type Result<T> = std::result::Result<T, RdbError>;

@@ -1,0 +1,487 @@
+//! Scalar expressions: the predicate language shared by SQL `WHERE` clauses,
+//! CHECK constraints, view-query predicates, and probe queries.
+//!
+//! The paper's predicates have the shape `a θ b` with
+//! `θ ∈ {=, ≠, <, ≤, >, ≥}` where `b` is a literal (*non-correlation
+//! predicate*) or another attribute (*correlation predicate*) — §3.1. The
+//! expression type here is a superset: conjunction, disjunction, negation,
+//! `IS NULL`, and `IN (subquery)` (needed by the translated updates of
+//! §6.2.2, e.g. `U3`).
+
+use std::fmt;
+
+use crate::error::{RdbError, Result};
+use crate::types::Value;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    pub fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A qualified column reference `table.column`.
+///
+/// Within CHECK constraints the `table` qualifier names the owning relation;
+/// in query plans it names the range variable's relation (or alias).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColRef {
+    pub table: String,
+    pub column: String,
+}
+
+impl ColRef {
+    pub fn new(table: impl Into<String>, column: impl Into<String>) -> ColRef {
+        ColRef { table: table.into(), column: column.into() }
+    }
+
+    pub fn matches(&self, table: &str, column: &str) -> bool {
+        self.table.eq_ignore_ascii_case(table) && self.column.eq_ignore_ascii_case(column)
+    }
+}
+
+impl fmt::Display for ColRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.table.is_empty() {
+            f.write_str(&self.column)
+        } else {
+            write!(f, "{}.{}", self.table, self.column)
+        }
+    }
+}
+
+/// Scalar expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Literal(Value),
+    Column(ColRef),
+    Cmp { op: CmpOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    And(Vec<Expr>),
+    Or(Vec<Expr>),
+    Not(Box<Expr>),
+    IsNull { expr: Box<Expr>, negated: bool },
+    /// `expr IN (v1, v2, …)` — subqueries are pre-evaluated into this form
+    /// by the executor before row-at-a-time evaluation.
+    InSet { expr: Box<Expr>, set: Vec<Value>, negated: bool },
+    /// `expr IN (SELECT …)`, as in the translated update `U3` of §6.2.2.
+    /// The executor resolves this into [`Expr::InSet`] before evaluation.
+    InSubquery { expr: Box<Expr>, query: Box<crate::sql::ast::Select>, negated: bool },
+}
+
+impl Expr {
+    pub fn lit(v: Value) -> Expr {
+        Expr::Literal(v)
+    }
+
+    pub fn col(table: impl Into<String>, column: impl Into<String>) -> Expr {
+        Expr::Column(ColRef::new(table, column))
+    }
+
+    pub fn cmp(op: CmpOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Cmp { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+    }
+
+    pub fn eq(l: Expr, r: Expr) -> Expr {
+        Expr::cmp(CmpOp::Eq, l, r)
+    }
+
+    pub fn ne(l: Expr, r: Expr) -> Expr {
+        Expr::cmp(CmpOp::Ne, l, r)
+    }
+
+    pub fn lt(l: Expr, r: Expr) -> Expr {
+        Expr::cmp(CmpOp::Lt, l, r)
+    }
+
+    pub fn le(l: Expr, r: Expr) -> Expr {
+        Expr::cmp(CmpOp::Le, l, r)
+    }
+
+    pub fn gt(l: Expr, r: Expr) -> Expr {
+        Expr::cmp(CmpOp::Gt, l, r)
+    }
+
+    pub fn ge(l: Expr, r: Expr) -> Expr {
+        Expr::cmp(CmpOp::Ge, l, r)
+    }
+
+    /// Conjunction that flattens nested `And`s and drops trivial `TRUE`s.
+    pub fn and(parts: impl IntoIterator<Item = Expr>) -> Expr {
+        let mut out = Vec::new();
+        for p in parts {
+            match p {
+                Expr::And(inner) => out.extend(inner),
+                Expr::Literal(Value::Bool(true)) => {}
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Expr::Literal(Value::Bool(true)),
+            1 => out.pop().unwrap(),
+            _ => Expr::And(out),
+        }
+    }
+
+    /// All column references occurring in the expression.
+    pub fn columns(&self) -> Vec<&ColRef> {
+        let mut out = Vec::new();
+        self.visit_columns(&mut |c| out.push(c));
+        out
+    }
+
+    fn visit_columns<'a>(&'a self, f: &mut impl FnMut(&'a ColRef)) {
+        match self {
+            Expr::Literal(_) => {}
+            Expr::Column(c) => f(c),
+            Expr::Cmp { lhs, rhs, .. } => {
+                lhs.visit_columns(f);
+                rhs.visit_columns(f);
+            }
+            Expr::And(es) | Expr::Or(es) => es.iter().for_each(|e| e.visit_columns(f)),
+            Expr::Not(e) => e.visit_columns(f),
+            Expr::IsNull { expr, .. } => expr.visit_columns(f),
+            Expr::InSet { expr, .. } => expr.visit_columns(f),
+            // Subquery internals reference their own scope; only the outer
+            // operand contributes columns to the enclosing query.
+            Expr::InSubquery { expr, .. } => expr.visit_columns(f),
+        }
+    }
+
+    /// Split a conjunctive expression into its conjuncts.
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        match self {
+            Expr::And(es) => es.iter().flat_map(|e| e.conjuncts()).collect(),
+            other => vec![other],
+        }
+    }
+
+    /// Rewrite every column reference with `f` (used to re-qualify CHECK
+    /// constraints onto probe-query range variables).
+    pub fn map_columns(&self, f: &impl Fn(&ColRef) -> ColRef) -> Expr {
+        match self {
+            Expr::Literal(v) => Expr::Literal(v.clone()),
+            Expr::Column(c) => Expr::Column(f(c)),
+            Expr::Cmp { op, lhs, rhs } => Expr::Cmp {
+                op: *op,
+                lhs: Box::new(lhs.map_columns(f)),
+                rhs: Box::new(rhs.map_columns(f)),
+            },
+            Expr::And(es) => Expr::And(es.iter().map(|e| e.map_columns(f)).collect()),
+            Expr::Or(es) => Expr::Or(es.iter().map(|e| e.map_columns(f)).collect()),
+            Expr::Not(e) => Expr::Not(Box::new(e.map_columns(f))),
+            Expr::IsNull { expr, negated } => Expr::IsNull {
+                expr: Box::new(expr.map_columns(f)),
+                negated: *negated,
+            },
+            Expr::InSet { expr, set, negated } => Expr::InSet {
+                expr: Box::new(expr.map_columns(f)),
+                set: set.clone(),
+                negated: *negated,
+            },
+            Expr::InSubquery { expr, query, negated } => Expr::InSubquery {
+                expr: Box::new(expr.map_columns(f)),
+                query: query.clone(),
+                negated: *negated,
+            },
+        }
+    }
+
+    /// Evaluate against a row, resolving columns through `resolve`.
+    ///
+    /// Three-valued logic: comparisons involving NULL evaluate to NULL,
+    /// which [`Expr::eval_predicate`] maps to `false`.
+    pub fn eval(&self, resolve: &dyn Fn(&ColRef) -> Result<Value>) -> Result<Value> {
+        match self {
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Column(c) => resolve(c),
+            Expr::Cmp { op, lhs, rhs } => {
+                let l = lhs.eval(resolve)?;
+                let r = rhs.eval(resolve)?;
+                Ok(match l.sql_cmp(&r) {
+                    None => Value::Null,
+                    Some(ord) => Value::Bool(op.eval(ord)),
+                })
+            }
+            Expr::And(es) => {
+                let mut saw_null = false;
+                for e in es {
+                    match e.eval(resolve)? {
+                        Value::Bool(false) => return Ok(Value::Bool(false)),
+                        Value::Bool(true) => {}
+                        Value::Null => saw_null = true,
+                        other => {
+                            return Err(RdbError::Semantic(format!(
+                                "AND operand is not boolean: {other}"
+                            )))
+                        }
+                    }
+                }
+                Ok(if saw_null { Value::Null } else { Value::Bool(true) })
+            }
+            Expr::Or(es) => {
+                let mut saw_null = false;
+                for e in es {
+                    match e.eval(resolve)? {
+                        Value::Bool(true) => return Ok(Value::Bool(true)),
+                        Value::Bool(false) => {}
+                        Value::Null => saw_null = true,
+                        other => {
+                            return Err(RdbError::Semantic(format!(
+                                "OR operand is not boolean: {other}"
+                            )))
+                        }
+                    }
+                }
+                Ok(if saw_null { Value::Null } else { Value::Bool(false) })
+            }
+            Expr::Not(e) => Ok(match e.eval(resolve)? {
+                Value::Bool(b) => Value::Bool(!b),
+                Value::Null => Value::Null,
+                other => {
+                    return Err(RdbError::Semantic(format!("NOT operand is not boolean: {other}")))
+                }
+            }),
+            Expr::IsNull { expr, negated } => {
+                let v = expr.eval(resolve)?;
+                Ok(Value::Bool(v.is_null() != *negated))
+            }
+            Expr::InSet { expr, set, negated } => {
+                let v = expr.eval(resolve)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let found = set.iter().any(|s| v.sql_eq(s) == Some(true));
+                Ok(Value::Bool(found != *negated))
+            }
+            Expr::InSubquery { .. } => Err(RdbError::Semantic(
+                "IN (SELECT …) must be resolved by the executor before evaluation".into(),
+            )),
+        }
+    }
+
+    /// Evaluate as a WHERE predicate: NULL (unknown) counts as `false`.
+    pub fn eval_predicate(&self, resolve: &dyn Fn(&ColRef) -> Result<Value>) -> Result<bool> {
+        Ok(matches!(self.eval(resolve)?, Value::Bool(true)))
+    }
+
+    /// Is this an equality between two column references
+    /// (a *correlation predicate*, §3.1)? Returns the pair if so.
+    pub fn as_column_equality(&self) -> Option<(&ColRef, &ColRef)> {
+        if let Expr::Cmp { op: CmpOp::Eq, lhs, rhs } = self {
+            if let (Expr::Column(l), Expr::Column(r)) = (lhs.as_ref(), rhs.as_ref()) {
+                return Some((l, r));
+            }
+        }
+        None
+    }
+
+    /// Is this a `column θ literal` predicate (a *non-correlation
+    /// predicate*)? Returns `(col, op, literal)` normalised so the column is
+    /// on the left.
+    pub fn as_column_literal(&self) -> Option<(&ColRef, CmpOp, &Value)> {
+        if let Expr::Cmp { op, lhs, rhs } = self {
+            match (lhs.as_ref(), rhs.as_ref()) {
+                (Expr::Column(c), Expr::Literal(v)) => return Some((c, *op, v)),
+                (Expr::Literal(v), Expr::Column(c)) => return Some((c, op.flip(), v)),
+                _ => {}
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Column(c) => write!(f, "{c}"),
+            Expr::Cmp { op, lhs, rhs } => write!(f, "{lhs} {op} {rhs}"),
+            Expr::And(es) => {
+                let parts: Vec<String> = es.iter().map(|e| format!("({e})")).collect();
+                f.write_str(&parts.join(" AND "))
+            }
+            Expr::Or(es) => {
+                let parts: Vec<String> = es.iter().map(|e| format!("({e})")).collect();
+                f.write_str(&parts.join(" OR "))
+            }
+            Expr::Not(e) => write!(f, "NOT ({e})"),
+            Expr::IsNull { expr, negated } => {
+                write!(f, "{expr} IS {}NULL", if *negated { "NOT " } else { "" })
+            }
+            Expr::InSet { expr, set, negated } => {
+                let items: Vec<String> = set.iter().map(|v| v.to_string()).collect();
+                write!(
+                    f,
+                    "{expr} {}IN ({})",
+                    if *negated { "NOT " } else { "" },
+                    items.join(", ")
+                )
+            }
+            Expr::InSubquery { expr, query, negated } => {
+                write!(f, "{expr} {}IN ({query})", if *negated { "NOT " } else { "" })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env<'a>(
+        pairs: &'a [((&'a str, &'a str), Value)],
+    ) -> impl Fn(&ColRef) -> Result<Value> + 'a {
+        move |c: &ColRef| {
+            pairs
+                .iter()
+                .find(|((t, col), _)| c.matches(t, col))
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| RdbError::NoSuchColumn {
+                    table: c.table.clone(),
+                    column: c.column.clone(),
+                })
+        }
+    }
+
+    #[test]
+    fn comparison_and_conjunction() {
+        let e = Expr::and([
+            Expr::lt(Expr::col("book", "price"), Expr::lit(Value::Double(50.0))),
+            Expr::gt(Expr::col("book", "year"), Expr::lit(Value::Int(1990))),
+        ]);
+        let bind = [
+            (("book", "price"), Value::Double(37.0)),
+            (("book", "year"), Value::Date(1997)),
+        ];
+        assert!(e.eval_predicate(&env(&bind)).unwrap());
+        let bind2 = [
+            (("book", "price"), Value::Double(55.0)),
+            (("book", "year"), Value::Date(1997)),
+        ];
+        assert!(!e.eval_predicate(&env(&bind2)).unwrap());
+    }
+
+    #[test]
+    fn null_makes_predicates_false() {
+        let e = Expr::eq(Expr::col("t", "a"), Expr::lit(Value::Int(1)));
+        let bind = [(("t", "a"), Value::Null)];
+        assert!(!e.eval_predicate(&env(&bind)).unwrap());
+        // ... but IS NULL sees it.
+        let isnull = Expr::IsNull { expr: Box::new(Expr::col("t", "a")), negated: false };
+        assert!(isnull.eval_predicate(&env(&bind)).unwrap());
+    }
+
+    #[test]
+    fn three_valued_and_or() {
+        let unknown = Expr::eq(Expr::col("t", "a"), Expr::lit(Value::Int(1)));
+        let bind = [(("t", "a"), Value::Null)];
+        // unknown OR true = true
+        let or = Expr::Or(vec![unknown.clone(), Expr::lit(Value::Bool(true))]);
+        assert_eq!(or.eval(&env(&bind)).unwrap(), Value::Bool(true));
+        // unknown AND false = false
+        let and = Expr::And(vec![unknown, Expr::lit(Value::Bool(false))]);
+        assert_eq!(and.eval(&env(&bind)).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn classify_predicates() {
+        let corr = Expr::eq(Expr::col("book", "pubid"), Expr::col("publisher", "pubid"));
+        assert!(corr.as_column_equality().is_some());
+        assert!(corr.as_column_literal().is_none());
+
+        let noncorr = Expr::lt(Expr::lit(Value::Double(50.0)), Expr::col("book", "price"));
+        let (c, op, v) = noncorr.as_column_literal().unwrap();
+        assert!(c.matches("book", "price"));
+        assert_eq!(op, CmpOp::Gt); // flipped so the column is on the left
+        assert_eq!(*v, Value::Double(50.0));
+    }
+
+    #[test]
+    fn in_set_membership() {
+        let e = Expr::InSet {
+            expr: Box::new(Expr::col("r", "bookid")),
+            set: vec![Value::str("98001"), Value::str("98003")],
+            negated: false,
+        };
+        let bind = [(("r", "bookid"), Value::str("98003"))];
+        assert!(e.eval_predicate(&env(&bind)).unwrap());
+        let bind = [(("r", "bookid"), Value::str("98002"))];
+        assert!(!e.eval_predicate(&env(&bind)).unwrap());
+    }
+
+    #[test]
+    fn and_flattening() {
+        let e = Expr::and([
+            Expr::and([Expr::lit(Value::Bool(true))]),
+            Expr::eq(Expr::col("t", "a"), Expr::lit(Value::Int(1))),
+        ]);
+        // single conjunct collapses
+        assert!(matches!(e, Expr::Cmp { .. }));
+    }
+
+    #[test]
+    fn conjunct_splitting() {
+        let e = Expr::And(vec![
+            Expr::eq(Expr::col("t", "a"), Expr::lit(Value::Int(1))),
+            Expr::And(vec![
+                Expr::eq(Expr::col("t", "b"), Expr::lit(Value::Int(2))),
+                Expr::eq(Expr::col("t", "c"), Expr::lit(Value::Int(3))),
+            ]),
+        ]);
+        assert_eq!(e.conjuncts().len(), 3);
+    }
+}

@@ -1,0 +1,224 @@
+//! Secondary indexes: hash (point lookups) and ordered (range scans).
+//!
+//! §7.2 attributes the hybrid strategy's win on `Vbush` to Oracle's indices
+//! over primary and foreign keys, which the translated updates' join
+//! conditions exploit, while the outside strategy joins over a materialized
+//! probe result *without* indexes. The engine therefore maintains indexes on
+//! primary keys, UNIQUE columns, and foreign-key columns — and deliberately
+//! builds none on materialized temp tables.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::storage::RowId;
+use crate::types::{total_cmp, Value};
+
+/// Composite key as stored in an index.
+pub type IndexKey = Vec<Value>;
+
+/// Kind of index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    Hash,
+    Ordered,
+}
+
+/// A secondary index over one or more columns of a table.
+#[derive(Debug, Clone)]
+pub struct Index {
+    pub name: String,
+    /// Column positions within the owning table's row layout.
+    pub columns: Vec<usize>,
+    pub unique: bool,
+    repr: Repr,
+}
+
+#[derive(Debug, Clone)]
+enum Repr {
+    Hash(HashMap<IndexKey, Vec<RowId>>),
+    Ordered(BTreeMap<OrdKey, Vec<RowId>>),
+}
+
+/// BTreeMap key wrapper imposing the engine's total order on values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct OrdKey(IndexKey);
+
+impl PartialOrd for OrdKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        let mut it_a = self.0.iter();
+        let mut it_b = other.0.iter();
+        loop {
+            match (it_a.next(), it_b.next()) {
+                (None, None) => return std::cmp::Ordering::Equal,
+                (None, Some(_)) => return std::cmp::Ordering::Less,
+                (Some(_), None) => return std::cmp::Ordering::Greater,
+                (Some(a), Some(b)) => match total_cmp(a, b) {
+                    std::cmp::Ordering::Equal => continue,
+                    non_eq => return non_eq,
+                },
+            }
+        }
+    }
+}
+
+impl Index {
+    pub fn new(name: impl Into<String>, columns: Vec<usize>, unique: bool, kind: IndexKind) -> Index {
+        let repr = match kind {
+            IndexKind::Hash => Repr::Hash(HashMap::new()),
+            IndexKind::Ordered => Repr::Ordered(BTreeMap::new()),
+        };
+        Index { name: name.into(), columns, unique, repr }
+    }
+
+    pub fn kind(&self) -> IndexKind {
+        match self.repr {
+            Repr::Hash(_) => IndexKind::Hash,
+            Repr::Ordered(_) => IndexKind::Ordered,
+        }
+    }
+
+    /// Extract this index's key from a full row.
+    pub fn key_of(&self, row: &[Value]) -> IndexKey {
+        self.columns.iter().map(|&i| row[i].clone()).collect()
+    }
+
+    /// Keys containing NULL are not indexed for uniqueness purposes
+    /// (SQL semantics: NULLs never collide).
+    fn is_null_key(key: &[Value]) -> bool {
+        key.iter().any(Value::is_null)
+    }
+
+    /// Insert; returns `false` if a unique conflict exists (entry not added).
+    pub fn insert(&mut self, key: IndexKey, rid: RowId) -> bool {
+        if self.unique && !Self::is_null_key(&key) && !self.lookup(&key).is_empty() {
+            return false;
+        }
+        match &mut self.repr {
+            Repr::Hash(m) => m.entry(key).or_default().push(rid),
+            Repr::Ordered(m) => m.entry(OrdKey(key)).or_default().push(rid),
+        }
+        true
+    }
+
+    pub fn remove(&mut self, key: &IndexKey, rid: RowId) {
+        match &mut self.repr {
+            Repr::Hash(m) => {
+                if let Some(v) = m.get_mut(key) {
+                    v.retain(|r| *r != rid);
+                    if v.is_empty() {
+                        m.remove(key);
+                    }
+                }
+            }
+            Repr::Ordered(m) => {
+                let k = OrdKey(key.clone());
+                if let Some(v) = m.get_mut(&k) {
+                    v.retain(|r| *r != rid);
+                    if v.is_empty() {
+                        m.remove(&k);
+                    }
+                }
+            }
+        }
+    }
+
+    /// RowIds matching an exact key.
+    pub fn lookup(&self, key: &IndexKey) -> Vec<RowId> {
+        match &self.repr {
+            Repr::Hash(m) => m.get(key).cloned().unwrap_or_default(),
+            Repr::Ordered(m) => m.get(&OrdKey(key.clone())).cloned().unwrap_or_default(),
+        }
+    }
+
+    /// Would inserting `key` violate uniqueness?
+    pub fn conflicts(&self, key: &IndexKey) -> bool {
+        self.unique && !Self::is_null_key(key) && !self.lookup(key).is_empty()
+    }
+
+    /// Number of distinct keys (cardinality estimate for the planner).
+    pub fn distinct_keys(&self) -> usize {
+        match &self.repr {
+            Repr::Hash(m) => m.len(),
+            Repr::Ordered(m) => m.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(s: &str) -> IndexKey {
+        vec![Value::str(s)]
+    }
+
+    #[test]
+    fn hash_point_lookup() {
+        let mut ix = Index::new("pk", vec![0], true, IndexKind::Hash);
+        assert!(ix.insert(k("a"), RowId(0)));
+        assert!(ix.insert(k("b"), RowId(1)));
+        assert_eq!(ix.lookup(&k("a")), vec![RowId(0)]);
+        assert_eq!(ix.lookup(&k("z")), Vec::<RowId>::new());
+    }
+
+    #[test]
+    fn unique_conflict_detected() {
+        let mut ix = Index::new("pk", vec![0], true, IndexKind::Hash);
+        assert!(ix.insert(k("a"), RowId(0)));
+        assert!(ix.conflicts(&k("a")));
+        assert!(!ix.insert(k("a"), RowId(1)));
+        assert_eq!(ix.lookup(&k("a")), vec![RowId(0)]);
+    }
+
+    #[test]
+    fn null_keys_never_conflict() {
+        let mut ix = Index::new("u", vec![0], true, IndexKind::Hash);
+        assert!(ix.insert(vec![Value::Null], RowId(0)));
+        assert!(ix.insert(vec![Value::Null], RowId(1)));
+        assert!(!ix.conflicts(&vec![Value::Null]));
+    }
+
+    #[test]
+    fn non_unique_allows_duplicates() {
+        let mut ix = Index::new("fk", vec![0], false, IndexKind::Hash);
+        assert!(ix.insert(k("a"), RowId(0)));
+        assert!(ix.insert(k("a"), RowId(1)));
+        let mut got = ix.lookup(&k("a"));
+        got.sort();
+        assert_eq!(got, vec![RowId(0), RowId(1)]);
+    }
+
+    #[test]
+    fn remove_clears_entry() {
+        let mut ix = Index::new("fk", vec![0], false, IndexKind::Hash);
+        ix.insert(k("a"), RowId(0));
+        ix.insert(k("a"), RowId(1));
+        ix.remove(&k("a"), RowId(0));
+        assert_eq!(ix.lookup(&k("a")), vec![RowId(1)]);
+        ix.remove(&k("a"), RowId(1));
+        assert_eq!(ix.distinct_keys(), 0);
+    }
+
+    #[test]
+    fn ordered_index_total_order() {
+        let mut ix = Index::new("ord", vec![0], false, IndexKind::Ordered);
+        ix.insert(vec![Value::Int(5)], RowId(0));
+        ix.insert(vec![Value::Int(3)], RowId(1));
+        ix.insert(vec![Value::Int(3)], RowId(2));
+        assert_eq!(ix.lookup(&vec![Value::Int(3)]).len(), 2);
+        assert_eq!(ix.kind(), IndexKind::Ordered);
+    }
+
+    #[test]
+    fn composite_keys() {
+        let mut ix = Index::new("pk", vec![0, 1], true, IndexKind::Hash);
+        assert!(ix.insert(vec![Value::str("98001"), Value::str("001")], RowId(0)));
+        assert!(ix.insert(vec![Value::str("98001"), Value::str("002")], RowId(1)));
+        assert!(ix.conflicts(&vec![Value::str("98001"), Value::str("001")]));
+    }
+}

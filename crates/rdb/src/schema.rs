@@ -1,0 +1,318 @@
+//! Relational schema: tables, columns, and the constraint classes of §3.1.
+//!
+//! The paper divides relational constraints into *local* (affect one tuple of
+//! one relation: domain, NOT NULL, CHECK) and *global* (span relations:
+//! foreign keys). Both classes are declared here; enforcement lives in
+//! the DML layer of `crate::db`, and the ASG builders read this catalog to annotate leaf
+//! nodes and derive the base ASG.
+
+use crate::expr::Expr;
+use crate::types::DataType;
+
+/// What happens to referencing rows when a referenced row is deleted.
+///
+/// §5.1.2 fixes *delete cascade* as the pre-selected policy for base-ASG
+/// closures but notes other policies only change the closure definition;
+/// §7.3 observes the protein-sequence domain prefers `SET NULL`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeletePolicy {
+    #[default]
+    Cascade,
+    SetNull,
+    Restrict,
+}
+
+/// A column declaration.
+#[derive(Debug, Clone)]
+pub struct Column {
+    pub name: String,
+    pub ty: DataType,
+    pub not_null: bool,
+    /// Single-column UNIQUE (the paper marks `publisher.pubname UNIQUE NOT NULL`).
+    pub unique: bool,
+}
+
+impl Column {
+    pub fn new(name: impl Into<String>, ty: DataType) -> Column {
+        Column { name: name.into(), ty, not_null: false, unique: false }
+    }
+
+    pub fn not_null(mut self) -> Column {
+        self.not_null = true;
+        self
+    }
+
+    pub fn unique(mut self) -> Column {
+        self.unique = true;
+        self
+    }
+}
+
+/// A named CHECK constraint over one relation (a *local* constraint).
+#[derive(Debug, Clone)]
+pub struct CheckConstraint {
+    pub name: String,
+    /// Boolean expression over the columns of the owning table.
+    pub expr: Expr,
+}
+
+/// A foreign key from `table.columns` to `ref_table.ref_columns`
+/// (a *global* constraint).
+#[derive(Debug, Clone)]
+pub struct ForeignKey {
+    pub name: String,
+    pub columns: Vec<String>,
+    pub ref_table: String,
+    pub ref_columns: Vec<String>,
+    pub on_delete: DeletePolicy,
+}
+
+/// Schema of one relation.
+#[derive(Debug, Clone)]
+pub struct TableSchema {
+    pub name: String,
+    pub columns: Vec<Column>,
+    /// Primary key column names (possibly composite, e.g. `review(bookid, reviewid)`).
+    pub primary_key: Vec<String>,
+    pub checks: Vec<CheckConstraint>,
+    pub foreign_keys: Vec<ForeignKey>,
+}
+
+impl TableSchema {
+    pub fn new(name: impl Into<String>) -> TableSchema {
+        TableSchema {
+            name: name.into(),
+            columns: Vec::new(),
+            primary_key: Vec::new(),
+            checks: Vec::new(),
+            foreign_keys: Vec::new(),
+        }
+    }
+
+    pub fn column(mut self, col: Column) -> TableSchema {
+        self.columns.push(col);
+        self
+    }
+
+    pub fn primary_key<S: Into<String>>(mut self, cols: impl IntoIterator<Item = S>) -> TableSchema {
+        self.primary_key = cols.into_iter().map(Into::into).collect();
+        self
+    }
+
+    pub fn check(mut self, name: impl Into<String>, expr: Expr) -> TableSchema {
+        self.checks.push(CheckConstraint { name: name.into(), expr });
+        self
+    }
+
+    pub fn foreign_key(
+        mut self,
+        name: impl Into<String>,
+        columns: Vec<&str>,
+        ref_table: &str,
+        ref_columns: Vec<&str>,
+        on_delete: DeletePolicy,
+    ) -> TableSchema {
+        self.foreign_keys.push(ForeignKey {
+            name: name.into(),
+            columns: columns.into_iter().map(String::from).collect(),
+            ref_table: ref_table.to_string(),
+            ref_columns: ref_columns.into_iter().map(String::from).collect(),
+            on_delete,
+        });
+        self
+    }
+
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    pub fn column_named(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Is `col` the entire primary key or declared single-column UNIQUE?
+    ///
+    /// This is the *unique identifier* test that Rule 1's proper-Join
+    /// definition relies on (§5.1.1).
+    pub fn is_unique_identifier(&self, col: &str) -> bool {
+        (self.primary_key.len() == 1 && self.primary_key[0].eq_ignore_ascii_case(col))
+            || self.column_named(col).is_some_and(|c| c.unique)
+    }
+
+    /// Is `col` part of the primary key?
+    pub fn in_primary_key(&self, col: &str) -> bool {
+        self.primary_key.iter().any(|c| c.eq_ignore_ascii_case(col))
+    }
+
+    /// NOT NULL in the ASG sense: declared NOT NULL or part of the key.
+    /// (The paper marks `publisher.pubid` NOT NULL "since it is the key".)
+    pub fn is_not_null(&self, col: &str) -> bool {
+        self.column_named(col).is_some_and(|c| c.not_null) || self.in_primary_key(col)
+    }
+}
+
+/// Schema of the whole database `{(R1..Rn), F}` (§2).
+#[derive(Debug, Clone, Default)]
+pub struct DatabaseSchema {
+    pub tables: Vec<TableSchema>,
+}
+
+impl DatabaseSchema {
+    pub fn new() -> DatabaseSchema {
+        DatabaseSchema::default()
+    }
+
+    pub fn add(&mut self, table: TableSchema) {
+        self.tables.push(table);
+    }
+
+    pub fn table(&self, name: &str) -> Option<&TableSchema> {
+        self.tables.iter().find(|t| t.name.eq_ignore_ascii_case(name))
+    }
+
+    /// All foreign keys, paired with the owning table name.
+    pub fn foreign_keys(&self) -> impl Iterator<Item = (&str, &ForeignKey)> {
+        self.tables
+            .iter()
+            .flat_map(|t| t.foreign_keys.iter().map(move |fk| (t.name.as_str(), fk)))
+    }
+
+    /// Relations that reference `target` directly through a foreign key.
+    pub fn direct_referrers(&self, target: &str) -> Vec<&str> {
+        self.foreign_keys()
+            .filter(|(_, fk)| fk.ref_table.eq_ignore_ascii_case(target))
+            .map(|(owner, _)| owner)
+            .collect()
+    }
+
+    /// Relations whose rows are *removed* when a `target` row is deleted:
+    /// referrers through CASCADE foreign keys only (SET NULL and RESTRICT
+    /// leave referencing rows in place).
+    pub fn cascading_referrers(&self, target: &str) -> Vec<&str> {
+        self.foreign_keys()
+            .filter(|(_, fk)| {
+                fk.ref_table.eq_ignore_ascii_case(target) && fk.on_delete == DeletePolicy::Cascade
+            })
+            .map(|(owner, _)| owner)
+            .collect()
+    }
+
+    /// `extend(R)` of §5.1.1: `{R} ∪ {S | S →FK+ R}` — every relation whose
+    /// content a deletion of `R` rows can remove, restricted to `universe`
+    /// when provided (the paper restricts to `rel(DEF_V)`).
+    ///
+    /// Policy-aware per the paper's footnote that the update policy adjusts
+    /// the closure definitions: propagation follows CASCADE foreign keys;
+    /// under SET NULL / RESTRICT the referencing rows survive a parent
+    /// delete, so they do not extend the deletion's footprint (§7.3's PSD
+    /// domain relies on this).
+    pub fn extend(&self, target: &str, universe: Option<&[String]>) -> Vec<String> {
+        let in_universe = |name: &str| {
+            universe.is_none_or(|u| u.iter().any(|x| x.eq_ignore_ascii_case(name)))
+        };
+        let mut out: Vec<String> = Vec::new();
+        if in_universe(target) {
+            out.push(target.to_string());
+        }
+        let mut frontier = vec![target.to_string()];
+        while let Some(cur) = frontier.pop() {
+            for r in self.cascading_referrers(&cur) {
+                if !out.iter().any(|x| x.eq_ignore_ascii_case(r)) && in_universe(r) {
+                    out.push(r.to_string());
+                    frontier.push(r.to_string());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::types::Value;
+
+    /// The book database of Fig. 1.
+    pub fn book_schema() -> DatabaseSchema {
+        let mut db = DatabaseSchema::new();
+        db.add(
+            TableSchema::new("publisher")
+                .column(Column::new("pubid", DataType::Str))
+                .column(Column::new("pubname", DataType::Str).not_null().unique())
+                .primary_key(["pubid"]),
+        );
+        db.add(
+            TableSchema::new("book")
+                .column(Column::new("bookid", DataType::Str))
+                .column(Column::new("title", DataType::Str).not_null())
+                .column(Column::new("pubid", DataType::Str))
+                .column(Column::new("price", DataType::Double))
+                .column(Column::new("year", DataType::Date))
+                .primary_key(["bookid"])
+                .check(
+                    "price_positive",
+                    Expr::gt(Expr::col("book", "price"), Expr::lit(Value::Double(0.0))),
+                )
+                .foreign_key("BookFK", vec!["pubid"], "publisher", vec!["pubid"], DeletePolicy::Cascade),
+        );
+        db.add(
+            TableSchema::new("review")
+                .column(Column::new("bookid", DataType::Str))
+                .column(Column::new("reviewid", DataType::Str))
+                .column(Column::new("comment", DataType::Str))
+                .column(Column::new("reviewer", DataType::Str))
+                .primary_key(["bookid", "reviewid"])
+                .foreign_key("ReviewFK", vec!["bookid"], "book", vec!["bookid"], DeletePolicy::Cascade),
+        );
+        db
+    }
+
+    #[test]
+    fn unique_identifier_detection() {
+        let db = book_schema();
+        let publisher = db.table("publisher").unwrap();
+        assert!(publisher.is_unique_identifier("pubid"));
+        assert!(publisher.is_unique_identifier("pubname")); // declared UNIQUE
+        let review = db.table("review").unwrap();
+        // Composite key members are not single-column unique identifiers.
+        assert!(!review.is_unique_identifier("bookid"));
+        assert!(review.in_primary_key("bookid"));
+    }
+
+    #[test]
+    fn key_columns_are_not_null() {
+        let db = book_schema();
+        assert!(db.table("publisher").unwrap().is_not_null("pubid"));
+        assert!(db.table("book").unwrap().is_not_null("title"));
+        assert!(!db.table("book").unwrap().is_not_null("price"));
+    }
+
+    #[test]
+    fn extend_follows_fk_chains_transitively() {
+        let db = book_schema();
+        let mut ext = db.extend("publisher", None);
+        ext.sort();
+        assert_eq!(ext, vec!["book", "publisher", "review"]);
+        assert_eq!(db.extend("review", None), vec!["review"]);
+        let mut ext_book = db.extend("book", None);
+        ext_book.sort();
+        assert_eq!(ext_book, vec!["book", "review"]);
+    }
+
+    #[test]
+    fn extend_respects_universe() {
+        let db = book_schema();
+        let uni = vec!["publisher".to_string(), "book".to_string()];
+        let mut ext = db.extend("publisher", Some(&uni));
+        ext.sort();
+        assert_eq!(ext, vec!["book", "publisher"]);
+    }
+
+    #[test]
+    fn case_insensitive_lookup() {
+        let db = book_schema();
+        assert!(db.table("PUBLISHER").is_some());
+        assert!(db.table("book").unwrap().column_index("TITLE").is_some());
+    }
+}

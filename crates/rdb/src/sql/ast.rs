@@ -1,0 +1,298 @@
+//! SQL abstract syntax: the subset needed by U-Filter's probe queries,
+//! translated updates, and the relational-view mapping of §6.2.1.
+//!
+//! Covered: `SELECT` (projection, comma joins, explicit `[LEFT] JOIN … ON`,
+//! `WHERE` with `IN (SELECT …)`, `DISTINCT` for completeness), `INSERT`,
+//! `DELETE`, `UPDATE`, `CREATE TABLE` with the constraint forms of Fig. 1,
+//! `CREATE VIEW`, and transaction control.
+
+use std::fmt;
+
+use crate::expr::Expr;
+use crate::schema::TableSchema;
+use crate::types::Value;
+
+/// One projected item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*` — every column of every range variable (rowids excluded).
+    Wildcard,
+    /// `alias.*`
+    QualifiedWildcard(String),
+    /// An expression with an optional output alias.
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+/// A base-table reference with an optional alias
+/// (`Publisher AS p` in Fig. 11).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    pub table: String,
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    pub fn named(table: impl Into<String>) -> TableRef {
+        TableRef { table: table.into(), alias: None }
+    }
+
+    pub fn aliased(table: impl Into<String>, alias: impl Into<String>) -> TableRef {
+        TableRef { table: table.into(), alias: Some(alias.into()) }
+    }
+
+    /// The name range-variable columns are qualified with.
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+/// Join flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    Inner,
+    Left,
+}
+
+/// FROM-clause tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FromItem {
+    Table(TableRef),
+    Join {
+        kind: JoinKind,
+        left: Box<FromItem>,
+        right: Box<FromItem>,
+        on: Expr,
+    },
+}
+
+impl FromItem {
+    /// All base-table references in the tree, left to right.
+    pub fn tables(&self) -> Vec<&TableRef> {
+        match self {
+            FromItem::Table(t) => vec![t],
+            FromItem::Join { left, right, .. } => {
+                let mut out = left.tables();
+                out.extend(right.tables());
+                out
+            }
+        }
+    }
+}
+
+/// `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    pub distinct: bool,
+    pub items: Vec<SelectItem>,
+    /// Comma-separated FROM entries; each may itself be a join tree.
+    pub from: Vec<FromItem>,
+    pub where_clause: Option<Expr>,
+}
+
+impl Select {
+    /// Plain `SELECT <items> FROM <tables> WHERE <pred>` over comma joins.
+    pub fn new(items: Vec<SelectItem>, from: Vec<FromItem>, where_clause: Option<Expr>) -> Select {
+        Select { distinct: false, items, from, where_clause }
+    }
+}
+
+/// `INSERT INTO table [(cols)] VALUES (…), (…)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Insert {
+    pub table: String,
+    /// Explicit column list; empty means positional over all columns.
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+/// `DELETE FROM table WHERE …`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delete {
+    pub table: String,
+    pub where_clause: Option<Expr>,
+}
+
+/// `UPDATE table SET col = value, … WHERE …`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Update {
+    pub table: String,
+    pub assignments: Vec<(String, Value)>,
+    pub where_clause: Option<Expr>,
+}
+
+/// `CREATE VIEW name AS SELECT …`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateView {
+    pub name: String,
+    pub select: Select,
+}
+
+/// Any statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    Select(Select),
+    /// `EXPLAIN SELECT …` — returns the physical plan as text rows.
+    Explain(Select),
+    Insert(Insert),
+    Delete(Delete),
+    Update(Update),
+    CreateTable(TableSchema),
+    CreateView(CreateView),
+    DropTable(String),
+    Begin,
+    Commit,
+    Rollback,
+}
+
+// PartialEq for TableSchema pieces: schema contains Expr which is PartialEq;
+// derive-friendly impls below keep Stmt comparable in tests.
+impl PartialEq for TableSchema {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.primary_key == other.primary_key
+            && self.columns.len() == other.columns.len()
+            && self
+                .columns
+                .iter()
+                .zip(&other.columns)
+                .all(|(a, b)| a.name == b.name && a.ty == b.ty && a.not_null == b.not_null)
+    }
+}
+
+impl fmt::Display for Select {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        let items: Vec<String> = self
+            .items
+            .iter()
+            .map(|i| match i {
+                SelectItem::Wildcard => "*".to_string(),
+                SelectItem::QualifiedWildcard(q) => format!("{q}.*"),
+                SelectItem::Expr { expr, alias: Some(a) } => format!("{expr} AS {a}"),
+                SelectItem::Expr { expr, alias: None } => expr.to_string(),
+            })
+            .collect();
+        write!(f, "{} FROM ", items.join(", "))?;
+        let froms: Vec<String> = self.from.iter().map(render_from).collect();
+        write!(f, "{}", froms.join(", "))?;
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        Ok(())
+    }
+}
+
+fn render_from(item: &FromItem) -> String {
+    match item {
+        FromItem::Table(t) => match &t.alias {
+            Some(a) => format!("{} AS {a}", t.table),
+            None => t.table.clone(),
+        },
+        FromItem::Join { kind, left, right, on } => {
+            let k = match kind {
+                JoinKind::Inner => "JOIN",
+                JoinKind::Left => "LEFT JOIN",
+            };
+            format!("({} {k} {} ON {on})", render_from(left), render_from(right))
+        }
+    }
+}
+
+impl fmt::Display for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stmt::Select(s) => write!(f, "{s}"),
+            Stmt::Explain(s) => write!(f, "EXPLAIN {s}"),
+            Stmt::Insert(i) => {
+                write!(f, "INSERT INTO {}", i.table)?;
+                if !i.columns.is_empty() {
+                    write!(f, " ({})", i.columns.join(", "))?;
+                }
+                let rows: Vec<String> = i
+                    .rows
+                    .iter()
+                    .map(|r| {
+                        let vals: Vec<String> = r.iter().map(|v| v.to_string()).collect();
+                        format!("({})", vals.join(", "))
+                    })
+                    .collect();
+                write!(f, " VALUES {}", rows.join(", "))
+            }
+            Stmt::Delete(d) => {
+                write!(f, "DELETE FROM {}", d.table)?;
+                if let Some(w) = &d.where_clause {
+                    write!(f, " WHERE {w}")?;
+                }
+                Ok(())
+            }
+            Stmt::Update(u) => {
+                let sets: Vec<String> =
+                    u.assignments.iter().map(|(c, v)| format!("{c} = {v}")).collect();
+                write!(f, "UPDATE {} SET {}", u.table, sets.join(", "))?;
+                if let Some(w) = &u.where_clause {
+                    write!(f, " WHERE {w}")?;
+                }
+                Ok(())
+            }
+            Stmt::CreateTable(t) => write!(f, "CREATE TABLE {} (…)", t.name),
+            Stmt::CreateView(v) => write!(f, "CREATE VIEW {} AS {}", v.name, v.select),
+            Stmt::DropTable(t) => write!(f, "DROP TABLE {t}"),
+            Stmt::Begin => f.write_str("BEGIN"),
+            Stmt::Commit => f.write_str("COMMIT"),
+            Stmt::Rollback => f.write_str("ROLLBACK"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    #[test]
+    fn display_select_roundtrips_shape() {
+        let s = Select::new(
+            vec![SelectItem::Expr { expr: Expr::col("book", "bookid"), alias: None }],
+            vec![
+                FromItem::Table(TableRef::named("publisher")),
+                FromItem::Table(TableRef::named("book")),
+            ],
+            Some(Expr::eq(Expr::col("book", "pubid"), Expr::col("publisher", "pubid"))),
+        );
+        let text = s.to_string();
+        assert!(text.starts_with("SELECT book.bookid FROM publisher, book WHERE"));
+    }
+
+    #[test]
+    fn from_tree_lists_tables_in_order() {
+        let j = FromItem::Join {
+            kind: JoinKind::Left,
+            left: Box::new(FromItem::Table(TableRef::aliased("publisher", "p"))),
+            right: Box::new(FromItem::Table(TableRef::aliased("book", "b"))),
+            on: Expr::eq(Expr::col("p", "pubid"), Expr::col("b", "pubid")),
+        };
+        let names: Vec<&str> = j.tables().iter().map(|t| t.binding()).collect();
+        assert_eq!(names, vec!["p", "b"]);
+    }
+
+    #[test]
+    fn display_insert() {
+        let i = Stmt::Insert(Insert {
+            table: "review".into(),
+            columns: vec![],
+            rows: vec![vec![
+                Value::str("98003"),
+                Value::str("001"),
+                Value::str("easy read and useful"),
+                Value::Null,
+            ]],
+        });
+        assert_eq!(
+            i.to_string(),
+            "INSERT INTO review VALUES ('98003', '001', 'easy read and useful', NULL)"
+        );
+    }
+}

@@ -1,0 +1,3 @@
+pub mod ast;
+pub mod lexer;
+pub mod parser;

@@ -1,0 +1,720 @@
+//! Recursive-descent SQL parser for the subset in [`super::ast`].
+
+use crate::error::{RdbError, Result};
+use crate::expr::{CmpOp, Expr};
+use crate::schema::{Column, DeletePolicy, TableSchema};
+use crate::sql::ast::*;
+use crate::sql::lexer::{lex, Tok};
+use crate::types::{DataType, Value};
+
+pub struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    pub fn new(input: &str) -> Result<Parser> {
+        Ok(Parser { toks: lex(input)?, pos: 0 })
+    }
+
+    /// Parse a full statement (trailing `;` allowed).
+    pub fn parse_stmt(input: &str) -> Result<Stmt> {
+        let mut p = Parser::new(input)?;
+        let stmt = p.stmt()?;
+        p.eat_sym(";");
+        p.expect_eof()?;
+        Ok(stmt)
+    }
+
+    /// Parse a `SELECT` on its own.
+    pub fn parse_select(input: &str) -> Result<Select> {
+        match Parser::parse_stmt(input)? {
+            Stmt::Select(s) => Ok(s),
+            other => Err(RdbError::Parse(format!("expected SELECT, got {other}"))),
+        }
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos]
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(RdbError::Parse(format!("expected {kw}, found {:?}", self.peek())))
+        }
+    }
+
+    fn eat_sym(&mut self, sym: &str) -> bool {
+        if matches!(self.peek(), Tok::Sym(s) if *s == sym) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, sym: &str) -> Result<()> {
+        if self.eat_sym(sym) {
+            Ok(())
+        } else {
+            Err(RdbError::Parse(format!("expected '{sym}', found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if matches!(self.peek(), Tok::Eof) {
+            Ok(())
+        } else {
+            Err(RdbError::Parse(format!("trailing tokens from {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(RdbError::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        if self.eat_kw("EXPLAIN") {
+            Ok(Stmt::Explain(self.select()?))
+        } else if self.peek().is_kw("SELECT") {
+            Ok(Stmt::Select(self.select()?))
+        } else if self.eat_kw("INSERT") {
+            self.insert()
+        } else if self.eat_kw("DELETE") {
+            self.delete()
+        } else if self.eat_kw("UPDATE") {
+            self.update()
+        } else if self.eat_kw("CREATE") {
+            if self.eat_kw("TABLE") {
+                self.create_table()
+            } else if self.eat_kw("VIEW") {
+                self.create_view()
+            } else {
+                Err(RdbError::Parse("expected TABLE or VIEW after CREATE".into()))
+            }
+        } else if self.eat_kw("DROP") {
+            self.expect_kw("TABLE")?;
+            Ok(Stmt::DropTable(self.ident()?))
+        } else if self.eat_kw("BEGIN") {
+            Ok(Stmt::Begin)
+        } else if self.eat_kw("COMMIT") {
+            Ok(Stmt::Commit)
+        } else if self.eat_kw("ROLLBACK") {
+            Ok(Stmt::Rollback)
+        } else {
+            Err(RdbError::Parse(format!("unexpected start of statement: {:?}", self.peek())))
+        }
+    }
+
+    fn select(&mut self) -> Result<Select> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        let mut items = Vec::new();
+        loop {
+            items.push(self.select_item()?);
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        self.expect_kw("FROM")?;
+        let mut from = Vec::new();
+        loop {
+            from.push(self.from_item()?);
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        let where_clause = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        Ok(Select { distinct, items, from, where_clause })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        if self.eat_sym("*") {
+            return Ok(SelectItem::Wildcard);
+        }
+        // `alias.*` needs lookahead before committing to an expression.
+        if let Tok::Ident(name) = self.peek().clone() {
+            if matches!(self.toks.get(self.pos + 1), Some(Tok::Sym(".")))
+                && matches!(self.toks.get(self.pos + 2), Some(Tok::Sym("*")))
+            {
+                self.bump();
+                self.bump();
+                self.bump();
+                return Ok(SelectItem::QualifiedWildcard(name));
+            }
+        }
+        let expr = self.expr_atom_operand()?;
+        let alias = if self.eat_kw("AS") { Some(self.ident()?) } else { None };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn from_item(&mut self) -> Result<FromItem> {
+        let mut left = self.from_primary()?;
+        loop {
+            let kind = if self.eat_kw("LEFT") {
+                self.eat_kw("OUTER");
+                self.expect_kw("JOIN")?;
+                JoinKind::Left
+            } else if self.eat_kw("INNER") {
+                self.expect_kw("JOIN")?;
+                JoinKind::Inner
+            } else if self.eat_kw("JOIN") {
+                JoinKind::Inner
+            } else {
+                break;
+            };
+            let right = self.from_primary()?;
+            self.expect_kw("ON")?;
+            let on = self.expr()?;
+            left = FromItem::Join { kind, left: Box::new(left), right: Box::new(right), on };
+        }
+        Ok(left)
+    }
+
+    fn from_primary(&mut self) -> Result<FromItem> {
+        if self.eat_sym("(") {
+            let inner = self.from_item()?;
+            self.expect_sym(")")?;
+            return Ok(inner);
+        }
+        let table = self.ident()?;
+        let alias = if self.eat_kw("AS") {
+            Some(self.ident()?)
+        } else if let Tok::Ident(name) = self.peek().clone() {
+            // bare alias, but not a keyword that continues the query
+            const STOP: [&str; 10] = [
+                "WHERE", "LEFT", "INNER", "JOIN", "ON", "GROUP", "ORDER", "AS", "VALUES", "SET",
+            ];
+            if STOP.iter().any(|k| name.eq_ignore_ascii_case(k)) {
+                None
+            } else {
+                self.bump();
+                Some(name)
+            }
+        } else {
+            None
+        };
+        Ok(FromItem::Table(TableRef { table, alias }))
+    }
+
+    // ---- expressions ----------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut parts = vec![self.and_expr()?];
+        while self.eat_kw("OR") {
+            parts.push(self.and_expr()?);
+        }
+        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { Expr::Or(parts) })
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut parts = vec![self.not_expr()?];
+        while self.eat_kw("AND") {
+            parts.push(self.not_expr()?);
+        }
+        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { Expr::And(parts) })
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_kw("NOT") {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.predicate()
+        }
+    }
+
+    fn predicate(&mut self) -> Result<Expr> {
+        // Parenthesised boolean expression vs parenthesised operand is
+        // disambiguated by trying the boolean first when '(' starts a
+        // sub-expression containing AND/OR/NOT, which we can't know ahead;
+        // simplest robust rule: '(' + SELECT is illegal here, otherwise
+        // treat parens at this level as boolean grouping.
+        if matches!(self.peek(), Tok::Sym("(")) {
+            let save = self.pos;
+            self.bump();
+            if let Ok(inner) = self.expr() {
+                if self.eat_sym(")") {
+                    // could be followed by a comparison? boolean groups are not
+                    if !matches!(self.peek(), Tok::Sym("=" | "<" | "<=" | ">" | ">=" | "<>")) {
+                        return Ok(inner);
+                    }
+                }
+            }
+            self.pos = save;
+        }
+        let lhs = self.expr_atom_operand()?;
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(Expr::IsNull { expr: Box::new(lhs), negated });
+        }
+        let negated_in = {
+            let save = self.pos;
+            if self.eat_kw("NOT") {
+                if self.peek().is_kw("IN") {
+                    true
+                } else {
+                    self.pos = save;
+                    false
+                }
+            } else {
+                false
+            }
+        };
+        if self.eat_kw("IN") {
+            // `IN SELECT …` (paper style, no parens) or `IN (SELECT …)` or `IN (v, v)`
+            if self.peek().is_kw("SELECT") {
+                let q = self.select()?;
+                return Ok(Expr::InSubquery {
+                    expr: Box::new(lhs),
+                    query: Box::new(q),
+                    negated: negated_in,
+                });
+            }
+            self.expect_sym("(")?;
+            if self.peek().is_kw("SELECT") {
+                let q = self.select()?;
+                self.expect_sym(")")?;
+                return Ok(Expr::InSubquery {
+                    expr: Box::new(lhs),
+                    query: Box::new(q),
+                    negated: negated_in,
+                });
+            }
+            let mut set = Vec::new();
+            loop {
+                set.push(self.literal()?);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            self.expect_sym(")")?;
+            return Ok(Expr::InSet { expr: Box::new(lhs), set, negated: negated_in });
+        }
+        let op = match self.peek() {
+            Tok::Sym("=") => CmpOp::Eq,
+            Tok::Sym("<>") => CmpOp::Ne,
+            Tok::Sym("<") => CmpOp::Lt,
+            Tok::Sym("<=") => CmpOp::Le,
+            Tok::Sym(">") => CmpOp::Gt,
+            Tok::Sym(">=") => CmpOp::Ge,
+            _ => return Ok(lhs), // bare operand (e.g. boolean column)
+        };
+        self.bump();
+        let rhs = self.expr_atom_operand()?;
+        Ok(Expr::cmp(op, lhs, rhs))
+    }
+
+    /// Column reference or literal (the operand grammar of the subset).
+    fn expr_atom_operand(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            Tok::Ident(first) => {
+                // NULL / TRUE / FALSE literals
+                if first.eq_ignore_ascii_case("NULL") {
+                    self.bump();
+                    return Ok(Expr::lit(Value::Null));
+                }
+                if first.eq_ignore_ascii_case("TRUE") {
+                    self.bump();
+                    return Ok(Expr::lit(Value::Bool(true)));
+                }
+                if first.eq_ignore_ascii_case("FALSE") {
+                    self.bump();
+                    return Ok(Expr::lit(Value::Bool(false)));
+                }
+                self.bump();
+                if self.eat_sym(".") {
+                    let col = self.ident()?;
+                    Ok(Expr::col(first, col))
+                } else {
+                    // Unqualified column: empty table, resolved at plan time.
+                    Ok(Expr::col("", first))
+                }
+            }
+            Tok::Sym("(") => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            _ => Ok(Expr::lit(self.literal()?)),
+        }
+    }
+
+    fn literal(&mut self) -> Result<Value> {
+        let neg = self.eat_sym("-");
+        match self.bump() {
+            Tok::Str(s) => {
+                if neg {
+                    return Err(RdbError::Parse("cannot negate a string".into()));
+                }
+                Ok(Value::Str(s))
+            }
+            Tok::Int(i) => Ok(Value::Int(if neg { -i } else { i })),
+            Tok::Float(f) => Ok(Value::Double(if neg { -f } else { f })),
+            Tok::Ident(s) if s.eq_ignore_ascii_case("NULL") => Ok(Value::Null),
+            Tok::Ident(s) if s.eq_ignore_ascii_case("TRUE") => Ok(Value::Bool(true)),
+            Tok::Ident(s) if s.eq_ignore_ascii_case("FALSE") => Ok(Value::Bool(false)),
+            other => Err(RdbError::Parse(format!("expected literal, found {other:?}"))),
+        }
+    }
+
+    // ---- DML ------------------------------------------------------------
+
+    fn insert(&mut self) -> Result<Stmt> {
+        self.expect_kw("INTO")?;
+        let table = self.ident()?;
+        let mut columns = Vec::new();
+        if self.eat_sym("(") {
+            loop {
+                columns.push(self.ident()?);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            self.expect_sym(")")?;
+        }
+        self.expect_kw("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            // The paper writes both `VALUES (a, b)` and `VALUES a, b`.
+            let parens = self.eat_sym("(");
+            let mut row = Vec::new();
+            loop {
+                row.push(self.literal()?);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            if parens {
+                self.expect_sym(")")?;
+            }
+            rows.push(row);
+            if !(parens && self.eat_sym(",")) {
+                break;
+            }
+        }
+        Ok(Stmt::Insert(Insert { table, columns, rows }))
+    }
+
+    fn delete(&mut self) -> Result<Stmt> {
+        self.expect_kw("FROM")?;
+        let table = self.ident()?;
+        let where_clause = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        Ok(Stmt::Delete(Delete { table, where_clause }))
+    }
+
+    fn update(&mut self) -> Result<Stmt> {
+        let table = self.ident()?;
+        self.expect_kw("SET")?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect_sym("=")?;
+            assignments.push((col, self.literal()?));
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        let where_clause = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        Ok(Stmt::Update(Update { table, assignments, where_clause }))
+    }
+
+    // ---- DDL ------------------------------------------------------------
+
+    fn data_type(&mut self) -> Result<DataType> {
+        let name = self.ident()?;
+        // optional length spec like VARCHAR2(10)
+        if self.eat_sym("(") {
+            let _ = self.bump(); // length
+            self.expect_sym(")")?;
+        }
+        let up = name.to_ascii_uppercase();
+        Ok(match up.as_str() {
+            "INT" | "INTEGER" | "BIGINT" => DataType::Int,
+            "DOUBLE" | "FLOAT" | "REAL" | "DECIMAL" | "NUMERIC" => DataType::Double,
+            "VARCHAR" | "VARCHAR2" | "CHAR" | "TEXT" | "STRING" => DataType::Str,
+            "DATE" | "YEAR" => DataType::Date,
+            "BOOLEAN" | "BOOL" => DataType::Bool,
+            other => return Err(RdbError::Parse(format!("unknown type {other}"))),
+        })
+    }
+
+    fn create_table(&mut self) -> Result<Stmt> {
+        let name = self.ident()?;
+        self.expect_sym("(")?;
+        let mut schema = TableSchema::new(name.clone());
+        let mut check_id = 0;
+        loop {
+            if self.eat_kw("CONSTRAINTS") || self.eat_kw("CONSTRAINT") {
+                let cname = self.ident()?;
+                if self.eat_kw("PRIMARYKEY")
+                    || (self.eat_kw("PRIMARY") && {
+                        self.expect_kw("KEY")?;
+                        true
+                    })
+                {
+                    self.expect_sym("(")?;
+                    let mut cols = Vec::new();
+                    loop {
+                        cols.push(self.ident()?);
+                        if !self.eat_sym(",") {
+                            break;
+                        }
+                    }
+                    self.expect_sym(")")?;
+                    schema.primary_key = cols;
+                } else {
+                    return Err(RdbError::Parse(format!("unsupported constraint {cname}")));
+                }
+            } else if self.eat_kw("FOREIGNKEY")
+                || (self.peek().is_kw("FOREIGN") && {
+                    self.bump();
+                    self.expect_kw("KEY")?;
+                    true
+                })
+            {
+                self.expect_sym("(")?;
+                let mut cols = Vec::new();
+                loop {
+                    cols.push(self.ident()?);
+                    if !self.eat_sym(",") {
+                        break;
+                    }
+                }
+                self.expect_sym(")")?;
+                self.expect_kw("REFERENCES")?;
+                let ref_table = self.ident()?;
+                self.expect_sym("(")?;
+                let mut ref_cols = Vec::new();
+                loop {
+                    ref_cols.push(self.ident()?);
+                    if !self.eat_sym(",") {
+                        break;
+                    }
+                }
+                self.expect_sym(")")?;
+                let mut policy = DeletePolicy::Cascade;
+                if self.eat_kw("ON") {
+                    self.expect_kw("DELETE")?;
+                    if self.eat_kw("CASCADE") {
+                        policy = DeletePolicy::Cascade;
+                    } else if self.eat_kw("SET") {
+                        self.expect_kw("NULL")?;
+                        policy = DeletePolicy::SetNull;
+                    } else if self.eat_kw("RESTRICT") {
+                        policy = DeletePolicy::Restrict;
+                    }
+                }
+                let n = schema.foreign_keys.len();
+                schema.foreign_keys.push(crate::schema::ForeignKey {
+                    name: format!("{name}_fk{n}"),
+                    columns: cols,
+                    ref_table,
+                    ref_columns: ref_cols,
+                    on_delete: policy,
+                });
+            } else {
+                // column definition
+                let col_name = self.ident()?;
+                let ty = self.data_type()?;
+                let mut col = Column::new(col_name.clone(), ty);
+                loop {
+                    if self.eat_kw("NOT") {
+                        self.expect_kw("NULL")?;
+                        col.not_null = true;
+                    } else if self.eat_kw("UNIQUE") {
+                        col.unique = true;
+                    } else if self.eat_kw("CHECK") {
+                        self.expect_sym("(")?;
+                        let e = self.expr()?;
+                        self.expect_sym(")")?;
+                        // Qualify bare columns with the table name.
+                        let table_name = name.clone();
+                        let e = e.map_columns(&|c| {
+                            if c.table.is_empty() {
+                                crate::expr::ColRef::new(table_name.clone(), c.column.clone())
+                            } else {
+                                c.clone()
+                            }
+                        });
+                        check_id += 1;
+                        schema.checks.push(crate::schema::CheckConstraint {
+                            name: format!("{name}_check{check_id}"),
+                            expr: e,
+                        });
+                    } else {
+                        break;
+                    }
+                }
+                schema.columns.push(col);
+            }
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        self.expect_sym(")")?;
+        Ok(Stmt::CreateTable(schema))
+    }
+
+    fn create_view(&mut self) -> Result<Stmt> {
+        let name = self.ident()?;
+        self.expect_kw("AS")?;
+        let select = self.select()?;
+        Ok(Stmt::CreateView(CreateView { name, select }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_pq1_probe_query() {
+        // PQ1 from §6.1 (literal text from the paper, quotes normalised)
+        let q = Parser::parse_select(
+            "SELECT bookid FROM publisher, book, review \
+             WHERE book.title = 'Programming in Unix' AND book.price < 50.00 \
+             AND book.year > 1990 AND book.pubid = publisher.pubid",
+        )
+        .unwrap();
+        assert_eq!(q.from.len(), 3);
+        let w = q.where_clause.unwrap();
+        assert_eq!(w.conjuncts().len(), 4);
+    }
+
+    #[test]
+    fn parse_u3_delete_with_subquery() {
+        // U3 from §6.2.2: paper omits parens around the subquery.
+        let s = Parser::parse_stmt(
+            "DELETE FROM review WHERE review.bookid IN SELECT bookid FROM TAB_book",
+        )
+        .unwrap();
+        match s {
+            Stmt::Delete(d) => {
+                assert_eq!(d.table, "review");
+                assert!(matches!(d.where_clause, Some(Expr::InSubquery { .. })));
+            }
+            other => panic!("expected DELETE, got {other}"),
+        }
+    }
+
+    #[test]
+    fn parse_insert_with_and_without_parens() {
+        let a = Parser::parse_stmt(
+            "INSERT INTO book VALUES ('98001', 'Operating Systems', 'A01', 20.00, 1994)",
+        )
+        .unwrap();
+        let b = Parser::parse_stmt(
+            "INSERT INTO book VALUES '98001', 'Operating Systems', 'A01', 20.00, 1994",
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parse_create_table_with_constraints() {
+        let s = Parser::parse_stmt(
+            "CREATE TABLE book( \
+               bookid VARCHAR2(20), \
+               title VARCHAR2(100) NOT NULL, \
+               pubid VARCHAR2(10), \
+               price DOUBLE CHECK (price > 0.00), \
+               year DATE, \
+               CONSTRAINTS BookPK PRIMARYKEY (bookid), \
+               FOREIGNKEY (pubid) REFERENCES publisher (pubid))",
+        )
+        .unwrap();
+        match s {
+            Stmt::CreateTable(t) => {
+                assert_eq!(t.name, "book");
+                assert_eq!(t.columns.len(), 5);
+                assert_eq!(t.primary_key, vec!["bookid"]);
+                assert_eq!(t.checks.len(), 1);
+                assert_eq!(t.foreign_keys.len(), 1);
+                assert!(t.column_named("title").unwrap().not_null);
+                // CHECK column got qualified
+                let cols = t.checks[0].expr.columns();
+                assert!(cols[0].matches("book", "price"));
+            }
+            other => panic!("expected CREATE TABLE, got {other}"),
+        }
+    }
+
+    #[test]
+    fn parse_left_join_view_fig11() {
+        let s = Parser::parse_stmt(
+            "CREATE VIEW RelationalBookView AS \
+             SELECT p.pubid, p.pubname, b.bookid, b.title, b.price, r.reviewid, r.comment \
+             FROM ( Publisher AS p LEFT JOIN ( Book AS b LEFT JOIN Review AS r \
+             ON b.bookid = r.bookid ) ON p.pubid = b.pubid )",
+        )
+        .unwrap();
+        match s {
+            Stmt::CreateView(v) => {
+                assert_eq!(v.name, "RelationalBookView");
+                assert_eq!(v.select.items.len(), 7);
+                let tables: Vec<&str> =
+                    v.select.from[0].tables().iter().map(|t| t.binding()).collect();
+                assert_eq!(tables, vec!["p", "b", "r"]);
+            }
+            other => panic!("expected CREATE VIEW, got {other}"),
+        }
+    }
+
+    #[test]
+    fn parse_update_and_txn() {
+        let s = Parser::parse_stmt("UPDATE book SET price = 30.00 WHERE bookid = '98001'").unwrap();
+        assert!(matches!(s, Stmt::Update(_)));
+        assert!(matches!(Parser::parse_stmt("BEGIN").unwrap(), Stmt::Begin));
+        assert!(matches!(Parser::parse_stmt("ROLLBACK;").unwrap(), Stmt::Rollback));
+    }
+
+    #[test]
+    fn parse_qualified_wildcard_and_alias() {
+        let q = Parser::parse_select("SELECT b.* FROM book b WHERE b.price < 50").unwrap();
+        assert!(matches!(&q.items[0], SelectItem::QualifiedWildcard(a) if a == "b"));
+    }
+
+    #[test]
+    fn parse_is_null_and_in_set() {
+        let q = Parser::parse_select(
+            "SELECT * FROM book WHERE pubid IS NOT NULL AND bookid IN ('a', 'b')",
+        )
+        .unwrap();
+        let w = q.where_clause.unwrap();
+        assert_eq!(w.conjuncts().len(), 2);
+    }
+
+    #[test]
+    fn reject_garbage() {
+        assert!(Parser::parse_stmt("SELECT FROM").is_err());
+        assert!(Parser::parse_stmt("FLY me TO the moon").is_err());
+    }
+}

@@ -1,0 +1,166 @@
+//! Tuple storage: slotted per-table heaps addressed by [`RowId`].
+//!
+//! The paper's translated updates address tuples by Oracle `ROWID`
+//! (e.g. `delete from book where rowid = t3` in §5). `RowId` plays that role:
+//! stable for the lifetime of a row, never reused within a table, usable in
+//! undo logs for exact rollback.
+
+use crate::types::Value;
+
+/// Stable address of a row within its table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowId(pub u64);
+
+impl std::fmt::Display for RowId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// One stored tuple.
+pub type Row = Vec<Value>;
+
+/// Heap of rows for one table. Deletions leave tombstones so RowIds stay
+/// stable; `compact` statistics are available for tests.
+#[derive(Debug, Clone, Default)]
+pub struct Heap {
+    slots: Vec<Option<Row>>,
+    live: usize,
+}
+
+impl Heap {
+    pub fn new() -> Heap {
+        Heap::default()
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Total slots including tombstones (bounded scan domain).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn insert(&mut self, row: Row) -> RowId {
+        let id = RowId(self.slots.len() as u64);
+        self.slots.push(Some(row));
+        self.live += 1;
+        id
+    }
+
+    /// Re-insert a row at the slot it previously occupied (rollback path).
+    /// Panics if the slot is occupied — undo replay must be consistent.
+    pub fn restore(&mut self, id: RowId, row: Row) {
+        let idx = id.0 as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, None);
+        }
+        assert!(self.slots[idx].is_none(), "restore into occupied slot {id}");
+        self.slots[idx] = Some(row);
+        self.live += 1;
+    }
+
+    pub fn get(&self, id: RowId) -> Option<&Row> {
+        self.slots.get(id.0 as usize).and_then(|s| s.as_ref())
+    }
+
+    pub fn delete(&mut self, id: RowId) -> Option<Row> {
+        let slot = self.slots.get_mut(id.0 as usize)?;
+        let row = slot.take();
+        if row.is_some() {
+            self.live -= 1;
+        }
+        row
+    }
+
+    /// Overwrite a row in place, returning the previous image.
+    pub fn update(&mut self, id: RowId, row: Row) -> Option<Row> {
+        let slot = self.slots.get_mut(id.0 as usize)?;
+        match slot {
+            Some(old) => Some(std::mem::replace(old, row)),
+            None => None,
+        }
+    }
+
+    /// Iterate live rows with their RowIds.
+    pub fn scan(&self) -> impl Iterator<Item = (RowId, &Row)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|r| (RowId(i as u64), r)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(i: i64) -> Row {
+        vec![Value::Int(i)]
+    }
+
+    #[test]
+    fn insert_get_delete() {
+        let mut h = Heap::new();
+        let a = h.insert(row(1));
+        let b = h.insert(row(2));
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.get(a), Some(&row(1)));
+        assert_eq!(h.delete(a), Some(row(1)));
+        assert_eq!(h.get(a), None);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.get(b), Some(&row(2)));
+    }
+
+    #[test]
+    fn rowids_are_never_reused() {
+        let mut h = Heap::new();
+        let a = h.insert(row(1));
+        h.delete(a);
+        let b = h.insert(row(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn restore_rehydrates_exact_slot() {
+        let mut h = Heap::new();
+        let a = h.insert(row(1));
+        let _b = h.insert(row(2));
+        let old = h.delete(a).unwrap();
+        h.restore(a, old);
+        assert_eq!(h.get(a), Some(&row(1)));
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn scan_skips_tombstones() {
+        let mut h = Heap::new();
+        let a = h.insert(row(1));
+        h.insert(row(2));
+        h.insert(row(3));
+        h.delete(a);
+        let ids: Vec<i64> = h
+            .scan()
+            .map(|(_, r)| match r[0] {
+                Value::Int(i) => i,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ids, vec![2, 3]);
+    }
+
+    #[test]
+    fn update_returns_old_image() {
+        let mut h = Heap::new();
+        let a = h.insert(row(1));
+        let old = h.update(a, row(9)).unwrap();
+        assert_eq!(old, row(1));
+        assert_eq!(h.get(a), Some(&row(9)));
+    }
+}

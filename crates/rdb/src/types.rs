@@ -1,0 +1,305 @@
+//! Runtime values and column data types.
+//!
+//! The engine is dynamically typed at the storage layer: every cell holds a
+//! [`Value`]. Column declarations carry a [`DataType`] that inserts are
+//! validated against (the paper's *domain constraints*, §3.1).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Declared type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float (`DOUBLE` in the paper's DDL).
+    Double,
+    /// UTF-8 string (`VARCHAR2` in the paper's DDL).
+    Str,
+    /// Calendar date, stored as days; parsed from `YYYY-MM-DD` or a year.
+    Date,
+    /// Boolean.
+    Bool,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int => "INT",
+            DataType::Double => "DOUBLE",
+            DataType::Str => "VARCHAR",
+            DataType::Date => "DATE",
+            DataType::Bool => "BOOLEAN",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single cell value.
+///
+/// `Null` is a first-class member with SQL semantics: comparisons against
+/// `Null` yield "unknown", which predicate evaluation treats as `false`.
+#[derive(Debug, Clone)]
+pub enum Value {
+    Null,
+    Int(i64),
+    Double(f64),
+    Str(String),
+    /// Days since an arbitrary epoch; ordering is chronological.
+    Date(i64),
+    Bool(bool),
+}
+
+impl Value {
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The [`DataType`] this value inhabits, or `None` for `Null`.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Double(_) => Some(DataType::Double),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Date(_) => Some(DataType::Date),
+            Value::Bool(_) => Some(DataType::Bool),
+        }
+    }
+
+    /// Whether this value can be stored in a column of type `ty`.
+    ///
+    /// Ints are accepted by `Double` and `Date` columns (widening), matching
+    /// the loose literals of the paper's examples (`year > 1990`).
+    pub fn conforms_to(&self, ty: DataType) -> bool {
+        match (self, ty) {
+            (Value::Null, _) => true,
+            (Value::Int(_), DataType::Int | DataType::Double | DataType::Date) => true,
+            (Value::Double(_), DataType::Double) => true,
+            (Value::Str(_), DataType::Str) => true,
+            (Value::Date(_), DataType::Date) => true,
+            (Value::Bool(_), DataType::Bool) => true,
+            _ => false,
+        }
+    }
+
+    /// Coerce into the representation used by a column of type `ty`.
+    pub fn coerce(self, ty: DataType) -> Value {
+        match (self, ty) {
+            (Value::Int(i), DataType::Double) => Value::Double(i as f64),
+            (Value::Int(i), DataType::Date) => Value::Date(i),
+            (v, _) => v,
+        }
+    }
+
+    /// Numeric view used by arithmetic and numeric comparison.
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Double(d) => Some(*d),
+            Value::Date(d) => Some(*d as f64),
+            _ => None,
+        }
+    }
+
+    /// Three-valued SQL comparison. `None` means *unknown* (a `Null` was
+    /// involved or the values are incomparable).
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (a, b) => {
+                let (x, y) = (a.as_f64()?, b.as_f64()?);
+                x.partial_cmp(&y)
+            }
+        }
+    }
+
+    /// Equality under SQL semantics (`Null = x` is unknown → `None`).
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        self.sql_cmp(other).map(|o| o == Ordering::Equal)
+    }
+
+    /// Render the value the way the default XML view prints text nodes.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Null => String::new(),
+            Value::Int(i) => i.to_string(),
+            Value::Double(d) => {
+                if d.fract() == 0.0 && d.abs() < 1e15 {
+                    format!("{d:.2}")
+                } else {
+                    d.to_string()
+                }
+            }
+            Value::Str(s) => s.clone(),
+            Value::Date(d) => d.to_string(),
+            Value::Bool(b) => b.to_string(),
+        }
+    }
+
+    /// Parse a text node back into a value of declared type `ty`
+    /// (used when an XML update supplies element text for a column).
+    pub fn parse_as(text: &str, ty: DataType) -> Option<Value> {
+        let t = text.trim();
+        if t.is_empty() {
+            return Some(Value::Null);
+        }
+        match ty {
+            DataType::Int => t.parse().ok().map(Value::Int),
+            DataType::Double => t.parse().ok().map(Value::Double),
+            DataType::Str => Some(Value::Str(t.to_string())),
+            DataType::Date => t.parse().ok().map(Value::Date),
+            DataType::Bool => t.parse().ok().map(Value::Bool),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    /// Structural equality: used by storage, indexes and tests.
+    /// Unlike [`Value::sql_eq`], `Null == Null` here.
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Double(a), Value::Double(b)) => a.to_bits() == b.to_bits(),
+            (Value::Int(a), Value::Double(b)) | (Value::Double(b), Value::Int(a)) => {
+                *a as f64 == *b
+            }
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Date(a), Value::Date(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            // Ints and integral doubles must hash alike because they compare
+            // equal (see PartialEq above).
+            Value::Int(i) => {
+                1u8.hash(state);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Double(d) => {
+                1u8.hash(state);
+                d.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                2u8.hash(state);
+                s.hash(state);
+            }
+            Value::Date(d) => {
+                3u8.hash(state);
+                d.hash(state);
+            }
+            Value::Bool(b) => {
+                4u8.hash(state);
+                b.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            // SQL string literal form; embedded quotes double themselves.
+            Value::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            other => f.write_str(&other.render()),
+        }
+    }
+}
+
+/// Total ordering for sorting (Null first, then by type tag, then value).
+/// Used by ordered indexes; distinct from three-valued SQL comparison.
+pub fn total_cmp(a: &Value, b: &Value) -> Ordering {
+    fn rank(v: &Value) -> u8 {
+        match v {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Double(_) | Value::Date(_) => 2,
+            Value::Str(_) => 3,
+        }
+    }
+    match (a, b) {
+        (Value::Str(x), Value::Str(y)) => x.cmp(y),
+        (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
+        _ => match (rank(a), rank(b)) {
+            (ra, rb) if ra != rb => ra.cmp(&rb),
+            _ => a
+                .sql_cmp(b)
+                .unwrap_or_else(|| format!("{a}").cmp(&format!("{b}"))),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        assert_eq!(Value::Null.sql_eq(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
+    }
+
+    #[test]
+    fn numeric_cross_type_compare() {
+        assert_eq!(Value::Int(2).sql_cmp(&Value::Double(2.0)), Some(Ordering::Equal));
+        assert_eq!(Value::Int(2).sql_cmp(&Value::Double(2.5)), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn string_compare_is_lexicographic() {
+        assert_eq!(
+            Value::str("abc").sql_cmp(&Value::str("abd")),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn conformance_and_coercion() {
+        assert!(Value::Int(5).conforms_to(DataType::Double));
+        assert!(!Value::str("x").conforms_to(DataType::Int));
+        assert_eq!(Value::Int(5).coerce(DataType::Double), Value::Double(5.0));
+        assert!(Value::Null.conforms_to(DataType::Int));
+    }
+
+    #[test]
+    fn render_round_trip() {
+        let v = Value::Double(37.0);
+        assert_eq!(v.render(), "37.00");
+        assert_eq!(
+            Value::parse_as("37.00", DataType::Double),
+            Some(Value::Double(37.0))
+        );
+        assert_eq!(Value::parse_as("  ", DataType::Int), Some(Value::Null));
+        assert_eq!(Value::parse_as("1997", DataType::Date), Some(Value::Date(1997)));
+    }
+
+    #[test]
+    fn int_double_hash_consistency() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(Value::Int(3));
+        assert!(s.contains(&Value::Double(3.0)));
+    }
+
+    #[test]
+    fn total_cmp_orders_nulls_first() {
+        assert_eq!(total_cmp(&Value::Null, &Value::Int(0)), Ordering::Less);
+        assert_eq!(total_cmp(&Value::Int(1), &Value::str("a")), Ordering::Less);
+    }
+}

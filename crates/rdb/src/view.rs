@@ -1,0 +1,329 @@
+//! Relational views, including the updatable join views required by the
+//! *internal* strategy of §6.2.1.
+//!
+//! The internal strategy maps the XML view to a relational view built from
+//! nested LEFT JOINs (Fig. 11) and converts the XML update into an update of
+//! that relational view. Inserting a view tuple decomposes, table by table
+//! along the join tree, into: verify the row if its key already exists
+//! (values must be consistent), or insert a new base row otherwise. Deletes
+//! address the right-most (finest-granularity) table of the join tree.
+
+use std::collections::HashMap;
+
+use crate::db::Db;
+use crate::error::{RdbError, Result};
+use crate::expr::{ColRef, Expr};
+use crate::sql::ast::{FromItem, Select, SelectItem};
+use crate::types::Value;
+
+/// Union-find over `(binding, column)` pairs for join-condition equality
+/// propagation: if `r.bookid = b.bookid` is an ON condition, a value known
+/// for `b.bookid` is known for `r.bookid` too.
+#[derive(Default)]
+struct ColUnion {
+    parent: HashMap<(String, String), (String, String)>,
+}
+
+impl ColUnion {
+    fn key(c: &ColRef) -> (String, String) {
+        (c.table.to_ascii_lowercase(), c.column.to_ascii_lowercase())
+    }
+
+    fn find(&mut self, k: (String, String)) -> (String, String) {
+        let p = match self.parent.get(&k) {
+            Some(p) if *p != k => p.clone(),
+            _ => return k,
+        };
+        let root = self.find(p);
+        self.parent.insert(k, root.clone());
+        root
+    }
+
+    fn union(&mut self, a: &ColRef, b: &ColRef) {
+        let ra = self.find(Self::key(a));
+        let rb = self.find(Self::key(b));
+        if ra != rb {
+            self.parent.insert(ra, rb);
+        }
+    }
+
+    fn root(&mut self, c: &ColRef) -> (String, String) {
+        self.find(Self::key(c))
+    }
+}
+
+/// Static description of a view: which base column each output column comes
+/// from, the join tree's tables in order, and the equality classes.
+struct ViewShape {
+    /// (output name lowercase) → source column.
+    output: Vec<(String, ColRef)>,
+    /// Base tables in join-tree order: (table, binding).
+    tables: Vec<(String, String)>,
+    union: ColUnion,
+}
+
+fn analyse(db: &Db, view_name: &str) -> Result<ViewShape> {
+    let def = db
+        .view_def(view_name)
+        .ok_or_else(|| RdbError::NoSuchTable(view_name.to_string()))?
+        .clone();
+    shape_of(db, &def.select, view_name)
+}
+
+fn shape_of(db: &Db, select: &Select, view_name: &str) -> Result<ViewShape> {
+    let mut output = Vec::new();
+    for item in &select.items {
+        match item {
+            SelectItem::Expr { expr: Expr::Column(c), alias } => {
+                let name = alias.clone().unwrap_or_else(|| c.column.clone());
+                output.push((name.to_ascii_lowercase(), c.clone()));
+            }
+            _ => {
+                return Err(RdbError::ViewNotUpdatable(format!(
+                    "{view_name}: only plain column projections are updatable"
+                )))
+            }
+        }
+    }
+    let mut tables = Vec::new();
+    let mut union = ColUnion::default();
+    for item in &select.from {
+        collect_tables(db, item, &mut tables, &mut union)?;
+    }
+    if let Some(w) = &select.where_clause {
+        for c in w.conjuncts() {
+            if let Some((a, b)) = c.as_column_equality() {
+                union.union(a, b);
+            }
+        }
+    }
+    Ok(ViewShape { output, tables, union })
+}
+
+fn collect_tables(
+    db: &Db,
+    item: &FromItem,
+    tables: &mut Vec<(String, String)>,
+    union: &mut ColUnion,
+) -> Result<()> {
+    match item {
+        FromItem::Table(t) => {
+            if db.schema().table(&t.table).is_none() {
+                return Err(RdbError::NoSuchTable(t.table.clone()));
+            }
+            tables.push((t.table.clone(), t.binding().to_string()));
+            Ok(())
+        }
+        FromItem::Join { left, right, on, .. } => {
+            collect_tables(db, left, tables, union)?;
+            collect_tables(db, right, tables, union)?;
+            for c in on.conjuncts() {
+                if let Some((a, b)) = c.as_column_equality() {
+                    union.union(a, b);
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Insert rows through a join view (internal strategy).
+///
+/// For each base table along the join tree, in order:
+/// * if none of its columns received a value, the table is skipped
+///   (LEFT JOIN allows the absence of the right side);
+/// * if its primary key is derivable (directly or via join-equalities) and a
+///   row with that key exists, every supplied value must match the stored
+///   row, otherwise the insert is rejected;
+/// * if the key does not exist, a new base row is inserted (subject to all
+///   base constraints).
+///
+/// Returns the number of **base** rows inserted.
+pub fn insert_into_view(
+    db: &mut Db,
+    view_name: &str,
+    columns: &[String],
+    rows: &[Vec<Value>],
+) -> Result<usize> {
+    let mut shape = analyse(db, view_name)?;
+    // Resolve the supplied column list against the view's output.
+    let targets: Vec<usize> = if columns.is_empty() {
+        (0..shape.output.len()).collect()
+    } else {
+        columns
+            .iter()
+            .map(|c| {
+                shape
+                    .output
+                    .iter()
+                    .position(|(n, _)| n.eq_ignore_ascii_case(c))
+                    .ok_or_else(|| RdbError::NoSuchColumn {
+                        table: view_name.to_string(),
+                        column: c.clone(),
+                    })
+            })
+            .collect::<Result<_>>()?
+    };
+
+    let mut inserted = 0;
+    for row in rows {
+        if row.len() != targets.len() {
+            return Err(RdbError::Arity {
+                table: view_name.to_string(),
+                expected: targets.len(),
+                got: row.len(),
+            });
+        }
+        // Known values per equality-class root.
+        let mut known: HashMap<(String, String), Value> = HashMap::new();
+        for (ti, v) in targets.iter().zip(row) {
+            if v.is_null() {
+                continue;
+            }
+            let (_, src) = &shape.output[*ti];
+            let root = shape.union.root(src);
+            known.insert(root, v.clone());
+        }
+        let tables = shape.tables.clone();
+        for (table, binding) in &tables {
+            let schema = db.schema().table(table).expect("view over known table").clone();
+            // Values available for this table's columns.
+            let mut vals: Vec<Option<Value>> = Vec::with_capacity(schema.columns.len());
+            let mut any = false;
+            for col in &schema.columns {
+                let root = shape.union.root(&ColRef::new(binding.clone(), col.name.clone()));
+                let v = known.get(&root).cloned();
+                any |= v.is_some();
+                vals.push(v);
+            }
+            if !any {
+                continue; // nothing supplied for this table
+            }
+            // Key derivable?
+            let key_vals: Option<Vec<Value>> = schema
+                .primary_key
+                .iter()
+                .map(|k| {
+                    let i = schema.column_index(k).expect("pk column");
+                    vals[i].clone()
+                })
+                .collect();
+            let Some(key_vals) = key_vals else {
+                return Err(RdbError::ViewNotUpdatable(format!(
+                    "{view_name}: key of {table} not derivable from the supplied values"
+                )));
+            };
+            let existing = db.rows_matching(table, &schema.primary_key, &key_vals)?;
+            match existing.first() {
+                Some(rid) => {
+                    // Verify the supplied values agree with the stored row.
+                    let stored = db
+                        .table_data(table)
+                        .and_then(|d| d.heap.get(*rid))
+                        .cloned()
+                        .expect("matched row");
+                    for (i, v) in vals.iter().enumerate() {
+                        if let Some(v) = v {
+                            if stored[i].sql_eq(v) != Some(true) {
+                                return Err(RdbError::ViewNotUpdatable(format!(
+                                    "{view_name}: value for {table}.{} conflicts with the \
+                                     existing row ({} vs {})",
+                                    schema.columns[i].name, v, stored[i]
+                                )));
+                            }
+                        }
+                    }
+                }
+                None => {
+                    let full: Vec<Value> =
+                        vals.into_iter().map(|v| v.unwrap_or(Value::Null)).collect();
+                    db.insert(table, vec![full])?;
+                    inserted += 1;
+                }
+            }
+        }
+    }
+    Ok(inserted)
+}
+
+/// Delete through a join view: removes rows of the **right-most** table of
+/// the join tree whose key values appear in view rows matching `pred`.
+///
+/// Returns the number of base rows deleted.
+pub fn delete_from_view(db: &mut Db, view_name: &str, pred: Option<&Expr>) -> Result<usize> {
+    delete_from_view_target(db, view_name, pred, None)
+}
+
+/// Delete through a join view, targeting a specific (key-preserved) base
+/// table; defaults to the right-most table of the join tree.
+pub fn delete_from_view_target(
+    db: &mut Db,
+    view_name: &str,
+    pred: Option<&Expr>,
+    target: Option<&str>,
+) -> Result<usize> {
+    let mut shape = analyse(db, view_name)?;
+    let def = db.view_def(view_name).expect("analysed above").clone();
+    let chosen = match target {
+        Some(t) => shape
+            .tables
+            .iter()
+            .find(|(tab, _)| tab.eq_ignore_ascii_case(t))
+            .cloned()
+            .ok_or_else(|| {
+                RdbError::ViewNotUpdatable(format!("{view_name}: {t} is not part of the view"))
+            })?,
+        None => shape
+            .tables
+            .last()
+            .cloned()
+            .ok_or_else(|| RdbError::ViewNotUpdatable(format!("{view_name}: no tables")))?,
+    };
+    let (target_table, target_binding) = chosen;
+    let schema = db.schema().table(&target_table).expect("known table").clone();
+
+    // The target's key columns must be recoverable from the view output.
+    let mut key_outputs: Vec<usize> = Vec::new();
+    for k in &schema.primary_key {
+        let root = shape.union.root(&ColRef::new(target_binding.clone(), k.clone()));
+        let pos = shape.output.iter().position(|(_, src)| shape.union.root(src) == root);
+        match pos {
+            Some(p) => key_outputs.push(p),
+            None => {
+                return Err(RdbError::ViewNotUpdatable(format!(
+                    "{view_name}: key column {target_table}.{k} is not visible in the view"
+                )))
+            }
+        }
+    }
+
+    // Evaluate the view, filter with `pred` over output column names.
+    let rs = db.query(&def.select)?;
+    let mut deleted = 0;
+    for row in &rs.rows {
+        if let Some(p) = pred {
+            let resolver = |c: &ColRef| -> Result<Value> {
+                let idx = shape
+                    .output
+                    .iter()
+                    .position(|(n, _)| n.eq_ignore_ascii_case(&c.column))
+                    .ok_or_else(|| RdbError::NoSuchColumn {
+                        table: view_name.to_string(),
+                        column: c.column.clone(),
+                    })?;
+                Ok(row[idx].clone())
+            };
+            if !p.eval_predicate(&resolver)? {
+                continue;
+            }
+        }
+        let key: Vec<Value> = key_outputs.iter().map(|&i| row[i].clone()).collect();
+        if key.iter().any(Value::is_null) {
+            continue; // left-join padding: no base row to delete
+        }
+        for rid in db.rows_matching(&target_table, &schema.primary_key, &key)? {
+            deleted += db.delete_rid(&target_table, rid)?;
+        }
+    }
+    Ok(deleted)
+}

@@ -1,0 +1,126 @@
+//! SQL Display ↔ parse round trips: every statement the translation engine
+//! can emit must re-parse to an equivalent statement, so the printed SQL in
+//! reports is executable verbatim.
+
+use proptest::prelude::*;
+use ufilter_rdb::{
+    CmpOp, Delete, Expr, FromItem, Insert, Parser, Select, SelectItem, Stmt, TableRef, Value,
+};
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}"
+}
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i32>().prop_map(|i| Value::Int(i as i64)),
+        (-1000.0f64..1000.0).prop_map(|f| Value::Double((f * 100.0).round() / 100.0)),
+        "[a-zA-Z0-9 ']{0,12}".prop_map(Value::Str),
+    ]
+}
+
+fn cmp_strategy() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+/// `col θ literal` or `a.col = b.col` conjunctions — the predicate shapes
+/// probes and translated updates contain.
+fn where_strategy() -> impl Strategy<Value = Expr> {
+    let atom = prop_oneof![
+        (ident(), ident(), cmp_strategy(), value_strategy().prop_filter("non-null", |v| !v.is_null()))
+            .prop_map(|(t, c, op, v)| Expr::cmp(op, Expr::col(t, c), Expr::lit(v))),
+        (ident(), ident(), ident(), ident()).prop_map(|(t1, c1, t2, c2)| {
+            Expr::eq(Expr::col(t1, c1), Expr::col(t2, c2))
+        }),
+        (ident(), ident(), prop::collection::vec(value_strategy().prop_filter("nn", |v| !v.is_null()), 1..4))
+            .prop_map(|(t, c, set)| Expr::InSet {
+                expr: Box::new(Expr::col(t, c)),
+                set,
+                negated: false
+            }),
+    ];
+    prop::collection::vec(atom, 1..4).prop_map(Expr::and)
+}
+
+fn select_strategy() -> impl Strategy<Value = Select> {
+    (
+        prop::collection::vec((ident(), ident()), 1..4),
+        prop::collection::vec(ident(), 1..3),
+        prop::option::of(where_strategy()),
+    )
+        .prop_map(|(cols, tables, where_clause)| {
+            let items = cols
+                .into_iter()
+                .map(|(t, c)| SelectItem::Expr { expr: Expr::col(t, c), alias: None })
+                .collect();
+            let from = tables.into_iter().map(|t| FromItem::Table(TableRef::named(t))).collect();
+            Select::new(items, from, where_clause)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn select_display_reparses(sel in select_strategy()) {
+        let text = sel.to_string();
+        let parsed = Parser::parse_select(&text)
+            .unwrap_or_else(|e| panic!("unparseable: {text}: {e}"));
+        prop_assert_eq!(parsed, sel);
+    }
+
+    #[test]
+    fn insert_display_reparses(
+        table in ident(),
+        cols in prop::collection::vec(ident(), 1..5),
+        vals in prop::collection::vec(value_strategy(), 1..5),
+    ) {
+        let n = cols.len().min(vals.len());
+        let ins = Stmt::Insert(Insert {
+            table,
+            columns: cols[..n].to_vec(),
+            rows: vec![vals[..n].to_vec()],
+        });
+        let text = ins.to_string();
+        let parsed = Parser::parse_stmt(&text)
+            .unwrap_or_else(|e| panic!("unparseable: {text}: {e}"));
+        prop_assert_eq!(parsed, ins);
+    }
+
+    #[test]
+    fn delete_display_reparses(table in ident(), w in prop::option::of(where_strategy())) {
+        let del = Stmt::Delete(Delete { table, where_clause: w });
+        let text = del.to_string();
+        let parsed = Parser::parse_stmt(&text)
+            .unwrap_or_else(|e| panic!("unparseable: {text}: {e}"));
+        prop_assert_eq!(parsed, del);
+    }
+
+    #[test]
+    fn delete_with_in_subquery_reparses(
+        table in ident(),
+        col in ident(),
+        sub in select_strategy(),
+    ) {
+        let del = Stmt::Delete(Delete {
+            table: table.clone(),
+            where_clause: Some(Expr::InSubquery {
+                expr: Box::new(Expr::col(table, col)),
+                query: Box::new(sub),
+                negated: false,
+            }),
+        });
+        let text = del.to_string();
+        let parsed = Parser::parse_stmt(&text)
+            .unwrap_or_else(|e| panic!("unparseable: {text}: {e}"));
+        prop_assert_eq!(parsed, del);
+    }
+}

@@ -1,0 +1,77 @@
+//! TPC-H-like schema: the five relations the paper's evaluation nests
+//! (REGION, NATION, CUSTOMER, ORDERS, LINEITEM), with key and foreign-key
+//! constraints. Delete policy defaults to CASCADE (the paper's pre-selected
+//! policy); parameterizable for ablations.
+
+use ufilter_rdb::{Column, DataType, DatabaseSchema, DeletePolicy, TableSchema};
+
+/// Build the five-relation schema.
+pub fn tpch_schema(policy: DeletePolicy) -> DatabaseSchema {
+    let mut s = DatabaseSchema::new();
+    s.add(
+        TableSchema::new("region")
+            .column(Column::new("r_regionkey", DataType::Int))
+            .column(Column::new("r_name", DataType::Str).not_null())
+            .column(Column::new("r_comment", DataType::Str))
+            .primary_key(["r_regionkey"]),
+    );
+    s.add(
+        TableSchema::new("nation")
+            .column(Column::new("n_nationkey", DataType::Int))
+            .column(Column::new("n_name", DataType::Str).not_null())
+            .column(Column::new("n_regionkey", DataType::Int))
+            .column(Column::new("n_comment", DataType::Str))
+            .primary_key(["n_nationkey"])
+            .foreign_key("nation_region_fk", vec!["n_regionkey"], "region", vec!["r_regionkey"], policy),
+    );
+    s.add(
+        TableSchema::new("customer")
+            .column(Column::new("c_custkey", DataType::Int))
+            .column(Column::new("c_name", DataType::Str).not_null())
+            .column(Column::new("c_address", DataType::Str))
+            .column(Column::new("c_nationkey", DataType::Int))
+            .column(Column::new("c_phone", DataType::Str))
+            .column(Column::new("c_acctbal", DataType::Double))
+            .column(Column::new("c_mktsegment", DataType::Str))
+            .primary_key(["c_custkey"])
+            .foreign_key("customer_nation_fk", vec!["c_nationkey"], "nation", vec!["n_nationkey"], policy),
+    );
+    s.add(
+        TableSchema::new("orders")
+            .column(Column::new("o_orderkey", DataType::Int))
+            .column(Column::new("o_custkey", DataType::Int))
+            .column(Column::new("o_orderstatus", DataType::Str))
+            .column(Column::new("o_totalprice", DataType::Double))
+            .column(Column::new("o_orderdate", DataType::Date))
+            .column(Column::new("o_orderpriority", DataType::Str))
+            .primary_key(["o_orderkey"])
+            .foreign_key("orders_customer_fk", vec!["o_custkey"], "customer", vec!["c_custkey"], policy),
+    );
+    s.add(
+        TableSchema::new("lineitem")
+            .column(Column::new("l_orderkey", DataType::Int))
+            .column(Column::new("l_linenumber", DataType::Int))
+            .column(Column::new("l_partkey", DataType::Int))
+            .column(Column::new("l_quantity", DataType::Double))
+            .column(Column::new("l_extendedprice", DataType::Double))
+            .column(Column::new("l_discount", DataType::Double))
+            .column(Column::new("l_shipmode", DataType::Str))
+            .primary_key(["l_orderkey", "l_linenumber"])
+            .foreign_key("lineitem_orders_fk", vec!["l_orderkey"], "orders", vec!["o_orderkey"], policy),
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fk_chain_is_linear() {
+        let s = tpch_schema(DeletePolicy::Cascade);
+        let mut ext = s.extend("region", None);
+        ext.sort();
+        assert_eq!(ext, vec!["customer", "lineitem", "nation", "orders", "region"]);
+        assert_eq!(s.extend("lineitem", None), vec!["lineitem"]);
+    }
+}

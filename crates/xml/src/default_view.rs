@@ -1,0 +1,81 @@
+//! The *default XML view*: the one-to-one relational-to-XML mapping of
+//! Fig. 2 (`<DB><table><row><column>value</column>…</row></table></DB>`)
+//! used by XPERANTO/SilkRoute-style systems as the base every user view
+//! query ranges over.
+
+use ufilter_rdb::Db;
+
+use crate::node::Document;
+
+/// Publish the whole database as its default XML view.
+///
+/// NULL column values are published as an *absent* element, matching the
+/// `?`-cardinality convention the view ASG assigns to nullable leaves.
+pub fn default_view(db: &Db) -> Document {
+    let mut doc = Document::new("DB");
+    let root = doc.root();
+    let schema = db.schema().clone();
+    for table in &schema.tables {
+        let t_el = doc.new_element(table.name.clone());
+        doc.append_child(root, t_el);
+        if let Some(data) = db.table_data(&table.name) {
+            for (_, row) in data.heap.scan() {
+                let r_el = doc.new_element("row");
+                doc.append_child(t_el, r_el);
+                for (col, val) in table.columns.iter().zip(row) {
+                    if val.is_null() {
+                        continue;
+                    }
+                    doc.append_text_element(r_el, col.name.clone(), val.render());
+                }
+            }
+        }
+    }
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufilter_rdb::{Column, DataType, DatabaseSchema, Db, TableSchema, Value};
+
+    fn tiny_db() -> Db {
+        let mut s = DatabaseSchema::new();
+        s.add(
+            TableSchema::new("publisher")
+                .column(Column::new("pubid", DataType::Str))
+                .column(Column::new("pubname", DataType::Str))
+                .primary_key(["pubid"]),
+        );
+        let mut db = Db::with_schema(s).unwrap();
+        db.insert(
+            "publisher",
+            vec![
+                vec![Value::str("A01"), Value::str("McGraw-Hill Inc.")],
+                vec![Value::str("B01"), Value::Null],
+            ],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn shape_matches_fig2() {
+        let db = tiny_db();
+        let d = default_view(&db);
+        assert_eq!(d.name(d.root()), Some("DB"));
+        let rows = d.select(d.root(), &["publisher", "row"]);
+        assert_eq!(rows.len(), 2);
+        let names = d.select(d.root(), &["publisher", "row", "pubname"]);
+        assert_eq!(names.len(), 1); // NULL pubname omitted
+        assert_eq!(d.text_content(names[0]), "McGraw-Hill Inc.");
+    }
+
+    #[test]
+    fn reflects_updates() {
+        let mut db = tiny_db();
+        db.execute_sql("DELETE FROM publisher WHERE pubid = 'A01'").unwrap();
+        let d = default_view(&db);
+        assert_eq!(d.select(d.root(), &["publisher", "row"]).len(), 1);
+    }
+}

@@ -1,0 +1,371 @@
+//! Arena-backed XML document model.
+//!
+//! Elements and text nodes live in a flat arena addressed by [`NodeId`];
+//! parents and children are id links. This keeps subtree moves (the update
+//! language inserts/deletes whole subtrees) cheap and borrow-checker-free.
+
+/// Index of a node within its document's arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Node payload.
+#[derive(Debug, Clone)]
+pub enum NodeKind {
+    Element { name: String },
+    Text { content: String },
+}
+
+#[derive(Debug, Clone)]
+pub struct Node {
+    pub kind: NodeKind,
+    pub parent: Option<NodeId>,
+    pub children: Vec<NodeId>,
+}
+
+/// An XML document: an arena plus a root element.
+#[derive(Debug, Clone)]
+pub struct Document {
+    nodes: Vec<Node>,
+    root: NodeId,
+}
+
+impl Document {
+    /// Create a document with a root element of the given name.
+    pub fn new(root_name: impl Into<String>) -> Document {
+        let root = Node {
+            kind: NodeKind::Element { name: root_name.into() },
+            parent: None,
+            children: Vec::new(),
+        };
+        Document { nodes: vec![root], root: NodeId(0) }
+    }
+
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Allocate a new element (unattached).
+    pub fn new_element(&mut self, name: impl Into<String>) -> NodeId {
+        self.nodes.push(Node {
+            kind: NodeKind::Element { name: name.into() },
+            parent: None,
+            children: Vec::new(),
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Allocate a new text node (unattached).
+    pub fn new_text(&mut self, content: impl Into<String>) -> NodeId {
+        self.nodes.push(Node {
+            kind: NodeKind::Text { content: content.into() },
+            parent: None,
+            children: Vec::new(),
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Append `child` under `parent`.
+    pub fn append_child(&mut self, parent: NodeId, child: NodeId) {
+        debug_assert!(self.nodes[child.0].parent.is_none(), "child already attached");
+        self.nodes[child.0].parent = Some(parent);
+        self.nodes[parent.0].children.push(child);
+    }
+
+    /// Convenience: `<name>text</name>` appended under `parent`.
+    pub fn append_text_element(
+        &mut self,
+        parent: NodeId,
+        name: impl Into<String>,
+        text: impl Into<String>,
+    ) -> NodeId {
+        let el = self.new_element(name);
+        let t = self.new_text(text);
+        self.append_child(el, t);
+        self.append_child(parent, el);
+        el
+    }
+
+    /// Detach a node from its parent (subtree stays alive in the arena).
+    pub fn detach(&mut self, id: NodeId) {
+        if let Some(p) = self.nodes[id.0].parent.take() {
+            self.nodes[p.0].children.retain(|c| *c != id);
+        }
+    }
+
+    /// Element name, if `id` is an element.
+    pub fn name(&self, id: NodeId) -> Option<&str> {
+        match &self.nodes[id.0].kind {
+            NodeKind::Element { name } => Some(name),
+            NodeKind::Text { .. } => None,
+        }
+    }
+
+    pub fn is_element(&self, id: NodeId) -> bool {
+        matches!(self.nodes[id.0].kind, NodeKind::Element { .. })
+    }
+
+    pub fn is_text(&self, id: NodeId) -> bool {
+        matches!(self.nodes[id.0].kind, NodeKind::Text { .. })
+    }
+
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes[id.0].parent
+    }
+
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.nodes[id.0].children
+    }
+
+    /// Child elements only (skipping text nodes).
+    pub fn child_elements(&self, id: NodeId) -> Vec<NodeId> {
+        self.children(id).iter().copied().filter(|c| self.is_element(*c)).collect()
+    }
+
+    /// Child elements with the given name.
+    pub fn children_named(&self, id: NodeId, name: &str) -> Vec<NodeId> {
+        self.child_elements(id)
+            .into_iter()
+            .filter(|c| self.name(*c).is_some_and(|n| n == name))
+            .collect()
+    }
+
+    /// First child element with the given name.
+    pub fn child_named(&self, id: NodeId, name: &str) -> Option<NodeId> {
+        self.children_named(id, name).into_iter().next()
+    }
+
+    /// Concatenated text content of the subtree, trimmed.
+    pub fn text_content(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        self.collect_text(id, &mut out);
+        out.trim().to_string()
+    }
+
+    fn collect_text(&self, id: NodeId, out: &mut String) {
+        match &self.nodes[id.0].kind {
+            NodeKind::Text { content } => out.push_str(content),
+            NodeKind::Element { .. } => {
+                for c in self.children(id) {
+                    self.collect_text(*c, out);
+                }
+            }
+        }
+    }
+
+    /// Deep-copy the subtree rooted at `src_id` of `src` into this document,
+    /// returning the new (unattached) root id.
+    pub fn import_subtree(&mut self, src: &Document, src_id: NodeId) -> NodeId {
+        let new_id = match &src.nodes[src_id.0].kind {
+            NodeKind::Element { name } => self.new_element(name.clone()),
+            NodeKind::Text { content } => self.new_text(content.clone()),
+        };
+        for c in src.children(src_id) {
+            let nc = self.import_subtree(src, *c);
+            self.append_child(new_id, nc);
+        }
+        new_id
+    }
+
+    /// Walk the subtree by child element names (`["book", "row"]` etc.),
+    /// collecting every match.
+    pub fn select(&self, from: NodeId, steps: &[&str]) -> Vec<NodeId> {
+        let mut current = vec![from];
+        for step in steps {
+            let mut next = Vec::new();
+            for n in current {
+                if *step == "text()" {
+                    next.extend(self.children(n).iter().copied().filter(|c| self.is_text(*c)));
+                } else {
+                    next.extend(self.children_named(n, step));
+                }
+            }
+            current = next;
+        }
+        current
+    }
+
+    /// Ordered structural equality of two subtrees (text trimmed;
+    /// whitespace-only text nodes ignored).
+    pub fn subtree_eq(&self, a: NodeId, other: &Document, b: NodeId) -> bool {
+        match (&self.nodes[a.0].kind, &other.nodes[b.0].kind) {
+            (NodeKind::Text { content: x }, NodeKind::Text { content: y }) => {
+                text_eq(x.trim(), y.trim())
+            }
+            (NodeKind::Element { name: x }, NodeKind::Element { name: y }) => {
+                if x != y {
+                    return false;
+                }
+                let ac = self.significant_children(a);
+                let bc = other.significant_children(b);
+                ac.len() == bc.len()
+                    && ac.iter().zip(&bc).all(|(ca, cb)| self.subtree_eq(*ca, other, *cb))
+            }
+            _ => false,
+        }
+    }
+
+    /// Unordered structural equality: children are compared as multisets.
+    /// Used by the rectangle-rule verifier where regeneration order (heap
+    /// scan order) may differ from the user's insertion position.
+    pub fn subtree_eq_unordered(&self, a: NodeId, other: &Document, b: NodeId) -> bool {
+        self.canon(a) == other.canon(b)
+    }
+
+    fn significant_children(&self, id: NodeId) -> Vec<NodeId> {
+        self.children(id)
+            .iter()
+            .copied()
+            .filter(|c| match &self.nodes[c.0].kind {
+                NodeKind::Text { content } => !content.trim().is_empty(),
+                NodeKind::Element { .. } => true,
+            })
+            .collect()
+    }
+
+    /// Canonical string form with children sorted recursively; two subtrees
+    /// are unordered-equal iff their canonical forms match.
+    pub fn canon(&self, id: NodeId) -> String {
+        match &self.nodes[id.0].kind {
+            NodeKind::Text { content } => {
+                format!("#{};", escape_canon(&canonical_text(content.trim())))
+            }
+            NodeKind::Element { name } => {
+                let mut kids: Vec<String> =
+                    self.significant_children(id).iter().map(|c| self.canon(*c)).collect();
+                kids.sort();
+                format!("<{name}>{}</>", kids.join(""))
+            }
+        }
+    }
+
+    /// Number of element nodes in the subtree.
+    pub fn count_elements(&self, id: NodeId) -> usize {
+        let own = usize::from(self.is_element(id));
+        own + self.children(id).iter().map(|c| self.count_elements(*c)).sum::<usize>()
+    }
+}
+
+fn escape_canon(s: &str) -> String {
+    s.replace('\\', "\\\\").replace(';', "\\;").replace('<', "\\<")
+}
+
+/// Numeric text compares by value (`7` ≡ `7.00`): a view regenerated from
+/// the database renders numbers in the engine's canonical form, while
+/// user-supplied fragments carry free-form digits.
+fn text_eq(a: &str, b: &str) -> bool {
+    if a == b {
+        return true;
+    }
+    match (a.parse::<f64>(), b.parse::<f64>()) {
+        (Ok(x), Ok(y)) => x == y,
+        _ => false,
+    }
+}
+
+fn canonical_text(t: &str) -> String {
+    match t.parse::<f64>() {
+        Ok(f) if f.is_finite() => format!("{f}"),
+        _ => t.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Document {
+        let mut d = Document::new("BookView");
+        let book = d.new_element("book");
+        d.append_child(d.root(), book);
+        d.append_text_element(book, "bookid", "98001");
+        d.append_text_element(book, "title", "TCP/IP Illustrated");
+        d
+    }
+
+    #[test]
+    fn build_and_navigate() {
+        let d = sample();
+        let books = d.children_named(d.root(), "book");
+        assert_eq!(books.len(), 1);
+        let id = d.child_named(books[0], "bookid").unwrap();
+        assert_eq!(d.text_content(id), "98001");
+    }
+
+    #[test]
+    fn select_with_steps() {
+        let d = sample();
+        let ids = d.select(d.root(), &["book", "bookid"]);
+        assert_eq!(ids.len(), 1);
+        let texts = d.select(d.root(), &["book", "bookid", "text()"]);
+        assert_eq!(texts.len(), 1);
+        assert!(d.is_text(texts[0]));
+    }
+
+    #[test]
+    fn detach_removes_from_parent() {
+        let mut d = sample();
+        let book = d.children_named(d.root(), "book")[0];
+        d.detach(book);
+        assert!(d.children_named(d.root(), "book").is_empty());
+        assert!(d.parent(book).is_none());
+    }
+
+    #[test]
+    fn import_subtree_deep_copies() {
+        let src = sample();
+        let mut dst = Document::new("Other");
+        let book = src.children_named(src.root(), "book")[0];
+        let copy = dst.import_subtree(&src, book);
+        dst.append_child(dst.root(), copy);
+        assert!(src.subtree_eq(book, &dst, copy));
+    }
+
+    #[test]
+    fn ordered_vs_unordered_equality() {
+        let mut a = Document::new("r");
+        a.append_text_element(a.root(), "x", "1");
+        a.append_text_element(a.root(), "y", "2");
+        let mut b = Document::new("r");
+        b.append_text_element(b.root(), "y", "2");
+        b.append_text_element(b.root(), "x", "1");
+        assert!(!a.subtree_eq(a.root(), &b, b.root()));
+        assert!(a.subtree_eq_unordered(a.root(), &b, b.root()));
+    }
+
+    #[test]
+    fn unordered_equality_is_multiset_not_set() {
+        let mut a = Document::new("r");
+        a.append_text_element(a.root(), "x", "1");
+        a.append_text_element(a.root(), "x", "1");
+        let mut b = Document::new("r");
+        b.append_text_element(b.root(), "x", "1");
+        assert!(!a.subtree_eq_unordered(a.root(), &b, b.root()));
+    }
+
+    #[test]
+    fn whitespace_text_is_insignificant() {
+        let mut a = Document::new("r");
+        let t = a.new_text("   \n  ");
+        a.append_child(a.root(), t);
+        let b = Document::new("r");
+        assert!(a.subtree_eq(a.root(), &b, b.root()));
+    }
+
+    #[test]
+    fn count_elements_counts_subtree() {
+        let d = sample();
+        assert_eq!(d.count_elements(d.root()), 4); // root, book, bookid, title
+    }
+}

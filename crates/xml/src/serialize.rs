@@ -1,0 +1,104 @@
+//! XML serialization: compact and pretty-printed forms.
+
+use crate::node::{Document, NodeId, NodeKind};
+
+/// Escape text content.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Compact serialization of a subtree.
+pub fn to_string(doc: &Document, id: NodeId) -> String {
+    let mut out = String::new();
+    write_compact(doc, id, &mut out);
+    out
+}
+
+fn write_compact(doc: &Document, id: NodeId, out: &mut String) {
+    match &doc.node(id).kind {
+        NodeKind::Text { content } => out.push_str(&escape(content)),
+        NodeKind::Element { name } => {
+            if doc.children(id).is_empty() {
+                out.push_str(&format!("<{name}/>"));
+            } else {
+                out.push_str(&format!("<{name}>"));
+                for c in doc.children(id) {
+                    write_compact(doc, *c, out);
+                }
+                out.push_str(&format!("</{name}>"));
+            }
+        }
+    }
+}
+
+/// Pretty-printed serialization (2-space indent), in the style of the
+/// paper's Figs. 2–3.
+pub fn to_pretty_string(doc: &Document, id: NodeId) -> String {
+    let mut out = String::new();
+    write_pretty(doc, id, 0, &mut out);
+    out
+}
+
+fn write_pretty(doc: &Document, id: NodeId, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    match &doc.node(id).kind {
+        NodeKind::Text { content } => {
+            out.push_str(&format!("{pad}{}\n", escape(content.trim())));
+        }
+        NodeKind::Element { name } => {
+            let kids = doc.children(id);
+            if kids.is_empty() {
+                out.push_str(&format!("{pad}<{name}/>\n"));
+            } else if kids.len() == 1 && doc.is_text(kids[0]) {
+                let text = doc.text_content(id);
+                out.push_str(&format!("{pad}<{name}>{}</{name}>\n", escape(&text)));
+            } else {
+                out.push_str(&format!("{pad}<{name}>\n"));
+                for c in kids {
+                    write_pretty(doc, *c, depth + 1, out);
+                }
+                out.push_str(&format!("{pad}</{name}>\n"));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    #[test]
+    fn round_trip_compact() {
+        let src = "<a><b>x &amp; y</b><c/><d>z</d></a>";
+        let d = parse(src).unwrap();
+        assert_eq!(to_string(&d, d.root()), src);
+    }
+
+    #[test]
+    fn round_trip_through_pretty() {
+        let src = "<BookView><book><bookid>98001</bookid></book><book><bookid>98003</bookid></book></BookView>";
+        let d = parse(src).unwrap();
+        let pretty = to_pretty_string(&d, d.root());
+        let reparsed = parse(&pretty).unwrap();
+        assert!(d.subtree_eq(d.root(), &reparsed, reparsed.root()));
+        assert!(pretty.contains("  <book>"));
+    }
+
+    #[test]
+    fn escaping_applied() {
+        let mut d = crate::node::Document::new("p");
+        let t = d.new_text("a < b & c");
+        d.append_child(d.root(), t);
+        assert_eq!(to_string(&d, d.root()), "<p>a &lt; b &amp; c</p>");
+    }
+}

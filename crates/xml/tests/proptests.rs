@@ -1,0 +1,133 @@
+//! Property tests: serializer/parser round trips and canonical-form laws
+//! over randomized XML trees.
+
+use proptest::prelude::*;
+use ufilter_xml::{parse, to_pretty_string, to_string, Document, NodeId};
+
+/// A recursive value-level tree we can turn into a Document.
+#[derive(Debug, Clone)]
+enum Tree {
+    Text(String),
+    Element(String, Vec<Tree>),
+}
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,7}"
+}
+
+/// Text without leading/trailing whitespace (the model trims) and at least
+/// one non-space char.
+fn text_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9<&> ]{0,18}[a-zA-Z0-9<&>]"
+}
+
+fn tree_strategy() -> impl Strategy<Value = Tree> {
+    let leaf = prop_oneof![
+        text_strategy().prop_map(Tree::Text),
+        name_strategy().prop_map(|n| Tree::Element(n, Vec::new())),
+    ];
+    leaf.prop_recursive(3, 32, 4, |inner| {
+        (name_strategy(), prop::collection::vec(inner, 0..4))
+            .prop_map(|(n, kids)| Tree::Element(n, merge_adjacent_text(kids)))
+    })
+}
+
+/// Adjacent text nodes are indistinguishable from one merged node in
+/// serialized XML (the infoset property); normalize the model accordingly.
+fn merge_adjacent_text(kids: Vec<Tree>) -> Vec<Tree> {
+    let mut out: Vec<Tree> = Vec::new();
+    for k in kids {
+        match (out.last_mut(), k) {
+            (Some(Tree::Text(prev)), Tree::Text(t)) => {
+                prev.push(' '); // a separator survives trimming on both sides
+                prev.push_str(&t);
+            }
+            (_, other) => out.push(other),
+        }
+    }
+    out
+}
+
+fn build(doc: &mut Document, parent: NodeId, t: &Tree) {
+    match t {
+        Tree::Text(s) => {
+            let n = doc.new_text(s.clone());
+            doc.append_child(parent, n);
+        }
+        Tree::Element(name, kids) => {
+            let el = doc.new_element(name.clone());
+            doc.append_child(parent, el);
+            for k in kids {
+                build(doc, el, k);
+            }
+        }
+    }
+}
+
+fn doc_of(kids: &[Tree]) -> Document {
+    let mut d = Document::new("root");
+    let root = d.root();
+    for k in merge_adjacent_text(kids.to_vec()) {
+        build(&mut d, root, &k);
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn compact_round_trip(kids in prop::collection::vec(tree_strategy(), 0..4)) {
+        let d = doc_of(&kids);
+        let text = to_string(&d, d.root());
+        let back = parse(&text).unwrap();
+        prop_assert!(d.subtree_eq(d.root(), &back, back.root()),
+            "compact round trip failed for: {text}");
+    }
+
+    #[test]
+    fn pretty_round_trip(kids in prop::collection::vec(tree_strategy(), 0..4)) {
+        let d = doc_of(&kids);
+        let text = to_pretty_string(&d, d.root());
+        let back = parse(&text).unwrap();
+        prop_assert!(d.subtree_eq(d.root(), &back, back.root()),
+            "pretty round trip failed for: {text}");
+    }
+
+    #[test]
+    fn ordered_eq_implies_unordered_eq(kids in prop::collection::vec(tree_strategy(), 0..4)) {
+        let d = doc_of(&kids);
+        let clone = doc_of(&kids);
+        prop_assert!(d.subtree_eq(d.root(), &clone, clone.root()));
+        prop_assert!(d.subtree_eq_unordered(d.root(), &clone, clone.root()));
+    }
+
+    #[test]
+    fn shuffled_children_stay_unordered_equal(
+        kids in prop::collection::vec(tree_strategy(), 2..5)
+    ) {
+        // Normalize first: reversing *before* merging could fuse different
+        // text pairs on the two sides.
+        let kids = merge_adjacent_text(kids);
+        let d = doc_of(&kids);
+        let mut reversed = kids.clone();
+        reversed.reverse();
+        let r = doc_of(&reversed);
+        prop_assert!(d.subtree_eq_unordered(d.root(), &r, r.root()));
+    }
+
+    #[test]
+    fn canon_is_deterministic(kids in prop::collection::vec(tree_strategy(), 0..4)) {
+        let d = doc_of(&kids);
+        prop_assert_eq!(d.canon(d.root()), d.canon(d.root()));
+    }
+
+    #[test]
+    fn import_subtree_preserves_structure(kids in prop::collection::vec(tree_strategy(), 1..4)) {
+        let d = doc_of(&kids);
+        let mut other = Document::new("elsewhere");
+        let copied = other.import_subtree(&d, d.root());
+        other.append_child(other.root(), copied);
+        prop_assert!(d.subtree_eq(d.root(), &other, copied));
+    }
+}

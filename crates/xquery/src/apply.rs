@@ -1,0 +1,264 @@
+//! Apply an update statement directly to a **materialized** view document.
+//!
+//! This implements `u(V)` from Definition 1's rectangle rule: U-Filter never
+//! needs it to *check* updates (that is the whole point), but the
+//! rectangle-rule verifier and the Fig. 14 "blind translation" baseline
+//! compare `u(DEF_V(D))` with `DEF_V(U(D))`, and both sides need an
+//! executable semantics for `u` over XML trees.
+
+use ufilter_xml::{Document, NodeId};
+
+use crate::ast::{Operand, PathExpr, Predicate};
+use crate::eval::EvalError;
+use crate::update::{UpdBinding, UpdateAction, UpdateStmt};
+
+/// Outcome of applying an update to a document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ApplyOutcome {
+    /// Elements inserted (fragment roots).
+    pub inserted: usize,
+    /// Nodes detached.
+    pub deleted: usize,
+    /// Target bindings that matched.
+    pub matched: usize,
+}
+
+/// Bind variables, filter by WHERE, and perform the actions.
+pub fn apply_update(doc: &mut Document, u: &UpdateStmt) -> Result<ApplyOutcome, EvalError> {
+    // Enumerate environments (variable → node).
+    let mut envs: Vec<Vec<(String, NodeId)>> = vec![Vec::new()];
+    for b in &u.bindings {
+        let mut next = Vec::new();
+        for env in &envs {
+            let nodes: Vec<NodeId> = match b {
+                UpdBinding::Document { steps, .. } => {
+                    if steps.is_empty() {
+                        vec![doc.root()]
+                    } else {
+                        let steps: Vec<&str> = steps.iter().map(String::as_str).collect();
+                        doc.select(doc.root(), &steps)
+                    }
+                }
+                UpdBinding::Path { path, .. } => {
+                    let base = env_lookup(env, &path.var).ok_or_else(|| {
+                        EvalError::new(format!("unbound variable ${} in binding", path.var))
+                    })?;
+                    let steps: Vec<&str> = path.steps.iter().map(String::as_str).collect();
+                    doc.select(base, &steps)
+                }
+            };
+            for n in nodes {
+                let mut e2 = env.clone();
+                e2.push((b.var().to_string(), n));
+                next.push(e2);
+            }
+        }
+        envs = next;
+    }
+
+    // WHERE filter.
+    envs.retain(|env| u.predicates.iter().all(|p| eval_pred(doc, env, p)));
+
+    let mut out = ApplyOutcome::default();
+    // Deduplicate target nodes but keep one representative env per target
+    // (action paths may reference other bound variables).
+    let mut seen = std::collections::HashSet::new();
+    let mut work: Vec<Vec<(String, NodeId)>> = Vec::new();
+    for env in envs {
+        let target = env_lookup(&env, &u.target)
+            .ok_or_else(|| EvalError::new(format!("UPDATE target ${} unbound", u.target)))?;
+        // Deduplicate by (target, action-relevant bindings).
+        let key: Vec<NodeId> = env.iter().map(|(_, n)| *n).collect();
+        let _ = target;
+        if seen.insert(key) {
+            work.push(env);
+        }
+    }
+    out.matched = work.len();
+
+    for env in work {
+        let target = env_lookup(&env, &u.target).expect("checked above");
+        for action in &u.actions {
+            match action {
+                UpdateAction::Insert(frag) => {
+                    let copy = doc.import_subtree(frag, frag.root());
+                    doc.append_child(target, copy);
+                    out.inserted += 1;
+                }
+                UpdateAction::Delete(path) => {
+                    for n in resolve_action_path(doc, &env, path)? {
+                        doc.detach(n);
+                        out.deleted += 1;
+                    }
+                }
+                UpdateAction::Replace { target: path, with } => {
+                    for n in resolve_action_path(doc, &env, path)? {
+                        let parent = doc.parent(n).ok_or_else(|| {
+                            EvalError::new("cannot replace the document root".to_string())
+                        })?;
+                        doc.detach(n);
+                        out.deleted += 1;
+                        let copy = doc.import_subtree(with, with.root());
+                        doc.append_child(parent, copy);
+                        out.inserted += 1;
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn env_lookup(env: &[(String, NodeId)], var: &str) -> Option<NodeId> {
+    env.iter().rev().find(|(v, _)| v == var).map(|(_, n)| *n)
+}
+
+fn resolve_action_path(
+    doc: &Document,
+    env: &[(String, NodeId)],
+    path: &PathExpr,
+) -> Result<Vec<NodeId>, EvalError> {
+    let base = env_lookup(env, &path.var)
+        .ok_or_else(|| EvalError::new(format!("unbound variable ${} in action", path.var)))?;
+    if path.steps.is_empty() {
+        return Ok(vec![base]);
+    }
+    let steps: Vec<&str> = path.steps.iter().map(String::as_str).collect();
+    Ok(doc.select(base, &steps))
+}
+
+fn eval_pred(doc: &Document, env: &[(String, NodeId)], p: &Predicate) -> bool {
+    let lhs = operand_text(doc, env, &p.lhs);
+    let rhs = operand_text(doc, env, &p.rhs);
+    let (Some(l), Some(r)) = (lhs, rhs) else { return false };
+    // Numeric comparison when both sides parse; else lexicographic.
+    let ord = match (l.parse::<f64>(), r.parse::<f64>()) {
+        (Ok(a), Ok(b)) => a.partial_cmp(&b),
+        _ => Some(l.cmp(&r)),
+    };
+    ord.is_some_and(|o| p.op.eval(o))
+}
+
+fn operand_text(doc: &Document, env: &[(String, NodeId)], o: &Operand) -> Option<String> {
+    match o {
+        Operand::Literal(v) => Some(v.render()),
+        Operand::Path(p) => {
+            let base = env_lookup(env, &p.var)?;
+            let steps: Vec<&str> = p.element_steps().iter().map(String::as_str).collect();
+            let nodes = if steps.is_empty() { vec![base] } else { doc.select(base, &steps) };
+            nodes.first().map(|n| doc.text_content(*n))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update::parse_update;
+    use ufilter_xml::parse::parse;
+
+    fn view() -> Document {
+        parse(
+            "<BookView>\
+               <book><bookid>98001</bookid><price>37.00</price>\
+                 <publisher><pubid>A01</pubid></publisher>\
+                 <review><reviewid>001</reviewid></review>\
+                 <review><reviewid>002</reviewid></review>\
+               </book>\
+               <book><bookid>98003</bookid><price>48.00</price>\
+                 <publisher><pubid>A01</pubid></publisher>\
+               </book>\
+             </BookView>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn u2_deletes_one_publisher() {
+        let mut v = view();
+        let u = parse_update(
+            r#"FOR $root IN document("BookView.xml"), $book IN $root/book
+               WHERE $book/bookid/text() = "98001"
+               UPDATE $root { DELETE $book/publisher }"#,
+        )
+        .unwrap();
+        let out = apply_update(&mut v, &u).unwrap();
+        assert_eq!(out.deleted, 1);
+        assert_eq!(v.select(v.root(), &["book", "publisher"]).len(), 1);
+    }
+
+    #[test]
+    fn numeric_predicate_filters() {
+        let mut v = view();
+        let u = parse_update(
+            r#"FOR $book IN document("BookView.xml")/book
+               WHERE $book/price > 40.00
+               UPDATE $book { DELETE $book/publisher }"#,
+        )
+        .unwrap();
+        let out = apply_update(&mut v, &u).unwrap();
+        assert_eq!(out.matched, 1); // only 98003
+        assert_eq!(out.deleted, 1);
+    }
+
+    #[test]
+    fn insert_appends_fragment() {
+        let mut v = view();
+        let u = parse_update(
+            r#"FOR $book IN document("BookView.xml")/book
+               WHERE $book/bookid/text() = "98003"
+               UPDATE $book { INSERT <review><reviewid>001</reviewid></review> }"#,
+        )
+        .unwrap();
+        let out = apply_update(&mut v, &u).unwrap();
+        assert_eq!(out.inserted, 1);
+        assert_eq!(v.select(v.root(), &["book", "review"]).len(), 3);
+    }
+
+    #[test]
+    fn replace_swaps_in_place() {
+        let mut v = view();
+        let u = parse_update(
+            r#"FOR $book IN document("BookView.xml")/book
+               WHERE $book/bookid/text() = "98001"
+               UPDATE $book { REPLACE $book/price WITH <price>39.99</price> }"#,
+        )
+        .unwrap();
+        apply_update(&mut v, &u).unwrap();
+        let prices = v.select(v.root(), &["book", "price"]);
+        assert_eq!(prices.len(), 2);
+        let texts: Vec<String> = prices.iter().map(|p| v.text_content(*p)).collect();
+        assert!(texts.contains(&"39.99".to_string()));
+        assert!(!texts.contains(&"37.00".to_string()));
+    }
+
+    #[test]
+    fn no_match_means_no_change() {
+        let mut v = view();
+        let u = parse_update(
+            r#"FOR $book IN document("BookView.xml")/book
+               WHERE $book/bookid/text() = "99999"
+               UPDATE $book { DELETE $book/review }"#,
+        )
+        .unwrap();
+        let out = apply_update(&mut v, &u).unwrap();
+        assert_eq!(out.matched, 0);
+        assert_eq!(out.deleted, 0);
+        assert_eq!(v.select(v.root(), &["book", "review"]).len(), 2);
+    }
+
+    #[test]
+    fn delete_whole_target_binding() {
+        // u9-style: DELETE $book (empty path → the bound node itself).
+        let mut v = view();
+        let u = parse_update(
+            r#"FOR $root IN document("BookView.xml"), $book = $root/book
+               WHERE $book/price > 40.00
+               UPDATE $root { DELETE $book }"#,
+        )
+        .unwrap();
+        let out = apply_update(&mut v, &u).unwrap();
+        assert_eq!(out.deleted, 1);
+        assert_eq!(v.children_named(v.root(), "book").len(), 1);
+    }
+}

@@ -1,0 +1,191 @@
+//! Abstract syntax of the view-query language: the XQuery FLWR subset that
+//! the paper's Annotated Schema Graph can express (§3, §7.1).
+//!
+//! A view query is a root element constructor whose content is a sequence of
+//! FLWR expressions, nested element constructors and projections:
+//!
+//! ```text
+//! <BookView>
+//!   FOR $book IN document("default.xml")/book/row,
+//!       $publisher IN document("default.xml")/publisher/row
+//!   WHERE ($book/pubid = $publisher/pubid) AND ($book/price < 50.00)
+//!   RETURN { <book> $book/bookid, … </book> }
+//! </BookView>
+//! ```
+//!
+//! Deliberately excluded (and detected by [`crate::features`]): `distinct`,
+//! aggregates, `if/then/else`, ordering, and user-defined functions — the
+//! exclusions reported in the paper's Fig. 12.
+
+use ufilter_rdb::{CmpOp, Value};
+
+/// `$var/step/step[/text()]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathExpr {
+    pub var: String,
+    pub steps: Vec<String>,
+}
+
+impl PathExpr {
+    pub fn new(var: impl Into<String>, steps: Vec<&str>) -> PathExpr {
+        PathExpr { var: var.into(), steps: steps.into_iter().map(String::from).collect() }
+    }
+
+    /// Steps with a trailing `text()` removed (it does not change which
+    /// column a path denotes).
+    pub fn element_steps(&self) -> &[String] {
+        match self.steps.last() {
+            Some(s) if s == "text()" => &self.steps[..self.steps.len() - 1],
+            _ => &self.steps,
+        }
+    }
+
+    /// For single-step paths over a row variable, the attribute name.
+    pub fn attribute(&self) -> Option<&str> {
+        let steps = self.element_steps();
+        if steps.len() == 1 {
+            Some(&steps[0])
+        } else {
+            None
+        }
+    }
+}
+
+impl std::fmt::Display for PathExpr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "${}", self.var)?;
+        for s in &self.steps {
+            write!(f, "/{s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One side of a predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    Path(PathExpr),
+    Literal(Value),
+}
+
+/// `lhs θ rhs` with `θ ∈ {=, ≠, <, ≤, >, ≥}` (§3.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    pub lhs: Operand,
+    pub op: CmpOp,
+    pub rhs: Operand,
+}
+
+impl Predicate {
+    /// Is this a *correlation predicate* (both sides are paths)?
+    pub fn is_correlation(&self) -> bool {
+        matches!((&self.lhs, &self.rhs), (Operand::Path(_), Operand::Path(_)))
+    }
+
+    /// `(path, op, literal)` with the path normalised to the left,
+    /// for *non-correlation* predicates.
+    pub fn as_non_correlation(&self) -> Option<(&PathExpr, CmpOp, &Value)> {
+        match (&self.lhs, &self.rhs) {
+            (Operand::Path(p), Operand::Literal(v)) => Some((p, self.op, v)),
+            (Operand::Literal(v), Operand::Path(p)) => Some((p, self.op.flip(), v)),
+            _ => None,
+        }
+    }
+
+    /// Both paths of a correlation predicate.
+    pub fn as_correlation(&self) -> Option<(&PathExpr, CmpOp, &PathExpr)> {
+        match (&self.lhs, &self.rhs) {
+            (Operand::Path(a), Operand::Path(b)) => Some((a, self.op, b)),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Predicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let side = |o: &Operand| match o {
+            Operand::Path(p) => p.to_string(),
+            Operand::Literal(v) => v.to_string(),
+        };
+        write!(f, "{} {} {}", side(&self.lhs), self.op, side(&self.rhs))
+    }
+}
+
+/// `FOR $var IN <source>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForBinding {
+    pub var: String,
+    pub source: Source,
+}
+
+/// Range of a FOR variable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Source {
+    /// `document("default.xml")/<table>/row` — a base-relation scan.
+    Table { doc: String, table: String },
+    /// `$outer/step…` — a relative path (accepted by the parser; the ASG
+    /// builder rejects it with a clear error, as SilkRoute-style view
+    /// forests require relation-bound variables).
+    Relative(PathExpr),
+}
+
+/// A FLWR expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Flwr {
+    pub bindings: Vec<ForBinding>,
+    pub predicates: Vec<Predicate>,
+    pub ret: Vec<Content>,
+}
+
+/// `<tag> content… </tag>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElementCtor {
+    pub tag: String,
+    pub content: Vec<Content>,
+}
+
+/// One content item inside a constructor or RETURN.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Flwr(Flwr),
+    Element(ElementCtor),
+    /// `$var/attr` — copies the attribute element of the bound row.
+    Projection(PathExpr),
+    /// Literal text.
+    Text(String),
+}
+
+/// A whole view query: root tag plus content.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewQuery {
+    pub root_tag: String,
+    pub content: Vec<Content>,
+}
+
+impl ViewQuery {
+    /// `rel(DEF_V)`: every relation referenced by the query (§3.2),
+    /// in first-appearance order.
+    pub fn relations(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        fn walk(content: &[Content], out: &mut Vec<String>) {
+            for c in content {
+                match c {
+                    Content::Flwr(f) => {
+                        for b in &f.bindings {
+                            if let Source::Table { table, .. } = &b.source {
+                                if !out.iter().any(|x| x.eq_ignore_ascii_case(table)) {
+                                    out.push(table.clone());
+                                }
+                            }
+                        }
+                        walk(&f.ret, out);
+                    }
+                    Content::Element(e) => walk(&e.content, out),
+                    Content::Projection(_) | Content::Text(_) => {}
+                }
+            }
+        }
+        walk(&self.content, &mut out);
+        out
+    }
+}

@@ -1,0 +1,196 @@
+//! Detection of query constructs outside the ASG-expressible subset.
+//!
+//! §7.1: "ASG also does not express if/then/else expressions; order
+//! functions, user-defined and aggregate functions, such as max(), count(),
+//! etc." — and `Project` never eliminates duplicates, so `distinct` is out
+//! too. Fig. 12 classifies the W3C use cases by exactly these features; this
+//! scanner reproduces that classification from query text.
+
+/// A construct the view ASG cannot express.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnsupportedFeature {
+    /// `distinct-values(…)` / `distinct(…)`.
+    Distinct,
+    /// An aggregate function (`count`, `max`, `avg`, `min`, `sum`).
+    Aggregate(String),
+    /// `if … then … else`.
+    Conditional,
+    /// `order by` / `sortby`.
+    Ordering,
+    /// A call to a function outside the supported set (user-defined or
+    /// library, e.g. `empty()`, `contains()`).
+    FunctionCall(String),
+}
+
+impl std::fmt::Display for UnsupportedFeature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UnsupportedFeature::Distinct => f.write_str("Distinct()"),
+            UnsupportedFeature::Aggregate(a) => write!(f, "{a}()"),
+            UnsupportedFeature::Conditional => f.write_str("if/then/else"),
+            UnsupportedFeature::Ordering => f.write_str("order-by"),
+            UnsupportedFeature::FunctionCall(n) => write!(f, "{n}()"),
+        }
+    }
+}
+
+const AGGREGATES: [&str; 5] = ["count", "max", "min", "avg", "sum"];
+/// Functions the subset does understand.
+const SUPPORTED_FN: [&str; 2] = ["document", "text"];
+/// Language keywords that may legally precede `(` without being calls
+/// (`WHERE ($book/pubid = …)`).
+const KEYWORDS: [&str; 14] = [
+    "for", "in", "where", "and", "or", "return", "update", "insert", "delete", "replace",
+    "with", "let", "then", "else",
+];
+
+/// Scan raw query text for unsupported constructs. The scan is lexical (it
+/// does not require the query to parse — most excluded queries *cannot*
+/// parse in the subset, which is the point).
+pub fn scan(query: &str) -> Vec<UnsupportedFeature> {
+    let mut out = Vec::new();
+    let lower = query.to_lowercase();
+    let chars: Vec<char> = lower.chars().collect();
+
+    // Word-level scan, skipping string literals.
+    let mut words: Vec<(String, usize)> = Vec::new();
+    {
+        let mut i = 0;
+        let mut quote: Option<char> = None;
+        while i < chars.len() {
+            let c = chars[i];
+            if let Some(q) = quote {
+                if c == q {
+                    quote = None;
+                }
+                i += 1;
+                continue;
+            }
+            match c {
+                '"' | '\'' => {
+                    quote = Some(c);
+                    i += 1;
+                }
+                c if c.is_alphabetic() || c == '_' => {
+                    let s = i;
+                    while i < chars.len()
+                        && (chars[i].is_alphanumeric() || matches!(chars[i], '_' | '-'))
+                    {
+                        i += 1;
+                    }
+                    words.push((chars[s..i].iter().collect(), i));
+                }
+                _ => i += 1,
+            }
+        }
+    }
+
+    let next_non_ws = |end: usize| chars[end..].iter().find(|c| !c.is_whitespace()).copied();
+
+    for (idx, (w, end)) in words.iter().enumerate() {
+        let called = next_non_ws(*end) == Some('(');
+        match w.as_str() {
+            "distinct" | "distinct-values" if called => {
+                push_once(&mut out, UnsupportedFeature::Distinct)
+            }
+            a if AGGREGATES.contains(&a) && called => {
+                push_once(&mut out, UnsupportedFeature::Aggregate(a.to_string()))
+            }
+            "if"
+                // `if (...) then` — require a following `then` to avoid
+                // false positives on element names.
+                if words.iter().skip(idx + 1).take(12).any(|(x, _)| x == "then") => {
+                    push_once(&mut out, UnsupportedFeature::Conditional);
+                }
+            "sortby" => push_once(&mut out, UnsupportedFeature::Ordering),
+            "order"
+                if words.get(idx + 1).is_some_and(|(x, _)| x == "by") => {
+                    push_once(&mut out, UnsupportedFeature::Ordering);
+                }
+            other if called
+                && !SUPPORTED_FN.contains(&other)
+                && !AGGREGATES.contains(&other)
+                && !KEYWORDS.contains(&other)
+                && other != "distinct"
+                && other != "distinct-values"
+                && other != "if" =>
+            {
+                push_once(&mut out, UnsupportedFeature::FunctionCall(other.to_string()));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+fn push_once(out: &mut Vec<UnsupportedFeature>, f: UnsupportedFeature) {
+    if !out.contains(&f) {
+        out.push(f);
+    }
+}
+
+/// Is the query inside the ASG-expressible subset (no unsupported features
+/// *and* it parses)?
+pub fn expressible(query: &str) -> Result<(), Vec<UnsupportedFeature>> {
+    let found = scan(query);
+    if found.is_empty() {
+        Ok(())
+    } else {
+        Err(found)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_distinct() {
+        let q = "for $p in distinct-values(document(\"bib.xml\")//publisher) return $p";
+        assert_eq!(scan(q), vec![UnsupportedFeature::Distinct]);
+    }
+
+    #[test]
+    fn detects_aggregates() {
+        let q = "<r> { count($doc//book) } { avg($b/price) } </r>";
+        let fs = scan(q);
+        assert!(fs.contains(&UnsupportedFeature::Aggregate("count".into())));
+        assert!(fs.contains(&UnsupportedFeature::Aggregate("avg".into())));
+    }
+
+    #[test]
+    fn detects_conditional_and_ordering() {
+        let q = "for $b in $d/book return if ($b/price < 10) then $b else () sortby (title)";
+        let fs = scan(q);
+        assert!(fs.contains(&UnsupportedFeature::Conditional));
+        assert!(fs.contains(&UnsupportedFeature::Ordering));
+    }
+
+    #[test]
+    fn plain_subset_query_is_clean() {
+        let q = "<V> FOR $b IN document(\"default.xml\")/book/row \
+                 WHERE $b/price < 50.00 RETURN { <x> $b/title </x> } </V>";
+        assert!(expressible(q).is_ok());
+    }
+
+    #[test]
+    fn element_named_if_not_flagged() {
+        let q = "<if> FOR $b IN document(\"d\")/t/row RETURN { $b/x } </if>";
+        assert!(scan(q).is_empty());
+    }
+
+    #[test]
+    fn strings_are_skipped() {
+        let q = "<V> FOR $b IN document(\"d\")/t/row WHERE $b/x = 'count(1) if then' \
+                 RETURN { $b/x } </V>";
+        assert!(scan(q).is_empty());
+    }
+
+    #[test]
+    fn user_function_detected() {
+        let q = "for $b in $d/book where empty($b/price) return $b";
+        assert!(scan(q)
+            .iter()
+            .any(|f| matches!(f, UnsupportedFeature::FunctionCall(n) if n == "empty")));
+    }
+}

@@ -1,0 +1,283 @@
+//! Lexer shared by the view-query and update-language parsers.
+//!
+//! The only delicate point is `<`: it opens a tag when immediately followed
+//! by a name character (`<book>`), and is the less-than operator otherwise
+//! (`$book/price<50.00`).
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// `<name>` — opening tag (the `>` is consumed).
+    TagOpen(String),
+    /// `</name>` — closing tag.
+    TagClose(String),
+    /// `$name`.
+    Var(String),
+    /// Bare name / keyword.
+    Ident(String),
+    /// `"…"` or `'…'`.
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Sym(&'static str),
+    Eof,
+}
+
+impl Tok {
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Tok::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    pub message: String,
+    pub offset: usize,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lex error at {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenise the *query* portion of an input. Embedded XML fragments (after
+/// `INSERT` / `WITH`) must be carved out by the caller before lexing — see
+/// the update parser in `crate::update`.
+pub fn lex(input: &str) -> Result<Vec<(Tok, usize)>, LexError> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let start = i;
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => {
+                i += 1;
+                continue;
+            }
+            '(' | ')' | '{' | '}' | ',' | '/' => {
+                let sym = match c {
+                    '(' => "(",
+                    ')' => ")",
+                    '{' => "{",
+                    '}' => "}",
+                    ',' => ",",
+                    _ => "/",
+                };
+                out.push((Tok::Sym(sym), start));
+                i += 1;
+            }
+            '=' => {
+                out.push((Tok::Sym("="), start));
+                i += 1;
+            }
+            '!' if chars.get(i + 1) == Some(&'=') => {
+                out.push((Tok::Sym("!="), start));
+                i += 2;
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push((Tok::Sym(">="), start));
+                    i += 2;
+                } else {
+                    out.push((Tok::Sym(">"), start));
+                    i += 1;
+                }
+            }
+            '<' => {
+                // `</name>` → TagClose; `<name…>` → TagOpen; else operator.
+                if chars.get(i + 1) == Some(&'/') {
+                    i += 2;
+                    let ns = i;
+                    while i < chars.len() && is_name_char(chars[i]) {
+                        i += 1;
+                    }
+                    let name: String = chars[ns..i].iter().collect();
+                    while i < chars.len() && chars[i].is_whitespace() {
+                        i += 1;
+                    }
+                    if chars.get(i) != Some(&'>') {
+                        return Err(LexError {
+                            message: format!("unterminated closing tag </{name}"),
+                            offset: start,
+                        });
+                    }
+                    i += 1;
+                    out.push((Tok::TagClose(name), start));
+                } else if chars.get(i + 1).is_some_and(|c| c.is_alphabetic() || *c == '_') {
+                    i += 1;
+                    let ns = i;
+                    while i < chars.len() && is_name_char(chars[i]) {
+                        i += 1;
+                    }
+                    let name: String = chars[ns..i].iter().collect();
+                    while i < chars.len() && chars[i].is_whitespace() {
+                        i += 1;
+                    }
+                    if chars.get(i) != Some(&'>') {
+                        return Err(LexError {
+                            message: format!("unterminated tag <{name}"),
+                            offset: start,
+                        });
+                    }
+                    i += 1;
+                    out.push((Tok::TagOpen(name), start));
+                } else if chars.get(i + 1) == Some(&'=') {
+                    out.push((Tok::Sym("<="), start));
+                    i += 2;
+                } else {
+                    out.push((Tok::Sym("<"), start));
+                    i += 1;
+                }
+            }
+            '$' => {
+                i += 1;
+                let ns = i;
+                while i < chars.len() && is_name_char(chars[i]) {
+                    i += 1;
+                }
+                if i == ns {
+                    return Err(LexError { message: "expected name after $".into(), offset: start });
+                }
+                out.push((Tok::Var(chars[ns..i].iter().collect()), start));
+            }
+            '"' | '\'' => {
+                let quote = c;
+                i += 1;
+                let ns = i;
+                while i < chars.len() && chars[i] != quote {
+                    i += 1;
+                }
+                if i >= chars.len() {
+                    return Err(LexError { message: "unterminated string".into(), offset: start });
+                }
+                out.push((Tok::Str(chars[ns..i].iter().collect()), start));
+                i += 1;
+            }
+            '0'..='9' => {
+                let ns = i;
+                let mut is_float = false;
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    if chars[i] == '.' {
+                        if !chars.get(i + 1).is_some_and(|c| c.is_ascii_digit()) {
+                            break;
+                        }
+                        is_float = true;
+                    }
+                    i += 1;
+                }
+                let text: String = chars[ns..i].iter().collect();
+                if is_float {
+                    out.push((
+                        Tok::Float(text.parse().map_err(|e| LexError {
+                            message: format!("bad number {text}: {e}"),
+                            offset: start,
+                        })?),
+                        start,
+                    ));
+                } else {
+                    out.push((
+                        Tok::Int(text.parse().map_err(|e| LexError {
+                            message: format!("bad number {text}: {e}"),
+                            offset: start,
+                        })?),
+                        start,
+                    ));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let ns = i;
+                while i < chars.len() && is_name_char(chars[i]) {
+                    i += 1;
+                }
+                let name: String = chars[ns..i].iter().collect();
+                // `text()` is one token; any other `name(` lexes as the
+                // identifier followed by a '(' symbol.
+                if name == "text" && chars.get(i) == Some(&'(') && chars.get(i + 1) == Some(&')')
+                {
+                    i += 2;
+                    out.push((Tok::Ident("text()".into()), start));
+                } else {
+                    out.push((Tok::Ident(name), start));
+                }
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character '{other}'"),
+                    offset: start,
+                })
+            }
+        }
+    }
+    out.push((Tok::Eof, chars.len()));
+    Ok(out)
+}
+
+fn is_name_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | ':')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Tok> {
+        lex(s).unwrap().into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn tag_vs_less_than() {
+        let ts = toks("<book> $book/price<50.00 </book>");
+        assert_eq!(ts[0], Tok::TagOpen("book".into()));
+        assert!(ts.contains(&Tok::Sym("<")));
+        assert!(ts.contains(&Tok::Float(50.0)));
+        assert!(ts.contains(&Tok::TagClose("book".into())));
+    }
+
+    #[test]
+    fn variables_and_paths() {
+        let ts = toks("$book/bookid/text()");
+        assert_eq!(
+            ts,
+            vec![
+                Tok::Var("book".into()),
+                Tok::Sym("/"),
+                Tok::Ident("bookid".into()),
+                Tok::Sym("/"),
+                Tok::Ident("text()".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn document_call() {
+        let ts = toks("FOR $b IN document(\"default.xml\")/book/row");
+        assert!(ts.contains(&Tok::Ident("document".into())));
+        assert!(ts.contains(&Tok::Str("default.xml".into())));
+        assert!(ts.contains(&Tok::Ident("row".into())));
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let ts = toks("$a/x >= 10 $a/y != 'z' $a/w <= 3");
+        assert!(ts.contains(&Tok::Sym(">=")));
+        assert!(ts.contains(&Tok::Sym("!=")));
+        assert!(ts.contains(&Tok::Sym("<=")));
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let ts = toks("for $x in document('d')");
+        assert!(ts[0].is_kw("FOR"));
+        assert!(ts[2].is_kw("IN"));
+    }
+
+    #[test]
+    fn unterminated_tag_is_error() {
+        assert!(lex("<book").is_err());
+        assert!(lex("</book").is_err());
+    }
+}

@@ -1,0 +1,35 @@
+//! # ufilter-xquery — view-query and update languages
+//!
+//! Hand-rolled parsers and evaluators for the two languages the paper uses:
+//!
+//! * the **view query** language — the XQuery FLWR subset that SilkRoute
+//!   view forests (and therefore the view ASG, §3) can express: nested
+//!   `FOR $v IN document("default.xml")/<table>/row … WHERE … RETURN`
+//!   blocks with element constructors and attribute projections;
+//! * the **update language** of Tatarinov et al. \[29\] used by Figs. 4/10:
+//!   `FOR … WHERE … UPDATE $v { INSERT <frag> | DELETE $p | REPLACE $p WITH
+//!   <frag> }`.
+//!
+//! Plus: a view **materializer** (evaluates a view query over an
+//! [`ufilter_rdb::Db`] into an XML [`ufilter_xml::Document`]), a document
+//! **update applier** (the `u(V)` side of Definition 1's rectangle), and the
+//! **feature scanner** behind the Fig. 12 expressibility study.
+
+pub mod apply;
+pub mod ast;
+pub mod eval;
+pub mod features;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod update;
+
+pub use apply::{apply_update, ApplyOutcome};
+pub use ast::{
+    Content, ElementCtor, Flwr, ForBinding, Operand, PathExpr, Predicate, Source, ViewQuery,
+};
+pub use eval::{materialize, EvalError};
+pub use features::{expressible, scan, UnsupportedFeature};
+pub use parser::{parse_view_query, ParseError};
+pub use pretty::{print_update, print_view_query};
+pub use update::{parse_update, UpdBinding, UpdateAction, UpdateKind, UpdateStmt};

@@ -1,0 +1,372 @@
+//! The XML update language: the "XQuery-like" syntax of Tatarinov et al.
+//! \[29\] that the paper adopts for Figs. 4 and 10.
+//!
+//! ```text
+//! FOR $root IN document("BookView.xml"),
+//!     $book IN $root/book
+//! WHERE $book/bookid/text() = "98001"
+//! UPDATE $root { DELETE $book/publisher }
+//! ```
+//!
+//! Actions: `INSERT <fragment>`, `DELETE $var/path`,
+//! `REPLACE $var/path WITH <fragment>`. Embedded XML fragments are carved
+//! out of the raw text (they contain characters the query lexer rejects)
+//! and parsed with the XML parser before query lexing.
+
+use ufilter_xml::{parse::parse_prefix, Document};
+
+use crate::ast::{PathExpr, Predicate};
+use crate::lexer::Tok;
+use crate::parser::{ParseError, P};
+
+/// A FOR binding in an update.
+#[derive(Debug, Clone)]
+pub enum UpdBinding {
+    /// `$var IN document("BookView.xml")[/step…]`.
+    Document { var: String, doc: String, steps: Vec<String> },
+    /// `$var IN $outer/step…`.
+    Path { var: String, path: PathExpr },
+}
+
+impl UpdBinding {
+    pub fn var(&self) -> &str {
+        match self {
+            UpdBinding::Document { var, .. } | UpdBinding::Path { var, .. } => var,
+        }
+    }
+}
+
+/// One action inside `UPDATE $var { … }`.
+#[derive(Debug, Clone)]
+pub enum UpdateAction {
+    /// Insert the fragment as a new child of the target.
+    Insert(Document),
+    /// Delete the nodes the path selects.
+    Delete(PathExpr),
+    /// Replace the nodes the path selects with the fragment.
+    Replace { target: PathExpr, with: Document },
+}
+
+impl UpdateAction {
+    pub fn kind(&self) -> UpdateKind {
+        match self {
+            UpdateAction::Insert(_) => UpdateKind::Insert,
+            UpdateAction::Delete(_) => UpdateKind::Delete,
+            UpdateAction::Replace { .. } => UpdateKind::Replace,
+        }
+    }
+}
+
+/// Update taxonomy (§2: insert adds, delete removes, replace substitutes;
+/// the checker treats replace as delete-then-insert).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateKind {
+    Insert,
+    Delete,
+    Replace,
+}
+
+/// A parsed update statement.
+#[derive(Debug, Clone)]
+pub struct UpdateStmt {
+    pub bindings: Vec<UpdBinding>,
+    pub predicates: Vec<Predicate>,
+    /// The `$var` after UPDATE.
+    pub target: String,
+    pub actions: Vec<UpdateAction>,
+}
+
+/// Replace embedded XML fragments (after INSERT / WITH) with placeholder
+/// identifiers, returning the cleaned text and the fragments in order.
+fn extract_fragments(input: &str) -> Result<(String, Vec<Document>), ParseError> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut out = String::with_capacity(input.len());
+    let mut frags = Vec::new();
+    let mut i = 0;
+    let mut in_quote: Option<char> = None;
+    while i < chars.len() {
+        let c = chars[i];
+        if let Some(q) = in_quote {
+            out.push(c);
+            if c == q {
+                in_quote = None;
+            }
+            i += 1;
+            continue;
+        }
+        match c {
+            '"' | '\'' => {
+                in_quote = Some(c);
+                out.push(c);
+                i += 1;
+            }
+            c if c.is_alphabetic() => {
+                let ws = i;
+                while i < chars.len() && chars[i].is_alphanumeric() {
+                    i += 1;
+                }
+                let word: String = chars[ws..i].iter().collect();
+                out.push_str(&word);
+                if word.eq_ignore_ascii_case("INSERT") || word.eq_ignore_ascii_case("WITH") {
+                    // Skip whitespace; a '<' here starts a fragment.
+                    let mut j = i;
+                    while j < chars.len() && chars[j].is_whitespace() {
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'<') {
+                        let rest: String = chars[j..].iter().collect();
+                        let (doc, consumed) = parse_prefix(&rest).map_err(|e| ParseError {
+                            message: format!("bad XML fragment after {word}: {e}"),
+                            offset: j,
+                        })?;
+                        out.push_str(&format!(" __frag{}__ ", frags.len()));
+                        frags.push(doc);
+                        i = j + consumed;
+                    }
+                }
+            }
+            other => {
+                out.push(other);
+                i += 1;
+            }
+        }
+    }
+    Ok((out, frags))
+}
+
+/// Parse an update statement.
+pub fn parse_update(input: &str) -> Result<UpdateStmt, ParseError> {
+    let (clean, frags) = extract_fragments(input)?;
+    let mut p = P::new(&clean)?;
+    p.expect_kw("FOR")?;
+    let mut bindings = Vec::new();
+    loop {
+        let var = match p.bump() {
+            Tok::Var(v) => v,
+            other => {
+                return Err(p.err(format!("expected $variable in FOR, found {other:?}")))
+            }
+        };
+        if !p.eat_kw("IN") && !p.eat_sym("=") {
+            return Err(p.err("expected IN after FOR variable"));
+        }
+        if p.peek().is_kw("document") {
+            let (doc, steps) = p.doc_source()?;
+            bindings.push(UpdBinding::Document { var, doc, steps });
+        } else if let Tok::Var(v) = p.peek().clone() {
+            p.bump();
+            let path = p.path(v)?;
+            bindings.push(UpdBinding::Path { var, path });
+        } else {
+            return Err(p.err(format!("expected a binding source, found {:?}", p.peek())));
+        }
+        if !p.eat_sym(",") {
+            break;
+        }
+    }
+    let predicates = if p.eat_kw("WHERE") { p.predicates()? } else { Vec::new() };
+    p.expect_kw("UPDATE")?;
+    let target = match p.bump() {
+        Tok::Var(v) => v,
+        other => return Err(p.err(format!("expected $variable after UPDATE, found {other:?}"))),
+    };
+    p.expect_sym("{")?;
+    let mut actions = Vec::new();
+    loop {
+        while p.eat_sym(",") {}
+        if p.eat_sym("}") {
+            break;
+        }
+        if p.eat_kw("INSERT") {
+            actions.push(UpdateAction::Insert(fragment(&mut p, &frags)?));
+        } else if p.eat_kw("DELETE") {
+            let var = match p.bump() {
+                Tok::Var(v) => v,
+                other => return Err(p.err(format!("expected path after DELETE, found {other:?}"))),
+            };
+            actions.push(UpdateAction::Delete(p.path(var)?));
+        } else if p.eat_kw("REPLACE") {
+            let var = match p.bump() {
+                Tok::Var(v) => v,
+                other => {
+                    return Err(p.err(format!("expected path after REPLACE, found {other:?}")))
+                }
+            };
+            let target = p.path(var)?;
+            p.expect_kw("WITH")?;
+            actions.push(UpdateAction::Replace { target, with: fragment(&mut p, &frags)? });
+        } else {
+            return Err(p.err(format!("expected INSERT/DELETE/REPLACE, found {:?}", p.peek())));
+        }
+    }
+    if actions.is_empty() {
+        return Err(p.err("UPDATE block contains no actions"));
+    }
+    if !matches!(p.peek(), Tok::Eof) {
+        return Err(p.err("trailing tokens after UPDATE block"));
+    }
+    Ok(UpdateStmt { bindings, predicates, target, actions })
+}
+
+fn fragment(p: &mut P, frags: &[Document]) -> Result<Document, ParseError> {
+    match p.bump() {
+        Tok::Ident(s) if s.starts_with("__frag") && s.ends_with("__") => {
+            let idx: usize = s[6..s.len() - 2]
+                .parse()
+                .map_err(|_| p.err("bad fragment placeholder"))?;
+            frags
+                .get(idx)
+                .cloned()
+                .ok_or_else(|| p.err("fragment placeholder out of range"))
+        }
+        other => Err(p.err(format!("expected an XML fragment, found {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Operand;
+    use ufilter_rdb::Value;
+
+    /// u2 of Fig. 4, verbatim.
+    const U2: &str = r#"
+FOR $root IN document("BookView.xml"),
+$book IN $root/book
+WHERE $book/bookid/text() = "98001"
+UPDATE $root {
+DELETE $book/publisher}"#;
+
+    #[test]
+    fn parse_u2_delete() {
+        let u = parse_update(U2).unwrap();
+        assert_eq!(u.bindings.len(), 2);
+        assert!(matches!(&u.bindings[0], UpdBinding::Document { var, steps, .. }
+            if var == "root" && steps.is_empty()));
+        assert!(matches!(&u.bindings[1], UpdBinding::Path { var, path }
+            if var == "book" && path.var == "root" && path.steps == ["book"]));
+        assert_eq!(u.predicates.len(), 1);
+        assert_eq!(u.target, "root");
+        assert_eq!(u.actions.len(), 1);
+        match &u.actions[0] {
+            UpdateAction::Delete(p) => {
+                assert_eq!(p.var, "book");
+                assert_eq!(p.steps, ["publisher"]);
+            }
+            other => panic!("expected DELETE, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_u1_insert_with_fragment() {
+        // u1 of Fig. 4 (XML normalised: the paper's figure has unclosed tags).
+        let u1 = r#"
+FOR $root IN document("BookView.xml")
+UPDATE $root {
+INSERT
+<book>
+<bookid>98004</bookid>
+<title> </title>
+<price> 0.00 </price>
+<publisher>
+<pubid>A01</pubid>
+<pubname> McGraw-Hill Inc. </pubname>
+</publisher>
+</book> }"#;
+        let u = parse_update(u1).unwrap();
+        assert_eq!(u.actions.len(), 1);
+        match &u.actions[0] {
+            UpdateAction::Insert(frag) => {
+                assert_eq!(frag.name(frag.root()), Some("book"));
+                let price = frag.child_named(frag.root(), "price").unwrap();
+                assert_eq!(frag.text_content(price), "0.00");
+            }
+            other => panic!("expected INSERT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_update_with_doc_steps() {
+        // u3-style: FOR $book IN document("BookView.xml")/book.
+        let u3 = r#"
+FOR $book IN document("BookView.xml")/book
+WHERE $book/title/text() = "DB2 Universal Database"
+UPDATE $book {
+INSERT
+<review>
+<reviewid>001</reviewid>
+<comment> Easy read and useful. </comment>
+</review>}"#;
+        let u = parse_update(u3).unwrap();
+        assert!(matches!(&u.bindings[0], UpdBinding::Document { steps, .. } if steps == &["book"]));
+        assert_eq!(u.target, "book");
+    }
+
+    #[test]
+    fn parse_replace() {
+        let r = r#"
+FOR $book IN document("BookView.xml")/book
+UPDATE $book {
+REPLACE $book/title WITH <title>New Title</title>}"#;
+        let u = parse_update(r).unwrap();
+        match &u.actions[0] {
+            UpdateAction::Replace { target, with } => {
+                assert_eq!(target.steps, ["title"]);
+                assert_eq!(with.text_content(with.root()), "New Title");
+            }
+            other => panic!("expected REPLACE, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equals_binding_u9_style() {
+        let u9 = r#"
+FOR $root IN document("BookView.xml"),
+$book =$root/book
+WHERE $book/price > 40.00
+UPDATE $root {
+DELETE $book }"#;
+        let u = parse_update(u9).unwrap();
+        assert_eq!(u.bindings.len(), 2);
+        let (p, _, v) = u.predicates[0].as_non_correlation().unwrap();
+        assert_eq!(p.attribute(), Some("price"));
+        assert_eq!(*v, Value::Double(40.0));
+        match &u.actions[0] {
+            UpdateAction::Delete(p) => assert!(p.steps.is_empty()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn fragment_with_quoted_values_preserved() {
+        // The paper writes <bookid>"98004"</bookid>; quotes survive as text.
+        let u = parse_update(
+            r#"FOR $r IN document("V.xml") UPDATE $r { INSERT <x><y>"98004"</y></x> }"#,
+        )
+        .unwrap();
+        match &u.actions[0] {
+            UpdateAction::Insert(f) => {
+                let y = f.child_named(f.root(), "y").unwrap();
+                assert_eq!(f.text_content(y), "\"98004\"");
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn insert_keyword_inside_string_not_a_fragment() {
+        let u = parse_update(
+            r#"FOR $b IN document("V.xml")/book WHERE $b/title/text() = "INSERT <weird>" UPDATE $b { DELETE $b/review }"#,
+        )
+        .unwrap();
+        match &u.predicates[0].rhs {
+            Operand::Literal(Value::Str(s)) => assert_eq!(s, "INSERT <weird>"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_update_block_rejected() {
+        assert!(parse_update(r#"FOR $r IN document("V.xml") UPDATE $r { }"#).is_err());
+    }
+}

@@ -1,0 +1,164 @@
+//! Materializing the BookView of Fig. 3(a) over the Fig. 1 database must
+//! reproduce the view instance of Fig. 3(b).
+
+use ufilter_rdb::Db;
+use ufilter_xml::parse::parse;
+use ufilter_xquery::{materialize, parse_view_query};
+
+const BOOK_VIEW: &str = r#"
+<BookView>
+FOR $book IN document("default.xml")/book/row,
+$publisher IN document("default.xml")/publisher/row
+WHERE ($book/pubid = $publisher/pubid)
+AND ($book/price<50.00) AND ($book/year > 1990)
+RETURN {
+<book>
+$book/bookid, $book/title, $book/price,
+<publisher>
+$publisher/pubid, $publisher/pubname
+</publisher>,
+FOR $review IN document("default.xml")/review/row
+WHERE ($book/bookid = $review/bookid)
+RETURN{
+<review>
+$review/reviewid, $review/comment
+</review>}
+</book>},
+FOR $publisher IN document("default.xml")/publisher/row
+RETURN{
+<publisher>
+$publisher/pubid, $publisher/pubname
+</publisher>}
+</BookView>"#;
+
+fn book_db() -> Db {
+    let mut db = Db::new();
+    for sql in [
+        "CREATE TABLE publisher(pubid VARCHAR2(10), pubname VARCHAR2(100) UNIQUE NOT NULL, \
+         CONSTRAINTS PubPK PRIMARYKEY (pubid))",
+        "CREATE TABLE book(bookid VARCHAR2(20), title VARCHAR2(100) NOT NULL, \
+         pubid VARCHAR2(10), price DOUBLE CHECK (price > 0.00), year DATE, \
+         CONSTRAINTS BookPK PRIMARYKEY (bookid), \
+         FOREIGNKEY (pubid) REFERENCES publisher (pubid))",
+        "CREATE TABLE review(bookid VARCHAR2(20), reviewid VARCHAR2(3), \
+         comment VARCHAR2(100), reviewer VARCHAR2(10), \
+         CONSTRAINTS ReviewPK PRIMARYKEY (bookid, reviewid), \
+         FOREIGNKEY (bookid) REFERENCES book (bookid))",
+        "INSERT INTO publisher VALUES ('A01', 'McGraw-Hill Inc.')",
+        "INSERT INTO publisher VALUES ('B01', 'Prentice-Hall Inc.')",
+        "INSERT INTO publisher VALUES ('A02', 'Simon & Schuster Inc.')",
+        "INSERT INTO book VALUES ('98001', 'TCP/IP Illustrated', 'A01', 37.00, 1997)",
+        "INSERT INTO book VALUES ('98002', 'Programming in Unix', 'A02', 45.00, 1985)",
+        "INSERT INTO book VALUES ('98003', 'Data on the Web', 'A01', 48.00, 2004)",
+        "INSERT INTO review VALUES ('98001', '001', 'A good book on network.', 'William')",
+        "INSERT INTO review VALUES ('98001', '002', 'Useful for advanced user.', 'John')",
+    ] {
+        db.execute_sql(sql).unwrap();
+    }
+    db
+}
+
+#[test]
+fn bookview_matches_fig3b() {
+    let db = book_db();
+    let q = parse_view_query(BOOK_VIEW).unwrap();
+    let v = materialize(&db, &q).unwrap();
+
+    // Expected instance, Fig. 3(b). (The figure's third <publisher> shows
+    // "Simon & Schuster Inc" for B01 — an obvious copy/paste slip in the
+    // paper; Fig. 1 gives B01 = Prentice-Hall Inc., which we use.)
+    let expected = parse(
+        "<BookView>\
+           <book>\
+             <bookid>98001</bookid>\
+             <title>TCP/IP Illustrated</title>\
+             <price>37.00</price>\
+             <publisher><pubid>A01</pubid><pubname>McGraw-Hill Inc.</pubname></publisher>\
+             <review><reviewid>001</reviewid><comment>A good book on network.</comment></review>\
+             <review><reviewid>002</reviewid><comment>Useful for advanced user.</comment></review>\
+           </book>\
+           <book>\
+             <bookid>98003</bookid>\
+             <title>Data on the Web</title>\
+             <price>48.00</price>\
+             <publisher><pubid>A01</pubid><pubname>McGraw-Hill Inc.</pubname></publisher>\
+           </book>\
+           <publisher><pubid>A01</pubid><pubname>McGraw-Hill Inc.</pubname></publisher>\
+           <publisher><pubid>B01</pubid><pubname>Prentice-Hall Inc.</pubname></publisher>\
+           <publisher><pubid>A02</pubid><pubname>Simon &amp; Schuster Inc.</pubname></publisher>\
+         </BookView>",
+    )
+    .unwrap();
+    assert!(
+        v.subtree_eq(v.root(), &expected, expected.root()),
+        "materialized view:\n{}",
+        ufilter_xml::to_pretty_string(&v, v.root())
+    );
+}
+
+#[test]
+fn view_reflects_base_updates() {
+    let mut db = book_db();
+    let q = parse_view_query(BOOK_VIEW).unwrap();
+    db.execute_sql("DELETE FROM review WHERE reviewid = '002'").unwrap();
+    let v = materialize(&db, &q).unwrap();
+    assert_eq!(v.select(v.root(), &["book", "review"]).len(), 1);
+
+    // A book over the price bound never enters the view.
+    db.execute_sql("INSERT INTO book VALUES ('98005', 'Pricey', 'A01', 99.00, 2000)").unwrap();
+    let v = materialize(&db, &q).unwrap();
+    assert_eq!(v.children_named(v.root(), "book").len(), 2);
+}
+
+#[test]
+fn probe_style_selection_via_predicates() {
+    // A filtered variant used like a probe query: books titled
+    // "Programming in Unix" (fails year > 1990 → empty).
+    let db = book_db();
+    let q = parse_view_query(
+        "<R> FOR $book IN document(\"default.xml\")/book/row, \
+             $publisher IN document(\"default.xml\")/publisher/row \
+             WHERE ($book/pubid = $publisher/pubid) AND ($book/price < 50.00) \
+             AND ($book/year > 1990) AND ($book/title = 'Programming in Unix') \
+             RETURN { <hit> $book/bookid </hit> } </R>",
+    )
+    .unwrap();
+    let v = materialize(&db, &q).unwrap();
+    assert!(v.children_named(v.root(), "hit").is_empty());
+}
+
+#[test]
+fn null_attributes_are_omitted() {
+    let mut db = book_db();
+    db.execute_sql("INSERT INTO book VALUES ('98006', 'No Price', 'A01', NULL, 2001)").unwrap();
+    let q = parse_view_query(
+        "<R> FOR $b IN document(\"default.xml\")/book/row \
+             WHERE $b/year > 1990 \
+             RETURN { <book> $b/bookid, $b/price </book> } </R>",
+    )
+    .unwrap();
+    let v = materialize(&db, &q).unwrap();
+    let books = v.children_named(v.root(), "book");
+    assert_eq!(books.len(), 3);
+    let no_price = books
+        .iter()
+        .filter(|b| v.child_named(**b, "price").is_none())
+        .count();
+    assert_eq!(no_price, 1);
+}
+
+#[test]
+fn correlated_probe_uses_hash_groups() {
+    // Functional check that the probe path returns the same result as a
+    // predicate written in flipped orientation (literal on either side).
+    let db = book_db();
+    for q in [
+        "<R> FOR $r IN document(\"default.xml\")/review/row \
+             WHERE $r/bookid = '98001' RETURN { <c> $r/comment </c> } </R>",
+        "<R> FOR $r IN document(\"default.xml\")/review/row \
+             WHERE '98001' = $r/bookid RETURN { <c> $r/comment </c> } </R>",
+    ] {
+        let v = materialize(&db, &parse_view_query(q).unwrap()).unwrap();
+        assert_eq!(v.children_named(v.root(), "c").len(), 2, "query: {q}");
+    }
+}

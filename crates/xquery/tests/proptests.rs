@@ -1,0 +1,138 @@
+//! Property tests over the languages: generated view queries parse to the
+//! expected structure, generated updates round-trip through parsing, and
+//! view materialization is deterministic and respects predicates.
+
+use proptest::prelude::*;
+use ufilter_rdb::{Column, DataType, DatabaseSchema, Db, TableSchema, Value};
+use ufilter_xquery::{materialize, parse_update, parse_view_query, Content, UpdateAction};
+
+// ---------------------------------------------------------------------------
+// generators
+// ---------------------------------------------------------------------------
+
+fn tag() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,6}"
+}
+
+/// A one-level view query over a two-column table `t(k, v)`, with a random
+/// comparison predicate.
+fn simple_view() -> impl Strategy<Value = (String, f64, String)> {
+    (tag(), 0.0f64..100.0, prop_oneof!["<", ">", "<=", ">=", "!="])
+        .prop_map(|(root, bound, op)| {
+            let q = format!(
+                "<{root}> FOR $x IN document(\"d\")/t/row WHERE $x/v {op} {bound:.2} \
+                 RETURN {{ <item> $x/k, $x/v </item> }} </{root}>"
+            );
+            (q, bound, op.to_string())
+        })
+}
+
+fn tiny_db(rows: &[(i64, f64)]) -> Db {
+    let mut s = DatabaseSchema::new();
+    s.add(
+        TableSchema::new("t")
+            .column(Column::new("k", DataType::Int))
+            .column(Column::new("v", DataType::Double))
+            .primary_key(["k"]),
+    );
+    let mut db = Db::with_schema(s).unwrap();
+    let mut seen = Vec::new();
+    for (k, v) in rows {
+        if seen.contains(k) {
+            continue;
+        }
+        seen.push(*k);
+        db.insert("t", vec![vec![Value::Int(*k), Value::Double(*v)]]).unwrap();
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn generated_views_parse((q, _, _) in simple_view()) {
+        let v = parse_view_query(&q).unwrap();
+        assert_eq!(v.content.len(), 1);
+        let Content::Flwr(f) = &v.content[0] else { panic!("expected FLWR") };
+        prop_assert_eq!(f.predicates.len(), 1);
+        prop_assert_eq!(f.ret.len(), 1);
+    }
+
+    #[test]
+    fn materialization_respects_the_predicate(
+        (q, bound, op) in simple_view(),
+        rows in prop::collection::vec((0i64..50, 0.0f64..100.0), 0..12),
+    ) {
+        let db = tiny_db(&rows);
+        let view = parse_view_query(&q).unwrap();
+        let doc = materialize(&db, &view).unwrap();
+        let items = doc.children_named(doc.root(), "item");
+        // Count expected matches directly.
+        let mut seen: Vec<i64> = Vec::new();
+        let expected = rows.iter().filter(|(k, v)| {
+            if seen.contains(k) { return false; }
+            seen.push(*k);
+            match op.as_str() {
+                "<" => *v < bound,
+                ">" => *v > bound,
+                "<=" => *v <= bound,
+                ">=" => *v >= bound,
+                _ => *v != bound,
+            }
+        }).count();
+        prop_assert_eq!(items.len(), expected, "query: {}", q);
+    }
+
+    #[test]
+    fn materialization_is_deterministic(
+        (q, _, _) in simple_view(),
+        rows in prop::collection::vec((0i64..50, 0.0f64..100.0), 0..12),
+    ) {
+        let db = tiny_db(&rows);
+        let view = parse_view_query(&q).unwrap();
+        let a = materialize(&db, &view).unwrap();
+        let b = materialize(&db, &view).unwrap();
+        prop_assert!(a.subtree_eq(a.root(), &b, b.root()));
+    }
+
+    #[test]
+    fn update_statements_parse_with_arbitrary_fragments(
+        target_tag in tag(),
+        frag_tag in tag(),
+        frag_text in "[a-zA-Z0-9 .,&-]{0,20}",
+        key in "[0-9]{1,6}",
+    ) {
+        let text = format!(
+            r#"FOR $x IN document("V.xml")/{target_tag}
+               WHERE $x/id/text() = "{key}"
+               UPDATE $x {{ INSERT <{frag_tag}>{frag_text}</{frag_tag}> }}"#
+        );
+        let u = parse_update(&text).unwrap();
+        prop_assert_eq!(&u.target, &"x".to_string());
+        match &u.actions[0] {
+            UpdateAction::Insert(frag) => {
+                prop_assert_eq!(frag.name(frag.root()), Some(frag_tag.as_str()));
+                prop_assert_eq!(frag.text_content(frag.root()), frag_text.trim());
+            }
+            other => prop_assert!(false, "expected insert, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn delete_updates_parse(path1 in tag(), path2 in tag(), key in "[0-9]{1,6}") {
+        let text = format!(
+            r#"FOR $a IN document("V.xml")/{path1}, $b IN $a/{path2}
+               WHERE $b/id/text() = "{key}"
+               UPDATE $a {{ DELETE $b }}"#
+        );
+        let u = parse_update(&text).unwrap();
+        prop_assert_eq!(u.bindings.len(), 2);
+        prop_assert!(matches!(u.actions[0], UpdateAction::Delete(_)));
+    }
+
+    #[test]
+    fn scanner_never_flags_subset_views((q, _, _) in simple_view()) {
+        prop_assert!(ufilter_xquery::expressible(&q).is_ok(), "{}", q);
+    }
+}

@@ -1,0 +1,94 @@
+//! Bookstore scenario: a session of view updates with side-effect-freedom
+//! verified after every accepted update (Definition 1's rectangle rule).
+//!
+//! Demonstrates:
+//! * materializing the XML view and watching it change,
+//! * why U-Filter rejects what it rejects (the publisher-sharing traps),
+//! * the rectangle-rule oracle confirming each accepted translation.
+//!
+//! ```text
+//! cargo run --example bookstore
+//! ```
+
+use u_filter::core::bookdemo;
+use u_filter::xquery::materialize;
+use u_filter::{apply_and_verify, RectangleVerdict};
+
+fn main() {
+    let filter = bookdemo::book_filter();
+    let mut db = bookdemo::book_db();
+
+    let show_view = |db: &u_filter::rdb::Db, label: &str| {
+        let v = materialize(db, &filter.query).expect("view materializes");
+        println!("\n--- {label}: view has {} elements ---", v.count_elements(v.root()));
+        println!("{}", u_filter::xml::to_pretty_string(&v, v.root()));
+    };
+
+    show_view(&db, "initial BookView (Fig. 3b)");
+
+    // A session of updates a bookstore app might issue.
+    let session: Vec<(&str, String)> = vec![
+        (
+            "add a review to TCP/IP Illustrated",
+            r#"FOR $book IN document("BookView.xml")/book
+               WHERE $book/bookid/text() = "98001"
+               UPDATE $book {
+                 INSERT <review><reviewid>003</reviewid>
+                        <comment>Still the reference.</comment></review> }"#
+                .to_string(),
+        ),
+        (
+            "add a brand-new book from a brand-new publisher (rejected: the \
+             publisher list under the root would change as a side effect)",
+            r#"FOR $root IN document("BookView.xml")
+               UPDATE $root {
+                 INSERT <book><bookid>98010</bookid><title>Streams</title>
+                        <price>29.00</price>
+                        <publisher><pubid>C01</pubid><pubname>NewCo Press</pubname></publisher>
+                        </book> }"#
+                .to_string(),
+        ),
+        (
+            "add a new book from an existing publisher (accepted: shared data pre-exists)",
+            r#"FOR $root IN document("BookView.xml")
+               UPDATE $root {
+                 INSERT <book><bookid>98011</bookid><title>Query Rewrites</title>
+                        <price>41.50</price>
+                        <publisher><pubid>A02</pubid>
+                        <pubname>Simon &amp; Schuster Inc.</pubname></publisher>
+                        </book> }"#
+                .to_string(),
+        ),
+        (
+            "drop every review of books under $40",
+            bookdemo::U8.to_string(),
+        ),
+        (
+            "retire books over $40 (conditional: minimization retains the publisher)",
+            bookdemo::U9.to_string(),
+        ),
+    ];
+
+    for (label, update) in session {
+        println!("\n=== {label} ===");
+        let (accepted, verdict) =
+            apply_and_verify(&filter, &update, &mut db).expect("pipeline runs");
+        if accepted {
+            assert_eq!(verdict, Some(RectangleVerdict::Holds));
+            println!("accepted; rectangle rule verified (no view side effects)");
+        } else {
+            let mut probe_db = db.clone();
+            let report = filter.check(&update, &mut probe_db).remove(0);
+            println!("rejected: {}", report.outcome);
+        }
+    }
+
+    show_view(&db, "final BookView after the session");
+
+    println!(
+        "base tables now: publisher={} book={} review={}",
+        db.row_count("publisher"),
+        db.row_count("book"),
+        db.row_count("review")
+    );
+}

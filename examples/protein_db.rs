@@ -1,0 +1,154 @@
+//! The §7.3 practicality study: a Protein Sequence Database (PSD)-like
+//! domain where (i) views are **not** well-nested (the nesting does not
+//! follow key/foreign-key structure — prior work [7,8] assumes it does) and
+//! (ii) the **SET NULL** delete policy is the norm rather than CASCADE.
+//!
+//! U-Filter handles both: the non-well-nested view compiles and marks, and
+//! the policy-aware closures make deleting an organism side-effect-free
+//! even though proteins are republished flat — the SET NULL'd protein rows
+//! survive, exactly as the view semantics require.
+//!
+//! ```text
+//! cargo run --example protein_db
+//! ```
+
+use u_filter::rdb::Db;
+use u_filter::{apply_and_verify, RectangleVerdict, UFilter};
+
+/// A PSD-flavoured schema: organisms, proteins (SET NULL to organism),
+/// references (RESTRICT to protein — citations must never dangle or vanish
+/// silently).
+fn psd_db() -> Db {
+    let mut db = Db::new();
+    for sql in [
+        "CREATE TABLE organism( \
+           orgid VARCHAR2(10), \
+           species VARCHAR2(100) NOT NULL, \
+           CONSTRAINTS OrgPK PRIMARYKEY (orgid))",
+        "CREATE TABLE protein( \
+           protid VARCHAR2(10), \
+           name VARCHAR2(100) NOT NULL, \
+           orgid VARCHAR2(10), \
+           length INT CHECK (length > 0), \
+           CONSTRAINTS ProtPK PRIMARYKEY (protid), \
+           FOREIGNKEY (orgid) REFERENCES organism (orgid) ON DELETE SET NULL)",
+        "CREATE TABLE reference( \
+           refid VARCHAR2(10), \
+           protid VARCHAR2(10), \
+           citation VARCHAR2(200) NOT NULL, \
+           CONSTRAINTS RefPK PRIMARYKEY (refid), \
+           FOREIGNKEY (protid) REFERENCES protein (protid) ON DELETE RESTRICT)",
+        "INSERT INTO organism VALUES ('O1', 'E. coli')",
+        "INSERT INTO organism VALUES ('O2', 'S. cerevisiae')",
+        "INSERT INTO protein VALUES ('P1', 'DnaK', 'O1', 638)",
+        "INSERT INTO protein VALUES ('P2', 'GroEL', 'O1', 548)",
+        "INSERT INTO protein VALUES ('P3', 'Hsp104', 'O2', 908)",
+        "INSERT INTO reference VALUES ('R1', 'P1', 'Bukau & Horwich 1998')",
+        "INSERT INTO reference VALUES ('R2', 'P3', 'Parsell et al. 1994')",
+    ] {
+        db.execute_sql(sql).expect("fixture");
+    }
+    db
+}
+
+/// Non-well-nested view: proteins nested under organisms (fine), but
+/// references are *not* nested under their proteins — they are published
+/// as a separate top-level list, and proteins are republished flat. Prior
+/// well-nested-view approaches reject this shape outright.
+const PSD_VIEW: &str = r#"
+<ProteinView>
+FOR $o IN document("default.xml")/organism/row
+RETURN {
+<organism>
+$o/orgid, $o/species,
+FOR $p IN document("default.xml")/protein/row
+WHERE $p/orgid = $o/orgid
+RETURN {
+<protein> $p/protid, $p/name, $p/length </protein>}
+</organism>},
+FOR $p2 IN document("default.xml")/protein/row
+RETURN {
+<proteinlist> $p2/protid, $p2/name </proteinlist>},
+FOR $r IN document("default.xml")/reference/row
+RETURN {
+<reference> $r/refid, $r/citation </reference>}
+</ProteinView>"#;
+
+fn main() {
+    let mut db = psd_db();
+    let filter = UFilter::compile(PSD_VIEW, db.schema()).expect("non-well-nested view compiles");
+
+    println!("=== PSD view (non-well-nested, SET NULL / RESTRICT policies) ===\n");
+    println!("STAR marks:");
+    for n in filter.asg.internal_nodes() {
+        println!(
+            "  <{}>  ({} | {})",
+            n.tag,
+            n.upoint.expect("marked"),
+            n.ucontext.expect("marked")
+        );
+    }
+
+    // 1. Deleting an organism: under SET NULL the proteins survive (they
+    //    leave the nested block but stay in the flat list) — exactly what
+    //    removing the <organism> element from the view means. U-Filter's
+    //    policy-aware extend() sees this and accepts.
+    println!("\n=== delete organism O2 (SET NULL keeps its proteins) ===");
+    let del_org = r#"FOR $o IN document("V.xml")/organism
+                     WHERE $o/orgid/text() = "O2"
+                     UPDATE $o { DELETE $o }"#;
+    let (accepted, verdict) = apply_and_verify(&filter, del_org, &mut db).expect("runs");
+    println!("accepted={accepted}, rectangle={verdict:?}");
+    assert!(accepted);
+    assert_eq!(verdict, Some(RectangleVerdict::Holds));
+    assert_eq!(db.row_count("organism"), 1);
+    assert_eq!(db.row_count("protein"), 3, "SET NULL keeps the proteins");
+    let orphans = db
+        .query_sql("SELECT protid FROM protein WHERE orgid IS NULL")
+        .expect("query");
+    println!("orphaned proteins (orgid IS NULL): {:?}", orphans.column_values("protid"));
+
+    // 2. Deleting a protein from the flat list is untranslatable: the same
+    //    tuple also feeds the nested block under its organism.
+    println!("\n=== delete P1 from the flat list (untranslatable: shared) ===");
+    let del_flat = r#"FOR $p IN document("V.xml")/proteinlist
+                      WHERE $p/protid/text() = "P1"
+                      UPDATE $p { DELETE $p }"#;
+    let report = filter.check(del_flat, &mut db).remove(0);
+    println!("outcome: {}", report.outcome);
+    assert!(!report.outcome.is_translatable());
+
+    // 3. Deleting a nested protein is rejected at STAR: the same tuple
+    //    feeds the flat list (and RESTRICT would block the base delete of
+    //    P1 anyway, since a citation still references it).
+    println!("\n=== delete nested protein P1 (shared with the flat list; RESTRICT backs it up) ===");
+    let del_nested = r#"FOR $o IN document("V.xml")/organism, $p IN $o/protein
+                        WHERE $p/protid/text() = "P1"
+                        UPDATE $o { DELETE $p }"#;
+    let report = filter.apply(del_nested, &mut db).remove(0);
+    println!("outcome: {}", report.outcome);
+    assert_eq!(db.row_count("protein"), 3, "RESTRICT kept the protein");
+
+    // 4. Even a protein without references is rejected: it is republished
+    //    in the flat list, which would lose an entry as a side effect.
+    println!("\n=== delete nested protein P2 (no citation, still shared) ===");
+    let del_p2 = r#"FOR $o IN document("V.xml")/organism, $p IN $o/protein
+                    WHERE $p/protid/text() = "P2"
+                    UPDATE $o { DELETE $p }"#;
+    let report = filter.check(del_p2, &mut db).remove(0);
+    println!("outcome: {}", report.outcome);
+    assert!(!report.outcome.is_translatable());
+
+    // 5. Inserting a new reference for an existing protein is clean.
+    println!("\n=== insert a reference for P2 (clean) ===");
+    let ins_ref = r#"FOR $root IN document("V.xml")
+                     UPDATE $root {
+                       INSERT <reference><refid>R3</refid>
+                              <citation>Glover & Lindquist 1998</citation></reference> }"#;
+    let (accepted, verdict) = apply_and_verify(&filter, ins_ref, &mut db).expect("runs");
+    println!("accepted={accepted}, rectangle={verdict:?}");
+    assert!(accepted);
+    assert_eq!(db.row_count("reference"), 3);
+
+    println!("\nPSD session complete: non-well-nested views and non-cascade policies handled.");
+}

@@ -1,0 +1,102 @@
+//! The evaluation's TPC-H views in action: `Vsuccess` accepts updates at
+//! every nesting level, `Vfail` rejects them at STAR in constant time while
+//! the blind baseline pays execute-compare-rollback, and the three Step-3
+//! strategies run side by side.
+//!
+//! ```text
+//! cargo run --release --example tpch_views
+//! ```
+
+use std::time::Instant;
+
+use u_filter::tpch::{generate, tpch_schema, updates, vfail_for, Scale, V_SUCCESS};
+use u_filter::{blind_apply, Strategy, UFilter, UFilterConfig};
+use ufilter_rdb::DeletePolicy;
+
+fn main() {
+    let schema = tpch_schema(DeletePolicy::Cascade);
+    let scale = Scale::mb(10);
+    println!(
+        "generating TPC-H-like data: {} rows (customers={}, orders={}, lineitems≈{})",
+        scale.total_rows(),
+        scale.customers,
+        scale.customers * scale.orders_per_customer,
+        scale.customers * scale.orders_per_customer * scale.lineitems_per_order,
+    );
+    let db = generate(scale, 42, DeletePolicy::Cascade);
+
+    // --- Vsuccess: every level is unconditionally updatable -------------
+    println!("\n=== Vsuccess: deletes at every nesting level ===");
+    let vs = UFilter::compile(V_SUCCESS, &schema).expect("Vsuccess compiles");
+    for (level, update) in [
+        ("region", updates::delete_region(2)),
+        ("nation", updates::delete_nation(7)),
+        ("customer", updates::delete_customer(3)),
+        ("order", updates::delete_order(5)),
+        ("lineitem", updates::delete_lineitems_of_order(5)),
+    ] {
+        let mut copy = db.clone();
+        let t = Instant::now();
+        let report = vs.apply(&update, &mut copy).remove(0);
+        println!(
+            "  delete one {level:<9} -> {:<28} in {:>8.3} ms",
+            report.outcome.label(),
+            t.elapsed().as_secs_f64() * 1e3
+        );
+    }
+
+    // --- Vfail: STAR rejects instantly; the blind baseline pays dearly --
+    println!("\n=== Vfail(region): STAR reject vs blind execute+compare+rollback ===");
+    let vf = UFilter::compile(&vfail_for("region"), &schema).expect("Vfail compiles");
+    let update = updates::delete_region(1);
+
+    let mut copy = db.clone();
+    let t = Instant::now();
+    let report = vf.check(&update, &mut copy).remove(0);
+    let t_star = t.elapsed();
+    println!("  U-Filter: {} in {:.3} ms", report.outcome.label(), t_star.as_secs_f64() * 1e3);
+
+    let mut copy = db.clone();
+    let t = Instant::now();
+    let blind = blind_apply(&vf, &update, &mut copy).expect("blind run completes");
+    let t_blind = t.elapsed();
+    println!(
+        "  blind:    rolled_back={} in {:.3} ms  ({}x slower)",
+        blind.rolled_back,
+        t_blind.as_secs_f64() * 1e3,
+        (t_blind.as_secs_f64() / t_star.as_secs_f64().max(1e-9)) as u64
+    );
+
+    // --- the three Step-3 strategies on the same insert ------------------
+    println!("\n=== Step-3 strategies: insert a lineitem into order 3 ===");
+    for (name, strategy) in [
+        ("internal", Strategy::Internal),
+        ("hybrid", Strategy::Hybrid),
+        ("outside", Strategy::Outside),
+    ] {
+        let filter = UFilter::compile(V_SUCCESS, &schema)
+            .expect("compiles")
+            .with_config(UFilterConfig { strategy, ..Default::default() });
+        let mut copy = db.clone();
+        let t = Instant::now();
+        let report = filter.apply(&updates::insert_lineitem(3, 99), &mut copy).remove(0);
+        println!(
+            "  {name:<9} -> {:<28} in {:>8.3} ms",
+            report.outcome.label(),
+            t.elapsed().as_secs_f64() * 1e3
+        );
+        assert!(report.outcome.is_translatable());
+    }
+
+    // … and a conflicting insert every strategy must reject.
+    println!("\n=== duplicate lineitem (order 3, line 1) — all strategies reject ===");
+    for (name, strategy) in [("hybrid", Strategy::Hybrid), ("outside", Strategy::Outside)] {
+        let filter = UFilter::compile(V_SUCCESS, &schema)
+            .expect("compiles")
+            .with_config(UFilterConfig { strategy, ..Default::default() });
+        let mut copy = db.clone();
+        let report = filter.apply(&updates::insert_lineitem(3, 1), &mut copy).remove(0);
+        println!("  {name:<9} -> {}", report.outcome);
+        assert!(!report.outcome.is_translatable());
+    }
+}

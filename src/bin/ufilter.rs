@@ -1,0 +1,189 @@
+//! `ufilter` — command-line driver for the U-Filter checker.
+//!
+//! ```text
+//! ufilter --schema fixtures/book.sql --view fixtures/bookview.xq check fixtures/u8.xq
+//! ufilter --schema fixtures/book.sql --view fixtures/bookview.xq apply fixtures/u13.xq
+//! ufilter --schema fixtures/book.sql --view fixtures/bookview.xq show-asg
+//! ufilter --schema fixtures/book.sql --view fixtures/bookview.xq materialize
+//! ufilter --schema fixtures/book.sql sql "SELECT * FROM book"
+//! ```
+//!
+//! `--schema` takes a `;`-separated SQL script (DDL + data). `--view` takes
+//! a view-query file. `--strategy internal|hybrid|outside` and
+//! `--mode strict|refined` tune the pipeline.
+
+use std::process::ExitCode;
+
+use u_filter::xquery::materialize;
+use u_filter::{CheckOutcome, StarMode, Strategy, UFilter, UFilterConfig};
+use ufilter_rdb::Db;
+
+struct Args {
+    schema: Option<String>,
+    view: Option<String>,
+    strategy: Strategy,
+    mode: StarMode,
+    command: String,
+    operand: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let mut out = Args {
+        schema: None,
+        view: None,
+        strategy: Strategy::Outside,
+        mode: StarMode::Refined,
+        command: String::new(),
+        operand: None,
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--schema" => out.schema = Some(args.next().ok_or("--schema needs a file")?),
+            "--view" => out.view = Some(args.next().ok_or("--view needs a file")?),
+            "--strategy" => {
+                out.strategy = match args.next().as_deref() {
+                    Some("internal") => Strategy::Internal,
+                    Some("hybrid") => Strategy::Hybrid,
+                    Some("outside") => Strategy::Outside,
+                    other => return Err(format!("unknown strategy {other:?}")),
+                }
+            }
+            "--mode" => {
+                out.mode = match args.next().as_deref() {
+                    Some("strict") => StarMode::Strict,
+                    Some("refined") => StarMode::Refined,
+                    other => return Err(format!("unknown mode {other:?}")),
+                }
+            }
+            "--help" | "-h" => {
+                out.command = "help".into();
+                return Ok(out);
+            }
+            cmd if out.command.is_empty() => out.command = cmd.to_string(),
+            operand if out.operand.is_none() => out.operand = Some(operand.to_string()),
+            extra => return Err(format!("unexpected argument {extra}")),
+        }
+    }
+    if out.command.is_empty() {
+        out.command = "help".into();
+    }
+    Ok(out)
+}
+
+const HELP: &str = "\
+ufilter — XML view update translatability checker (U-Filter, ICDE 2006)
+
+USAGE:
+    ufilter --schema <script.sql> [--view <view.xq>] [options] <command> [operand]
+
+COMMANDS:
+    check <update.xq>    run the three-step check; print the trace + SQL
+    apply <update.xq>    check and execute the translated update
+    show-asg             print the view ASG with its STAR marks
+    materialize          print the materialized XML view
+    sql <statement>      run one SQL statement against the loaded schema
+    help                 this message
+
+OPTIONS:
+    --strategy internal|hybrid|outside   update-point strategy (default outside)
+    --mode strict|refined                Observation-2 handling (default refined)
+";
+
+fn load_db(args: &Args) -> Result<Db, String> {
+    let Some(path) = &args.schema else {
+        return Err("--schema <file> is required".into());
+    };
+    let script = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut db = Db::new();
+    db.execute_script(&script).map_err(|e| format!("{path}: {e}"))?;
+    Ok(db)
+}
+
+fn load_filter(args: &Args, db: &Db) -> Result<UFilter, String> {
+    let Some(path) = &args.view else {
+        return Err("--view <file> is required for this command".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    UFilter::compile(&text, db.schema())
+        .map(|f| f.with_config(UFilterConfig { mode: args.mode, strategy: args.strategy }))
+        .map_err(|e| format!("{path}: {e}"))
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    match args.command.as_str() {
+        "help" => {
+            print!("{HELP}");
+            Ok(true)
+        }
+        "sql" => {
+            let mut db = load_db(&args)?;
+            let stmt = args.operand.as_deref().ok_or("sql needs a statement")?;
+            let out = db.execute_sql(stmt).map_err(|e| e.to_string())?;
+            if let Some(rs) = out.result {
+                print!("{}", rs.to_table());
+            } else {
+                println!("{} row(s) affected", out.affected);
+            }
+            for w in out.warnings {
+                eprintln!("warning: {w}");
+            }
+            Ok(true)
+        }
+        "show-asg" => {
+            let db = load_db(&args)?;
+            let filter = load_filter(&args, &db)?;
+            print!("{}", filter.asg.describe());
+            Ok(true)
+        }
+        "materialize" => {
+            let db = load_db(&args)?;
+            let filter = load_filter(&args, &db)?;
+            let doc = materialize(&db, &filter.query).map_err(|e| e.to_string())?;
+            print!("{}", u_filter::xml::to_pretty_string(&doc, doc.root()));
+            Ok(true)
+        }
+        cmd @ ("check" | "apply") => {
+            let mut db = load_db(&args)?;
+            let filter = load_filter(&args, &db)?;
+            let path = args.operand.as_deref().ok_or("check/apply need an update file")?;
+            let update = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let reports = if cmd == "apply" {
+                filter.apply(&update, &mut db)
+            } else {
+                filter.check(&update, &mut db)
+            };
+            let mut all_ok = true;
+            for (i, report) in reports.iter().enumerate() {
+                if reports.len() > 1 {
+                    println!("--- action {} ---", i + 1);
+                }
+                for (step, note) in &report.trace {
+                    println!("[{step}] {note}");
+                }
+                println!("=> {}", report.outcome);
+                if let CheckOutcome::Translatable { translation, .. } = &report.outcome {
+                    for stmt in translation {
+                        println!("SQL> {stmt}");
+                    }
+                } else {
+                    all_ok = false;
+                }
+            }
+            Ok(all_ok)
+        }
+        other => Err(format!("unknown command {other}; try --help")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1), // update rejected
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Integration tests for the `ufilter` CLI binary, driven through the
+//! fixtures/ files.
+
+use std::process::Command;
+
+fn ufilter(args: &[&str]) -> (String, String, Option<i32>) {
+    let out = Command::new(env!("CARGO_BIN_EXE_ufilter"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
+const BASE: [&str; 4] = ["--schema", "fixtures/book.sql", "--view", "fixtures/bookview.xq"];
+
+fn with_base(rest: &[&str]) -> Vec<&'static str> {
+    // Leak is fine in tests; keeps helper signatures simple.
+    let mut v: Vec<&'static str> = BASE.to_vec();
+    for r in rest {
+        v.push(Box::leak(r.to_string().into_boxed_str()));
+    }
+    v
+}
+
+#[test]
+fn check_accepts_u8_with_trace_and_sql() {
+    let (stdout, _, code) = ufilter(&with_base(&["check", "fixtures/u8.xq"]));
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("[update validation] valid"), "{stdout}");
+    assert!(stdout.contains("(clean|s-d∧s-i)"), "{stdout}");
+    assert!(stdout.contains("SQL> DELETE FROM review"), "{stdout}");
+}
+
+#[test]
+fn check_rejects_u10_with_exit_1() {
+    let (stdout, _, code) = ufilter(&with_base(&["check", "fixtures/u10.xq"]));
+    assert_eq!(code, Some(1));
+    assert!(stdout.contains("unsafe-delete"), "{stdout}");
+}
+
+#[test]
+fn apply_u13_inserts_and_reports() {
+    let (stdout, _, code) = ufilter(&with_base(&["apply", "fixtures/u13.xq"]));
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("INSERT INTO review"), "{stdout}");
+    assert!(stdout.contains("'98003'"), "{stdout}");
+}
+
+#[test]
+fn show_asg_prints_star_marks() {
+    let (stdout, _, code) = ufilter(&with_base(&["show-asg"]));
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("(dirty|s-d∧u-i)"), "{stdout}");
+    assert!(stdout.contains("UCB={book,publisher}"), "{stdout}");
+}
+
+#[test]
+fn materialize_prints_fig3b_view() {
+    let (stdout, _, code) = ufilter(&with_base(&["materialize"]));
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("<BookView>"), "{stdout}");
+    assert!(stdout.contains("<bookid>98001</bookid>"), "{stdout}");
+    assert!(stdout.contains("Data on the Web"), "{stdout}");
+    assert!(!stdout.contains("Programming in Unix"), "out-of-view book leaked: {stdout}");
+}
+
+#[test]
+fn sql_command_queries_the_loaded_schema() {
+    let (stdout, _, code) = ufilter(&[
+        "--schema",
+        "fixtures/book.sql",
+        "sql",
+        "SELECT title FROM book WHERE price < 40.00",
+    ]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("TCP/IP Illustrated"), "{stdout}");
+}
+
+#[test]
+fn strict_mode_flag_changes_u4_step() {
+    // In strict mode a book insert dies at STAR before any data access.
+    let insert = r#"
+FOR $root IN document("BookView.xml")
+UPDATE $root {
+INSERT
+<book><bookid>98009</bookid><title>T</title><price>20.00</price>
+<publisher><pubid>A01</pubid><pubname>McGraw-Hill Inc.</pubname></publisher>
+</book> }"#;
+    std::fs::write(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("target/strict_test_update.xq"),
+        insert,
+    )
+    .unwrap();
+    let (stdout, _, code) = ufilter(&with_base(&[
+        "--mode",
+        "strict",
+        "check",
+        "target/strict_test_update.xq",
+    ]));
+    assert_eq!(code, Some(1));
+    assert!(stdout.contains("unsafe-insert"), "{stdout}");
+    // Refined mode accepts it (publisher A01 exists).
+    let (stdout, _, code) = ufilter(&with_base(&[
+        "--mode",
+        "refined",
+        "check",
+        "target/strict_test_update.xq",
+    ]));
+    assert_eq!(code, Some(0), "{stdout}");
+}
+
+#[test]
+fn missing_files_give_exit_2() {
+    let (_, stderr, code) = ufilter(&["--schema", "no/such/file.sql", "sql", "SELECT 1 FROM t"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("error:"), "{stderr}");
+}

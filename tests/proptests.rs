@@ -1,0 +1,237 @@
+//! Property tests over the full pipeline: randomized base data and
+//! randomized updates against BookView must satisfy the paper's core
+//! guarantees — every *accepted* update's translation is side-effect-free
+//! (Definition 1), every *rejected* update leaves the database untouched,
+//! and classification is deterministic.
+
+use proptest::prelude::*;
+use u_filter::core::bookdemo;
+use u_filter::{apply_and_verify, RectangleVerdict, StarMode, Strategy as PointStrategy, UFilterConfig};
+use ufilter_rdb::{Db, Value};
+
+/// Random book database over the Fig. 1 schema: publishers, books, reviews
+/// with randomized prices/years so view membership varies.
+#[derive(Debug, Clone)]
+struct Data {
+    publishers: Vec<(String, String)>,
+    books: Vec<(String, String, usize, f64, i64)>, // id, title, pub idx, price, year
+    reviews: Vec<(usize, String, String)>,         // book idx, reviewid, comment
+}
+
+fn data_strategy() -> impl Strategy<Value = Data> {
+    let publishers = prop::collection::vec(("[A-Z][0-9]{2}", "[A-Za-z ]{3,12}"), 1..4);
+    publishers.prop_flat_map(|pubs| {
+        let n_pubs = pubs.len();
+        let books = prop::collection::vec(
+            (
+                "9[0-9]{4}",
+                "[A-Za-z ]{3,16}",
+                0..n_pubs,
+                10.0f64..80.0,
+                1980i64..2006,
+            ),
+            0..5,
+        );
+        (Just(pubs), books).prop_flat_map(|(pubs, books)| {
+            let n_books = books.len();
+            let reviews = if n_books == 0 {
+                prop::collection::vec((0..1usize, "[0-9]{3}", "[a-z ]{3,10}"), 0..1).boxed()
+            } else {
+                prop::collection::vec((0..n_books, "[0-9]{3}", "[a-z ]{3,10}"), 0..6).boxed()
+            };
+            (Just(pubs), Just(books), reviews)
+                .prop_map(|(publishers, books, reviews)| Data { publishers, books, reviews })
+        })
+    })
+}
+
+fn load(data: &Data) -> Db {
+    let mut db = Db::new();
+    for stmt in bookdemo::ddl("CASCADE") {
+        db.execute_sql(&stmt).unwrap();
+    }
+    let mut seen_pub = Vec::new();
+    for (i, (id, name)) in data.publishers.iter().enumerate() {
+        if seen_pub.contains(id) {
+            continue;
+        }
+        seen_pub.push(id.clone());
+        // pubname is UNIQUE: suffix with the index.
+        let _ = db.insert(
+            "publisher",
+            vec![vec![Value::str(id.clone()), Value::str(format!("{name} {i}"))]],
+        );
+    }
+    let mut seen_book = Vec::new();
+    for (id, title, p, price, year) in &data.books {
+        if seen_book.contains(id) || *p >= seen_pub.len() {
+            continue;
+        }
+        seen_book.push(id.clone());
+        let _ = db.insert(
+            "book",
+            vec![vec![
+                Value::str(id.clone()),
+                Value::str(title.clone()),
+                Value::str(seen_pub[*p].clone()),
+                Value::Double(*price),
+                Value::Date(*year),
+            ]],
+        );
+    }
+    let mut seen_rev: Vec<(String, String)> = Vec::new();
+    for (b, rid, comment) in &data.reviews {
+        if *b >= seen_book.len() {
+            continue;
+        }
+        let key = (seen_book[*b].clone(), rid.clone());
+        if seen_rev.contains(&key) {
+            continue;
+        }
+        seen_rev.push(key.clone());
+        let _ = db.insert(
+            "review",
+            vec![vec![
+                Value::str(key.0),
+                Value::str(key.1),
+                Value::str(comment.clone()),
+                Value::Null,
+            ]],
+        );
+    }
+    db
+}
+
+/// A randomized update against BookView.
+fn update_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        // Delete reviews of books under a random price bound.
+        (5.0f64..90.0).prop_map(|p| format!(
+            r#"FOR $book IN document("V.xml")/book
+               WHERE $book/price < {p:.2}
+               UPDATE $book {{ DELETE $book/review }}"#
+        )),
+        // Delete books above a bound.
+        (5.0f64..90.0).prop_map(|p| format!(
+            r#"FOR $root IN document("V.xml"), $book IN $root/book
+               WHERE $book/price > {p:.2}
+               UPDATE $root {{ DELETE $book }}"#
+        )),
+        // Insert a review into a book by id (may or may not exist).
+        ("9[0-9]{4}", "[0-9]{3}").prop_map(|(b, r)| format!(
+            r#"FOR $book IN document("V.xml")/book
+               WHERE $book/bookid/text() = "{b}"
+               UPDATE $book {{
+               INSERT <review><reviewid>{r}</reviewid><comment>pp</comment></review> }}"#
+        )),
+        // Insert a new book under an existing or absent publisher.
+        ("9[0-9]{4}", "[A-Z][0-9]{2}", 1.0f64..99.0).prop_map(|(b, p, price)| format!(
+            r#"FOR $root IN document("V.xml")
+               UPDATE $root {{
+               INSERT <book><bookid>{b}</bookid><title>Gen</title><price>{price:.2}</price>
+               <publisher><pubid>{p}</pubid><pubname>Whatever</pubname></publisher>
+               </book> }}"#
+        )),
+        // Delete the publisher of some book (always untranslatable).
+        Just(
+            r#"FOR $book IN document("V.xml")/book
+               UPDATE $book { DELETE $book/publisher }"#
+                .to_string()
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn accepted_updates_are_side_effect_free(
+        data in data_strategy(),
+        update in update_strategy(),
+    ) {
+        let filter = bookdemo::book_filter();
+        let mut db = load(&data);
+        match apply_and_verify(&filter, &update, &mut db) {
+            Ok((accepted, verdict)) => {
+                if accepted {
+                    prop_assert_eq!(
+                        verdict,
+                        Some(RectangleVerdict::Holds),
+                        "accepted update violated the rectangle rule: {}",
+                        update
+                    );
+                }
+            }
+            Err(_) => {} // malformed for this data shape: fine
+        }
+    }
+
+    #[test]
+    fn rejected_updates_do_not_mutate(
+        data in data_strategy(),
+        update in update_strategy(),
+    ) {
+        let filter = bookdemo::book_filter();
+        let mut db = load(&data);
+        let before = db.dump();
+        let reports = filter.check(&update, &mut db);
+        if !reports.iter().all(|r| r.outcome.is_translatable()) {
+            for t in ["TAB_book", "TAB_publisher", "TAB_review", "TAB_BookView"] {
+                let _ = db.drop_table(t);
+            }
+            prop_assert_eq!(db.dump(), before);
+        }
+    }
+
+    #[test]
+    fn classification_is_deterministic_and_mode_consistent(
+        data in data_strategy(),
+        update in update_strategy(),
+    ) {
+        // Same update, same data → same label; and Strict never accepts
+        // something Refined rejects.
+        let mut db = load(&data);
+        let refined = bookdemo::book_filter()
+            .with_config(UFilterConfig { mode: StarMode::Refined, strategy: PointStrategy::Outside });
+        let strict = bookdemo::book_filter()
+            .with_config(UFilterConfig { mode: StarMode::Strict, strategy: PointStrategy::Outside });
+        let a = refined.check(&update, &mut db).remove(0).outcome.is_translatable();
+        let b = refined.check(&update, &mut db).remove(0).outcome.is_translatable();
+        prop_assert_eq!(a, b);
+        let s = strict.check(&update, &mut db).remove(0).outcome.is_translatable();
+        if s {
+            prop_assert!(a, "strict accepted what refined rejected: {}", update);
+        }
+    }
+
+    #[test]
+    fn hybrid_and_outside_agree(
+        data in data_strategy(),
+        update in update_strategy(),
+    ) {
+        let mut results = Vec::new();
+        for strategy in [PointStrategy::Outside, PointStrategy::Hybrid] {
+            let filter = bookdemo::book_filter()
+                .with_config(UFilterConfig { mode: StarMode::Refined, strategy });
+            let mut db = load(&data);
+            let reports = filter.apply(&update, &mut db);
+            results.push((
+                reports.iter().all(|r| r.outcome.is_translatable()),
+                db.dump(),
+            ));
+        }
+        prop_assert_eq!(results[0].0, results[1].0, "strategies disagree on {}", update);
+        if results[0].0 {
+            // Accepted by both: same final state (modulo TAB tables, which
+            // dump() excludes only if dropped — drop them).
+            let (ref a, ref b) = (&results[0].1, &results[1].1);
+            let strip = |d: &std::collections::BTreeMap<String, Vec<ufilter_rdb::Row>>| {
+                d.iter()
+                    .filter(|(k, _)| !k.starts_with("TAB_"))
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect::<Vec<_>>()
+            };
+            prop_assert_eq!(strip(a), strip(b));
+        }
+    }
+}
