@@ -134,11 +134,7 @@ impl BaseAsg {
         let mut closures = Vec::new();
         let mut seen_rel = BTreeSet::new();
         for leaf in leaf_names {
-            let Some(rel) = self
-                .rels
-                .iter()
-                .find(|r| r.leaves.iter().any(|l| l == leaf))
-            else {
+            let Some(rel) = self.rels.iter().find(|r| r.leaves.iter().any(|l| l == leaf)) else {
                 continue;
             };
             if seen_rel.insert(rel.name.to_ascii_lowercase()) {
@@ -171,7 +167,13 @@ mod tests {
                 .column(Column::new("price", DataType::Double))
                 .column(Column::new("year", DataType::Date))
                 .primary_key(["bookid"])
-                .foreign_key("BookFK", vec!["pubid"], "publisher", vec!["pubid"], DeletePolicy::Cascade),
+                .foreign_key(
+                    "BookFK",
+                    vec!["pubid"],
+                    "publisher",
+                    vec!["pubid"],
+                    DeletePolicy::Cascade,
+                ),
         );
         schema.add(
             TableSchema::new("review")
@@ -180,7 +182,13 @@ mod tests {
                 .column(Column::new("comment", DataType::Str))
                 .column(Column::new("reviewer", DataType::Str))
                 .primary_key(["bookid", "reviewid"])
-                .foreign_key("ReviewFK", vec!["bookid"], "book", vec!["bookid"], DeletePolicy::Cascade),
+                .foreign_key(
+                    "ReviewFK",
+                    vec!["bookid"],
+                    "book",
+                    vec!["bookid"],
+                    DeletePolicy::Cascade,
+                ),
         );
         let relations = vec!["publisher".to_string(), "book".to_string(), "review".to_string()];
         let leaves = vec![
@@ -251,9 +259,7 @@ mod tests {
     fn set_null_children_excluded_from_closure() {
         let mut schema = DatabaseSchema::new();
         schema.add(
-            TableSchema::new("a")
-                .column(Column::new("id", DataType::Int))
-                .primary_key(["id"]),
+            TableSchema::new("a").column(Column::new("id", DataType::Int)).primary_key(["id"]),
         );
         schema.add(
             TableSchema::new("b")

@@ -76,7 +76,10 @@ impl Closure {
             return true;
         }
         let at_this_level = other.leaves.is_subset(&self.leaves)
-            && other.groups.iter().all(|g| self.groups.contains(g) || self.groups.iter().any(|sg| sg.contains(g)));
+            && other
+                .groups
+                .iter()
+                .all(|g| self.groups.contains(g) || self.groups.iter().any(|sg| sg.contains(g)));
         if at_this_level {
             return true;
         }
@@ -231,10 +234,7 @@ mod tests {
 
     #[test]
     fn render_is_stable() {
-        assert_eq!(
-            review().render(),
-            "{review.comment, review.reviewid}"
-        );
+        assert_eq!(review().render(), "{review.comment, review.reviewid}");
         assert!(book().render().contains("(review.comment, review.reviewid)*"));
     }
 }

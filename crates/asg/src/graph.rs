@@ -2,10 +2,10 @@
 //!
 //! Nodes come in four kinds — root `vR`, internal `vC`, tag `vS`, leaf `vL`
 //! — each carrying the annotations the paper's Node Annotation Table lists:
-//! leaves carry `{name, type, property, check}` (the merged relational CHECK
-//! + view-predicate domain), root/internal nodes carry their Update Context
-//! Binding and Update Point Binding, and every incoming edge carries a
-//! cardinality from `{1, ?, +, *}` plus its correlation-predicate
+//! leaves carry `{name, type, property, check}` (the merged relational
+//! CHECK plus view-predicate domain), root/internal nodes carry their
+//! Update Context Binding and Update Point Binding, and every incoming edge
+//! carries a cardinality from `{1, ?, +, *}` plus its correlation-predicate
 //! conditions. STAR's `(UPoint | UContext)` marks are written back into the
 //! same nodes by the marking procedure.
 
@@ -252,10 +252,8 @@ impl ViewAsg {
     /// where the parent is the nearest root/internal ancestor (§5.1.1).
     pub fn cr(&self, id: AsgNodeId) -> Vec<String> {
         let node = self.node(id);
-        let parent_ucb = self
-            .internal_ancestor(id)
-            .map(|p| self.node(p).ucbinding.clone())
-            .unwrap_or_default();
+        let parent_ucb =
+            self.internal_ancestor(id).map(|p| self.node(p).ucbinding.clone()).unwrap_or_default();
         node.ucbinding
             .iter()
             .filter(|r| !parent_ucb.iter().any(|x| x.eq_ignore_ascii_case(r)))

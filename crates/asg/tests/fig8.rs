@@ -3,8 +3,8 @@
 //! and the closures must match §5.1.2's worked examples.
 
 use ufilter_asg::{build_view_asg, view_closure, AsgNodeKind, BaseAsg, Card, ViewAsg};
-use ufilter_rdb::{ColRef, Column, DataType, DatabaseSchema, DeletePolicy, TableSchema, Value};
 use ufilter_rdb::{CmpOp, Expr};
+use ufilter_rdb::{ColRef, Column, DataType, DatabaseSchema, DeletePolicy, TableSchema, Value};
 use ufilter_xquery::parse_view_query;
 
 pub const BOOK_VIEW: &str = r#"
@@ -50,7 +50,13 @@ pub fn book_schema() -> DatabaseSchema {
             .column(Column::new("year", DataType::Date))
             .primary_key(["bookid"])
             .check("price_pos", Expr::gt(Expr::col("book", "price"), Expr::lit(Value::Double(0.0))))
-            .foreign_key("BookFK", vec!["pubid"], "publisher", vec!["pubid"], DeletePolicy::Cascade),
+            .foreign_key(
+                "BookFK",
+                vec!["pubid"],
+                "publisher",
+                vec!["pubid"],
+                DeletePolicy::Cascade,
+            ),
     );
     db.add(
         TableSchema::new("review")
@@ -172,14 +178,8 @@ fn local_preds_capture_unprojected_year() {
     let g = asg();
     let vc1 = g.node(g.resolve_path(&["book"])[0]);
     assert_eq!(vc1.local_preds.len(), 2);
-    assert!(vc1
-        .local_preds
-        .iter()
-        .any(|p| p.column.matches("book", "year") && p.op == CmpOp::Gt));
-    assert!(vc1
-        .local_preds
-        .iter()
-        .any(|p| p.column.matches("book", "price") && p.op == CmpOp::Lt));
+    assert!(vc1.local_preds.iter().any(|p| p.column.matches("book", "year") && p.op == CmpOp::Gt));
+    assert!(vc1.local_preds.iter().any(|p| p.column.matches("book", "price") && p.op == CmpOp::Lt));
 }
 
 #[test]
@@ -208,10 +208,8 @@ fn view_closures_match_section_512() {
 fn mapping_closures_agree_with_base_asg() {
     let g = asg();
     let schema = book_schema();
-    let leaves: Vec<ColRef> = g
-        .iter()
-        .filter_map(|n| n.leaf.as_ref().map(|l| l.name.clone()))
-        .collect();
+    let leaves: Vec<ColRef> =
+        g.iter().filter_map(|n| n.leaf.as_ref().map(|l| l.name.clone())).collect();
     let base = BaseAsg::build(&schema, &g.relations, &leaves);
     // vC3 is clean: CV ≡ CD.
     let cv3 = view_closure(&g, g.resolve_path(&["book", "review"])[0]);

@@ -18,10 +18,7 @@ fn closure_strategy() -> impl Strategy<Value = Closure> {
         c
     });
     flat.prop_recursive(3, 24, 3, |inner| {
-        (
-            prop::collection::btree_set(leaf_name(), 0..4),
-            prop::collection::vec(inner, 0..3),
-        )
+        (prop::collection::btree_set(leaf_name(), 0..4), prop::collection::vec(inner, 0..3))
             .prop_map(|(leaves, groups)| {
                 let mut c = Closure::default();
                 for l in leaves {

@@ -3,9 +3,9 @@
 //! Fig. 13), and rollback (the penalty of Fig. 14).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ufilter_rdb::DeletePolicy;
 use ufilter_rdb::{Parser, PlannerConfig};
 use ufilter_tpch::{generate, Scale};
-use ufilter_rdb::DeletePolicy;
 
 fn bench_joins(c: &mut Criterion) {
     let db = generate(Scale::mb(5), 42, DeletePolicy::Cascade);

@@ -20,15 +20,11 @@ fn bench_marking(c: &mut Criterion) {
 
 fn bench_checking(c: &mut Criterion) {
     let filter = bookdemo::book_filter();
-    c.bench_function("star_check_delete_u8", |b| {
-        b.iter(|| filter.check_schema(bookdemo::U8))
-    });
+    c.bench_function("star_check_delete_u8", |b| b.iter(|| filter.check_schema(bookdemo::U8)));
     c.bench_function("star_check_untranslatable_u10", |b| {
         b.iter(|| filter.check_schema(bookdemo::U10))
     });
-    c.bench_function("validation_invalid_u1", |b| {
-        b.iter(|| filter.check_schema(bookdemo::U1))
-    });
+    c.bench_function("validation_invalid_u1", |b| b.iter(|| filter.check_schema(bookdemo::U1)));
 }
 
 criterion_group!(benches, bench_marking, bench_checking);

@@ -22,10 +22,16 @@ fn main() {
     let mb = flag("--mb", 1);
     let reps = flag("--reps", 5);
     let quick = args.iter().any(|a| a == "--quick");
-    let sweep: Vec<usize> =
-        if quick { vec![10, 20, 50] } else { vec![50, 100, 150, 200, 250, 300, 350, 400, 450, 500] };
+    let sweep: Vec<usize> = if quick {
+        vec![10, 20, 50]
+    } else {
+        vec![50, 100, 150, 200, 250, 300, 350, 400, 450, 500]
+    };
 
     match which {
+        // Quick JSON snapshot for cross-PR comparison; redirect to
+        // BENCH_seed.json (or BENCH_<rev>.json) at the repo root.
+        "baseline" => print!("{}", bench::baseline_json(reps)),
         "fig12" => print!("{}", bench::fig12()),
         "fig13" => print!("{}", bench::fig13(mb, reps)),
         "fig14" => print!("{}", bench::fig14(mb, reps)),
@@ -51,7 +57,7 @@ fn main() {
         other => {
             eprintln!(
                 "unknown figure '{other}'; expected one of: \
-                 fig12 fig13 fig14 fig15 fig16 fig17 marking ablation all"
+                 baseline fig12 fig13 fig14 fig15 fig16 fig17 marking ablation all"
             );
             std::process::exit(2);
         }

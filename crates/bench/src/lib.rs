@@ -32,6 +32,53 @@ impl std::fmt::Display for Table {
     }
 }
 
+impl Table {
+    /// Serialize as a JSON object (hand-rolled; the workspace carries no
+    /// serde). Used by `paper-figures baseline` to emit BENCH_seed.json.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        }
+        fn arr(items: impl Iterator<Item = String>) -> String {
+            format!("[{}]", items.collect::<Vec<_>>().join(","))
+        }
+        format!(
+            "{{\"title\":{},\"headers\":{},\"rows\":{}}}",
+            esc(&self.title),
+            arr(self.headers.iter().map(|h| esc(h))),
+            arr(self.rows.iter().map(|r| arr(r.iter().map(|c| esc(c))))),
+        )
+    }
+}
+
+/// The fixed, quick measurement set behind `paper-figures baseline`: small
+/// scales so a baseline run stays under a minute, but covering each cost
+/// centre (expressiveness, per-level check cost, blind-translation penalty,
+/// STAR marking).
+pub fn baseline_json(reps: usize) -> String {
+    // Marking is µs-scale, so its median needs a floor of reps to be stable;
+    // record that rep count separately so the snapshot's provenance is exact.
+    let marking_reps = reps.max(10);
+    let tables = [fig12(), fig13(1, reps), fig14(1, reps), marking_cost(marking_reps)];
+    let body = tables.iter().map(Table::to_json).collect::<Vec<_>>().join(",\n    ");
+    format!(
+        "{{\n  \"schema_version\": 1,\n  \"note\": \"wall-clock medians; absolute numbers are machine-dependent, compare shapes and ratios across PRs\",\n  \"reps\": {reps},\n  \"marking_reps\": {marking_reps},\n  \"tables\": [\n    {body}\n  ]\n}}\n"
+    )
+}
+
 fn ms(d: Duration) -> String {
     format!("{:.3}", d.as_secs_f64() * 1e3)
 }
@@ -287,14 +334,14 @@ pub fn fig17(sweep: &[usize], reps: usize) -> Table {
                 ))
                 .expect("probe parses")
             };
-            let li_probe = mk_probe(
-                "lineitem",
-                "customer, orders, lineitem",
+            let li_probe = mk_probe("lineitem", "customer, orders, lineitem");
+            let li_probe = with_join(
+                li_probe,
+                &[
+                    ("orders.o_custkey", "customer.c_custkey"),
+                    ("lineitem.l_orderkey", "orders.o_orderkey"),
+                ],
             );
-            let li_probe = with_join(li_probe, &[
-                ("orders.o_custkey", "customer.c_custkey"),
-                ("lineitem.l_orderkey", "orders.o_orderkey"),
-            ]);
             let ord_probe = with_join(
                 mk_probe("orders", "customer, orders"),
                 &[("orders.o_custkey", "customer.c_custkey")],
@@ -410,10 +457,7 @@ pub fn ablation_star_mode() -> Table {
                 .with_config(UFilterConfig { mode, strategy: Strategy::Outside });
             let mut db = bookdemo::book_db();
             let report = filter.check(update, &mut db).remove(0);
-            let step = report
-                .rejected_at()
-                .map(|s| format!(" @ {s}"))
-                .unwrap_or_default();
+            let step = report.rejected_at().map(|s| format!(" @ {s}")).unwrap_or_default();
             labels.push(format!("{}{step}", report.outcome.label()));
         }
         let diff = if labels[0] == labels[1] { "" } else { "← differs" };
@@ -482,7 +526,9 @@ pub fn ablation_materialization(mb: usize, reps: usize) -> Table {
         assert!(reports[0].outcome.is_translatable());
     });
     Table {
-        title: format!("Ablation: TAB materialization (outside) vs inline join (hybrid), {mb} Mb-equiv"),
+        title: format!(
+            "Ablation: TAB materialization (outside) vs inline join (hybrid), {mb} Mb-equiv"
+        ),
         headers: vec!["Variant".into(), "apply (ms)".into()],
         rows: vec![
             vec!["outside (materialize + probe)".into(), ms(t_with)],

@@ -2,7 +2,7 @@
 //! database, the Fig. 3(a) BookView, and all thirteen updates of
 //! Figs. 4 and 10 (XML normalised — the figures contain unclosed tags).
 
-use ufilter_rdb::{Db, DatabaseSchema};
+use ufilter_rdb::{DatabaseSchema, Db};
 
 use crate::pipeline::UFilter;
 

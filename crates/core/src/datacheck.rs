@@ -55,7 +55,10 @@ impl DataCheckReport {
 
 /// Shared-data checks (existence + duplication consistency) — the condition
 /// analysis of Fig. 5, common to every strategy.
-pub fn run_shared_checks(db: &Db, plan: &TranslationPlan) -> Result<Vec<String>, (CheckStep, String)> {
+pub fn run_shared_checks(
+    db: &Db,
+    plan: &TranslationPlan,
+) -> Result<Vec<String>, (CheckStep, String)> {
     let mut notes = Vec::new();
     for check in &plan.shared_checks {
         let rids = db
@@ -241,7 +244,11 @@ pub fn run_internal(
                 if let Stmt::Insert(ins) = &planned.stmt {
                     for (c, v) in ins.columns.iter().zip(&ins.rows[0]) {
                         supplied.push((
-                            format!("{}_{}", ins.table.to_ascii_lowercase(), c.to_ascii_lowercase()),
+                            format!(
+                                "{}_{}",
+                                ins.table.to_ascii_lowercase(),
+                                c.to_ascii_lowercase()
+                            ),
                             v.clone(),
                         ));
                     }
@@ -250,7 +257,11 @@ pub fn run_internal(
             for check in &plan.shared_checks {
                 for (c, v) in &check.supplied {
                     supplied.push((
-                        format!("{}_{}", check.relation.to_ascii_lowercase(), c.to_ascii_lowercase()),
+                        format!(
+                            "{}_{}",
+                            check.relation.to_ascii_lowercase(),
+                            c.to_ascii_lowercase()
+                        ),
                         v.clone(),
                     ));
                 }
@@ -302,9 +313,7 @@ pub fn run_internal(
                         report.executed += 1;
                         report.rows_affected += n;
                     }
-                    Err(e) => {
-                        return DataCheckReport::reject(CheckStep::DataPoint, e.to_string())
-                    }
+                    Err(e) => return DataCheckReport::reject(CheckStep::DataPoint, e.to_string()),
                 }
             }
             if !apply {
@@ -387,12 +396,7 @@ pub fn ensure_relational_view(
     }
     // Relations in FK-topological order (referenced first).
     let mut rels = asg.relations.clone();
-    rels.sort_by_key(|r| {
-        schema
-            .table(r)
-            .map(|t| t.foreign_keys.len())
-            .unwrap_or(0)
-    });
+    rels.sort_by_key(|r| schema.table(r).map(|t| t.foreign_keys.len()).unwrap_or(0));
     // Collect every join condition in the ASG.
     let mut conds: Vec<(ColRef, ColRef)> = Vec::new();
     for n in asg.iter() {
@@ -541,10 +545,8 @@ mod tests {
             tab_name: None,
             shared_checks: Vec::new(),
             statements: vec![crate::translate::PlannedStmt {
-                stmt: ufilter_rdb::Parser::parse_stmt(
-                    "DELETE FROM review WHERE bookid = '98001'",
-                )
-                .unwrap(),
+                stmt: ufilter_rdb::Parser::parse_stmt("DELETE FROM review WHERE bookid = '98001'")
+                    .unwrap(),
                 probe: None,
                 relation: "review".into(),
             }],
@@ -565,10 +567,8 @@ mod tests {
             tab_name: None,
             shared_checks: Vec::new(),
             statements: vec![crate::translate::PlannedStmt {
-                stmt: ufilter_rdb::Parser::parse_stmt(
-                    "DELETE FROM review WHERE bookid = 'nope'",
-                )
-                .unwrap(),
+                stmt: ufilter_rdb::Parser::parse_stmt("DELETE FROM review WHERE bookid = 'nope'")
+                    .unwrap(),
                 probe: Some(
                     ufilter_rdb::Parser::parse_select(
                         "SELECT rowid FROM review WHERE bookid = 'nope'",

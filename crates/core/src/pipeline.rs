@@ -64,8 +64,7 @@ impl UFilter {
         if let Err(found) = features::expressible(view_text) {
             return Err(CompileError::Unsupported(found));
         }
-        let query =
-            parse_view_query(view_text).map_err(|e| CompileError::Parse(e.to_string()))?;
+        let query = parse_view_query(view_text).map_err(|e| CompileError::Parse(e.to_string()))?;
         Self::compile_query(query, schema)
     }
 
@@ -137,9 +136,8 @@ impl UFilter {
         let mut affected = 0;
         for action in &actions {
             let mut trace = Vec::new();
-            let (context_probe, context_rows, tab_name) = self
-                .context_check(action, db, &mut trace, false)
-                .map_err(|o| o.to_string())?;
+            let (context_probe, context_rows, tab_name) =
+                self.context_check(action, db, &mut trace, false).map_err(|o| o.to_string())?;
             let plan = build_plan(
                 &self.asg,
                 &self.marking,
@@ -238,8 +236,10 @@ impl UFilter {
             }
             if let Some((step, reason)) = report.rejected {
                 trace.push((step, reason.clone()));
-                reports
-                    .push(CheckReport { trace, outcome: CheckOutcome::Untranslatable { step, reason } });
+                reports.push(CheckReport {
+                    trace,
+                    outcome: CheckOutcome::Untranslatable { step, reason },
+                });
                 failed = true;
                 continue;
             }
@@ -267,7 +267,11 @@ impl UFilter {
         action: &ResolvedAction,
         db: Option<&mut Db>,
     ) -> Result<
-        (Vec<(CheckStep, String)>, Vec<crate::outcome::Condition>, Option<crate::translate::TranslationPlan>),
+        (
+            Vec<(CheckStep, String)>,
+            Vec<crate::outcome::Condition>,
+            Option<crate::translate::TranslationPlan>,
+        ),
         CheckReport,
     > {
         let mut trace: Vec<(CheckStep, String)> = Vec::new();
@@ -349,10 +353,8 @@ impl UFilter {
         db: &mut Db,
         trace: &mut Vec<(CheckStep, String)>,
         materialize: bool,
-    ) -> Result<
-        (Option<Select>, Vec<(Vec<ufilter_rdb::ColRef>, Row)>, Option<String>),
-        CheckOutcome,
-    > {
+    ) -> Result<(Option<Select>, Vec<(Vec<ufilter_rdb::ColRef>, Row)>, Option<String>), CheckOutcome>
+    {
         let ctx = self.asg.node(action.context_node);
         if ctx.kind == AsgNodeKind::Root {
             trace.push((CheckStep::DataContext, "context is the view root".into()));

@@ -77,7 +77,11 @@ pub struct BlindOutcome {
 /// The naive translation deletes/inserts the where-provenance directly: for
 /// a delete, the instance probe's anchor rows are removed with no STAR
 /// safety analysis and no minimization.
-pub fn blind_apply(filter: &UFilter, update_text: &str, db: &mut Db) -> Result<BlindOutcome, String> {
+pub fn blind_apply(
+    filter: &UFilter,
+    update_text: &str,
+    db: &mut Db,
+) -> Result<BlindOutcome, String> {
     let u = filter.parse(update_text)?;
     let mut expected = materialize(db, &filter.query).map_err(|e| e.to_string())?;
     apply_update(&mut expected, &u).map_err(|e| e.to_string())?;
@@ -169,18 +173,15 @@ fn blind_translate_and_run(
             )
             .map_err(|o| o.to_string())?;
             for planned in &plan.statements {
-                match db.run(planned.stmt.clone()) {
-                    Ok(out) => affected += out.affected,
-                    Err(_) => {} // blind execution shrugs at per-statement errors
+                // Blind execution shrugs at per-statement errors.
+                if let Ok(out) = db.run(planned.stmt.clone()) {
+                    affected += out.affected;
                 }
             }
             for check in &plan.shared_checks {
                 let cols: Vec<String> = check.supplied.iter().map(|(c, _)| c.clone()).collect();
                 let vals: Vec<Value> = check.supplied.iter().map(|(_, v)| v.clone()).collect();
-                if db
-                    .insert_with_columns(&check.relation, &cols, vec![vals])
-                    .is_ok()
-                {
+                if db.insert_with_columns(&check.relation, &cols, vec![vals]).is_ok() {
                     affected += 1;
                 }
             }

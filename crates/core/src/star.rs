@@ -9,9 +9,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use ufilter_asg::{
-    view_closure, AsgNodeId, AsgNodeKind, BaseAsg, UContext, UPoint, ViewAsg,
-};
+use ufilter_asg::{view_closure, AsgNodeId, AsgNodeKind, BaseAsg, UContext, UPoint, ViewAsg};
 use ufilter_rdb::DatabaseSchema;
 use ufilter_xquery::UpdateKind;
 
@@ -138,8 +136,7 @@ pub fn mark(asg: &mut ViewAsg, base: &BaseAsg, schema: &DatabaseSchema) -> StarM
     for &c in &internals {
         let cv = view_closure(asg, c);
         let cd = base.mapping_closure(&cv.all_leaves());
-        asg.node_mut(c).upoint =
-            Some(if cv.equiv(&cd) { UPoint::Clean } else { UPoint::Dirty });
+        asg.node_mut(c).upoint = Some(if cv.equiv(&cd) { UPoint::Clean } else { UPoint::Dirty });
     }
 
     marking
@@ -161,9 +158,8 @@ fn rule1_violated(asg: &ViewAsg, schema: &DatabaseSchema, c: AsgNodeId) -> bool 
     let parent = asg.internal_ancestor(c);
     let parent_is_root = parent.is_none_or(|p| asg.node(p).kind == AsgNodeKind::Root);
 
-    let unique = |rel: &str, col: &str| {
-        schema.table(rel).is_some_and(|t| t.is_unique_identifier(col))
-    };
+    let unique =
+        |rel: &str, col: &str| schema.table(rel).is_some_and(|t| t.is_unique_identifier(col));
 
     // (a) correlation to the parent scope.
     if !parent_is_root {
@@ -235,9 +231,10 @@ pub fn check(
                     let mut cur = Some(action.node);
                     while let Some(c) = cur {
                         let n = asg.node(c);
-                        if n.local_preds.iter().any(|p| {
-                            p.column.matches(&leaf.name.table, &leaf.name.column)
-                        }) {
+                        if n.local_preds
+                            .iter()
+                            .any(|p| p.column.matches(&leaf.name.table, &leaf.name.column))
+                        {
                             return StarVerdict::Untranslatable(format!(
                                 "deleting the {} value nullifies the view predicate on it; \
                                  the enclosing element would vanish as a side effect",
@@ -265,9 +262,7 @@ pub fn check(
                     }
                     match up {
                         UPoint::Clean => StarVerdict::Ok(Vec::new()),
-                        UPoint::Dirty => {
-                            StarVerdict::Ok(vec![Condition::TranslationMinimization])
-                        }
+                        UPoint::Dirty => StarVerdict::Ok(vec![Condition::TranslationMinimization]),
                     }
                 }
                 UpdateKind::Insert => {
@@ -402,9 +397,7 @@ mod tests {
         assert!(matches!(strict, StarVerdict::Untranslatable(_)));
         match refined {
             StarVerdict::Ok(conds) => {
-                assert!(conds
-                    .iter()
-                    .any(|c| matches!(c, Condition::SharedDataExistence { .. })));
+                assert!(conds.iter().any(|c| matches!(c, Condition::SharedDataExistence { .. })));
                 assert!(conds.iter().any(|c| matches!(c, Condition::DuplicationConsistency)));
             }
             other => panic!("refined mode must conditionally accept: {other:?}"),

@@ -39,8 +39,8 @@ pub fn resolve(asg: &ViewAsg, u: &UpdateStmt) -> Result<Vec<ResolvedAction>, Inv
                 node
             }
             UpdBinding::Path { var, path } => {
-                let base = *var_nodes.get(&path.var).ok_or_else(|| {
-                    InvalidReason::Malformed { detail: format!("unbound variable ${}", path.var) }
+                let base = *var_nodes.get(&path.var).ok_or_else(|| InvalidReason::Malformed {
+                    detail: format!("unbound variable ${}", path.var),
                 })?;
                 let steps: Vec<&str> = path.steps.iter().map(String::as_str).collect();
                 let node = resolve_steps(asg, base, &steps, var)?;
@@ -122,10 +122,8 @@ pub fn resolve(asg: &ViewAsg, u: &UpdateStmt) -> Result<Vec<ResolvedAction>, Inv
             UpdateAction::Replace { target, with } => {
                 // Replace = delete the target node + insert the fragment
                 // under its parent (§4 footnote).
-                let base = *var_nodes.get(&target.var).ok_or_else(|| {
-                    InvalidReason::Malformed {
-                        detail: format!("unbound variable ${} in REPLACE", target.var),
-                    }
+                let base = *var_nodes.get(&target.var).ok_or_else(|| InvalidReason::Malformed {
+                    detail: format!("unbound variable ${} in REPLACE", target.var),
                 })?;
                 let steps: Vec<&str> = target.steps.iter().map(String::as_str).collect();
                 let node = resolve_steps(asg, base, &steps, &target.var)?;
@@ -168,11 +166,7 @@ fn resolve_steps(
     let mut cur = from;
     for step in steps {
         let next = if *step == "text()" {
-            asg.node(cur)
-                .children
-                .iter()
-                .copied()
-                .find(|c| asg.node(*c).kind == AsgNodeKind::Leaf)
+            asg.node(cur).children.iter().copied().find(|c| asg.node(*c).kind == AsgNodeKind::Leaf)
         } else {
             child_named(asg, cur, step)
         };
@@ -187,11 +181,7 @@ fn resolve_steps(
 }
 
 fn child_named(asg: &ViewAsg, parent: AsgNodeId, tag: &str) -> Option<AsgNodeId> {
-    asg.node(parent)
-        .children
-        .iter()
-        .copied()
-        .find(|c| asg.node(*c).tag.eq_ignore_ascii_case(tag))
+    asg.node(parent).children.iter().copied().find(|c| asg.node(*c).tag.eq_ignore_ascii_case(tag))
 }
 
 /// The leaf info at-or-under a node (tag nodes wrap exactly one leaf).
@@ -272,28 +262,24 @@ mod tests {
 
     #[test]
     fn unknown_path_is_invalid_target() {
-        let err = resolve_text(
-            r#"FOR $b IN document("V.xml")/book UPDATE $b { DELETE $b/isbn }"#,
-        )
-        .unwrap_err();
+        let err = resolve_text(r#"FOR $b IN document("V.xml")/book UPDATE $b { DELETE $b/isbn }"#)
+            .unwrap_err();
         assert!(matches!(err, InvalidReason::UnknownTarget { .. }), "{err}");
     }
 
     #[test]
     fn unknown_fragment_tag_is_hierarchy_violation() {
-        let err = resolve_text(
-            r#"FOR $b IN document("V.xml")/book UPDATE $b { INSERT <isbn>1</isbn> }"#,
-        )
-        .unwrap_err();
+        let err =
+            resolve_text(r#"FOR $b IN document("V.xml")/book UPDATE $b { INSERT <isbn>1</isbn> }"#)
+                .unwrap_err();
         assert!(matches!(err, InvalidReason::HierarchyViolation { .. }), "{err}");
     }
 
     #[test]
     fn unbound_variable_is_malformed() {
-        let err = resolve_text(
-            r#"FOR $b IN document("V.xml")/book UPDATE $b { DELETE $zzz/review }"#,
-        )
-        .unwrap_err();
+        let err =
+            resolve_text(r#"FOR $b IN document("V.xml")/book UPDATE $b { DELETE $zzz/review }"#)
+                .unwrap_err();
         assert!(matches!(err, InvalidReason::Malformed { .. }), "{err}");
     }
 
@@ -324,10 +310,9 @@ mod tests {
     fn ambiguous_publisher_paths_resolve_by_position() {
         // document("V")/publisher → the top-level list, not the nested one.
         let f = filter();
-        let actions = resolve_text(
-            r#"FOR $p IN document("V.xml")/publisher UPDATE $p { DELETE $p }"#,
-        )
-        .unwrap();
+        let actions =
+            resolve_text(r#"FOR $p IN document("V.xml")/publisher UPDATE $p { DELETE $p }"#)
+                .unwrap();
         let node = f.asg.node(actions[0].node);
         assert_eq!(node.tag, "publisher");
         assert_eq!(node.parent, Some(f.asg.root()));

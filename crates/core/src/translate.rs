@@ -16,9 +16,7 @@
 use std::collections::HashMap;
 
 use ufilter_asg::{AsgNodeId, AsgNodeKind, ViewAsg};
-use ufilter_rdb::{
-    ColRef, DatabaseSchema, Delete, Expr, Insert, Row, Select, Stmt, Update, Value,
-};
+use ufilter_rdb::{ColRef, DatabaseSchema, Delete, Expr, Insert, Row, Select, Stmt, Update, Value};
 use ufilter_xml::{Document, NodeId};
 use ufilter_xquery::UpdateKind;
 
@@ -139,17 +137,19 @@ fn plan_delete(
             let owner = schema
                 .table(&leaf.name.table)
                 .ok_or_else(|| untranslatable(CheckStep::Star, "unknown relation"))?;
-            let parent_internal = asg
-                .internal_ancestor(action.node)
-                .unwrap_or(asg.root());
+            let parent_internal = asg.internal_ancestor(action.node).unwrap_or(asg.root());
             let info = path_info(asg, parent_internal);
             let key_cols: Vec<ColRef> = owner
                 .primary_key
                 .iter()
                 .map(|k| ColRef::new(owner.name.clone(), k.clone()))
                 .collect();
-            let probe =
-                build_probe(schema, &info, &action.predicates, &SelectSpec::Columns(key_cols.clone()));
+            let probe = build_probe(
+                schema,
+                &info,
+                &action.predicates,
+                &SelectSpec::Columns(key_cols.clone()),
+            );
             let where_clause = in_probe_pred(&key_cols, &probe);
             plan.statements.push(PlannedStmt {
                 stmt: Stmt::Update(Update {
@@ -221,9 +221,7 @@ fn emit_anchor_delete(
                         expr: Expr::col("", parent.column.clone()),
                         alias: None,
                     }],
-                    vec![ufilter_rdb::FromItem::Table(ufilter_rdb::TableRef::named(
-                        tab.clone(),
-                    ))],
+                    vec![ufilter_rdb::FromItem::Table(ufilter_rdb::TableRef::named(tab.clone()))],
                     None,
                 ))
             } else {
@@ -245,11 +243,7 @@ fn emit_anchor_delete(
                     negated: false,
                 }];
                 for (c, op, v) in &anchor_preds {
-                    conj.push(Expr::cmp(
-                        *op,
-                        Expr::Column((*c).clone()),
-                        Expr::lit((*v).clone()),
-                    ));
+                    conj.push(Expr::cmp(*op, Expr::Column((*c).clone()), Expr::lit((*v).clone())));
                 }
                 let where_clause = Expr::and(conj.clone());
                 let probe = Select::new(
@@ -279,12 +273,10 @@ fn emit_anchor_delete(
     // Fallback: self-join form — `DELETE FROM anchor WHERE pk IN (full
     // path probe selecting the anchor's key)`.
     let info = path_info(asg, node);
-    let key_cols: Vec<ColRef> = table
-        .primary_key
-        .iter()
-        .map(|k| ColRef::new(table.name.clone(), k.clone()))
-        .collect();
-    let probe = build_probe(schema, &info, &action.predicates, &SelectSpec::Columns(key_cols.clone()));
+    let key_cols: Vec<ColRef> =
+        table.primary_key.iter().map(|k| ColRef::new(table.name.clone(), k.clone())).collect();
+    let probe =
+        build_probe(schema, &info, &action.predicates, &SelectSpec::Columns(key_cols.clone()));
     let where_clause = in_probe_pred(&key_cols, &probe);
     plan.statements.push(PlannedStmt {
         stmt: Stmt::Delete(Delete { table: table.name.clone(), where_clause: Some(where_clause) }),
@@ -394,11 +386,8 @@ fn plan_insert(
 ) -> Result<(), CheckOutcome> {
     let frag = action.fragment.as_ref().expect("insert carries a fragment");
     // One insert group per matched context instance (root context → one).
-    let contexts: Vec<Option<&(Vec<ColRef>, Row)>> = if context_rows.is_empty() {
-        vec![None]
-    } else {
-        context_rows.iter().map(Some).collect()
-    };
+    let contexts: Vec<Option<&(Vec<ColRef>, Row)>> =
+        if context_rows.is_empty() { vec![None] } else { context_rows.iter().map(Some).collect() };
     for ctx in contexts {
         emit_insert_group(asg, marking, schema, action.node, frag, frag.root(), ctx, plan)?;
     }
@@ -429,7 +418,10 @@ fn emit_insert_group(
     let resolve_ctx = |col: &ColRef| -> Option<Value> {
         let (cols, row) = ctx?;
         cols.iter()
-            .position(|c| c.matches(&col.table, &col.column) || c.column.eq_ignore_ascii_case(&col.column) && c.table.is_empty())
+            .position(|c| {
+                c.matches(&col.table, &col.column)
+                    || c.column.eq_ignore_ascii_case(&col.column) && c.table.is_empty()
+            })
             .map(|i| row[i].clone())
     };
     let mut changed = true;
@@ -480,9 +472,7 @@ fn emit_insert_group(
                 .constrain(lp.op, &lp.value);
         }
         for (col, domain) in per_column {
-            let ty = schema
-                .table(rel)
-                .and_then(|t| t.column_named(&col).map(|c| c.ty));
+            let ty = schema.table(rel).and_then(|t| t.column_named(&col).map(|c| c.ty));
             match domain.witness(ty) {
                 Some(v) => {
                     plan.notes.push(format!(
@@ -509,9 +499,9 @@ fn emit_insert_group(
     let mut order: Vec<String> = drafts.keys().cloned().collect();
     order.sort_by_key(|r| fk_depth(schema, r));
     for rel in order {
-        let table = schema
-            .table(&rel)
-            .ok_or_else(|| untranslatable(CheckStep::DataPoint, format!("unknown relation {rel}")))?;
+        let table = schema.table(&rel).ok_or_else(|| {
+            untranslatable(CheckStep::DataPoint, format!("unknown relation {rel}"))
+        })?;
         let draft = drafts.get(&rel).expect("drafted");
         if draft.values.is_empty() {
             continue;
@@ -541,9 +531,7 @@ fn emit_insert_group(
         // Fresh insert.
         let columns: Vec<String> = draft.values.iter().map(|(c, _)| c.clone()).collect();
         let row: Vec<Value> = draft.values.iter().map(|(_, v)| v.clone()).collect();
-        let probe = key_vals.map(|kv| {
-            key_conflict_probe(&table.name, &table.primary_key, &kv)
-        });
+        let probe = key_vals.map(|kv| key_conflict_probe(&table.name, &table.primary_key, &kv));
         plan.statements.push(PlannedStmt {
             stmt: Stmt::Insert(Insert { table: table.name.clone(), columns, rows: vec![row] }),
             probe,
@@ -564,7 +552,16 @@ fn emit_insert_group(
                 row.push(v.clone());
             }
         }
-        emit_insert_group(asg, marking, schema, child_node, frag, child_el, Some(&(cols, row)), plan)?;
+        emit_insert_group(
+            asg,
+            marking,
+            schema,
+            child_node,
+            frag,
+            child_el,
+            Some(&(cols, row)),
+            plan,
+        )?;
     }
     Ok(())
 }
@@ -582,11 +579,8 @@ fn collect_values(
 ) -> Result<(), CheckOutcome> {
     for child_el in frag.child_elements(el) {
         let tag = frag.name(child_el).unwrap_or("");
-        let Some(&child) = asg
-            .node(node)
-            .children
-            .iter()
-            .find(|c| asg.node(**c).tag.eq_ignore_ascii_case(tag))
+        let Some(&child) =
+            asg.node(node).children.iter().find(|c| asg.node(**c).tag.eq_ignore_ascii_case(tag))
         else {
             continue; // validation already rejected unknown tags
         };
@@ -659,11 +653,7 @@ fn fk_depth(schema: &DatabaseSchema, rel: &str) -> usize {
         }
         seen.push(rel.to_string());
         let Some(t) = schema.table(rel) else { return 0 };
-        t.foreign_keys
-            .iter()
-            .map(|fk| 1 + depth(schema, &fk.ref_table, seen))
-            .max()
-            .unwrap_or(0)
+        t.foreign_keys.iter().map(|fk| 1 + depth(schema, &fk.ref_table, seen)).max().unwrap_or(0)
     }
     depth(schema, rel, &mut Vec::new())
 }
@@ -729,12 +719,8 @@ mod tests {
         assert!(plan.shared_checks.is_empty()); // review shares nothing
         let Stmt::Insert(ins) = &plan.statements[0].stmt else { panic!() };
         assert_eq!(ins.table, "review");
-        let cols_vals: Vec<(String, String)> = ins
-            .columns
-            .iter()
-            .zip(&ins.rows[0])
-            .map(|(c, v)| (c.clone(), v.to_string()))
-            .collect();
+        let cols_vals: Vec<(String, String)> =
+            ins.columns.iter().zip(&ins.rows[0]).map(|(c, v)| (c.clone(), v.to_string())).collect();
         assert!(cols_vals.contains(&("bookid".to_string(), "'98003'".to_string())));
         assert!(cols_vals.contains(&("reviewid".to_string(), "'001'".to_string())));
     }
@@ -779,15 +765,8 @@ mod tests {
 
     #[test]
     fn key_conflict_probe_is_pq3_shaped() {
-        let probe = key_conflict_probe(
-            "book",
-            &["bookid".to_string()],
-            &[Value::str("98001")],
-        );
-        assert_eq!(
-            probe.to_string(),
-            "SELECT book.rowid FROM book WHERE book.bookid = '98001'"
-        );
+        let probe = key_conflict_probe("book", &["bookid".to_string()], &[Value::str("98001")]);
+        assert_eq!(probe.to_string(), "SELECT book.rowid FROM book WHERE book.bookid = '98001'");
     }
 
     #[test]
@@ -804,8 +783,7 @@ mod tests {
         )
         .unwrap();
         let actions = resolve(&f.asg, &u).unwrap();
-        let plan =
-            build_plan(&f.asg, &f.marking, &f.schema, &actions[0], None, &[], None).unwrap();
+        let plan = build_plan(&f.asg, &f.marking, &f.schema, &actions[0], None, &[], None).unwrap();
         let tables: Vec<&str> = plan
             .statements
             .iter()
@@ -825,7 +803,6 @@ mod tests {
 
 #[cfg(test)]
 mod hidden_pred_tests {
-    use super::tests as _;
     use crate::bookdemo;
     use crate::outcome::CheckOutcome;
 
@@ -855,10 +832,9 @@ mod hidden_pred_tests {
         }
         // And the book is visible in the regenerated view.
         let v = ufilter_xquery::materialize(&db, &filter.query).unwrap();
-        let visible = v
-            .children_named(v.root(), "book")
-            .iter()
-            .any(|b| v.child_named(*b, "bookid").map(|n| v.text_content(n)) == Some("98020".into()));
+        let visible = v.children_named(v.root(), "book").iter().any(|b| {
+            v.child_named(*b, "bookid").map(|n| v.text_content(n)) == Some("98020".into())
+        });
         assert!(visible);
     }
 }

@@ -45,10 +45,9 @@ pub fn validate(asg: &ViewAsg, action: &ResolvedAction) -> Result<(), InvalidRea
             }
         }
         UpdateKind::Insert => {
-            let frag = action
-                .fragment
-                .as_ref()
-                .ok_or_else(|| InvalidReason::Malformed { detail: "insert without fragment".into() })?;
+            let frag = action.fragment.as_ref().ok_or_else(|| InvalidReason::Malformed {
+                detail: "insert without fragment".into(),
+            })?;
             validate_fragment(asg, action.node, frag, frag.root())
         }
         UpdateKind::Replace => Ok(()), // resolution splits replace into delete+insert
@@ -76,9 +75,7 @@ fn predicates_overlap_view(asg: &ViewAsg, action: &ResolvedAction) -> Result<(),
     for ((t, c), (domain, ty)) in domains {
         if !domain.satisfiable(Some(ty)) {
             return Err(InvalidReason::PredicateOutsideView {
-                detail: format!(
-                    "predicates on {t}.{c} contradict the view's check annotation"
-                ),
+                detail: format!("predicates on {t}.{c} contradict the view's check annotation"),
             });
         }
     }
@@ -106,11 +103,10 @@ fn validate_fragment(
                 }
                 return Ok(());
             }
-            let value = Value::parse_as(&text, leaf.ty).ok_or_else(|| {
-                InvalidReason::TypeViolation {
+            let value =
+                Value::parse_as(&text, leaf.ty).ok_or_else(|| InvalidReason::TypeViolation {
                     detail: format!("'{text}' is not a valid {} for <{}>", leaf.ty, n.tag),
-                }
-            })?;
+                })?;
             if !leaf.check.contains(&value) {
                 return Err(InvalidReason::CheckViolation {
                     detail: format!(
@@ -127,9 +123,8 @@ fn validate_fragment(
             let schema_children = &n.children;
             for child_el in frag.child_elements(el) {
                 let tag = frag.name(child_el).unwrap_or("");
-                let matched = schema_children
-                    .iter()
-                    .find(|c| asg.node(**c).tag.eq_ignore_ascii_case(tag));
+                let matched =
+                    schema_children.iter().find(|c| asg.node(**c).tag.eq_ignore_ascii_case(tag));
                 match matched {
                     Some(c) => validate_fragment(asg, *c, frag, child_el)?,
                     None => {

@@ -287,11 +287,7 @@ impl Db {
             if *n > 1 {
                 col_name = format!("{col_name}_{n}");
             }
-            let ty = rs
-                .rows
-                .iter()
-                .find_map(|r| r[i].data_type())
-                .unwrap_or(DataType::Str);
+            let ty = rs.rows.iter().find_map(|r| r[i].data_type()).unwrap_or(DataType::Str);
             table = table.column(Column::new(col_name, ty));
         }
         let key = name.to_ascii_lowercase();
@@ -349,11 +345,7 @@ impl Db {
             }
             Stmt::Explain(s) => {
                 let plan = exec::plan_select(self, &s)?;
-                let rows: Vec<Row> = plan
-                    .explain()
-                    .lines()
-                    .map(|l| vec![Value::str(l)])
-                    .collect();
+                let rows: Vec<Row> = plan.explain().lines().map(|l| vec![Value::str(l)]).collect();
                 let rs = ResultSet { columns: vec![ColRef::new("", "plan")], rows };
                 Ok(ExecOutcome { affected: rs.len(), result: Some(rs), warnings: Vec::new() })
             }
@@ -530,10 +522,7 @@ impl Db {
                     table: table.name.clone(),
                     column: col.name.clone(),
                     expected: col.ty.to_string(),
-                    got: row[i]
-                        .data_type()
-                        .map(|t| t.to_string())
-                        .unwrap_or_else(|| "NULL".into()),
+                    got: row[i].data_type().map(|t| t.to_string()).unwrap_or_else(|| "NULL".into()),
                 });
             }
             let v = std::mem::replace(&mut row[i], Value::Null);
@@ -568,7 +557,7 @@ impl Db {
                 return Err(RdbError::CheckViolation {
                     table: table.name.clone(),
                     constraint: check.name.clone(),
-                })
+                });
             }
         }
         Ok(())
@@ -610,10 +599,8 @@ impl Db {
         columns: &[String],
         vals: &[Value],
     ) -> Result<Vec<RowId>> {
-        let schema = self
-            .schema
-            .table(table)
-            .ok_or_else(|| RdbError::NoSuchTable(table.to_string()))?;
+        let schema =
+            self.schema.table(table).ok_or_else(|| RdbError::NoSuchTable(table.to_string()))?;
         let data = self.table_data(table).expect("data for table");
         let positions: Vec<usize> = columns
             .iter()
@@ -648,10 +635,7 @@ impl Db {
         let mut out = Vec::new();
         for (rid, row) in data.heap.scan() {
             self.stats.add_scanned(1);
-            let matches = positions
-                .iter()
-                .zip(vals)
-                .all(|(&p, v)| row[p].sql_eq(v) == Some(true));
+            let matches = positions.iter().zip(vals).all(|(&p, v)| row[p].sql_eq(v) == Some(true));
             if matches {
                 out.push(rid);
             }
@@ -821,8 +805,7 @@ impl Db {
             if child.policy == DeletePolicy::Restrict {
                 let hits = self.rows_matching(&child.table, &child.fk_columns, &child.key)?;
                 if !hits.is_empty() {
-                    let rendered: Vec<String> =
-                        child.key.iter().map(|v| v.to_string()).collect();
+                    let rendered: Vec<String> = child.key.iter().map(|v| v.to_string()).collect();
                     return Err(RdbError::ForeignKeyRestrict {
                         table: table.to_string(),
                         constraint: child.fk_name.clone(),
@@ -851,7 +834,9 @@ impl Db {
                         .map(|c| cschema.column_index(c).expect("fk column"))
                         .collect();
                     for p in &positions {
-                        if cschema.columns[*p].not_null || cschema.in_primary_key(&cschema.columns[*p].name) {
+                        if cschema.columns[*p].not_null
+                            || cschema.in_primary_key(&cschema.columns[*p].name)
+                        {
                             return Err(RdbError::NotNullViolation {
                                 table: child.table.clone(),
                                 column: cschema.columns[*p].name.clone(),
@@ -898,13 +883,9 @@ impl Db {
         let positions: Vec<(usize, Value)> = assignments
             .iter()
             .map(|(c, v)| {
-                schema
-                    .column_index(c)
-                    .map(|i| (i, v.clone()))
-                    .ok_or_else(|| RdbError::NoSuchColumn {
-                        table: schema.name.clone(),
-                        column: c.clone(),
-                    })
+                schema.column_index(c).map(|i| (i, v.clone())).ok_or_else(|| {
+                    RdbError::NoSuchColumn { table: schema.name.clone(), column: c.clone() }
+                })
             })
             .collect::<Result<_>>()?;
         let mut local: Vec<Undo> = Vec::new();
@@ -1095,9 +1076,8 @@ mod script_tests {
 
     #[test]
     fn split_respects_quotes_and_comments() {
-        let parts = split_script(
-            "INSERT INTO t VALUES ('a;b'); -- trailing; comment\nDELETE FROM t; ",
-        );
+        let parts =
+            split_script("INSERT INTO t VALUES ('a;b'); -- trailing; comment\nDELETE FROM t; ");
         assert_eq!(parts.len(), 2);
         assert!(parts[0].contains("'a;b'"));
         assert!(parts[1].trim().starts_with("DELETE"));

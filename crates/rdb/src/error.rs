@@ -45,10 +45,9 @@ impl fmt::Display for RdbError {
             RdbError::NoSuchColumn { table, column } => {
                 write!(f, "no such column: {table}.{column}")
             }
-            RdbError::TypeMismatch { table, column, expected, got } => write!(
-                f,
-                "type mismatch on {table}.{column}: expected {expected}, got {got}"
-            ),
+            RdbError::TypeMismatch { table, column, expected, got } => {
+                write!(f, "type mismatch on {table}.{column}: expected {expected}, got {got}")
+            }
             RdbError::NotNullViolation { table, column } => {
                 write!(f, "NOT NULL violation on {table}.{column}")
             }

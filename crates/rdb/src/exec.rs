@@ -68,11 +68,8 @@ impl ResultSet {
     pub fn to_table(&self) -> String {
         let headers: Vec<String> = self.columns.iter().map(|c| c.to_string()).collect();
         let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
-        let rendered: Vec<Vec<String>> = self
-            .rows
-            .iter()
-            .map(|r| r.iter().map(|v| v.render()).collect())
-            .collect();
+        let rendered: Vec<Vec<String>> =
+            self.rows.iter().map(|r| r.iter().map(|v| v.render()).collect()).collect();
         for row in &rendered {
             for (i, cell) in row.iter().enumerate() {
                 widths[i] = widths[i].max(cell.len());
@@ -108,7 +105,11 @@ pub struct PlanNode {
 pub enum PlanOp {
     /// Full scan of a base table; emits every column plus a trailing
     /// `binding.rowid` pseudo-column.
-    Scan { table: String, binding: String, filter: Option<Expr> },
+    Scan {
+        table: String,
+        binding: String,
+        filter: Option<Expr>,
+    },
     /// Point lookup(s) through an index: equality predicates covering the
     /// index's columns, or an IN-list on a single-column index, with a
     /// residual filter.
@@ -139,12 +140,27 @@ pub enum PlanOp {
         kind: JoinKind,
         residual: Option<Expr>,
     },
-    NlJoin { left: Box<PlanNode>, right: Box<PlanNode>, kind: JoinKind, on: Option<Expr> },
-    Filter { input: Box<PlanNode>, pred: Expr },
-    Project { input: Box<PlanNode>, exprs: Vec<(Expr, ColRef)> },
-    Distinct { input: Box<PlanNode> },
+    NlJoin {
+        left: Box<PlanNode>,
+        right: Box<PlanNode>,
+        kind: JoinKind,
+        on: Option<Expr>,
+    },
+    Filter {
+        input: Box<PlanNode>,
+        pred: Expr,
+    },
+    Project {
+        input: Box<PlanNode>,
+        exprs: Vec<(Expr, ColRef)>,
+    },
+    Distinct {
+        input: Box<PlanNode>,
+    },
     /// A materialized sub-result (view inlining).
-    Derived { rows: Vec<Row> },
+    Derived {
+        rows: Vec<Row>,
+    },
 }
 
 impl PlanNode {
@@ -247,8 +263,10 @@ pub fn plan_select(db: &Db, sel: &Select) -> Result<PlanNode> {
         return Err(RdbError::Semantic("empty FROM clause".into()));
     }
 
-    let mut conjuncts: Vec<Expr> =
-        where_clause.as_ref().map(|w| w.conjuncts().into_iter().cloned().collect()).unwrap_or_default();
+    let mut conjuncts: Vec<Expr> = where_clause
+        .as_ref()
+        .map(|w| w.conjuncts().into_iter().cloned().collect())
+        .unwrap_or_default();
 
     // Push single-source conjuncts down onto their scans.
     let mut remaining = Vec::new();
@@ -327,10 +345,8 @@ pub fn plan_select(db: &Db, sel: &Select) -> Result<PlanNode> {
                 break;
             }
         }
-        let (pi, cond_idx) = match chosen {
-            Some(x) => x,
-            None => (0, Vec::new()), // cross join fallback
-        };
+        // Default (0, []) means cross join fallback.
+        let (pi, cond_idx) = chosen.unwrap_or_default();
         let right = parts.remove(pi);
         // Pull out the equi conditions.
         let mut used: Vec<Expr> = Vec::new();
@@ -448,8 +464,9 @@ fn improve_scan(db: &Db, node: PlanNode) -> PlanNode {
     let Some(schema) = db.schema().table(table) else { return node };
     let Some(data) = db.table_data(table) else { return node };
     let conjuncts: Vec<Expr> = f.conjuncts().into_iter().cloned().collect();
-    // Column position → pinned literal (from `col = lit` conjuncts).
-    let mut pins: Vec<(usize, Value, usize)> = Vec::new(); // (col pos, value, conjunct idx)
+    // Column position → pinned literal (from `col = lit` conjuncts); the
+    // tuples are (col pos, value, conjunct idx).
+    let mut pins: Vec<(usize, Value, usize)> = Vec::new();
     // Column position → IN-list (from `col IN (…)` conjuncts).
     let mut in_lists: Vec<(usize, Vec<Value>, usize)> = Vec::new();
     for (ci, c) in conjuncts.iter().enumerate() {
@@ -473,11 +490,8 @@ fn improve_scan(db: &Db, node: PlanNode) -> PlanNode {
     }
     // Exact equality cover of an index → one point lookup.
     for (ix_pos, ix) in data.indexes.iter().enumerate() {
-        let covered: Option<Vec<&(usize, Value, usize)>> = ix
-            .columns
-            .iter()
-            .map(|c| pins.iter().find(|(p, _, _)| p == c))
-            .collect();
+        let covered: Option<Vec<&(usize, Value, usize)>> =
+            ix.columns.iter().map(|c| pins.iter().find(|(p, _, _)| p == c)).collect();
         let Some(used) = covered else { continue };
         let key: Vec<Value> = used.iter().map(|(_, v, _)| v.clone()).collect();
         let used_conjuncts: Vec<usize> = used.iter().map(|(_, _, i)| *i).collect();
@@ -506,18 +520,12 @@ fn improve_scan(db: &Db, node: PlanNode) -> PlanNode {
         if ix.columns.len() != 1 {
             continue;
         }
-        let Some((_, set, ci)) =
-            in_lists.iter().find(|(p, _, _)| *p == ix.columns[0])
-        else {
+        let Some((_, set, ci)) = in_lists.iter().find(|(p, _, _)| *p == ix.columns[0]) else {
             continue;
         };
         let keys: Vec<Vec<Value>> = set.iter().map(|v| vec![v.clone()]).collect();
-        let residual: Vec<Expr> = conjuncts
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| i != ci)
-            .map(|(_, c)| c.clone())
-            .collect();
+        let residual: Vec<Expr> =
+            conjuncts.iter().enumerate().filter(|(i, _)| i != ci).map(|(_, c)| c.clone()).collect();
         let filter = if residual.is_empty() { None } else { Some(Expr::and(residual)) };
         return PlanNode {
             cols: node.cols,
@@ -534,10 +542,8 @@ fn improve_scan(db: &Db, node: PlanNode) -> PlanNode {
 }
 
 fn scan_cols(db: &Db, table: &str, binding: &str) -> Result<Vec<ColRef>> {
-    let schema = db
-        .schema()
-        .table(table)
-        .ok_or_else(|| RdbError::NoSuchTable(table.to_string()))?;
+    let schema =
+        db.schema().table(table).ok_or_else(|| RdbError::NoSuchTable(table.to_string()))?;
     let mut cols: Vec<ColRef> =
         schema.columns.iter().map(|c| ColRef::new(binding, c.name.clone())).collect();
     cols.push(ColRef::new(binding, "rowid"));
@@ -611,8 +617,7 @@ fn plan_join(
             residual.push(c);
         }
     }
-    let residual =
-        if residual.is_empty() { None } else { Some(Expr::and(residual)) };
+    let residual = if residual.is_empty() { None } else { Some(Expr::and(residual)) };
 
     let cols: Vec<ColRef> = left.cols.iter().chain(right.cols.iter()).cloned().collect();
 
@@ -692,11 +697,7 @@ pub fn resolve_subqueries(db: &Db, e: &Expr) -> Result<Expr> {
         Expr::InSubquery { expr, query, negated } => {
             let rs = run_select(db, query)?;
             let set: Vec<Value> = rs.rows.into_iter().map(|mut r| r.swap_remove(0)).collect();
-            Expr::InSet {
-                expr: Box::new(resolve_subqueries(db, expr)?),
-                set,
-                negated: *negated,
-            }
+            Expr::InSet { expr: Box::new(resolve_subqueries(db, expr)?), set, negated: *negated }
         }
         Expr::And(es) => {
             Expr::And(es.iter().map(|x| resolve_subqueries(db, x)).collect::<Result<_>>()?)
@@ -718,9 +719,7 @@ pub fn resolve_subqueries(db: &Db, e: &Expr) -> Result<Expr> {
 pub fn exec_plan(db: &Db, plan: &PlanNode) -> Result<Vec<Row>> {
     match &plan.op {
         PlanOp::Scan { table, binding: _, filter } => {
-            let data = db
-                .table_data(table)
-                .ok_or_else(|| RdbError::NoSuchTable(table.clone()))?;
+            let data = db.table_data(table).ok_or_else(|| RdbError::NoSuchTable(table.clone()))?;
             let mut out = Vec::new();
             for (rid, row) in data.heap.scan() {
                 db.stats().add_scanned(1);
@@ -737,9 +736,7 @@ pub fn exec_plan(db: &Db, plan: &PlanNode) -> Result<Vec<Row>> {
         }
         PlanOp::Derived { rows } => Ok(rows.clone()),
         PlanOp::IndexScan { table, binding: _, index, keys, filter } => {
-            let data = db
-                .table_data(table)
-                .ok_or_else(|| RdbError::NoSuchTable(table.clone()))?;
+            let data = db.table_data(table).ok_or_else(|| RdbError::NoSuchTable(table.clone()))?;
             let ix = &data.indexes[*index];
             let mut out = Vec::new();
             let mut seen = std::collections::HashSet::new();
@@ -764,9 +761,7 @@ pub fn exec_plan(db: &Db, plan: &PlanNode) -> Result<Vec<Row>> {
         }
         PlanOp::IndexNlJoin { outer, table, binding: _, index, outer_keys, filter } => {
             let outer_rows = exec_plan(db, outer)?;
-            let data = db
-                .table_data(table)
-                .ok_or_else(|| RdbError::NoSuchTable(table.clone()))?;
+            let data = db.table_data(table).ok_or_else(|| RdbError::NoSuchTable(table.clone()))?;
             let ix = &data.indexes[*index];
             let mut out = Vec::new();
             for orow in outer_rows {

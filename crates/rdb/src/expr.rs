@@ -109,17 +109,32 @@ impl fmt::Display for ColRef {
 pub enum Expr {
     Literal(Value),
     Column(ColRef),
-    Cmp { op: CmpOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    Cmp {
+        op: CmpOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
     And(Vec<Expr>),
     Or(Vec<Expr>),
     Not(Box<Expr>),
-    IsNull { expr: Box<Expr>, negated: bool },
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
     /// `expr IN (v1, v2, …)` — subqueries are pre-evaluated into this form
     /// by the executor before row-at-a-time evaluation.
-    InSet { expr: Box<Expr>, set: Vec<Value>, negated: bool },
+    InSet {
+        expr: Box<Expr>,
+        set: Vec<Value>,
+        negated: bool,
+    },
     /// `expr IN (SELECT …)`, as in the translated update `U3` of §6.2.2.
     /// The executor resolves this into [`Expr::InSet`] before evaluation.
-    InSubquery { expr: Box<Expr>, query: Box<crate::sql::ast::Select>, negated: bool },
+    InSubquery {
+        expr: Box<Expr>,
+        query: Box<crate::sql::ast::Select>,
+        negated: bool,
+    },
 }
 
 impl Expr {
@@ -223,10 +238,9 @@ impl Expr {
             Expr::And(es) => Expr::And(es.iter().map(|e| e.map_columns(f)).collect()),
             Expr::Or(es) => Expr::Or(es.iter().map(|e| e.map_columns(f)).collect()),
             Expr::Not(e) => Expr::Not(Box::new(e.map_columns(f))),
-            Expr::IsNull { expr, negated } => Expr::IsNull {
-                expr: Box::new(expr.map_columns(f)),
-                negated: *negated,
-            },
+            Expr::IsNull { expr, negated } => {
+                Expr::IsNull { expr: Box::new(expr.map_columns(f)), negated: *negated }
+            }
             Expr::InSet { expr, set, negated } => Expr::InSet {
                 expr: Box::new(expr.map_columns(f)),
                 set: set.clone(),
@@ -364,12 +378,7 @@ impl fmt::Display for Expr {
             }
             Expr::InSet { expr, set, negated } => {
                 let items: Vec<String> = set.iter().map(|v| v.to_string()).collect();
-                write!(
-                    f,
-                    "{expr} {}IN ({})",
-                    if *negated { "NOT " } else { "" },
-                    items.join(", ")
-                )
+                write!(f, "{expr} {}IN ({})", if *negated { "NOT " } else { "" }, items.join(", "))
             }
             Expr::InSubquery { expr, query, negated } => {
                 write!(f, "{expr} {}IN ({query})", if *negated { "NOT " } else { "" })
@@ -382,18 +391,11 @@ impl fmt::Display for Expr {
 mod tests {
     use super::*;
 
-    fn env<'a>(
-        pairs: &'a [((&'a str, &'a str), Value)],
-    ) -> impl Fn(&ColRef) -> Result<Value> + 'a {
+    fn env<'a>(pairs: &'a [((&'a str, &'a str), Value)]) -> impl Fn(&ColRef) -> Result<Value> + 'a {
         move |c: &ColRef| {
-            pairs
-                .iter()
-                .find(|((t, col), _)| c.matches(t, col))
-                .map(|(_, v)| v.clone())
-                .ok_or_else(|| RdbError::NoSuchColumn {
-                    table: c.table.clone(),
-                    column: c.column.clone(),
-                })
+            pairs.iter().find(|((t, col), _)| c.matches(t, col)).map(|(_, v)| v.clone()).ok_or_else(
+                || RdbError::NoSuchColumn { table: c.table.clone(), column: c.column.clone() },
+            )
         }
     }
 
@@ -403,15 +405,11 @@ mod tests {
             Expr::lt(Expr::col("book", "price"), Expr::lit(Value::Double(50.0))),
             Expr::gt(Expr::col("book", "year"), Expr::lit(Value::Int(1990))),
         ]);
-        let bind = [
-            (("book", "price"), Value::Double(37.0)),
-            (("book", "year"), Value::Date(1997)),
-        ];
+        let bind =
+            [(("book", "price"), Value::Double(37.0)), (("book", "year"), Value::Date(1997))];
         assert!(e.eval_predicate(&env(&bind)).unwrap());
-        let bind2 = [
-            (("book", "price"), Value::Double(55.0)),
-            (("book", "year"), Value::Date(1997)),
-        ];
+        let bind2 =
+            [(("book", "price"), Value::Double(55.0)), (("book", "year"), Value::Date(1997))];
         assert!(!e.eval_predicate(&env(&bind2)).unwrap());
     }
 

@@ -67,7 +67,12 @@ impl Ord for OrdKey {
 }
 
 impl Index {
-    pub fn new(name: impl Into<String>, columns: Vec<usize>, unique: bool, kind: IndexKind) -> Index {
+    pub fn new(
+        name: impl Into<String>,
+        columns: Vec<usize>,
+        unique: bool,
+        kind: IndexKind,
+    ) -> Index {
         let repr = match kind {
             IndexKind::Hash => Repr::Hash(HashMap::new()),
             IndexKind::Ordered => Repr::Ordered(BTreeMap::new()),

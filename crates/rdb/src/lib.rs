@@ -43,9 +43,7 @@ pub use db::{Db, ExecOutcome, ExecStats, PlannerConfig, TableData};
 pub use error::{RdbError, Result, Warning};
 pub use exec::ResultSet;
 pub use expr::{CmpOp, ColRef, Expr};
-pub use schema::{
-    CheckConstraint, Column, DatabaseSchema, DeletePolicy, ForeignKey, TableSchema,
-};
+pub use schema::{CheckConstraint, Column, DatabaseSchema, DeletePolicy, ForeignKey, TableSchema};
 pub use sql::ast::{
     CreateView, Delete, FromItem, Insert, JoinKind, Select, SelectItem, Stmt, TableRef, Update,
 };

@@ -149,8 +149,7 @@ impl Domain {
                             // A finite integer interval can be exhausted by ≠.
                             let width = (max - min + 1) as usize;
                             if width <= self.ne.len() + 1 {
-                                return (min..=max)
-                                    .any(|i| self.contains(&Value::Int(i)));
+                                return (min..=max).any(|i| self.contains(&Value::Int(i)));
                             }
                         }
                     }
@@ -177,28 +176,26 @@ impl Domain {
             candidates.push(eq.clone());
         }
         let integral = matches!(hint, Some(DataType::Int | DataType::Date));
-        for b in [&self.lower, &self.upper] {
-            if let Some(b) = b {
-                candidates.push(b.value.clone());
-                if let Some(i) = int_of(&b.value) {
-                    candidates.push(if integral {
-                        Value::Int(i + 1)
-                    } else {
-                        Value::Double(i as f64 + 1.0)
-                    });
-                    candidates.push(if integral {
-                        Value::Int(i - 1)
-                    } else {
-                        Value::Double(i as f64 - 1.0)
-                    });
-                }
-                if let Value::Double(d) = &b.value {
-                    candidates.push(Value::Double(d + 1.0));
-                    candidates.push(Value::Double(d - 1.0));
-                }
-                if let Value::Str(s) = &b.value {
-                    candidates.push(Value::Str(format!("{s}a")));
-                }
+        for b in [&self.lower, &self.upper].into_iter().flatten() {
+            candidates.push(b.value.clone());
+            if let Some(i) = int_of(&b.value) {
+                candidates.push(if integral {
+                    Value::Int(i + 1)
+                } else {
+                    Value::Double(i as f64 + 1.0)
+                });
+                candidates.push(if integral {
+                    Value::Int(i - 1)
+                } else {
+                    Value::Double(i as f64 - 1.0)
+                });
+            }
+            if let Value::Double(d) = &b.value {
+                candidates.push(Value::Double(d + 1.0));
+                candidates.push(Value::Double(d - 1.0));
+            }
+            if let Value::Str(s) = &b.value {
+                candidates.push(Value::Str(format!("{s}a")));
             }
         }
         // Wholly unconstrained-but-for-≠ domains: try small defaults.
@@ -267,9 +264,7 @@ impl Conjunction {
 
     /// Is the whole conjunction satisfiable?
     pub fn satisfiable(&self) -> bool {
-        self.domains
-            .iter()
-            .all(|(k, d)| d.satisfiable(self.hints.get(k).copied()))
+        self.domains.iter().all(|(k, d)| d.satisfiable(self.hints.get(k).copied()))
     }
 }
 

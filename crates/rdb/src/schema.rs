@@ -94,7 +94,10 @@ impl TableSchema {
         self
     }
 
-    pub fn primary_key<S: Into<String>>(mut self, cols: impl IntoIterator<Item = S>) -> TableSchema {
+    pub fn primary_key<S: Into<String>>(
+        mut self,
+        cols: impl IntoIterator<Item = S>,
+    ) -> TableSchema {
         self.primary_key = cols.into_iter().map(Into::into).collect();
         self
     }
@@ -172,9 +175,7 @@ impl DatabaseSchema {
 
     /// All foreign keys, paired with the owning table name.
     pub fn foreign_keys(&self) -> impl Iterator<Item = (&str, &ForeignKey)> {
-        self.tables
-            .iter()
-            .flat_map(|t| t.foreign_keys.iter().map(move |fk| (t.name.as_str(), fk)))
+        self.tables.iter().flat_map(|t| t.foreign_keys.iter().map(move |fk| (t.name.as_str(), fk)))
     }
 
     /// Relations that reference `target` directly through a foreign key.
@@ -207,9 +208,8 @@ impl DatabaseSchema {
     /// delete, so they do not extend the deletion's footprint (§7.3's PSD
     /// domain relies on this).
     pub fn extend(&self, target: &str, universe: Option<&[String]>) -> Vec<String> {
-        let in_universe = |name: &str| {
-            universe.is_none_or(|u| u.iter().any(|x| x.eq_ignore_ascii_case(name)))
-        };
+        let in_universe =
+            |name: &str| universe.is_none_or(|u| u.iter().any(|x| x.eq_ignore_ascii_case(name)));
         let mut out: Vec<String> = Vec::new();
         if in_universe(target) {
             out.push(target.to_string());
@@ -254,7 +254,13 @@ mod tests {
                     "price_positive",
                     Expr::gt(Expr::col("book", "price"), Expr::lit(Value::Double(0.0))),
                 )
-                .foreign_key("BookFK", vec!["pubid"], "publisher", vec!["pubid"], DeletePolicy::Cascade),
+                .foreign_key(
+                    "BookFK",
+                    vec!["pubid"],
+                    "publisher",
+                    vec!["pubid"],
+                    DeletePolicy::Cascade,
+                ),
         );
         db.add(
             TableSchema::new("review")
@@ -263,7 +269,13 @@ mod tests {
                 .column(Column::new("comment", DataType::Str))
                 .column(Column::new("reviewer", DataType::Str))
                 .primary_key(["bookid", "reviewid"])
-                .foreign_key("ReviewFK", vec!["bookid"], "book", vec!["bookid"], DeletePolicy::Cascade),
+                .foreign_key(
+                    "ReviewFK",
+                    vec!["bookid"],
+                    "book",
+                    vec!["bookid"],
+                    DeletePolicy::Cascade,
+                ),
         );
         db
     }

@@ -57,12 +57,7 @@ pub enum JoinKind {
 #[derive(Debug, Clone, PartialEq)]
 pub enum FromItem {
     Table(TableRef),
-    Join {
-        kind: JoinKind,
-        left: Box<FromItem>,
-        right: Box<FromItem>,
-        on: Expr,
-    },
+    Join { kind: JoinKind, left: Box<FromItem>, right: Box<FromItem>, on: Expr },
 }
 
 impl FromItem {

@@ -170,6 +170,9 @@ impl Parser {
         Ok(SelectItem::Expr { expr, alias })
     }
 
+    // `from_*` here parses the SQL FROM clause; it is not a conversion
+    // constructor, so the `from_` self convention does not apply.
+    #[allow(clippy::wrong_self_convention)]
     fn from_item(&mut self) -> Result<FromItem> {
         let mut left = self.from_primary()?;
         loop {
@@ -193,6 +196,7 @@ impl Parser {
         Ok(left)
     }
 
+    #[allow(clippy::wrong_self_convention)]
     fn from_primary(&mut self) -> Result<FromItem> {
         if self.eat_sym("(") {
             let inner = self.from_item()?;
@@ -204,9 +208,8 @@ impl Parser {
             Some(self.ident()?)
         } else if let Tok::Ident(name) = self.peek().clone() {
             // bare alias, but not a keyword that continues the query
-            const STOP: [&str; 10] = [
-                "WHERE", "LEFT", "INNER", "JOIN", "ON", "GROUP", "ORDER", "AS", "VALUES", "SET",
-            ];
+            const STOP: [&str; 10] =
+                ["WHERE", "LEFT", "INNER", "JOIN", "ON", "GROUP", "ORDER", "AS", "VALUES", "SET"];
             if STOP.iter().any(|k| name.eq_ignore_ascii_case(k)) {
                 None
             } else {

@@ -90,10 +90,7 @@ impl Heap {
 
     /// Iterate live rows with their RowIds.
     pub fn scan(&self) -> impl Iterator<Item = (RowId, &Row)> {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|r| (RowId(i as u64), r)))
+        self.slots.iter().enumerate().filter_map(|(i, s)| s.as_ref().map(|r| (RowId(i as u64), r)))
     }
 }
 

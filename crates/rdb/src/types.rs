@@ -76,15 +76,15 @@ impl Value {
     /// Ints are accepted by `Double` and `Date` columns (widening), matching
     /// the loose literals of the paper's examples (`year > 1990`).
     pub fn conforms_to(&self, ty: DataType) -> bool {
-        match (self, ty) {
-            (Value::Null, _) => true,
-            (Value::Int(_), DataType::Int | DataType::Double | DataType::Date) => true,
-            (Value::Double(_), DataType::Double) => true,
-            (Value::Str(_), DataType::Str) => true,
-            (Value::Date(_), DataType::Date) => true,
-            (Value::Bool(_), DataType::Bool) => true,
-            _ => false,
-        }
+        matches!(
+            (self, ty),
+            (Value::Null, _)
+                | (Value::Int(_), DataType::Int | DataType::Double | DataType::Date)
+                | (Value::Double(_), DataType::Double)
+                | (Value::Str(_), DataType::Str)
+                | (Value::Date(_), DataType::Date)
+                | (Value::Bool(_), DataType::Bool)
+        )
     }
 
     /// Coerce into the representation used by a column of type `ty`.
@@ -238,9 +238,7 @@ pub fn total_cmp(a: &Value, b: &Value) -> Ordering {
         (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
         _ => match (rank(a), rank(b)) {
             (ra, rb) if ra != rb => ra.cmp(&rb),
-            _ => a
-                .sql_cmp(b)
-                .unwrap_or_else(|| format!("{a}").cmp(&format!("{b}"))),
+            _ => a.sql_cmp(b).unwrap_or_else(|| format!("{a}").cmp(&format!("{b}"))),
         },
     }
 }
@@ -263,10 +261,7 @@ mod tests {
 
     #[test]
     fn string_compare_is_lexicographic() {
-        assert_eq!(
-            Value::str("abc").sql_cmp(&Value::str("abd")),
-            Some(Ordering::Less)
-        );
+        assert_eq!(Value::str("abc").sql_cmp(&Value::str("abd")), Some(Ordering::Less));
     }
 
     #[test]
@@ -281,10 +276,7 @@ mod tests {
     fn render_round_trip() {
         let v = Value::Double(37.0);
         assert_eq!(v.render(), "37.00");
-        assert_eq!(
-            Value::parse_as("37.00", DataType::Double),
-            Some(Value::Double(37.0))
-        );
+        assert_eq!(Value::parse_as("37.00", DataType::Double), Some(Value::Double(37.0)));
         assert_eq!(Value::parse_as("  ", DataType::Int), Some(Value::Null));
         assert_eq!(Value::parse_as("1997", DataType::Date), Some(Value::Date(1997)));
     }

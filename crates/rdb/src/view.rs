@@ -63,10 +63,8 @@ struct ViewShape {
 }
 
 fn analyse(db: &Db, view_name: &str) -> Result<ViewShape> {
-    let def = db
-        .view_def(view_name)
-        .ok_or_else(|| RdbError::NoSuchTable(view_name.to_string()))?
-        .clone();
+    let def =
+        db.view_def(view_name).ok_or_else(|| RdbError::NoSuchTable(view_name.to_string()))?.clone();
     shape_of(db, &def.select, view_name)
 }
 
@@ -153,14 +151,9 @@ pub fn insert_into_view(
         columns
             .iter()
             .map(|c| {
-                shape
-                    .output
-                    .iter()
-                    .position(|(n, _)| n.eq_ignore_ascii_case(c))
-                    .ok_or_else(|| RdbError::NoSuchColumn {
-                        table: view_name.to_string(),
-                        column: c.clone(),
-                    })
+                shape.output.iter().position(|(n, _)| n.eq_ignore_ascii_case(c)).ok_or_else(|| {
+                    RdbError::NoSuchColumn { table: view_name.to_string(), column: c.clone() }
+                })
             })
             .collect::<Result<_>>()?
     };
@@ -265,14 +258,11 @@ pub fn delete_from_view_target(
     let mut shape = analyse(db, view_name)?;
     let def = db.view_def(view_name).expect("analysed above").clone();
     let chosen = match target {
-        Some(t) => shape
-            .tables
-            .iter()
-            .find(|(tab, _)| tab.eq_ignore_ascii_case(t))
-            .cloned()
-            .ok_or_else(|| {
-                RdbError::ViewNotUpdatable(format!("{view_name}: {t} is not part of the view"))
-            })?,
+        Some(t) => {
+            shape.tables.iter().find(|(tab, _)| tab.eq_ignore_ascii_case(t)).cloned().ok_or_else(
+                || RdbError::ViewNotUpdatable(format!("{view_name}: {t} is not part of the view")),
+            )?
+        }
         None => shape
             .tables
             .last()

@@ -112,9 +112,8 @@ fn pq2_probe_finds_data_on_the_web() {
 fn insert_violating_check_rejected() {
     // u1's price 0.00 violates CHECK (price > 0).
     let mut db = book_db();
-    let err = db
-        .execute_sql("INSERT INTO book VALUES ('98004', 'X', 'A01', 0.00, 2001)")
-        .unwrap_err();
+    let err =
+        db.execute_sql("INSERT INTO book VALUES ('98004', 'X', 'A01', 0.00, 2001)").unwrap_err();
     assert!(matches!(err, RdbError::CheckViolation { .. }), "{err}");
 }
 
@@ -122,9 +121,8 @@ fn insert_violating_check_rejected() {
 fn insert_violating_not_null_rejected() {
     // u1's empty title violates NOT NULL.
     let mut db = book_db();
-    let err = db
-        .execute_sql("INSERT INTO book VALUES ('98004', NULL, 'A01', 10.00, 2001)")
-        .unwrap_err();
+    let err =
+        db.execute_sql("INSERT INTO book VALUES ('98004', NULL, 'A01', 10.00, 2001)").unwrap_err();
     assert!(matches!(err, RdbError::NotNullViolation { .. }), "{err}");
 }
 
@@ -143,9 +141,8 @@ fn u2_hybrid_style_key_conflict() {
 #[test]
 fn fk_missing_reference_rejected() {
     let mut db = book_db();
-    let err = db
-        .execute_sql("INSERT INTO book VALUES ('98004', 'X', 'Z99', 10.00, 2001)")
-        .unwrap_err();
+    let err =
+        db.execute_sql("INSERT INTO book VALUES ('98004', 'X', 'Z99', 10.00, 2001)").unwrap_err();
     assert!(matches!(err, RdbError::ForeignKeyMissing { .. }), "{err}");
 }
 
@@ -281,11 +278,7 @@ fn fig11_left_join_view() {
     // rows and A02's book 98002: publishers with no book still appear.
     // A01: (98001,rev1), (98001,rev2), (98003,NULL) = 3; A02: 98002 = 1; B01: padding = 1.
     assert_eq!(rs.len(), 5);
-    let null_reviews = rs
-        .rows
-        .iter()
-        .filter(|r| r[rs.col("reviewid").unwrap()].is_null())
-        .count();
+    let null_reviews = rs.rows.iter().filter(|r| r[rs.col("reviewid").unwrap()].is_null()).count();
     assert_eq!(null_reviews, 3); // 98003, 98002, B01-padding
 }
 
@@ -415,9 +408,8 @@ fn distinct_deduplicates() {
 #[test]
 fn left_join_kind_matters() {
     let db = book_db();
-    let inner = db
-        .query_sql("SELECT b.bookid FROM book b JOIN review r ON b.bookid = r.bookid")
-        .unwrap();
+    let inner =
+        db.query_sql("SELECT b.bookid FROM book b JOIN review r ON b.bookid = r.bookid").unwrap();
     let left = db
         .query_sql("SELECT b.bookid FROM book b LEFT JOIN review r ON b.bookid = r.bookid")
         .unwrap();
@@ -430,9 +422,7 @@ fn left_join_kind_matters() {
 fn update_statement_with_fk_guard() {
     let mut db = book_db();
     // Changing a referenced key is refused while references exist.
-    let err = db
-        .execute_sql("UPDATE book SET bookid = 'X1' WHERE bookid = '98001'")
-        .unwrap_err();
+    let err = db.execute_sql("UPDATE book SET bookid = 'X1' WHERE bookid = '98001'").unwrap_err();
     assert!(matches!(err, RdbError::Semantic(_)), "{err}");
     // Unreferenced keys may change.
     db.execute_sql("UPDATE book SET bookid = 'X3' WHERE bookid = '98003'").unwrap();
@@ -526,8 +516,7 @@ fn explain_shows_physical_plan() {
              AND book.bookid = '98001'",
         )
         .unwrap();
-    let text: Vec<String> =
-        out.result.unwrap().rows.iter().map(|r| r[0].render()).collect();
+    let text: Vec<String> = out.result.unwrap().rows.iter().map(|r| r[0].render()).collect();
     let plan = text.join("\n");
     // The selective equality anchors an IndexScan, then index joins chase.
     assert!(plan.contains("IndexScan book"), "plan was:\n{plan}");
@@ -540,8 +529,7 @@ fn explain_in_list_becomes_batched_index_scan() {
     let out = db
         .execute_sql("EXPLAIN SELECT comment FROM review WHERE bookid IN ('98001', '98003')")
         .unwrap();
-    let plan: Vec<String> =
-        out.result.unwrap().rows.iter().map(|r| r[0].render()).collect();
+    let plan: Vec<String> = out.result.unwrap().rows.iter().map(|r| r[0].render()).collect();
     // review's PK index leads on bookid? No — composite (bookid, reviewid);
     // the FK index on bookid is single-column and takes the IN-list.
     assert!(plan.join("\n").contains("IndexScan review"), "{}", plan.join("\n"));

@@ -3,9 +3,7 @@
 //! index/heap consistency.
 
 use proptest::prelude::*;
-use ufilter_rdb::{
-    Column, DataType, DatabaseSchema, Db, DeletePolicy, Expr, TableSchema, Value,
-};
+use ufilter_rdb::{Column, DataType, DatabaseSchema, Db, DeletePolicy, Expr, TableSchema, Value};
 
 /// Two-level schema parent(id) ← child(id, parent_id) with a configurable
 /// delete policy.
@@ -61,14 +59,20 @@ fn apply(db: &mut Db, op: &Op) {
         Op::InsertParent(id) => {
             db.insert("parent", vec![vec![Value::Int(*id), Value::str("p")]]).map(|_| ())
         }
-        Op::InsertChild(id, pid) => db
-            .insert("child", vec![vec![Value::Int(*id), Value::Int(*pid)]])
-            .map(|_| ()),
+        Op::InsertChild(id, pid) => {
+            db.insert("child", vec![vec![Value::Int(*id), Value::Int(*pid)]]).map(|_| ())
+        }
         Op::DeleteParent(id) => db
-            .delete_where("parent", Some(&Expr::eq(Expr::col("parent", "id"), Expr::lit(Value::Int(*id)))))
+            .delete_where(
+                "parent",
+                Some(&Expr::eq(Expr::col("parent", "id"), Expr::lit(Value::Int(*id)))),
+            )
             .map(|_| ()),
         Op::DeleteChild(id) => db
-            .delete_where("child", Some(&Expr::eq(Expr::col("child", "id"), Expr::lit(Value::Int(*id)))))
+            .delete_where(
+                "child",
+                Some(&Expr::eq(Expr::col("child", "id"), Expr::lit(Value::Int(*id)))),
+            )
             .map(|_| ()),
         Op::UpdateParentPayload(id, s) => db
             .update_where(
@@ -82,11 +86,8 @@ fn apply(db: &mut Db, op: &Op) {
 
 /// Every child's non-NULL parent_id refers to an existing parent.
 fn referential_integrity_holds(db: &Db) -> bool {
-    let parents: std::collections::HashSet<String> = db
-        .table_rows_sorted("parent")
-        .into_iter()
-        .map(|r| r[0].render())
-        .collect();
+    let parents: std::collections::HashSet<String> =
+        db.table_rows_sorted("parent").into_iter().map(|r| r[0].render()).collect();
     db.table_rows_sorted("child")
         .into_iter()
         .all(|r| r[1].is_null() || parents.contains(&r[1].render()))

@@ -35,12 +35,20 @@ fn cmp_strategy() -> impl Strategy<Value = CmpOp> {
 /// probes and translated updates contain.
 fn where_strategy() -> impl Strategy<Value = Expr> {
     let atom = prop_oneof![
-        (ident(), ident(), cmp_strategy(), value_strategy().prop_filter("non-null", |v| !v.is_null()))
+        (
+            ident(),
+            ident(),
+            cmp_strategy(),
+            value_strategy().prop_filter("non-null", |v| !v.is_null())
+        )
             .prop_map(|(t, c, op, v)| Expr::cmp(op, Expr::col(t, c), Expr::lit(v))),
-        (ident(), ident(), ident(), ident()).prop_map(|(t1, c1, t2, c2)| {
-            Expr::eq(Expr::col(t1, c1), Expr::col(t2, c2))
-        }),
-        (ident(), ident(), prop::collection::vec(value_strategy().prop_filter("nn", |v| !v.is_null()), 1..4))
+        (ident(), ident(), ident(), ident())
+            .prop_map(|(t1, c1, t2, c2)| { Expr::eq(Expr::col(t1, c1), Expr::col(t2, c2)) }),
+        (
+            ident(),
+            ident(),
+            prop::collection::vec(value_strategy().prop_filter("nn", |v| !v.is_null()), 1..4)
+        )
             .prop_map(|(t, c, set)| Expr::InSet {
                 expr: Box::new(Expr::col(t, c)),
                 set,

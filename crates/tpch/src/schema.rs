@@ -22,7 +22,13 @@ pub fn tpch_schema(policy: DeletePolicy) -> DatabaseSchema {
             .column(Column::new("n_regionkey", DataType::Int))
             .column(Column::new("n_comment", DataType::Str))
             .primary_key(["n_nationkey"])
-            .foreign_key("nation_region_fk", vec!["n_regionkey"], "region", vec!["r_regionkey"], policy),
+            .foreign_key(
+                "nation_region_fk",
+                vec!["n_regionkey"],
+                "region",
+                vec!["r_regionkey"],
+                policy,
+            ),
     );
     s.add(
         TableSchema::new("customer")
@@ -34,7 +40,13 @@ pub fn tpch_schema(policy: DeletePolicy) -> DatabaseSchema {
             .column(Column::new("c_acctbal", DataType::Double))
             .column(Column::new("c_mktsegment", DataType::Str))
             .primary_key(["c_custkey"])
-            .foreign_key("customer_nation_fk", vec!["c_nationkey"], "nation", vec!["n_nationkey"], policy),
+            .foreign_key(
+                "customer_nation_fk",
+                vec!["c_nationkey"],
+                "nation",
+                vec!["n_nationkey"],
+                policy,
+            ),
     );
     s.add(
         TableSchema::new("orders")
@@ -45,7 +57,13 @@ pub fn tpch_schema(policy: DeletePolicy) -> DatabaseSchema {
             .column(Column::new("o_orderdate", DataType::Date))
             .column(Column::new("o_orderpriority", DataType::Str))
             .primary_key(["o_orderkey"])
-            .foreign_key("orders_customer_fk", vec!["o_custkey"], "customer", vec!["c_custkey"], policy),
+            .foreign_key(
+                "orders_customer_fk",
+                vec!["o_custkey"],
+                "customer",
+                vec!["c_custkey"],
+                policy,
+            ),
     );
     s.add(
         TableSchema::new("lineitem")
@@ -57,7 +75,13 @@ pub fn tpch_schema(policy: DeletePolicy) -> DatabaseSchema {
             .column(Column::new("l_discount", DataType::Double))
             .column(Column::new("l_shipmode", DataType::Str))
             .primary_key(["l_orderkey", "l_linenumber"])
-            .foreign_key("lineitem_orders_fk", vec!["l_orderkey"], "orders", vec!["o_orderkey"], policy),
+            .foreign_key(
+                "lineitem_orders_fk",
+                vec!["l_orderkey"],
+                "orders",
+                vec!["o_orderkey"],
+                policy,
+            ),
     );
     s
 }

@@ -87,146 +87,326 @@ macro_rules! uc {
 
 static CATALOG: [UseCase; 36] = [
     // ---- XMP (bibliography) -------------------------------------------
-    uc!(Group::Xmp, "Q1", true, "",
+    uc!(
+        Group::Xmp,
+        "Q1",
+        true,
+        "",
         r#"<bib> for $b in document("bib.xml")/bib/book
             where $b/publisher = "Addison-Wesley" and $b/year > 1991
-            return <book> $b/title, $b/year </book> </bib>"#),
-    uc!(Group::Xmp, "Q2", true, "",
+            return <book> $b/title, $b/year </book> </bib>"#
+    ),
+    uc!(
+        Group::Xmp,
+        "Q2",
+        true,
+        "",
         r#"<results> for $b in document("bib.xml")/bib/book, $t in $b/title, $a in $b/author
-            return <result> $t, $a </result> </results>"#),
-    uc!(Group::Xmp, "Q3", true, "",
+            return <result> $t, $a </result> </results>"#
+    ),
+    uc!(
+        Group::Xmp,
+        "Q3",
+        true,
+        "",
         r#"<results> for $b in document("bib.xml")/bib/book
-            return <result> $b/title, $b/author </result> </results>"#),
-    uc!(Group::Xmp, "Q4", false, "Distinct()",
+            return <result> $b/title, $b/author </result> </results>"#
+    ),
+    uc!(
+        Group::Xmp,
+        "Q4",
+        false,
+        "Distinct()",
         r#"<results> for $a in distinct(document("bib.xml")//author)
-            return <result> $a </result> </results>"#),
-    uc!(Group::Xmp, "Q5", true, "",
+            return <result> $a </result> </results>"#
+    ),
+    uc!(
+        Group::Xmp,
+        "Q5",
+        true,
+        "",
         r#"<books-with-prices> for $b in document("bib.xml")//book,
             $a in document("reviews.xml")//entry
             where $b/title = $a/title
             return <book-with-prices> $b/title, $a/price, $b/price </book-with-prices>
-            </books-with-prices>"#),
-    uc!(Group::Xmp, "Q6", false, "Count()",
+            </books-with-prices>"#
+    ),
+    uc!(
+        Group::Xmp,
+        "Q6",
+        false,
+        "Count()",
         r#"<bib> for $b in document("bib.xml")//book
             where count($b/author) > 0
-            return <book> $b/title, $b/author </book> </bib>"#),
-    uc!(Group::Xmp, "Q7", true, "",
+            return <book> $b/title, $b/author </book> </bib>"#
+    ),
+    uc!(
+        Group::Xmp,
+        "Q7",
+        true,
+        "",
         r#"<bib> for $b in document("bib.xml")//book
             where $b/publisher = "Addison-Wesley" and $b/year > 1991
-            return <book> $b/title, $b/year </book> </bib>"#),
-    uc!(Group::Xmp, "Q8", true, "",
+            return <book> $b/title, $b/year </book> </bib>"#
+    ),
+    uc!(
+        Group::Xmp,
+        "Q8",
+        true,
+        "",
         r#"<results> for $b in document("bib.xml")//book, $e in $b/editor
             where $e/affiliation = "WPI"
-            return <book> $b/title, $e/last </book> </results>"#),
-    uc!(Group::Xmp, "Q9", true, "",
+            return <book> $b/title, $e/last </book> </results>"#
+    ),
+    uc!(
+        Group::Xmp,
+        "Q9",
+        true,
+        "",
         r#"<results> for $b in document("bib.xml")//book, $t in $b/title
             where $t = "TCP/IP Illustrated"
-            return <book> $t </book> </results>"#),
-    uc!(Group::Xmp, "Q10", false, "Distinct()",
+            return <book> $t </book> </results>"#
+    ),
+    uc!(
+        Group::Xmp,
+        "Q10",
+        false,
+        "Distinct()",
         r#"<results> for $p in distinct-values(document("bib.xml")//publisher)
-            return <publisher> $p </publisher> </results>"#),
-    uc!(Group::Xmp, "Q11", true, "",
+            return <publisher> $p </publisher> </results>"#
+    ),
+    uc!(
+        Group::Xmp,
+        "Q11",
+        true,
+        "",
         r#"<bib> for $b in document("bib.xml")//book
             where $b/price < 65.95
-            return <book> $b/title, $b/price </book> </bib>"#),
-    uc!(Group::Xmp, "Q12", true, "",
+            return <book> $b/title, $b/price </book> </bib>"#
+    ),
+    uc!(
+        Group::Xmp,
+        "Q12",
+        true,
+        "",
         r#"<results> for $b in document("bib.xml")//book, $a in $b/author
             where $a/last = "Stevens" and $a/first = "W."
-            return <book> $b/title </book> </results>"#),
+            return <book> $b/title </book> </results>"#
+    ),
     // ---- TREE (structured document) ------------------------------------
-    uc!(Group::Tree, "Q1", true, "",
+    uc!(
+        Group::Tree,
+        "Q1",
+        true,
+        "",
         r#"<toc> for $s in document("book.xml")//section
-            return <section> $s/title </section> </toc>"#),
-    uc!(Group::Tree, "Q2", true, "",
+            return <section> $s/title </section> </toc>"#
+    ),
+    uc!(
+        Group::Tree,
+        "Q2",
+        true,
+        "",
         r#"<figlist> for $f in document("book.xml")//figure
-            return <figure> $f/title </figure> </figlist>"#),
-    uc!(Group::Tree, "Q3", false, "Count()",
+            return <figure> $f/title </figure> </figlist>"#
+    ),
+    uc!(
+        Group::Tree,
+        "Q3",
+        false,
+        "Count()",
         r#"<counts> count(document("book.xml")//section),
-            count(document("book.xml")//figure) </counts>"#),
-    uc!(Group::Tree, "Q4", false, "Count()",
-        r#"<section_count> count(document("book.xml")/book/section) </section_count>"#),
-    uc!(Group::Tree, "Q5", false, "Count()",
+            count(document("book.xml")//figure) </counts>"#
+    ),
+    uc!(
+        Group::Tree,
+        "Q4",
+        false,
+        "Count()",
+        r#"<section_count> count(document("book.xml")/book/section) </section_count>"#
+    ),
+    uc!(
+        Group::Tree,
+        "Q5",
+        false,
+        "Count()",
         r#"<top_sections> for $s in document("book.xml")/book/section
             return <section> $s/title, <figcount> count($s//figure) </figcount> </section>
-            </top_sections>"#),
-    uc!(Group::Tree, "Q6", false, "Count()",
+            </top_sections>"#
+    ),
+    uc!(
+        Group::Tree,
+        "Q6",
+        false,
+        "Count()",
         r#"<toc> for $s in document("book.xml")//section
             where count($s/section) > 0
-            return <section> $s/title </section> </toc>"#),
+            return <section> $s/title </section> </toc>"#
+    ),
     // ---- R (auction / relational) ---------------------------------------
-    uc!(Group::R, "Q1", true, "",
+    uc!(
+        Group::R,
+        "Q1",
+        true,
+        "",
         r#"<result> for $i in document("items.xml")//item_tuple
             where $i/start_date <= 19990131 and $i/end_date >= 19990101
             and $i/description = "Bicycle"
-            return <item> $i/itemno, $i/description </item> </result>"#),
-    uc!(Group::R, "Q2", false, "max()",
+            return <item> $i/itemno, $i/description </item> </result>"#
+    ),
+    uc!(
+        Group::R,
+        "Q2",
+        false,
+        "max()",
         r#"<result> for $i in document("items.xml")//item_tuple
             where $i/description = "Bicycle"
             return <item> $i/itemno, <high_bid> max(document("bids.xml")//bid_tuple) </high_bid>
-            </item> </result>"#),
-    uc!(Group::R, "Q3", true, "",
+            </item> </result>"#
+    ),
+    uc!(
+        Group::R,
+        "Q3",
+        true,
+        "",
         r#"<result> for $u in document("users.xml")//user_tuple, $i in document("items.xml")//item_tuple
             where $u/userid = $i/offered_by
-            return <listing> $u/name, $i/description </listing> </result>"#),
-    uc!(Group::R, "Q4", true, "",
+            return <listing> $u/name, $i/description </listing> </result>"#
+    ),
+    uc!(
+        Group::R,
+        "Q4",
+        true,
+        "",
         r#"<result> for $b in document("bids.xml")//bid_tuple, $i in document("items.xml")//item_tuple
             where $b/itemno = $i/itemno and $b/bid >= 100
-            return <expensive_item> $i/description, $b/bid </expensive_item> </result>"#),
-    uc!(Group::R, "Q5", false, "count()",
+            return <expensive_item> $i/description, $b/bid </expensive_item> </result>"#
+    ),
+    uc!(
+        Group::R,
+        "Q5",
+        false,
+        "count()",
         r#"<result> for $i in document("items.xml")//item_tuple
             return <item> $i/itemno, <bid_count> count(document("bids.xml")//bid_tuple) </bid_count>
-            </item> </result>"#),
-    uc!(Group::R, "Q6", false, "count()",
+            </item> </result>"#
+    ),
+    uc!(
+        Group::R,
+        "Q6",
+        false,
+        "count()",
         r#"<result> for $i in document("items.xml")//item_tuple
             where count(document("bids.xml")//bid_tuple) >= 3
-            return <popular_item> $i/description </popular_item> </result>"#),
-    uc!(Group::R, "Q7", false, "max()",
+            return <popular_item> $i/description </popular_item> </result>"#
+    ),
+    uc!(
+        Group::R,
+        "Q7",
+        false,
+        "max()",
         r#"<result> for $u in document("users.xml")//user_tuple
             return <user> $u/name, <max_bid> max(document("bids.xml")//bid) </max_bid> </user>
-            </result>"#),
-    uc!(Group::R, "Q8", false, "count()",
+            </result>"#
+    ),
+    uc!(
+        Group::R,
+        "Q8",
+        false,
+        "count()",
         r#"<result> for $u in document("users.xml")//user_tuple
             where count(document("bids.xml")//bid_tuple) = 0
-            return <inactive_user> $u/name </inactive_user> </result>"#),
-    uc!(Group::R, "Q9", false, "count()",
+            return <inactive_user> $u/name </inactive_user> </result>"#
+    ),
+    uc!(
+        Group::R,
+        "Q9",
+        false,
+        "count()",
         r#"<result> for $u in document("users.xml")//user_tuple
             where count(document("items.xml")//item_tuple) > 2
-            return <frequent_seller> $u/name </frequent_seller> </result>"#),
-    uc!(Group::R, "Q10", false, "avg()",
+            return <frequent_seller> $u/name </frequent_seller> </result>"#
+    ),
+    uc!(
+        Group::R,
+        "Q10",
+        false,
+        "avg()",
         r#"<result> for $i in document("items.xml")//item_tuple
             return <item> $i/description, <avg_bid> avg(document("bids.xml")//bid) </avg_bid>
-            </item> </result>"#),
-    uc!(Group::R, "Q11", false, "count()",
+            </item> </result>"#
+    ),
+    uc!(
+        Group::R,
+        "Q11",
+        false,
+        "count()",
         r#"<result> for $i in document("items.xml")//item_tuple
             where count(document("bids.xml")//bid_tuple) > 10
-            return <hot_item> $i/description </hot_item> </result>"#),
-    uc!(Group::R, "Q12", false, "avg()",
+            return <hot_item> $i/description </hot_item> </result>"#
+    ),
+    uc!(
+        Group::R,
+        "Q12",
+        false,
+        "avg()",
         r#"<result> for $i in document("items.xml")//item_tuple
             where $i/reserve_price > avg(document("items.xml")//reserve_price)
-            return <pricey> $i/description </pricey> </result>"#),
-    uc!(Group::R, "Q13", false, "max()",
+            return <pricey> $i/description </pricey> </result>"#
+    ),
+    uc!(
+        Group::R,
+        "Q13",
+        false,
+        "max()",
         r#"<result> for $i in document("items.xml")//item_tuple
             return <item_status> $i/itemno, <high> max(document("bids.xml")//bid) </high>
-            </item_status> </result>"#),
-    uc!(Group::R, "Q14", false, "count()",
+            </item_status> </result>"#
+    ),
+    uc!(
+        Group::R,
+        "Q14",
+        false,
+        "count()",
         r#"<result> <item_count> count(document("items.xml")//item_tuple) </item_count>
-            <bid_count> count(document("bids.xml")//bid_tuple) </bid_count> </result>"#),
-    uc!(Group::R, "Q15", false, "max()",
+            <bid_count> count(document("bids.xml")//bid_tuple) </bid_count> </result>"#
+    ),
+    uc!(
+        Group::R,
+        "Q15",
+        false,
+        "max()",
         r#"<result> for $b in document("bids.xml")//bid_tuple
             where $b/bid = max(document("bids.xml")//bid)
-            return <top_bid> $b/itemno, $b/bid </top_bid> </result>"#),
-    uc!(Group::R, "Q16", true, "",
+            return <top_bid> $b/itemno, $b/bid </top_bid> </result>"#
+    ),
+    uc!(
+        Group::R,
+        "Q16",
+        true,
+        "",
         r#"<result> for $u in document("users.xml")//user_tuple, $b in document("bids.xml")//bid_tuple
             where $u/userid = $b/userid and $b/bid >= 1000
-            return <big_bidder> $u/name, $b/bid </big_bidder> </result>"#),
-    uc!(Group::R, "Q17", true, "",
+            return <big_bidder> $u/name, $b/bid </big_bidder> </result>"#
+    ),
+    uc!(
+        Group::R,
+        "Q17",
+        true,
+        "",
         r#"<result> for $u in document("users.xml")//user_tuple,
             $i in document("items.xml")//item_tuple, $b in document("bids.xml")//bid_tuple
             where $u/userid = $b/userid and $b/itemno = $i/itemno
-            return <involvement> $u/name, $i/description, $b/bid </involvement> </result>"#),
-    uc!(Group::R, "Q18", false, "Distinct()",
+            return <involvement> $u/name, $i/description, $b/bid </involvement> </result>"#
+    ),
+    uc!(
+        Group::R,
+        "Q18",
+        false,
+        "Distinct()",
         r#"<result> for $u in distinct-values(document("bids.xml")//userid)
-            return <bidder> $u </bidder> </result>"#),
+            return <bidder> $u </bidder> </result>"#
+    ),
 ];
 
 /// Render the Fig. 12 table.

@@ -121,9 +121,7 @@ impl P {
 
     fn name(&mut self) -> Result<String, XmlParseError> {
         let start = self.pos;
-        while self
-            .peek()
-            .is_some_and(|c| c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | ':'))
+        while self.peek().is_some_and(|c| c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | ':'))
         {
             self.pos += 1;
         }
@@ -317,8 +315,9 @@ mod tests {
     #[test]
     fn attributes_rejected_by_default_but_ignorable() {
         assert!(parse("<a id=\"1\"/>").is_err());
-        let d = parse_with("<a id=\"1\"><b k='v'>t</b></a>", ParseOptions { ignore_attributes: true })
-            .unwrap();
+        let d =
+            parse_with("<a id=\"1\"><b k='v'>t</b></a>", ParseOptions { ignore_attributes: true })
+                .unwrap();
         assert_eq!(d.text_content(d.root()), "t");
     }
 

@@ -183,9 +183,8 @@ fn eval_flwr(
         .iter()
         .filter(|p| {
             let uses_this = pred_vars(p).iter().any(|v| v == &binding.var);
-            let all_bound = pred_vars(p)
-                .iter()
-                .all(|v| v == &binding.var || lookup(env, v).is_some());
+            let all_bound =
+                pred_vars(p).iter().all(|v| v == &binding.var || lookup(env, v).is_some());
             uses_this && all_bound
         })
         .collect();
@@ -199,12 +198,13 @@ fn eval_flwr(
         }
         let (this_side, other) = match (&p.lhs, &p.rhs) {
             (Operand::Path(a), o) if a.var == binding.var => (a, o.clone()),
-            (o, Operand::Path(b)) if b.var == binding.var => {
-                (b, match o {
+            (o, Operand::Path(b)) if b.var == binding.var => (
+                b,
+                match o {
                     Operand::Path(p) => Operand::Path(p.clone()),
                     Operand::Literal(v) => Operand::Literal(v.clone()),
-                })
-            }
+                },
+            ),
             _ => continue,
         };
         let Some(col) = this_side.attribute() else { continue };
@@ -223,9 +223,9 @@ fn eval_flwr(
         let t = ctx.table(&table)?;
         match &probe {
             Some((col, value)) => {
-                let ci = t.col(col).ok_or_else(|| {
-                    EvalError::new(format!("unknown column {col} of {}", t.name))
-                })?;
+                let ci = t
+                    .col(col)
+                    .ok_or_else(|| EvalError::new(format!("unknown column {col} of {}", t.name)))?;
                 t.group(ci).get(value).cloned().unwrap_or_default()
             }
             None => (0..t.rows.len()).collect(),
@@ -279,9 +279,8 @@ fn path_value(ctx: &mut Ctx, env: &Env, p: &PathExpr) -> Result<Value, EvalError
     let (table, idx) = lookup(env, &p.var)
         .ok_or_else(|| EvalError::new(format!("unbound variable ${}", p.var)))?
         .clone();
-    let attr = p
-        .attribute()
-        .ok_or_else(|| EvalError::new(format!("unsupported path shape {p}")))?;
+    let attr =
+        p.attribute().ok_or_else(|| EvalError::new(format!("unsupported path shape {p}")))?;
     let t = ctx.table(&table)?;
     let ci = t
         .col(attr)

@@ -40,8 +40,8 @@ const SUPPORTED_FN: [&str; 2] = ["document", "text"];
 /// Language keywords that may legally precede `(` without being calls
 /// (`WHERE ($book/pubid = …)`).
 const KEYWORDS: [&str; 14] = [
-    "for", "in", "where", "and", "or", "return", "update", "insert", "delete", "replace",
-    "with", "let", "then", "else",
+    "for", "in", "where", "and", "or", "return", "update", "insert", "delete", "replace", "with",
+    "let", "then", "else",
 ];
 
 /// Scan raw query text for unsupported constructs. The scan is lexical (it

@@ -139,7 +139,10 @@ pub fn lex(input: &str) -> Result<Vec<(Tok, usize)>, LexError> {
                     i += 1;
                 }
                 if i == ns {
-                    return Err(LexError { message: "expected name after $".into(), offset: start });
+                    return Err(LexError {
+                        message: "expected name after $".into(),
+                        offset: start,
+                    });
                 }
                 out.push((Tok::Var(chars[ns..i].iter().collect()), start));
             }
@@ -195,8 +198,7 @@ pub fn lex(input: &str) -> Result<Vec<(Tok, usize)>, LexError> {
                 let name: String = chars[ns..i].iter().collect();
                 // `text()` is one token; any other `name(` lexes as the
                 // identifier followed by a '(' symbol.
-                if name == "text" && chars.get(i) == Some(&'(') && chars.get(i + 1) == Some(&')')
-                {
+                if name == "text" && chars.get(i) == Some(&'(') && chars.get(i + 1) == Some(&')') {
                     i += 2;
                     out.push((Tok::Ident("text()".into()), start));
                 } else {

@@ -39,8 +39,7 @@ pub(crate) struct P {
 
 impl P {
     pub fn new(input: &str) -> Result<P, ParseError> {
-        let toks = lex(input)
-            .map_err(|e| ParseError { message: e.message, offset: e.offset })?;
+        let toks = lex(input).map_err(|e| ParseError { message: e.message, offset: e.offset })?;
         Ok(P { toks, pos: 0 })
     }
 
@@ -177,7 +176,9 @@ pub fn parse_view_query(input: &str) -> Result<ViewQuery, ParseError> {
     let mut p = P::new(input)?;
     let root_tag = match p.bump() {
         Tok::TagOpen(t) => t,
-        other => return Err(p.err(format!("view query must start with a root tag, found {other:?}"))),
+        other => {
+            return Err(p.err(format!("view query must start with a root tag, found {other:?}")))
+        }
     };
     let content = content_until_close(&mut p, &root_tag)?;
     if !matches!(p.peek(), Tok::Eof) {
@@ -346,10 +347,8 @@ $publisher/pubid, $publisher/pubname
     #[test]
     fn equals_binding_alias() {
         // u9-style: `$book =$root/book`.
-        let q = parse_view_query(
-            "<V> FOR $b = document(\"d\")/book/row RETURN { <x> </x> } </V>",
-        )
-        .unwrap();
+        let q = parse_view_query("<V> FOR $b = document(\"d\")/book/row RETURN { <x> </x> } </V>")
+            .unwrap();
         assert_eq!(q.relations(), vec!["book"]);
     }
 
@@ -367,10 +366,8 @@ $publisher/pubid, $publisher/pubname
 
     #[test]
     fn rejects_non_row_source() {
-        let e = parse_view_query(
-            "<V> FOR $b IN document(\"d\")/book RETURN { <x> </x> } </V>",
-        )
-        .unwrap_err();
+        let e = parse_view_query("<V> FOR $b IN document(\"d\")/book RETURN { <x> </x> } </V>")
+            .unwrap_err();
         assert!(e.message.contains("document"));
     }
 

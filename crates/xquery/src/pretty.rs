@@ -107,11 +107,8 @@ pub fn print_update(u: &UpdateStmt) -> String {
         let sep = if i + 1 < u.actions.len() { "," } else { "" };
         match a {
             UpdateAction::Insert(frag) => {
-                let _ = writeln!(
-                    out,
-                    "  INSERT {}{sep}",
-                    ufilter_xml::to_string(frag, frag.root())
-                );
+                let _ =
+                    writeln!(out, "  INSERT {}{sep}", ufilter_xml::to_string(frag, frag.root()));
             }
             UpdateAction::Delete(p) => {
                 let _ = writeln!(out, "  DELETE {p}{sep}");

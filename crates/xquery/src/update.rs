@@ -143,9 +143,7 @@ pub fn parse_update(input: &str) -> Result<UpdateStmt, ParseError> {
     loop {
         let var = match p.bump() {
             Tok::Var(v) => v,
-            other => {
-                return Err(p.err(format!("expected $variable in FOR, found {other:?}")))
-            }
+            other => return Err(p.err(format!("expected $variable in FOR, found {other:?}"))),
         };
         if !p.eat_kw("IN") && !p.eat_sym("=") {
             return Err(p.err("expected IN after FOR variable"));
@@ -188,9 +186,7 @@ pub fn parse_update(input: &str) -> Result<UpdateStmt, ParseError> {
         } else if p.eat_kw("REPLACE") {
             let var = match p.bump() {
                 Tok::Var(v) => v,
-                other => {
-                    return Err(p.err(format!("expected path after REPLACE, found {other:?}")))
-                }
+                other => return Err(p.err(format!("expected path after REPLACE, found {other:?}"))),
             };
             let target = p.path(var)?;
             p.expect_kw("WITH")?;
@@ -211,13 +207,9 @@ pub fn parse_update(input: &str) -> Result<UpdateStmt, ParseError> {
 fn fragment(p: &mut P, frags: &[Document]) -> Result<Document, ParseError> {
     match p.bump() {
         Tok::Ident(s) if s.starts_with("__frag") && s.ends_with("__") => {
-            let idx: usize = s[6..s.len() - 2]
-                .parse()
-                .map_err(|_| p.err("bad fragment placeholder"))?;
-            frags
-                .get(idx)
-                .cloned()
-                .ok_or_else(|| p.err("fragment placeholder out of range"))
+            let idx: usize =
+                s[6..s.len() - 2].parse().map_err(|_| p.err("bad fragment placeholder"))?;
+            frags.get(idx).cloned().ok_or_else(|| p.err("fragment placeholder out of range"))
         }
         other => Err(p.err(format!("expected an XML fragment, found {other:?}"))),
     }

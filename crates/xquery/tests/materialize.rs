@@ -140,10 +140,7 @@ fn null_attributes_are_omitted() {
     let v = materialize(&db, &q).unwrap();
     let books = v.children_named(v.root(), "book");
     assert_eq!(books.len(), 3);
-    let no_price = books
-        .iter()
-        .filter(|b| v.child_named(**b, "price").is_none())
-        .count();
+    let no_price = books.iter().filter(|b| v.child_named(**b, "price").is_none()).count();
     assert_eq!(no_price, 1);
 }
 

@@ -17,14 +17,13 @@ fn tag() -> impl Strategy<Value = String> {
 /// A one-level view query over a two-column table `t(k, v)`, with a random
 /// comparison predicate.
 fn simple_view() -> impl Strategy<Value = (String, f64, String)> {
-    (tag(), 0.0f64..100.0, prop_oneof!["<", ">", "<=", ">=", "!="])
-        .prop_map(|(root, bound, op)| {
-            let q = format!(
-                "<{root}> FOR $x IN document(\"d\")/t/row WHERE $x/v {op} {bound:.2} \
+    (tag(), 0.0f64..100.0, prop_oneof!["<", ">", "<=", ">=", "!="]).prop_map(|(root, bound, op)| {
+        let q = format!(
+            "<{root}> FOR $x IN document(\"d\")/t/row WHERE $x/v {op} {bound:.2} \
                  RETURN {{ <item> $x/k, $x/v </item> }} </{root}>"
-            );
-            (q, bound, op.to_string())
-        })
+        );
+        (q, bound, op.to_string())
+    })
 }
 
 fn tiny_db(rows: &[(i64, f64)]) -> Db {

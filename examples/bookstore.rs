@@ -59,10 +59,7 @@ fn main() {
                         </book> }"#
                 .to_string(),
         ),
-        (
-            "drop every review of books under $40",
-            bookdemo::U8.to_string(),
-        ),
+        ("drop every review of books under $40", bookdemo::U8.to_string()),
         (
             "retire books over $40 (conditional: minimization retains the publisher)",
             bookdemo::U9.to_string(),

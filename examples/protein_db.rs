@@ -103,9 +103,7 @@ fn main() {
     assert_eq!(verdict, Some(RectangleVerdict::Holds));
     assert_eq!(db.row_count("organism"), 1);
     assert_eq!(db.row_count("protein"), 3, "SET NULL keeps the proteins");
-    let orphans = db
-        .query_sql("SELECT protid FROM protein WHERE orgid IS NULL")
-        .expect("query");
+    let orphans = db.query_sql("SELECT protid FROM protein WHERE orgid IS NULL").expect("query");
     println!("orphaned proteins (orgid IS NULL): {:?}", orphans.column_values("protid"));
 
     // 2. Deleting a protein from the flat list is untranslatable: the same
@@ -121,7 +119,9 @@ fn main() {
     // 3. Deleting a nested protein is rejected at STAR: the same tuple
     //    feeds the flat list (and RESTRICT would block the base delete of
     //    P1 anyway, since a citation still references it).
-    println!("\n=== delete nested protein P1 (shared with the flat list; RESTRICT backs it up) ===");
+    println!(
+        "\n=== delete nested protein P1 (shared with the flat list; RESTRICT backs it up) ==="
+    );
     let del_nested = r#"FOR $o IN document("V.xml")/organism, $p IN $o/protein
                         WHERE $p/protid/text() = "P1"
                         UPDATE $o { DELETE $p }"#;

@@ -56,8 +56,7 @@ fn main() {
     let report = filter.apply(bookdemo::U13, &mut db).remove(0);
     println!("outcome: {}", report.outcome);
     println!("review rows: {before} -> {}", db.row_count("review"));
-    let rs = db
-        .query_sql("SELECT reviewid, comment FROM review WHERE bookid = '98003'")
-        .expect("query");
+    let rs =
+        db.query_sql("SELECT reviewid, comment FROM review WHERE bookid = '98003'").expect("query");
     print!("{}", rs.to_table());
 }

@@ -1,0 +1,33 @@
+-- Fig. 1 of the paper: the book database (publisher / book / review),
+-- CASCADE delete policy, loaded with the figure's sample rows.
+-- Kept in sync with ufilter_core::bookdemo — tests/fixtures_sync.rs checks.
+CREATE TABLE publisher(
+    pubid VARCHAR2(10),
+    pubname VARCHAR2(100) UNIQUE NOT NULL,
+    CONSTRAINTS PubPK PRIMARYKEY (pubid));
+
+CREATE TABLE book(
+    bookid VARCHAR2(20),
+    title VARCHAR2(100) NOT NULL,
+    pubid VARCHAR2(10),
+    price DOUBLE CHECK (price > 0.00),
+    year DATE,
+    CONSTRAINTS BookPK PRIMARYKEY (bookid),
+    FOREIGNKEY (pubid) REFERENCES publisher (pubid) ON DELETE CASCADE);
+
+CREATE TABLE review(
+    bookid VARCHAR2(20),
+    reviewid VARCHAR2(3),
+    comment VARCHAR2(100),
+    reviewer VARCHAR2(10),
+    CONSTRAINTS ReviewPK PRIMARYKEY (bookid, reviewid),
+    FOREIGNKEY (bookid) REFERENCES book (bookid) ON DELETE CASCADE);
+
+INSERT INTO publisher VALUES ('A01', 'McGraw-Hill Inc.');
+INSERT INTO publisher VALUES ('B01', 'Prentice-Hall Inc.');
+INSERT INTO publisher VALUES ('A02', 'Simon & Schuster Inc.');
+INSERT INTO book VALUES ('98001', 'TCP/IP Illustrated', 'A01', 37.00, 1997);
+INSERT INTO book VALUES ('98002', 'Programming in Unix', 'A02', 45.00, 1985);
+INSERT INTO book VALUES ('98003', 'Data on the Web', 'A01', 48.00, 2004);
+INSERT INTO review VALUES ('98001', '001', 'A good book on network.', 'William');
+INSERT INTO review VALUES ('98001', '002', 'Useful for advanced user.', 'John');

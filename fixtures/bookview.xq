@@ -1,0 +1,24 @@
+<BookView>
+FOR $book IN document("default.xml")/book/row,
+$publisher IN document("default.xml")/publisher/row
+WHERE ($book/pubid = $publisher/pubid)
+AND ($book/price<50.00) AND ($book/year > 1990)
+RETURN {
+<book>
+$book/bookid, $book/title, $book/price,
+<publisher>
+$publisher/pubid, $publisher/pubname
+</publisher>,
+FOR $review IN document("default.xml")/review/row
+WHERE ($book/bookid = $review/bookid)
+RETURN{
+<review>
+$review/reviewid, $review/comment
+</review>}
+</book>},
+FOR $publisher IN document("default.xml")/publisher/row
+RETURN{
+<publisher>
+$publisher/pubid, $publisher/pubname
+</publisher>}
+</BookView>

@@ -1,0 +1,8 @@
+FOR $book IN document("BookView.xml")/book
+WHERE $book/title/text() = "Data on the Web"
+UPDATE $book {
+INSERT
+<review>
+<reviewid>001</reviewid>
+<comment>Easy read and useful.</comment>
+</review>}

@@ -1,0 +1,4 @@
+FOR $book IN document("BookView.xml")/book
+WHERE $book/price < 40.00
+UPDATE $book {
+DELETE $book/review }

@@ -96,21 +96,13 @@ INSERT
         insert,
     )
     .unwrap();
-    let (stdout, _, code) = ufilter(&with_base(&[
-        "--mode",
-        "strict",
-        "check",
-        "target/strict_test_update.xq",
-    ]));
+    let (stdout, _, code) =
+        ufilter(&with_base(&["--mode", "strict", "check", "target/strict_test_update.xq"]));
     assert_eq!(code, Some(1));
     assert!(stdout.contains("unsafe-insert"), "{stdout}");
     // Refined mode accepts it (publisher A01 exists).
-    let (stdout, _, code) = ufilter(&with_base(&[
-        "--mode",
-        "refined",
-        "check",
-        "target/strict_test_update.xq",
-    ]));
+    let (stdout, _, code) =
+        ufilter(&with_base(&["--mode", "refined", "check", "target/strict_test_update.xq"]));
     assert_eq!(code, Some(0), "{stdout}");
 }
 
@@ -119,4 +111,20 @@ fn missing_files_give_exit_2() {
     let (_, stderr, code) = ufilter(&["--schema", "no/such/file.sql", "sql", "SELECT 1 FROM t"]);
     assert_eq!(code, Some(2));
     assert!(stderr.contains("error:"), "{stderr}");
+}
+
+#[test]
+fn missing_update_file_gives_exit_2() {
+    let (_, stderr, code) = ufilter(&with_base(&["check", "no/such/update.xq"]));
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("error:"), "{stderr}");
+    assert!(stderr.contains("no/such/update.xq"), "error names the file: {stderr}");
+}
+
+#[test]
+fn unknown_strategy_gives_exit_2() {
+    let (_, stderr, code) =
+        ufilter(&with_base(&["--strategy", "telepathy", "check", "fixtures/u8.xq"]));
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("unknown strategy"), "{stderr}");
 }

@@ -176,9 +176,7 @@ WHERE $review/reviewid/text() = "001"
 UPDATE $review { DELETE $review/comment }"#;
     let report = filter.apply(u, &mut db).remove(0);
     assert!(report.outcome.is_translatable(), "{}", report.outcome);
-    let rs = db
-        .query_sql("SELECT comment FROM review WHERE reviewid = '001'")
-        .unwrap();
+    let rs = db.query_sql("SELECT comment FROM review WHERE reviewid = '001'").unwrap();
     assert!(rs.rows[0][0].is_null());
 }
 

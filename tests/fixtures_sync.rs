@@ -1,0 +1,32 @@
+//! The fixtures/ files are the CLI-facing copies of `ufilter_core::bookdemo`
+//! (the paper's Fig. 1 database and Fig. 3/10 queries). These tests pin the
+//! two representations together so neither can drift silently.
+
+use std::path::Path;
+
+use u_filter::core::bookdemo;
+use ufilter_rdb::Db;
+
+fn fixture(rel: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(rel);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+#[test]
+fn book_sql_builds_the_bookdemo_database() {
+    let mut db = Db::new();
+    db.execute_script(&fixture("fixtures/book.sql")).expect("fixture script runs");
+    assert_eq!(db.dump(), bookdemo::book_db().dump(), "fixtures/book.sql drifted from bookdemo");
+}
+
+#[test]
+fn view_and_update_fixtures_match_bookdemo_constants() {
+    for (rel, constant) in [
+        ("fixtures/bookview.xq", bookdemo::BOOK_VIEW),
+        ("fixtures/u8.xq", bookdemo::U8),
+        ("fixtures/u10.xq", bookdemo::U10),
+        ("fixtures/u13.xq", bookdemo::U13),
+    ] {
+        assert_eq!(fixture(rel).trim(), constant.trim(), "{rel} drifted from bookdemo");
+    }
+}

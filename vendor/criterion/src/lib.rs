@@ -1,0 +1,153 @@
+//! Offline stub of the `criterion` crate.
+//!
+//! The build container has no crates.io access, so this workspace vendors a
+//! minimal, API-compatible subset of criterion 0.5: `Criterion`,
+//! `Bencher::{iter, iter_batched}`, `BatchSize`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros. Timing is a plain
+//! wall-clock loop (warm-up, then samples until a small time budget is
+//! spent) reported as min/mean per iteration — enough to spot order-of-
+//! magnitude regressions and to keep `cargo bench --no-run` compiling.
+//! Swap this path dependency for the real crate once the registry is
+//! reachable.
+
+use std::time::{Duration, Instant};
+
+/// Per-bench time budget. Overridable via `UFILTER_BENCH_MS` so CI smoke
+/// runs can shrink it.
+fn budget() -> Duration {
+    let ms = std::env::var("UFILTER_BENCH_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(300u64);
+    Duration::from_millis(ms)
+}
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortises setup cost. The stub runs one setup per
+/// measured iteration regardless, so the variants only exist for API
+/// compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+/// Identifies a benchmark within a group, criterion-style.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly until the time budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let deadline = Instant::now() + budget();
+        // Warm-up.
+        black_box(routine());
+        loop {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+            if Instant::now() >= deadline || self.samples.len() >= 10_000 {
+                break;
+            }
+        }
+    }
+
+    /// Measure `routine` on fresh inputs from `setup`; setup time excluded.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let deadline = Instant::now() + budget();
+        black_box(routine(setup()));
+        loop {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed());
+            if Instant::now() >= deadline || self.samples.len() >= 10_000 {
+                break;
+            }
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        let n = b.samples.len().max(1) as u32;
+        let total: Duration = b.samples.iter().sum();
+        let min = b.samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "bench {:<40} {:>12?}/iter (min {:>10?}, {} samples)",
+            id.to_string(),
+            total / n,
+            min,
+            n
+        );
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        std::env::set_var("UFILTER_BENCH_MS", "5");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

@@ -1,0 +1,158 @@
+//! Offline stub of the `proptest` crate.
+//!
+//! The build container has no crates.io access, so this workspace vendors a
+//! minimal, API-compatible subset of proptest 1.x covering what the test
+//! suites use: the [`strategy::Strategy`] trait with `prop_map`,
+//! `prop_flat_map`, `prop_recursive` and `boxed`; `Just`; integer, float
+//! and regex-literal string strategies; `prop::collection::{vec,
+//! btree_set}`; the `proptest!`, `prop_assert!`, `prop_assert_eq!` and
+//! `prop_oneof!` macros; and `ProptestConfig::with_cases`.
+//!
+//! Semantics differ from real proptest in one important way: **there is no
+//! shrinking**. A failing case panics immediately and the harness prints
+//! the generated inputs for that case. Generation is deterministic per test
+//! function (seeded from the test's module path and name, perturbable via
+//! the `PROPTEST_SEED` environment variable), so failures reproduce.
+//! Swap this path dependency for the real crate once the registry is
+//! reachable.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespace mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::strategy;
+        pub use crate::string;
+    }
+}
+
+/// Assert a condition inside a `proptest!` body.
+///
+/// Unlike real proptest (which returns a `TestCaseError` so the runner can
+/// shrink), the stub panics; the `proptest!` harness catches the panic and
+/// reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, $($fmt)+)
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+///
+/// Weighted arms (`w => strategy`) are accepted and the weight is honoured
+/// by simple repetition in the candidate list.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $({
+                let s = $crate::strategy::Strategy::boxed($strategy);
+                ($weight as u32, s)
+            }),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+}
+
+/// The stub's `proptest!` harness: runs each test body `config.cases`
+/// times over freshly generated inputs, catching panics to report the
+/// case's inputs before re-raising.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..config.cases {
+                let __generated =
+                    ($($crate::strategy::Strategy::generate(&$strategy, &mut rng),)+);
+                // Debug snapshot per case so a failure can name its inputs
+                // (the stub has no shrinking).
+                let __snapshot = format!("{:#?}", &__generated);
+                // As in real proptest, the body runs in a context returning
+                // `Result` so `return Ok(())` early-exits compile.
+                let __result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        let ($($arg,)+) = __generated;
+                        $body
+                        Ok(())
+                    },
+                ));
+                if let Ok(Err(reject)) = &__result {
+                    panic!("proptest case returned Err: {reject}");
+                }
+                if let Err(panic) = __result {
+                    eprintln!(
+                        "proptest case {}/{} of `{}` failed; inputs {} =\n{}",
+                        case + 1,
+                        config.cases,
+                        stringify!($name),
+                        stringify!(($($arg),+)),
+                        __snapshot
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )*};
+}

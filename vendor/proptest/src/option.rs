@@ -1,0 +1,39 @@
+//! `prop::option::of` — wrap a strategy's value in `Option`, `None` half
+//! the time (real proptest's default probability).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.next_u64() & 1 == 1 {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Just;
+
+    #[test]
+    fn roughly_half_none() {
+        let mut rng = TestRng::from_seed(41);
+        let s = of(Just(7u8));
+        let somes = (0..1000).filter(|_| s.generate(&mut rng).is_some()).count();
+        assert!((300..700).contains(&somes), "{somes}/1000 Some");
+    }
+}

@@ -1,0 +1,188 @@
+//! A generator for the regex subset the test suites use as string
+//! strategies: literal characters, escaped characters, character classes
+//! with ranges (`[a-zA-Z0-9 .,&-]`), and `{n}` / `{m,n}` / `?` / `*` / `+`
+//! quantifiers. No alternation, anchors, groups or negated classes — the
+//! suites express alternation with `prop_oneof!`.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut entries: Vec<(char, char)> = Vec::new();
+                loop {
+                    let c = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated character class in {pattern:?}"));
+                    match c {
+                        ']' => break,
+                        '\\' => {
+                            let lit = chars.next().unwrap_or_else(|| {
+                                panic!("dangling escape in character class in {pattern:?}")
+                            });
+                            entries.push((lit, lit));
+                        }
+                        lo => {
+                            // `a-z` range unless `-` is the class's last char.
+                            if chars.peek() == Some(&'-') {
+                                let mut ahead = chars.clone();
+                                ahead.next(); // the '-'
+                                match ahead.peek() {
+                                    Some(']') | None => entries.push((lo, lo)),
+                                    Some(&hi) => {
+                                        chars.next();
+                                        chars.next();
+                                        assert!(lo <= hi, "inverted range in {pattern:?}");
+                                        entries.push((lo, hi));
+                                    }
+                                }
+                            } else {
+                                entries.push((lo, lo));
+                            }
+                        }
+                    }
+                }
+                assert!(!entries.is_empty(), "empty character class in {pattern:?}");
+                Atom::Class(entries)
+            }
+            '\\' => {
+                let lit =
+                    chars.next().unwrap_or_else(|| panic!("dangling escape at end of {pattern:?}"));
+                Atom::Literal(lit)
+            }
+            lit => Atom::Literal(lit),
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut body = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    body.push(c);
+                }
+                match body.split_once(',') {
+                    Some((m, n)) => {
+                        let m: usize = m.trim().parse().expect("bad quantifier lower bound");
+                        let n: usize = n.trim().parse().expect("bad quantifier upper bound");
+                        assert!(m <= n, "inverted quantifier in {pattern:?}");
+                        (m, n)
+                    }
+                    None => {
+                        let n: usize = body.trim().parse().expect("bad quantifier count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn pick(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Class(entries) => {
+            let total: u64 = entries.iter().map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1).sum();
+            let mut draw = rng.below(total);
+            for (lo, hi) in entries {
+                let span = (*hi as u64) - (*lo as u64) + 1;
+                if draw < span {
+                    return char::from_u32(*lo as u32 + draw as u32)
+                        .expect("character range stays in scalar values");
+                }
+                draw -= span;
+            }
+            unreachable!("class pick exceeded total span")
+        }
+    }
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let count = piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize;
+        for _ in 0..count {
+            out.push(pick(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn gen100(pattern: &str) -> Vec<String> {
+        let mut rng = TestRng::from_seed(21);
+        (0..100).map(|_| generate_matching(pattern, &mut rng)).collect()
+    }
+
+    #[test]
+    fn classes_with_counts() {
+        for s in gen100("[a-z]{0,8}") {
+            assert!(s.len() <= 8 && s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+        for s in gen100("[0-9]{1,6}") {
+            assert!((1..=6).contains(&s.len()) && s.chars().all(|c| c.is_ascii_digit()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literal_prefix_and_escape() {
+        for s in gen100("9[0-9]{4}") {
+            assert!(s.len() == 5 && s.starts_with('9'), "{s:?}");
+        }
+        for s in gen100("[a-c]\\.[a-e]") {
+            let b = s.as_bytes();
+            assert!(b.len() == 3 && b[1] == b'.', "{s:?}");
+            assert!((b'a'..=b'c').contains(&b[0]) && (b'a'..=b'e').contains(&b[2]), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let allowed = |c: char| c.is_ascii_alphanumeric() || " .,&-".contains(c);
+        for s in gen100("[a-zA-Z0-9 .,&-]{0,20}") {
+            assert!(s.chars().all(allowed), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn bare_literals() {
+        assert_eq!(gen100("<=").concat(), "<=".repeat(100));
+    }
+}

@@ -1,0 +1,105 @@
+//! Test-run configuration and the deterministic RNG behind the stub.
+
+/// FNV-1a over `text`, continuing from `state`. Used for seeding so the
+/// same test name yields the same stream on every Rust release.
+fn fnv1a(state: u64, text: &str) -> u64 {
+    let mut h = state;
+    for b in text.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Mirror of `proptest::test_runner::Config`, reduced to the knob the test
+/// suites actually turn.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Error type a `proptest!` body may early-return; mirrors the role of
+/// `proptest::test_runner::TestCaseError`.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Deterministic generator behind every strategy, backed by the vendored
+/// rand stub's splitmix64 `StdRng` (one RNG core shared across the stubs).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: rand::rngs::StdRng,
+}
+
+impl TestRng {
+    /// Seed from the test's fully qualified name (stable across runs *and*
+    /// toolchains — FNV-1a, not the unspecified std hasher; the
+    /// `PROPTEST_SEED` environment variable perturbs it for exploration).
+    pub fn for_test(qualified_name: &str) -> Self {
+        let mut seed = fnv1a(0xcbf2_9ce4_8422_2325, qualified_name);
+        if let Ok(perturb) = std::env::var("PROPTEST_SEED") {
+            seed = fnv1a(seed, &perturb);
+        }
+        Self::from_seed(seed)
+    }
+
+    pub fn from_seed(seed: u64) -> Self {
+        use rand::SeedableRng;
+        TestRng { inner: rand::rngs::StdRng::seed_from_u64(seed) }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        use rand::RngCore;
+        self.inner.next_u64()
+    }
+
+    /// Uniform draw in `[0, bound)`; modulo bias is acceptable for test
+    /// data generation.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range in strategy");
+        self.next_u64() % bound
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_stream() {
+        let mut a = TestRng::for_test("a::b");
+        let mut b = TestRng::for_test("a::b");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_stays_in_bounds() {
+        let mut rng = TestRng::from_seed(9);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+}

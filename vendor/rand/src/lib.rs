@@ -1,0 +1,136 @@
+//! Offline stub of the `rand` crate.
+//!
+//! The build container has no crates.io access, so this workspace vendors a
+//! minimal, API-compatible subset of `rand` 0.8 covering exactly what the
+//! code base uses: `StdRng::seed_from_u64`, `Rng::gen_range` over integer
+//! ranges, and `Rng::gen_bool`. The generator is splitmix64 — deterministic
+//! under a seed, which is all the TPC-H data generator requires. Swap this
+//! path dependency for the real crate once the registry is reachable.
+
+/// Core RNG abstraction: a source of uniformly distributed `u64`s.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction, `rand`-style.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Range sampling support for `Rng::gen_range`.
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut dyn FnMut() -> u64) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample(self, rng: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "gen_range called with empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut dyn FnMut() -> u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range called with empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample(self, rng: &mut dyn FnMut() -> u64) -> f64 {
+        assert!(self.start < self.end, "gen_range called with empty range");
+        let unit = (rng() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let mut next = || self.next_u64();
+        range.sample(&mut next)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool called with p outside [0, 1]");
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic splitmix64 generator standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0i64..1000), b.gen_range(0i64..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-5i64..17);
+            assert!((-5..17).contains(&v));
+            let u = rng.gen_range(0usize..3);
+            assert!(u < 3);
+            let f = rng.gen_range(1.5f64..2.5);
+            assert!((1.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}
