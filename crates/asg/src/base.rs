@@ -13,6 +13,7 @@ use crate::graph::JoinCond;
 /// One relation node with its leaf attributes.
 #[derive(Debug, Clone)]
 pub struct BaseRel {
+    /// Relation name as declared in the schema.
     pub name: String,
     /// Leaf attribute names, lowercase `relation.attribute`.
     pub leaves: Vec<String>,
@@ -29,14 +30,18 @@ pub struct FkEdge {
     pub parent: String,
     /// Referencing (child) relation.
     pub child: String,
+    /// Join condition `child.col = parent.refcol`.
     pub condition: JoinCond,
+    /// The foreign key's ON DELETE policy.
     pub policy: DeletePolicy,
 }
 
 /// The base ASG.
 #[derive(Debug, Clone)]
 pub struct BaseAsg {
+    /// Relation nodes, in view first-appearance order.
     pub rels: Vec<BaseRel>,
+    /// Foreign-key edges between the relations in `rels`.
     pub edges: Vec<FkEdge>,
 }
 
@@ -83,6 +88,7 @@ impl BaseAsg {
         BaseAsg { rels, edges }
     }
 
+    /// The relation node named `name`, if the view references it.
     pub fn rel(&self, name: &str) -> Option<&BaseRel> {
         self.rels.iter().find(|r| r.name.eq_ignore_ascii_case(name))
     }

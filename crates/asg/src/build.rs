@@ -12,10 +12,12 @@ use crate::graph::*;
 /// inconsistent with the schema.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AsgError {
+    /// Human-readable cause.
     pub message: String,
 }
 
 impl AsgError {
+    /// An error carrying `m` as its message.
     pub fn new(m: impl Into<String>) -> AsgError {
         AsgError { message: m.into() }
     }

@@ -13,17 +13,21 @@ use std::collections::BTreeSet;
 /// leaf `vL4` to base leaf `n2` is by this shared name, §5.1.2).
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default)]
 pub struct Closure {
+    /// Leaves at this nesting level (lowercase `relation.attribute`).
     pub leaves: BTreeSet<String>,
+    /// Starred sub-closures (content repeated under `*`/`+`).
     pub groups: BTreeSet<Closure>,
 }
 
 impl Closure {
+    /// A closure holding the single leaf `name`.
     pub fn leaf(name: &str) -> Closure {
         let mut c = Closure::default();
         c.leaves.insert(name.to_ascii_lowercase());
         c
     }
 
+    /// A closure holding `names` as same-level leaves.
     pub fn from_leaves<'a>(names: impl IntoIterator<Item = &'a str>) -> Closure {
         let mut c = Closure::default();
         for n in names {
@@ -32,10 +36,12 @@ impl Closure {
         c
     }
 
+    /// Add one leaf at this level.
     pub fn add_leaf(&mut self, name: &str) {
         self.leaves.insert(name.to_ascii_lowercase());
     }
 
+    /// Add a starred group (empty groups are dropped).
     pub fn add_group(&mut self, group: Closure) {
         if !group.is_empty() {
             self.groups.insert(group);
@@ -49,6 +55,7 @@ impl Closure {
         self.groups.extend(other.groups);
     }
 
+    /// Whether the closure holds no leaves and no groups.
     pub fn is_empty(&self) -> bool {
         self.leaves.is_empty() && self.groups.is_empty()
     }

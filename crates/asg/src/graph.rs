@@ -32,9 +32,13 @@ pub enum AsgNodeKind {
 /// Edge cardinality (`1`, `?`, `+`, `*` — §3.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Card {
+    /// Exactly one (`1`).
     One,
+    /// Zero or one (`?`).
     Opt,
+    /// One or more (`+`).
     Plus,
+    /// Zero or more (`*`).
     Many,
 }
 
@@ -61,7 +65,9 @@ impl std::fmt::Display for Card {
 /// (`book.pubid = publisher.pubid`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct JoinCond {
+    /// Left column of the equality.
     pub left: ColRef,
+    /// Right column of the equality.
     pub right: ColRef,
 }
 
@@ -76,6 +82,7 @@ impl std::fmt::Display for JoinCond {
 pub struct LeafInfo {
     /// The corresponding relational attribute `R.a`.
     pub name: ColRef,
+    /// Domain type of the attribute.
     pub ty: DataType,
     /// `{Not Null}` property — set when the relational attribute is NOT
     /// NULL or a key member (the paper marks `publisher.pubid` this way).
@@ -88,7 +95,9 @@ pub struct LeafInfo {
 /// `UContext` half of the STAR mark (§5.1.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct UContext {
+    /// Deleting an instance of this node causes no view side effect.
     pub safe_delete: bool,
+    /// Inserting an instance of this node causes no view side effect.
     pub safe_insert: bool,
 }
 
@@ -106,7 +115,11 @@ impl std::fmt::Display for UContext {
 /// `UPoint` half of the STAR mark (§5.1.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UPoint {
+    /// The node's sources are not shared elsewhere in the view: updates
+    /// through it need no minimization/consistency conditions.
     Clean,
+    /// Some source relation also surfaces elsewhere; Observations 1–2
+    /// attach conditions to updates through this node.
     Dirty,
 }
 
@@ -125,8 +138,11 @@ impl std::fmt::Display for UPoint {
 /// which have no leaf to carry them.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LocalPred {
+    /// The constrained column.
     pub column: ColRef,
+    /// Comparison operator.
     pub op: ufilter_rdb::CmpOp,
+    /// Literal the column is compared to.
     pub value: ufilter_rdb::Value,
 }
 
@@ -139,15 +155,21 @@ impl std::fmt::Display for LocalPred {
 /// One node of the view ASG with its incoming-edge annotations.
 #[derive(Debug, Clone)]
 pub struct AsgNode {
+    /// This node's index in the owning graph.
     pub id: AsgNodeId,
+    /// Root / internal / tag / leaf.
     pub kind: AsgNodeKind,
     /// Element tag; `"text()"` for leaves.
     pub tag: String,
+    /// Parent node; `None` for the root.
     pub parent: Option<AsgNodeId>,
+    /// Child nodes in document order.
     pub children: Vec<AsgNodeId>,
 
     // ---- incoming edge annotation --------------------------------------
+    /// Cardinality of the incoming edge.
     pub card: Card,
+    /// Correlation predicates on the incoming edge.
     pub conditions: Vec<JoinCond>,
 
     // ---- node annotations ------------------------------------------------
@@ -164,7 +186,9 @@ pub struct AsgNode {
     pub local_preds: Vec<LocalPred>,
 
     // ---- STAR marks (written by the marking procedure) -------------------
+    /// `UContext` mark (root/internal nodes, after marking).
     pub ucontext: Option<UContext>,
+    /// `UPoint` mark (root/internal nodes, after marking).
     pub upoint: Option<UPoint>,
 }
 
@@ -199,6 +223,7 @@ pub struct ViewAsg {
 }
 
 impl ViewAsg {
+    /// An ASG holding just a root node tagged `root_tag`.
     pub fn new(root_tag: impl Into<String>) -> ViewAsg {
         let mut asg = ViewAsg { nodes: Vec::new(), root: AsgNodeId(0), relations: Vec::new() };
         let root = asg.push(AsgNodeKind::Root, root_tag.into());
@@ -217,10 +242,12 @@ impl ViewAsg {
         self.nodes[parent.0].children.push(child);
     }
 
+    /// The root node id.
     pub fn root(&self) -> AsgNodeId {
         self.root
     }
 
+    /// Immutable node access.
     pub fn node(&self, id: AsgNodeId) -> &AsgNode {
         &self.nodes[id.0]
     }
@@ -231,14 +258,17 @@ impl ViewAsg {
         &mut self.nodes[id.0]
     }
 
+    /// Number of nodes in the graph.
     pub fn len(&self) -> usize {
         self.nodes.len()
     }
 
+    /// Whether the graph has no nodes (never true after construction).
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
     }
 
+    /// Iterate over all nodes in id order.
     pub fn iter(&self) -> impl Iterator<Item = &AsgNode> {
         self.nodes.iter()
     }
@@ -273,6 +303,7 @@ impl ViewAsg {
         None
     }
 
+    /// Whether `node` lies in the subtree rooted at `of` (inclusive).
     pub fn is_descendant(&self, node: AsgNodeId, of: AsgNodeId) -> bool {
         let mut cur = Some(node);
         while let Some(c) = cur {

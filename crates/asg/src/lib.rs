@@ -12,6 +12,8 @@
 //! of §5.1.2 (`v+`, `⊆`, `≡`, `⊔`, mapping closures) on which STAR's
 //! UPoint marking rests.
 
+#![warn(missing_docs)]
+
 pub mod base;
 pub mod build;
 pub mod closure;

@@ -32,6 +32,9 @@ fn main() {
         // Quick JSON snapshot for cross-PR comparison; redirect to
         // BENCH_seed.json (or BENCH_<rev>.json) at the repo root.
         "baseline" => print!("{}", bench::baseline_json(reps)),
+        // One-at-a-time vs. batched stream checking; redirect to
+        // BENCH_batch.json at the repo root.
+        "batch" => print!("{}", bench::batch_json(reps)),
         "fig12" => print!("{}", bench::fig12()),
         "fig13" => print!("{}", bench::fig13(mb, reps)),
         "fig14" => print!("{}", bench::fig14(mb, reps)),
@@ -57,7 +60,7 @@ fn main() {
         other => {
             eprintln!(
                 "unknown figure '{other}'; expected one of: \
-                 baseline fig12 fig13 fig14 fig15 fig16 fig17 marking ablation all"
+                 baseline batch fig12 fig13 fig14 fig15 fig16 fig17 marking ablation all"
             );
             std::process::exit(2);
         }

@@ -1,0 +1,488 @@
+//! Multi-view catalog and batched update checking.
+//!
+//! The paper's pipeline (Fig. 5) compiles a view once and then filters a
+//! *stream* of updates; this module scales that idea out to many views over
+//! one schema. A [`ViewCatalog`]
+//!
+//! * registers compiled views by name, with a **compile-once cache** keyed
+//!   by canonical view text (re-adding the same query under another name —
+//!   or after a drop — reuses the compiled ASG + STAR marking);
+//! * tracks **view → relation dependencies**, so schema-affecting DDL on a
+//!   relation is rejected (RESTRICT) while registered views still read it;
+//! * exposes [`check_batch`](ViewCatalog::check_batch), which amortizes
+//!   parsing, target resolution and data-check probes across a whole update
+//!   stream — updates are grouped by resolved target so identical context
+//!   probes share a single scan (see [`ProbeCache`]).
+//!
+//! Batch checking is **check-only** by design: nothing is executed, so every
+//! probe result stays valid for the lifetime of the batch and the per-update
+//! outcomes are identical to running [`UFilter::check`] one statement at a
+//! time.
+//!
+//! ```
+//! use ufilter_core::bookdemo;
+//! use ufilter_core::catalog::ViewCatalog;
+//!
+//! let mut catalog = ViewCatalog::new(bookdemo::book_schema());
+//! catalog.add("books", bookdemo::BOOK_VIEW).unwrap();
+//!
+//! let mut db = bookdemo::book_db();
+//! let stream =
+//!     vec![("books".to_string(), bookdemo::U8.to_string()), ("books".into(), bookdemo::U10.into())];
+//! let batch = catalog.check_batch_text(&stream, &mut db);
+//! assert!(batch.items[0].reports[0].outcome.is_translatable()); // u8
+//! assert!(!batch.items[1].reports[0].outcome.is_translatable()); // u10
+//! ```
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use ufilter_rdb::{DatabaseSchema, Db, ExecOutcome, Parser, Stmt};
+use ufilter_xquery::{parse_update, UpdateStmt};
+
+use crate::outcome::CheckReport;
+use crate::pipeline::{malformed, CompileError, ProbeCache, UFilter, UFilterConfig};
+use crate::target::resolve;
+
+/// Why a catalog operation failed.
+#[derive(Debug, Clone)]
+pub enum CatalogError {
+    /// `add` under a name that is already registered.
+    DuplicateView {
+        /// The already-taken view name.
+        name: String,
+    },
+    /// `drop_view`/`get` on a name that is not registered.
+    UnknownView {
+        /// The unresolved view name.
+        name: String,
+    },
+    /// The view text failed to compile; the structured cause is preserved.
+    Compile {
+        /// The name the view was being registered under.
+        name: String,
+        /// The underlying compilation failure.
+        error: CompileError,
+    },
+    /// Schema-affecting DDL on a relation that registered views still read
+    /// (the catalog's RESTRICT rule).
+    DependentViews {
+        /// The relation the DDL targets.
+        relation: String,
+        /// Names of the views that depend on it.
+        views: Vec<String>,
+    },
+    /// A guarded SQL statement failed to parse or execute.
+    Sql {
+        /// Engine-reported detail.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogError::DuplicateView { name } => {
+                write!(f, "view '{name}' is already registered")
+            }
+            CatalogError::UnknownView { name } => write!(f, "no view named '{name}'"),
+            CatalogError::Compile { name, error } => {
+                write!(f, "view '{name}' failed to compile: {error}")
+            }
+            CatalogError::DependentViews { relation, views } => write!(
+                f,
+                "cannot alter relation '{relation}': view(s) {} depend on it",
+                views.join(", ")
+            ),
+            CatalogError::Sql { detail } => write!(f, "{detail}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+/// One registered view, as reported by [`ViewCatalog::list`].
+#[derive(Debug, Clone)]
+pub struct ViewInfo {
+    /// Registration name.
+    pub name: String,
+    /// Relations the view reads (its dependency set).
+    pub relations: Vec<String>,
+    /// Whether registration reused an already-compiled artifact.
+    pub cached: bool,
+}
+
+/// Per-item result of a batch check, in input order.
+#[derive(Debug, Clone)]
+pub struct BatchItemReport {
+    /// Index of the item in the submitted stream.
+    pub index: usize,
+    /// The view the update addressed.
+    pub view: String,
+    /// Per-action reports, exactly as [`UFilter::check`] would produce.
+    pub reports: Vec<CheckReport>,
+}
+
+/// Amortization counters for one batch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchStats {
+    /// Number of items in the stream.
+    pub items: usize,
+    /// Updates whose text was already parsed earlier in the batch.
+    pub parse_hits: usize,
+    /// Distinct (view, target-node) groups the stream collapsed into.
+    pub target_groups: usize,
+    /// Context probes answered from the shared cache.
+    pub probe_hits: usize,
+    /// Context probes that had to scan.
+    pub probe_misses: usize,
+}
+
+/// Result of [`ViewCatalog::check_batch`]: per-item reports plus the
+/// amortization counters.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// One entry per submitted item, sorted back into input order.
+    pub items: Vec<BatchItemReport>,
+    /// What the batch engine amortized.
+    pub stats: BatchStats,
+}
+
+struct Registered {
+    filter: Arc<UFilter>,
+    cached: bool,
+}
+
+/// A persistent catalog of compiled views over one relational schema.
+///
+/// See the [module docs](self) for semantics; `docs/ARCHITECTURE.md` records
+/// the design decisions (drop-is-RESTRICT, compile-once caching) as an ADR.
+pub struct ViewCatalog {
+    schema: DatabaseSchema,
+    config: UFilterConfig,
+    views: BTreeMap<String, Registered>,
+    /// (canonical view text, config) → compiled artifact (survives
+    /// `drop_view`, so re-registering identical text is a cache hit; keyed
+    /// by config too, so a `with_config` change never serves an artifact
+    /// compiled under the old mode/strategy).
+    compiled: HashMap<(String, UFilterConfig), Arc<UFilter>>,
+    compile_hits: usize,
+}
+
+impl ViewCatalog {
+    /// An empty catalog over `schema`, with the default pipeline config.
+    pub fn new(schema: DatabaseSchema) -> ViewCatalog {
+        ViewCatalog {
+            schema,
+            config: UFilterConfig::default(),
+            views: BTreeMap::new(),
+            compiled: HashMap::new(),
+            compile_hits: 0,
+        }
+    }
+
+    /// Set the pipeline configuration used for views registered *after*
+    /// this call.
+    pub fn with_config(mut self, config: UFilterConfig) -> ViewCatalog {
+        self.config = config;
+        self
+    }
+
+    /// The schema every registered view is compiled against.
+    pub fn schema(&self) -> &DatabaseSchema {
+        &self.schema
+    }
+
+    /// Register `view_text` under `name`, compiling it unless canonically
+    /// identical text was compiled before (then the cached artifact is
+    /// shared). Duplicate names are rejected.
+    pub fn add(&mut self, name: &str, view_text: &str) -> Result<ViewInfo, CatalogError> {
+        if self.views.contains_key(name) {
+            return Err(CatalogError::DuplicateView { name: name.to_string() });
+        }
+        let key = (canonicalize(view_text), self.config);
+        let (filter, cached) = match self.compiled.get(&key) {
+            Some(f) => {
+                self.compile_hits += 1;
+                (Arc::clone(f), true)
+            }
+            None => {
+                let f = UFilter::compile(view_text, &self.schema)
+                    .map(|f| f.with_config(self.config))
+                    .map_err(|error| CatalogError::Compile { name: name.to_string(), error })?;
+                let f = Arc::new(f);
+                self.compiled.insert(key, Arc::clone(&f));
+                (f, false)
+            }
+        };
+        let info =
+            ViewInfo { name: name.to_string(), relations: filter.asg.relations.clone(), cached };
+        self.views.insert(name.to_string(), Registered { filter, cached });
+        Ok(info)
+    }
+
+    /// The compiled filter registered under `name`.
+    pub fn get(&self, name: &str) -> Option<&UFilter> {
+        self.views.get(name).map(|r| r.filter.as_ref())
+    }
+
+    /// All registered views, in name order.
+    pub fn list(&self) -> Vec<ViewInfo> {
+        self.views
+            .iter()
+            .map(|(name, r)| ViewInfo {
+                name: name.clone(),
+                relations: r.filter.asg.relations.clone(),
+                cached: r.cached,
+            })
+            .collect()
+    }
+
+    /// Unregister `name`. The compiled artifact stays in the compile-once
+    /// cache, so re-adding identical text later is free.
+    pub fn drop_view(&mut self, name: &str) -> Result<(), CatalogError> {
+        self.views
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| CatalogError::UnknownView { name: name.to_string() })
+    }
+
+    /// Number of registered views.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Whether no view is registered.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// How many registrations were served from the compile-once cache.
+    pub fn compile_cache_hits(&self) -> usize {
+        self.compile_hits
+    }
+
+    /// Names of registered views that read `relation`.
+    pub fn dependents_of(&self, relation: &str) -> Vec<String> {
+        self.views
+            .iter()
+            .filter(|(_, r)| {
+                r.filter.asg.relations.iter().any(|t| t.eq_ignore_ascii_case(relation))
+            })
+            .map(|(name, _)| name.clone())
+            .collect()
+    }
+
+    /// The catalog's RESTRICT rule: reject schema-affecting DDL (see
+    /// [`is_schema_ddl`]) targeting a relation that registered views depend
+    /// on. Non-DDL statements pass through.
+    pub fn guard_ddl(&self, stmt: &Stmt) -> Result<(), CatalogError> {
+        let relation = match stmt {
+            Stmt::DropTable(name) => name.as_str(),
+            Stmt::CreateTable(ts) if self.schema.table(&ts.name).is_some() => ts.name.as_str(),
+            _ => return Ok(()),
+        };
+        let views = self.dependents_of(relation);
+        if views.is_empty() {
+            Ok(())
+        } else {
+            Err(CatalogError::DependentViews { relation: relation.to_string(), views })
+        }
+    }
+
+    /// Parse `sql`, then [`execute_guarded_stmt`](Self::execute_guarded_stmt).
+    pub fn execute_guarded(&mut self, db: &mut Db, sql: &str) -> Result<ExecOutcome, CatalogError> {
+        let stmt =
+            Parser::parse_stmt(sql).map_err(|e| CatalogError::Sql { detail: e.to_string() })?;
+        self.execute_guarded_stmt(db, stmt)
+    }
+
+    /// Apply [`guard_ddl`](ViewCatalog::guard_ddl) to an already-parsed
+    /// statement and execute it against `db`. After schema-changing DDL
+    /// goes through, the catalog's schema snapshot is refreshed from `db`
+    /// and the compile-once cache is cleared — its artifacts were compiled
+    /// against the old schema, so re-adding a view must recompile (and may
+    /// now rightly fail) rather than resurrect a stale ASG.
+    pub fn execute_guarded_stmt(
+        &mut self,
+        db: &mut Db,
+        stmt: Stmt,
+    ) -> Result<ExecOutcome, CatalogError> {
+        self.guard_ddl(&stmt)?;
+        let ddl = is_schema_ddl(&stmt);
+        let out = db.run(stmt).map_err(|e| CatalogError::Sql { detail: e.to_string() })?;
+        if ddl {
+            self.schema = db.schema().clone();
+            self.compiled.clear();
+        }
+        Ok(out)
+    }
+
+    /// Check a stream of raw update texts. Parsing is amortized: each
+    /// distinct text is parsed once, however often it recurs in the stream.
+    /// Items naming an unregistered view or failing to parse get a
+    /// per-item invalid report; they never abort the batch.
+    pub fn check_batch_text(&self, items: &[(String, String)], db: &mut Db) -> BatchReport {
+        let mut parsed: HashMap<&str, Result<UpdateStmt, String>> = HashMap::new();
+        let mut parse_hits = 0;
+        let mut stream: Vec<(usize, &str, Result<UpdateStmt, String>)> =
+            Vec::with_capacity(items.len());
+        for (i, (view, text)) in items.iter().enumerate() {
+            let entry = match parsed.get(text.as_str()) {
+                Some(r) => {
+                    parse_hits += 1;
+                    r.clone()
+                }
+                None => {
+                    let r = parse_update(text).map_err(|e| e.to_string());
+                    parsed.insert(text, r.clone());
+                    r
+                }
+            };
+            stream.push((i, view, entry));
+        }
+        let mut report = self.run_batch(&stream, db);
+        report.stats.parse_hits = parse_hits;
+        report
+    }
+
+    /// Check a stream of already-parsed updates (see the module docs; this
+    /// is the amortized, check-only batch engine).
+    pub fn check_batch(&self, items: &[(String, UpdateStmt)], db: &mut Db) -> BatchReport {
+        let stream: Vec<(usize, &str, Result<UpdateStmt, String>)> = items
+            .iter()
+            .enumerate()
+            .map(|(i, (view, u))| (i, view.as_str(), Ok(u.clone())))
+            .collect();
+        self.run_batch(&stream, db)
+    }
+
+    /// The shared batch engine: resolve every update once, group by
+    /// (view, resolved target node), then run the groups back-to-back over
+    /// one probe cache so same-target probes share scans.
+    fn run_batch(
+        &self,
+        stream: &[(usize, &str, Result<UpdateStmt, String>)],
+        db: &mut Db,
+    ) -> BatchReport {
+        let mut stats = BatchStats { items: stream.len(), ..BatchStats::default() };
+        let mut items: Vec<BatchItemReport> = Vec::with_capacity(stream.len());
+        // (view, target node) → resolved work items awaiting the group pass.
+        type Group<'a> = Vec<(usize, &'a str, Vec<crate::target::ResolvedAction>)>;
+        let mut groups: BTreeMap<(&str, usize), Group> = BTreeMap::new();
+
+        for (index, view, parsed) in stream {
+            let u = match parsed {
+                Ok(u) => u,
+                Err(m) => {
+                    items.push(BatchItemReport {
+                        index: *index,
+                        view: view.to_string(),
+                        reports: vec![malformed(m.clone())],
+                    });
+                    continue;
+                }
+            };
+            let Some(reg) = self.views.get(*view) else {
+                items.push(BatchItemReport {
+                    index: *index,
+                    view: view.to_string(),
+                    reports: vec![malformed(format!("no view named '{view}' in the catalog"))],
+                });
+                continue;
+            };
+            match resolve(&reg.filter.asg, u) {
+                Ok(actions) => {
+                    let target = actions.first().map(|a| a.node.0).unwrap_or(0);
+                    groups.entry((view, target)).or_default().push((*index, view, actions));
+                }
+                Err(reason) => {
+                    // Mirror UFilter::run's resolution-failure report.
+                    items.push(BatchItemReport {
+                        index: *index,
+                        view: view.to_string(),
+                        reports: vec![CheckReport {
+                            trace: vec![(
+                                crate::outcome::CheckStep::Validation,
+                                reason.to_string(),
+                            )],
+                            outcome: crate::outcome::CheckOutcome::Invalid(reason),
+                        }],
+                    });
+                }
+            }
+        }
+
+        stats.target_groups = groups.len();
+        // Hybrid check-only probes execute-and-undo; inside a caller-held
+        // transaction that undo is impossible in place, so run_hybrid falls
+        // back to cloning the database per action. Pay the copy once for the
+        // whole batch instead: check against a committed snapshot of the
+        // caller's current (uncommitted) state and discard it afterwards.
+        let mut scratch;
+        let db: &mut Db =
+            if self.config.strategy == crate::datacheck::Strategy::Hybrid && db.in_transaction() {
+                scratch = db.clone();
+                scratch.commit().expect("clone carries the active transaction");
+                &mut scratch
+            } else {
+                db
+            };
+        let mut cache = ProbeCache::new();
+        for ((view, _target), group) in groups {
+            let filter = &self.views[view].filter;
+            for (index, view, actions) in group {
+                let reports = filter.run_resolved(&actions, Some(db), false, &mut cache);
+                items.push(BatchItemReport { index, view: view.to_string(), reports });
+            }
+        }
+        stats.probe_hits = cache.hits();
+        stats.probe_misses = cache.misses();
+        items.sort_by_key(|i| i.index);
+        BatchReport { items, stats }
+    }
+}
+
+/// Whether `stmt` is schema-affecting DDL the catalog guards (the single
+/// source of truth for that classification — the CLI consults it too).
+pub fn is_schema_ddl(stmt: &Stmt) -> bool {
+    matches!(stmt, Stmt::CreateTable(_) | Stmt::DropTable(_))
+}
+
+/// Canonical form of a view text: whitespace runs outside string literals
+/// collapsed to one space, trimmed. Keys the compile-once cache, so
+/// formatting differences don't defeat it — while quoted literals (which
+/// are data, not formatting) stay byte-exact.
+fn canonicalize(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut pending_space = false;
+    let mut in_quote: Option<char> = None;
+    for c in text.trim().chars() {
+        if let Some(q) = in_quote {
+            out.push(c);
+            if c == q {
+                in_quote = None;
+            }
+            continue;
+        }
+        match c {
+            '"' | '\'' => {
+                if pending_space && !out.is_empty() {
+                    out.push(' ');
+                }
+                pending_space = false;
+                in_quote = Some(c);
+                out.push(c);
+            }
+            c if c.is_whitespace() => pending_space = true,
+            c => {
+                if pending_space && !out.is_empty() {
+                    out.push(' ');
+                }
+                pending_space = false;
+                out.push(c);
+            }
+        }
+    }
+    out
+}

@@ -25,10 +25,16 @@ use crate::target::ResolvedAction;
 use crate::translate::TranslationPlan;
 
 /// Update-point checking strategy (§6.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Strategy {
+    /// Fetch all candidate rows into the engine's host and check there
+    /// (§6.2.1) — expensive fetches, no extra SQL round trips.
     Internal,
+    /// Inline the checks into the translated SQL itself, no intermediate
+    /// materialization (§6.2.2/§7.2).
     Hybrid,
+    /// Probe with separate SQL before issuing each translated statement,
+    /// materializing the context probe for reuse (§6.2.3).
     #[default]
     Outside,
 }
@@ -44,6 +50,7 @@ pub struct DataCheckReport {
     pub skipped: usize,
     /// Total rows affected.
     pub rows_affected: usize,
+    /// Human-readable trace notes accumulated while checking.
     pub notes: Vec<String>,
 }
 
@@ -162,7 +169,10 @@ pub fn run_outside(db: &mut Db, plan: &TranslationPlan, apply: bool) -> DataChec
 
 /// Hybrid strategy: execute inside a transaction, trusting the engine's
 /// error/warning channel; roll back on any error. With `apply = false` the
-/// transaction is rolled back even on success (pure check).
+/// transaction is rolled back even on success (pure check) — and when the
+/// caller already holds a transaction (so rolling back would discard *their*
+/// work), the statements run against a throwaway copy of the database
+/// instead, keeping the check side-effect-free.
 pub fn run_hybrid(db: &mut Db, plan: &TranslationPlan, apply: bool) -> DataCheckReport {
     let mut report = DataCheckReport::default();
     match run_shared_checks(db, plan) {
@@ -170,9 +180,28 @@ pub fn run_hybrid(db: &mut Db, plan: &TranslationPlan, apply: bool) -> DataCheck
         Err((step, reason)) => return DataCheckReport::reject(step, reason),
     }
     let own_txn = !db.in_transaction();
+    if !own_txn && !apply {
+        let mut copy = db.clone();
+        hybrid_exec(&mut copy, plan, &mut report);
+        return report;
+    }
     if own_txn {
         db.begin().expect("no active transaction");
     }
+    let failed = !hybrid_exec(db, plan, &mut report);
+    if own_txn {
+        if apply && !failed {
+            db.commit().expect("transaction active");
+        } else {
+            db.rollback().expect("transaction active");
+        }
+    }
+    report
+}
+
+/// Run the plan's statements, accumulating into `report`; `false` (and a
+/// rejection recorded in `report`) on the first engine error.
+fn hybrid_exec(db: &mut Db, plan: &TranslationPlan, report: &mut DataCheckReport) -> bool {
     for planned in &plan.statements {
         match db.run(planned.stmt.clone()) {
             Ok(out) => {
@@ -183,24 +212,15 @@ pub fn run_hybrid(db: &mut Db, plan: &TranslationPlan, apply: bool) -> DataCheck
                 }
             }
             Err(e) => {
-                if own_txn {
-                    db.rollback().expect("transaction active");
-                }
-                return DataCheckReport::reject(
+                *report = DataCheckReport::reject(
                     CheckStep::DataPoint,
                     format!("engine rejected the translated update: {e}"),
                 );
+                return false;
             }
         }
     }
-    if own_txn {
-        if apply {
-            db.commit().expect("transaction active");
-        } else {
-            db.rollback().expect("transaction active");
-        }
-    }
-    report
+    true
 }
 
 /// Internal strategy (§6.2.1): update through the mapping relational view.

@@ -34,7 +34,10 @@
 //! assert!(reports[0].outcome.is_invalid());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod bookdemo;
+pub mod catalog;
 pub mod datacheck;
 pub mod outcome;
 pub mod pipeline;
@@ -45,9 +48,10 @@ pub mod target;
 pub mod translate;
 pub mod validate;
 
+pub use catalog::{BatchItemReport, BatchReport, BatchStats, CatalogError, ViewCatalog, ViewInfo};
 pub use datacheck::{DataCheckReport, Strategy};
 pub use outcome::{CheckOutcome, CheckReport, CheckStep, Condition, InvalidReason};
-pub use pipeline::{CompileError, UFilter, UFilterConfig};
+pub use pipeline::{CompileError, ProbeCache, UFilter, UFilterConfig};
 pub use rectangle::{apply_and_verify, blind_apply, verify_applied, RectangleVerdict};
 pub use star::{StarMarking, StarMode, StarVerdict};
 pub use target::ResolvedAction;

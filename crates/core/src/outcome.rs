@@ -9,22 +9,46 @@ use ufilter_rdb::Stmt;
 pub enum InvalidReason {
     /// The update's predicates cannot overlap the view content
     /// (u5: `price > 50` against a `price < 50` view).
-    PredicateOutsideView { detail: String },
+    PredicateOutsideView {
+        /// Human-readable detail.
+        detail: String,
+    },
     /// The deleted node's incoming edge is `1` (u6: a NOT NULL value).
-    NonDeletableNode { detail: String },
+    NonDeletableNode {
+        /// Human-readable detail.
+        detail: String,
+    },
     /// The inserted fragment does not conform to the view hierarchy
     /// (u7: a `book` without its mandatory `publisher`).
-    HierarchyViolation { detail: String },
+    HierarchyViolation {
+        /// Human-readable detail.
+        detail: String,
+    },
     /// A leaf value is outside its domain type.
-    TypeViolation { detail: String },
+    TypeViolation {
+        /// Human-readable detail.
+        detail: String,
+    },
     /// A leaf value violates the merged check annotation (u1's price 0.00).
-    CheckViolation { detail: String },
+    CheckViolation {
+        /// Human-readable detail.
+        detail: String,
+    },
     /// An empty value for a `{Not Null}` leaf (u1's empty title).
-    NotNullViolation { detail: String },
+    NotNullViolation {
+        /// Human-readable detail.
+        detail: String,
+    },
     /// The update addresses an element the view schema does not have.
-    UnknownTarget { detail: String },
+    UnknownTarget {
+        /// Human-readable detail.
+        detail: String,
+    },
     /// The update statement itself is malformed for this view.
-    Malformed { detail: String },
+    Malformed {
+        /// Human-readable detail.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for InvalidReason {
@@ -63,7 +87,10 @@ pub enum Condition {
     /// Refined handling of Rule-3 unsafe-insert (`StarMode::Refined`): the
     /// shared sub-element's data must already reside in the named relations,
     /// or the insert surfaces elsewhere in the view as a side effect.
-    SharedDataExistence { relations: Vec<String> },
+    SharedDataExistence {
+        /// The relations the shared data must pre-exist in.
+        relations: Vec<String>,
+    },
 }
 
 impl std::fmt::Display for Condition {
@@ -108,16 +135,28 @@ pub enum CheckOutcome {
     /// Rejected at Step 1.
     Invalid(InvalidReason),
     /// Rejected at Step 2 or 3.
-    Untranslatable { step: CheckStep, reason: String },
+    Untranslatable {
+        /// The step that rejected the update.
+        step: CheckStep,
+        /// Human-readable reason.
+        reason: String,
+    },
     /// Accepted: translation attached, with any discharged conditions.
-    Translatable { conditions: Vec<Condition>, translation: Vec<Stmt> },
+    Translatable {
+        /// Conditions the data checks discharged (empty = unconditional).
+        conditions: Vec<Condition>,
+        /// The translated SQL statements.
+        translation: Vec<Stmt>,
+    },
 }
 
 impl CheckOutcome {
+    /// Whether the update was accepted (Fig. 6's translatable half).
     pub fn is_translatable(&self) -> bool {
         matches!(self, CheckOutcome::Translatable { .. })
     }
 
+    /// Whether Step 1 rejected the update as invalid.
     pub fn is_invalid(&self) -> bool {
         matches!(self, CheckOutcome::Invalid(_))
     }
@@ -159,10 +198,12 @@ impl std::fmt::Display for CheckOutcome {
 pub struct CheckReport {
     /// `(step, human-readable note)` trace in execution order.
     pub trace: Vec<(CheckStep, String)>,
+    /// Final classification.
     pub outcome: CheckOutcome,
 }
 
 impl CheckReport {
+    /// The step that rejected this action, or `None` if it was accepted.
     pub fn rejected_at(&self) -> Option<CheckStep> {
         match &self.outcome {
             CheckOutcome::Invalid(_) => Some(CheckStep::Validation),

@@ -15,45 +15,134 @@ use crate::translate::build_plan;
 use crate::validate::validate;
 
 /// View compilation failure.
+///
+/// Each variant preserves the underlying error value (not just its message)
+/// so callers that aggregate many compilations — the [`catalog`] batch
+/// reporting in particular — can distinguish failure causes structurally.
+///
+/// [`catalog`]: crate::catalog
 #[derive(Debug, Clone)]
 pub enum CompileError {
-    /// The query text failed to parse.
-    Parse(String),
+    /// The query text failed to parse; carries the parser's error with its
+    /// byte offset into the view text.
+    Parse(ufilter_xquery::ParseError),
     /// The query uses constructs outside the ASG subset (Fig. 12 exclusions).
     Unsupported(Vec<ufilter_xquery::UnsupportedFeature>),
     /// The ASG builder rejected the query/schema combination.
-    Asg(String),
+    Asg(ufilter_asg::AsgError),
+}
+
+impl CompileError {
+    /// Stable short label for the failure cause ("parse" / "unsupported" /
+    /// "asg"), for per-cause aggregation in batch reports.
+    pub fn cause(&self) -> &'static str {
+        match self {
+            CompileError::Parse(_) => "parse",
+            CompileError::Unsupported(_) => "unsupported",
+            CompileError::Asg(_) => "asg",
+        }
+    }
 }
 
 impl std::fmt::Display for CompileError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CompileError::Parse(m) => write!(f, "view query parse error: {m}"),
+            CompileError::Parse(e) => write!(f, "{e}"),
             CompileError::Unsupported(fs) => {
                 let names: Vec<String> = fs.iter().map(|x| x.to_string()).collect();
                 write!(f, "view query outside the ASG subset: {}", names.join(", "))
             }
-            CompileError::Asg(m) => write!(f, "{m}"),
+            CompileError::Asg(e) => write!(f, "{e}"),
         }
     }
 }
 
-impl std::error::Error for CompileError {}
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompileError::Parse(e) => Some(e),
+            CompileError::Asg(e) => Some(e),
+            CompileError::Unsupported(_) => None,
+        }
+    }
+}
 
 /// Pipeline configuration.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct UFilterConfig {
+    /// Observation-2 handling for STAR (strict vs. refined).
     pub mode: StarMode,
+    /// Update-point data-check strategy (§6.2).
     pub strategy: Strategy,
+}
+
+/// Cache of update-context probe results, shared across the checks of a
+/// batch so identically-targeted updates pay for one table scan instead of
+/// many.
+///
+/// Keyed by the probe's SQL text. Reusing a cache is sound only while the
+/// probed tables do not change: [`UFilter::run`] uses a fresh cache per
+/// statement (every action of a multi-action update is planned against the
+/// pre-update state, so intra-statement sharing is always safe), and
+/// [`crate::catalog::ViewCatalog::check_batch`] shares one cache across a
+/// whole check-only batch.
+#[derive(Debug, Default)]
+pub struct ProbeCache {
+    entries: std::collections::HashMap<String, ufilter_rdb::ResultSet>,
+    /// Which probe's result each `TAB_…` table currently holds, so a cache
+    /// hit only skips re-materialization while the table is still fresh.
+    materialized: std::collections::HashMap<String, String>,
+    hits: usize,
+    misses: usize,
+}
+
+impl ProbeCache {
+    /// An empty cache.
+    pub fn new() -> ProbeCache {
+        ProbeCache::default()
+    }
+
+    /// Number of probes answered from the cache.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Number of probes that had to hit the engine.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Look up `sql`, or run `fetch` and remember its result.
+    /// `Ok((result, was_hit))`.
+    fn get_or_fetch(
+        &mut self,
+        sql: &str,
+        fetch: impl FnOnce() -> Result<ufilter_rdb::ResultSet, ufilter_rdb::RdbError>,
+    ) -> Result<(ufilter_rdb::ResultSet, bool), ufilter_rdb::RdbError> {
+        if let Some(rs) = self.entries.get(sql) {
+            self.hits += 1;
+            return Ok((rs.clone(), true));
+        }
+        let rs = fetch()?;
+        self.misses += 1;
+        self.entries.insert(sql.to_string(), rs.clone());
+        Ok((rs, false))
+    }
 }
 
 /// A compiled view: ASGs built and STAR-marked, ready to check updates.
 pub struct UFilter {
+    /// The parsed view query.
     pub query: ViewQuery,
+    /// The relational schema the view is defined over.
     pub schema: DatabaseSchema,
+    /// The view ASG `G_V`, with STAR marks written in.
     pub asg: ViewAsg,
+    /// The base ASG `G_D`.
     pub base: BaseAsg,
+    /// The compile-time STAR marking summary.
     pub marking: StarMarking,
+    /// Mode/strategy the checks run under.
     pub config: UFilterConfig,
 }
 
@@ -64,7 +153,7 @@ impl UFilter {
         if let Err(found) = features::expressible(view_text) {
             return Err(CompileError::Unsupported(found));
         }
-        let query = parse_view_query(view_text).map_err(|e| CompileError::Parse(e.to_string()))?;
+        let query = parse_view_query(view_text).map_err(CompileError::Parse)?;
         Self::compile_query(query, schema)
     }
 
@@ -73,8 +162,7 @@ impl UFilter {
         query: ViewQuery,
         schema: &DatabaseSchema,
     ) -> Result<UFilter, CompileError> {
-        let mut asg =
-            build_view_asg(&query, schema).map_err(|e| CompileError::Asg(e.to_string()))?;
+        let mut asg = build_view_asg(&query, schema).map_err(CompileError::Asg)?;
         let leaves: Vec<ufilter_rdb::ColRef> =
             asg.iter().filter_map(|n| n.leaf.as_ref().map(|l| l.name.clone())).collect();
         let base = BaseAsg::build(schema, &asg.relations, &leaves);
@@ -89,6 +177,7 @@ impl UFilter {
         })
     }
 
+    /// Replace the pipeline configuration (builder style).
     pub fn with_config(mut self, config: UFilterConfig) -> UFilter {
         self.config = config;
         self
@@ -135,9 +224,13 @@ impl UFilter {
         let actions = resolve(&self.asg, &u).map_err(|e| e.to_string())?;
         let mut affected = 0;
         for action in &actions {
+            // Fresh cache per action: this loop executes between probes, so
+            // nothing may be carried over.
+            let mut cache = ProbeCache::new();
             let mut trace = Vec::new();
-            let (context_probe, context_rows, tab_name) =
-                self.context_check(action, db, &mut trace, false).map_err(|o| o.to_string())?;
+            let (context_probe, context_rows, tab_name) = self
+                .context_check(action, db, &mut trace, false, &mut cache)
+                .map_err(|o| o.to_string())?;
             let plan = build_plan(
                 &self.asg,
                 &self.marking,
@@ -173,14 +266,28 @@ impl UFilter {
                 }]
             }
         };
+        self.run_resolved(&actions, db, apply, &mut ProbeCache::new())
+    }
+
+    /// [`run`](UFilter::run) for already-resolved actions, with a caller
+    /// supplied probe cache. This is the batch entry point: the catalog
+    /// resolves every update of a stream up front, groups by target, and
+    /// shares one cache across the whole (check-only) batch.
+    pub fn run_resolved(
+        &self,
+        actions: &[ResolvedAction],
+        db: Option<&mut Db>,
+        apply: bool,
+        cache: &mut ProbeCache,
+    ) -> Vec<CheckReport> {
         let mut db = db;
 
         // ---- Phase 1: check + plan every action ------------------------
         let mut prepared = Vec::new();
         let mut reports = Vec::new();
         let mut any_rejected = false;
-        for action in &actions {
-            match self.prepare_action(action, db.as_deref_mut()) {
+        for action in actions {
+            match self.prepare_action(action, db.as_deref_mut(), cache) {
                 Ok((trace, conditions, plan)) => {
                     prepared.push((action, trace, conditions, plan));
                 }
@@ -266,6 +373,7 @@ impl UFilter {
         &self,
         action: &ResolvedAction,
         db: Option<&mut Db>,
+        cache: &mut ProbeCache,
     ) -> Result<
         (
             Vec<(CheckStep, String)>,
@@ -315,7 +423,7 @@ impl UFilter {
         // "does not materialize the intermediate result", §7.2).
         let materialize_tab = self.config.strategy != Strategy::Hybrid;
         let (context_probe, context_rows, tab_name) =
-            match self.context_check(action, db, &mut trace, materialize_tab) {
+            match self.context_check(action, db, &mut trace, materialize_tab, cache) {
                 Ok(x) => x,
                 Err(outcome) => return Err(CheckReport { trace, outcome }),
             };
@@ -353,6 +461,7 @@ impl UFilter {
         db: &mut Db,
         trace: &mut Vec<(CheckStep, String)>,
         materialize: bool,
+        cache: &mut ProbeCache,
     ) -> Result<(Option<Select>, Vec<(Vec<ufilter_rdb::ColRef>, Row)>, Option<String>), CheckOutcome>
     {
         let ctx = self.asg.node(action.context_node);
@@ -380,10 +489,10 @@ impl UFilter {
         }
         let preds = datacheck::relevant_preds(&info, &action.predicates);
         let probe = build_probe(&self.schema, &info, &preds, &SelectSpec::Keys);
-        let rs = db.query(&probe).map_err(|e| CheckOutcome::Untranslatable {
-            step: CheckStep::DataContext,
-            reason: e.to_string(),
-        })?;
+        let (rs, cache_hit) =
+            cache.get_or_fetch(&probe.to_string(), || db.query(&probe)).map_err(|e| {
+                CheckOutcome::Untranslatable { step: CheckStep::DataContext, reason: e.to_string() }
+            })?;
         if rs.is_empty() {
             let reason = format!(
                 "the <{}> element the update addresses does not exist in the view",
@@ -396,10 +505,24 @@ impl UFilter {
             CheckStep::DataContext,
             format!("context probe matched {} instance(s) of <{}>", rs.len(), ctx.tag),
         ));
-        // Materialize for reuse (the paper's TAB_book) when requested.
+        // Materialize for reuse (the paper's TAB_book) when requested. A
+        // cache hit alone is not enough to skip the work: a different probe
+        // may have overwritten `TAB_<tag>` in between, so only reuse the
+        // table while it still holds this probe's result.
         let tab = if materialize {
             let name = format!("TAB_{}", ctx.tag);
-            let _ = db.materialize(&name, &probe);
+            let sql = probe.to_string();
+            if !(cache_hit && cache.materialized.get(&name) == Some(&sql)) {
+                // Only record freshness on success — a failed materialize
+                // must not make later items trust a stale table (the error
+                // itself stays non-fatal, as before: the plan's probes
+                // will surface it).
+                if db.materialize(&name, &probe).is_ok() {
+                    cache.materialized.insert(name.clone(), sql);
+                } else {
+                    cache.materialized.remove(&name);
+                }
+            }
             Some(name)
         } else {
             None
@@ -410,7 +533,7 @@ impl UFilter {
     }
 }
 
-fn malformed(m: String) -> CheckReport {
+pub(crate) fn malformed(m: String) -> CheckReport {
     let reason = crate::outcome::InvalidReason::Malformed { detail: m };
     CheckReport {
         trace: vec![(CheckStep::Validation, reason.to_string())],

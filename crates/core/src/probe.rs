@@ -18,7 +18,9 @@ use ufilter_rdb::{
 pub struct PathInfo {
     /// Relations in binding order.
     pub relations: Vec<String>,
+    /// Join conditions along the path.
     pub conditions: Vec<JoinCond>,
+    /// The view's non-correlation predicates along the path.
     pub local_preds: Vec<LocalPred>,
 }
 

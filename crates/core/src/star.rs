@@ -18,7 +18,7 @@ use crate::target::ResolvedAction;
 
 /// How Observation 2 treats Rule-3-induced unsafe-insert nodes
 /// (DESIGN.md faithfulness note 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum StarMode {
     /// Observation 2 verbatim: insertion on any unsafe-insert node is
     /// untranslatable (u4 dies at Step 2).
@@ -203,6 +203,7 @@ fn rule1_violated(asg: &ViewAsg, schema: &DatabaseSchema, c: AsgNodeId) -> bool 
 /// Verdict of the STAR checking procedure.
 #[derive(Debug, Clone, PartialEq)]
 pub enum StarVerdict {
+    /// Rejected at compile-marked cost, with the reason.
     Untranslatable(String),
     /// Translatable, with the conditions (empty = unconditional).
     Ok(Vec<Condition>),

@@ -14,6 +14,7 @@ use crate::outcome::InvalidReason;
 /// One resolvable action of an update statement, tied to ASG nodes.
 #[derive(Debug, Clone)]
 pub struct ResolvedAction {
+    /// Insert / delete / replace.
     pub kind: UpdateKind,
     /// The ASG node the action creates or removes instances of.
     pub node: AsgNodeId,

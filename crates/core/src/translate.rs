@@ -28,8 +28,11 @@ use crate::target::{clean_text, ResolvedAction};
 /// A shared-relation check (existence + duplication consistency).
 #[derive(Debug, Clone)]
 pub struct SharedCheck {
+    /// The shared relation the fragment writes into.
     pub relation: String,
+    /// Key columns identifying the shared row.
     pub key_cols: Vec<String>,
+    /// Key values the fragment supplies for those columns.
     pub key_vals: Vec<Value>,
     /// All values the fragment supplies for this relation.
     pub supplied: Vec<(String, Value)>,
@@ -38,11 +41,13 @@ pub struct SharedCheck {
 /// One translated statement with its optional outside-strategy pre-probe.
 #[derive(Debug, Clone)]
 pub struct PlannedStmt {
+    /// The translated SQL statement.
     pub stmt: Stmt,
     /// Probe run by the outside strategy before issuing the statement:
     /// for inserts, a key-conflict probe (non-empty ⇒ reject); for deletes
     /// and updates, an existence probe (empty ⇒ skip the statement).
     pub probe: Option<Select>,
+    /// The relation the statement writes.
     pub relation: String,
 }
 
@@ -53,12 +58,16 @@ pub struct TranslationPlan {
     pub context_probe: Option<Select>,
     /// Materialized-probe table name (`TAB_book` in the paper).
     pub tab_name: Option<String>,
+    /// Refined-mode shared-data conditions to discharge (Observation 2).
     pub shared_checks: Vec<SharedCheck>,
+    /// The translated statements, in execution order.
     pub statements: Vec<PlannedStmt>,
+    /// Human-readable planning notes for the report trace.
     pub notes: Vec<String>,
 }
 
 impl TranslationPlan {
+    /// Just the SQL statements, in execution order.
     pub fn sql(&self) -> Vec<Stmt> {
         self.statements.iter().map(|p| p.stmt.clone()).collect()
     }

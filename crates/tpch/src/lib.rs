@@ -8,7 +8,9 @@
 pub mod gen;
 pub mod schema;
 pub mod views;
+pub mod workload;
 
 pub use gen::{generate, Scale};
 pub use schema::tpch_schema;
 pub use views::{updates, vfail_for, V_BUSH, V_FAIL, V_LINEAR, V_SUCCESS};
+pub use workload::{stream, stream_views, StreamSpec};

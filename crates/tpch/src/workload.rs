@@ -1,0 +1,102 @@
+//! Multi-view update-stream generator: the "heavy traffic" workload the
+//! batch checker is measured on.
+//!
+//! A stream is a seeded sequence of `(view name, update text)` pairs mixing
+//! the evaluation views of §7.2: per-level deletes and lineitem inserts on
+//! `Vlinear`, broad lineitem deletes on `Vbush`, and untranslatable region
+//! deletes on `Vfail`. Target keys are drawn from a bounded pool
+//! ([`StreamSpec::distinct_keys`]), so realistic streams revisit the same
+//! targets — exactly the redundancy batched checking amortizes away.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::gen::Scale;
+use crate::views::{updates, V_BUSH, V_FAIL, V_LINEAR};
+
+/// The three catalog views every stream addresses, as (name, view text)
+/// pairs ready for registration.
+pub fn stream_views() -> Vec<(&'static str, &'static str)> {
+    vec![("vlinear", V_LINEAR), ("vbush", V_BUSH), ("vfail", V_FAIL)]
+}
+
+/// Shape of a generated update stream.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamSpec {
+    /// Number of updates in the stream.
+    pub len: usize,
+    /// Size of the per-level key pool targets are drawn from; small pools
+    /// mean many repeated targets (cache-friendly heavy traffic), large
+    /// pools approach the all-distinct worst case.
+    pub distinct_keys: usize,
+}
+
+impl StreamSpec {
+    /// A stream of `len` updates over a pool of 8 keys per level — the
+    /// repeat-heavy default used by the batch benchmark.
+    pub fn heavy(len: usize) -> StreamSpec {
+        StreamSpec { len, distinct_keys: 8 }
+    }
+}
+
+/// Generate a deterministic multi-view update stream for a database of
+/// `scale` (keys are bounded so every generated target key exists).
+pub fn stream(spec: StreamSpec, scale: Scale, seed: u64) -> Vec<(String, String)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pool = |rng: &mut StdRng, universe: usize| -> i64 {
+        rng.gen_range(0..spec.distinct_keys.min(universe).max(1)) as i64
+    };
+    let n_orders = scale.customers * scale.orders_per_customer;
+    let mut out = Vec::with_capacity(spec.len);
+    for _ in 0..spec.len {
+        let (view, update) = match rng.gen_range(0..10) {
+            // Narrow per-level deletes on the linear view (Fig. 13's mix).
+            0 => ("vlinear", updates::delete_nation(pool(&mut rng, 25))),
+            1 => ("vlinear", updates::delete_customer(pool(&mut rng, scale.customers))),
+            2 | 3 => ("vlinear", updates::delete_order(pool(&mut rng, n_orders))),
+            4 | 5 => ("vlinear", updates::delete_lineitems_of_order(pool(&mut rng, n_orders))),
+            // Inserts whose context probe anchors the translation (§6.1).
+            6 | 7 => {
+                let order = pool(&mut rng, n_orders);
+                ("vlinear", updates::insert_lineitem(order, 1000 + rng.gen_range(0..1000i64)))
+            }
+            // Broad deletes on the bushy view (Fig. 16's shape).
+            8 => ("vbush", updates::bush_delete_lineitems(pool(&mut rng, n_orders))),
+            // Untranslatable region deletes on Vfail — STAR rejects these,
+            // so a healthy stream still carries failing traffic.
+            _ => ("vfail", updates::fail_delete_region(pool(&mut rng, 5))),
+        };
+        out.push((view.to_string(), update));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic_and_sized() {
+        let a = stream(StreamSpec::heavy(50), Scale::tiny(), 9);
+        let b = stream(StreamSpec::heavy(50), Scale::tiny(), 9);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+        let c = stream(StreamSpec::heavy(50), Scale::tiny(), 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn stream_mixes_all_three_views() {
+        let s = stream(StreamSpec::heavy(200), Scale::tiny(), 1);
+        for name in ["vlinear", "vbush", "vfail"] {
+            assert!(s.iter().any(|(v, _)| v == name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn small_pool_produces_repeated_updates() {
+        let s = stream(StreamSpec { len: 100, distinct_keys: 4 }, Scale::tiny(), 2);
+        let distinct: std::collections::HashSet<&(String, String)> = s.iter().collect();
+        assert!(distinct.len() < s.len(), "expected repeats in a 4-key pool");
+    }
+}

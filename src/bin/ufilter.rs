@@ -6,25 +6,45 @@
 //! ufilter --schema fixtures/book.sql --view fixtures/bookview.xq show-asg
 //! ufilter --schema fixtures/book.sql --view fixtures/bookview.xq materialize
 //! ufilter --schema fixtures/book.sql sql "SELECT * FROM book"
+//! ufilter --schema fixtures/book.sql --catalog views.cat catalog add books fixtures/bookview.xq
+//! ufilter --schema fixtures/book.sql --catalog views.cat check-batch updates.ubatch
 //! ```
 //!
 //! `--schema` takes a `;`-separated SQL script (DDL + data). `--view` takes
 //! a view-query file. `--strategy internal|hybrid|outside` and
-//! `--mode strict|refined` tune the pipeline.
+//! `--mode strict|refined` tune the pipeline. `--catalog` names the view
+//! manifest (`name=viewfile` lines) the `catalog`/`check-batch` commands
+//! operate on.
 
 use std::process::ExitCode;
 
+use u_filter::core::catalog::{is_schema_ddl, ViewCatalog};
 use u_filter::xquery::materialize;
 use u_filter::{CheckOutcome, StarMode, Strategy, UFilter, UFilterConfig};
-use ufilter_rdb::Db;
+use ufilter_rdb::{Db, Parser};
 
 struct Args {
     schema: Option<String>,
     view: Option<String>,
+    catalog: Option<String>,
     strategy: Strategy,
     mode: StarMode,
     command: String,
-    operand: Option<String>,
+    operands: Vec<String>,
+}
+
+impl Args {
+    fn operand(&self, i: usize, what: &str) -> Result<&str, String> {
+        self.operands.get(i).map(String::as_str).ok_or_else(|| what.to_string())
+    }
+
+    /// Reject trailing operands beyond the `n` a command consumes.
+    fn at_most(&self, n: usize) -> Result<(), String> {
+        match self.operands.get(n) {
+            Some(extra) => Err(format!("unexpected argument {extra}")),
+            None => Ok(()),
+        }
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -32,15 +52,17 @@ fn parse_args() -> Result<Args, String> {
     let mut out = Args {
         schema: None,
         view: None,
+        catalog: None,
         strategy: Strategy::Outside,
         mode: StarMode::Refined,
         command: String::new(),
-        operand: None,
+        operands: Vec::new(),
     };
     while let Some(a) = args.next() {
         match a.as_str() {
             "--schema" => out.schema = Some(args.next().ok_or("--schema needs a file")?),
             "--view" => out.view = Some(args.next().ok_or("--view needs a file")?),
+            "--catalog" => out.catalog = Some(args.next().ok_or("--catalog needs a file")?),
             "--strategy" => {
                 out.strategy = match args.next().as_deref() {
                     Some("internal") => Strategy::Internal,
@@ -60,9 +82,9 @@ fn parse_args() -> Result<Args, String> {
                 out.command = "help".into();
                 return Ok(out);
             }
+            flag if flag.starts_with("--") => return Err(format!("unknown option {flag}")),
             cmd if out.command.is_empty() => out.command = cmd.to_string(),
-            operand if out.operand.is_none() => out.operand = Some(operand.to_string()),
-            extra => return Err(format!("unexpected argument {extra}")),
+            operand => out.operands.push(operand.to_string()),
         }
     }
     if out.command.is_empty() {
@@ -75,7 +97,7 @@ const HELP: &str = "\
 ufilter — XML view update translatability checker (U-Filter, ICDE 2006)
 
 USAGE:
-    ufilter --schema <script.sql> [--view <view.xq>] [options] <command> [operand]
+    ufilter --schema <script.sql> [--view <view.xq>] [options] <command> [operands]
 
 COMMANDS:
     check <update.xq>    run the three-step check; print the trace + SQL
@@ -83,9 +105,16 @@ COMMANDS:
     show-asg             print the view ASG with its STAR marks
     materialize          print the materialized XML view
     sql <statement>      run one SQL statement against the loaded schema
+                         (DDL is guarded by the catalog when --catalog is given)
+    catalog add <name> <view.xq>   register a view in the --catalog manifest
+    catalog list                   list registered views with their relations
+    catalog drop <name>            unregister a view
+    check-batch <updates-file>     batch-check an update stream against the
+                                   catalog; blocks start with '-- view: <name>'
     help                 this message
 
 OPTIONS:
+    --catalog <file>                     view manifest ('name=viewfile' lines)
     --strategy internal|hybrid|outside   update-point strategy (default outside)
     --mode strict|refined                Observation-2 handling (default refined)
 ";
@@ -110,6 +139,83 @@ fn load_filter(args: &Args, db: &Db) -> Result<UFilter, String> {
         .map_err(|e| format!("{path}: {e}"))
 }
 
+/// Read a catalog manifest: `name=viewfile` lines, `#` comments. A missing
+/// file is an error unless `allow_missing` (only `catalog add` may create a
+/// fresh manifest — everywhere else a typo'd path must not silently behave
+/// like an empty catalog and disable the DDL guard).
+fn load_manifest(path: &str, allow_missing: bool) -> Result<Vec<(String, String)>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound && allow_missing => {
+            return Ok(Vec::new())
+        }
+        Err(e) => return Err(format!("{path}: {e}")),
+    };
+    let mut entries = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name, file) = line
+            .split_once('=')
+            .ok_or_else(|| format!("{path}:{}: expected 'name=viewfile'", lineno + 1))?;
+        entries.push((name.trim().to_string(), file.trim().to_string()));
+    }
+    Ok(entries)
+}
+
+fn save_manifest(path: &str, entries: &[(String, String)]) -> Result<(), String> {
+    let mut out = String::from("# ufilter view catalog: name=viewfile\n");
+    for (name, file) in entries {
+        out.push_str(&format!("{name}={file}\n"));
+    }
+    std::fs::write(path, out).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Compile every manifest entry into a `ViewCatalog`.
+fn build_catalog(args: &Args, path: &str, db: &Db) -> Result<ViewCatalog, String> {
+    let mut catalog = ViewCatalog::new(db.schema().clone())
+        .with_config(UFilterConfig { mode: args.mode, strategy: args.strategy });
+    for (name, file) in load_manifest(path, false)? {
+        let text = std::fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?;
+        catalog.add(&name, &text).map_err(|e| e.to_string())?;
+    }
+    Ok(catalog)
+}
+
+fn catalog_path(args: &Args) -> Result<&str, String> {
+    args.catalog
+        .as_deref()
+        .ok_or_else(|| "--catalog <file> is required for this command".to_string())
+}
+
+/// Parse an update-stream file: blocks introduced by `-- view: <name>`
+/// lines, each holding one update statement. Other `--` lines are comments.
+fn parse_batch_file(path: &str, text: &str) -> Result<Vec<(String, String)>, String> {
+    let mut stream: Vec<(String, String)> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        if let Some(rest) = trimmed.strip_prefix("-- view:") {
+            stream.push((rest.trim().to_string(), String::new()));
+        } else if trimmed.starts_with("--") {
+            // Comment line; never part of an update's text.
+        } else if let Some((_, update)) = stream.last_mut() {
+            update.push_str(line);
+            update.push('\n');
+        } else if !trimmed.is_empty() {
+            return Err(format!(
+                "{path}:{}: update text before the first '-- view: <name>' header",
+                lineno + 1
+            ));
+        }
+    }
+    if stream.is_empty() {
+        return Err(format!("{path}: no '-- view: <name>' blocks found"));
+    }
+    Ok(stream)
+}
+
 fn run() -> Result<bool, String> {
     let args = parse_args()?;
     match args.command.as_str() {
@@ -119,8 +225,18 @@ fn run() -> Result<bool, String> {
         }
         "sql" => {
             let mut db = load_db(&args)?;
-            let stmt = args.operand.as_deref().ok_or("sql needs a statement")?;
-            let out = db.execute_sql(stmt).map_err(|e| e.to_string())?;
+            let stmt = args.operand(0, "sql needs a statement")?;
+            args.at_most(1)?;
+            // With a catalog, schema-affecting DDL goes through the RESTRICT
+            // guard; anything else skips catalog compilation entirely.
+            let parsed = Parser::parse_stmt(stmt).map_err(|e| e.to_string())?;
+            let out = match (is_schema_ddl(&parsed), args.catalog.as_deref()) {
+                (true, Some(path)) => {
+                    let mut catalog = build_catalog(&args, path, &db)?;
+                    catalog.execute_guarded_stmt(&mut db, parsed).map_err(|e| e.to_string())?
+                }
+                _ => db.run(parsed).map_err(|e| e.to_string())?,
+            };
             if let Some(rs) = out.result {
                 print!("{}", rs.to_table());
             } else {
@@ -131,13 +247,105 @@ fn run() -> Result<bool, String> {
             }
             Ok(true)
         }
+        "catalog" => {
+            let path = catalog_path(&args)?;
+            match args.operand(0, "catalog subcommand (add/list/drop)")? {
+                "add" => {
+                    let name = args.operand(1, "catalog add needs a view name")?;
+                    let file = args.operand(2, "catalog add needs a view file")?;
+                    args.at_most(3)?;
+                    // The manifest is line-oriented `name=viewfile` with `#`
+                    // comments; keep names representable in it.
+                    if name.is_empty()
+                        || name.contains(['=', '#'])
+                        || name.chars().any(char::is_whitespace)
+                    {
+                        return Err(format!(
+                            "view name '{name}' may not be empty or contain '=', '#', or whitespace"
+                        ));
+                    }
+                    let db = load_db(&args)?;
+                    let mut entries = load_manifest(path, true)?;
+                    if entries.iter().any(|(n, _)| n == name) {
+                        return Err(format!("view '{name}' is already registered in {path}"));
+                    }
+                    let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+                    let filter =
+                        UFilter::compile(&text, db.schema()).map_err(|e| format!("{file}: {e}"))?;
+                    entries.push((name.to_string(), file.to_string()));
+                    save_manifest(path, &entries)?;
+                    println!(
+                        "registered '{name}' ({file}); reads {{{}}}",
+                        filter.asg.relations.join(", ")
+                    );
+                    Ok(true)
+                }
+                "list" => {
+                    args.at_most(1)?;
+                    let db = load_db(&args)?;
+                    let catalog = build_catalog(&args, path, &db)?;
+                    for info in catalog.list() {
+                        println!(
+                            "{}\treads {{{}}}{}",
+                            info.name,
+                            info.relations.join(", "),
+                            if info.cached { "\t(shared artifact)" } else { "" }
+                        );
+                    }
+                    println!("{} view(s) registered", catalog.len());
+                    Ok(true)
+                }
+                "drop" => {
+                    let name = args.operand(1, "catalog drop needs a view name")?;
+                    args.at_most(2)?;
+                    let mut entries = load_manifest(path, false)?;
+                    let before = entries.len();
+                    entries.retain(|(n, _)| n != name);
+                    if entries.len() == before {
+                        return Err(format!("no view named '{name}' in {path}"));
+                    }
+                    save_manifest(path, &entries)?;
+                    println!("dropped '{name}'");
+                    Ok(true)
+                }
+                other => Err(format!("unknown catalog subcommand {other}; try --help")),
+            }
+        }
+        "check-batch" => {
+            let path = catalog_path(&args)?;
+            let mut db = load_db(&args)?;
+            let catalog = build_catalog(&args, path, &db)?;
+            let file = args.operand(0, "check-batch needs an updates file")?;
+            args.at_most(1)?;
+            let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+            let stream = parse_batch_file(file, &text)?;
+            let batch = catalog.check_batch_text(&stream, &mut db);
+            let mut all_ok = true;
+            for item in &batch.items {
+                for report in &item.reports {
+                    println!("[{}] {}: {}", item.index + 1, item.view, report.outcome);
+                    if !report.outcome.is_translatable() {
+                        all_ok = false;
+                    }
+                }
+            }
+            let s = batch.stats;
+            println!(
+                "--- {} update(s), {} parse hit(s), {} probe hit(s) / {} miss(es), \
+                 {} target group(s)",
+                s.items, s.parse_hits, s.probe_hits, s.probe_misses, s.target_groups
+            );
+            Ok(all_ok)
+        }
         "show-asg" => {
+            args.at_most(0)?;
             let db = load_db(&args)?;
             let filter = load_filter(&args, &db)?;
             print!("{}", filter.asg.describe());
             Ok(true)
         }
         "materialize" => {
+            args.at_most(0)?;
             let db = load_db(&args)?;
             let filter = load_filter(&args, &db)?;
             let doc = materialize(&db, &filter.query).map_err(|e| e.to_string())?;
@@ -147,7 +355,8 @@ fn run() -> Result<bool, String> {
         cmd @ ("check" | "apply") => {
             let mut db = load_db(&args)?;
             let filter = load_filter(&args, &db)?;
-            let path = args.operand.as_deref().ok_or("check/apply need an update file")?;
+            let path = args.operand(0, "check/apply need an update file")?;
+            args.at_most(1)?;
             let update = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
             let reports = if cmd == "apply" {
                 filter.apply(&update, &mut db)

@@ -107,6 +107,177 @@ INSERT
 }
 
 #[test]
+fn check_batch_reports_stream_outcomes_and_stats() {
+    let (stdout, _, code) = ufilter(&[
+        "--schema",
+        "fixtures/book.sql",
+        "--catalog",
+        "fixtures/views.cat",
+        "check-batch",
+        "fixtures/batch.ubatch",
+    ]);
+    // u10 in the stream is untranslatable, so the batch exits 1.
+    assert_eq!(code, Some(1), "{stdout}");
+    assert!(stdout.contains("[1] books: translatable"), "{stdout}");
+    assert!(stdout.contains("[2] books: untranslatable"), "{stdout}");
+    assert!(stdout.contains("[3] books: translatable"), "{stdout}");
+    assert!(stdout.contains("3 update(s)"), "{stdout}");
+    assert!(stdout.contains("target group(s)"), "{stdout}");
+}
+
+/// `--` lines that are not block headers are comments, not update text.
+#[test]
+fn check_batch_ignores_comment_lines() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let batch = root.join("target/cli_comments.ubatch");
+    let text = format!(
+        "-- a leading comment
+-- view: books
+{}
+-- end of stream
+",
+        std::fs::read_to_string(root.join("fixtures/u8.xq")).unwrap()
+    );
+    std::fs::write(&batch, text).unwrap();
+    let (stdout, _, code) = ufilter(&[
+        "--schema",
+        "fixtures/book.sql",
+        "--catalog",
+        "fixtures/views.cat",
+        "check-batch",
+        batch.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("[1] books: translatable"), "{stdout}");
+    assert!(stdout.contains("1 update(s)"), "{stdout}");
+}
+
+/// A typo'd --catalog path must be an error, not an empty catalog that
+/// silently disables the DDL guard or reports every view as unknown.
+#[test]
+fn missing_catalog_manifest_is_an_error() {
+    let (_, stderr, code) = ufilter(&[
+        "--schema",
+        "fixtures/book.sql",
+        "--catalog",
+        "fixtures/no_such.cat",
+        "sql",
+        "DROP TABLE review",
+    ]);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.contains("no_such.cat"), "{stderr}");
+
+    let (_, stderr, code) = ufilter(&[
+        "--schema",
+        "fixtures/book.sql",
+        "--catalog",
+        "fixtures/no_such.cat",
+        "check-batch",
+        "fixtures/batch.ubatch",
+    ]);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.contains("no_such.cat"), "{stderr}");
+}
+
+/// Names that would corrupt the line-oriented manifest are rejected.
+#[test]
+fn catalog_add_rejects_unrepresentable_names() {
+    let cat = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("target/cli_badname.cat");
+    let _ = std::fs::remove_file(&cat);
+    let cat = cat.to_str().unwrap();
+    for bad in ["#books", "a=b", "two words"] {
+        let (_, stderr, code) = ufilter(&[
+            "--schema",
+            "fixtures/book.sql",
+            "--catalog",
+            cat,
+            "catalog",
+            "add",
+            bad,
+            "fixtures/bookview.xq",
+        ]);
+        assert_eq!(code, Some(2), "{bad}: {stderr}");
+        assert!(stderr.contains("may not"), "{bad}: {stderr}");
+    }
+}
+
+/// Misspelled options are an error again, not silently-ignored operands.
+#[test]
+fn unknown_option_is_rejected() {
+    let (_, stderr, code) =
+        ufilter(&with_base(&["check", "fixtures/u8.xq", "--strateg", "internal"]));
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("unknown option --strateg"), "{stderr}");
+}
+
+#[test]
+fn catalog_add_list_drop_roundtrip() {
+    let cat = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("target/cli_roundtrip.cat");
+    let _ = std::fs::remove_file(&cat);
+    let cat = cat.to_str().unwrap();
+
+    let (stdout, _, code) = ufilter(&[
+        "--schema",
+        "fixtures/book.sql",
+        "--catalog",
+        cat,
+        "catalog",
+        "add",
+        "books",
+        "fixtures/bookview.xq",
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("registered 'books'"), "{stdout}");
+    assert!(stdout.contains("book, publisher, review"), "{stdout}");
+
+    // Duplicate registration is rejected.
+    let (_, stderr, code) = ufilter(&[
+        "--schema",
+        "fixtures/book.sql",
+        "--catalog",
+        cat,
+        "catalog",
+        "add",
+        "books",
+        "fixtures/bookview.xq",
+    ]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("already registered"), "{stderr}");
+
+    let (stdout, _, code) =
+        ufilter(&["--schema", "fixtures/book.sql", "--catalog", cat, "catalog", "list"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("1 view(s) registered"), "{stdout}");
+
+    let (stdout, _, code) =
+        ufilter(&["--schema", "fixtures/book.sql", "--catalog", cat, "catalog", "drop", "books"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("dropped 'books'"), "{stdout}");
+
+    let (stdout, _, code) =
+        ufilter(&["--schema", "fixtures/book.sql", "--catalog", cat, "catalog", "list"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("0 view(s) registered"), "{stdout}");
+}
+
+#[test]
+fn ddl_on_catalog_dependency_is_restricted() {
+    let (_, stderr, code) = ufilter(&[
+        "--schema",
+        "fixtures/book.sql",
+        "--catalog",
+        "fixtures/views.cat",
+        "sql",
+        "DROP TABLE review",
+    ]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("view(s) books depend on it"), "{stderr}");
+    // Without the catalog, the same DDL goes through.
+    let (stdout, _, code) = ufilter(&["--schema", "fixtures/book.sql", "sql", "DROP TABLE review"]);
+    assert_eq!(code, Some(0), "{stdout}");
+}
+
+#[test]
 fn missing_files_give_exit_2() {
     let (_, stderr, code) = ufilter(&["--schema", "no/such/file.sql", "sql", "SELECT 1 FROM t"]);
     assert_eq!(code, Some(2));

@@ -20,6 +20,18 @@ fn book_sql_builds_the_bookdemo_database() {
 }
 
 #[test]
+fn batch_fixture_is_the_update_fixtures_concatenated() {
+    let expected = ["fixtures/u8.xq", "fixtures/u10.xq", "fixtures/u13.xq"]
+        .map(|rel| format!("-- view: books\n{}", fixture(rel).trim()))
+        .join("\n\n");
+    assert_eq!(
+        fixture("fixtures/batch.ubatch").trim(),
+        expected.trim(),
+        "fixtures/batch.ubatch drifted from the u8/u10/u13 fixtures"
+    );
+}
+
+#[test]
 fn view_and_update_fixtures_match_bookdemo_constants() {
     for (rel, constant) in [
         ("fixtures/bookview.xq", bookdemo::BOOK_VIEW),
