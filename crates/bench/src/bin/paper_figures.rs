@@ -35,6 +35,9 @@ fn main() {
         // One-at-a-time vs. batched stream checking; redirect to
         // BENCH_batch.json at the repo root.
         "batch" => print!("{}", bench::batch_json(reps)),
+        // Worker-pool scaling of the check service; redirect to
+        // BENCH_serve.json at the repo root.
+        "serve" => print!("{}", bench::serve_json(reps)),
         "fig12" => print!("{}", bench::fig12()),
         "fig13" => print!("{}", bench::fig13(mb, reps)),
         "fig14" => print!("{}", bench::fig14(mb, reps)),
@@ -60,7 +63,7 @@ fn main() {
         other => {
             eprintln!(
                 "unknown figure '{other}'; expected one of: \
-                 baseline batch fig12 fig13 fig14 fig15 fig16 fig17 marking ablation all"
+                 baseline batch serve fig12 fig13 fig14 fig15 fig16 fig17 marking ablation all"
             );
             std::process::exit(2);
         }

@@ -138,6 +138,18 @@ pub struct BatchStats {
     pub probe_misses: usize,
 }
 
+impl BatchStats {
+    /// Accumulate another batch's counters into this one (used by the
+    /// sharded catalog and worker pool when merging partial reports).
+    pub fn merge(&mut self, other: &BatchStats) {
+        self.items += other.items;
+        self.parse_hits += other.parse_hits;
+        self.target_groups += other.target_groups;
+        self.probe_hits += other.probe_hits;
+        self.probe_misses += other.probe_misses;
+    }
+}
+
 /// Result of [`ViewCatalog::check_batch`]: per-item reports plus the
 /// amortization counters.
 #[derive(Debug, Clone)]
@@ -191,6 +203,11 @@ impl ViewCatalog {
     /// The schema every registered view is compiled against.
     pub fn schema(&self) -> &DatabaseSchema {
         &self.schema
+    }
+
+    /// The pipeline configuration used for new registrations.
+    pub fn config(&self) -> UFilterConfig {
+        self.config
     }
 
     /// Register `view_text` under `name`, compiling it unless canonically
@@ -299,10 +316,8 @@ impl ViewCatalog {
 
     /// Apply [`guard_ddl`](ViewCatalog::guard_ddl) to an already-parsed
     /// statement and execute it against `db`. After schema-changing DDL
-    /// goes through, the catalog's schema snapshot is refreshed from `db`
-    /// and the compile-once cache is cleared — its artifacts were compiled
-    /// against the old schema, so re-adding a view must recompile (and may
-    /// now rightly fail) rather than resurrect a stale ASG.
+    /// goes through, the catalog adopts `db`'s new schema via
+    /// [`set_schema`](ViewCatalog::set_schema).
     pub fn execute_guarded_stmt(
         &mut self,
         db: &mut Db,
@@ -312,10 +327,20 @@ impl ViewCatalog {
         let ddl = is_schema_ddl(&stmt);
         let out = db.run(stmt).map_err(|e| CatalogError::Sql { detail: e.to_string() })?;
         if ddl {
-            self.schema = db.schema().clone();
-            self.compiled.clear();
+            self.set_schema(db.schema().clone());
         }
         Ok(out)
+    }
+
+    /// Adopt `schema` as the compile target for future registrations and
+    /// clear the compile-once cache — its artifacts were compiled against
+    /// the old schema, so re-adding a view must recompile (and may now
+    /// rightly fail) rather than resurrect a stale ASG. The sharded
+    /// concurrent catalog in `ufilter-service` calls this on every shard
+    /// after executing guarded DDL once against the shared database.
+    pub fn set_schema(&mut self, schema: DatabaseSchema) {
+        self.schema = schema;
+        self.compiled.clear();
     }
 
     /// Check a stream of raw update texts. Parsing is amortized: each
@@ -323,12 +348,41 @@ impl ViewCatalog {
     /// Items naming an unregistered view or failing to parse get a
     /// per-item invalid report; they never abort the batch.
     pub fn check_batch_text(&self, items: &[(String, String)], db: &mut Db) -> BatchReport {
+        self.check_batch_text_with_cache(items, db, &mut ProbeCache::new())
+    }
+
+    /// [`check_batch_text`](Self::check_batch_text) with a caller-supplied
+    /// probe cache that outlives the batch. This is the long-running-service
+    /// entry point: a `ufilter-service` worker keeps one cache per worker
+    /// across its whole lifetime, so probe results survive from one request
+    /// to the next. Sound only while the probed base tables do not change
+    /// between batches (the service is check-only, so they do not).
+    /// Reported [`BatchStats`] hit/miss counters are per-call deltas.
+    pub fn check_batch_text_with_cache(
+        &self,
+        items: &[(String, String)],
+        db: &mut Db,
+        cache: &mut ProbeCache,
+    ) -> BatchReport {
+        let refs: Vec<(&str, &str)> = items.iter().map(|(v, t)| (v.as_str(), t.as_str())).collect();
+        self.check_batch_refs(&refs, db, cache)
+    }
+
+    /// [`check_batch_text_with_cache`](Self::check_batch_text_with_cache)
+    /// over borrowed items — the zero-copy entry point the sharded service
+    /// catalog feeds worker partitions through.
+    pub fn check_batch_refs(
+        &self,
+        items: &[(&str, &str)],
+        db: &mut Db,
+        cache: &mut ProbeCache,
+    ) -> BatchReport {
         let mut parsed: HashMap<&str, Result<UpdateStmt, String>> = HashMap::new();
         let mut parse_hits = 0;
         let mut stream: Vec<(usize, &str, Result<UpdateStmt, String>)> =
             Vec::with_capacity(items.len());
-        for (i, (view, text)) in items.iter().enumerate() {
-            let entry = match parsed.get(text.as_str()) {
+        for (i, (view, text)) in items.iter().copied().enumerate() {
+            let entry = match parsed.get(text) {
                 Some(r) => {
                     parse_hits += 1;
                     r.clone()
@@ -341,7 +395,7 @@ impl ViewCatalog {
             };
             stream.push((i, view, entry));
         }
-        let mut report = self.run_batch(&stream, db);
+        let mut report = self.run_batch(&stream, db, cache);
         report.stats.parse_hits = parse_hits;
         report
     }
@@ -354,7 +408,7 @@ impl ViewCatalog {
             .enumerate()
             .map(|(i, (view, u))| (i, view.as_str(), Ok(u.clone())))
             .collect();
-        self.run_batch(&stream, db)
+        self.run_batch(&stream, db, &mut ProbeCache::new())
     }
 
     /// The shared batch engine: resolve every update once, group by
@@ -364,7 +418,9 @@ impl ViewCatalog {
         &self,
         stream: &[(usize, &str, Result<UpdateStmt, String>)],
         db: &mut Db,
+        cache: &mut ProbeCache,
     ) -> BatchReport {
+        let (hits_before, misses_before) = (cache.hits(), cache.misses());
         let mut stats = BatchStats { items: stream.len(), ..BatchStats::default() };
         let mut items: Vec<BatchItemReport> = Vec::with_capacity(stream.len());
         // (view, target node) → resolved work items awaiting the group pass.
@@ -428,16 +484,15 @@ impl ViewCatalog {
             } else {
                 db
             };
-        let mut cache = ProbeCache::new();
         for ((view, _target), group) in groups {
             let filter = &self.views[view].filter;
             for (index, view, actions) in group {
-                let reports = filter.run_resolved(&actions, Some(db), false, &mut cache);
+                let reports = filter.run_resolved(&actions, Some(db), false, cache);
                 items.push(BatchItemReport { index, view: view.to_string(), reports });
             }
         }
-        stats.probe_hits = cache.hits();
-        stats.probe_misses = cache.misses();
+        stats.probe_hits = cache.hits() - hits_before;
+        stats.probe_misses = cache.misses() - misses_before;
         items.sort_by_key(|i| i.index);
         BatchReport { items, stats }
     }

@@ -47,6 +47,7 @@ pub mod star;
 pub mod target;
 pub mod translate;
 pub mod validate;
+pub mod wire;
 
 pub use catalog::{BatchItemReport, BatchReport, BatchStats, CatalogError, ViewCatalog, ViewInfo};
 pub use datacheck::{DataCheckReport, Strategy};

@@ -1,0 +1,328 @@
+//! Stable single-line text form of check outcomes — the **wire format**.
+//!
+//! One [`CheckOutcome`] encodes to exactly one line with no raw spaces
+//! inside fields (percent-style escaping), so the same string can travel
+//! over the `ufilter-service` line protocol, appear in `check-batch` CLI
+//! output, and be diffed byte-for-byte between a concurrent server run and
+//! a single-threaded replay. [`decode_outcome`] inverts [`encode_outcome`]
+//! exactly (round-trip tested), including re-parsing the translated SQL.
+//!
+//! Grammar (space-separated tokens, one outcome per line):
+//!
+//! ```text
+//! invalid <reason-code> <escaped-detail>
+//! untranslatable <step-code> <escaped-reason>
+//! translatable [cond:<cond>]... [sql:<escaped-stmt>]...
+//! ```
+//!
+//! where `<cond>` is `min` (translation minimization), `dup` (duplication
+//! consistency) or `shared:<rel>,<rel>,...` (shared-data existence), and the
+//! escape set is `% space tab newline CR comma` → `%25 %20 %09 %0A %0D %2C`.
+//! Multiple outcomes of one multi-action update are joined with a single
+//! tab (tabs are escaped inside an outcome, so the join is unambiguous).
+
+use ufilter_rdb::Parser;
+
+use crate::outcome::{CheckOutcome, CheckStep, Condition, InvalidReason};
+
+/// A line failed to decode as a wire outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// What was malformed.
+    pub detail: String,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire decode error: {}", self.detail)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn err(detail: impl Into<String>) -> WireError {
+    WireError { detail: detail.into() }
+}
+
+/// Escape `s` so it contains no space, tab, newline, CR, comma or raw `%`.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            ' ' => out.push_str("%20"),
+            '\t' => out.push_str("%09"),
+            '\n' => out.push_str("%0A"),
+            '\r' => out.push_str("%0D"),
+            ',' => out.push_str("%2C"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Invert [`escape`]. Any `%XX` hex pair is accepted, not just the ones
+/// `escape` emits, so the format can grow its escape set compatibly.
+pub fn unescape(s: &str) -> Result<String, WireError> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        let hi = chars.next().ok_or_else(|| err("truncated % escape"))?;
+        let lo = chars.next().ok_or_else(|| err("truncated % escape"))?;
+        let byte = (hi.to_digit(16).ok_or_else(|| err(format!("bad hex digit '{hi}'")))? * 16)
+            + lo.to_digit(16).ok_or_else(|| err(format!("bad hex digit '{lo}'")))?;
+        out.push(char::from_u32(byte).ok_or_else(|| err("escape outside ASCII"))?);
+    }
+    Ok(out)
+}
+
+/// Stable code for an [`InvalidReason`] variant.
+fn invalid_code(r: &InvalidReason) -> (&'static str, &str) {
+    match r {
+        InvalidReason::PredicateOutsideView { detail } => ("predicate-outside-view", detail),
+        InvalidReason::NonDeletableNode { detail } => ("non-deletable-node", detail),
+        InvalidReason::HierarchyViolation { detail } => ("hierarchy-violation", detail),
+        InvalidReason::TypeViolation { detail } => ("type-violation", detail),
+        InvalidReason::CheckViolation { detail } => ("check-violation", detail),
+        InvalidReason::NotNullViolation { detail } => ("not-null-violation", detail),
+        InvalidReason::UnknownTarget { detail } => ("unknown-target", detail),
+        InvalidReason::Malformed { detail } => ("malformed", detail),
+    }
+}
+
+fn invalid_from(code: &str, detail: String) -> Result<InvalidReason, WireError> {
+    Ok(match code {
+        "predicate-outside-view" => InvalidReason::PredicateOutsideView { detail },
+        "non-deletable-node" => InvalidReason::NonDeletableNode { detail },
+        "hierarchy-violation" => InvalidReason::HierarchyViolation { detail },
+        "type-violation" => InvalidReason::TypeViolation { detail },
+        "check-violation" => InvalidReason::CheckViolation { detail },
+        "not-null-violation" => InvalidReason::NotNullViolation { detail },
+        "unknown-target" => InvalidReason::UnknownTarget { detail },
+        "malformed" => InvalidReason::Malformed { detail },
+        other => return Err(err(format!("unknown invalid-reason code '{other}'"))),
+    })
+}
+
+/// Stable code for a [`CheckStep`].
+pub fn step_code(step: CheckStep) -> &'static str {
+    match step {
+        CheckStep::Validation => "validation",
+        CheckStep::Star => "star",
+        CheckStep::DataContext => "data-context",
+        CheckStep::DataPoint => "data-point",
+    }
+}
+
+/// Invert [`step_code`].
+pub fn step_from(code: &str) -> Result<CheckStep, WireError> {
+    Ok(match code {
+        "validation" => CheckStep::Validation,
+        "star" => CheckStep::Star,
+        "data-context" => CheckStep::DataContext,
+        "data-point" => CheckStep::DataPoint,
+        other => return Err(err(format!("unknown step code '{other}'"))),
+    })
+}
+
+fn encode_condition(c: &Condition) -> String {
+    match c {
+        Condition::TranslationMinimization => "cond:min".into(),
+        Condition::DuplicationConsistency => "cond:dup".into(),
+        Condition::SharedDataExistence { relations } => {
+            let rels: Vec<String> = relations.iter().map(|r| escape(r)).collect();
+            format!("cond:shared:{}", rels.join(","))
+        }
+    }
+}
+
+fn decode_condition(token: &str) -> Result<Condition, WireError> {
+    Ok(match token {
+        "min" => Condition::TranslationMinimization,
+        "dup" => Condition::DuplicationConsistency,
+        shared => {
+            let Some(rels) = shared.strip_prefix("shared:") else {
+                return Err(err(format!("unknown condition '{shared}'")));
+            };
+            let relations = rels
+                .split(',')
+                .filter(|r| !r.is_empty())
+                .map(unescape)
+                .collect::<Result<Vec<String>, WireError>>()?;
+            Condition::SharedDataExistence { relations }
+        }
+    })
+}
+
+/// Encode one outcome as one wire line (no trailing newline).
+pub fn encode_outcome(outcome: &CheckOutcome) -> String {
+    match outcome {
+        CheckOutcome::Invalid(reason) => {
+            let (code, detail) = invalid_code(reason);
+            format!("invalid {code} {}", escape(detail))
+        }
+        CheckOutcome::Untranslatable { step, reason } => {
+            format!("untranslatable {} {}", step_code(*step), escape(reason))
+        }
+        CheckOutcome::Translatable { conditions, translation } => {
+            let mut out = String::from("translatable");
+            for c in conditions {
+                out.push(' ');
+                out.push_str(&encode_condition(c));
+            }
+            for stmt in translation {
+                out.push_str(" sql:");
+                out.push_str(&escape(&stmt.to_string()));
+            }
+            out
+        }
+    }
+}
+
+/// Decode one wire line back into the outcome it encodes. Translated SQL is
+/// re-parsed, so a decoded `Translatable` carries executable statements.
+pub fn decode_outcome(line: &str) -> Result<CheckOutcome, WireError> {
+    let line = line.trim_end_matches(['\r', '\n']);
+    let mut parts = line.splitn(3, ' ');
+    let kind = parts.next().unwrap_or_default();
+    match kind {
+        "invalid" => {
+            let code = parts.next().ok_or_else(|| err("invalid: missing reason code"))?;
+            let detail = unescape(parts.next().unwrap_or_default())?;
+            Ok(CheckOutcome::Invalid(invalid_from(code, detail)?))
+        }
+        "untranslatable" => {
+            let step = step_from(parts.next().ok_or_else(|| err("missing step code"))?)?;
+            let reason = unescape(parts.next().unwrap_or_default())?;
+            Ok(CheckOutcome::Untranslatable { step, reason })
+        }
+        "translatable" => {
+            let rest: Vec<&str> = line.split(' ').skip(1).filter(|t| !t.is_empty()).collect();
+            let mut conditions = Vec::new();
+            let mut translation = Vec::new();
+            for token in rest {
+                if let Some(c) = token.strip_prefix("cond:") {
+                    conditions.push(decode_condition(c)?);
+                } else if let Some(sql) = token.strip_prefix("sql:") {
+                    let text = unescape(sql)?;
+                    let stmt = Parser::parse_stmt(&text)
+                        .map_err(|e| err(format!("embedded SQL failed to re-parse: {e}")))?;
+                    translation.push(stmt);
+                } else {
+                    return Err(err(format!("unknown translatable token '{token}'")));
+                }
+            }
+            Ok(CheckOutcome::Translatable { conditions, translation })
+        }
+        other => Err(err(format!("unknown outcome kind '{other}'"))),
+    }
+}
+
+/// Encode every action outcome of one update, tab-joined into a single
+/// line (one wire outcome per [`crate::CheckReport`], in report order).
+pub fn encode_outcomes(outcomes: &[CheckOutcome]) -> String {
+    outcomes.iter().map(encode_outcome).collect::<Vec<String>>().join("\t")
+}
+
+/// Decode a tab-joined multi-outcome line (inverse of [`encode_outcomes`]).
+pub fn decode_outcomes(line: &str) -> Result<Vec<CheckOutcome>, WireError> {
+    line.trim_end_matches(['\r', '\n']).split('\t').map(decode_outcome).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(o: &CheckOutcome) {
+        let line = encode_outcome(o);
+        assert!(!line.contains('\n') && !line.contains('\t'), "not single-line: {line:?}");
+        let back = decode_outcome(&line).expect("decodes");
+        assert_eq!(&back, o, "wire round trip changed the outcome: {line}");
+    }
+
+    #[test]
+    fn escape_roundtrips_awkward_text() {
+        for s in ["", "plain", "two words", "tab\there", "a\nb\r\nc", "100% sure, yes", "%2C"] {
+            let e = escape(s);
+            assert!(!e.contains([' ', '\t', '\n', '\r', ',']), "{e:?}");
+            assert_eq!(unescape(&e).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn unescape_rejects_malformed() {
+        assert!(unescape("%").is_err());
+        assert!(unescape("%2").is_err());
+        assert!(unescape("%zz").is_err());
+    }
+
+    #[test]
+    fn invalid_outcomes_roundtrip() {
+        let details =
+            ["", "simple", "with spaces, commas and 100%", "multi\nline\tdetail"].map(String::from);
+        for detail in details {
+            roundtrip(&CheckOutcome::Invalid(InvalidReason::PredicateOutsideView {
+                detail: detail.clone(),
+            }));
+            roundtrip(&CheckOutcome::Invalid(InvalidReason::Malformed { detail: detail.clone() }));
+            roundtrip(&CheckOutcome::Invalid(InvalidReason::NotNullViolation { detail }));
+        }
+    }
+
+    #[test]
+    fn untranslatable_outcomes_roundtrip() {
+        for step in
+            [CheckStep::Validation, CheckStep::Star, CheckStep::DataContext, CheckStep::DataPoint]
+        {
+            roundtrip(&CheckOutcome::Untranslatable {
+                step,
+                reason: "shared <publisher> is (dirty|u-d), Observation 1 fails".into(),
+            });
+        }
+    }
+
+    #[test]
+    fn translatable_outcomes_roundtrip() {
+        roundtrip(&CheckOutcome::Translatable { conditions: vec![], translation: vec![] });
+        roundtrip(&CheckOutcome::Translatable {
+            conditions: vec![
+                Condition::TranslationMinimization,
+                Condition::DuplicationConsistency,
+                Condition::SharedDataExistence {
+                    relations: vec!["book".into(), "publisher".into()],
+                },
+            ],
+            translation: vec![
+                Parser::parse_stmt("DELETE FROM review WHERE bookid = '98001'").unwrap(),
+                Parser::parse_stmt("INSERT INTO review (bookid) VALUES ('98003')").unwrap(),
+            ],
+        });
+    }
+
+    #[test]
+    fn real_pipeline_outcomes_roundtrip() {
+        use crate::bookdemo;
+        let filter = bookdemo::book_filter();
+        let mut db = bookdemo::book_db();
+        for update in [bookdemo::U8, bookdemo::U10, bookdemo::U13, bookdemo::U5] {
+            for report in filter.check(update, &mut db) {
+                roundtrip(&report.outcome);
+            }
+        }
+    }
+
+    #[test]
+    fn tab_joined_multi_outcomes_roundtrip() {
+        let outcomes = vec![
+            CheckOutcome::Invalid(InvalidReason::Malformed { detail: "a b".into() }),
+            CheckOutcome::Untranslatable { step: CheckStep::Star, reason: "r".into() },
+        ];
+        let line = encode_outcomes(&outcomes);
+        assert_eq!(line.matches('\t').count(), 1);
+        assert_eq!(decode_outcomes(&line).unwrap(), outcomes);
+    }
+}

@@ -1,0 +1,324 @@
+//! The sharded concurrent catalog: an `Arc`-shareable, `Sync` wrapper that
+//! spreads registered views over N independently-locked [`ViewCatalog`]
+//! shards.
+//!
+//! Views hash to shards by name ([`ShardedCatalog::shard_of`]), so the
+//! read-mostly check path takes exactly one shard **read** lock, while
+//! catalog mutations (`add`/`drop_view`) take one targeted shard **write**
+//! lock. Only guarded DDL — which changes the schema every shard compiles
+//! against — locks all shards, and it does so under the crate's single
+//! lock-ordering rule:
+//!
+//! > **Lock order:** shard locks are only ever acquired in ascending shard
+//! > index, and no thread holds two shard locks unless it is the DDL path
+//! > acquiring *all* of them (ascending). Check/list paths lock one shard
+//! > at a time.
+//!
+//! That rule makes deadlock impossible: every multi-lock acquisition is a
+//! prefix-ordered sweep, and single-lock acquisitions cannot form a cycle.
+
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use ufilter_core::catalog::is_schema_ddl;
+use ufilter_core::{
+    BatchItemReport, BatchReport, BatchStats, CatalogError, ProbeCache, UFilterConfig, ViewCatalog,
+    ViewInfo,
+};
+use ufilter_rdb::{DatabaseSchema, Db, ExecOutcome, Parser, Stmt};
+
+/// FNV-1a 64-bit hash — deterministic across runs and processes, so view →
+/// shard and (view, update) → worker routing is stable (std's default
+/// hasher is randomly seeded per `RandomState`, which would make routing
+/// unreproducible between a server and its replay).
+pub fn affinity_hash(parts: &[&str]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in parts {
+        for b in part.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+        // Separator so ("ab","c") and ("a","bc") hash apart.
+        h ^= 0x1f;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+/// A concurrent, sharded view catalog. See the [module docs](self) for the
+/// locking design; per-shard semantics are exactly [`ViewCatalog`]'s
+/// (compile-once cache, RESTRICT DDL guard, batch amortization).
+pub struct ShardedCatalog {
+    shards: Vec<RwLock<ViewCatalog>>,
+}
+
+impl ShardedCatalog {
+    /// A catalog of `shards` shards (at least 1) over `schema`, with the
+    /// default pipeline config.
+    pub fn new(schema: DatabaseSchema, shards: usize) -> ShardedCatalog {
+        ShardedCatalog::with_config(schema, UFilterConfig::default(), shards)
+    }
+
+    /// [`new`](Self::new) with an explicit pipeline configuration.
+    pub fn with_config(
+        schema: DatabaseSchema,
+        config: UFilterConfig,
+        shards: usize,
+    ) -> ShardedCatalog {
+        let shards = shards.max(1);
+        ShardedCatalog {
+            shards: (0..shards)
+                .map(|_| RwLock::new(ViewCatalog::new(schema.clone()).with_config(config)))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a view name hashes to.
+    pub fn shard_of(&self, view: &str) -> usize {
+        (affinity_hash(&[view]) % self.shards.len() as u64) as usize
+    }
+
+    fn read(&self, i: usize) -> RwLockReadGuard<'_, ViewCatalog> {
+        self.shards[i].read().expect("catalog shard lock poisoned")
+    }
+
+    fn write(&self, i: usize) -> RwLockWriteGuard<'_, ViewCatalog> {
+        self.shards[i].write().expect("catalog shard lock poisoned")
+    }
+
+    /// Register `view_text` under `name` (one shard write lock). A name may
+    /// exist in at most one shard by construction, so [`ViewCatalog::add`]'s
+    /// duplicate check remains authoritative.
+    pub fn add(&self, name: &str, view_text: &str) -> Result<ViewInfo, CatalogError> {
+        self.write(self.shard_of(name)).add(name, view_text)
+    }
+
+    /// Unregister `name` (one shard write lock).
+    pub fn drop_view(&self, name: &str) -> Result<(), CatalogError> {
+        self.write(self.shard_of(name)).drop_view(name)
+    }
+
+    /// All registered views in name order (read locks, one shard at a time,
+    /// ascending).
+    pub fn list(&self) -> Vec<ViewInfo> {
+        let mut out: Vec<ViewInfo> = Vec::new();
+        for i in 0..self.shards.len() {
+            out.extend(self.read(i).list());
+        }
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    /// Total number of registered views.
+    pub fn len(&self) -> usize {
+        (0..self.shards.len()).map(|i| self.read(i).len()).sum()
+    }
+
+    /// Whether no view is registered in any shard.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Compile-once cache hits summed over all shards.
+    pub fn compile_cache_hits(&self) -> usize {
+        (0..self.shards.len()).map(|i| self.read(i).compile_cache_hits()).sum()
+    }
+
+    /// Names of registered views (any shard) that read `relation`.
+    pub fn dependents_of(&self, relation: &str) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for i in 0..self.shards.len() {
+            out.extend(self.read(i).dependents_of(relation));
+        }
+        out.sort();
+        out
+    }
+
+    /// The RESTRICT rule across every shard: reject schema-affecting DDL on
+    /// a relation any registered view reads. Advisory only — the atomic
+    /// guard-and-execute is [`execute_guarded`](Self::execute_guarded),
+    /// which re-checks under write locks.
+    pub fn guard_ddl(&self, stmt: &Stmt) -> Result<(), CatalogError> {
+        for i in 0..self.shards.len() {
+            self.read(i).guard_ddl(stmt)?;
+        }
+        Ok(())
+    }
+
+    /// Parse `sql`, then [`execute_guarded_stmt`](Self::execute_guarded_stmt).
+    pub fn execute_guarded(&self, db: &mut Db, sql: &str) -> Result<ExecOutcome, CatalogError> {
+        let stmt =
+            Parser::parse_stmt(sql).map_err(|e| CatalogError::Sql { detail: e.to_string() })?;
+        self.execute_guarded_stmt(db, stmt)
+    }
+
+    /// Guard and execute one statement atomically with respect to catalog
+    /// mutation: **all** shard write locks are taken (ascending index — the
+    /// lock-ordering rule), the guard is evaluated under them, the statement
+    /// runs against `db`, and on schema-affecting DDL every shard adopts the
+    /// new schema before any lock is released. Concurrent checks therefore
+    /// never observe a half-updated catalog.
+    pub fn execute_guarded_stmt(
+        &self,
+        db: &mut Db,
+        stmt: Stmt,
+    ) -> Result<ExecOutcome, CatalogError> {
+        let mut guards: Vec<RwLockWriteGuard<'_, ViewCatalog>> =
+            (0..self.shards.len()).map(|i| self.write(i)).collect();
+        for shard in &guards {
+            shard.guard_ddl(&stmt)?;
+        }
+        let ddl = is_schema_ddl(&stmt);
+        let out = db.run(stmt).map_err(|e| CatalogError::Sql { detail: e.to_string() })?;
+        if ddl {
+            for shard in &mut guards {
+                shard.set_schema(db.schema().clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Check a stream of `(global index, view, update text)` items, sharing
+    /// `cache` across the whole call. Items are grouped by shard; each
+    /// shard's sub-batch runs under that shard's read lock (one at a time,
+    /// ascending — the lock-ordering rule), then reports are re-indexed to
+    /// the caller's global indices and merged back into index order.
+    ///
+    /// Outcomes are identical to a single [`ViewCatalog`] holding every
+    /// view: grouping by shard only changes *which* probe scans are shared,
+    /// never any per-item classification (batch checking is check-only, so
+    /// probe results cannot be invalidated mid-call).
+    pub fn check_indexed(
+        &self,
+        items: &[(usize, &str, &str)],
+        db: &mut Db,
+        cache: &mut ProbeCache,
+    ) -> (Vec<BatchItemReport>, BatchStats) {
+        // shard → (global indices, borrowed sub-stream), preserving input
+        // order. Borrowed all the way down (`check_batch_refs`): the hot
+        // path never clones a view name or update text.
+        type ShardSlice<'a> = (Vec<usize>, Vec<(&'a str, &'a str)>);
+        let mut per_shard: Vec<ShardSlice> = vec![(Vec::new(), Vec::new()); self.shards.len()];
+        for (index, view, text) in items.iter().copied() {
+            let (globals, sub) = &mut per_shard[self.shard_of(view)];
+            globals.push(index);
+            sub.push((view, text));
+        }
+        let mut out: Vec<BatchItemReport> = Vec::with_capacity(items.len());
+        let mut stats = BatchStats::default();
+        for (shard, (globals, sub)) in per_shard.into_iter().enumerate() {
+            if sub.is_empty() {
+                continue;
+            }
+            let report = self.read(shard).check_batch_refs(&sub, db, cache);
+            stats.merge(&report.stats);
+            for mut item in report.items {
+                item.index = globals[item.index];
+                out.push(item);
+            }
+        }
+        out.sort_by_key(|i| i.index);
+        (out, stats)
+    }
+
+    /// Single-threaded convenience over [`check_indexed`](Self::check_indexed)
+    /// with `(view, text)` pairs indexed by position, packaged as a
+    /// [`BatchReport`].
+    pub fn check_batch_text(&self, items: &[(String, String)], db: &mut Db) -> BatchReport {
+        let indexed: Vec<(usize, &str, &str)> =
+            items.iter().enumerate().map(|(i, (v, t))| (i, v.as_str(), t.as_str())).collect();
+        let (items, stats) = self.check_indexed(&indexed, db, &mut ProbeCache::new());
+        BatchReport { items, stats }
+    }
+}
+
+// The whole point of the sharded catalog: it can be shared across worker
+// threads behind an Arc.
+const _: fn() = || {
+    fn assert_sync<T: Send + Sync>() {}
+    assert_sync::<ShardedCatalog>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufilter_core::bookdemo;
+
+    #[test]
+    fn affinity_hash_is_stable_and_separator_aware() {
+        assert_eq!(affinity_hash(&["books"]), affinity_hash(&["books"]));
+        assert_ne!(affinity_hash(&["ab", "c"]), affinity_hash(&["a", "bc"]));
+    }
+
+    #[test]
+    fn add_list_drop_across_shards() {
+        let cat = ShardedCatalog::new(bookdemo::book_schema(), 4);
+        for name in ["a", "b", "c", "d", "e"] {
+            cat.add(name, bookdemo::BOOK_VIEW).unwrap();
+        }
+        assert_eq!(cat.len(), 5);
+        let names: Vec<String> = cat.list().into_iter().map(|v| v.name).collect();
+        assert_eq!(names, ["a", "b", "c", "d", "e"]);
+        assert!(cat.add("a", bookdemo::BOOK_VIEW).is_err(), "duplicate rejected");
+        cat.drop_view("c").unwrap();
+        assert_eq!(cat.len(), 4);
+        assert!(cat.drop_view("c").is_err());
+    }
+
+    #[test]
+    fn sharded_outcomes_match_single_catalog() {
+        let mut single = ViewCatalog::new(bookdemo::book_schema());
+        single.add("books", bookdemo::BOOK_VIEW).unwrap();
+        let sharded = ShardedCatalog::new(bookdemo::book_schema(), 3);
+        sharded.add("books", bookdemo::BOOK_VIEW).unwrap();
+
+        let stream: Vec<(String, String)> = [bookdemo::U8, bookdemo::U10, bookdemo::U13]
+            .iter()
+            .map(|u| ("books".to_string(), u.to_string()))
+            .collect();
+        let mut db1 = bookdemo::book_db();
+        let mut db2 = bookdemo::book_db();
+        let a = single.check_batch_text(&stream, &mut db1);
+        let b = sharded.check_batch_text(&stream, &mut db2);
+        let wire = |r: &BatchReport| -> Vec<String> {
+            r.items
+                .iter()
+                .flat_map(|i| {
+                    i.reports.iter().map(|r| ufilter_core::wire::encode_outcome(&r.outcome))
+                })
+                .collect()
+        };
+        assert_eq!(wire(&a), wire(&b));
+    }
+
+    #[test]
+    fn ddl_guard_spans_all_shards() {
+        let cat = ShardedCatalog::new(bookdemo::book_schema(), 4);
+        cat.add("books", bookdemo::BOOK_VIEW).unwrap();
+        let mut db = bookdemo::book_db();
+        let e = cat.execute_guarded(&mut db, "DROP TABLE review").unwrap_err();
+        assert!(e.to_string().contains("books"), "{e}");
+        // A relation no view reads can be created and dropped; afterwards
+        // every shard has adopted the refreshed schema.
+        cat.execute_guarded(&mut db, "CREATE TABLE scratch (id INTEGER)").unwrap();
+        assert!(cat.guard_ddl(&Parser::parse_stmt("DROP TABLE scratch").unwrap()).is_ok());
+        cat.execute_guarded(&mut db, "DROP TABLE scratch").unwrap();
+        for i in 0..cat.shard_count() {
+            assert!(cat.read(i).schema().table("scratch").is_none(), "shard {i} schema stale");
+        }
+    }
+
+    #[test]
+    fn unknown_view_gets_per_item_report() {
+        let cat = ShardedCatalog::new(bookdemo::book_schema(), 2);
+        let mut db = bookdemo::book_db();
+        let report =
+            cat.check_batch_text(&[("ghost".to_string(), bookdemo::U8.to_string())], &mut db);
+        assert_eq!(report.items.len(), 1);
+        assert!(!report.items[0].reports[0].outcome.is_translatable());
+    }
+}

@@ -1,0 +1,51 @@
+//! # ufilter-service — the concurrent check server
+//!
+//! U-Filter's value is *compile once, check many* (paper Fig. 5): a view's
+//! ASG and STAR marks are computed once and amortized over a stream of
+//! updates. This crate scales that amortization from a single-threaded
+//! library call to a long-running, concurrent **service**:
+//!
+//! * [`catalog::ShardedCatalog`] — an `Arc`-shared, `Sync` view catalog.
+//!   Views hash to shards by name; the read-mostly check path takes one
+//!   shard read lock, catalog mutations take one targeted write lock, and
+//!   only schema-affecting DDL sweeps every shard (under a single
+//!   lock-ordering rule that makes deadlock impossible).
+//! * [`pool::CheckPool`] — a worker-pool executor (std threads + channels,
+//!   no external dependencies). Requests are routed by a deterministic
+//!   affinity hash of `(view, update text)`, so repeat-heavy traffic keeps
+//!   landing on the worker whose [`ufilter_core::ProbeCache`] is already
+//!   warm for it — cache reuse survives concurrency.
+//! * [`proto`] + [`server::CheckServer`] — a line-oriented wire protocol
+//!   over `std::net` TCP (`CHECK`, `BATCH`, `CATALOG ADD/DROP/LIST`,
+//!   `STATS`, `SHUTDOWN`) whose `OK`/`ERR` replies carry
+//!   [`ufilter_core::wire`]-encoded outcomes — byte-identical to what the
+//!   single-threaded `check-batch` CLI prints for the same stream.
+//!
+//! The service is **check-only**: no wire request ever executes a
+//! translated update, so worker-private database clones and probe caches
+//! stay valid for the server's lifetime, and every reply is a pure
+//! function of (catalog, database snapshot, update).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use ufilter_core::bookdemo;
+//! use ufilter_service::{CheckPool, ShardedCatalog};
+//!
+//! let catalog = Arc::new(ShardedCatalog::new(bookdemo::book_schema(), 4));
+//! catalog.add("books", bookdemo::BOOK_VIEW).unwrap();
+//! let pool = CheckPool::new(Arc::clone(&catalog), &bookdemo::book_db(), 2);
+//! let reports = pool.check_one("books", bookdemo::U8);
+//! assert!(reports[0].outcome.is_translatable());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod pool;
+pub mod proto;
+pub mod server;
+
+pub use catalog::{affinity_hash, ShardedCatalog};
+pub use pool::{CheckPool, PoolStatsSnapshot};
+pub use proto::Request;
+pub use server::{CheckServer, ShutdownHandle};

@@ -1,0 +1,257 @@
+//! The worker-pool executor: N std threads fanning check requests over the
+//! shared [`ShardedCatalog`], with deterministic **affinity routing** so
+//! probe-cache reuse survives concurrency.
+//!
+//! Each worker owns a private [`Db`] clone and one long-lived
+//! [`ProbeCache`]. Routing is by `hash(view, update text)` — every
+//! occurrence of the same update against the same view lands on the same
+//! worker, so repeat-heavy streams keep hitting that worker's warm cache
+//! (and its materialized `TAB_…` tables stay fresh, because no other view's
+//! probes thrash them). Plain per-view routing would cap the usable
+//! parallelism at the number of registered views; hashing the update text
+//! in keeps the affinity property *and* balances a skewed stream.
+//!
+//! The pool is check-only: workers never execute translations, so their
+//! private databases stay byte-identical to the snapshot taken at pool
+//! construction and cached probe results stay valid for the pool's
+//! lifetime.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use ufilter_core::{BatchItemReport, BatchReport, BatchStats, CheckReport, ProbeCache};
+use ufilter_rdb::Db;
+
+use crate::catalog::{affinity_hash, ShardedCatalog};
+
+/// One routed unit of work: a slice of a stream plus the channel to send
+/// the worker's partial report back on.
+struct Job {
+    items: Vec<(usize, String, String)>,
+    reply: Sender<(Vec<BatchItemReport>, BatchStats)>,
+}
+
+/// Monotonic counters the pool aggregates across workers (read by the
+/// server's `STATS` command).
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    jobs: AtomicUsize,
+    items: AtomicUsize,
+    probe_hits: AtomicUsize,
+    probe_misses: AtomicUsize,
+}
+
+/// A point-in-time copy of [`PoolStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStatsSnapshot {
+    /// Jobs dispatched to workers.
+    pub jobs: usize,
+    /// Stream items checked.
+    pub items: usize,
+    /// Context probes answered from a worker's warm cache.
+    pub probe_hits: usize,
+    /// Context probes that had to scan.
+    pub probe_misses: usize,
+}
+
+impl PoolStats {
+    fn record(&self, items: usize, stats: &BatchStats) {
+        self.jobs.fetch_add(1, Ordering::Relaxed);
+        self.items.fetch_add(items, Ordering::Relaxed);
+        self.probe_hits.fetch_add(stats.probe_hits, Ordering::Relaxed);
+        self.probe_misses.fetch_add(stats.probe_misses, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> PoolStatsSnapshot {
+        PoolStatsSnapshot {
+            jobs: self.jobs.load(Ordering::Relaxed),
+            items: self.items.load(Ordering::Relaxed),
+            probe_hits: self.probe_hits.load(Ordering::Relaxed),
+            probe_misses: self.probe_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The worker-pool executor. Construct once, share behind an `Arc`, call
+/// [`check_stream`](CheckPool::check_stream) from any number of threads.
+pub struct CheckPool {
+    senders: Vec<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+    stats: Arc<PoolStats>,
+}
+
+impl CheckPool {
+    /// Spawn `workers` (at least 1) threads, each owning a clone of `db`
+    /// and an empty probe cache, all sharing `catalog`.
+    pub fn new(catalog: Arc<ShardedCatalog>, db: &Db, workers: usize) -> CheckPool {
+        let workers = workers.max(1);
+        let stats = Arc::new(PoolStats::default());
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = channel::<Job>();
+            let catalog = Arc::clone(&catalog);
+            let stats = Arc::clone(&stats);
+            let mut db = db.clone();
+            handles.push(std::thread::spawn(move || worker_main(catalog, &mut db, rx, stats)));
+            senders.push(tx);
+        }
+        CheckPool { senders, handles, stats }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The worker a `(view, update text)` pair is routed to.
+    pub fn route(&self, view: &str, text: &str) -> usize {
+        (affinity_hash(&[view, text]) % self.senders.len() as u64) as usize
+    }
+
+    /// Counters aggregated across all workers.
+    pub fn stats(&self) -> PoolStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Check a whole stream: partition by affinity, fan the partitions out,
+    /// and reassemble per-item reports in input order. Per-item outcomes
+    /// are byte-identical (in wire form) to a single-threaded
+    /// [`ShardedCatalog::check_batch_text`] of the same stream — routing
+    /// only decides which worker's cache absorbs which probes.
+    pub fn check_stream(&self, items: &[(String, String)]) -> BatchReport {
+        let mut per_worker: Vec<Vec<(usize, String, String)>> =
+            vec![Vec::new(); self.senders.len()];
+        for (i, (view, text)) in items.iter().enumerate() {
+            per_worker[self.route(view, text)].push((i, view.clone(), text.clone()));
+        }
+        let (reply, inbox): (Sender<_>, Receiver<_>) = channel();
+        let mut expected = 0;
+        for (w, job_items) in per_worker.into_iter().enumerate() {
+            if job_items.is_empty() {
+                continue;
+            }
+            expected += 1;
+            self.senders[w]
+                .send(Job { items: job_items, reply: reply.clone() })
+                .expect("worker thread alive while pool exists");
+        }
+        drop(reply);
+        let mut out: Vec<BatchItemReport> = Vec::with_capacity(items.len());
+        let mut stats = BatchStats::default();
+        for _ in 0..expected {
+            let (part, part_stats) = inbox.recv().expect("worker replies before dropping job");
+            out.extend(part);
+            stats.merge(&part_stats);
+        }
+        out.sort_by_key(|i| i.index);
+        BatchReport { items: out, stats }
+    }
+
+    /// Check a single update (a one-item [`check_stream`](Self::check_stream)).
+    pub fn check_one(&self, view: &str, text: &str) -> Vec<CheckReport> {
+        let mut report =
+            self.check_stream(std::slice::from_ref(&(view.to_string(), text.to_string())));
+        report.items.remove(0).reports
+    }
+}
+
+impl Drop for CheckPool {
+    fn drop(&mut self) {
+        // Closing the channels ends the worker loops; join so no worker
+        // outlives the pool (and any panic surfaces here).
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_main(
+    catalog: Arc<ShardedCatalog>,
+    db: &mut Db,
+    rx: Receiver<Job>,
+    stats: Arc<PoolStats>,
+) {
+    // One cache for the worker's lifetime: probe results and TAB_ freshness
+    // both refer to this worker's private db, so sharing the cache across
+    // jobs (and across views routed here) is sound.
+    let mut cache = ProbeCache::new();
+    while let Ok(job) = rx.recv() {
+        let borrowed: Vec<(usize, &str, &str)> =
+            job.items.iter().map(|(i, v, t)| (*i, v.as_str(), t.as_str())).collect();
+        let (items, batch_stats) = catalog.check_indexed(&borrowed, db, &mut cache);
+        stats.record(items.len(), &batch_stats);
+        // A dropped receiver (caller gave up) is not a worker error.
+        let _ = job.reply.send((items, batch_stats));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ufilter_core::bookdemo;
+    use ufilter_core::wire::encode_outcome;
+
+    fn book_pool(workers: usize) -> (CheckPool, Arc<ShardedCatalog>) {
+        let catalog = Arc::new(ShardedCatalog::new(bookdemo::book_schema(), 4));
+        catalog.add("books", bookdemo::BOOK_VIEW).unwrap();
+        let db = bookdemo::book_db();
+        (CheckPool::new(Arc::clone(&catalog), &db, workers), catalog)
+    }
+
+    fn wire_lines(report: &BatchReport) -> Vec<String> {
+        report
+            .items
+            .iter()
+            .flat_map(|i| i.reports.iter().map(|r| encode_outcome(&r.outcome)))
+            .collect()
+    }
+
+    #[test]
+    fn pool_outcomes_match_single_threaded_batch() {
+        let stream: Vec<(String, String)> =
+            [bookdemo::U8, bookdemo::U10, bookdemo::U13, bookdemo::U8, bookdemo::U5]
+                .iter()
+                .map(|u| ("books".to_string(), u.to_string()))
+                .collect();
+        for workers in [1, 2, 4] {
+            let (pool, catalog) = book_pool(workers);
+            let mut db = bookdemo::book_db();
+            let serial = catalog.check_batch_text(&stream, &mut db);
+            let pooled = pool.check_stream(&stream);
+            assert_eq!(wire_lines(&serial), wire_lines(&pooled), "workers={workers}");
+            // Input order survives the fan-out.
+            let indices: Vec<usize> = pooled.items.iter().map(|i| i.index).collect();
+            assert_eq!(indices, (0..stream.len()).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn affinity_routing_is_deterministic() {
+        let (pool, _catalog) = book_pool(4);
+        let a = pool.route("books", bookdemo::U8);
+        assert_eq!(a, pool.route("books", bookdemo::U8));
+        // Stats accumulate across calls.
+        pool.check_one("books", bookdemo::U8);
+        pool.check_one("books", bookdemo::U8);
+        let s = pool.stats();
+        assert_eq!(s.items, 2);
+        assert!(s.probe_hits >= 1, "second identical check hits the warm cache: {s:?}");
+    }
+
+    #[test]
+    fn warm_cache_survives_across_requests() {
+        let (pool, _catalog) = book_pool(2);
+        let first = pool.check_one("books", bookdemo::U8);
+        let hits_after_first = pool.stats().probe_hits;
+        let second = pool.check_one("books", bookdemo::U8);
+        assert_eq!(
+            first.iter().map(|r| encode_outcome(&r.outcome)).collect::<Vec<_>>(),
+            second.iter().map(|r| encode_outcome(&r.outcome)).collect::<Vec<_>>(),
+        );
+        assert!(pool.stats().probe_hits > hits_after_first, "repeat probe served from cache");
+    }
+}

@@ -1,0 +1,229 @@
+//! The line-oriented wire protocol (ADR in `docs/ARCHITECTURE.md`).
+//!
+//! Every request is one line of space-separated tokens; free-text fields
+//! (update text, view definitions, error details) travel percent-escaped
+//! with [`ufilter_core::wire::escape`], so the framing never depends on
+//! payload content. Replies start with `OK` or `ERR`:
+//!
+//! ```text
+//! --> CHECK <view> <escaped-update>
+//! <-- OK <wire-outcome>[\t<wire-outcome>...]
+//!
+//! --> BATCH <n>            (followed by n lines: <view> <escaped-update>)
+//! <-- OK <n>
+//! <-- ITEM <index> <view> <wire-outcome>        (one line per action report)
+//! <-- END items=<n> parse_hits=<..> probe_hits=<..> probe_misses=<..> groups=<..>
+//!
+//! --> CATALOG ADD <name> <escaped-view-text>
+//! <-- OK added <name> reads=<r1,r2,...>
+//! --> CATALOG DROP <name>
+//! <-- OK dropped <name>
+//! --> CATALOG LIST
+//! <-- OK <n>               (followed by n lines: VIEW <name> reads=<...> cached=<bool>)
+//!
+//! --> STATS
+//! <-- OK workers=<..> shards=<..> views=<..> requests=<..> checked=<..> ...
+//! --> PING
+//! <-- OK pong
+//! --> SHUTDOWN
+//! <-- OK bye               (server stops accepting and drains)
+//! ```
+//!
+//! Any malformed or unknown request gets `ERR <escaped-detail>` and leaves
+//! the connection usable.
+
+use ufilter_core::wire::{escape, unescape};
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// `CHECK <view> <escaped-update>` — check one update (unescaped here).
+    Check {
+        /// Target view name.
+        view: String,
+        /// The update text, already unescaped.
+        update: String,
+    },
+    /// `BATCH <n>` — the next `n` lines are batch items.
+    Batch {
+        /// Number of item lines that follow.
+        count: usize,
+    },
+    /// `CATALOG ADD <name> <escaped-view-text>`.
+    CatalogAdd {
+        /// Registration name.
+        name: String,
+        /// View query text, already unescaped.
+        view_text: String,
+    },
+    /// `CATALOG DROP <name>`.
+    CatalogDrop {
+        /// Name to unregister.
+        name: String,
+    },
+    /// `CATALOG LIST`.
+    CatalogList,
+    /// `STATS` — one-line server/pool counters.
+    Stats,
+    /// `PING` — liveness probe.
+    Ping,
+    /// `SHUTDOWN` — stop accepting connections and drain.
+    Shutdown,
+}
+
+/// Parse one request line. `Err` carries a human-readable detail suitable
+/// for an `ERR` reply.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let line = line.trim_end_matches(['\r', '\n']);
+    let mut parts = line.splitn(3, ' ');
+    let verb = parts.next().unwrap_or_default();
+    match verb {
+        "CHECK" => {
+            let view = parts.next().filter(|v| !v.is_empty()).ok_or("CHECK needs a view name")?;
+            let escaped = parts.next().ok_or("CHECK needs an escaped update")?;
+            if escaped.contains(' ') {
+                return Err("CHECK takes exactly two operands (is the update escaped?)".into());
+            }
+            let update = unescape(escaped).map_err(|e| e.to_string())?;
+            Ok(Request::Check { view: view.to_string(), update })
+        }
+        "BATCH" => {
+            let count: usize = parts
+                .next()
+                .ok_or("BATCH needs an item count")?
+                .parse()
+                .map_err(|_| "BATCH count must be a non-negative integer".to_string())?;
+            if parts.next().is_some() {
+                return Err("BATCH takes exactly one operand".into());
+            }
+            Ok(Request::Batch { count })
+        }
+        "CATALOG" => match parts.next() {
+            Some("ADD") => {
+                let rest = parts.next().ok_or("CATALOG ADD needs <name> <escaped-view>")?;
+                let (name, text) =
+                    rest.split_once(' ').ok_or("CATALOG ADD needs <name> <escaped-view>")?;
+                if name.is_empty() || text.contains(' ') {
+                    return Err(
+                        "CATALOG ADD takes exactly two operands (is the view text escaped?)".into(),
+                    );
+                }
+                Ok(Request::CatalogAdd {
+                    name: name.to_string(),
+                    view_text: unescape(text).map_err(|e| e.to_string())?,
+                })
+            }
+            Some("DROP") => {
+                let name = parts.next().filter(|n| !n.is_empty() && !n.contains(' '));
+                Ok(Request::CatalogDrop {
+                    name: name.ok_or("CATALOG DROP needs exactly one name")?.to_string(),
+                })
+            }
+            Some("LIST") => match parts.next() {
+                None => Ok(Request::CatalogList),
+                Some(_) => Err("CATALOG LIST takes no operands".into()),
+            },
+            other => Err(format!("unknown CATALOG subcommand {other:?} (ADD/DROP/LIST)")),
+        },
+        "STATS" | "PING" | "SHUTDOWN" => {
+            if parts.next().is_some() {
+                return Err(format!("{verb} takes no operands"));
+            }
+            Ok(match verb {
+                "STATS" => Request::Stats,
+                "PING" => Request::Ping,
+                _ => Request::Shutdown,
+            })
+        }
+        "" => Err("empty request".into()),
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+/// Parse one `BATCH` item line: `<view> <escaped-update>`.
+pub fn parse_batch_item(line: &str) -> Result<(String, String), String> {
+    let line = line.trim_end_matches(['\r', '\n']);
+    let (view, text) = line.split_once(' ').ok_or("batch item needs <view> <escaped-update>")?;
+    if view.is_empty() || text.contains(' ') {
+        return Err("batch item takes exactly <view> <escaped-update>".into());
+    }
+    Ok((view.to_string(), unescape(text).map_err(|e| e.to_string())?))
+}
+
+/// Format an `ERR` reply line (detail escaped, so always one line).
+pub fn err_reply(detail: &str) -> String {
+    format!("ERR {}", escape(detail))
+}
+
+/// Format a `CHECK` request line.
+pub fn check_request(view: &str, update: &str) -> String {
+    format!("CHECK {view} {}", escape(update))
+}
+
+/// Format a `BATCH` item line.
+pub fn batch_item(view: &str, update: &str) -> String {
+    format!("{view} {}", escape(update))
+}
+
+/// Format a `CATALOG ADD` request line.
+pub fn catalog_add_request(name: &str, view_text: &str) -> String {
+    format!("CATALOG ADD {name} {}", escape(view_text))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_request_roundtrips_multiline_update() {
+        let update = "FOR $r IN document(\"V.xml\")\nUPDATE $r { DELETE $b }";
+        let line = check_request("books", update);
+        assert!(!line.contains('\n'));
+        assert_eq!(
+            parse_request(&line).unwrap(),
+            Request::Check { view: "books".into(), update: update.into() }
+        );
+    }
+
+    #[test]
+    fn catalog_requests_parse() {
+        assert_eq!(
+            parse_request(&catalog_add_request("v1", "FOR $x ...")).unwrap(),
+            Request::CatalogAdd { name: "v1".into(), view_text: "FOR $x ...".into() }
+        );
+        assert_eq!(
+            parse_request("CATALOG DROP v1").unwrap(),
+            Request::CatalogDrop { name: "v1".into() }
+        );
+        assert_eq!(parse_request("CATALOG LIST").unwrap(), Request::CatalogList);
+        assert!(parse_request("CATALOG LIST extra").is_err());
+        assert!(parse_request("CATALOG NUKE v1").is_err());
+    }
+
+    #[test]
+    fn zero_operand_verbs_reject_operands() {
+        assert_eq!(parse_request("PING").unwrap(), Request::Ping);
+        assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
+        assert_eq!(parse_request("SHUTDOWN").unwrap(), Request::Shutdown);
+        assert!(parse_request("PING now").is_err());
+    }
+
+    #[test]
+    fn batch_header_and_items_parse() {
+        assert_eq!(parse_request("BATCH 3").unwrap(), Request::Batch { count: 3 });
+        assert!(parse_request("BATCH").is_err());
+        assert!(parse_request("BATCH many").is_err());
+        let (view, text) = parse_batch_item(&batch_item("books", "a b\nc")).unwrap();
+        assert_eq!((view.as_str(), text.as_str()), ("books", "a b\nc"));
+        assert!(parse_batch_item("no-space-here").is_err());
+    }
+
+    #[test]
+    fn malformed_lines_yield_err_not_panic() {
+        for bad in ["", "WAT", "CHECK", "CHECK v", "CHECK v %zz"] {
+            assert!(parse_request(bad).is_err(), "{bad:?}");
+        }
+        assert!(err_reply("two words, a comma").starts_with("ERR "));
+        assert!(!err_reply("a b").contains(" b"), "detail is escaped");
+    }
+}

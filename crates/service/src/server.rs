@@ -1,0 +1,484 @@
+//! The long-running TCP check server: `std::net` listener, one thread per
+//! connection, all connections sharing the [`ShardedCatalog`] and the
+//! [`CheckPool`].
+//!
+//! A connection reads request lines ([`crate::proto`]), dispatches check
+//! work to the pool (so affinity routing — not connection identity —
+//! decides which worker and which warm cache serves an update), and writes
+//! the structured `OK`/`ERR` replies. `SHUTDOWN` flips a shared flag and
+//! wakes the accept loop with a loopback connection; the server then stops
+//! accepting, joins every connection thread, and drops the pool (joining
+//! the workers).
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ufilter_core::wire::{encode_outcome, escape};
+use ufilter_core::CheckReport;
+use ufilter_rdb::Db;
+
+use crate::catalog::ShardedCatalog;
+use crate::pool::CheckPool;
+use crate::proto::{err_reply, parse_batch_item, parse_request, Request};
+
+/// Counters the `STATS` command reports (monotonic, server lifetime).
+#[derive(Debug, Default)]
+struct ServerStats {
+    connections: AtomicUsize,
+    requests: AtomicUsize,
+    errors: AtomicUsize,
+}
+
+/// A bound, not-yet-running check server.
+pub struct CheckServer {
+    listener: TcpListener,
+    addr: SocketAddr,
+    catalog: Arc<ShardedCatalog>,
+    pool: Arc<CheckPool>,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+}
+
+impl CheckServer {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and spawn a
+    /// pool of `workers` check workers, each owning a clone of `db`.
+    pub fn bind(
+        addr: &str,
+        catalog: Arc<ShardedCatalog>,
+        db: &Db,
+        workers: usize,
+    ) -> std::io::Result<CheckServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let pool = Arc::new(CheckPool::new(Arc::clone(&catalog), db, workers));
+        Ok(CheckServer {
+            listener,
+            addr,
+            catalog,
+            pool,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            stats: Arc::new(ServerStats::default()),
+        })
+    }
+
+    /// The address the server actually bound (resolves `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle that can stop the server from another thread (same effect
+    /// as a client sending `SHUTDOWN`).
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle { flag: Arc::clone(&self.shutdown), addr: self.addr }
+    }
+
+    /// Accept connections until `SHUTDOWN`, then drain: joins every
+    /// connection thread and the worker pool before returning.
+    pub fn run(self) -> std::io::Result<()> {
+        let mut conns = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = stream?;
+            self.stats.connections.fetch_add(1, Ordering::Relaxed);
+            let conn = Connection {
+                catalog: Arc::clone(&self.catalog),
+                pool: Arc::clone(&self.pool),
+                shutdown: Arc::clone(&self.shutdown),
+                stats: Arc::clone(&self.stats),
+                addr: self.addr,
+            };
+            conns.push(std::thread::spawn(move || conn.serve(stream)));
+        }
+        for handle in conns {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+}
+
+/// Stops a running [`CheckServer`] from outside a connection.
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ShutdownHandle {
+    /// Flip the shutdown flag and wake the accept loop.
+    pub fn shutdown(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+        // The accept loop is blocked in accept(); poke it awake.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+struct Connection {
+    catalog: Arc<ShardedCatalog>,
+    pool: Arc<CheckPool>,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+    addr: SocketAddr,
+}
+
+impl Connection {
+    fn serve(self, stream: TcpStream) {
+        // Short read timeouts keep idle connections responsive to shutdown
+        // without a dedicated poll thread.
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+        let Ok(reader_stream) = stream.try_clone() else { return };
+        let mut reader = BufReader::new(reader_stream);
+        let mut writer = BufWriter::new(stream);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let Some(n) = self.read_line(&mut reader, &mut line) else { return };
+            if n == 0 {
+                return; // client closed the connection
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            self.stats.requests.fetch_add(1, Ordering::Relaxed);
+            let stop = match parse_request(&line) {
+                Ok(req) => self.handle(req, &mut reader, &mut writer),
+                Err(detail) => {
+                    self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    self.reply(&mut writer, &err_reply(&detail))
+                }
+            };
+            if stop.is_none() {
+                return;
+            }
+            if stop == Some(true) {
+                self.shutdown.store(true, Ordering::SeqCst);
+                let _ = TcpStream::connect(self.addr); // wake the accept loop
+                return;
+            }
+        }
+    }
+
+    /// Read one line, retrying through read timeouts (checking the shutdown
+    /// flag between attempts). `None` means the connection should close.
+    ///
+    /// Accumulates raw bytes and converts to UTF-8 only at a complete line
+    /// boundary — `BufRead::read_line` would fail if a read timeout split a
+    /// multi-byte character mid-sequence (escaped payloads pass non-ASCII
+    /// through raw).
+    fn read_line(&self, reader: &mut BufReader<TcpStream>, line: &mut String) -> Option<usize> {
+        let mut bytes: Vec<u8> = Vec::new();
+        loop {
+            let (used, done) = match reader.fill_buf() {
+                Ok([]) => (0, true), // EOF; deliver what we have (may be 0)
+                Ok(buf) => match buf.iter().position(|b| *b == b'\n') {
+                    Some(pos) => {
+                        bytes.extend_from_slice(&buf[..=pos]);
+                        (pos + 1, true)
+                    }
+                    None => {
+                        bytes.extend_from_slice(buf);
+                        (buf.len(), false)
+                    }
+                },
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        return None;
+                    }
+                    continue;
+                }
+                Err(_) => return None,
+            };
+            reader.consume(used);
+            if done {
+                break;
+            }
+        }
+        // A non-UTF-8 request is not speaking this protocol: close.
+        let text = String::from_utf8(bytes).ok()?;
+        line.push_str(&text);
+        Some(text.len())
+    }
+
+    /// Write one reply line. `Some(false)` keeps the connection open.
+    fn reply(&self, writer: &mut BufWriter<TcpStream>, text: &str) -> Option<bool> {
+        writeln!(writer, "{text}").ok()?;
+        writer.flush().ok()?;
+        Some(false)
+    }
+
+    /// Handle one parsed request. `None` = close connection, `Some(true)` =
+    /// server shutdown requested, `Some(false)` = keep serving.
+    fn handle(
+        &self,
+        req: Request,
+        reader: &mut BufReader<TcpStream>,
+        writer: &mut BufWriter<TcpStream>,
+    ) -> Option<bool> {
+        match req {
+            Request::Ping => self.reply(writer, "OK pong"),
+            Request::Shutdown => {
+                self.reply(writer, "OK bye")?;
+                Some(true)
+            }
+            Request::Check { view, update } => {
+                let reports = self.pool.check_one(&view, &update);
+                self.reply(writer, &format!("OK {}", report_line(&reports)))
+            }
+            Request::Batch { count } => {
+                let mut items: Vec<(String, String)> = Vec::with_capacity(count);
+                let mut bad: Option<String> = None;
+                // Always consume exactly `count` item lines, even after a
+                // malformed one — replying ERR early would leave the rest of
+                // the batch in the stream to be misread as top-level
+                // requests, desyncing every later request/reply pair.
+                for _ in 0..count {
+                    let mut line = String::new();
+                    let n = self.read_line(reader, &mut line)?;
+                    if n == 0 {
+                        return None; // client hung up mid-batch
+                    }
+                    if bad.is_some() {
+                        continue; // draining
+                    }
+                    match parse_batch_item(&line) {
+                        Ok(item) => items.push(item),
+                        Err(detail) => bad = Some(detail),
+                    }
+                }
+                if let Some(detail) = bad {
+                    self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    return self.reply(writer, &err_reply(&detail));
+                }
+                let report = self.pool.check_stream(&items);
+                writeln!(writer, "OK {}", items.len()).ok()?;
+                for item in &report.items {
+                    for r in &item.reports {
+                        writeln!(
+                            writer,
+                            "ITEM {} {} {}",
+                            item.index,
+                            item.view,
+                            encode_outcome(&r.outcome)
+                        )
+                        .ok()?;
+                    }
+                }
+                let s = report.stats;
+                writeln!(
+                    writer,
+                    "END items={} parse_hits={} probe_hits={} probe_misses={} groups={}",
+                    s.items, s.parse_hits, s.probe_hits, s.probe_misses, s.target_groups
+                )
+                .ok()?;
+                writer.flush().ok()?;
+                Some(false)
+            }
+            Request::CatalogAdd { name, view_text } => match self.catalog.add(&name, &view_text) {
+                Ok(info) => self.reply(
+                    writer,
+                    &format!("OK added {} reads={}", info.name, info.relations.join(",")),
+                ),
+                Err(e) => {
+                    self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    self.reply(writer, &err_reply(&e.to_string()))
+                }
+            },
+            Request::CatalogDrop { name } => match self.catalog.drop_view(&name) {
+                Ok(()) => self.reply(writer, &format!("OK dropped {name}")),
+                Err(e) => {
+                    self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    self.reply(writer, &err_reply(&e.to_string()))
+                }
+            },
+            Request::CatalogList => {
+                let views = self.catalog.list();
+                writeln!(writer, "OK {}", views.len()).ok()?;
+                for v in views {
+                    writeln!(
+                        writer,
+                        "VIEW {} reads={} cached={}",
+                        v.name,
+                        v.relations.join(","),
+                        v.cached
+                    )
+                    .ok()?;
+                }
+                writer.flush().ok()?;
+                Some(false)
+            }
+            Request::Stats => {
+                let p = self.pool.stats();
+                self.reply(
+                    writer,
+                    &format!(
+                        "OK workers={} shards={} views={} connections={} requests={} errors={} \
+                         jobs={} checked={} probe_hits={} probe_misses={} compile_hits={}",
+                        self.pool.workers(),
+                        self.catalog.shard_count(),
+                        self.catalog.len(),
+                        self.stats.connections.load(Ordering::Relaxed),
+                        self.stats.requests.load(Ordering::Relaxed),
+                        self.stats.errors.load(Ordering::Relaxed),
+                        p.jobs,
+                        p.items,
+                        p.probe_hits,
+                        p.probe_misses,
+                        self.catalog.compile_cache_hits(),
+                    ),
+                )
+            }
+        }
+    }
+}
+
+/// Tab-join the wire outcomes of one update's action reports (the `CHECK`
+/// reply payload).
+pub fn report_line(reports: &[CheckReport]) -> String {
+    reports.iter().map(|r| encode_outcome(&r.outcome)).collect::<Vec<String>>().join("\t")
+}
+
+/// Escape helper re-exported for clients building requests.
+pub fn escape_payload(s: &str) -> String {
+    escape(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader, Write};
+    use ufilter_core::bookdemo;
+
+    struct Client {
+        reader: BufReader<TcpStream>,
+        writer: TcpStream,
+    }
+
+    impl Client {
+        fn connect(addr: SocketAddr) -> Client {
+            let stream = TcpStream::connect(addr).expect("server accepts");
+            Client { reader: BufReader::new(stream.try_clone().unwrap()), writer: stream }
+        }
+
+        fn send(&mut self, line: &str) {
+            writeln!(self.writer, "{line}").unwrap();
+            self.writer.flush().unwrap();
+        }
+
+        fn recv(&mut self) -> String {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).expect("server replies");
+            line.trim_end().to_string()
+        }
+
+        fn roundtrip(&mut self, line: &str) -> String {
+            self.send(line);
+            self.recv()
+        }
+    }
+
+    fn spawn_book_server(workers: usize) -> (SocketAddr, std::thread::JoinHandle<()>) {
+        let catalog = Arc::new(ShardedCatalog::new(bookdemo::book_schema(), 4));
+        catalog.add("books", bookdemo::BOOK_VIEW).unwrap();
+        let db = bookdemo::book_db();
+        let server = CheckServer::bind("127.0.0.1:0", catalog, &db, workers).expect("binds");
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run().expect("serves"));
+        (addr, handle)
+    }
+
+    #[test]
+    fn full_session_over_tcp() {
+        let (addr, handle) = spawn_book_server(2);
+        let mut c = Client::connect(addr);
+
+        assert_eq!(c.roundtrip("PING"), "OK pong");
+
+        // CHECK: u8 is translatable, u10 is not; both come back as OK with
+        // a wire outcome.
+        let ok = c.roundtrip(&crate::proto::check_request("books", bookdemo::U8));
+        assert!(ok.starts_with("OK translatable"), "{ok}");
+        let rejected = c.roundtrip(&crate::proto::check_request("books", bookdemo::U10));
+        assert!(rejected.starts_with("OK untranslatable"), "{rejected}");
+
+        // Catalog mutation over the wire.
+        let added = c.roundtrip(&crate::proto::catalog_add_request("books2", bookdemo::BOOK_VIEW));
+        assert!(added.starts_with("OK added books2"), "{added}");
+        assert_eq!(c.roundtrip("CATALOG LIST"), "OK 2");
+        assert!(c.recv().starts_with("VIEW books "));
+        assert!(c.recv().starts_with("VIEW books2 "));
+        let dup = c.roundtrip(&crate::proto::catalog_add_request("books2", bookdemo::BOOK_VIEW));
+        assert!(dup.starts_with("ERR "), "{dup}");
+        assert!(c.roundtrip("CATALOG DROP books2").starts_with("OK dropped"));
+
+        // BATCH: three items, replies in input order, END carries stats.
+        c.send("BATCH 3");
+        for u in [bookdemo::U8, bookdemo::U10, bookdemo::U8] {
+            c.send(&crate::proto::batch_item("books", u));
+        }
+        assert_eq!(c.recv(), "OK 3");
+        let items: Vec<String> = (0..3).map(|_| c.recv()).collect();
+        assert!(items[0].starts_with("ITEM 0 books translatable"), "{}", items[0]);
+        assert!(items[1].starts_with("ITEM 1 books untranslatable"), "{}", items[1]);
+        assert!(items[2].starts_with("ITEM 2 books translatable"), "{}", items[2]);
+        assert!(c.recv().starts_with("END items=3 "));
+
+        // A malformed BATCH item drains the remaining item lines before
+        // the ERR reply, so the connection stays in sync.
+        c.send("BATCH 2");
+        c.send("malformed-no-space");
+        c.send(&crate::proto::batch_item("books", bookdemo::U8));
+        assert!(c.recv().starts_with("ERR "), "malformed batch item rejected");
+        assert_eq!(c.roundtrip("PING"), "OK pong", "connection still in sync after batch ERR");
+
+        // Unknown commands keep the connection usable.
+        assert!(c.roundtrip("FROBNICATE").starts_with("ERR "));
+        let stats = c.roundtrip("STATS");
+        assert!(stats.starts_with("OK workers=2 "), "{stats}");
+        assert!(stats.contains("views=1"), "{stats}");
+
+        assert_eq!(c.roundtrip("SHUTDOWN"), "OK bye");
+        handle.join().expect("clean shutdown");
+    }
+
+    #[test]
+    fn concurrent_connections_get_consistent_answers() {
+        let (addr, handle) = spawn_book_server(4);
+        let clients: Vec<std::thread::JoinHandle<Vec<String>>> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(addr);
+                    (0..5)
+                        .map(|i| {
+                            let u = if i % 2 == 0 { bookdemo::U8 } else { bookdemo::U10 };
+                            c.roundtrip(&crate::proto::check_request("books", u))
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        let answers: Vec<Vec<String>> = clients.into_iter().map(|h| h.join().unwrap()).collect();
+        for a in &answers {
+            assert_eq!(a, &answers[0], "every client sees identical outcomes");
+        }
+        let mut c = Client::connect(addr);
+        assert_eq!(c.roundtrip("SHUTDOWN"), "OK bye");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_handle_stops_the_server() {
+        let catalog = Arc::new(ShardedCatalog::new(bookdemo::book_schema(), 2));
+        let db = bookdemo::book_db();
+        let server = CheckServer::bind("127.0.0.1:0", catalog, &db, 1).unwrap();
+        let shutdown = server.shutdown_handle();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+        shutdown.shutdown();
+        handle.join().expect("run() returns after shutdown_handle");
+    }
+}

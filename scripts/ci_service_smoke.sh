@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# CI smoke for the check service: start `ufilter serve` on an ephemeral
+# loopback port, drive a scripted client session (catalog add, check,
+# batch, stats, shutdown), and fail on any non-OK reply or hang.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=${UFILTER_BIN:-target/release/ufilter}
+OUT=$(mktemp)
+SCRIPT=$(mktemp)
+trap 'rm -f "$OUT" "$SCRIPT"; kill "$SERVE_PID" 2>/dev/null || true' EXIT
+
+cat > "$SCRIPT" <<'EOF'
+ping
+add ci_books fixtures/bookview.xq
+list
+check ci_books fixtures/u8.xq
+batch fixtures/batch.ubatch
+stats
+drop ci_books
+shutdown
+EOF
+
+"$BIN" --schema fixtures/book.sql --views fixtures/views.cat \
+       --listen 127.0.0.1:0 --workers 2 serve > "$OUT" &
+SERVE_PID=$!
+
+for _ in $(seq 1 100); do
+    grep -q LISTENING "$OUT" && break
+    kill -0 "$SERVE_PID" 2>/dev/null || { echo "FAIL: serve died early"; exit 1; }
+    sleep 0.1
+done
+grep -q LISTENING "$OUT" || { echo "FAIL: serve never bound"; exit 1; }
+ADDR=$(awk '/^LISTENING/{print $2; exit}' "$OUT")
+echo "serve bound at $ADDR"
+
+# The client exits non-zero on any ERR reply; the timeout catches hangs.
+CLIENT_OUT=$(timeout 60 "$BIN" client "$ADDR" "$SCRIPT")
+echo "$CLIENT_OUT"
+if grep -q '^ERR' <<< "$CLIENT_OUT"; then
+    echo "FAIL: server sent a non-OK reply"
+    exit 1
+fi
+grep -q 'OK pong' <<< "$CLIENT_OUT" || { echo "FAIL: no PING reply"; exit 1; }
+grep -q 'translatable' <<< "$CLIENT_OUT" || { echo "FAIL: no check outcome"; exit 1; }
+
+# SHUTDOWN must actually stop the server.
+for _ in $(seq 1 300); do
+    kill -0 "$SERVE_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$SERVE_PID" 2>/dev/null; then
+    echo "FAIL: serve still running after SHUTDOWN"
+    exit 1
+fi
+wait "$SERVE_PID"
+echo "service smoke OK"

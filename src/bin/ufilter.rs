@@ -16,17 +16,57 @@
 //! manifest (`name=viewfile` lines) the `catalog`/`check-batch` commands
 //! operate on.
 
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::TcpStream;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use u_filter::core::catalog::{is_schema_ddl, ViewCatalog};
+use u_filter::core::wire;
+use u_filter::service::{proto, CheckServer, ShardedCatalog};
 use u_filter::xquery::materialize;
 use u_filter::{CheckOutcome, StarMode, Strategy, UFilter, UFilterConfig};
 use ufilter_rdb::{Db, Parser};
+
+/// One usage line, printed under arg errors (unknown option / wrong arity)
+/// so every failure with exit code 2 tells the user the expected shape.
+const USAGE_LINE: &str =
+    "ufilter [--schema <script.sql>] [--view <view.xq>] [--catalog <manifest>] [options] \
+     <command> [operands]   (try --help)";
+
+/// Per-command usage lines (same purpose, sharper shape).
+fn cmd_usage(cmd: &str) -> &'static str {
+    match cmd {
+        "check" => "ufilter --schema <s.sql> --view <v.xq> [options] check <update.xq>",
+        "apply" => "ufilter --schema <s.sql> --view <v.xq> [options] apply <update.xq>",
+        "show-asg" => "ufilter --schema <s.sql> --view <v.xq> show-asg",
+        "materialize" => "ufilter --schema <s.sql> --view <v.xq> materialize",
+        "sql" => "ufilter --schema <s.sql> [--catalog <manifest>] sql <statement>",
+        "catalog" => {
+            "ufilter --schema <s.sql> --catalog <manifest> catalog add <name> <view.xq> \
+             | catalog list | catalog drop <name>"
+        }
+        "check-batch" => {
+            "ufilter --schema <s.sql> --catalog <manifest> check-batch <updates.ubatch>"
+        }
+        "serve" => {
+            "ufilter --schema <s.sql> [--views <manifest>] [--listen <addr>] [--workers <n>] serve"
+        }
+        "client" => "ufilter client <host:port> <script.ucl | ->",
+        _ => USAGE_LINE,
+    }
+}
+
+fn usage_err(cmd: &str, msg: impl std::fmt::Display) -> String {
+    format!("{msg}\nusage: {}", cmd_usage(cmd))
+}
 
 struct Args {
     schema: Option<String>,
     view: Option<String>,
     catalog: Option<String>,
+    listen: Option<String>,
+    workers: Option<usize>,
     strategy: Strategy,
     mode: StarMode,
     command: String,
@@ -35,13 +75,13 @@ struct Args {
 
 impl Args {
     fn operand(&self, i: usize, what: &str) -> Result<&str, String> {
-        self.operands.get(i).map(String::as_str).ok_or_else(|| what.to_string())
+        self.operands.get(i).map(String::as_str).ok_or_else(|| usage_err(&self.command, what))
     }
 
     /// Reject trailing operands beyond the `n` a command consumes.
     fn at_most(&self, n: usize) -> Result<(), String> {
         match self.operands.get(n) {
-            Some(extra) => Err(format!("unexpected argument {extra}")),
+            Some(extra) => Err(usage_err(&self.command, format!("unexpected argument {extra}"))),
             None => Ok(()),
         }
     }
@@ -53,36 +93,61 @@ fn parse_args() -> Result<Args, String> {
         schema: None,
         view: None,
         catalog: None,
+        listen: None,
+        workers: None,
         strategy: Strategy::Outside,
         mode: StarMode::Refined,
         command: String::new(),
         operands: Vec::new(),
     };
+    let general = |msg: String| format!("{msg}\nusage: {USAGE_LINE}");
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--schema" => out.schema = Some(args.next().ok_or("--schema needs a file")?),
-            "--view" => out.view = Some(args.next().ok_or("--view needs a file")?),
-            "--catalog" => out.catalog = Some(args.next().ok_or("--catalog needs a file")?),
+            "--schema" => {
+                out.schema =
+                    Some(args.next().ok_or_else(|| general("--schema needs a file".into()))?)
+            }
+            "--view" => {
+                out.view = Some(args.next().ok_or_else(|| general("--view needs a file".into()))?)
+            }
+            // `--views` is the serve-flavoured alias from the service docs;
+            // both name the same `name=viewfile` manifest.
+            "--catalog" | "--views" => {
+                out.catalog = Some(args.next().ok_or_else(|| general(format!("{a} needs a file")))?)
+            }
+            "--listen" => {
+                out.listen =
+                    Some(args.next().ok_or_else(|| general("--listen needs an address".into()))?)
+            }
+            "--workers" => {
+                let v = args.next().ok_or_else(|| general("--workers needs a count".into()))?;
+                out.workers =
+                    Some(v.parse::<usize>().ok().filter(|w| *w >= 1).ok_or_else(|| {
+                        general(format!("--workers needs a count >= 1, got {v}"))
+                    })?);
+            }
             "--strategy" => {
                 out.strategy = match args.next().as_deref() {
                     Some("internal") => Strategy::Internal,
                     Some("hybrid") => Strategy::Hybrid,
                     Some("outside") => Strategy::Outside,
-                    other => return Err(format!("unknown strategy {other:?}")),
+                    other => return Err(general(format!("unknown strategy {other:?}"))),
                 }
             }
             "--mode" => {
                 out.mode = match args.next().as_deref() {
                     Some("strict") => StarMode::Strict,
                     Some("refined") => StarMode::Refined,
-                    other => return Err(format!("unknown mode {other:?}")),
+                    other => return Err(general(format!("unknown mode {other:?}"))),
                 }
             }
             "--help" | "-h" => {
                 out.command = "help".into();
                 return Ok(out);
             }
-            flag if flag.starts_with("--") => return Err(format!("unknown option {flag}")),
+            flag if flag.starts_with("--") => {
+                return Err(general(format!("unknown option {flag}")))
+            }
             cmd if out.command.is_empty() => out.command = cmd.to_string(),
             operand => out.operands.push(operand.to_string()),
         }
@@ -111,10 +176,18 @@ COMMANDS:
     catalog drop <name>            unregister a view
     check-batch <updates-file>     batch-check an update stream against the
                                    catalog; blocks start with '-- view: <name>'
+    serve                run the concurrent check server (sharded catalog +
+                         worker pool); prints 'LISTENING <addr>' once bound
+    client <addr> <script>  drive a running server with a scripted session
+                            ('-' reads the script from stdin); script verbs:
+                            add/drop/list/check/batch/stats/ping/shutdown
     help                 this message
 
 OPTIONS:
     --catalog <file>                     view manifest ('name=viewfile' lines)
+    --views <file>                       alias for --catalog (serve-flavoured)
+    --listen <addr>                      serve: bind address (default 127.0.0.1:0)
+    --workers <n>                        serve: worker threads (default 4)
     --strategy internal|hybrid|outside   update-point strategy (default outside)
     --mode strict|refined                Observation-2 handling (default refined)
 ";
@@ -216,6 +289,158 @@ fn parse_batch_file(path: &str, text: &str) -> Result<Vec<(String, String)>, Str
     Ok(stream)
 }
 
+/// Drive one scripted session against a running `ufilter serve`.
+///
+/// Script lines (`#` comments and blank lines skipped):
+///
+/// ```text
+/// add <name> <view.xq>      register a view (file content travels escaped)
+/// drop <name>               unregister a view
+/// list                      list registered views
+/// check <view> <update.xq>  check one update; prints '<view>: <wire-outcome>'
+/// batch <updates.ubatch>    check a '-- view:' stream; prints the exact
+///                           '[i] <view>: <wire-outcome>' lines check-batch prints
+/// stats | ping | shutdown   forwarded verbatim
+/// ```
+///
+/// Returns `Ok(false)` (exit code 1) if the server sent any `ERR` reply.
+fn run_client(script: &str, stream: TcpStream) -> Result<bool, String> {
+    let reader_stream = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(reader_stream);
+    let mut writer = BufWriter::new(stream);
+    let mut all_ok = true;
+
+    let send = |writer: &mut BufWriter<TcpStream>, line: &str| -> Result<(), String> {
+        writeln!(writer, "{line}").and_then(|()| writer.flush()).map_err(|e| e.to_string())
+    };
+    let recv = |reader: &mut BufReader<TcpStream>| -> Result<String, String> {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => Err("server closed the connection".into()),
+            Ok(_) => Ok(line.trim_end().to_string()),
+            Err(e) => Err(e.to_string()),
+        }
+    };
+
+    for (lineno, raw) in script.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err_here = |msg: String| format!("client script line {}: {msg}", lineno + 1);
+        let mut words = line.split_whitespace();
+        let verb = words.next().unwrap_or_default();
+        let rest: Vec<&str> = words.collect();
+        let arity = |n: usize| -> Result<(), String> {
+            if rest.len() == n {
+                Ok(())
+            } else {
+                Err(err_here(format!("'{verb}' takes {n} operand(s), got {}", rest.len())))
+            }
+        };
+        match verb {
+            "add" => {
+                arity(2)?;
+                let text = std::fs::read_to_string(rest[1])
+                    .map_err(|e| err_here(format!("{}: {e}", rest[1])))?;
+                send(&mut writer, &proto::catalog_add_request(rest[0], &text))?;
+                let reply = recv(&mut reader)?;
+                all_ok &= !reply.starts_with("ERR");
+                println!("{reply}");
+            }
+            "drop" => {
+                arity(1)?;
+                send(&mut writer, &format!("CATALOG DROP {}", rest[0]))?;
+                let reply = recv(&mut reader)?;
+                all_ok &= !reply.starts_with("ERR");
+                println!("{reply}");
+            }
+            "list" => {
+                arity(0)?;
+                send(&mut writer, "CATALOG LIST")?;
+                let head = recv(&mut reader)?;
+                println!("{head}");
+                if let Some(n) = head.strip_prefix("OK ").and_then(|n| n.parse::<usize>().ok()) {
+                    for _ in 0..n {
+                        println!("{}", recv(&mut reader)?);
+                    }
+                } else {
+                    all_ok = false;
+                }
+            }
+            "check" => {
+                arity(2)?;
+                let update = std::fs::read_to_string(rest[1])
+                    .map_err(|e| err_here(format!("{}: {e}", rest[1])))?;
+                send(&mut writer, &proto::check_request(rest[0], &update))?;
+                let reply = recv(&mut reader)?;
+                match reply.strip_prefix("OK ") {
+                    Some(outcomes) => {
+                        for outcome in outcomes.split('\t') {
+                            println!("{}: {outcome}", rest[0]);
+                        }
+                    }
+                    None => {
+                        all_ok = false;
+                        println!("{reply}");
+                    }
+                }
+            }
+            "batch" => {
+                arity(1)?;
+                let text = std::fs::read_to_string(rest[0])
+                    .map_err(|e| err_here(format!("{}: {e}", rest[0])))?;
+                let items = parse_batch_file(rest[0], &text)?;
+                send(&mut writer, &format!("BATCH {}", items.len()))?;
+                for (view, update) in &items {
+                    send(&mut writer, &proto::batch_item(view, update))?;
+                }
+                let head = recv(&mut reader)?;
+                if !head.starts_with("OK ") {
+                    all_ok = false;
+                    println!("{head}");
+                    continue;
+                }
+                loop {
+                    let reply = recv(&mut reader)?;
+                    if let Some(rest) = reply.strip_prefix("ITEM ") {
+                        // ITEM <index> <view> <wire-outcome> — print the
+                        // exact line shape `check-batch` uses.
+                        let mut f = rest.splitn(3, ' ');
+                        let (i, view, outcome) = (
+                            f.next().unwrap_or_default(),
+                            f.next().unwrap_or_default(),
+                            f.next().unwrap_or_default(),
+                        );
+                        let human = i.parse::<usize>().map(|i| i + 1).unwrap_or(0);
+                        println!("[{human}] {view}: {outcome}");
+                    } else if let Some(stats) = reply.strip_prefix("END ") {
+                        println!("--- {stats}");
+                        break;
+                    } else {
+                        all_ok = false;
+                        println!("{reply}");
+                        break;
+                    }
+                }
+            }
+            "stats" | "ping" | "shutdown" => {
+                arity(0)?;
+                send(&mut writer, verb.to_uppercase().as_str())?;
+                let reply = recv(&mut reader)?;
+                all_ok &= !reply.starts_with("ERR");
+                println!("{reply}");
+            }
+            other => {
+                return Err(err_here(format!(
+                    "unknown verb '{other}' (add/drop/list/check/batch/stats/ping/shutdown)"
+                )))
+            }
+        }
+    }
+    Ok(all_ok)
+}
+
 fn run() -> Result<bool, String> {
     let args = parse_args()?;
     match args.command.as_str() {
@@ -308,7 +533,9 @@ fn run() -> Result<bool, String> {
                     println!("dropped '{name}'");
                     Ok(true)
                 }
-                other => Err(format!("unknown catalog subcommand {other}; try --help")),
+                other => {
+                    Err(usage_err(&args.command, format!("unknown catalog subcommand {other}")))
+                }
             }
         }
         "check-batch" => {
@@ -321,9 +548,17 @@ fn run() -> Result<bool, String> {
             let stream = parse_batch_file(file, &text)?;
             let batch = catalog.check_batch_text(&stream, &mut db);
             let mut all_ok = true;
+            // Outcomes print in the stable wire form (core::wire) — the
+            // exact bytes a `ufilter client batch` session prints for the
+            // same stream, so serve/check-batch runs diff cleanly.
             for item in &batch.items {
                 for report in &item.reports {
-                    println!("[{}] {}: {}", item.index + 1, item.view, report.outcome);
+                    println!(
+                        "[{}] {}: {}",
+                        item.index + 1,
+                        item.view,
+                        wire::encode_outcome(&report.outcome)
+                    );
                     if !report.outcome.is_translatable() {
                         all_ok = false;
                     }
@@ -336,6 +571,44 @@ fn run() -> Result<bool, String> {
                 s.items, s.parse_hits, s.probe_hits, s.probe_misses, s.target_groups
             );
             Ok(all_ok)
+        }
+        "serve" => {
+            args.at_most(0)?;
+            let db = load_db(&args)?;
+            let workers = args.workers.unwrap_or(4);
+            let config = UFilterConfig { mode: args.mode, strategy: args.strategy };
+            // Shard count is a concurrency knob, not a correctness one:
+            // 2x workers keeps shard write locks (catalog DDL/add/drop)
+            // from serializing the read path.
+            let catalog = ShardedCatalog::with_config(db.schema().clone(), config, workers * 2);
+            if let Some(path) = args.catalog.as_deref() {
+                for (name, file) in load_manifest(path, false)? {
+                    let text =
+                        std::fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?;
+                    catalog.add(&name, &text).map_err(|e| e.to_string())?;
+                }
+            }
+            let listen = args.listen.as_deref().unwrap_or("127.0.0.1:0");
+            let server = CheckServer::bind(listen, Arc::new(catalog), &db, workers)
+                .map_err(|e| format!("{listen}: {e}"))?;
+            // Scripts read this line to learn the resolved ephemeral port.
+            println!("LISTENING {}", server.local_addr());
+            server.run().map_err(|e| e.to_string())?;
+            Ok(true)
+        }
+        "client" => {
+            let addr = args.operand(0, "client needs a server address")?;
+            let path = args.operand(1, "client needs a script file ('-' for stdin)")?;
+            args.at_most(2)?;
+            let script = if path == "-" {
+                let mut s = String::new();
+                std::io::stdin().read_to_string(&mut s).map_err(|e| format!("stdin: {e}"))?;
+                s
+            } else {
+                std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
+            };
+            let stream = TcpStream::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+            run_client(&script, stream)
         }
         "show-asg" => {
             args.at_most(0)?;
@@ -382,7 +655,7 @@ fn run() -> Result<bool, String> {
             }
             Ok(all_ok)
         }
-        other => Err(format!("unknown command {other}; try --help")),
+        other => Err(format!("unknown command {other}\nusage: {USAGE_LINE}")),
     }
 }
 

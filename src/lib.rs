@@ -17,6 +17,8 @@
 //! * [`xquery`] — the view-query (FLWR subset) and update languages;
 //! * [`asg`] — Annotated Schema Graphs and the closure algebra;
 //! * [`core`] — the U-Filter pipeline itself;
+//! * [`service`] — the concurrent check server (sharded catalog, worker
+//!   pool, line-oriented wire protocol);
 //! * [`tpch`] — the evaluation's data generator and views;
 //! * [`usecases`] — the W3C use-case catalog (Fig. 12).
 //!
@@ -40,6 +42,7 @@
 pub use ufilter_asg as asg;
 pub use ufilter_core as core;
 pub use ufilter_rdb as rdb;
+pub use ufilter_service as service;
 pub use ufilter_tpch as tpch;
 pub use ufilter_usecases as usecases;
 pub use ufilter_xml as xml;

@@ -299,3 +299,101 @@ fn unknown_strategy_gives_exit_2() {
     assert_eq!(code, Some(2));
     assert!(stderr.contains("unknown strategy"), "{stderr}");
 }
+
+/// Every subcommand — old and new — rejects wrong arity with exit code 2
+/// and a usage line on stderr.
+#[test]
+fn wrong_arity_gives_exit_2_with_usage() {
+    let cases: &[&[&str]] = &[
+        // Missing operands.
+        &["--schema", "fixtures/book.sql", "--view", "fixtures/bookview.xq", "check"],
+        &["--schema", "fixtures/book.sql", "--view", "fixtures/bookview.xq", "apply"],
+        &["--schema", "fixtures/book.sql", "sql"],
+        &["--schema", "fixtures/book.sql", "--catalog", "fixtures/views.cat", "catalog"],
+        &["--schema", "fixtures/book.sql", "--catalog", "fixtures/views.cat", "catalog", "add"],
+        &["--schema", "fixtures/book.sql", "--catalog", "fixtures/views.cat", "check-batch"],
+        &["client"],
+        &["client", "127.0.0.1:9"],
+        // Trailing junk.
+        &[
+            "--schema",
+            "fixtures/book.sql",
+            "--view",
+            "fixtures/bookview.xq",
+            "check",
+            "fixtures/u8.xq",
+            "extra",
+        ],
+        &["--schema", "fixtures/book.sql", "--view", "fixtures/bookview.xq", "show-asg", "extra"],
+        &["--schema", "fixtures/book.sql", "sql", "SELECT 1 FROM book", "extra"],
+        &[
+            "--schema",
+            "fixtures/book.sql",
+            "--catalog",
+            "fixtures/views.cat",
+            "catalog",
+            "list",
+            "extra",
+        ],
+        &[
+            "--schema",
+            "fixtures/book.sql",
+            "--catalog",
+            "fixtures/views.cat",
+            "check-batch",
+            "fixtures/batch.ubatch",
+            "extra",
+        ],
+        &["--schema", "fixtures/book.sql", "serve", "extra"],
+        &["client", "127.0.0.1:9", "script", "extra"],
+        // Unknown catalog subcommand.
+        &["--schema", "fixtures/book.sql", "--catalog", "fixtures/views.cat", "catalog", "nuke"],
+    ];
+    for args in cases {
+        let (_, stderr, code) = ufilter(args);
+        assert_eq!(code, Some(2), "{args:?}: {stderr}");
+        assert!(stderr.contains("usage:"), "{args:?} lacks a usage line: {stderr}");
+        assert!(stderr.contains("error:"), "{args:?}: {stderr}");
+    }
+}
+
+/// Unknown options are rejected with usage for old and new subcommands
+/// alike, and option values are validated.
+#[test]
+fn unknown_options_and_bad_values_give_usage() {
+    let cases: &[&[&str]] = &[
+        &["--schema", "fixtures/book.sql", "--bogus", "serve"],
+        &["--workers", "serve"], // swallows "serve" as the count
+        &["--schema", "fixtures/book.sql", "--workers", "zero", "serve"],
+        &["--schema", "fixtures/book.sql", "--workers", "0", "serve"],
+        &["--listen"],
+        &["--views"],
+        &["--schema", "fixtures/book.sql", "--view", "fixtures/bookview.xq", "check", "--later"],
+    ];
+    for args in cases {
+        let (_, stderr, code) = ufilter(args);
+        assert_eq!(code, Some(2), "{args:?}: {stderr}");
+        assert!(stderr.contains("usage:"), "{args:?} lacks a usage line: {stderr}");
+    }
+}
+
+/// The batch output satellite: `check-batch` prints outcomes in the stable
+/// wire form, which round-trips through the core decoder.
+#[test]
+fn check_batch_output_is_decodable_wire_form() {
+    let (stdout, _, _) = ufilter(&[
+        "--schema",
+        "fixtures/book.sql",
+        "--catalog",
+        "fixtures/views.cat",
+        "check-batch",
+        "fixtures/batch.ubatch",
+    ]);
+    let mut decoded = 0;
+    for line in stdout.lines().filter(|l| l.starts_with('[')) {
+        let (_, outcome) = line.split_once(": ").expect("'[i] view: outcome' shape");
+        u_filter::core::wire::decode_outcome(outcome).unwrap_or_else(|e| panic!("{line}: {e}"));
+        decoded += 1;
+    }
+    assert_eq!(decoded, 3, "{stdout}");
+}

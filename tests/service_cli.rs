@@ -1,0 +1,173 @@
+//! End-to-end tests for `ufilter serve` / `ufilter client`: spawn the real
+//! binary as a server on an ephemeral loopback port, drive it with scripted
+//! client sessions, and hold the concurrent server to the single-threaded
+//! `check-batch` output byte for byte.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+
+fn bin() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_ufilter"));
+    cmd.current_dir(env!("CARGO_MANIFEST_DIR"));
+    cmd
+}
+
+/// A running `ufilter serve` child that is killed on drop (so a failing
+/// test never leaks a listener).
+struct Serve {
+    child: Child,
+    addr: String,
+}
+
+impl Serve {
+    /// Spawn `ufilter serve` on an ephemeral port and wait for its
+    /// `LISTENING <addr>` line.
+    fn spawn(workers: &str) -> Serve {
+        let mut child = bin()
+            .args([
+                "--schema",
+                "fixtures/book.sql",
+                "--views",
+                "fixtures/views.cat",
+                "--listen",
+                "127.0.0.1:0",
+                "--workers",
+                workers,
+                "serve",
+            ])
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("serve spawns");
+        let stdout = child.stdout.take().expect("piped");
+        let mut line = String::new();
+        BufReader::new(stdout).read_line(&mut line).expect("serve prints LISTENING");
+        let addr = line
+            .trim()
+            .strip_prefix("LISTENING ")
+            .unwrap_or_else(|| panic!("unexpected serve banner: {line:?}"))
+            .to_string();
+        Serve { child, addr }
+    }
+
+    /// Run a client script against this server; returns (stdout, exit code).
+    fn client(&self, script: &str) -> (String, Option<i32>) {
+        use std::io::Write;
+        let mut child = bin()
+            .args(["client", &self.addr, "-"])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("client spawns");
+        child.stdin.take().expect("piped").write_all(script.as_bytes()).expect("script written");
+        let out = child.wait_with_output().expect("client exits");
+        assert!(out.stderr.is_empty(), "client stderr: {}", String::from_utf8_lossy(&out.stderr));
+        (String::from_utf8_lossy(&out.stdout).into_owned(), out.status.code())
+    }
+
+    /// Send `shutdown` and wait for the server to exit cleanly.
+    fn shutdown(mut self) {
+        let (_, code) = self.client("shutdown\n");
+        assert_eq!(code, Some(0));
+        let status = self.child.wait().expect("serve exits");
+        assert!(status.success(), "serve exit status: {status:?}");
+    }
+}
+
+impl Drop for Serve {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// The acceptance property: a 4-worker server produces byte-identical
+/// check outcomes to the single-threaded `check-batch` CLI on the same
+/// stream.
+#[test]
+fn serve_4_workers_matches_check_batch_byte_for_byte() {
+    let (batch_out, batch_code) = {
+        let out = bin()
+            .args([
+                "--schema",
+                "fixtures/book.sql",
+                "--catalog",
+                "fixtures/views.cat",
+                "check-batch",
+                "fixtures/batch.ubatch",
+            ])
+            .output()
+            .expect("check-batch runs");
+        (String::from_utf8_lossy(&out.stdout).into_owned(), out.status.code())
+    };
+    assert_eq!(batch_code, Some(1), "stream contains an untranslatable update");
+    let batch_lines: Vec<&str> = batch_out.lines().filter(|l| l.starts_with('[')).collect();
+    assert_eq!(batch_lines.len(), 3, "{batch_out}");
+
+    let serve = Serve::spawn("4");
+    let (client_out, client_code) = serve.client("batch fixtures/batch.ubatch\n");
+    assert_eq!(client_code, Some(0), "{client_out}");
+    let client_lines: Vec<&str> = client_out.lines().filter(|l| l.starts_with('[')).collect();
+    assert_eq!(client_lines, batch_lines, "serve outcomes diverge from check-batch");
+    serve.shutdown();
+}
+
+#[test]
+fn scripted_session_checks_catalog_and_stats() {
+    let serve = Serve::spawn("2");
+    let script = "\
+# full scripted round trip
+ping
+list
+check books fixtures/u8.xq
+check books fixtures/u10.xq
+add books2 fixtures/bookview.xq
+list
+drop books2
+stats
+";
+    let (out, code) = serve.client(script);
+    assert_eq!(code, Some(0), "{out}");
+    assert!(out.contains("OK pong"), "{out}");
+    assert!(out.contains("VIEW books reads=book,publisher,review"), "{out}");
+    assert!(out.contains("books: translatable"), "{out}");
+    assert!(out.contains("books: untranslatable"), "{out}");
+    assert!(out.contains("OK added books2"), "{out}");
+    assert!(out.contains("VIEW books2"), "{out}");
+    assert!(out.contains("OK dropped books2"), "{out}");
+    assert!(out.contains("OK workers=2"), "{out}");
+    assert!(!out.contains("ERR"), "no ERR reply expected: {out}");
+    serve.shutdown();
+}
+
+#[test]
+fn client_surfaces_server_errors_with_exit_1() {
+    let serve = Serve::spawn("1");
+    // Dropping an unknown view is a server-side ERR; the client must
+    // propagate it as exit code 1 (scripted CI sessions rely on this).
+    let (out, code) = serve.client("drop no_such_view\n");
+    assert_eq!(code, Some(1), "{out}");
+    assert!(out.contains("ERR"), "{out}");
+    serve.shutdown();
+}
+
+#[test]
+fn client_against_dead_server_is_exit_2() {
+    let out = bin()
+        .args(["client", "127.0.0.1:1", "-"])
+        .stdin(Stdio::null())
+        .output()
+        .expect("client runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
+}
+
+#[test]
+fn serve_rejects_bad_manifest_with_exit_2() {
+    let out = bin()
+        .args(["--schema", "fixtures/book.sql", "--views", "no/such.cat", "serve"])
+        .output()
+        .expect("serve runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no/such.cat"));
+}
