@@ -1,0 +1,45 @@
+//! Criterion micro-benches for the relevance index: routing cost per
+//! update at catalog scale, and full check-all fan-out vs the brute-force
+//! per-view loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ufilter_core::{ProbeCache, ViewCatalog};
+use ufilter_rdb::DeletePolicy;
+use ufilter_tpch::{fanout_stream, generate, many_views, tpch_schema, Scale};
+
+fn catalog(n: usize) -> ViewCatalog {
+    let mut c = ViewCatalog::new(tpch_schema(DeletePolicy::Cascade));
+    for (name, text) in many_views(n, Scale::tiny()) {
+        c.add(&name, &text).expect("generated view compiles");
+    }
+    c
+}
+
+fn bench_route(c: &mut Criterion) {
+    let scale = Scale::tiny();
+    let cat = catalog(100);
+    let update =
+        ufilter_xquery::parse_update(&ufilter_tpch::fanout_updates::delete_customer_orders(3))
+            .expect("update parses");
+
+    c.bench_function("route_one_update_100_views", |b| b.iter(|| cat.relevant_views(&update)));
+
+    let db = generate(scale, 42, DeletePolicy::Cascade);
+    let updates = fanout_stream(16, scale, 42);
+    let refs: Vec<&str> = updates.iter().map(String::as_str).collect();
+    c.bench_function("check_all_indexed_16x100", |b| {
+        b.iter(|| {
+            let mut db = db.clone();
+            cat.check_all_batch_refs(&refs, &mut db, &mut ProbeCache::new())
+        })
+    });
+    c.bench_function("check_all_brute_16x100", |b| {
+        b.iter(|| {
+            let mut db = db.clone();
+            cat.check_all_brute(&refs, &mut db, &mut ProbeCache::new())
+        })
+    });
+}
+
+criterion_group!(benches, bench_route);
+criterion_main!(benches);

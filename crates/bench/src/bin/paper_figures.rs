@@ -38,6 +38,9 @@ fn main() {
         // Worker-pool scaling of the check service; redirect to
         // BENCH_serve.json at the repo root.
         "serve" => print!("{}", bench::serve_json(reps)),
+        // Catalog-wide fan-out: RelevanceIndex vs brute force; redirect to
+        // BENCH_route.json at the repo root.
+        "route" => print!("{}", bench::route_json(reps)),
         "fig12" => print!("{}", bench::fig12()),
         "fig13" => print!("{}", bench::fig13(mb, reps)),
         "fig14" => print!("{}", bench::fig14(mb, reps)),
@@ -63,7 +66,8 @@ fn main() {
         other => {
             eprintln!(
                 "unknown figure '{other}'; expected one of: \
-                 baseline batch serve fig12 fig13 fig14 fig15 fig16 fig17 marking ablation all"
+                 baseline batch serve route fig12 fig13 fig14 fig15 fig16 fig17 marking ablation \
+                 all"
             );
             std::process::exit(2);
         }

@@ -7,11 +7,11 @@
 
 use std::time::{Duration, Instant};
 
-use ufilter_core::{blind_apply, Strategy, UFilter, UFilterConfig, ViewCatalog};
+use ufilter_core::{blind_apply, ProbeCache, Strategy, UFilter, UFilterConfig, ViewCatalog};
 use ufilter_rdb::{DatabaseSchema, Db, DeletePolicy};
 use ufilter_tpch::{
-    generate, stream, stream_views, tpch_schema, updates, vfail_for, Scale, StreamSpec, V_BUSH,
-    V_SUCCESS,
+    fanout_stream, generate, many_views, stream, stream_views, tpch_schema, updates, vfail_for,
+    Scale, StreamSpec, V_BUSH, V_SUCCESS,
 };
 
 /// A printable result table.
@@ -607,6 +607,78 @@ pub fn batch_json(reps: usize) -> String {
     let body = tables.iter().map(Table::to_json).collect::<Vec<_>>().join(",\n    ");
     format!(
         "{{\n  \"schema_version\": 1,\n  \"note\": \"wall-clock medians; batched row should meet or beat one-at-a-time on the repeat-heavy stream\",\n  \"reps\": {reps},\n  \"tables\": [\n    {body}\n  ]\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Catalog-wide fan-out — RelevanceIndex routing vs the brute-force loop
+// ---------------------------------------------------------------------------
+
+/// Check-all fan-out over an `n`-view partitioned catalog: the relevance
+/// index (`check_all_batch_refs`) against the brute-force per-view loop
+/// (`check_all_brute`), on the same `len`-update stream. The differential
+/// soundness test (`tests/route_soundness.rs`) pins both to identical
+/// outcomes on candidates; this table measures the wall-clock gap and the
+/// pruning ratio.
+pub fn route_fanout(len: usize, reps: usize, sweep: &[usize]) -> Table {
+    let scale = Scale::tiny();
+    let db = generate(scale, 42, DeletePolicy::Cascade);
+    let updates: Vec<String> = fanout_stream(len, scale, 42);
+    let refs: Vec<&str> = updates.iter().map(String::as_str).collect();
+    let mut rows = Vec::new();
+    for &n in sweep {
+        let mut catalog = ViewCatalog::new(schema());
+        for (name, text) in many_views(n, scale) {
+            catalog.add(&name, &text).expect("generated view compiles");
+        }
+        let t_index = time_on_clone(&db, reps, |db| {
+            let report = catalog.check_all_batch_refs(&refs, db, &mut ProbeCache::new());
+            assert_eq!(report.fanout.fanout_requests, len);
+        });
+        let t_brute = time_on_clone(&db, reps, |db| {
+            let report = catalog.check_all_brute(&refs, db, &mut ProbeCache::new());
+            assert_eq!(report.fanout.fanout_requests, len);
+        });
+        let mut stats_db = db.clone();
+        let f = catalog.check_all_batch_refs(&refs, &mut stats_db, &mut ProbeCache::new()).fanout;
+        let total = (f.fanout_requests * n).max(1);
+        rows.push(vec![
+            n.to_string(),
+            ms(t_index),
+            ms(t_brute),
+            format!("{:.2}x", t_brute.as_secs_f64() / t_index.as_secs_f64().max(1e-9)),
+            format!("{:.4}", f.pruned as f64 / total as f64),
+            format!("{:.2}", f.candidates as f64 / f.fanout_requests.max(1) as f64),
+        ]);
+    }
+    Table {
+        title: format!(
+            "Catalog-wide check-all: RelevanceIndex vs brute-force per-view loop \
+             ({len}-update TPC-H fan-out stream, partitioned many-view catalog)"
+        ),
+        headers: vec![
+            "views (N)".into(),
+            "index (ms)".into(),
+            "brute (ms)".into(),
+            "speedup".into(),
+            "pruning ratio".into(),
+            "candidates/request".into(),
+        ],
+        rows,
+    }
+}
+
+/// JSON snapshot behind `paper-figures route` → `BENCH_route.json`:
+/// check-all wall time and pruning ratio at N = 10 / 100 / 1000 views,
+/// index vs brute force.
+pub fn route_json(reps: usize) -> String {
+    let tables = [route_fanout(50, reps, &[10, 100, 1000])];
+    let body = tables.iter().map(Table::to_json).collect::<Vec<_>>().join(",\n    ");
+    format!(
+        "{{\n  \"schema_version\": 1,\n  \"note\": \"wall-clock medians; the index row must beat \
+         brute force at N=1000 and the pruning ratio shows the candidate-set reduction; outcomes \
+         on candidates are pinned identical by tests/route_soundness.rs\",\n  \
+         \"reps\": {reps},\n  \"tables\": [\n    {body}\n  ]\n}}\n"
     )
 }
 

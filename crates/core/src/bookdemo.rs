@@ -230,6 +230,84 @@ INSERT
 <comment>Easy read and useful.</comment>
 </review>}"#;
 
+/// Publisher list view (both columns) — a book-schema variant with no
+/// `<book>` subtree at all, so book-addressing updates prune it at the
+/// tag level.
+pub const PUBS_ALL: &str = r#"
+<PubView>
+FOR $publisher IN document("default.xml")/publisher/row
+RETURN {
+<publisher>
+$publisher/pubid, $publisher/pubname
+</publisher>}
+</PubView>"#;
+
+/// Publisher list view projecting the key only.
+pub const PUBS_IDS: &str = r#"
+<PubView>
+FOR $publisher IN document("default.xml")/publisher/row
+RETURN {
+<publisher>
+$publisher/pubid
+</publisher>}
+</PubView>"#;
+
+/// Flat review list view: `<review>` occurs at the *root*, so updates
+/// binding `document(…)/book/review` prune it at the path level while
+/// `document(…)/review` bindings route to it.
+pub const REVIEWS_ALL: &str = r#"
+<ReviewView>
+FOR $review IN document("default.xml")/review/row
+RETURN {
+<review>
+$review/reviewid, $review/comment, $review/reviewer
+</review>}
+</ReviewView>"#;
+
+/// Generate `n` distinct registerable views over the Fig. 1 book schema:
+/// price-range partitions of a book→review view (distinct constant
+/// predicates, so the relevance index's predicate level has something to
+/// prune) plus the three fixed shape variants above. Backs the
+/// `fixtures/views_many.cat` manifest and the routing soundness tests.
+pub fn book_view_variants(n: usize) -> Vec<(String, String)> {
+    let extras: [(&str, &str); 3] =
+        [("pubs_all", PUBS_ALL), ("pubs_ids", PUBS_IDS), ("reviews_all", REVIEWS_ALL)];
+    let fixed = extras.len().min(n.saturating_sub(1));
+    let parts = n - fixed;
+    let mut out = Vec::with_capacity(n);
+    // Partition the view's (0, 50) price domain in integer cents so the
+    // generated literals are exact two-decimal strings.
+    let step = 5000 / parts.max(1) as i64;
+    for i in 0..parts {
+        let lo = i as i64 * step;
+        let hi = if i + 1 == parts { 5000 } else { (i as i64 + 1) * step };
+        let view = format!(
+            r#"
+<BookView>
+FOR $book IN document("default.xml")/book/row
+WHERE ($book/price >= {:.2}) AND ($book/price < {:.2})
+RETURN {{
+<book>
+$book/bookid, $book/title, $book/price,
+FOR $review IN document("default.xml")/review/row
+WHERE ($book/bookid = $review/bookid)
+RETURN{{
+<review>
+$review/reviewid, $review/comment
+</review>}}
+</book>}}
+</BookView>"#,
+            lo as f64 / 100.0,
+            hi as f64 / 100.0
+        );
+        out.push((format!("price_p{i:02}"), view));
+    }
+    for (name, text) in extras.iter().take(fixed) {
+        out.push((name.to_string(), text.to_string()));
+    }
+    out
+}
+
 /// All thirteen updates with their paper labels.
 pub fn all_updates() -> Vec<(&'static str, &'static str)> {
     vec![

@@ -12,7 +12,14 @@
 //! * exposes [`check_batch`](ViewCatalog::check_batch), which amortizes
 //!   parsing, target resolution and data-check probes across a whole update
 //!   stream — updates are grouped by resolved target so identical context
-//!   probes share a single scan (see [`ProbeCache`]).
+//!   probes share a single scan (see [`ProbeCache`]);
+//! * maintains a shared **relevance index** ([`ufilter_route`]) over every
+//!   registered view, so [`check_all`](ViewCatalog::check_all) /
+//!   [`check_all_batch`](ViewCatalog::check_all_batch) can fan one update
+//!   out to the candidate views it could possibly affect instead of
+//!   running the pipeline against the whole catalog — a sound superset,
+//!   with [`check_all_brute`](ViewCatalog::check_all_brute) as the
+//!   index-free baseline and fallback.
 //!
 //! Batch checking is **check-only** by design: nothing is executed, so every
 //! probe result stays valid for the lifetime of the batch and the per-update
@@ -38,6 +45,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use ufilter_rdb::{DatabaseSchema, Db, ExecOutcome, Parser, Stmt};
+use ufilter_route::{Footprint, RelevanceIndex, Route};
 use ufilter_xquery::{parse_update, UpdateStmt};
 
 use crate::outcome::CheckReport;
@@ -160,6 +168,69 @@ pub struct BatchReport {
     pub stats: BatchStats,
 }
 
+/// Pruning and fan-out counters for catalog-wide checking, aggregated over
+/// one [`ViewCatalog::check_all`] / [`ViewCatalog::check_all_batch`] call (and further
+/// merged across shards/workers by the service layer). Field names match
+/// the service `STATS` counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FanoutStats {
+    /// Views registered when the fan-out ran.
+    pub views: usize,
+    /// Fan-out requests routed (`fanout_requests` in `STATS`).
+    pub fanout_requests: usize,
+    /// Candidate (view, update) checks actually run.
+    pub candidates: usize,
+    /// Views pruned without running the pipeline, all levels.
+    pub pruned: usize,
+    /// … of which at the tag-vocabulary level.
+    pub pruned_tags: usize,
+    /// … of which at the path-structure level.
+    pub pruned_paths: usize,
+    /// … of which at the constant-predicate level.
+    pub pruned_preds: usize,
+    /// Requests the index could not classify (every view became a
+    /// candidate; the per-view pipeline was the fallback).
+    pub fallbacks: usize,
+}
+
+impl FanoutStats {
+    /// Fold one routing decision into the counters (the service's fan-out
+    /// paths call this per request).
+    pub fn absorb(&mut self, route: &Route) {
+        self.fanout_requests += 1;
+        self.candidates += route.candidates.len();
+        self.pruned += route.pruned();
+        self.pruned_tags += route.pruned_tags;
+        self.pruned_paths += route.pruned_paths;
+        self.pruned_preds += route.pruned_preds;
+        self.fallbacks += usize::from(route.fallback);
+    }
+}
+
+/// One (update, candidate view) result of a catalog-wide check.
+#[derive(Debug, Clone)]
+pub struct FanoutItem {
+    /// Index of the update in the submitted stream (0 for single-update
+    /// [`ViewCatalog::check_all`]).
+    pub update: usize,
+    /// The candidate view this entry checked against.
+    pub view: String,
+    /// Per-action reports, exactly as [`UFilter::check`] would produce.
+    pub reports: Vec<CheckReport>,
+}
+
+/// Result of a catalog-wide check: per-candidate reports in
+/// `(update index, view name)` order, plus routing and batch counters.
+#[derive(Debug, Clone)]
+pub struct FanoutReport {
+    /// One entry per surviving (update, candidate view) pair.
+    pub items: Vec<FanoutItem>,
+    /// What the relevance index pruned.
+    pub fanout: FanoutStats,
+    /// What the batch engine amortized across the candidates.
+    pub batch: BatchStats,
+}
+
 struct Registered {
     filter: Arc<UFilter>,
     cached: bool,
@@ -179,6 +250,9 @@ pub struct ViewCatalog {
     /// compiled under the old mode/strategy).
     compiled: HashMap<(String, UFilterConfig), Arc<UFilter>>,
     compile_hits: usize,
+    /// The shared relevance index over every registered view, maintained
+    /// incrementally by `add`/`drop_view` (see `ufilter_route`).
+    index: RelevanceIndex,
 }
 
 impl ViewCatalog {
@@ -190,6 +264,7 @@ impl ViewCatalog {
             views: BTreeMap::new(),
             compiled: HashMap::new(),
             compile_hits: 0,
+            index: RelevanceIndex::new(),
         }
     }
 
@@ -234,6 +309,7 @@ impl ViewCatalog {
         };
         let info =
             ViewInfo { name: name.to_string(), relations: filter.asg.relations.clone(), cached };
+        self.index.insert(name, &filter.asg);
         self.views.insert(name.to_string(), Registered { filter, cached });
         Ok(info)
     }
@@ -243,7 +319,10 @@ impl ViewCatalog {
         self.views.get(name).map(|r| r.filter.as_ref())
     }
 
-    /// All registered views, in name order.
+    /// All registered views, in **ascending name order** (a documented
+    /// guarantee, like [`dependents_of`](Self::dependents_of) and
+    /// [`relevant_views`](Self::relevant_views): every name list the
+    /// catalog returns is deterministic and name-sorted).
     pub fn list(&self) -> Vec<ViewInfo> {
         self.views
             .iter()
@@ -258,10 +337,13 @@ impl ViewCatalog {
     /// Unregister `name`. The compiled artifact stays in the compile-once
     /// cache, so re-adding identical text later is free.
     pub fn drop_view(&mut self, name: &str) -> Result<(), CatalogError> {
-        self.views
-            .remove(name)
-            .map(|_| ())
-            .ok_or_else(|| CatalogError::UnknownView { name: name.to_string() })
+        match self.views.remove(name) {
+            Some(_) => {
+                self.index.remove(name);
+                Ok(())
+            }
+            None => Err(CatalogError::UnknownView { name: name.to_string() }),
+        }
     }
 
     /// Number of registered views.
@@ -279,15 +361,34 @@ impl ViewCatalog {
         self.compile_hits
     }
 
-    /// Names of registered views that read `relation`.
+    /// Names of registered views that read `relation`
+    /// (case-insensitively), in **ascending name order**. Answered from
+    /// the relevance index's inverted relation postings — no scan over the
+    /// registered views.
     pub fn dependents_of(&self, relation: &str) -> Vec<String> {
-        self.views
-            .iter()
-            .filter(|(_, r)| {
-                r.filter.asg.relations.iter().any(|t| t.eq_ignore_ascii_case(relation))
-            })
-            .map(|(name, _)| name.clone())
-            .collect()
+        self.index.views_reading(relation)
+    }
+
+    /// The views a parsed update could possibly affect, in **ascending
+    /// name order** — a sound superset of the truly relevant views (see
+    /// [`ufilter_route`]): every pruned view is guaranteed to classify the
+    /// update as statically irrelevant (`Invalid` with an
+    /// unknown-target / hierarchy / predicate-outside-view reason).
+    pub fn relevant_views(&self, u: &UpdateStmt) -> Vec<String> {
+        self.index.route(u).candidates
+    }
+
+    /// [`relevant_views`](Self::relevant_views) with the full per-level
+    /// pruning counters.
+    pub fn route_update(&self, u: &UpdateStmt) -> Route {
+        self.index.route(u)
+    }
+
+    /// [`route_update`](Self::route_update) for a pre-extracted
+    /// [`Footprint`] — the sharded service catalog extracts one footprint
+    /// per request and routes it through every shard's index.
+    pub fn route_footprint(&self, fp: &Footprint) -> Route {
+        self.index.route_footprint(fp)
     }
 
     /// The catalog's RESTRICT rule: reject schema-affecting DDL (see
@@ -495,6 +596,117 @@ impl ViewCatalog {
         stats.probe_misses = cache.misses() - misses_before;
         items.sort_by_key(|i| i.index);
         BatchReport { items, stats }
+    }
+
+    // ---- catalog-wide fan-out (ufilter-route) --------------------------
+
+    /// Check one update against **every view it could affect**: route it
+    /// through the relevance index, then run the unchanged per-view
+    /// pipeline on the candidates only. Per-candidate outcomes are
+    /// byte-identical (in wire form) to checking that view directly.
+    pub fn check_all(&self, update_text: &str, db: &mut Db) -> FanoutReport {
+        self.check_all_batch_refs(&[update_text], db, &mut ProbeCache::new())
+    }
+
+    /// [`check_all`](Self::check_all) over a stream of updates, sharing
+    /// parse results and one probe cache across the whole fan-out.
+    pub fn check_all_batch(&self, updates: &[String], db: &mut Db) -> FanoutReport {
+        let refs: Vec<&str> = updates.iter().map(String::as_str).collect();
+        self.check_all_batch_refs(&refs, db, &mut ProbeCache::new())
+    }
+
+    /// The borrowed, caller-cached fan-out entry point (the service layer
+    /// feeds worker partitions through this).
+    pub fn check_all_batch_refs(
+        &self,
+        updates: &[&str],
+        db: &mut Db,
+        cache: &mut ProbeCache,
+    ) -> FanoutReport {
+        self.fan_out(updates, db, cache, true)
+    }
+
+    /// The brute-force baseline: identical to
+    /// [`check_all_batch_refs`](Self::check_all_batch_refs) but with the
+    /// relevance index bypassed — every registered view is a candidate for
+    /// every update. This is both the benchmark baseline and the oracle
+    /// the differential soundness test compares routing against.
+    pub fn check_all_brute(
+        &self,
+        updates: &[&str],
+        db: &mut Db,
+        cache: &mut ProbeCache,
+    ) -> FanoutReport {
+        self.fan_out(updates, db, cache, false)
+    }
+
+    /// Shared fan-out engine. Parses each distinct update text once,
+    /// routes it (or takes all views when `use_index` is off), then pushes
+    /// every surviving (update, view) pair through the batch engine so
+    /// same-target candidates share probe scans. Items come back sorted by
+    /// `(update index, view name)` — the exact order of a per-update loop
+    /// over name-sorted candidate views.
+    fn fan_out(
+        &self,
+        updates: &[&str],
+        db: &mut Db,
+        cache: &mut ProbeCache,
+        use_index: bool,
+    ) -> FanoutReport {
+        let mut fanout = FanoutStats { views: self.views.len(), ..FanoutStats::default() };
+        let mut items: Vec<FanoutItem> = Vec::new();
+        let mut parsed: HashMap<&str, Result<UpdateStmt, String>> = HashMap::new();
+        // (update index, view) for every candidate pair; the parsed
+        // statement is cloned out of `parsed` only at stream build.
+        let mut work: Vec<(usize, String)> = Vec::new();
+        for (ui, text) in updates.iter().copied().enumerate() {
+            let entry =
+                parsed.entry(text).or_insert_with(|| parse_update(text).map_err(|e| e.to_string()));
+            match entry {
+                Err(m) => {
+                    // Unparsable text fails identically for every view —
+                    // emit the same per-view malformed reports the
+                    // brute-force loop would.
+                    fanout.fanout_requests += 1;
+                    fanout.fallbacks += 1;
+                    fanout.candidates += self.views.len();
+                    for name in self.views.keys() {
+                        items.push(FanoutItem {
+                            update: ui,
+                            view: name.clone(),
+                            reports: vec![malformed(m.clone())],
+                        });
+                    }
+                }
+                Ok(u) => {
+                    let route = if use_index {
+                        self.index.route(u)
+                    } else {
+                        Route {
+                            candidates: self.views.keys().cloned().collect(),
+                            views: self.views.len(),
+                            ..Route::default()
+                        }
+                    };
+                    fanout.absorb(&route);
+                    for view in route.candidates {
+                        work.push((ui, view));
+                    }
+                }
+            }
+        }
+        let stream: Vec<(usize, &str, Result<UpdateStmt, String>)> = work
+            .iter()
+            .enumerate()
+            .map(|(seq, (ui, view))| (seq, view.as_str(), parsed[updates[*ui]].clone()))
+            .collect();
+        let report = self.run_batch(&stream, db, cache);
+        for item in report.items {
+            let (ui, view) = &work[item.index];
+            items.push(FanoutItem { update: *ui, view: view.clone(), reports: item.reports });
+        }
+        items.sort_by(|a, b| (a.update, a.view.as_str()).cmp(&(b.update, b.view.as_str())));
+        FanoutReport { items, fanout, batch: report.stats }
     }
 }
 

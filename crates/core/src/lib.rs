@@ -49,7 +49,10 @@ pub mod translate;
 pub mod validate;
 pub mod wire;
 
-pub use catalog::{BatchItemReport, BatchReport, BatchStats, CatalogError, ViewCatalog, ViewInfo};
+pub use catalog::{
+    BatchItemReport, BatchReport, BatchStats, CatalogError, FanoutItem, FanoutReport, FanoutStats,
+    ViewCatalog, ViewInfo,
+};
 pub use datacheck::{DataCheckReport, Strategy};
 pub use outcome::{CheckOutcome, CheckReport, CheckStep, Condition, InvalidReason};
 pub use pipeline::{CompileError, ProbeCache, UFilter, UFilterConfig};
@@ -57,4 +60,5 @@ pub use rectangle::{apply_and_verify, blind_apply, verify_applied, RectangleVerd
 pub use star::{StarMarking, StarMode, StarVerdict};
 pub use target::ResolvedAction;
 pub use translate::TranslationPlan;
+pub use ufilter_route::{wire_outcome_is_irrelevant, Footprint, Route};
 pub use validate::validate;

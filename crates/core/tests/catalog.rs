@@ -232,6 +232,59 @@ fn execute_guarded_refreshes_the_schema_snapshot() {
     assert_eq!(c.dependents_of("extra"), vec!["vextra".to_string()]);
 }
 
+/// The determinism guarantee: every name list the catalog returns —
+/// `list`, `dependents_of`, `relevant_views` — is ascending-name-sorted,
+/// regardless of registration order.
+#[test]
+fn name_lists_are_sorted_regardless_of_registration_order() {
+    let mut c = ViewCatalog::new(bookdemo::book_schema());
+    for name in ["zeta", "alpha", "mid", "beta"] {
+        c.add(name, bookdemo::BOOK_VIEW).unwrap();
+    }
+    let expected = ["alpha", "beta", "mid", "zeta"];
+    let listed: Vec<String> = c.list().into_iter().map(|v| v.name).collect();
+    assert_eq!(listed, expected);
+    assert_eq!(c.dependents_of("book"), expected);
+    assert_eq!(c.dependents_of("REVIEW"), expected, "dependency lookup is case-insensitive");
+    let u = ufilter_xquery::parse_update(bookdemo::U8).unwrap();
+    assert_eq!(c.relevant_views(&u), expected);
+    // Dropping from the middle keeps the rest sorted.
+    c.drop_view("beta").unwrap();
+    assert_eq!(c.dependents_of("book"), ["alpha", "mid", "zeta"]);
+    assert_eq!(c.relevant_views(&u), ["alpha", "mid", "zeta"]);
+}
+
+/// `check_all` runs the identical pipeline on candidates: its wire
+/// outcomes per candidate equal a direct per-view `check`.
+#[test]
+fn check_all_candidates_match_direct_checks() {
+    use ufilter_core::wire::encode_outcome;
+    let mut c = ViewCatalog::new(bookdemo::book_schema());
+    c.add("books", bookdemo::BOOK_VIEW).unwrap();
+    for (name, text) in bookdemo::book_view_variants(6) {
+        c.add(&name, &text).unwrap();
+    }
+    for (_, update) in bookdemo::all_updates() {
+        let mut db = bookdemo::book_db();
+        let report = c.check_all(update, &mut db);
+        for item in &report.items {
+            let mut db2 = bookdemo::book_db();
+            let direct = c.get(&item.view).unwrap().check(update, &mut db2);
+            assert_eq!(
+                item.reports.iter().map(|r| encode_outcome(&r.outcome)).collect::<Vec<_>>(),
+                direct.iter().map(|r| encode_outcome(&r.outcome)).collect::<Vec<_>>(),
+                "{}: fan-out diverged from a direct check",
+                item.view
+            );
+        }
+        assert_eq!(
+            report.fanout.candidates + report.fanout.pruned,
+            report.fanout.views * report.fanout.fanout_requests,
+            "candidates + pruned must account for every view"
+        );
+    }
+}
+
 /// `check_batch` must stay side-effect-free even under the hybrid strategy
 /// with the caller already holding a transaction (the one case where the
 /// strategy's execute-and-rollback trick cannot run in place).

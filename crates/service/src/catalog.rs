@@ -21,10 +21,11 @@ use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use ufilter_core::catalog::is_schema_ddl;
 use ufilter_core::{
-    BatchItemReport, BatchReport, BatchStats, CatalogError, ProbeCache, UFilterConfig, ViewCatalog,
-    ViewInfo,
+    BatchItemReport, BatchReport, BatchStats, CatalogError, Footprint, ProbeCache, Route,
+    UFilterConfig, ViewCatalog, ViewInfo,
 };
 use ufilter_rdb::{DatabaseSchema, Db, ExecOutcome, Parser, Stmt};
+use ufilter_xquery::UpdateStmt;
 
 /// FNV-1a 64-bit hash — deterministic across runs and processes, so view →
 /// shard and (view, update) → worker routing is stable (std's default
@@ -128,7 +129,8 @@ impl ShardedCatalog {
         (0..self.shards.len()).map(|i| self.read(i).compile_cache_hits()).sum()
     }
 
-    /// Names of registered views (any shard) that read `relation`.
+    /// Names of registered views (any shard) that read `relation`, in
+    /// ascending name order.
     pub fn dependents_of(&self, relation: &str) -> Vec<String> {
         let mut out: Vec<String> = Vec::new();
         for i in 0..self.shards.len() {
@@ -136,6 +138,33 @@ impl ShardedCatalog {
         }
         out.sort();
         out
+    }
+
+    /// Route a parsed update across every shard's relevance index: the
+    /// merged candidate set (ascending name order) plus summed per-level
+    /// pruning counters. Read locks, one shard at a time, ascending — the
+    /// lock-ordering rule.
+    pub fn route_update(&self, u: &UpdateStmt) -> Route {
+        // One footprint extraction per request, shared by every shard.
+        let fp = Footprint::of(u);
+        let mut merged = Route::default();
+        for i in 0..self.shards.len() {
+            let route = self.read(i).route_footprint(&fp);
+            merged.views += route.views;
+            merged.pruned_tags += route.pruned_tags;
+            merged.pruned_paths += route.pruned_paths;
+            merged.pruned_preds += route.pruned_preds;
+            merged.fallback |= route.fallback;
+            merged.candidates.extend(route.candidates);
+        }
+        merged.candidates.sort();
+        merged
+    }
+
+    /// The views a parsed update could possibly affect, across all shards,
+    /// in ascending name order (a sound superset — see `ufilter_route`).
+    pub fn relevant_views(&self, u: &UpdateStmt) -> Vec<String> {
+        self.route_update(u).candidates
     }
 
     /// The RESTRICT rule across every shard: reject schema-affecting DDL on
@@ -310,6 +339,20 @@ mod tests {
         for i in 0..cat.shard_count() {
             assert!(cat.read(i).schema().table("scratch").is_none(), "shard {i} schema stale");
         }
+    }
+
+    #[test]
+    fn relevant_views_merge_across_shards_in_name_order() {
+        let cat = ShardedCatalog::new(bookdemo::book_schema(), 4);
+        for name in ["d", "b", "a", "c"] {
+            cat.add(name, bookdemo::BOOK_VIEW).unwrap();
+        }
+        let u = ufilter_xquery::parse_update(bookdemo::U8).unwrap();
+        assert_eq!(cat.relevant_views(&u), ["a", "b", "c", "d"]);
+        let route = cat.route_update(&u);
+        assert_eq!(route.views, 4);
+        assert_eq!(route.pruned(), 0);
+        assert!(!route.fallback);
     }
 
     #[test]

@@ -16,10 +16,14 @@
 //!   landing on the worker whose [`ufilter_core::ProbeCache`] is already
 //!   warm for it — cache reuse survives concurrency.
 //! * [`proto`] + [`server::CheckServer`] — a line-oriented wire protocol
-//!   over `std::net` TCP (`CHECK`, `BATCH`, `CATALOG ADD/DROP/LIST`,
-//!   `STATS`, `SHUTDOWN`) whose `OK`/`ERR` replies carry
-//!   [`ufilter_core::wire`]-encoded outcomes — byte-identical to what the
-//!   single-threaded `check-batch` CLI prints for the same stream.
+//!   over `std::net` TCP (`CHECK`, `BATCH`, `CHECKALL`, `BATCHALL`,
+//!   `CATALOG ADD/DROP/LIST`, `STATS`, `SHUTDOWN`) whose `OK`/`ERR`
+//!   replies carry [`ufilter_core::wire`]-encoded outcomes —
+//!   byte-identical to what the single-threaded `check-batch` /
+//!   `check-all` CLI prints for the same stream. The `CHECKALL` and
+//!   `BATCHALL` verbs take *no view name*: the shards' relevance indexes
+//!   (`ufilter_route`, via [`ShardedCatalog::route_update`]) pick the
+//!   candidate views, and only those run the pipeline.
 //!
 //! The service is **check-only**: no wire request ever executes a
 //! translated update, so worker-private database clones and probe caches

@@ -21,8 +21,12 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use ufilter_core::{BatchItemReport, BatchReport, BatchStats, CheckReport, ProbeCache};
+use ufilter_core::{
+    BatchItemReport, BatchReport, BatchStats, CheckReport, FanoutItem, FanoutReport, FanoutStats,
+    ProbeCache, Route,
+};
 use ufilter_rdb::Db;
+use ufilter_xquery::parse_update;
 
 use crate::catalog::{affinity_hash, ShardedCatalog};
 
@@ -41,6 +45,10 @@ pub struct PoolStats {
     items: AtomicUsize,
     probe_hits: AtomicUsize,
     probe_misses: AtomicUsize,
+    fanout_requests: AtomicUsize,
+    fanout_candidates: AtomicUsize,
+    fanout_pruned: AtomicUsize,
+    fanout_fallbacks: AtomicUsize,
 }
 
 /// A point-in-time copy of [`PoolStats`].
@@ -54,6 +62,14 @@ pub struct PoolStatsSnapshot {
     pub probe_hits: usize,
     /// Context probes that had to scan.
     pub probe_misses: usize,
+    /// `CHECKALL`/`BATCHALL` updates routed through the relevance index.
+    pub fanout_requests: usize,
+    /// Candidate (view, update) checks those requests dispatched.
+    pub fanout_candidates: usize,
+    /// Views the index pruned without running the pipeline.
+    pub fanout_pruned: usize,
+    /// Requests the index could not classify (checked against every view).
+    pub fanout_fallbacks: usize,
 }
 
 impl PoolStats {
@@ -64,12 +80,23 @@ impl PoolStats {
         self.probe_misses.fetch_add(stats.probe_misses, Ordering::Relaxed);
     }
 
+    fn record_fanout(&self, stats: &FanoutStats) {
+        self.fanout_requests.fetch_add(stats.fanout_requests, Ordering::Relaxed);
+        self.fanout_candidates.fetch_add(stats.candidates, Ordering::Relaxed);
+        self.fanout_pruned.fetch_add(stats.pruned, Ordering::Relaxed);
+        self.fanout_fallbacks.fetch_add(stats.fallbacks, Ordering::Relaxed);
+    }
+
     fn snapshot(&self) -> PoolStatsSnapshot {
         PoolStatsSnapshot {
             jobs: self.jobs.load(Ordering::Relaxed),
             items: self.items.load(Ordering::Relaxed),
             probe_hits: self.probe_hits.load(Ordering::Relaxed),
             probe_misses: self.probe_misses.load(Ordering::Relaxed),
+            fanout_requests: self.fanout_requests.load(Ordering::Relaxed),
+            fanout_candidates: self.fanout_candidates.load(Ordering::Relaxed),
+            fanout_pruned: self.fanout_pruned.load(Ordering::Relaxed),
+            fanout_fallbacks: self.fanout_fallbacks.load(Ordering::Relaxed),
         }
     }
 }
@@ -80,6 +107,7 @@ pub struct CheckPool {
     senders: Vec<Sender<Job>>,
     handles: Vec<JoinHandle<()>>,
     stats: Arc<PoolStats>,
+    catalog: Arc<ShardedCatalog>,
 }
 
 impl CheckPool {
@@ -98,7 +126,7 @@ impl CheckPool {
             handles.push(std::thread::spawn(move || worker_main(catalog, &mut db, rx, stats)));
             senders.push(tx);
         }
-        CheckPool { senders, handles, stats }
+        CheckPool { senders, handles, stats, catalog }
     }
 
     /// Number of workers.
@@ -155,6 +183,77 @@ impl CheckPool {
         let mut report =
             self.check_stream(std::slice::from_ref(&(view.to_string(), text.to_string())));
         report.items.remove(0).reports
+    }
+
+    /// Catalog-wide fan-out for one update: route it through the shards'
+    /// relevance indexes, then dispatch the surviving (candidate view,
+    /// update) pairs across the workers by the usual affinity hash. Items
+    /// come back in candidate-name order with outcomes byte-identical (in
+    /// wire form) to a per-view `CHECK` of each candidate.
+    pub fn check_all(&self, update_text: &str) -> FanoutReport {
+        self.check_all_batch(std::slice::from_ref(&update_text.to_string()))
+    }
+
+    /// [`check_all`](Self::check_all) over a stream of updates (the
+    /// `BATCHALL` verb): one routing pass, then a single fan-out of every
+    /// surviving pair so affinity routing and warm caches amortize across
+    /// the whole stream. Items are sorted by `(update index, view name)`.
+    ///
+    /// Candidates ship to workers as raw `(view, text)` pairs, so a text
+    /// is re-parsed by each worker partition that receives it (the batch
+    /// engine dedupes within a partition) — bounded by the worker count,
+    /// not the candidate count; carrying parsed statements through the
+    /// job channel is not worth the structural cost at today's sizes.
+    ///
+    /// Routing and dispatch are two steps, each individually consistent
+    /// but not atomic together: a view dropped concurrently between them
+    /// yields the same per-item "no view named …" report a direct `CHECK`
+    /// of that view would produce at dispatch time (and a concurrently
+    /// *added* view may be missed by this request — it was not registered
+    /// when routing ran). Holding every shard lock across the pipeline
+    /// run would serialize the whole service against its slowest check,
+    /// so the catalog deliberately does not offer that.
+    pub fn check_all_batch(&self, updates: &[String]) -> FanoutReport {
+        let mut fanout = FanoutStats { views: self.catalog.len(), ..FanoutStats::default() };
+        // (update index, candidate view) for every surviving pair. Updates
+        // that fail to parse are deliberately fanned out to *all* views:
+        // the batch engine reproduces the same per-view malformed report
+        // the brute-force loop yields, so outcomes stay byte-identical.
+        let mut work: Vec<(usize, String)> = Vec::new();
+        for (ui, text) in updates.iter().enumerate() {
+            match parse_update(text) {
+                Ok(u) => {
+                    let route = self.catalog.route_update(&u);
+                    fanout.absorb(&route);
+                    work.extend(route.candidates.into_iter().map(|v| (ui, v)));
+                }
+                Err(_) => {
+                    let all: Vec<String> =
+                        self.catalog.list().into_iter().map(|v| v.name).collect();
+                    fanout.absorb(&Route {
+                        views: all.len(),
+                        candidates: all.clone(),
+                        fallback: true,
+                        ..Route::default()
+                    });
+                    work.extend(all.into_iter().map(|v| (ui, v)));
+                }
+            }
+        }
+        self.stats.record_fanout(&fanout);
+        let stream: Vec<(String, String)> =
+            work.iter().map(|(ui, view)| (view.clone(), updates[*ui].clone())).collect();
+        let batch = self.check_stream(&stream);
+        let mut items: Vec<FanoutItem> = batch
+            .items
+            .into_iter()
+            .map(|item| {
+                let (ui, view) = &work[item.index];
+                FanoutItem { update: *ui, view: view.clone(), reports: item.reports }
+            })
+            .collect();
+        items.sort_by(|a, b| (a.update, a.view.as_str()).cmp(&(b.update, b.view.as_str())));
+        FanoutReport { items, fanout, batch: batch.stats }
     }
 }
 
@@ -240,6 +339,45 @@ mod tests {
         let s = pool.stats();
         assert_eq!(s.items, 2);
         assert!(s.probe_hits >= 1, "second identical check hits the warm cache: {s:?}");
+    }
+
+    #[test]
+    fn check_all_routes_to_candidates_and_matches_per_view_checks() {
+        let catalog = Arc::new(ShardedCatalog::new(bookdemo::book_schema(), 4));
+        catalog.add("z_books", bookdemo::BOOK_VIEW).unwrap();
+        catalog.add("a_books", bookdemo::BOOK_VIEW).unwrap();
+        let db = bookdemo::book_db();
+        let pool = CheckPool::new(Arc::clone(&catalog), &db, 2);
+        let report = pool.check_all(bookdemo::U8);
+        // Both registrations are candidates, in name order.
+        let views: Vec<&str> = report.items.iter().map(|i| i.view.as_str()).collect();
+        assert_eq!(views, ["a_books", "z_books"]);
+        for item in &report.items {
+            let direct = pool.check_one(&item.view, bookdemo::U8);
+            assert_eq!(
+                item.reports.iter().map(|r| encode_outcome(&r.outcome)).collect::<Vec<_>>(),
+                direct.iter().map(|r| encode_outcome(&r.outcome)).collect::<Vec<_>>(),
+                "{}: fan-out diverged from a direct CHECK",
+                item.view
+            );
+        }
+        let s = pool.stats();
+        assert_eq!(s.fanout_requests, 1);
+        assert_eq!(s.fanout_candidates, 2);
+        assert_eq!(s.fanout_fallbacks, 0);
+    }
+
+    #[test]
+    fn unparsable_checkall_falls_back_to_every_view() {
+        let (pool, _catalog) = book_pool(2);
+        let report = pool.check_all("this is not an update");
+        assert_eq!(report.items.len(), 1, "one registered view, one malformed report");
+        assert_eq!(report.fanout.fallbacks, 1);
+        assert!(
+            encode_outcome(&report.items[0].reports[0].outcome).starts_with("invalid malformed"),
+            "{:?}",
+            report.items[0].reports[0].outcome
+        );
     }
 
     #[test]

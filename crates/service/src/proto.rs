@@ -14,6 +14,16 @@
 //! <-- ITEM <index> <view> <wire-outcome>        (one line per action report)
 //! <-- END items=<n> parse_hits=<..> probe_hits=<..> probe_misses=<..> groups=<..>
 //!
+//! --> CHECKALL <escaped-update>                 (no view: fan out to candidates)
+//! <-- OK <candidates>
+//! <-- ITEM <view> <wire-outcome>                (candidate views, name order)
+//! <-- END views=<..> candidates=<..> pruned=<..> fallbacks=<..>
+//!
+//! --> BATCHALL <n>         (followed by n lines: <escaped-update>)
+//! <-- OK <n>
+//! <-- ITEM <update-index> <view> <wire-outcome>
+//! <-- END items=<n> fanout_requests=<..> candidates=<..> pruned=<..> fallbacks=<..>
+//!
 //! --> CATALOG ADD <name> <escaped-view-text>
 //! <-- OK added <name> reads=<r1,r2,...>
 //! --> CATALOG DROP <name>
@@ -47,6 +57,18 @@ pub enum Request {
     /// `BATCH <n>` — the next `n` lines are batch items.
     Batch {
         /// Number of item lines that follow.
+        count: usize,
+    },
+    /// `CHECKALL <escaped-update>` — fan one update out to every candidate
+    /// view the relevance index routes it to.
+    CheckAll {
+        /// The update text, already unescaped.
+        update: String,
+    },
+    /// `BATCHALL <n>` — the next `n` lines are escaped updates, each
+    /// fanned out to its candidate views.
+    BatchAll {
+        /// Number of update lines that follow.
         count: usize,
     },
     /// `CATALOG ADD <name> <escaped-view-text>`.
@@ -87,16 +109,23 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             let update = unescape(escaped).map_err(|e| e.to_string())?;
             Ok(Request::Check { view: view.to_string(), update })
         }
-        "BATCH" => {
+        "BATCH" | "BATCHALL" => {
             let count: usize = parts
                 .next()
-                .ok_or("BATCH needs an item count")?
+                .ok_or_else(|| format!("{verb} needs an item count"))?
                 .parse()
-                .map_err(|_| "BATCH count must be a non-negative integer".to_string())?;
+                .map_err(|_| format!("{verb} count must be a non-negative integer"))?;
             if parts.next().is_some() {
-                return Err("BATCH takes exactly one operand".into());
+                return Err(format!("{verb} takes exactly one operand"));
             }
-            Ok(Request::Batch { count })
+            Ok(if verb == "BATCH" { Request::Batch { count } } else { Request::BatchAll { count } })
+        }
+        "CHECKALL" => {
+            let escaped = parts.next().ok_or("CHECKALL needs an escaped update")?;
+            if escaped.is_empty() || escaped.contains(' ') || parts.next().is_some() {
+                return Err("CHECKALL takes exactly one operand (is the update escaped?)".into());
+            }
+            Ok(Request::CheckAll { update: unescape(escaped).map_err(|e| e.to_string())? })
         }
         "CATALOG" => match parts.next() {
             Some("ADD") => {
@@ -150,6 +179,15 @@ pub fn parse_batch_item(line: &str) -> Result<(String, String), String> {
     Ok((view.to_string(), unescape(text).map_err(|e| e.to_string())?))
 }
 
+/// Parse one `BATCHALL` item line: a single `<escaped-update>` token.
+pub fn parse_batchall_item(line: &str) -> Result<String, String> {
+    let line = line.trim_end_matches(['\r', '\n']);
+    if line.is_empty() || line.contains(' ') {
+        return Err("batchall item takes exactly one <escaped-update>".into());
+    }
+    unescape(line).map_err(|e| e.to_string())
+}
+
 /// Format an `ERR` reply line (detail escaped, so always one line).
 pub fn err_reply(detail: &str) -> String {
     format!("ERR {}", escape(detail))
@@ -158,6 +196,16 @@ pub fn err_reply(detail: &str) -> String {
 /// Format a `CHECK` request line.
 pub fn check_request(view: &str, update: &str) -> String {
     format!("CHECK {view} {}", escape(update))
+}
+
+/// Format a `CHECKALL` request line.
+pub fn checkall_request(update: &str) -> String {
+    format!("CHECKALL {}", escape(update))
+}
+
+/// Format a `BATCHALL` item line.
+pub fn batchall_item(update: &str) -> String {
+    escape(update)
 }
 
 /// Format a `BATCH` item line.
@@ -216,6 +264,22 @@ mod tests {
         let (view, text) = parse_batch_item(&batch_item("books", "a b\nc")).unwrap();
         assert_eq!((view.as_str(), text.as_str()), ("books", "a b\nc"));
         assert!(parse_batch_item("no-space-here").is_err());
+    }
+
+    #[test]
+    fn checkall_and_batchall_parse() {
+        let update = "FOR $r IN document(\"V.xml\")\nUPDATE $r { DELETE $b }";
+        assert_eq!(
+            parse_request(&checkall_request(update)).unwrap(),
+            Request::CheckAll { update: update.into() }
+        );
+        assert!(parse_request("CHECKALL").is_err());
+        assert!(parse_request("CHECKALL two words").is_err());
+        assert_eq!(parse_request("BATCHALL 2").unwrap(), Request::BatchAll { count: 2 });
+        assert!(parse_request("BATCHALL many").is_err());
+        assert_eq!(parse_batchall_item(&batchall_item("a b\nc")).unwrap(), "a b\nc");
+        assert!(parse_batchall_item("raw space").is_err());
+        assert!(parse_batchall_item("").is_err());
     }
 
     #[test]

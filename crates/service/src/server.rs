@@ -22,7 +22,7 @@ use ufilter_rdb::Db;
 
 use crate::catalog::ShardedCatalog;
 use crate::pool::CheckPool;
-use crate::proto::{err_reply, parse_batch_item, parse_request, Request};
+use crate::proto::{err_reply, parse_batch_item, parse_batchall_item, parse_request, Request};
 
 /// Counters the `STATS` command reports (monotonic, server lifetime).
 #[derive(Debug, Default)]
@@ -279,6 +279,77 @@ impl Connection {
                 writer.flush().ok()?;
                 Some(false)
             }
+            Request::CheckAll { update } => {
+                let report = self.pool.check_all(&update);
+                writeln!(writer, "OK {}", report.items.len()).ok()?;
+                for item in &report.items {
+                    for r in &item.reports {
+                        writeln!(writer, "ITEM {} {}", item.view, encode_outcome(&r.outcome))
+                            .ok()?;
+                    }
+                }
+                let f = report.fanout;
+                writeln!(
+                    writer,
+                    "END views={} candidates={} pruned={} fallbacks={}",
+                    f.views, f.candidates, f.pruned, f.fallbacks
+                )
+                .ok()?;
+                writer.flush().ok()?;
+                Some(false)
+            }
+            Request::BatchAll { count } => {
+                let mut updates: Vec<String> = Vec::with_capacity(count);
+                let mut bad: Option<String> = None;
+                // Same drain discipline as BATCH: consume exactly `count`
+                // item lines even after a malformed one, so the connection
+                // never desyncs.
+                for _ in 0..count {
+                    let mut line = String::new();
+                    let n = self.read_line(reader, &mut line)?;
+                    if n == 0 {
+                        return None; // client hung up mid-batch
+                    }
+                    if bad.is_some() {
+                        continue; // draining
+                    }
+                    match parse_batchall_item(&line) {
+                        Ok(update) => updates.push(update),
+                        Err(detail) => bad = Some(detail),
+                    }
+                }
+                if let Some(detail) = bad {
+                    self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    return self.reply(writer, &err_reply(&detail));
+                }
+                let report = self.pool.check_all_batch(&updates);
+                writeln!(writer, "OK {}", updates.len()).ok()?;
+                for item in &report.items {
+                    for r in &item.reports {
+                        writeln!(
+                            writer,
+                            "ITEM {} {} {}",
+                            item.update,
+                            item.view,
+                            encode_outcome(&r.outcome)
+                        )
+                        .ok()?;
+                    }
+                }
+                let f = report.fanout;
+                writeln!(
+                    writer,
+                    "END items={} fanout_requests={} candidates={} pruned={} fallbacks={}",
+                    updates.len(),
+                    f.fanout_requests,
+                    f.candidates,
+                    f.pruned,
+                    f.fallbacks
+                )
+                .ok()?;
+                writer.flush().ok()?;
+                Some(false)
+            }
             Request::CatalogAdd { name, view_text } => match self.catalog.add(&name, &view_text) {
                 Ok(info) => self.reply(
                     writer,
@@ -314,11 +385,15 @@ impl Connection {
             }
             Request::Stats => {
                 let p = self.pool.stats();
+                // Key order is a stable part of the reply format; the index
+                // counters (`fanout_requests` onward) always come last, in
+                // this order — the CI smoke script parses them by name.
                 self.reply(
                     writer,
                     &format!(
                         "OK workers={} shards={} views={} connections={} requests={} errors={} \
-                         jobs={} checked={} probe_hits={} probe_misses={} compile_hits={}",
+                         jobs={} checked={} probe_hits={} probe_misses={} compile_hits={} \
+                         fanout_requests={} candidates={} pruned={} fallbacks={}",
                         self.pool.workers(),
                         self.catalog.shard_count(),
                         self.catalog.len(),
@@ -330,6 +405,10 @@ impl Connection {
                         p.probe_hits,
                         p.probe_misses,
                         self.catalog.compile_cache_hits(),
+                        p.fanout_requests,
+                        p.fanout_candidates,
+                        p.fanout_pruned,
+                        p.fanout_fallbacks,
                     ),
                 )
             }
@@ -441,6 +520,49 @@ mod tests {
         let stats = c.roundtrip("STATS");
         assert!(stats.starts_with("OK workers=2 "), "{stats}");
         assert!(stats.contains("views=1"), "{stats}");
+
+        assert_eq!(c.roundtrip("SHUTDOWN"), "OK bye");
+        handle.join().expect("clean shutdown");
+    }
+
+    #[test]
+    fn checkall_and_batchall_fan_out_over_tcp() {
+        let (addr, handle) = spawn_book_server(2);
+        let mut c = Client::connect(addr);
+
+        // CHECKALL: one registered view, one candidate, END with counters.
+        c.send(&crate::proto::checkall_request(bookdemo::U8));
+        assert_eq!(c.recv(), "OK 1");
+        let item = c.recv();
+        assert!(item.starts_with("ITEM books translatable"), "{item}");
+        let end = c.recv();
+        assert!(end.starts_with("END views=1 candidates=1 pruned=0 fallbacks=0"), "{end}");
+
+        // BATCHALL: two updates, items keyed by update index, END counters.
+        c.send("BATCHALL 2");
+        c.send(&crate::proto::batchall_item(bookdemo::U8));
+        c.send(&crate::proto::batchall_item(bookdemo::U10));
+        assert_eq!(c.recv(), "OK 2");
+        let first = c.recv();
+        assert!(first.starts_with("ITEM 0 books translatable"), "{first}");
+        let second = c.recv();
+        assert!(second.starts_with("ITEM 1 books untranslatable"), "{second}");
+        let end = c.recv();
+        assert!(end.starts_with("END items=2 fanout_requests=2 candidates=2 "), "{end}");
+
+        // A malformed BATCHALL item drains before the ERR reply.
+        c.send("BATCHALL 2");
+        c.send("raw spaces are not escaped");
+        c.send(&crate::proto::batchall_item(bookdemo::U8));
+        assert!(c.recv().starts_with("ERR "), "malformed batchall item rejected");
+        assert_eq!(c.roundtrip("PING"), "OK pong", "connection in sync after batchall ERR");
+
+        // STATS carries the index counters, stable-ordered at the tail.
+        let stats = c.roundtrip("STATS");
+        assert!(stats.contains("fanout_requests=3"), "{stats}");
+        let keys: Vec<&str> = stats.split(' ').filter_map(|kv| kv.split('=').next()).collect();
+        let tail = &keys[keys.len() - 4..];
+        assert_eq!(tail, ["fanout_requests", "candidates", "pruned", "fallbacks"], "{stats}");
 
         assert_eq!(c.roundtrip("SHUTDOWN"), "OK bye");
         handle.join().expect("clean shutdown");

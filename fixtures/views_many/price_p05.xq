@@ -1,0 +1,14 @@
+<BookView>
+FOR $book IN document("default.xml")/book/row
+WHERE ($book/price >= 11.35) AND ($book/price < 13.62)
+RETURN {
+<book>
+$book/bookid, $book/title, $book/price,
+FOR $review IN document("default.xml")/review/row
+WHERE ($book/bookid = $review/bookid)
+RETURN{
+<review>
+$review/reviewid, $review/comment
+</review>}
+</book>}
+</BookView>

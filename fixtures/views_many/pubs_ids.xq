@@ -1,0 +1,7 @@
+<PubView>
+FOR $publisher IN document("default.xml")/publisher/row
+RETURN {
+<publisher>
+$publisher/pubid
+</publisher>}
+</PubView>

@@ -1,0 +1,7 @@
+<ReviewView>
+FOR $review IN document("default.xml")/review/row
+RETURN {
+<review>
+$review/reviewid, $review/comment, $review/reviewer
+</review>}
+</ReviewView>

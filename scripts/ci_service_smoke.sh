@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI smoke for the check service: start `ufilter serve` on an ephemeral
 # loopback port, drive a scripted client session (catalog add, check,
-# batch, stats, shutdown), and fail on any non-OK reply or hang.
+# batch, checkall fan-out, stats, shutdown), and fail on any non-OK reply
+# or hang.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,12 +17,15 @@ add ci_books fixtures/bookview.xq
 list
 check ci_books fixtures/u8.xq
 batch fixtures/batch.ubatch
+checkall fixtures/u8.xq
 stats
 drop ci_books
 shutdown
 EOF
 
-"$BIN" --schema fixtures/book.sql --views fixtures/views.cat \
+# The many-view manifest exercises real fan-out: checkall must route to a
+# strict subset of the 26 registered views.
+"$BIN" --schema fixtures/book.sql --views fixtures/views_many.cat \
        --listen 127.0.0.1:0 --workers 2 serve > "$OUT" &
 SERVE_PID=$!
 
@@ -43,6 +47,25 @@ if grep -q '^ERR' <<< "$CLIENT_OUT"; then
 fi
 grep -q 'OK pong' <<< "$CLIENT_OUT" || { echo "FAIL: no PING reply"; exit 1; }
 grep -q 'translatable' <<< "$CLIENT_OUT" || { echo "FAIL: no check outcome"; exit 1; }
+
+# The checkall fan-out must report pruning over the many-view catalog.
+grep -q '^--- views=' <<< "$CLIENT_OUT" || { echo "FAIL: no checkall END trailer"; exit 1; }
+PRUNED=$(sed -n 's/^--- views=[0-9]* candidates=[0-9]* pruned=\([0-9]*\) .*/\1/p' \
+         <<< "$CLIENT_OUT" | head -1)
+[[ "$PRUNED" =~ ^[0-9]+$ ]] || { echo "FAIL: checkall trailer did not parse"; exit 1; }
+# 27 views at checkall time: the 26-view manifest plus ci_books added above.
+[ "$PRUNED" -gt 0 ] || { echo "FAIL: checkall pruned nothing over 27 views"; exit 1; }
+
+# The STATS reply must carry the stable-ordered index counters, and they
+# must parse as integers (fanout_requests counts the one checkall above).
+STATS_LINE=$(grep '^OK workers=' <<< "$CLIENT_OUT" | head -1)
+for key in fanout_requests candidates pruned fallbacks; do
+    VAL=$(tr ' ' '\n' <<< "$STATS_LINE" | sed -n "s/^${key}=\([0-9]*\)$/\1/p")
+    [[ "$VAL" =~ ^[0-9]+$ ]] || { echo "FAIL: STATS ${key} missing or non-numeric"; exit 1; }
+    echo "STATS ${key}=${VAL}"
+done
+FANOUT_REQS=$(tr ' ' '\n' <<< "$STATS_LINE" | sed -n 's/^fanout_requests=\([0-9]*\)$/\1/p')
+[ "$FANOUT_REQS" -ge 1 ] || { echo "FAIL: STATS fanout_requests did not count checkall"; exit 1; }
 
 # SHUTDOWN must actually stop the server.
 for _ in $(seq 1 300); do

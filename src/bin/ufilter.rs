@@ -49,6 +49,7 @@ fn cmd_usage(cmd: &str) -> &'static str {
         "check-batch" => {
             "ufilter --schema <s.sql> --catalog <manifest> check-batch <updates.ubatch>"
         }
+        "check-all" => "ufilter --schema <s.sql> --catalog <manifest> check-all <update.xq>",
         "serve" => {
             "ufilter --schema <s.sql> [--views <manifest>] [--listen <addr>] [--workers <n>] serve"
         }
@@ -176,6 +177,9 @@ COMMANDS:
     catalog drop <name>            unregister a view
     check-batch <updates-file>     batch-check an update stream against the
                                    catalog; blocks start with '-- view: <name>'
+    check-all <update.xq>          fan one update out to every catalog view it
+                                   could affect (relevance-index routed); prints
+                                   one wire outcome per candidate view
     serve                run the concurrent check server (sharded catalog +
                          worker pool); prints 'LISTENING <addr>' once bound
     client <addr> <script>  drive a running server with a scripted session
@@ -289,6 +293,40 @@ fn parse_batch_file(path: &str, text: &str) -> Result<Vec<(String, String)>, Str
     Ok(stream)
 }
 
+/// Parse a fan-out stream file: update blocks separated by `-- update`
+/// lines (other `--` lines are comments). Unlike `.ubatch` files, blocks
+/// carry no view name — routing decides the views.
+fn parse_uall_file(path: &str, text: &str) -> Result<Vec<String>, String> {
+    let mut updates: Vec<String> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        // The delimiter is the exact header, so '-- update foo' style
+        // comments stay comments.
+        if trimmed == "-- update" {
+            updates.push(String::new());
+        } else if trimmed.starts_with("--") {
+            // Comment line; never part of an update's text.
+        } else if let Some(update) = updates.last_mut() {
+            update.push_str(line);
+            update.push('\n');
+        } else if !trimmed.is_empty() {
+            return Err(format!(
+                "{path}:{}: update text before the first '-- update' header",
+                lineno + 1
+            ));
+        }
+    }
+    if updates.is_empty() {
+        return Err(format!("{path}: no '-- update' blocks found"));
+    }
+    // Catch stray/trailing headers here with a real diagnostic — an empty
+    // item line would otherwise abort the whole BATCHALL server-side.
+    if let Some(i) = updates.iter().position(|u| u.trim().is_empty()) {
+        return Err(format!("{path}: '-- update' block {} is empty", i + 1));
+    }
+    Ok(updates)
+}
+
 /// Drive one scripted session against a running `ufilter serve`.
 ///
 /// Script lines (`#` comments and blank lines skipped):
@@ -300,6 +338,10 @@ fn parse_batch_file(path: &str, text: &str) -> Result<Vec<(String, String)>, Str
 /// check <view> <update.xq>  check one update; prints '<view>: <wire-outcome>'
 /// batch <updates.ubatch>    check a '-- view:' stream; prints the exact
 ///                           '[i] <view>: <wire-outcome>' lines check-batch prints
+/// checkall <update.xq>      fan one update out to its candidate views; prints
+///                           the exact '<view>: <wire-outcome>' lines check-all prints
+/// batchall <updates.uall>   fan a '-- update'-separated stream out; prints
+///                           '[i] <view>: <wire-outcome>' per candidate
 /// stats | ping | shutdown   forwarded verbatim
 /// ```
 ///
@@ -424,6 +466,70 @@ fn run_client(script: &str, stream: TcpStream) -> Result<bool, String> {
                     }
                 }
             }
+            "checkall" => {
+                arity(1)?;
+                let update = std::fs::read_to_string(rest[0])
+                    .map_err(|e| err_here(format!("{}: {e}", rest[0])))?;
+                send(&mut writer, &proto::checkall_request(&update))?;
+                let head = recv(&mut reader)?;
+                if !head.starts_with("OK ") {
+                    all_ok = false;
+                    println!("{head}");
+                    continue;
+                }
+                loop {
+                    let reply = recv(&mut reader)?;
+                    if let Some(rest) = reply.strip_prefix("ITEM ") {
+                        // ITEM <view> <wire-outcome> — print the exact line
+                        // shape `check-all` uses.
+                        let (view, outcome) = rest.split_once(' ').unwrap_or((rest, ""));
+                        println!("{view}: {outcome}");
+                    } else if let Some(stats) = reply.strip_prefix("END ") {
+                        println!("--- {stats}");
+                        break;
+                    } else {
+                        all_ok = false;
+                        println!("{reply}");
+                        break;
+                    }
+                }
+            }
+            "batchall" => {
+                arity(1)?;
+                let text = std::fs::read_to_string(rest[0])
+                    .map_err(|e| err_here(format!("{}: {e}", rest[0])))?;
+                let updates = parse_uall_file(rest[0], &text)?;
+                send(&mut writer, &format!("BATCHALL {}", updates.len()))?;
+                for update in &updates {
+                    send(&mut writer, &proto::batchall_item(update))?;
+                }
+                let head = recv(&mut reader)?;
+                if !head.starts_with("OK ") {
+                    all_ok = false;
+                    println!("{head}");
+                    continue;
+                }
+                loop {
+                    let reply = recv(&mut reader)?;
+                    if let Some(rest) = reply.strip_prefix("ITEM ") {
+                        let mut f = rest.splitn(3, ' ');
+                        let (i, view, outcome) = (
+                            f.next().unwrap_or_default(),
+                            f.next().unwrap_or_default(),
+                            f.next().unwrap_or_default(),
+                        );
+                        let human = i.parse::<usize>().map(|i| i + 1).unwrap_or(0);
+                        println!("[{human}] {view}: {outcome}");
+                    } else if let Some(stats) = reply.strip_prefix("END ") {
+                        println!("--- {stats}");
+                        break;
+                    } else {
+                        all_ok = false;
+                        println!("{reply}");
+                        break;
+                    }
+                }
+            }
             "stats" | "ping" | "shutdown" => {
                 arity(0)?;
                 send(&mut writer, verb.to_uppercase().as_str())?;
@@ -433,7 +539,8 @@ fn run_client(script: &str, stream: TcpStream) -> Result<bool, String> {
             }
             other => {
                 return Err(err_here(format!(
-                    "unknown verb '{other}' (add/drop/list/check/batch/stats/ping/shutdown)"
+                    "unknown verb '{other}' \
+                     (add/drop/list/check/batch/checkall/batchall/stats/ping/shutdown)"
                 )))
             }
         }
@@ -569,6 +676,38 @@ fn run() -> Result<bool, String> {
                 "--- {} update(s), {} parse hit(s), {} probe hit(s) / {} miss(es), \
                  {} target group(s)",
                 s.items, s.parse_hits, s.probe_hits, s.probe_misses, s.target_groups
+            );
+            Ok(all_ok)
+        }
+        "check-all" => {
+            let path = catalog_path(&args)?;
+            let mut db = load_db(&args)?;
+            let catalog = build_catalog(&args, path, &db)?;
+            let file = args.operand(0, "check-all needs an update file")?;
+            args.at_most(1)?;
+            let update = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+            let report = catalog.check_all(&update, &mut db);
+            let mut all_ok = true;
+            // Same `<view>: <wire-outcome>` shape a `ufilter client
+            // checkall` session prints, so runs diff cleanly.
+            for item in &report.items {
+                for r in &item.reports {
+                    println!("{}: {}", item.view, wire::encode_outcome(&r.outcome));
+                    if !r.outcome.is_translatable() {
+                        all_ok = false;
+                    }
+                }
+            }
+            let f = report.fanout;
+            println!(
+                "--- views={} candidates={} pruned={} (tags={} paths={} preds={}) fallbacks={}",
+                f.views,
+                f.candidates,
+                f.pruned,
+                f.pruned_tags,
+                f.pruned_paths,
+                f.pruned_preds,
+                f.fallbacks
             );
             Ok(all_ok)
         }

@@ -17,6 +17,8 @@
 //! * [`xquery`] — the view-query (FLWR subset) and update languages;
 //! * [`asg`] — Annotated Schema Graphs and the closure algebra;
 //! * [`core`] — the U-Filter pipeline itself;
+//! * [`route`] — the shared relevance index fanning updates out to the
+//!   candidate views they could affect;
 //! * [`service`] — the concurrent check server (sharded catalog, worker
 //!   pool, line-oriented wire protocol);
 //! * [`tpch`] — the evaluation's data generator and views;
@@ -42,6 +44,7 @@
 pub use ufilter_asg as asg;
 pub use ufilter_core as core;
 pub use ufilter_rdb as rdb;
+pub use ufilter_route as route;
 pub use ufilter_service as service;
 pub use ufilter_tpch as tpch;
 pub use ufilter_usecases as usecases;

@@ -348,6 +348,17 @@ fn wrong_arity_gives_exit_2_with_usage() {
         &["client", "127.0.0.1:9", "script", "extra"],
         // Unknown catalog subcommand.
         &["--schema", "fixtures/book.sql", "--catalog", "fixtures/views.cat", "catalog", "nuke"],
+        // check-all arity.
+        &["--schema", "fixtures/book.sql", "--catalog", "fixtures/views_many.cat", "check-all"],
+        &[
+            "--schema",
+            "fixtures/book.sql",
+            "--catalog",
+            "fixtures/views_many.cat",
+            "check-all",
+            "fixtures/u8.xq",
+            "extra",
+        ],
     ];
     for args in cases {
         let (_, stderr, code) = ufilter(args);
@@ -375,6 +386,72 @@ fn unknown_options_and_bad_values_give_usage() {
         assert_eq!(code, Some(2), "{args:?}: {stderr}");
         assert!(stderr.contains("usage:"), "{args:?} lacks a usage line: {stderr}");
     }
+}
+
+/// `check-all` fans one update out over the many-view manifest: candidate
+/// views in name order, decodable wire outcomes, and a pruning trailer
+/// showing the index dropped irrelevant views.
+#[test]
+fn check_all_fans_out_with_pruning_stats() {
+    let (stdout, _, code) = ufilter(&[
+        "--schema",
+        "fixtures/book.sql",
+        "--catalog",
+        "fixtures/views_many.cat",
+        "check-all",
+        "fixtures/u8.xq",
+    ]);
+    // Some candidates are data-context-untranslatable, so the fan-out
+    // exits 1 (same semantics as check-batch).
+    assert_eq!(code, Some(1), "{stdout}");
+    let outcome_lines: Vec<&str> = stdout.lines().filter(|l| !l.starts_with("---")).collect();
+    // Candidates print in name order and every outcome decodes.
+    let views: Vec<&str> =
+        outcome_lines.iter().map(|l| l.split_once(": ").expect("view: outcome").0).collect();
+    let mut sorted = views.clone();
+    sorted.sort();
+    assert_eq!(views, sorted, "{stdout}");
+    assert!(views.contains(&"books"), "{stdout}");
+    for line in &outcome_lines {
+        let (_, outcome) = line.split_once(": ").unwrap();
+        u_filter::core::wire::decode_outcome(outcome).unwrap_or_else(|e| panic!("{line}: {e}"));
+    }
+    // The trailer reports real pruning: pubs_*/reviews_all lack the book
+    // tag, and high price partitions contradict `price < 40`.
+    let trailer = stdout.lines().last().unwrap();
+    assert!(trailer.starts_with("--- views=26 "), "{trailer}");
+    assert!(trailer.contains("pruned=7 (tags=3 paths=0 preds=4)"), "{trailer}");
+    assert!(trailer.contains("fallbacks=0"), "{trailer}");
+    assert_eq!(outcome_lines.len(), 26 - 7, "{stdout}");
+}
+
+/// The publisher-flavoured update routes to the publisher views only —
+/// the book partitions are pruned wholesale.
+#[test]
+fn check_all_routes_publisher_updates_away_from_book_partitions() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let upd = root.join("target/cli_pub_update.xq");
+    std::fs::write(
+        &upd,
+        "FOR $p IN document(\"V.xml\")/publisher\n\
+         WHERE $p/pubid/text() = \"A01\"\n\
+         UPDATE $p { DELETE $p }\n",
+    )
+    .unwrap();
+    let (stdout, _, _) = ufilter(&[
+        "--schema",
+        "fixtures/book.sql",
+        "--catalog",
+        "fixtures/views_many.cat",
+        "check-all",
+        upd.to_str().unwrap(),
+    ]);
+    let views: Vec<&str> = stdout
+        .lines()
+        .filter(|l| !l.starts_with("---"))
+        .map(|l| l.split_once(": ").expect("view: outcome").0)
+        .collect();
+    assert_eq!(views, ["books", "pubs_all", "pubs_ids"], "{stdout}");
 }
 
 /// The batch output satellite: `check-batch` prints outcomes in the stable

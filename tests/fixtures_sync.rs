@@ -31,6 +31,42 @@ fn batch_fixture_is_the_update_fixtures_concatenated() {
     );
 }
 
+/// The many-view manifest (fan-out CLI and service tests): `books` plus the
+/// 25 generated book-schema variants of `bookdemo::book_view_variants`.
+/// Regenerate after changing the generator with
+/// `UFILTER_REGEN_FIXTURES=1 cargo test --test fixtures_sync`.
+#[test]
+fn views_many_fixture_matches_the_generator() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let variants = bookdemo::book_view_variants(25);
+    let mut manifest = String::from(
+        "# ufilter view catalog: name=viewfile (generated; see tests/fixtures_sync.rs)\n\
+         books=fixtures/bookview.xq\n",
+    );
+    let mut files: Vec<(String, String)> = Vec::new();
+    for (name, text) in &variants {
+        let rel = format!("fixtures/views_many/{name}.xq");
+        manifest.push_str(&format!("{name}={rel}\n"));
+        files.push((rel, format!("{}\n", text.trim())));
+    }
+    if std::env::var_os("UFILTER_REGEN_FIXTURES").is_some() {
+        std::fs::create_dir_all(root.join("fixtures/views_many")).unwrap();
+        std::fs::write(root.join("fixtures/views_many.cat"), &manifest).unwrap();
+        for (rel, text) in &files {
+            std::fs::write(root.join(rel), text).unwrap();
+        }
+        return;
+    }
+    assert_eq!(
+        fixture("fixtures/views_many.cat"),
+        manifest,
+        "fixtures/views_many.cat drifted from book_view_variants(25)"
+    );
+    for (rel, text) in &files {
+        assert_eq!(&fixture(rel), text, "{rel} drifted from book_view_variants(25)");
+    }
+}
+
 #[test]
 fn view_and_update_fixtures_match_bookdemo_constants() {
     for (rel, constant) in [

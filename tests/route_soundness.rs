@@ -1,0 +1,162 @@
+//! Differential soundness of catalog-wide routing (`ufilter-route`).
+//!
+//! The contract under test, over randomized TPC-H update streams and the
+//! paper's book updates:
+//!
+//! 1. **Superset**: `relevant_views(u) ⊇ {v : brute-force check(v, u) is
+//!    not statically irrelevant}` — the index never prunes a view the full
+//!    pipeline would classify as anything but `Invalid` with an
+//!    unknown-target / hierarchy-violation / predicate-outside-view
+//!    reason.
+//! 2. **Identity on candidates**: for every candidate view, `check_all`'s
+//!    wire-encoded outcomes are byte-identical to the brute-force per-view
+//!    loop's outcomes for that view.
+//! 3. **Irrelevance of the pruned**: every pruned view, brute-force
+//!    checked, really does come back statically irrelevant.
+
+use u_filter::core::catalog::{FanoutReport, ViewCatalog};
+use u_filter::core::wire::encode_outcome;
+use u_filter::core::{bookdemo, wire_outcome_is_irrelevant, ProbeCache};
+use u_filter::tpch::{
+    fanout_stream, generate, many_views, stream, stream_views, tpch_schema, Scale, StreamSpec,
+};
+use ufilter_rdb::{Db, DeletePolicy};
+
+/// Wire lines of one fan-out report, keyed by (update, view).
+fn wire_map(report: &FanoutReport) -> Vec<((usize, String), Vec<String>)> {
+    report
+        .items
+        .iter()
+        .map(|i| {
+            (
+                (i.update, i.view.clone()),
+                i.reports.iter().map(|r| encode_outcome(&r.outcome)).collect(),
+            )
+        })
+        .collect()
+}
+
+/// Hold the routing contract for every update in `updates` against
+/// `catalog`: superset, identity on candidates, irrelevance of the pruned.
+fn assert_sound(catalog: &ViewCatalog, db: &Db, updates: &[String]) {
+    let refs: Vec<&str> = updates.iter().map(String::as_str).collect();
+    let mut db_index = db.clone();
+    let mut db_brute = db.clone();
+    let indexed = catalog.check_all_batch_refs(&refs, &mut db_index, &mut ProbeCache::new());
+    let brute = catalog.check_all_brute(&refs, &mut db_brute, &mut ProbeCache::new());
+    assert_eq!(brute.fanout.pruned, 0);
+    assert_eq!(brute.items.len(), updates.len() * catalog.len());
+
+    let indexed_map = wire_map(&indexed);
+    for (key, brute_lines) in wire_map(&brute) {
+        let statically_irrelevant = brute_lines.iter().all(|l| wire_outcome_is_irrelevant(l));
+        match indexed_map.iter().find(|(k, _)| *k == key) {
+            Some((_, indexed_lines)) => {
+                // Identity: candidate outcomes are byte-identical to the
+                // brute-force per-view loop (the wire codec is the byte
+                // format both the CLI and the service print).
+                assert_eq!(
+                    indexed_lines, &brute_lines,
+                    "{key:?}: candidate outcome diverged\nupdate: {}",
+                    updates[key.0]
+                );
+            }
+            None => {
+                // Superset/irrelevance: pruning is only legal when the
+                // brute-force outcome is statically irrelevant.
+                assert!(
+                    statically_irrelevant,
+                    "{key:?}: UNSOUND PRUNE — brute-force outcome {brute_lines:?}\nupdate: {}",
+                    updates[key.0]
+                );
+            }
+        }
+    }
+    // relevant_views agrees with the fan-out's candidate set, name-sorted.
+    for (ui, text) in updates.iter().enumerate() {
+        if let Ok(u) = ufilter_xquery::parse_update(text) {
+            let relevant = catalog.relevant_views(&u);
+            let mut sorted = relevant.clone();
+            sorted.sort();
+            assert_eq!(relevant, sorted, "relevant_views not name-sorted");
+            let fanned: Vec<&String> =
+                indexed_map.iter().filter(|((i, _), _)| *i == ui).map(|((_, v), _)| v).collect();
+            assert_eq!(relevant.iter().collect::<Vec<_>>(), fanned);
+        }
+    }
+}
+
+#[test]
+fn randomized_tpch_streams_route_soundly_over_a_many_view_catalog() {
+    let scale = Scale::tiny();
+    let db = generate(scale, 42, DeletePolicy::Cascade);
+    let mut catalog = ViewCatalog::new(tpch_schema(DeletePolicy::Cascade));
+    for (name, text) in many_views(24, scale) {
+        catalog.add(&name, &text).expect("generated view compiles");
+    }
+    // The §7.2 evaluation views join the catalog too, so the classic
+    // workload's updates have rich overlap with the partitions.
+    for (name, text) in stream_views() {
+        catalog.add(name, text).expect("evaluation view compiles");
+    }
+    for seed in [1, 2, 3] {
+        let mut updates = fanout_stream(12, scale, seed);
+        updates.extend(stream(StreamSpec::heavy(8), scale, seed).into_iter().map(|(_, u)| u));
+        assert_sound(&catalog, &db, &updates);
+    }
+}
+
+#[test]
+fn fanout_actually_prunes_partitioned_catalogs() {
+    let scale = Scale::tiny();
+    let db = generate(scale, 42, DeletePolicy::Cascade);
+    let mut catalog = ViewCatalog::new(tpch_schema(DeletePolicy::Cascade));
+    for (name, text) in many_views(24, scale) {
+        catalog.add(&name, &text).expect("generated view compiles");
+    }
+    let updates = fanout_stream(16, scale, 9);
+    let refs: Vec<&str> = updates.iter().map(String::as_str).collect();
+    let mut db = db.clone();
+    let report = catalog.check_all_batch_refs(&refs, &mut db, &mut ProbeCache::new());
+    let f = report.fanout;
+    assert_eq!(f.fanout_requests, 16);
+    assert_eq!(f.fallbacks, 0, "fan-out updates are all classifiable");
+    assert!(
+        f.candidates <= f.fanout_requests * 2,
+        "partitioned catalog should route each update to ~1 view, got {f:?}"
+    );
+    assert!(f.pruned >= 16 * 20, "expected heavy pruning over 24 views, got {f:?}");
+    // All three levels contribute on this workload.
+    assert!(f.pruned_tags > 0, "{f:?}");
+    assert!(f.pruned_paths > 0, "{f:?}");
+    assert!(f.pruned_preds > 0, "{f:?}");
+}
+
+#[test]
+fn book_updates_route_soundly_including_edge_shapes() {
+    let mut catalog = ViewCatalog::new(bookdemo::book_schema());
+    catalog.add("books", bookdemo::BOOK_VIEW).unwrap();
+    for (name, text) in bookdemo::book_view_variants(8) {
+        catalog.add(&name, &text).expect("book variant compiles");
+    }
+    let db = bookdemo::book_db();
+    let mut updates: Vec<String> =
+        bookdemo::all_updates().into_iter().map(|(_, u)| u.to_string()).collect();
+    updates.extend([
+        // Unparsable text: every view must report the same malformed line.
+        "this is not an update".to_string(),
+        // Correlation predicate: resolver rejects it for every view — the
+        // index must fall back, never prune.
+        r#"FOR $a IN document("V.xml")/book, $b IN document("V.xml")/book
+WHERE $a/bookid = $b/bookid
+UPDATE $a { DELETE $a/review }"#
+            .to_string(),
+        // Replace splits into delete + insert.
+        r#"FOR $b IN document("V.xml")/book
+UPDATE $b { REPLACE $b/title WITH <title>New Title</title> }"#
+            .to_string(),
+        // Unknown tag everywhere: candidates may legally be empty.
+        r#"FOR $z IN document("V.xml")/zebra UPDATE $z { DELETE $z/stripe }"#.to_string(),
+    ]);
+    assert_sound(&catalog, &db, &updates);
+}

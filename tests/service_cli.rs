@@ -23,12 +23,17 @@ impl Serve {
     /// Spawn `ufilter serve` on an ephemeral port and wait for its
     /// `LISTENING <addr>` line.
     fn spawn(workers: &str) -> Serve {
+        Serve::spawn_with("fixtures/views.cat", workers)
+    }
+
+    /// [`spawn`](Serve::spawn) with an explicit view manifest.
+    fn spawn_with(manifest: &str, workers: &str) -> Serve {
         let mut child = bin()
             .args([
                 "--schema",
                 "fixtures/book.sql",
                 "--views",
-                "fixtures/views.cat",
+                manifest,
                 "--listen",
                 "127.0.0.1:0",
                 "--workers",
@@ -109,6 +114,62 @@ fn serve_4_workers_matches_check_batch_byte_for_byte() {
     assert_eq!(client_code, Some(0), "{client_out}");
     let client_lines: Vec<&str> = client_out.lines().filter(|l| l.starts_with('[')).collect();
     assert_eq!(client_lines, batch_lines, "serve outcomes diverge from check-batch");
+    serve.shutdown();
+}
+
+/// The fan-out acceptance property: a 4-worker server's `checkall` reply
+/// is byte-identical to the single-threaded `check-all` CLI over the same
+/// 26-view manifest.
+#[test]
+fn serve_checkall_matches_check_all_byte_for_byte() {
+    let (cli_out, cli_code) = {
+        let out = bin()
+            .args([
+                "--schema",
+                "fixtures/book.sql",
+                "--catalog",
+                "fixtures/views_many.cat",
+                "check-all",
+                "fixtures/u8.xq",
+            ])
+            .output()
+            .expect("check-all runs");
+        (String::from_utf8_lossy(&out.stdout).into_owned(), out.status.code())
+    };
+    assert_eq!(cli_code, Some(1), "some candidates are untranslatable");
+    let cli_lines: Vec<&str> = cli_out.lines().filter(|l| !l.starts_with("---")).collect();
+    assert!(cli_lines.len() > 10, "{cli_out}");
+
+    let serve = Serve::spawn_with("fixtures/views_many.cat", "4");
+    let (client_out, code) = serve.client("checkall fixtures/u8.xq\n");
+    assert_eq!(code, Some(0), "{client_out}");
+    let client_lines: Vec<&str> = client_out.lines().filter(|l| !l.starts_with("---")).collect();
+    assert_eq!(client_lines, cli_lines, "serve fan-out diverges from check-all");
+    assert!(
+        client_out.lines().last().unwrap().starts_with("--- views=26 candidates=19 pruned=7"),
+        "{client_out}"
+    );
+    serve.shutdown();
+}
+
+/// `batchall` fans a '-- update'-separated stream out and prints
+/// per-update candidate outcomes.
+#[test]
+fn client_batchall_roundtrip() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let uall = root.join("target/service_cli.uall");
+    let text = format!(
+        "-- update\n{}\n-- update\n{}\n",
+        std::fs::read_to_string(root.join("fixtures/u8.xq")).unwrap().trim(),
+        std::fs::read_to_string(root.join("fixtures/u10.xq")).unwrap().trim(),
+    );
+    std::fs::write(&uall, text).unwrap();
+    let serve = Serve::spawn("2");
+    let (out, code) = serve.client("batchall target/service_cli.uall\n");
+    assert_eq!(code, Some(0), "{out}");
+    assert!(out.contains("[1] books: translatable"), "{out}");
+    assert!(out.contains("[2] books: untranslatable"), "{out}");
+    assert!(out.contains("--- items=2 fanout_requests=2 candidates=2"), "{out}");
     serve.shutdown();
 }
 
