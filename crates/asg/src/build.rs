@@ -63,6 +63,7 @@ pub fn build_view_asg(q: &ViewQuery, schema: &DatabaseSchema) -> Result<ViewAsg,
     b.content(root, &q.content, &scope)?;
     let mut asg = b.asg;
     compute_upbindings(&mut asg);
+    asg.refresh_non_injective_summary();
     Ok(asg)
 }
 
@@ -83,6 +84,9 @@ impl<'a> Builder<'a> {
                 Content::Text(_) => {} // literal text carries no schema
                 Content::Projection(p) => {
                     self.projection(parent, p, scope, Card::One)?;
+                }
+                Content::Aggregate(a) => {
+                    self.aggregate(parent, a, Card::One)?;
                 }
                 Content::Element(e) => {
                     // A directly-constructed element: internal node with
@@ -135,10 +139,18 @@ impl<'a> Builder<'a> {
         // Classify predicates.
         let mut conditions: Vec<JoinCond> = Vec::new();
         let mut local_preds: Vec<LocalPred> = Vec::new();
+        let mut agg_deps: Vec<AggSource> = Vec::new();
         for p in &f.predicates {
             match self.classify_pred(p, &inner)? {
                 Classified::Join(j) => conditions.push(j),
                 Classified::Local(l) => local_preds.push(l),
+                Classified::AggGate(sources) => {
+                    for s in sources {
+                        if !agg_deps.contains(&s) {
+                            agg_deps.push(s);
+                        }
+                    }
+                }
             }
         }
         let mut inner_scope = inner.clone();
@@ -152,6 +164,12 @@ impl<'a> Builder<'a> {
             }
         }
         inner_scope.ucb = ucb.clone();
+
+        // Nodes created from here on belong to this FLWR's output region:
+        // remember the low-water mark so the `distinct` / aggregate-gate
+        // marks below can sweep exactly the region's nodes.
+        let first_new = self.asg.len();
+        let distinct = f.bindings.iter().any(|b| b.distinct);
 
         for item in &f.ret {
             match item {
@@ -172,13 +190,80 @@ impl<'a> Builder<'a> {
                     // Bare projection in RETURN: a repeated simple element.
                     self.projection(parent, p, &inner_scope, Card::Many)?;
                 }
+                Content::Aggregate(a) => {
+                    self.aggregate(parent, a, Card::Many)?;
+                }
                 Content::Flwr(nested) => {
                     self.flwr(parent, nested, &inner_scope)?;
                 }
                 Content::Text(_) => {}
             }
         }
+        // Distinct FLWRs range over *deduplicated* rows: every node the
+        // region constructs is non-injective output. Aggregate predicates
+        // gate the whole region's view membership.
+        if distinct || !agg_deps.is_empty() {
+            for i in first_new..self.asg.len() {
+                let node = self.asg.node_mut(AsgNodeId(i));
+                if distinct {
+                    node.non_injective = true;
+                }
+                for a in &agg_deps {
+                    if !node.agg_deps.contains(a) {
+                        node.agg_deps.push(a.clone());
+                    }
+                }
+            }
+        }
         Ok(())
+    }
+
+    /// Build a `vA` node for an aggregate expression, validating its scan
+    /// against the schema. `sum`/`avg` need a numeric column; any column
+    /// named must exist.
+    fn aggregate(
+        &mut self,
+        parent: AsgNodeId,
+        a: &ufilter_xquery::AggregateExpr,
+        card: Card,
+    ) -> Result<AsgNodeId, AsgError> {
+        let source = self.agg_source(a)?;
+        let id = self.asg.push(AsgNodeKind::Aggregate, format!("{source}"));
+        self.asg.attach(parent, id);
+        let node = self.asg.node_mut(id);
+        node.card = card;
+        node.non_injective = true;
+        node.agg = Some(source);
+        Ok(id)
+    }
+
+    /// Validate an aggregate expression's scan and lower it to the
+    /// graph-side [`AggSource`].
+    fn agg_source(&self, a: &ufilter_xquery::AggregateExpr) -> Result<AggSource, AsgError> {
+        let t = self
+            .schema
+            .table(&a.table)
+            .ok_or_else(|| AsgError::new(format!("unknown relation {} in {a}", a.table)))?;
+        let column = match &a.column {
+            None => None,
+            Some(col) => {
+                let c = t.column_named(col).ok_or_else(|| {
+                    AsgError::new(format!("relation {} has no attribute {col} in {a}", t.name))
+                })?;
+                let numeric =
+                    matches!(c.ty, ufilter_rdb::DataType::Int | ufilter_rdb::DataType::Double);
+                if matches!(a.func, ufilter_xquery::AggFunc::Sum | ufilter_xquery::AggFunc::Avg)
+                    && !numeric
+                {
+                    return Err(AsgError::new(format!(
+                        "{}() needs a numeric column, {}.{} is {}",
+                        a.func, t.name, c.name, c.ty
+                    )));
+                }
+                Some(c.name.clone())
+            }
+        };
+        Ok(AggSource { func: a.func.name().to_string(), table: t.name.clone(), column })
     }
 
     fn projection(
@@ -252,6 +337,21 @@ impl<'a> Builder<'a> {
             })?;
             Ok(ColRef::new(schema.name.clone(), col.name.clone()))
         };
+        // Aggregate comparisons (`$b/bid = max(…)`, `count(…) > 10`) gate
+        // membership on a value no static probe can evaluate: record the
+        // scans so the check pipeline classifies updates into (or onto) the
+        // gated region conservatively. Any path side must still bind.
+        let aggs = p.aggregates();
+        if !aggs.is_empty() {
+            for side in [&p.lhs, &p.rhs] {
+                if let ufilter_xquery::Operand::Path(path) = side {
+                    qualify(path)?;
+                }
+            }
+            return Ok(Classified::AggGate(
+                aggs.into_iter().map(|a| self.agg_source(a)).collect::<Result<Vec<_>, _>>()?,
+            ));
+        }
         if let Some((a, op, b)) = p.as_correlation() {
             if op != ufilter_rdb::CmpOp::Eq {
                 // Non-equality correlations fall outside proper-Join
@@ -274,6 +374,8 @@ impl<'a> Builder<'a> {
 enum Classified {
     Join(JoinCond),
     Local(LocalPred),
+    /// An aggregate-gated predicate: the scans it references.
+    AggGate(Vec<AggSource>),
 }
 
 /// `UPBinding(v)`: the relations owning the leaf attributes in `v`'s
@@ -292,6 +394,13 @@ fn compute_upbindings(asg: &mut ViewAsg) {
                     rels.push(leaf.name.table.clone());
                 }
             }
+            // Aggregate values construct subtree content from their scanned
+            // relation too.
+            if let Some(agg) = &asg.node(n).agg {
+                if !rels.iter().any(|r| r.eq_ignore_ascii_case(&agg.table)) {
+                    rels.push(agg.table.clone());
+                }
+            }
         }
         rels.sort_by_key(|r| {
             order.iter().position(|o| o.eq_ignore_ascii_case(r)).unwrap_or(usize::MAX)
@@ -306,6 +415,12 @@ pub fn view_closure(asg: &ViewAsg, id: AsgNodeId) -> Closure {
     let node = asg.node(id);
     if let Some(leaf) = &node.leaf {
         return Closure::leaf(&format!("{}.{}", leaf.name.table, leaf.name.column));
+    }
+    if let Some(agg) = &node.agg {
+        // An aggregate value is a pseudo-leaf that no base-side closure can
+        // ever contain, so any node whose closure includes it compares
+        // non-equivalent to its mapping closure — conservatively Dirty.
+        return Closure::leaf(&format!("agg:{agg}"));
     }
     let mut out = Closure::default();
     for c in &node.children {

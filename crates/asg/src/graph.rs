@@ -16,7 +16,7 @@ use ufilter_rdb::{ColRef, DataType};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct AsgNodeId(pub usize);
 
-/// Node kind (§3.2).
+/// Node kind (§3.2, extended).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AsgNodeKind {
     /// `vR` — the root tag enclosing the FLWR expressions.
@@ -27,6 +27,12 @@ pub enum AsgNodeKind {
     Tag,
     /// `vL` — an atomic value.
     Leaf,
+    /// `vA` — an aggregate value (`count`/`max`/`min`/`avg`/`sum` over a
+    /// base-table scan). Not part of the paper's four kinds: aggregate
+    /// output is *non-injective* (many base rows map to one view value), so
+    /// every `vA` node carries the [`AsgNode::non_injective`] mark and
+    /// updates whose footprint reaches it classify as untranslatable.
+    Aggregate,
 }
 
 /// Edge cardinality (`1`, `?`, `+`, `*` — §3.2).
@@ -74,6 +80,28 @@ pub struct JoinCond {
 impl std::fmt::Display for JoinCond {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{} = {}", self.left, self.right)
+    }
+}
+
+/// The base-relation scan an aggregate node (or aggregate predicate)
+/// ranges over: `func(document(…)/<table>/row[/<column>])`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggSource {
+    /// Aggregate function name (lower-case: `count`, `max`, `min`, `avg`,
+    /// `sum`).
+    pub func: String,
+    /// The aggregated base relation.
+    pub table: String,
+    /// The aggregated column (`None` = whole rows, `count` only).
+    pub column: Option<String>,
+}
+
+impl std::fmt::Display for AggSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.column {
+            Some(c) => write!(f, "{}({}.{c})", self.func, self.table),
+            None => write!(f, "{}({})", self.func, self.table),
+        }
     }
 }
 
@@ -185,6 +213,19 @@ pub struct AsgNode {
     /// Non-correlation predicates of this node's FLWR.
     pub local_preds: Vec<LocalPred>,
 
+    // ---- aggregate / Distinct extension ----------------------------------
+    /// The **non-injective output** mark: this node's instances do not map
+    /// one-to-one onto base rows — it is (or lies inside) a `Distinct()`
+    /// FLWR region or an aggregate value. Updates whose footprint reaches a
+    /// marked region classify as untranslatable at check time.
+    pub non_injective: bool,
+    /// For [`AsgNodeKind::Aggregate`] nodes: the aggregated scan.
+    pub agg: Option<AggSource>,
+    /// Aggregate scans referenced by this node's FLWR *predicates*
+    /// (`WHERE $b/bid = max(…)`): view membership of the region is gated by
+    /// them, so updates into the region are conservatively untranslatable.
+    pub agg_deps: Vec<AggSource>,
+
     // ---- STAR marks (written by the marking procedure) -------------------
     /// `UContext` mark (root/internal nodes, after marking).
     pub ucontext: Option<UContext>,
@@ -207,6 +248,9 @@ impl AsgNode {
             upbinding: Vec::new(),
             bindings: Vec::new(),
             local_preds: Vec::new(),
+            non_injective: false,
+            agg: None,
+            agg_deps: Vec::new(),
             ucontext: None,
             upoint: None,
         }
@@ -220,15 +264,40 @@ pub struct ViewAsg {
     root: AsgNodeId,
     /// `rel(DEF_V)` in first-appearance order.
     pub relations: Vec<String>,
+    /// Compile-time summary: some node carries the non-injective mark or an
+    /// aggregate gate. Set once by `build_view_asg`; lets the per-update
+    /// classification short-circuit in O(1) instead of scanning the graph.
+    non_injective_any: bool,
 }
 
 impl ViewAsg {
     /// An ASG holding just a root node tagged `root_tag`.
     pub fn new(root_tag: impl Into<String>) -> ViewAsg {
-        let mut asg = ViewAsg { nodes: Vec::new(), root: AsgNodeId(0), relations: Vec::new() };
+        let mut asg = ViewAsg {
+            nodes: Vec::new(),
+            root: AsgNodeId(0),
+            relations: Vec::new(),
+            non_injective_any: false,
+        };
         let root = asg.push(AsgNodeKind::Root, root_tag.into());
         asg.root = root;
         asg
+    }
+
+    /// Whether any node carries the non-injective mark or an aggregate gate
+    /// (aggregate nodes are always marked, so this also implies
+    /// [`aggregate_sources`](Self::aggregate_sources) may be non-empty).
+    /// Precomputed at build time — O(1) at check time.
+    pub fn has_non_injective(&self) -> bool {
+        self.non_injective_any
+    }
+
+    /// Recompute the [`has_non_injective`](Self::has_non_injective) summary
+    /// from the current node marks (the builder calls this once after all
+    /// marks are written).
+    pub(crate) fn refresh_non_injective_summary(&mut self) {
+        self.non_injective_any =
+            self.nodes.iter().any(|n| n.non_injective || !n.agg_deps.is_empty());
     }
 
     pub(crate) fn push(&mut self, kind: AsgNodeKind, tag: String) -> AsgNodeId {
@@ -375,6 +444,53 @@ impl ViewAsg {
         })
     }
 
+    /// Every aggregate scan the view references anywhere: `vA` nodes plus
+    /// the aggregate predicates recorded as [`AsgNode::agg_deps`], in node
+    /// order (duplicates removed).
+    pub fn aggregate_sources(&self) -> Vec<AggSource> {
+        let mut out: Vec<AggSource> = Vec::new();
+        for n in &self.nodes {
+            for a in n.agg.iter().chain(n.agg_deps.iter()) {
+                if !out.contains(a) {
+                    out.push(a.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether `id` lies in a non-injective region: the node itself, an
+    /// ancestor, or any node of its subtree carries the mark (an update on
+    /// the node necessarily touches its whole subtree, and one inside a
+    /// marked region inherits the region's deduplication).
+    pub fn in_non_injective_region(&self, id: AsgNodeId) -> bool {
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            if self.node(c).non_injective {
+                return true;
+            }
+            cur = self.node(c).parent;
+        }
+        self.subtree(id).into_iter().any(|n| self.node(n).non_injective)
+    }
+
+    /// The aggregate predicates gating view membership anywhere on the
+    /// root→`id` path (each paired with the tag of the node that declared
+    /// it).
+    pub fn path_agg_deps(&self, id: AsgNodeId) -> Vec<(String, AggSource)> {
+        let mut out = Vec::new();
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            let n = self.node(c);
+            for a in &n.agg_deps {
+                out.push((n.tag.clone(), a.clone()));
+            }
+            cur = n.parent;
+        }
+        out.reverse();
+        out
+    }
+
     /// Pretty-print the annotation tables, in the style of Fig. 8.
     pub fn describe(&self) -> String {
         let mut out = String::new();
@@ -384,6 +500,7 @@ impl ViewAsg {
                 AsgNodeKind::Internal => "vC",
                 AsgNodeKind::Tag => "vS",
                 AsgNodeKind::Leaf => "vL",
+                AsgNodeKind::Aggregate => "vA",
             };
             out.push_str(&format!("{kind}{}: name={}", n.id.0, n.tag));
             if let Some(leaf) = &n.leaf {
@@ -391,6 +508,15 @@ impl ViewAsg {
                 if leaf.not_null {
                     out.push_str(" NOT-NULL");
                 }
+            }
+            if let Some(agg) = &n.agg {
+                out.push_str(&format!(" agg={agg}"));
+            }
+            if n.non_injective {
+                out.push_str(" NON-INJECTIVE");
+            }
+            for a in &n.agg_deps {
+                out.push_str(&format!(" [gate {a}]"));
             }
             if matches!(n.kind, AsgNodeKind::Root | AsgNodeKind::Internal) {
                 out.push_str(&format!(

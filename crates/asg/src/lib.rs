@@ -23,5 +23,6 @@ pub use base::{BaseAsg, BaseRel, FkEdge};
 pub use build::{build_view_asg, view_closure, AsgError};
 pub use closure::Closure;
 pub use graph::{
-    AsgNode, AsgNodeId, AsgNodeKind, Card, JoinCond, LeafInfo, LocalPred, UContext, UPoint, ViewAsg,
+    AggSource, AsgNode, AsgNodeId, AsgNodeKind, Card, JoinCond, LeafInfo, LocalPred, UContext,
+    UPoint, ViewAsg,
 };

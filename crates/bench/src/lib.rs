@@ -121,20 +121,34 @@ fn schema() -> DatabaseSchema {
 // ---------------------------------------------------------------------------
 
 pub fn fig12() -> Table {
-    let rows = ufilter_usecases::evaluate()
-        .into_iter()
-        .map(|e| {
+    let rows = ufilter_usecases::catalog()
+        .iter()
+        .zip(ufilter_usecases::evaluate())
+        .map(|(uc, e)| {
             let reasons: Vec<String> = e.reasons.iter().map(|r| r.to_string()).collect();
+            let paper = if uc.paper_included {
+                "yes".to_string()
+            } else {
+                format!("no ({})", uc.paper_reason)
+            };
             vec![
-                format!("{}-{}", e.group, e.id),
+                uc.label(),
                 if e.included { "yes".into() } else { "no".into() },
                 reasons.join(", "),
+                paper,
             ]
         })
         .collect();
     Table {
-        title: "Figure 12: Evaluation of W3C Use Cases (view-ASG expressiveness)".into(),
-        headers: vec!["View Query".into(), "Included".into(), "Reason".into()],
+        title: "Figure 12: Evaluation of W3C Use Cases (view-ASG expressiveness, \
+                aggregate/Distinct extension)"
+            .into(),
+        headers: vec![
+            "View Query".into(),
+            "Included".into(),
+            "Reason".into(),
+            "Paper (2006)".into(),
+        ],
         rows,
     }
 }

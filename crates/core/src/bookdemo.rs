@@ -230,6 +230,23 @@ INSERT
 <comment>Easy read and useful.</comment>
 </review>}"#;
 
+/// An aggregate view over the Fig. 1 schema: row count plus top price of
+/// `book`. Compiles into marked `vA` regions; every update reaching them is
+/// untranslatable with the `non-injective` step code. The CI service smoke
+/// serves this view (fixtures/bookstats.xq) and asserts exactly that reply.
+pub const BOOK_STATS_VIEW: &str = r#"
+<BookStats>
+<n_books> count(document("book.sql")/book/row) </n_books>,
+<top_price> max(document("book.sql")/book/row/price) </top_price>
+</BookStats>"#;
+
+/// An update addressing [`BOOK_STATS_VIEW`]'s aggregate element —
+/// classified untranslatable at the non-injective step (never `ERR`).
+pub const U_AGG: &str = r#"
+FOR $n IN document("BookStats.xml")/n_books
+UPDATE $n {
+DELETE $n }"#;
+
 /// Publisher list view (both columns) — a book-schema variant with no
 /// `<book>` subtree at all, so book-addressing updates prune it at the
 /// tag level.

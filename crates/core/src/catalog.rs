@@ -250,6 +250,14 @@ pub struct ViewCatalog {
     /// compiled under the old mode/strategy).
     compiled: HashMap<(String, UFilterConfig), Arc<UFilter>>,
     compile_hits: usize,
+    /// Schema epoch: bumped by [`set_schema`](ViewCatalog::set_schema)
+    /// (i.e. on every guarded schema-affecting DDL), and synced into every
+    /// caller-held [`ProbeCache`] by the batch engine so probe results can
+    /// never survive a schema change. The sharded service catalog adopts
+    /// new schemas on all shards inside one all-locks critical section, so
+    /// shard epochs advance in lockstep and a worker cache shared across
+    /// shards never thrashes.
+    epoch: u64,
     /// The shared relevance index over every registered view, maintained
     /// incrementally by `add`/`drop_view` (see `ufilter_route`).
     index: RelevanceIndex,
@@ -264,8 +272,15 @@ impl ViewCatalog {
             views: BTreeMap::new(),
             compiled: HashMap::new(),
             compile_hits: 0,
+            epoch: 0,
             index: RelevanceIndex::new(),
         }
+    }
+
+    /// The catalog's schema epoch (see the field docs): a counter bumped on
+    /// every adopted schema change. [`ProbeCache::sync_epoch`] pairs with it.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Set the pipeline configuration used for views registered *after*
@@ -442,6 +457,10 @@ impl ViewCatalog {
     pub fn set_schema(&mut self, schema: DatabaseSchema) {
         self.schema = schema;
         self.compiled.clear();
+        // Probe results cached under the old schema may be stale (the DDL
+        // that triggered this dropped or re-created tables): advance the
+        // epoch so every caller-held ProbeCache invalidates on next use.
+        self.epoch += 1;
     }
 
     /// Check a stream of raw update texts. Parsing is amortized: each
@@ -521,6 +540,9 @@ impl ViewCatalog {
         db: &mut Db,
         cache: &mut ProbeCache,
     ) -> BatchReport {
+        // A caller-held cache filled before a schema change must not answer
+        // probes issued after it.
+        cache.sync_epoch(self.epoch);
         let (hits_before, misses_before) = (cache.hits(), cache.misses());
         let mut stats = BatchStats { items: stream.len(), ..BatchStats::default() };
         let mut items: Vec<BatchItemReport> = Vec::with_capacity(stream.len());
@@ -716,11 +738,15 @@ pub fn is_schema_ddl(stmt: &Stmt) -> bool {
     matches!(stmt, Stmt::CreateTable(_) | Stmt::DropTable(_))
 }
 
-/// Canonical form of a view text: whitespace runs outside string literals
-/// collapsed to one space, trimmed. Keys the compile-once cache, so
-/// formatting differences don't defeat it — while quoted literals (which
-/// are data, not formatting) stay byte-exact.
+/// Canonical form of a view text: `(: … :)` comments stripped (they lex as
+/// whitespace — nesting and string literals respected), then whitespace
+/// runs outside string literals collapsed to one space, trimmed. Keys the
+/// compile-once cache, so neither formatting nor comment differences defeat
+/// it — while quoted literals (which are data, not formatting) stay
+/// byte-exact.
 fn canonicalize(text: &str) -> String {
+    let text = ufilter_xquery::strip_comments(text);
+    let text = text.as_str();
     let mut out = String::with_capacity(text.len());
     let mut pending_space = false;
     let mut in_quote: Option<char> = None;

@@ -110,6 +110,11 @@ impl std::fmt::Display for Condition {
 pub enum CheckStep {
     /// Step 1 (§4).
     Validation,
+    /// Step 1½ — conservative aggregate/Distinct classification: the
+    /// update's footprint reaches a non-injective region (deduplicated or
+    /// aggregated output), where no exact translation exists. Runs between
+    /// validation and STAR; wire code `non-injective`.
+    NonInjective,
     /// Step 2 (§5).
     Star,
     /// Step 3a — data-driven update context check (§6.1).
@@ -122,6 +127,7 @@ impl std::fmt::Display for CheckStep {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(match self {
             CheckStep::Validation => "update validation",
+            CheckStep::NonInjective => "non-injective region classification",
             CheckStep::Star => "schema-driven translatability reasoning",
             CheckStep::DataContext => "data-driven update context check",
             CheckStep::DataPoint => "data-driven update point check",

@@ -92,6 +92,12 @@ pub struct ProbeCache {
     /// Which probe's result each `TAB_…` table currently holds, so a cache
     /// hit only skips re-materialization while the table is still fresh.
     materialized: std::collections::HashMap<String, String>,
+    /// The catalog schema epoch the cached results were produced under (see
+    /// [`crate::catalog::ViewCatalog::epoch`]). Guarded DDL bumps the
+    /// catalog epoch; the batch engine calls [`sync_epoch`](Self::sync_epoch)
+    /// so results from before a schema change can never answer a probe
+    /// issued after it.
+    epoch: u64,
     hits: usize,
     misses: usize,
 }
@@ -110,6 +116,26 @@ impl ProbeCache {
     /// Number of probes that had to hit the engine.
     pub fn misses(&self) -> usize {
         self.misses
+    }
+
+    /// Drop every cached probe result and `TAB_…` freshness record (the
+    /// hit/miss counters survive — they are lifetime telemetry, not
+    /// content). Call after anything that could change probe answers: a
+    /// schema change, direct base-table writes between check-only batches.
+    pub fn invalidate(&mut self) {
+        self.entries.clear();
+        self.materialized.clear();
+    }
+
+    /// Adopt `epoch`, invalidating all content if it differs from the epoch
+    /// the cache was filled under. The catalog batch engine calls this on
+    /// every batch, making a caller-held long-lived cache safe across
+    /// guarded DDL.
+    pub fn sync_epoch(&mut self, epoch: u64) {
+        if self.epoch != epoch {
+            self.invalidate();
+            self.epoch = epoch;
+        }
     }
 
     /// Look up `sql`, or run `fetch` and remember its result.
@@ -390,6 +416,19 @@ impl UFilter {
             return Err(CheckReport { trace, outcome: CheckOutcome::Invalid(reason) });
         }
         trace.push((CheckStep::Validation, "valid".into()));
+
+        // ---- Step 1½: conservative aggregate/Distinct classification ----
+        // Runs before STAR: non-injective regions (Distinct output,
+        // aggregate values, aggregate-gated membership) have no exact
+        // translation, whatever their STAR marks say. Views without such
+        // regions skip this in O(nodes) with no behavior change.
+        if let Some(reason) = star::non_injective_check(&self.asg, &self.schema, action) {
+            trace.push((CheckStep::NonInjective, reason.clone()));
+            return Err(CheckReport {
+                trace,
+                outcome: CheckOutcome::Untranslatable { step: CheckStep::NonInjective, reason },
+            });
+        }
 
         // ---- Step 2: STAR ----------------------------------------------
         let conditions = match star::check(&self.asg, &self.marking, action, self.config.mode) {

@@ -200,6 +200,117 @@ fn rule1_violated(asg: &ViewAsg, schema: &DatabaseSchema, c: AsgNodeId) -> bool 
     false
 }
 
+/// Conservative aggregate/Distinct classification (between Step 1 and
+/// STAR): `Some(reason)` when the update's footprint reaches a
+/// **non-injective region** — deduplicated (`Distinct()`) or aggregated
+/// output, or output whose view membership is gated by an aggregate
+/// predicate — where no exact translation can exist. `None` keeps the
+/// classic pipeline behavior bit-for-bit (every view without aggregates or
+/// `Distinct()` returns `None` unconditionally).
+///
+/// Soundness: the check over-approximates. A delete/insert at node `n`
+/// touches `n`'s whole subtree and changes the instance multiset of every
+/// ancestor region, so marks anywhere on that axis reject; and any action
+/// whose affected base relations feed an aggregate scan *anywhere* in the
+/// view could shift that aggregate's value, so relation overlap rejects
+/// too — with a delete's footprint closed over `ON DELETE CASCADE` /
+/// `SET NULL` foreign keys, since referential actions remove or rewrite
+/// referencing rows the aggregate may range over. Updates provably outside
+/// all of that pass through untouched.
+pub fn non_injective_check(
+    asg: &ViewAsg,
+    schema: &DatabaseSchema,
+    action: &ResolvedAction,
+) -> Option<String> {
+    // Classic views short-circuit on the compile-time summary: no marks
+    // anywhere ⇒ no classification work, O(1), and bit-for-bit the
+    // pre-extension pipeline (aggregate nodes are always marked, so
+    // `aggregate_sources` is empty too).
+    if !asg.has_non_injective() {
+        return None;
+    }
+    let node = asg.node(action.node);
+
+    // (a) The target, an ancestor, or its subtree is marked non-injective.
+    if asg.in_non_injective_region(action.node) {
+        let what = if node.agg.is_some()
+            || asg.subtree(action.node).iter().any(|n| asg.node(*n).agg.is_some())
+        {
+            "aggregated"
+        } else {
+            "deduplicated (Distinct)"
+        };
+        return Some(format!(
+            "the update reaches {what} output at <{}>: non-injective view regions have no \
+             exact translation",
+            node.tag
+        ));
+    }
+
+    // (b) Membership of the target's region is gated by an aggregate
+    // predicate whose value no static reasoning can pin down.
+    if let Some((tag, gate)) = asg.path_agg_deps(action.node).into_iter().next() {
+        return Some(format!(
+            "view membership of <{tag}> is gated by the aggregate predicate {gate}; \
+             updates into the region cannot be classified exactly"
+        ));
+    }
+
+    // (c) The action's affected relations feed an aggregate scan elsewhere
+    // in the view: changing them could silently shift the aggregate value.
+    let sources = asg.aggregate_sources();
+    if !sources.is_empty() {
+        let mut affected: Vec<String> = Vec::new();
+        let push = |t: &str, affected: &mut Vec<String>| {
+            if !affected.iter().any(|x| x.eq_ignore_ascii_case(t)) {
+                affected.push(t.to_string());
+            }
+        };
+        match node.kind {
+            AsgNodeKind::Internal | AsgNodeKind::Root => {
+                for r in node.upbinding.iter().chain(asg.cr(action.node).iter()) {
+                    push(r, &mut affected);
+                }
+            }
+            AsgNodeKind::Tag | AsgNodeKind::Leaf => {
+                if let Some(leaf) = crate::target::find_leaf(asg, action.node) {
+                    push(&leaf.name.table, &mut affected);
+                }
+            }
+            AsgNodeKind::Aggregate => {} // covered by (a)
+        }
+        // A delete's footprint is its FK closure, not just the node's own
+        // relations: ON DELETE CASCADE removes referencing rows and ON
+        // DELETE SET NULL rewrites their columns, either of which can
+        // shift an aggregate over the referencing table. Inserts fire no
+        // referential actions, so their footprint stays as computed.
+        if action.kind != UpdateKind::Insert {
+            let mut frontier = affected.clone();
+            while let Some(cur) = frontier.pop() {
+                for (owner, fk) in schema.foreign_keys() {
+                    if fk.ref_table.eq_ignore_ascii_case(&cur)
+                        && fk.on_delete != ufilter_rdb::DeletePolicy::Restrict
+                        && !affected.iter().any(|x| x.eq_ignore_ascii_case(owner))
+                    {
+                        affected.push(owner.to_string());
+                        frontier.push(owner.to_string());
+                    }
+                }
+            }
+        }
+        for s in &sources {
+            if affected.iter().any(|r| r.eq_ignore_ascii_case(&s.table)) {
+                return Some(format!(
+                    "the update touches relation {} which feeds the aggregate {s}; the \
+                     aggregate value could change as a side effect",
+                    s.table
+                ));
+            }
+        }
+    }
+    None
+}
+
 /// Verdict of the STAR checking procedure.
 #[derive(Debug, Clone, PartialEq)]
 pub enum StarVerdict {
@@ -222,6 +333,12 @@ pub fn check(
         // "Deleting the root node vR is always translatable. Similarly any
         // valid update of a vL node will be translatable." (§5)
         AsgNodeKind::Root => StarVerdict::Ok(Vec::new()),
+        // Unreachable in the pipeline: `non_injective_check` rejects any
+        // action that resolves into an aggregate region before STAR runs.
+        AsgNodeKind::Aggregate => StarVerdict::Untranslatable(format!(
+            "<{}> is aggregated output: non-injective view regions have no exact translation",
+            node.tag
+        )),
         AsgNodeKind::Leaf | AsgNodeKind::Tag => {
             // One exception the vC treatment implies: deleting a value that
             // a view non-correlation predicate ranges over (SET NULL makes
@@ -426,6 +543,125 @@ mod tests {
             check(&f.asg, &f.marking, &actions[0], StarMode::Refined),
             StarVerdict::Untranslatable(_)
         ));
+    }
+
+    fn compile(view: &str) -> crate::pipeline::UFilter {
+        crate::pipeline::UFilter::compile(view, &bookdemo::book_schema()).expect("compiles")
+    }
+
+    fn first_action(f: &crate::pipeline::UFilter, update: &str) -> ResolvedAction {
+        let u = ufilter_xquery::parse_update(update).unwrap();
+        resolve(&f.asg, &u).unwrap().remove(0)
+    }
+
+    #[test]
+    fn non_injective_check_is_inert_on_classic_views() {
+        // BookView has no aggregates and no Distinct: every action short-
+        // circuits to None, keeping the pre-extension pipeline bit-for-bit.
+        let f = filter();
+        assert!(!f.asg.has_non_injective());
+        for update in [bookdemo::U2, bookdemo::U8, bookdemo::U10, bookdemo::U13] {
+            let u = ufilter_xquery::parse_update(update).unwrap();
+            for action in resolve(&f.asg, &u).unwrap() {
+                assert_eq!(non_injective_check(&f.asg, &f.schema, &action), None, "{update}");
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_regions_reject_deletes_and_inserts() {
+        let f = compile(
+            r#"<V> FOR $b IN distinct(document("d")/book/row)
+RETURN { <book> $b/title, $b/price </book> } </V>"#,
+        );
+        let del = first_action(&f, r#"FOR $b IN document("V.xml")/book UPDATE $b { DELETE $b }"#);
+        let reason = non_injective_check(&f.asg, &f.schema, &del).expect("deduplicated region");
+        assert!(reason.contains("deduplicated"), "{reason}");
+        let ins = first_action(
+            &f,
+            r#"FOR $root IN document("V.xml")
+UPDATE $root { INSERT <book><title>T</title><price>1.00</price></book> }"#,
+        );
+        assert!(non_injective_check(&f.asg, &f.schema, &ins).is_some());
+    }
+
+    #[test]
+    fn aggregate_subtrees_and_fed_relations_reject() {
+        let f = compile(
+            r#"<V> FOR $b IN document("d")/book/row
+RETURN { <b> $b/bookid, <n> count(document("d")/review/row) </n> </b> } </V>"#,
+        );
+        // Deleting the aggregate-bearing element (its subtree holds a vA).
+        let del_b = first_action(&f, r#"FOR $b IN document("V.xml")/b UPDATE $b { DELETE $b }"#);
+        let reason =
+            non_injective_check(&f.asg, &f.schema, &del_b).expect("subtree holds an aggregate");
+        assert!(reason.contains("aggregated"), "{reason}");
+        // Deleting <n> itself.
+        let del_n = first_action(&f, r#"FOR $b IN document("V.xml")/b UPDATE $b { DELETE $b/n }"#);
+        assert!(non_injective_check(&f.asg, &f.schema, &del_n).is_some());
+
+        // A region whose relations feed an aggregate elsewhere in the view.
+        let f2 = compile(
+            r#"<V> FOR $r IN document("d")/review/row
+RETURN { <r> $r/reviewid </r> },
+<n> count(document("d")/review/row) </n> </V>"#,
+        );
+        let del_r = first_action(&f2, r#"FOR $r IN document("V.xml")/r UPDATE $r { DELETE $r }"#);
+        let reason =
+            non_injective_check(&f2.asg, &f2.schema, &del_r).expect("review feeds count(review)");
+        assert!(reason.contains("count(review)"), "{reason}");
+    }
+
+    #[test]
+    fn aggregate_gated_membership_rejects() {
+        let f = compile(
+            r#"<V> FOR $r IN document("d")/review/row
+WHERE count(document("d")/review/row) > 1
+RETURN { <review> $r/reviewid </review> } </V>"#,
+        );
+        let del = first_action(&f, r#"FOR $r IN document("V.xml")/review UPDATE $r { DELETE $r }"#);
+        let reason =
+            non_injective_check(&f.asg, &f.schema, &del).expect("membership is aggregate-gated");
+        assert!(reason.contains("gated"), "{reason}");
+    }
+
+    #[test]
+    fn aggregate_free_regions_of_mixed_views_stay_exact() {
+        // Deleting review rows cascades into nothing, and no aggregate
+        // ranges over review: the review region keeps today's behavior.
+        let f = compile(
+            r#"<V> FOR $r IN document("d")/review/row
+RETURN { <rev> $r/reviewid </rev> },
+<n> count(document("d")/publisher/row) </n> </V>"#,
+        );
+        let del = first_action(&f, r#"FOR $r IN document("V.xml")/rev UPDATE $r { DELETE $r }"#);
+        assert_eq!(non_injective_check(&f.asg, &f.schema, &del), None);
+        let verdict = check(&f.asg, &f.marking, &del, StarMode::Refined);
+        assert!(matches!(verdict, StarVerdict::Ok(_)), "{verdict:?}");
+    }
+
+    #[test]
+    fn delete_footprints_close_over_cascading_foreign_keys() {
+        // publisher itself feeds no aggregate, but deleting a publisher
+        // CASCADEs through book into review — and review feeds count(…).
+        // The pre-fix check saw affected = {publisher} and accepted.
+        let f = compile(
+            r#"<V> FOR $p IN document("d")/publisher/row
+RETURN { <pub> $p/pubid, $p/pubname </pub> },
+<n> count(document("d")/review/row) </n> </V>"#,
+        );
+        let del = first_action(&f, r#"FOR $p IN document("V.xml")/pub UPDATE $p { DELETE $p }"#);
+        let reason =
+            non_injective_check(&f.asg, &f.schema, &del).expect("cascade reaches count(review)");
+        assert!(reason.contains("count(review)"), "{reason}");
+        // An *insert* fires no referential action: inserting a publisher
+        // row cannot change count(review), so it stays exact.
+        let ins = first_action(
+            &f,
+            r#"FOR $root IN document("V.xml")
+UPDATE $root { INSERT <pub><pubid>Z9</pubid><pubname>New House</pubname></pub> }"#,
+        );
+        assert_eq!(non_injective_check(&f.asg, &f.schema, &ins), None);
     }
 
     #[test]

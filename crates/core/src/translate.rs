@@ -138,6 +138,12 @@ fn plan_delete(
         AsgNodeKind::Internal => {
             emit_anchor_delete(asg, marking, schema, action.node, action, ctx_cols, plan)
         }
+        // Unreachable: the non-injective classification rejects aggregate
+        // targets before planning. Kept as a defensive error, not a panic.
+        AsgNodeKind::Aggregate => Err(untranslatable(
+            CheckStep::NonInjective,
+            format!("<{}> is aggregated output and cannot be translated", node.tag),
+        )),
         AsgNodeKind::Tag | AsgNodeKind::Leaf => {
             // Valid value deletion (cardinality ?): SET NULL on the column.
             let leaf = crate::target::find_leaf(asg, action.node)

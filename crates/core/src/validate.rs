@@ -41,7 +41,10 @@ pub fn validate(asg: &ViewAsg, action: &ResolvedAction) -> Result<(), InvalidRea
                 }
                 // Deletes of complex elements flow to STAR (u2 is *valid*
                 // yet untranslatable; see DESIGN.md faithfulness note 1).
-                AsgNodeKind::Internal | AsgNodeKind::Root => Ok(()),
+                // Aggregate values are likewise *valid* to address — the
+                // non-injective classification then rejects them with a
+                // precise reason rather than calling the update malformed.
+                AsgNodeKind::Internal | AsgNodeKind::Root | AsgNodeKind::Aggregate => Ok(()),
             }
         }
         UpdateKind::Insert => {
@@ -161,7 +164,10 @@ fn validate_fragment(
             }
             Ok(())
         }
-        AsgNodeKind::Leaf => Ok(()),
+        // Fragment content destined for an aggregate slot cannot be
+        // locally wrong — the non-injective classification rejects the
+        // whole insert right after validation anyway.
+        AsgNodeKind::Leaf | AsgNodeKind::Aggregate => Ok(()),
     }
 }
 

@@ -45,6 +45,11 @@ fn err(detail: impl Into<String>) -> WireError {
 }
 
 /// Escape `s` so it contains no space, tab, newline, CR, comma or raw `%`.
+///
+/// Characters outside the escape set pass through verbatim (including
+/// non-ASCII); escaped characters are emitted as the `%XX` percent-encoding
+/// of their UTF-8 bytes, so a future escape-set extension to multi-byte
+/// characters stays representable.
 pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -62,12 +67,28 @@ pub fn escape(s: &str) -> String {
 }
 
 /// Invert [`escape`]. Any `%XX` hex pair is accepted, not just the ones
-/// `escape` emits, so the format can grow its escape set compatibly.
+/// `escape` emits, so the format can grow its escape set compatibly —
+/// including multi-byte characters: maximal runs of `%XX` pairs decode as
+/// UTF-8 byte sequences (`%C3%A9` → `é`), so the codec round-trips
+/// arbitrary Unicode payloads instead of rejecting bytes ≥ 0x80.
 pub fn unescape(s: &str) -> Result<String, WireError> {
     let mut out = String::with_capacity(s.len());
-    let mut chars = s.chars();
+    let mut bytes = Vec::new(); // pending run of %XX-decoded bytes
+    let mut chars = s.chars().peekable();
+    let flush = |bytes: &mut Vec<u8>, out: &mut String| -> Result<(), WireError> {
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let decoded = std::str::from_utf8(bytes)
+            .map_err(|_| err("escaped bytes are not valid UTF-8"))?
+            .to_string();
+        out.push_str(&decoded);
+        bytes.clear();
+        Ok(())
+    };
     while let Some(c) = chars.next() {
         if c != '%' {
+            flush(&mut bytes, &mut out)?;
             out.push(c);
             continue;
         }
@@ -75,8 +96,9 @@ pub fn unescape(s: &str) -> Result<String, WireError> {
         let lo = chars.next().ok_or_else(|| err("truncated % escape"))?;
         let byte = (hi.to_digit(16).ok_or_else(|| err(format!("bad hex digit '{hi}'")))? * 16)
             + lo.to_digit(16).ok_or_else(|| err(format!("bad hex digit '{lo}'")))?;
-        out.push(char::from_u32(byte).ok_or_else(|| err("escape outside ASCII"))?);
+        bytes.push(byte as u8);
     }
+    flush(&mut bytes, &mut out)?;
     Ok(out)
 }
 
@@ -112,6 +134,7 @@ fn invalid_from(code: &str, detail: String) -> Result<InvalidReason, WireError> 
 pub fn step_code(step: CheckStep) -> &'static str {
     match step {
         CheckStep::Validation => "validation",
+        CheckStep::NonInjective => "non-injective",
         CheckStep::Star => "star",
         CheckStep::DataContext => "data-context",
         CheckStep::DataPoint => "data-point",
@@ -122,6 +145,7 @@ pub fn step_code(step: CheckStep) -> &'static str {
 pub fn step_from(code: &str) -> Result<CheckStep, WireError> {
     Ok(match code {
         "validation" => CheckStep::Validation,
+        "non-injective" => CheckStep::NonInjective,
         "star" => CheckStep::Star,
         "data-context" => CheckStep::DataContext,
         "data-point" => CheckStep::DataPoint,
@@ -258,6 +282,26 @@ mod tests {
         assert!(unescape("%").is_err());
         assert!(unescape("%2").is_err());
         assert!(unescape("%zz").is_err());
+        // A %XX run that is not valid UTF-8 is an error, not a silent
+        // mojibake (0xFF can never start a UTF-8 sequence).
+        assert!(unescape("%FF").is_err());
+        assert!(unescape("%C3").is_err(), "truncated two-byte sequence");
+    }
+
+    #[test]
+    fn escape_roundtrips_non_ascii_payloads() {
+        // Raw non-ASCII passes through untouched…
+        for s in ["café", "中文 reason", "emoji 😀 tail", "é,中\t😀"] {
+            let e = escape(s);
+            assert!(!e.contains([' ', '\t', '\n', '\r', ',']), "{e:?}");
+            assert_eq!(unescape(&e).unwrap(), s);
+        }
+        // …and percent-encoded UTF-8 byte runs decode as characters, so a
+        // future escape-set extension to multi-byte characters is already
+        // readable (the pre-fix decoder rejected any %XX ≥ 0x80).
+        assert_eq!(unescape("%C3%A9").unwrap(), "é");
+        assert_eq!(unescape("%E4%B8%AD%E6%96%87").unwrap(), "中文");
+        assert_eq!(unescape("a%20%C3%A9b").unwrap(), "a éb");
     }
 
     #[test]
@@ -275,14 +319,21 @@ mod tests {
 
     #[test]
     fn untranslatable_outcomes_roundtrip() {
-        for step in
-            [CheckStep::Validation, CheckStep::Star, CheckStep::DataContext, CheckStep::DataPoint]
-        {
+        for step in [
+            CheckStep::Validation,
+            CheckStep::NonInjective,
+            CheckStep::Star,
+            CheckStep::DataContext,
+            CheckStep::DataPoint,
+        ] {
             roundtrip(&CheckOutcome::Untranslatable {
                 step,
                 reason: "shared <publisher> is (dirty|u-d), Observation 1 fails".into(),
             });
         }
+        // The aggregate/Distinct extension's wire code is pinned: service
+        // smoke and clients grep for this exact token.
+        assert_eq!(step_code(CheckStep::NonInjective), "non-injective");
     }
 
     #[test]

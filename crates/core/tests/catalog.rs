@@ -325,3 +325,118 @@ fn compile_cache_cleared_by_guarded_ddl() {
         other => panic!("expected a Compile error against the new schema, got {other:?}"),
     }
 }
+
+/// Comments lex as whitespace, so two views differing only in `(: … :)`
+/// comments are the same view — one compile-cache entry, not two.
+#[test]
+fn comments_share_compile_cache_entries() {
+    let mut c = book_catalog();
+    let commented = format!(
+        "(: leading (: nested :) comment :)\n{}\n(: trailing :)",
+        bookdemo::BOOK_VIEW.replace("RETURN{", "(: inline, (: nested :) before return :)RETURN{")
+    );
+    let info = c.add("books_commented", &commented).unwrap();
+    assert!(info.cached, "comment-only differences must hit the compile cache");
+    assert_eq!(c.compile_cache_hits(), 1);
+}
+
+/// `(:` inside a string literal is data, not a comment opener: stripping
+/// it would silently change the view (and key two different views alike).
+#[test]
+fn comment_markers_inside_literals_are_data() {
+    let mut c = ViewCatalog::new(bookdemo::book_schema());
+    let a = r#"<V>FOR $b IN document("default.xml")/book/row WHERE $b/title = "x" RETURN {<book>$b/bookid</book>}</V>"#;
+    let b = r#"<V>FOR $b IN document("default.xml")/book/row WHERE $b/title = "(: x :)" RETURN {<book>$b/bookid</book>}</V>"#;
+    c.add("va", a).unwrap();
+    let info = c.add("vb", b).unwrap();
+    assert!(!info.cached, "literal content differs; must recompile");
+    // And the literal-bearing view still compiles (the "comment" survived
+    // stripping to reach the parser as a string).
+    assert_eq!(c.len(), 2);
+}
+
+/// Regression: a probe result cached before a schema change must not
+/// answer a probe issued after it. Scenario: check (cache fills) → drop
+/// view → guarded DDL drops and re-creates the base tables empty → re-add
+/// view → re-check the same update with the SAME cache. Fresh truth: the
+/// context element no longer exists (tables are empty), so the update is
+/// untranslatable at the data-context step; a stale cache would replay the
+/// old probe rows and accept it.
+#[test]
+fn stale_probe_cache_does_not_survive_schema_change() {
+    use ufilter_core::ProbeCache;
+    let mut c = book_catalog();
+    let mut db = bookdemo::book_db();
+    let mut cache = ProbeCache::new();
+    let stream = vec![("books".to_string(), bookdemo::U8.to_string())];
+
+    let first = c.check_batch_text_with_cache(&stream, &mut db, &mut cache);
+    assert!(first.items[0].reports[0].outcome.is_translatable(), "u8 accepted on real data");
+
+    // Tear the world down: unguard, drop (FK leaves first), re-create empty.
+    c.drop_view("books").unwrap();
+    for t in ["review", "book", "publisher"] {
+        c.execute_guarded(&mut db, &format!("DROP TABLE {t}")).expect("unguarded drop");
+    }
+    for stmt in bookdemo::ddl("CASCADE") {
+        c.execute_guarded(&mut db, &stmt).expect("re-create");
+    }
+    c.add("books", bookdemo::BOOK_VIEW).expect("recompiles against the new schema");
+
+    let second = c.check_batch_text_with_cache(&stream, &mut db, &mut cache);
+    let outcome = &second.items[0].reports[0].outcome;
+    assert!(
+        matches!(
+            outcome,
+            CheckOutcome::Untranslatable { step: ufilter_core::CheckStep::DataContext, .. }
+        ),
+        "stale probe cache survived the schema change: {outcome:?}"
+    );
+    // And the outcome equals a fresh-cache check, not merely "different".
+    let fresh = c.check_batch_text_with_cache(&stream, &mut db, &mut ProbeCache::new());
+    assert_eq!(
+        ufilter_core::wire::encode_outcome(outcome),
+        ufilter_core::wire::encode_outcome(&fresh.items[0].reports[0].outcome)
+    );
+}
+
+/// The non-injective classification never reaches Step 3, so it can never
+/// populate (or consult) the probe cache — there is no staleness channel
+/// through aggregate-region outcomes.
+#[test]
+fn aggregate_classification_bypasses_the_probe_cache() {
+    use ufilter_core::ProbeCache;
+    let mut c = ViewCatalog::new(bookdemo::book_schema());
+    c.add(
+        "agg",
+        "<V> FOR $b IN document(\"d\")/book/row \
+         RETURN { <b> $b/bookid, <n> count(document(\"d\")/review/row) </n> </b> } </V>",
+    )
+    .expect("aggregate view compiles");
+    let mut db = bookdemo::book_db();
+    let mut cache = ProbeCache::new();
+    let stream = vec![(
+        "agg".to_string(),
+        r#"FOR $b IN document("V.xml")/b UPDATE $b { DELETE $b }"#.to_string(),
+    )];
+    let report = c.check_batch_text_with_cache(&stream, &mut db, &mut cache);
+    assert!(matches!(
+        &report.items[0].reports[0].outcome,
+        CheckOutcome::Untranslatable { step: ufilter_core::CheckStep::NonInjective, .. }
+    ));
+    assert_eq!(cache.hits() + cache.misses(), 0, "no probe ran for an aggregate rejection");
+}
+
+/// Malformed text (dangling `(:`) must never canonicalize down to a valid
+/// view's cache key: it has to miss the cache and fail compilation.
+#[test]
+fn unterminated_comment_never_shares_a_cache_key() {
+    let mut c = book_catalog();
+    let malformed = format!("{} (: dangling", bookdemo::BOOK_VIEW);
+    match c.add("broken", &malformed) {
+        Err(CatalogError::Compile { name, .. }) => assert_eq!(name, "broken"),
+        other => panic!("malformed view hit the compile cache: {other:?}"),
+    }
+    assert_eq!(c.len(), 1);
+    assert_eq!(c.compile_cache_hits(), 0);
+}

@@ -55,7 +55,14 @@ impl ViewSignature {
             relations: asg.relations.iter().map(|r| r.to_ascii_lowercase()).collect(),
         };
         for n in asg.iter() {
-            if matches!(n.kind, AsgNodeKind::Root | AsgNodeKind::Leaf) {
+            // Aggregate (`vA`) nodes are skipped like leaves: their tags are
+            // synthetic (`count(bid.amount)`) and unaddressable by update
+            // paths, so they add no routing vocabulary. Their *parent*
+            // elements are ordinary internal/tag nodes and index normally,
+            // which keeps every update that could reach an aggregate region
+            // routed to the view (the non-injective classification then
+            // rejects it with a precise reason — never a silent prune).
+            if matches!(n.kind, AsgNodeKind::Root | AsgNodeKind::Leaf | AsgNodeKind::Aggregate) {
                 continue;
             }
             let tag = n.tag.to_ascii_lowercase();

@@ -148,6 +148,9 @@ fn operand_text(doc: &Document, env: &[(String, NodeId)], o: &Operand) -> Option
             let nodes = if steps.is_empty() { vec![base] } else { doc.select(base, &steps) };
             nodes.first().map(|n| doc.text_content(*n))
         }
+        // Aggregates range over base relations, which a document-side
+        // replay cannot see; the predicate evaluates to unknown → false.
+        Operand::Aggregate(_) => None,
     }
 }
 

@@ -13,11 +13,86 @@
 //! </BookView>
 //! ```
 //!
-//! Deliberately excluded (and detected by [`crate::features`]): `distinct`,
-//! aggregates, `if/then/else`, ordering, and user-defined functions — the
-//! exclusions reported in the paper's Fig. 12.
+//! The subset has grown past the paper's Fig. 12 exclusions: `Distinct()`
+//! over a FOR source and the aggregate functions (`count`, `max`, `min`,
+//! `avg`, `sum`) over base-table scans now parse into dedicated AST nodes
+//! ([`ForBinding::distinct`], [`AggregateExpr`]) and compile into marked ASG
+//! regions downstream. Still excluded (and detected by [`crate::features`]):
+//! `if/then/else`, ordering, and user-defined functions.
 
 use ufilter_rdb::{CmpOp, Value};
+
+/// An aggregate function of the extended subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `count(…)` — row count.
+    Count,
+    /// `max(…)` — maximum column value.
+    Max,
+    /// `min(…)` — minimum column value.
+    Min,
+    /// `avg(…)` — arithmetic mean of a numeric column.
+    Avg,
+    /// `sum(…)` — sum of a numeric column.
+    Sum,
+}
+
+impl AggFunc {
+    /// Parse a (lower- or mixed-case) function name.
+    pub fn parse(name: &str) -> Option<AggFunc> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "count" => AggFunc::Count,
+            "max" => AggFunc::Max,
+            "min" => AggFunc::Min,
+            "avg" => AggFunc::Avg,
+            "sum" => AggFunc::Sum,
+            _ => return None,
+        })
+    }
+
+    /// Canonical lower-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Max => "max",
+            AggFunc::Min => "min",
+            AggFunc::Avg => "avg",
+            AggFunc::Sum => "sum",
+        }
+    }
+}
+
+impl std::fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// `func(document("d")/<table>/row[/<column>])` — an aggregate over a base
+/// relation scan, the subset rendering of the use-case aggregate calls.
+/// `count` may omit the column (row count); the value aggregates require
+/// one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateExpr {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Document named in the `document(…)` source.
+    pub doc: String,
+    /// The aggregated base relation.
+    pub table: String,
+    /// The aggregated column (`None` = whole rows, `count` only).
+    pub column: Option<String>,
+}
+
+impl std::fmt::Display for AggregateExpr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}(document(\"{}\")/{}/row", self.func, self.doc, self.table)?;
+        if let Some(c) = &self.column {
+            write!(f, "/{c}")?;
+        }
+        f.write_str(")")
+    }
+}
 
 /// `$var/step/step[/text()]`.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,6 +141,9 @@ impl std::fmt::Display for PathExpr {
 pub enum Operand {
     Path(PathExpr),
     Literal(Value),
+    /// An aggregate value (`$b/bid = max(document("d")/bid/row/bid)`,
+    /// `count(document("d")/bid/row) > 10`).
+    Aggregate(AggregateExpr),
 }
 
 /// `lhs θ rhs` with `θ ∈ {=, ≠, <, ≤, >, ≥}` (§3.1).
@@ -99,6 +177,18 @@ impl Predicate {
             _ => None,
         }
     }
+
+    /// Every aggregate operand of this predicate (empty for the classic
+    /// subset shapes).
+    pub fn aggregates(&self) -> Vec<&AggregateExpr> {
+        [&self.lhs, &self.rhs]
+            .into_iter()
+            .filter_map(|o| match o {
+                Operand::Aggregate(a) => Some(a),
+                _ => None,
+            })
+            .collect()
+    }
 }
 
 impl std::fmt::Display for Predicate {
@@ -106,16 +196,23 @@ impl std::fmt::Display for Predicate {
         let side = |o: &Operand| match o {
             Operand::Path(p) => p.to_string(),
             Operand::Literal(v) => v.to_string(),
+            Operand::Aggregate(a) => a.to_string(),
         };
         write!(f, "{} {} {}", side(&self.lhs), self.op, side(&self.rhs))
     }
 }
 
-/// `FOR $var IN <source>`.
+/// `FOR $var IN <source>` — or `FOR $var IN distinct(<source>)` /
+/// `distinct-values(<source>)`, which ranges over the *distinct* rows of
+/// the source and marks every node the FLWR constructs as deduplicated
+/// (non-injective) output.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ForBinding {
     pub var: String,
     pub source: Source,
+    /// `true` when the source is wrapped in `distinct(…)` /
+    /// `distinct-values(…)`.
+    pub distinct: bool,
 }
 
 /// Range of a FOR variable.
@@ -153,6 +250,9 @@ pub enum Content {
     Projection(PathExpr),
     /// Literal text.
     Text(String),
+    /// An aggregate value (`<bid_count> count(document("d")/bid/row)
+    /// </bid_count>`).
+    Aggregate(AggregateExpr),
 }
 
 /// A whole view query: root tag plus content.
@@ -167,20 +267,29 @@ impl ViewQuery {
     /// in first-appearance order.
     pub fn relations(&self) -> Vec<String> {
         let mut out: Vec<String> = Vec::new();
+        fn push(out: &mut Vec<String>, table: &str) {
+            if !out.iter().any(|x| x.eq_ignore_ascii_case(table)) {
+                out.push(table.to_string());
+            }
+        }
         fn walk(content: &[Content], out: &mut Vec<String>) {
             for c in content {
                 match c {
                     Content::Flwr(f) => {
                         for b in &f.bindings {
                             if let Source::Table { table, .. } = &b.source {
-                                if !out.iter().any(|x| x.eq_ignore_ascii_case(table)) {
-                                    out.push(table.clone());
-                                }
+                                push(out, table);
+                            }
+                        }
+                        for p in &f.predicates {
+                            for a in p.aggregates() {
+                                push(out, &a.table);
                             }
                         }
                         walk(&f.ret, out);
                     }
                     Content::Element(e) => walk(&e.content, out),
+                    Content::Aggregate(a) => push(out, &a.table),
                     Content::Projection(_) | Content::Text(_) => {}
                 }
             }

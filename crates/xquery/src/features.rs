@@ -1,17 +1,26 @@
 //! Detection of query constructs outside the ASG-expressible subset.
 //!
-//! §7.1: "ASG also does not express if/then/else expressions; order
-//! functions, user-defined and aggregate functions, such as max(), count(),
-//! etc." — and `Project` never eliminates duplicates, so `distinct` is out
-//! too. Fig. 12 classifies the W3C use cases by exactly these features; this
-//! scanner reproduces that classification from query text.
+//! §7.1 of the paper excluded `if/then/else`, order functions, user-defined
+//! functions, aggregates and `distinct` from the view ASG, and Fig. 12
+//! classified the W3C use cases by exactly those features. The subset has
+//! since grown: `Distinct()` and the aggregate functions (`count`, `max`,
+//! `min`, `avg`, `sum`) are now parsed, compiled into marked ASG regions,
+//! and classified conservatively at *check* time (updates reaching a
+//! deduplicated or aggregated region are untranslatable) — so this scanner
+//! no longer reports them as unsupported. It still reproduces the
+//! remaining exclusions (`if/then/else`, ordering, user functions) from
+//! query text, skipping string literals and `(: … :)` comments.
 
 /// A construct the view ASG cannot express.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum UnsupportedFeature {
-    /// `distinct-values(…)` / `distinct(…)`.
+    /// `distinct-values(…)` / `distinct(…)`. Historical: kept so callers
+    /// can still name the paper's Fig. 12 reason classes, but [`scan`] no
+    /// longer produces it — Distinct is in the subset now.
     Distinct,
     /// An aggregate function (`count`, `max`, `avg`, `min`, `sum`).
+    /// Historical, like [`UnsupportedFeature::Distinct`]: no longer
+    /// produced by [`scan`].
     Aggregate(String),
     /// `if … then … else`.
     Conditional,
@@ -34,9 +43,10 @@ impl std::fmt::Display for UnsupportedFeature {
     }
 }
 
-const AGGREGATES: [&str; 5] = ["count", "max", "min", "avg", "sum"];
-/// Functions the subset does understand.
-const SUPPORTED_FN: [&str; 2] = ["document", "text"];
+/// Functions the subset understands (including, since the aggregate/Distinct
+/// extension, the five aggregates and both distinct spellings).
+const SUPPORTED_FN: [&str; 9] =
+    ["document", "text", "count", "max", "min", "avg", "sum", "distinct", "distinct-values"];
 /// Language keywords that may legally precede `(` without being calls
 /// (`WHERE ($book/pubid = …)`).
 const KEYWORDS: [&str; 14] = [
@@ -47,9 +57,20 @@ const KEYWORDS: [&str; 14] = [
 /// Scan raw query text for unsupported constructs. The scan is lexical (it
 /// does not require the query to parse — most excluded queries *cannot*
 /// parse in the subset, which is the point).
+///
+/// The scan classifies **construct classes**, not parseability: an empty
+/// result means the query uses no excluded feature class, not that this
+/// exact text compiles (the W3C use-case texts, included or not, use path
+/// shapes outside the `document(…)/table/row` subset — their compiling
+/// subset renderings live in `ufilter-usecases`). Parse/shape errors for
+/// aggregate and `distinct` arguments surface from the parser and ASG
+/// builder as `CompileError::Parse` / `::Asg`, not from this scanner.
 pub fn scan(query: &str) -> Vec<UnsupportedFeature> {
     let mut out = Vec::new();
-    let lower = query.to_lowercase();
+    // Strip comments up front (they replace with a space), so neither the
+    // word scan nor the `called` lookahead below can mistake a comment's
+    // `(` for a call opener (`row (: note :)` is not a call of `row`).
+    let lower = crate::lexer::strip_comments(query).to_lowercase();
     let chars: Vec<char> = lower.chars().collect();
 
     // Word-level scan, skipping string literals.
@@ -90,12 +111,6 @@ pub fn scan(query: &str) -> Vec<UnsupportedFeature> {
     for (idx, (w, end)) in words.iter().enumerate() {
         let called = next_non_ws(*end) == Some('(');
         match w.as_str() {
-            "distinct" | "distinct-values" if called => {
-                push_once(&mut out, UnsupportedFeature::Distinct)
-            }
-            a if AGGREGATES.contains(&a) && called => {
-                push_once(&mut out, UnsupportedFeature::Aggregate(a.to_string()))
-            }
             "if"
                 // `if (...) then` — require a following `then` to avoid
                 // false positives on element names.
@@ -109,10 +124,7 @@ pub fn scan(query: &str) -> Vec<UnsupportedFeature> {
                 }
             other if called
                 && !SUPPORTED_FN.contains(&other)
-                && !AGGREGATES.contains(&other)
                 && !KEYWORDS.contains(&other)
-                && other != "distinct"
-                && other != "distinct-values"
                 && other != "if" =>
             {
                 push_once(&mut out, UnsupportedFeature::FunctionCall(other.to_string()));
@@ -145,17 +157,17 @@ mod tests {
     use super::*;
 
     #[test]
-    fn detects_distinct() {
+    fn distinct_is_in_the_subset_now() {
         let q = "for $p in distinct-values(document(\"bib.xml\")//publisher) return $p";
-        assert_eq!(scan(q), vec![UnsupportedFeature::Distinct]);
+        assert!(scan(q).is_empty());
+        let q = "for $a in distinct(document(\"bib.xml\")//author) return $a";
+        assert!(scan(q).is_empty());
     }
 
     #[test]
-    fn detects_aggregates() {
-        let q = "<r> { count($doc//book) } { avg($b/price) } </r>";
-        let fs = scan(q);
-        assert!(fs.contains(&UnsupportedFeature::Aggregate("count".into())));
-        assert!(fs.contains(&UnsupportedFeature::Aggregate("avg".into())));
+    fn aggregates_are_in_the_subset_now() {
+        let q = "<r> { count($doc//book) } { avg($b/price) } { max($b/bid) } </r>";
+        assert!(scan(q).is_empty());
     }
 
     #[test]
@@ -181,8 +193,15 @@ mod tests {
 
     #[test]
     fn strings_are_skipped() {
-        let q = "<V> FOR $b IN document(\"d\")/t/row WHERE $b/x = 'count(1) if then' \
+        let q = "<V> FOR $b IN document(\"d\")/t/row WHERE $b/x = 'empty(1) if then' \
                  RETURN { $b/x } </V>";
+        assert!(scan(q).is_empty());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let q = "<V> (: empty($x) would be flagged, if ( ... ) then too :) \
+                 FOR $b IN document(\"d\")/t/row RETURN { $b/x } </V>";
         assert!(scan(q).is_empty());
     }
 

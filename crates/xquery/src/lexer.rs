@@ -3,6 +3,11 @@
 //! The only delicate point is `<`: it opens a tag when immediately followed
 //! by a name character (`<book>`), and is the less-than operator otherwise
 //! (`$book/price<50.00`).
+//!
+//! XQuery comments `(: … :)` nest and are stripped here (they behave like
+//! whitespace), so commented queries lex, parse, and — via the catalog's
+//! canonical-text keying — share compile-cache entries with their
+//! uncommented twins.
 
 #[derive(Debug, Clone, PartialEq)]
 pub enum Tok {
@@ -56,6 +61,10 @@ pub fn lex(input: &str) -> Result<Vec<(Tok, usize)>, LexError> {
             c if c.is_whitespace() => {
                 i += 1;
                 continue;
+            }
+            '(' if chars.get(i + 1) == Some(&':') => {
+                i = skip_comment(&chars, i)
+                    .ok_or(LexError { message: "unterminated (: comment".into(), offset: start })?;
             }
             '(' | ')' | '{' | '}' | ',' | '/' => {
                 let sym = match c {
@@ -221,6 +230,83 @@ fn is_name_char(c: char) -> bool {
     c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | ':')
 }
 
+/// Replace every (possibly nested) `(: … :)` comment outside string
+/// literals with a single space — comments behave like whitespace, so the
+/// result lexes identically to the input. String literals are left intact
+/// (`"(:"` is data, not a comment opener). An *unterminated* comment is
+/// preserved verbatim from its opener, so the stripped text still fails to
+/// lex for the same reason the original would — and, crucially, malformed
+/// text can never strip down to the same form as a well-formed view.
+///
+/// `ufilter-core`'s catalog keys its compile-once cache on this (then
+/// whitespace-collapsed) form, so two views differing only in comments
+/// share one compiled artifact — while a view with a dangling `(:` keeps a
+/// distinct key and fails compilation instead of hitting a valid cache
+/// entry.
+pub fn strip_comments(text: &str) -> String {
+    let chars: Vec<char> = text.chars().collect();
+    let mut out = String::with_capacity(text.len());
+    let mut quote: Option<char> = None;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if let Some(q) = quote {
+            out.push(c);
+            if c == q {
+                quote = None;
+            }
+            i += 1;
+            continue;
+        }
+        match c {
+            '"' | '\'' => {
+                quote = Some(c);
+                out.push(c);
+                i += 1;
+            }
+            '(' if chars.get(i + 1) == Some(&':') => match skip_comment(&chars, i) {
+                Some(end) => {
+                    i = end;
+                    out.push(' ');
+                }
+                None => {
+                    // Unterminated: keep the malformed tail byte-for-byte.
+                    out.extend(&chars[i..]);
+                    break;
+                }
+            },
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Skip a (possibly nested) `(: … :)` comment starting at `chars[start]`.
+/// Returns the index just past the closing `:)`, or `None` if unterminated.
+pub(crate) fn skip_comment(chars: &[char], start: usize) -> Option<usize> {
+    debug_assert_eq!((chars.get(start), chars.get(start + 1)), (Some(&'('), Some(&':')));
+    let mut depth = 1usize;
+    let mut i = start + 2;
+    while i < chars.len() {
+        if chars[i] == '(' && chars.get(i + 1) == Some(&':') {
+            depth += 1;
+            i += 2;
+        } else if chars[i] == ':' && chars.get(i + 1) == Some(&')') {
+            depth -= 1;
+            i += 2;
+            if depth == 0 {
+                return Some(i);
+            }
+        } else {
+            i += 1;
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,5 +367,40 @@ mod tests {
     fn unterminated_tag_is_error() {
         assert!(lex("<book").is_err());
         assert!(lex("</book").is_err());
+    }
+
+    #[test]
+    fn comments_are_whitespace() {
+        let ts = toks("(: note :) $b/price (: a (: nested :) one :) < 50.00");
+        assert_eq!(ts[0], Tok::Var("b".into()));
+        assert!(ts.contains(&Tok::Sym("<")));
+        assert!(ts.contains(&Tok::Float(50.0)));
+    }
+
+    #[test]
+    fn unterminated_comment_is_error() {
+        assert!(lex("(: never closed").is_err());
+        assert!(lex("(: outer (: inner :)").is_err());
+    }
+
+    #[test]
+    fn comment_markers_inside_strings_are_data() {
+        let ts = toks("'(: not a comment :)'");
+        assert_eq!(ts[0], Tok::Str("(: not a comment :)".into()));
+    }
+
+    #[test]
+    fn strip_comments_respects_nesting_and_literals() {
+        assert_eq!(strip_comments("a (: x :) b"), "a   b");
+        assert_eq!(strip_comments("a (: x (: y :) z :) b"), "a   b");
+        assert_eq!(strip_comments("\"(: data :)\" (: gone :)"), "\"(: data :)\"  ");
+        assert_eq!(strip_comments("'(: data :)'"), "'(: data :)'");
+        // Unterminated comment is preserved verbatim: the stripped text
+        // still fails to lex, and can never collide with a well-formed
+        // view's canonical form.
+        assert_eq!(strip_comments("a (: open"), "a (: open");
+        assert!(lex(&strip_comments("a (: open")).is_err());
+        // No comments: identity.
+        assert_eq!(strip_comments("FOR $b IN x"), "FOR $b IN x");
     }
 }

@@ -26,10 +26,12 @@ pub mod update;
 
 pub use apply::{apply_update, ApplyOutcome};
 pub use ast::{
-    Content, ElementCtor, Flwr, ForBinding, Operand, PathExpr, Predicate, Source, ViewQuery,
+    AggFunc, AggregateExpr, Content, ElementCtor, Flwr, ForBinding, Operand, PathExpr, Predicate,
+    Source, ViewQuery,
 };
 pub use eval::{materialize, EvalError};
 pub use features::{expressible, scan, UnsupportedFeature};
+pub use lexer::strip_comments;
 pub use parser::{parse_view_query, ParseError};
 pub use pretty::{print_update, print_view_query};
 pub use update::{parse_update, UpdBinding, UpdateAction, UpdateKind, UpdateStmt};

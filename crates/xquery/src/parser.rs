@@ -51,6 +51,44 @@ impl P {
         &self.toks[self.pos].0
     }
 
+    pub fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].0
+    }
+
+    /// Whether the next tokens start an aggregate call (`count(…)`, …).
+    pub fn at_aggregate(&self) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if AggFunc::parse(s).is_some())
+            && matches!(self.peek2(), Tok::Sym("("))
+    }
+
+    /// Parse `func(document("d")/<table>/row[/<column>])`; the caller has
+    /// checked [`at_aggregate`](P::at_aggregate).
+    pub fn aggregate(&mut self) -> Result<AggregateExpr, ParseError> {
+        let func = match self.bump() {
+            Tok::Ident(s) => AggFunc::parse(&s).expect("caller checked at_aggregate"),
+            other => return Err(self.err(format!("expected aggregate name, found {other:?}"))),
+        };
+        self.expect_sym("(")?;
+        let (doc, steps) = self.doc_source()?;
+        self.expect_sym(")")?;
+        let (table, column) = match steps.as_slice() {
+            [table, row] if row.eq_ignore_ascii_case("row") => (table.clone(), None),
+            [table, row, col] if row.eq_ignore_ascii_case("row") => {
+                (table.clone(), Some(col.clone()))
+            }
+            _ => {
+                return Err(self.err(format!(
+                    "aggregate sources must be document(…)/<table>/row[/<column>], got /{}",
+                    steps.join("/")
+                )))
+            }
+        };
+        if column.is_none() && func != AggFunc::Count {
+            return Err(self.err(format!("{func}() needs a column: {func}(document(…)/t/row/col)")));
+        }
+        Ok(AggregateExpr { func, doc, table, column })
+    }
+
     pub fn bump(&mut self) -> Tok {
         let t = self.toks[self.pos].0.clone();
         if self.pos + 1 < self.toks.len() {
@@ -126,6 +164,9 @@ impl P {
     }
 
     pub fn operand(&mut self) -> Result<Operand, ParseError> {
+        if self.at_aggregate() {
+            return Ok(Operand::Aggregate(self.aggregate()?));
+        }
         match self.bump() {
             Tok::Var(v) => Ok(Operand::Path(self.path(v)?)),
             Tok::Str(s) => Ok(Operand::Literal(Value::Str(s))),
@@ -207,6 +248,9 @@ fn content_until_close(p: &mut P, tag: &str) -> Result<Vec<Content>, ParseError>
 }
 
 fn content_item(p: &mut P) -> Result<Content, ParseError> {
+    if p.at_aggregate() {
+        return Ok(Content::Aggregate(p.aggregate()?));
+    }
     match p.peek().clone() {
         Tok::TagOpen(t) => {
             p.bump();
@@ -241,6 +285,13 @@ fn flwr(p: &mut P) -> Result<Flwr, ParseError> {
         if !p.eat_kw("IN") && !p.eat_sym("=") {
             return Err(p.err("expected IN after FOR variable"));
         }
+        let distinct = if p.peek().is_kw("distinct") || p.peek().is_kw("distinct-values") {
+            p.bump();
+            p.expect_sym("(")?;
+            true
+        } else {
+            false
+        };
         let source = if p.peek().is_kw("document") {
             let (doc, steps) = p.doc_source()?;
             match steps.as_slice() {
@@ -260,7 +311,10 @@ fn flwr(p: &mut P) -> Result<Flwr, ParseError> {
         } else {
             return Err(p.err(format!("expected a source, found {:?}", p.peek())));
         };
-        bindings.push(ForBinding { var, source });
+        if distinct {
+            p.expect_sym(")")?;
+        }
+        bindings.push(ForBinding { var, source, distinct });
         if !p.eat_sym(",") {
             break;
         }
@@ -375,6 +429,65 @@ $publisher/pubid, $publisher/pubname
     fn rejects_mismatched_tags() {
         let e = parse_view_query("<V> <a> </b> </V>").unwrap_err();
         assert!(e.message.contains("mismatched"));
+    }
+
+    #[test]
+    fn distinct_source_sets_the_flag() {
+        let q = parse_view_query(
+            "<V> FOR $a IN distinct(document(\"d\")/author/row) \
+             RETURN { <a> $a/name </a> } </V>",
+        )
+        .unwrap();
+        let Content::Flwr(f) = &q.content[0] else { panic!() };
+        assert!(f.bindings[0].distinct);
+        // distinct-values is an accepted spelling.
+        let q2 = parse_view_query(
+            "<V> FOR $a IN distinct-values(document(\"d\")/author/row) \
+             RETURN { <a> $a/name </a> } </V>",
+        )
+        .unwrap();
+        let Content::Flwr(f2) = &q2.content[0] else { panic!() };
+        assert!(f2.bindings[0].distinct);
+    }
+
+    #[test]
+    fn aggregate_content_parses() {
+        let q = parse_view_query(
+            "<V> <n> count(document(\"d\")/bid/row) </n>, \
+             <m> max(document(\"d\")/bid/row/amount) </m> </V>",
+        )
+        .unwrap();
+        let Content::Element(n) = &q.content[0] else { panic!() };
+        let Content::Aggregate(c) = &n.content[0] else { panic!("{:?}", n.content) };
+        assert_eq!(c.func, crate::ast::AggFunc::Count);
+        assert_eq!(c.table, "bid");
+        assert_eq!(c.column, None);
+        let Content::Element(m) = &q.content[1] else { panic!() };
+        let Content::Aggregate(x) = &m.content[0] else { panic!() };
+        assert_eq!(x.func, crate::ast::AggFunc::Max);
+        assert_eq!(x.column.as_deref(), Some("amount"));
+        assert_eq!(q.relations(), vec!["bid"]);
+    }
+
+    #[test]
+    fn aggregate_predicate_parses() {
+        let q = parse_view_query(
+            "<V> FOR $b IN document(\"d\")/bid/row \
+             WHERE $b/amount = max(document(\"d\")/bid/row/amount) \
+             AND count(document(\"d\")/item/row) > 2 \
+             RETURN { <x> $b/amount </x> } </V>",
+        )
+        .unwrap();
+        let Content::Flwr(f) = &q.content[0] else { panic!() };
+        assert_eq!(f.predicates[0].aggregates().len(), 1);
+        assert_eq!(f.predicates[1].aggregates().len(), 1);
+        assert_eq!(q.relations(), vec!["bid", "item"]);
+    }
+
+    #[test]
+    fn value_aggregates_require_a_column() {
+        let e = parse_view_query("<V> <m> max(document(\"d\")/bid/row) </m> </V>").unwrap_err();
+        assert!(e.message.contains("needs a column"), "{e}");
     }
 
     #[test]

@@ -37,6 +37,9 @@ fn print_content(items: &[Content], depth: usize, out: &mut String) {
                 print_content(&e.content, depth + 1, out);
                 let _ = writeln!(out, "{}</{}>{sep}", pad(depth), e.tag);
             }
+            Content::Aggregate(a) => {
+                let _ = writeln!(out, "{}{a}{sep}", pad(depth));
+            }
             Content::Flwr(f) => {
                 print_flwr(f, depth, out);
                 let _ = writeln!(out, "{sep}");
@@ -49,11 +52,16 @@ fn print_flwr(f: &Flwr, depth: usize, out: &mut String) {
     let bindings: Vec<String> = f
         .bindings
         .iter()
-        .map(|b| match &b.source {
-            Source::Table { doc, table } => {
-                format!("${} IN document(\"{doc}\")/{table}/row", b.var)
+        .map(|b| {
+            let src = match &b.source {
+                Source::Table { doc, table } => format!("document(\"{doc}\")/{table}/row"),
+                Source::Relative(p) => p.to_string(),
+            };
+            if b.distinct {
+                format!("${} IN distinct({src})", b.var)
+            } else {
+                format!("${} IN {src}", b.var)
             }
-            Source::Relative(p) => format!("${} IN {p}", b.var),
         })
         .collect();
     let _ = writeln!(out, "{}FOR {}", pad(depth), bindings.join(",\n    "));
@@ -77,6 +85,7 @@ fn print_operand(o: &Operand) -> String {
             ufilter_rdb::Value::Str(s) => format!("\"{s}\""),
             other => other.render(),
         },
+        Operand::Aggregate(a) => a.to_string(),
     }
 }
 

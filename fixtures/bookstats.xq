@@ -1,0 +1,4 @@
+<BookStats>
+<n_books> count(document("book.sql")/book/row) </n_books>,
+<top_price> max(document("book.sql")/book/row/price) </top_price>
+</BookStats>

@@ -1,0 +1,3 @@
+FOR $n IN document("BookStats.xml")/n_books
+UPDATE $n {
+DELETE $n }

@@ -14,12 +14,15 @@ trap 'rm -f "$OUT" "$SCRIPT"; kill "$SERVE_PID" 2>/dev/null || true' EXIT
 cat > "$SCRIPT" <<'EOF'
 ping
 add ci_books fixtures/bookview.xq
+add ci_stats fixtures/bookstats.xq
 list
 check ci_books fixtures/u8.xq
+check ci_stats fixtures/u_agg.xq
 batch fixtures/batch.ubatch
 checkall fixtures/u8.xq
 stats
 drop ci_books
+drop ci_stats
 shutdown
 EOF
 
@@ -47,6 +50,13 @@ if grep -q '^ERR' <<< "$CLIENT_OUT"; then
 fi
 grep -q 'OK pong' <<< "$CLIENT_OUT" || { echo "FAIL: no PING reply"; exit 1; }
 grep -q 'translatable' <<< "$CLIENT_OUT" || { echo "FAIL: no check outcome"; exit 1; }
+
+# The aggregate view must be *served*: the CHECK against it comes back OK
+# with the aggregate/Distinct extension's untranslatable reason code — a
+# classified outcome, not an ERR (the pre-extension server refused the view
+# at CATALOG ADD time).
+grep -q 'untranslatable non-injective' <<< "$CLIENT_OUT" \
+    || { echo "FAIL: aggregate CHECK did not return the non-injective reason code"; exit 1; }
 
 # The checkall fan-out must report pruning over the many-view catalog.
 grep -q '^--- views=' <<< "$CLIENT_OUT" || { echo "FAIL: no checkall END trailer"; exit 1; }

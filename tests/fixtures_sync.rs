@@ -71,9 +71,11 @@ fn views_many_fixture_matches_the_generator() {
 fn view_and_update_fixtures_match_bookdemo_constants() {
     for (rel, constant) in [
         ("fixtures/bookview.xq", bookdemo::BOOK_VIEW),
+        ("fixtures/bookstats.xq", bookdemo::BOOK_STATS_VIEW),
         ("fixtures/u8.xq", bookdemo::U8),
         ("fixtures/u10.xq", bookdemo::U10),
         ("fixtures/u13.xq", bookdemo::U13),
+        ("fixtures/u_agg.xq", bookdemo::U_AGG),
     ] {
         assert_eq!(fixture(rel).trim(), constant.trim(), "{rel} drifted from bookdemo");
     }

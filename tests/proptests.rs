@@ -231,4 +231,20 @@ proptest! {
             prop_assert_eq!(strip(a), strip(b));
         }
     }
+
+    #[test]
+    fn wire_escape_roundtrips_arbitrary_strings(
+        // The full ASCII-printable range (covers every escaped character:
+        // space, comma, %) plus control characters and non-ASCII blocks —
+        // Latin-1 letters, CJK, and an astral-plane emoji range — so the
+        // codec's UTF-8 handling is exercised, not just its ASCII core.
+        s in "[ -~\t\n\ré-ÿ中-龥😀-😄]{0,32}",
+    ) {
+        let escaped = u_filter::core::wire::escape(&s);
+        prop_assert!(
+            !escaped.contains([' ', '\t', '\n', '\r', ',']),
+            "escape left a separator in {escaped:?}"
+        );
+        prop_assert_eq!(u_filter::core::wire::unescape(&escaped).unwrap(), s);
+    }
 }

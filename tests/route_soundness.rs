@@ -132,6 +132,77 @@ fn fanout_actually_prunes_partitioned_catalogs() {
     assert!(f.pruned_preds > 0, "{f:?}");
 }
 
+/// The aggregate/Distinct extension must not perturb routing soundness:
+/// views with deduplicated or aggregated regions stay candidates for every
+/// update that could reach them (their untranslatable `non-injective`
+/// outcomes are *not* statically irrelevant, so pruning one would be
+/// unsound), and their candidate outcomes stay byte-identical between the
+/// indexed and brute-force paths.
+#[test]
+fn aggregate_and_distinct_views_route_soundly() {
+    let mut catalog = ViewCatalog::new(bookdemo::book_schema());
+    catalog.add("books", bookdemo::BOOK_VIEW).unwrap();
+    catalog
+        .add(
+            "stats",
+            r#"<Stats> <n_books> count(document("d")/book/row) </n_books>,
+<top_price> max(document("d")/book/row/price) </top_price> </Stats>"#,
+        )
+        .expect("aggregate view compiles");
+    catalog
+        .add(
+            "dedup",
+            r#"<Dedup> FOR $b IN distinct(document("d")/book/row)
+RETURN { <book> $b/title, $b/price </book> } </Dedup>"#,
+        )
+        .expect("distinct view compiles");
+    catalog
+        .add(
+            "gated",
+            r#"<Gated> FOR $r IN document("d")/review/row
+WHERE count(document("d")/review/row) > 1
+RETURN { <review> $r/reviewid </review> } </Gated>"#,
+        )
+        .expect("aggregate-gated view compiles");
+    let db = bookdemo::book_db();
+
+    let book_delete = r#"FOR $b IN document("V.xml")/book UPDATE $b { DELETE $b }"#.to_string();
+    let updates: Vec<String> = vec![
+        // <book> exists in "books" and "dedup": both must be candidates;
+        // "dedup" classifies non-injective, "books" runs the classic path.
+        book_delete.clone(),
+        // Target an aggregate-bearing element directly.
+        r#"FOR $n IN document("V.xml")/n_books UPDATE $n { DELETE $n }"#.to_string(),
+        // Target the aggregate-gated region.
+        r#"FOR $r IN document("V.xml")/review UPDATE $r { DELETE $r }"#.to_string(),
+        // Predicate inside a Distinct region.
+        r#"FOR $b IN document("V.xml")/book
+WHERE $b/price/text() = 45.00
+UPDATE $b { DELETE $b }"#
+            .to_string(),
+        // Insert into the deduplicated region.
+        r#"FOR $root IN document("V.xml")
+UPDATE $root { INSERT <book><title>T</title><price>9.99</price></book> }"#
+            .to_string(),
+    ];
+    assert_sound(&catalog, &db, &updates);
+
+    // The pinning half of the contract: the Distinct view really is a
+    // candidate for the <book> delete, and its candidate outcome is the
+    // new untranslatable non-injective wire code — i.e. routing delivered
+    // the update to the view whose conservative classification must see it.
+    let u = ufilter_xquery::parse_update(&book_delete).unwrap();
+    let relevant = catalog.relevant_views(&u);
+    assert!(relevant.contains(&"books".to_string()), "{relevant:?}");
+    assert!(relevant.contains(&"dedup".to_string()), "{relevant:?}");
+    let mut db2 = db.clone();
+    let report = catalog.check_all(&book_delete, &mut db2);
+    let dedup_item = report.items.iter().find(|i| i.view == "dedup").expect("dedup is a candidate");
+    let line = encode_outcome(&dedup_item.reports[0].outcome);
+    assert!(line.starts_with("untranslatable non-injective "), "{line}");
+    assert!(!wire_outcome_is_irrelevant(&line), "non-injective outcomes are never prunable");
+}
+
 #[test]
 fn book_updates_route_soundly_including_edge_shapes() {
     let mut catalog = ViewCatalog::new(bookdemo::book_schema());
