@@ -41,6 +41,9 @@ fn main() {
         // Catalog-wide fan-out: RelevanceIndex vs brute force; redirect to
         // BENCH_route.json at the repo root.
         "route" => print!("{}", bench::route_json(reps)),
+        // Durable restart: warm artifact rehydrate vs cold recompile;
+        // redirect to BENCH_persist.json at the repo root.
+        "persist" => print!("{}", bench::persist_json(reps)),
         "fig12" => print!("{}", bench::fig12()),
         "fig13" => print!("{}", bench::fig13(mb, reps)),
         "fig14" => print!("{}", bench::fig14(mb, reps)),
@@ -66,7 +69,8 @@ fn main() {
         other => {
             eprintln!(
                 "unknown figure '{other}'; expected one of: \
-                 baseline batch serve route fig12 fig13 fig14 fig15 fig16 fig17 marking ablation \
+                 baseline batch serve route persist fig12 fig13 fig14 fig15 fig16 fig17 marking \
+                 ablation \
                  all"
             );
             std::process::exit(2);

@@ -696,6 +696,124 @@ pub fn route_json(reps: usize) -> String {
     )
 }
 
+// ---------------------------------------------------------------------------
+// Durable catalog — warm restart (artifact rehydrate) vs cold recompile
+// ---------------------------------------------------------------------------
+
+/// Restart cost of an `n`-view durable catalog: `CatalogStore::open` (read +
+/// CRC scan of the log), a warm `ViewCatalog::replay` that rehydrates each
+/// view from its serialized compile artifact, and a cold replay over the
+/// same records with every artifact blanked, which forces a full recompile
+/// per view. `tests/persist_recovery.rs` pins both paths to byte-identical
+/// wire outcomes; this table measures the gap the artifacts buy.
+pub fn persist_restart(sweep: &[usize], reps: usize) -> Table {
+    use ufilter_core::{CatalogStore, LogRecord};
+    let s = schema();
+    let mut rows = Vec::new();
+    for &n in sweep {
+        let dir =
+            std::env::temp_dir().join(format!("ufilter-bench-persist-{n}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut catalog = ViewCatalog::new(s.clone());
+            catalog.attach_store(std::sync::Arc::new(std::sync::Mutex::new(
+                CatalogStore::open(&dir).expect("store opens"),
+            )));
+            for (name, text) in many_views(n, Scale::tiny()) {
+                catalog.add(&name, &text).expect("generated view compiles");
+            }
+        }
+
+        let median = |mut samples: Vec<Duration>| -> Duration {
+            samples.sort();
+            samples[samples.len() / 2]
+        };
+        let t_open = median(
+            (0..reps)
+                .map(|_| {
+                    let t = Instant::now();
+                    let store = CatalogStore::open(&dir).expect("store reopens");
+                    std::hint::black_box(store.records().len());
+                    t.elapsed()
+                })
+                .collect(),
+        );
+
+        let store = CatalogStore::open(&dir).expect("store reopens");
+        let records = store.records().to_vec();
+        let stripped: Vec<LogRecord> = records
+            .iter()
+            .map(|r| match r {
+                LogRecord::Add { name, view_text, deps, cached, artifact: _ } => LogRecord::Add {
+                    name: name.clone(),
+                    view_text: view_text.clone(),
+                    deps: deps.clone(),
+                    cached: *cached,
+                    artifact: Vec::new(),
+                },
+                other => other.clone(),
+            })
+            .collect();
+        let mut db = generate(Scale::tiny(), 42, DeletePolicy::Cascade);
+        let mut time_replay = |records: &[LogRecord], warm: bool| -> Duration {
+            median(
+                (0..reps)
+                    .map(|_| {
+                        let mut catalog = ViewCatalog::new(s.clone());
+                        let t = Instant::now();
+                        let stats = catalog.replay(&mut db, records).expect("replay succeeds");
+                        let d = t.elapsed();
+                        if warm {
+                            assert_eq!(stats.rehydrated, n, "every view rehydrates");
+                        } else {
+                            assert_eq!(stats.recompiled, n, "every view recompiles");
+                        }
+                        d
+                    })
+                    .collect(),
+            )
+        };
+        let t_warm = time_replay(&records, true);
+        let t_cold = time_replay(&stripped, false);
+        let restart = |replay: Duration| (t_open + replay).as_secs_f64();
+        rows.push(vec![
+            n.to_string(),
+            ms(t_open),
+            ms(t_warm),
+            ms(t_cold),
+            format!("{:.2}x", restart(t_cold) / restart(t_warm).max(1e-9)),
+        ]);
+        std::fs::remove_dir_all(&dir).expect("bench dir cleanup");
+    }
+    Table {
+        title: "Durable restart: warm (open + artifact rehydrate) vs cold (open + recompile \
+                every view) over a generated partitioned catalog"
+            .into(),
+        headers: vec![
+            "views (N)".into(),
+            "open (ms)".into(),
+            "warm replay (ms)".into(),
+            "cold recompile (ms)".into(),
+            "restart speedup".into(),
+        ],
+        rows,
+    }
+}
+
+/// JSON snapshot behind `paper-figures persist` → `BENCH_persist.json`:
+/// restart cost at N = 100 / 1000 views. The warm restart (open + rehydrate)
+/// must be at least 5x faster than the cold recompile at N = 1000.
+pub fn persist_json(reps: usize) -> String {
+    let tables = [persist_restart(&[100, 1000], reps)];
+    let body = tables.iter().map(Table::to_json).collect::<Vec<_>>().join(",\n    ");
+    format!(
+        "{{\n  \"schema_version\": 1,\n  \"note\": \"wall-clock medians; warm restart (open + \
+         artifact rehydrate) must be >= 5x faster than cold recompile at N=1000; both paths \
+         serve identical wire outcomes (tests/persist_recovery.rs)\",\n  \
+         \"reps\": {reps},\n  \"tables\": [\n    {body}\n  ]\n}}\n"
+    )
+}
+
 /// How the service bench delivers the stream to the pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ServeMode {

@@ -42,13 +42,14 @@
 //! ```
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use ufilter_rdb::{DatabaseSchema, Db, ExecOutcome, Parser, Stmt};
-use ufilter_route::{Footprint, RelevanceIndex, Route};
+use ufilter_route::{Footprint, RelevanceIndex, Route, ViewSignature};
 use ufilter_xquery::{parse_update, UpdateStmt};
 
 use crate::outcome::CheckReport;
+use crate::persist::{self, CatalogStore, LogRecord, ReplayStats};
 use crate::pipeline::{malformed, CompileError, ProbeCache, UFilter, UFilterConfig};
 use crate::target::resolve;
 
@@ -85,6 +86,13 @@ pub enum CatalogError {
         /// Engine-reported detail.
         detail: String,
     },
+    /// The attached durable store could not record the mutation (the
+    /// operation is **not** acknowledged — nothing the store did not accept
+    /// is inserted into the live catalog).
+    Persist {
+        /// Store-reported detail.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for CatalogError {
@@ -103,6 +111,7 @@ impl std::fmt::Display for CatalogError {
                 views.join(", ")
             ),
             CatalogError::Sql { detail } => write!(f, "{detail}"),
+            CatalogError::Persist { detail } => write!(f, "persistence failure: {detail}"),
         }
     }
 }
@@ -231,9 +240,68 @@ pub struct FanoutReport {
     pub batch: BatchStats,
 }
 
+/// What a lazily-recovered view needs to build its [`UFilter`] on first
+/// use: the canonical view text, the persisted artifact bytes, the schema
+/// as of the view's position in the replayed record order, and the
+/// catalog's pipeline config.
+struct HydrationSeed {
+    view_text: String,
+    artifact: Vec<u8>,
+    schema: Arc<DatabaseSchema>,
+    config: UFilterConfig,
+}
+
 struct Registered {
-    filter: Arc<UFilter>,
+    /// The compiled filter — set immediately by [`ViewCatalog::add`],
+    /// hydrated from `seed` on first use for replayed views.
+    filter: OnceLock<Arc<UFilter>>,
+    /// Deferred-hydration seed (replayed views only).
+    seed: Option<HydrationSeed>,
+    /// `rel(DEF_V)` in compile order — kept outside the filter so `list`
+    /// and the wire `CATALOG LIST` never force hydration.
+    relations: Vec<String>,
     cached: bool,
+}
+
+impl Registered {
+    fn eager(filter: Arc<UFilter>, cached: bool) -> Registered {
+        let relations = filter.asg.relations.clone();
+        let cell = OnceLock::new();
+        let _ = cell.set(filter);
+        Registered { filter: cell, seed: None, relations, cached }
+    }
+
+    fn lazy(seed: HydrationSeed, relations: Vec<String>, cached: bool) -> Registered {
+        Registered { filter: OnceLock::new(), seed: Some(seed), relations, cached }
+    }
+
+    /// The compiled filter, hydrating from the persisted artifact on first
+    /// use. Decoding cannot fail for bytes the store wrote (they are
+    /// CRC-checked on the way in); any damage that slips through falls
+    /// back to recompiling the canonical view text, which parsed when the
+    /// view was originally registered.
+    fn filter(&self) -> &Arc<UFilter> {
+        self.filter.get_or_init(|| {
+            let seed = self.seed.as_ref().expect("unhydrated entry carries a seed");
+            let decoded = persist::decode_artifact(&seed.artifact)
+                .ok()
+                .filter(|(config, _, _)| *config == seed.config)
+                .map(|(config, asg, marking)| {
+                    UFilter::from_artifact(
+                        seed.view_text.clone(),
+                        (*seed.schema).clone(),
+                        asg,
+                        marking,
+                        config,
+                    )
+                });
+            Arc::new(decoded.unwrap_or_else(|| {
+                UFilter::compile(&seed.view_text, &seed.schema)
+                    .map(|f| f.with_config(seed.config))
+                    .expect("replayed view text compiled when originally registered")
+            }))
+        })
+    }
 }
 
 /// A persistent catalog of compiled views over one relational schema.
@@ -261,6 +329,11 @@ pub struct ViewCatalog {
     /// The shared relevance index over every registered view, maintained
     /// incrementally by `add`/`drop_view` (see `ufilter_route`).
     index: RelevanceIndex,
+    /// Durable backing store (see [`crate::persist`]). When attached, every
+    /// mutating operation appends (and fsyncs) its record **before** the
+    /// in-memory mutation is acknowledged. Shared behind a mutex because the
+    /// sharded service catalog funnels all shards into one log.
+    store: Option<Arc<Mutex<CatalogStore>>>,
 }
 
 impl ViewCatalog {
@@ -274,7 +347,36 @@ impl ViewCatalog {
             compile_hits: 0,
             epoch: 0,
             index: RelevanceIndex::new(),
+            store: None,
         }
+    }
+
+    /// Attach a durable store: from now on `add`, `drop_view` and guarded
+    /// schema DDL append their record (fsynced) before they are
+    /// acknowledged. Call **after** [`replay`](Self::replay) — replayed
+    /// records are already on disk and must not be appended again.
+    pub fn attach_store(&mut self, store: Arc<Mutex<CatalogStore>>) {
+        self.store = Some(store);
+    }
+
+    /// The attached store, if any (the service layer reaches through this
+    /// for `STATS` counters and shutdown syncs).
+    pub fn store(&self) -> Option<&Arc<Mutex<CatalogStore>>> {
+        self.store.as_ref()
+    }
+
+    /// Append `record` to the attached store (no-op without one). Called
+    /// before the corresponding in-memory mutation, so a crash can lose an
+    /// unacknowledged operation but never an acknowledged one.
+    fn append_record(&self, record: &LogRecord) -> Result<(), CatalogError> {
+        if let Some(store) = &self.store {
+            store
+                .lock()
+                .expect("catalog store lock")
+                .append(record)
+                .map_err(|e| CatalogError::Persist { detail: e.to_string() })?;
+        }
+        Ok(())
     }
 
     /// The catalog's schema epoch (see the field docs): a counter bumped on
@@ -308,6 +410,7 @@ impl ViewCatalog {
             return Err(CatalogError::DuplicateView { name: name.to_string() });
         }
         let key = (canonicalize(view_text), self.config);
+        let canonical = key.0.clone();
         let (filter, cached) = match self.compiled.get(&key) {
             Some(f) => {
                 self.compile_hits += 1;
@@ -322,16 +425,26 @@ impl ViewCatalog {
                 (f, false)
             }
         };
+        let sig = ViewSignature::of(&filter.asg);
+        self.append_record(&LogRecord::Add {
+            name: name.to_string(),
+            view_text: canonical,
+            deps: filter.asg.relations.clone(),
+            cached,
+            artifact: persist::encode_artifact(&filter, &sig),
+        })?;
         let info =
             ViewInfo { name: name.to_string(), relations: filter.asg.relations.clone(), cached };
-        self.index.insert(name, &filter.asg);
-        self.views.insert(name.to_string(), Registered { filter, cached });
+        self.index.insert_signature(name, sig);
+        self.views.insert(name.to_string(), Registered::eager(filter, cached));
         Ok(info)
     }
 
-    /// The compiled filter registered under `name`.
+    /// The compiled filter registered under `name`. A view recovered by
+    /// [`replay`](Self::replay) hydrates from its persisted artifact on
+    /// the first call.
     pub fn get(&self, name: &str) -> Option<&UFilter> {
-        self.views.get(name).map(|r| r.filter.as_ref())
+        self.views.get(name).map(|r| r.filter().as_ref())
     }
 
     /// All registered views, in **ascending name order** (a documented
@@ -343,7 +456,7 @@ impl ViewCatalog {
             .iter()
             .map(|(name, r)| ViewInfo {
                 name: name.clone(),
-                relations: r.filter.asg.relations.clone(),
+                relations: r.relations.clone(),
                 cached: r.cached,
             })
             .collect()
@@ -352,13 +465,13 @@ impl ViewCatalog {
     /// Unregister `name`. The compiled artifact stays in the compile-once
     /// cache, so re-adding identical text later is free.
     pub fn drop_view(&mut self, name: &str) -> Result<(), CatalogError> {
-        match self.views.remove(name) {
-            Some(_) => {
-                self.index.remove(name);
-                Ok(())
-            }
-            None => Err(CatalogError::UnknownView { name: name.to_string() }),
+        if !self.views.contains_key(name) {
+            return Err(CatalogError::UnknownView { name: name.to_string() });
         }
+        self.append_record(&LogRecord::Drop { name: name.to_string() })?;
+        self.views.remove(name);
+        self.index.remove(name);
+        Ok(())
     }
 
     /// Number of registered views.
@@ -424,10 +537,22 @@ impl ViewCatalog {
     }
 
     /// Parse `sql`, then [`execute_guarded_stmt`](Self::execute_guarded_stmt).
+    /// With a store attached, schema-affecting DDL that executed
+    /// successfully is appended to the log (by its SQL text, after
+    /// execution): the base database itself is in-memory only, so on
+    /// restart the logged statements are **re-executed** in order to
+    /// rebuild the exact schema timeline the surviving views compiled
+    /// against. Non-DDL statements touch data, not the catalog, and are
+    /// not logged.
     pub fn execute_guarded(&mut self, db: &mut Db, sql: &str) -> Result<ExecOutcome, CatalogError> {
         let stmt =
             Parser::parse_stmt(sql).map_err(|e| CatalogError::Sql { detail: e.to_string() })?;
-        self.execute_guarded_stmt(db, stmt)
+        let ddl = is_schema_ddl(&stmt);
+        let out = self.execute_guarded_stmt(db, stmt)?;
+        if ddl {
+            self.append_record(&LogRecord::Ddl { sql: sql.to_string() })?;
+        }
+        Ok(out)
     }
 
     /// Apply [`guard_ddl`](ViewCatalog::guard_ddl) to an already-parsed
@@ -461,6 +586,147 @@ impl ViewCatalog {
         // that triggered this dropped or re-created tables): advance the
         // epoch so every caller-held ProbeCache invalidates on next use.
         self.epoch += 1;
+    }
+
+    // ---- durable-store replay (ufilter_core::persist) ------------------
+
+    /// Re-register a view from a durable `Add` record, preferring its
+    /// serialized compile artifact over recompiling. Resolution order:
+    /// **deferred hydration** (the artifact prelude's routing signature
+    /// feeds the relevance index immediately; the ASG + marking decode
+    /// waits for the view's first check — accepted only when the prelude
+    /// carries this catalog's exact pipeline config) → compile-once cache
+    /// hit on the canonical text → full recompile of `view_text`.
+    /// `deps` is the record's relation list, restored verbatim along with
+    /// the `cached` flag so `CATALOG LIST` output is byte-identical after
+    /// a restart. Returns whether compiling was skipped.
+    ///
+    /// This is a [`replay`](Self::replay) building block: it never appends
+    /// to an attached store.
+    pub fn add_rehydrated(
+        &mut self,
+        name: &str,
+        view_text: &str,
+        deps: &[String],
+        cached: bool,
+        artifact: &[u8],
+    ) -> Result<bool, CatalogError> {
+        let schema = Arc::new(self.schema.clone());
+        self.add_rehydrated_at(name, view_text, deps, cached, artifact, &schema)
+    }
+
+    /// [`add_rehydrated`](Self::add_rehydrated) against a caller-supplied
+    /// schema snapshot — [`replay`](Self::replay) clones the schema once
+    /// per DDL epoch instead of once per view.
+    fn add_rehydrated_at(
+        &mut self,
+        name: &str,
+        view_text: &str,
+        deps: &[String],
+        cached: bool,
+        artifact: &[u8],
+        schema: &Arc<DatabaseSchema>,
+    ) -> Result<bool, CatalogError> {
+        if self.views.contains_key(name) {
+            return Err(CatalogError::DuplicateView { name: name.to_string() });
+        }
+        if let Ok((config, sig)) = persist::decode_artifact_header(artifact) {
+            if config == self.config {
+                // The prelude carries everything registration needs (the
+                // routing signature and the config it was compiled under);
+                // the ASG + marking decode is deferred to the view's first
+                // check. Structural damage deeper in the artifact surfaces
+                // there as a silent recompile, never an error. This path
+                // does not even canonicalize the view text — replay cost per
+                // warm view is the header decode plus two index inserts.
+                self.index.insert_signature(name, sig);
+                let seed = HydrationSeed {
+                    view_text: view_text.to_string(),
+                    artifact: artifact.to_vec(),
+                    schema: Arc::clone(schema),
+                    config,
+                };
+                self.views.insert(name.to_string(), Registered::lazy(seed, deps.to_vec(), cached));
+                return Ok(true);
+            }
+        }
+        // Blank, damaged, or foreign-version/config artifact: fall back to
+        // the compile-once cache on the canonical text, then to an eager
+        // recompile.
+        let key = (canonicalize(view_text), self.config);
+        if let Some(f) = self.compiled.get(&key) {
+            // Identical text already compiled this session: share it.
+            self.compile_hits += 1;
+            let f = Arc::clone(f);
+            self.index.insert(name, &f.asg);
+            self.views.insert(name.to_string(), Registered::eager(f, cached));
+            return Ok(true);
+        }
+        let f = UFilter::compile(view_text, &self.schema)
+            .map(|f| f.with_config(self.config))
+            .map_err(|error| CatalogError::Compile { name: name.to_string(), error })?;
+        let f = Arc::new(f);
+        self.compiled.insert(key, Arc::clone(&f));
+        self.index.insert(name, &f.asg);
+        self.views.insert(name.to_string(), Registered::eager(f, cached));
+        Ok(false)
+    }
+
+    /// Rebuild the catalog from recovered records, in order: `Add`s
+    /// rehydrate (see [`add_rehydrated`](Self::add_rehydrated)), `Drop`s
+    /// unregister, `Ddl`s re-execute against `db` through the normal
+    /// guarded path — so the relevance index, dependency postings and
+    /// schema epoch come out exactly as if the original session had run.
+    ///
+    /// Must be called **before** [`attach_store`](Self::attach_store):
+    /// replayed records are already on disk, and an attached store would
+    /// append every one of them a second time.
+    pub fn replay(
+        &mut self,
+        db: &mut Db,
+        records: &[LogRecord],
+    ) -> Result<ReplayStats, CatalogError> {
+        if self.store.is_some() {
+            return Err(CatalogError::Persist {
+                detail: "replay must run before attach_store (records would be re-appended)".into(),
+            });
+        }
+        let mut stats = ReplayStats::default();
+        // One schema snapshot per DDL epoch: every lazily-hydrated view
+        // captures the schema as of its position in the record order (the
+        // schema it was originally compiled against), without a per-view
+        // clone.
+        let mut schema_epoch = Arc::new(self.schema.clone());
+        for record in records {
+            stats.records += 1;
+            match record {
+                LogRecord::Add { name, view_text, deps, cached, artifact } => {
+                    stats.adds += 1;
+                    if self.add_rehydrated_at(
+                        name,
+                        view_text,
+                        deps,
+                        *cached,
+                        artifact,
+                        &schema_epoch,
+                    )? {
+                        stats.rehydrated += 1;
+                    } else {
+                        stats.recompiled += 1;
+                    }
+                }
+                LogRecord::Drop { name } => {
+                    stats.drops += 1;
+                    self.drop_view(name)?;
+                }
+                LogRecord::Ddl { sql } => {
+                    stats.ddl += 1;
+                    self.execute_guarded(db, sql)?;
+                    schema_epoch = Arc::new(self.schema.clone());
+                }
+            }
+        }
+        Ok(stats)
     }
 
     /// Check a stream of raw update texts. Parsing is amortized: each
@@ -570,7 +836,7 @@ impl ViewCatalog {
                 });
                 continue;
             };
-            match resolve(&reg.filter.asg, u) {
+            match resolve(&reg.filter().asg, u) {
                 Ok(actions) => {
                     let target = actions.first().map(|a| a.node.0).unwrap_or(0);
                     groups.entry((view, target)).or_default().push((*index, view, actions));
@@ -608,7 +874,7 @@ impl ViewCatalog {
                 db
             };
         for ((view, _target), group) in groups {
-            let filter = &self.views[view].filter;
+            let filter = self.views[view].filter();
             for (index, view, actions) in group {
                 let reports = filter.run_resolved(&actions, Some(db), false, cache);
                 items.push(BatchItemReport { index, view: view.to_string(), reports });

@@ -40,6 +40,7 @@ pub mod bookdemo;
 pub mod catalog;
 pub mod datacheck;
 pub mod outcome;
+pub mod persist;
 pub mod pipeline;
 pub mod probe;
 pub mod rectangle;
@@ -55,6 +56,7 @@ pub use catalog::{
 };
 pub use datacheck::{DataCheckReport, Strategy};
 pub use outcome::{CheckOutcome, CheckReport, CheckStep, Condition, InvalidReason};
+pub use persist::{CatalogStore, LogRecord, PersistError, ReplayStats, VerifyReport};
 pub use pipeline::{CompileError, ProbeCache, UFilter, UFilterConfig};
 pub use rectangle::{apply_and_verify, blind_apply, verify_applied, RectangleVerdict};
 pub use star::{StarMarking, StarMode, StarVerdict};

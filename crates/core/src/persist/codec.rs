@@ -1,0 +1,686 @@
+//! Record and compiled-artifact serialization.
+//!
+//! Everything here is deterministic byte-for-byte: unordered collections
+//! (the STAR marking's hash maps) are sorted before encoding, so the same
+//! compiled view always produces the same artifact bytes — the property the
+//! pinned `fixtures/catalog.{snap,log}` format-stability test relies on.
+//!
+//! Decoding never panics on malformed input: every read is bounds-checked
+//! and returns a descriptive `Err`, which the store surfaces as
+//! [`super::PersistError::Corrupt`].
+
+use std::collections::{HashMap, HashSet};
+
+use ufilter_asg::graph::{
+    AggSource, AsgNode, AsgNodeId, AsgNodeKind, Card, JoinCond, LeafInfo, LocalPred, UContext,
+    UPoint, ViewAsg,
+};
+use ufilter_rdb::sat::{Bound, Domain};
+use ufilter_rdb::{CmpOp, ColRef, DataType, Value};
+use ufilter_route::{SignatureParts, ViewSignature};
+
+use crate::datacheck::Strategy;
+use crate::pipeline::{UFilter, UFilterConfig};
+use crate::star::{StarMarking, StarMode};
+
+use super::LogRecord;
+
+/// Version byte of the compiled-artifact encoding (independent of the file
+/// format version: an artifact an older build wrote is simply recompiled
+/// from the record's view text, never a hard error). Version 2 added the
+/// routing-signature block between the config bytes and the ASG, so a warm
+/// restart can rebuild the relevance index without decoding the ASG at all.
+pub const ARTIFACT_VERSION: u8 = 2;
+
+// ---- write primitives --------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_bool(out: &mut Vec<u8>, b: bool) {
+    out.push(u8::from(b));
+}
+
+fn put_opt<T>(out: &mut Vec<u8>, v: &Option<T>, f: impl FnOnce(&mut Vec<u8>, &T)) {
+    match v {
+        None => out.push(0),
+        Some(x) => {
+            out.push(1);
+            f(out, x);
+        }
+    }
+}
+
+fn put_vec<T>(out: &mut Vec<u8>, items: &[T], mut f: impl FnMut(&mut Vec<u8>, &T)) {
+    put_u32(out, items.len() as u32);
+    for item in items {
+        f(out, item);
+    }
+}
+
+// ---- read primitives ---------------------------------------------------
+
+/// A bounds-checked cursor over an input byte slice.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|e| *e <= self.buf.len())
+            .ok_or_else(|| format!("record truncated at byte {}", self.pos))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("length checked")))
+    }
+
+    fn i64(&mut self) -> Result<i64, String> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("length checked")))
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(u64::from_le_bytes(self.take(8)?.try_into().expect("length checked"))))
+    }
+
+    fn bool(&mut self) -> Result<bool, String> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(format!("invalid bool byte {b}")),
+        }
+    }
+
+    fn str(&mut self) -> Result<String, String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| "string is not UTF-8".to_string())
+    }
+
+    fn opt<T>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<T, String>,
+    ) -> Result<Option<T>, String> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(f(self)?)),
+            b => Err(format!("invalid option tag {b}")),
+        }
+    }
+
+    fn vec<T>(
+        &mut self,
+        mut f: impl FnMut(&mut Self) -> Result<T, String>,
+    ) -> Result<Vec<T>, String> {
+        let n = self.u32()? as usize;
+        // Guard against absurd counts from damaged length fields: each
+        // element consumes at least one byte.
+        if n > self.buf.len() - self.pos {
+            return Err(format!("collection count {n} exceeds remaining input"));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(f(self)?);
+        }
+        Ok(out)
+    }
+
+    fn done(&self) -> Result<(), String> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(format!("{} trailing bytes after record", self.buf.len() - self.pos))
+        }
+    }
+}
+
+// ---- log records -------------------------------------------------------
+
+const REC_ADD: u8 = 1;
+const REC_DROP: u8 = 2;
+const REC_DDL: u8 = 3;
+
+/// Serialize one log record to a frame payload.
+pub fn encode_record(rec: &LogRecord) -> Vec<u8> {
+    let mut out = Vec::new();
+    match rec {
+        LogRecord::Add { name, view_text, deps, cached, artifact } => {
+            out.push(REC_ADD);
+            put_str(&mut out, name);
+            put_str(&mut out, view_text);
+            put_vec(&mut out, deps, |o, d: &String| put_str(o, d));
+            put_bool(&mut out, *cached);
+            put_u32(&mut out, artifact.len() as u32);
+            out.extend_from_slice(artifact);
+        }
+        LogRecord::Drop { name } => {
+            out.push(REC_DROP);
+            put_str(&mut out, name);
+        }
+        LogRecord::Ddl { sql } => {
+            out.push(REC_DDL);
+            put_str(&mut out, sql);
+        }
+    }
+    out
+}
+
+/// Parse one frame payload back into a log record.
+pub fn decode_record(payload: &[u8]) -> Result<LogRecord, String> {
+    let mut r = Reader::new(payload);
+    let rec = match r.u8()? {
+        REC_ADD => {
+            let name = r.str()?;
+            let view_text = r.str()?;
+            let deps = r.vec(|r| r.str())?;
+            let cached = r.bool()?;
+            let alen = r.u32()? as usize;
+            let artifact = r.take(alen)?.to_vec();
+            LogRecord::Add { name, view_text, deps, cached, artifact }
+        }
+        REC_DROP => LogRecord::Drop { name: r.str()? },
+        REC_DDL => LogRecord::Ddl { sql: r.str()? },
+        k => return Err(format!("unknown record kind {k}")),
+    };
+    r.done()?;
+    Ok(rec)
+}
+
+// ---- compiled-artifact codec -------------------------------------------
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(0),
+        Value::Int(i) => {
+            out.push(1);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Double(d) => {
+            out.push(2);
+            out.extend_from_slice(&d.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(3);
+            put_str(out, s);
+        }
+        Value::Date(d) => {
+            out.push(4);
+            out.extend_from_slice(&d.to_le_bytes());
+        }
+        Value::Bool(b) => {
+            out.push(5);
+            put_bool(out, *b);
+        }
+    }
+}
+
+fn read_value(r: &mut Reader) -> Result<Value, String> {
+    Ok(match r.u8()? {
+        0 => Value::Null,
+        1 => Value::Int(r.i64()?),
+        2 => Value::Double(r.f64()?),
+        3 => Value::Str(r.str()?),
+        4 => Value::Date(r.i64()?),
+        5 => Value::Bool(r.bool()?),
+        t => return Err(format!("unknown value tag {t}")),
+    })
+}
+
+fn put_colref(out: &mut Vec<u8>, c: &ColRef) {
+    put_str(out, &c.table);
+    put_str(out, &c.column);
+}
+
+fn read_colref(r: &mut Reader) -> Result<ColRef, String> {
+    Ok(ColRef { table: r.str()?, column: r.str()? })
+}
+
+fn put_domain(out: &mut Vec<u8>, d: &Domain) {
+    let bound = |o: &mut Vec<u8>, b: &Bound| {
+        put_value(o, &b.value);
+        put_bool(o, b.inclusive);
+    };
+    put_opt(out, &d.eq, put_value);
+    put_vec(out, &d.ne, put_value);
+    put_opt(out, &d.lower, bound);
+    put_opt(out, &d.upper, bound);
+    put_bool(out, d.is_contradiction());
+}
+
+fn read_domain(r: &mut Reader) -> Result<Domain, String> {
+    let bound = |r: &mut Reader| Ok(Bound { value: read_value(r)?, inclusive: r.bool()? });
+    let eq = r.opt(read_value)?;
+    let ne = r.vec(read_value)?;
+    let lower = r.opt(bound)?;
+    let upper = r.opt(bound)?;
+    let contradiction = r.bool()?;
+    Ok(Domain::from_parts(eq, ne, lower, upper, contradiction))
+}
+
+fn datatype_code(t: DataType) -> u8 {
+    match t {
+        DataType::Int => 0,
+        DataType::Double => 1,
+        DataType::Str => 2,
+        DataType::Date => 3,
+        DataType::Bool => 4,
+    }
+}
+
+fn read_datatype(r: &mut Reader) -> Result<DataType, String> {
+    Ok(match r.u8()? {
+        0 => DataType::Int,
+        1 => DataType::Double,
+        2 => DataType::Str,
+        3 => DataType::Date,
+        4 => DataType::Bool,
+        t => return Err(format!("unknown data type {t}")),
+    })
+}
+
+fn cmpop_code(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Eq => 0,
+        CmpOp::Ne => 1,
+        CmpOp::Lt => 2,
+        CmpOp::Le => 3,
+        CmpOp::Gt => 4,
+        CmpOp::Ge => 5,
+    }
+}
+
+fn read_cmpop(r: &mut Reader) -> Result<CmpOp, String> {
+    Ok(match r.u8()? {
+        0 => CmpOp::Eq,
+        1 => CmpOp::Ne,
+        2 => CmpOp::Lt,
+        3 => CmpOp::Le,
+        4 => CmpOp::Gt,
+        5 => CmpOp::Ge,
+        t => return Err(format!("unknown comparison op {t}")),
+    })
+}
+
+fn put_agg(out: &mut Vec<u8>, a: &AggSource) {
+    put_str(out, &a.func);
+    put_str(out, &a.table);
+    put_opt(out, &a.column, |o, c| put_str(o, c));
+}
+
+fn read_agg(r: &mut Reader) -> Result<AggSource, String> {
+    Ok(AggSource { func: r.str()?, table: r.str()?, column: r.opt(|r| r.str())? })
+}
+
+fn put_node(out: &mut Vec<u8>, n: &AsgNode) {
+    put_u32(out, n.id.0 as u32);
+    out.push(match n.kind {
+        AsgNodeKind::Root => 0,
+        AsgNodeKind::Internal => 1,
+        AsgNodeKind::Tag => 2,
+        AsgNodeKind::Leaf => 3,
+        AsgNodeKind::Aggregate => 4,
+    });
+    put_str(out, &n.tag);
+    put_opt(out, &n.parent, |o, p| put_u32(o, p.0 as u32));
+    put_vec(out, &n.children, |o, c: &AsgNodeId| put_u32(o, c.0 as u32));
+    out.push(match n.card {
+        Card::One => 0,
+        Card::Opt => 1,
+        Card::Plus => 2,
+        Card::Many => 3,
+    });
+    put_vec(out, &n.conditions, |o, c: &JoinCond| {
+        put_colref(o, &c.left);
+        put_colref(o, &c.right);
+    });
+    put_opt(out, &n.leaf, |o, l: &LeafInfo| {
+        put_colref(o, &l.name);
+        o.push(datatype_code(l.ty));
+        put_bool(o, l.not_null);
+        put_domain(o, &l.check);
+    });
+    put_vec(out, &n.ucbinding, |o, s: &String| put_str(o, s));
+    put_vec(out, &n.upbinding, |o, s: &String| put_str(o, s));
+    put_vec(out, &n.bindings, |o, (var, rel): &(String, String)| {
+        put_str(o, var);
+        put_str(o, rel);
+    });
+    put_vec(out, &n.local_preds, |o, p: &LocalPred| {
+        put_colref(o, &p.column);
+        o.push(cmpop_code(p.op));
+        put_value(o, &p.value);
+    });
+    put_bool(out, n.non_injective);
+    put_opt(out, &n.agg, put_agg);
+    put_vec(out, &n.agg_deps, put_agg);
+    put_opt(out, &n.ucontext, |o, u: &UContext| {
+        put_bool(o, u.safe_delete);
+        put_bool(o, u.safe_insert);
+    });
+    put_opt(out, &n.upoint, |o, u: &UPoint| o.push(matches!(u, UPoint::Dirty) as u8));
+}
+
+fn read_node(r: &mut Reader) -> Result<AsgNode, String> {
+    let id = AsgNodeId(r.u32()? as usize);
+    let kind = match r.u8()? {
+        0 => AsgNodeKind::Root,
+        1 => AsgNodeKind::Internal,
+        2 => AsgNodeKind::Tag,
+        3 => AsgNodeKind::Leaf,
+        4 => AsgNodeKind::Aggregate,
+        t => return Err(format!("unknown node kind {t}")),
+    };
+    let tag = r.str()?;
+    let parent = r.opt(|r| Ok(AsgNodeId(r.u32()? as usize)))?;
+    let children = r.vec(|r| Ok(AsgNodeId(r.u32()? as usize)))?;
+    let card = match r.u8()? {
+        0 => Card::One,
+        1 => Card::Opt,
+        2 => Card::Plus,
+        3 => Card::Many,
+        t => return Err(format!("unknown cardinality {t}")),
+    };
+    let conditions = r.vec(|r| Ok(JoinCond { left: read_colref(r)?, right: read_colref(r)? }))?;
+    let leaf = r.opt(|r| {
+        Ok(LeafInfo {
+            name: read_colref(r)?,
+            ty: read_datatype(r)?,
+            not_null: r.bool()?,
+            check: read_domain(r)?,
+        })
+    })?;
+    let ucbinding = r.vec(|r| r.str())?;
+    let upbinding = r.vec(|r| r.str())?;
+    let bindings = r.vec(|r| Ok((r.str()?, r.str()?)))?;
+    let local_preds = r.vec(|r| {
+        Ok(LocalPred { column: read_colref(r)?, op: read_cmpop(r)?, value: read_value(r)? })
+    })?;
+    let non_injective = r.bool()?;
+    let agg = r.opt(read_agg)?;
+    let agg_deps = r.vec(read_agg)?;
+    let ucontext = r.opt(|r| Ok(UContext { safe_delete: r.bool()?, safe_insert: r.bool()? }))?;
+    let upoint = r.opt(|r| {
+        Ok(match r.u8()? {
+            0 => UPoint::Clean,
+            1 => UPoint::Dirty,
+            t => return Err(format!("unknown upoint {t}")),
+        })
+    })?;
+    Ok(AsgNode {
+        id,
+        kind,
+        tag,
+        parent,
+        children,
+        card,
+        conditions,
+        leaf,
+        ucbinding,
+        upbinding,
+        bindings,
+        local_preds,
+        non_injective,
+        agg,
+        agg_deps,
+        ucontext,
+        upoint,
+    })
+}
+
+fn put_marking(out: &mut Vec<u8>, m: &StarMarking) {
+    let mut rule1: Vec<u32> = m.rule1.iter().map(|id| id.0 as u32).collect();
+    rule1.sort_unstable();
+    put_vec(out, &rule1, |o, id| put_u32(o, *id));
+    let mut rule3: Vec<(&AsgNodeId, &Vec<String>)> = m.rule3.iter().collect();
+    rule3.sort_by_key(|(id, _)| id.0);
+    put_vec(out, &rule3, |o, (id, rels)| {
+        put_u32(o, id.0 as u32);
+        put_vec(o, rels, |o, s: &String| put_str(o, s));
+    });
+    let mut anchors: Vec<(&AsgNodeId, &String)> = m.delete_anchor.iter().collect();
+    anchors.sort_by_key(|(id, _)| id.0);
+    put_vec(out, &anchors, |o, (id, rel)| {
+        put_u32(o, id.0 as u32);
+        put_str(o, rel);
+    });
+}
+
+fn read_marking(r: &mut Reader) -> Result<StarMarking, String> {
+    let rule1: HashSet<AsgNodeId> =
+        r.vec(|r| Ok(AsgNodeId(r.u32()? as usize)))?.into_iter().collect();
+    let rule3: HashMap<AsgNodeId, Vec<String>> =
+        r.vec(|r| Ok((AsgNodeId(r.u32()? as usize), r.vec(|r| r.str())?)))?.into_iter().collect();
+    let delete_anchor: HashMap<AsgNodeId, String> =
+        r.vec(|r| Ok((AsgNodeId(r.u32()? as usize), r.str()?)))?.into_iter().collect();
+    Ok(StarMarking { rule1, rule3, delete_anchor })
+}
+
+fn put_signature(out: &mut Vec<u8>, sig: &ViewSignature) {
+    let parts = sig.to_parts();
+    put_vec(out, &parts.tokens, |o, s: &String| put_str(o, s));
+    put_vec(out, &parts.edges, |o, (a, b): &(String, String)| {
+        put_str(o, a);
+        put_str(o, b);
+    });
+    put_vec(out, &parts.root_children, |o, s: &String| put_str(o, s));
+    put_vec(out, &parts.leaf_domains, |o, (tag, targets)| {
+        put_str(o, tag);
+        put_vec(o, targets, |o, (ty, domain, sat_ty): &(DataType, Domain, DataType)| {
+            o.push(datatype_code(*ty));
+            put_domain(o, domain);
+            o.push(datatype_code(*sat_ty));
+        });
+    });
+    put_vec(out, &parts.relations, |o, s: &String| put_str(o, s));
+}
+
+fn read_signature(r: &mut Reader) -> Result<ViewSignature, String> {
+    let tokens = r.vec(|r| r.str())?;
+    let edges = r.vec(|r| Ok((r.str()?, r.str()?)))?;
+    let root_children = r.vec(|r| r.str())?;
+    let leaf_domains = r.vec(|r| {
+        Ok((r.str()?, r.vec(|r| Ok((read_datatype(r)?, read_domain(r)?, read_datatype(r)?)))?))
+    })?;
+    let relations = r.vec(|r| r.str())?;
+    Ok(ViewSignature::from_parts(SignatureParts {
+        tokens,
+        edges,
+        root_children,
+        leaf_domains,
+        relations,
+    }))
+}
+
+/// Decode version byte, pipeline config, and routing signature — the
+/// artifact prelude shared by [`decode_artifact_header`] and
+/// [`decode_artifact`].
+fn read_prelude(r: &mut Reader) -> Result<(UFilterConfig, ViewSignature), String> {
+    let version = r.u8()?;
+    if version != ARTIFACT_VERSION {
+        return Err(format!("artifact version {version} (this build reads {ARTIFACT_VERSION})"));
+    }
+    let mode = match r.u8()? {
+        0 => StarMode::Strict,
+        1 => StarMode::Refined,
+        t => return Err(format!("unknown star mode {t}")),
+    };
+    let strategy = match r.u8()? {
+        0 => Strategy::Internal,
+        1 => Strategy::Hybrid,
+        2 => Strategy::Outside,
+        t => return Err(format!("unknown strategy {t}")),
+    };
+    let sig = read_signature(r)?;
+    Ok((UFilterConfig { mode, strategy }, sig))
+}
+
+/// Serialize a compiled filter's rebuild-expensive parts: the routing
+/// signature (so replay can index the view without touching the ASG), the
+/// STAR-marked view ASG, the marking side tables, and the pipeline config
+/// they were produced under. Deliberately **not** included (cheap to
+/// rebuild, or supplied by the replay environment): the schema, the base
+/// ASG, and the parsed query (re-parsed lazily from the record's view text
+/// on first materialization).
+pub fn encode_artifact(filter: &UFilter, sig: &ViewSignature) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.push(ARTIFACT_VERSION);
+    out.push(match filter.config.mode {
+        StarMode::Strict => 0,
+        StarMode::Refined => 1,
+    });
+    out.push(match filter.config.strategy {
+        Strategy::Internal => 0,
+        Strategy::Hybrid => 1,
+        Strategy::Outside => 2,
+    });
+    put_signature(&mut out, sig);
+    put_u32(&mut out, filter.asg.root().0 as u32);
+    put_vec(&mut out, &filter.asg.relations, |o, s: &String| put_str(o, s));
+    let nodes: Vec<&AsgNode> = filter.asg.iter().collect();
+    put_vec(&mut out, &nodes, |o, n| put_node(o, n));
+    put_marking(&mut out, &filter.marking);
+    out
+}
+
+/// Decode only the artifact prelude: the pipeline config the view was
+/// compiled under and its routing signature. This is the warm-restart fast
+/// path — replay indexes and registers the view from the prelude alone and
+/// defers the (much larger) ASG + marking decode to the view's first check.
+///
+/// Returns `Err` on damage or version mismatch, like [`decode_artifact`].
+pub fn decode_artifact_header(bytes: &[u8]) -> Result<(UFilterConfig, ViewSignature), String> {
+    read_prelude(&mut Reader::new(bytes))
+}
+
+/// Parse artifact bytes back into the config + ASG + marking triple (the
+/// routing-signature block is validated and skipped; fetch it with
+/// [`decode_artifact_header`]).
+///
+/// Returns `Err` on any structural damage *and* on an unknown artifact
+/// version — callers treat both the same way: fall back to recompiling
+/// from the record's view text.
+pub fn decode_artifact(bytes: &[u8]) -> Result<(UFilterConfig, ViewAsg, StarMarking), String> {
+    let mut r = Reader::new(bytes);
+    let (UFilterConfig { mode, strategy }, _sig) = read_prelude(&mut r)?;
+    let root = AsgNodeId(r.u32()? as usize);
+    let relations = r.vec(|r| r.str())?;
+    let nodes = r.vec(read_node)?;
+    for (i, n) in nodes.iter().enumerate() {
+        if n.id.0 != i {
+            return Err(format!("node {i} carries id {}", n.id.0));
+        }
+        for link in n.parent.iter().chain(n.children.iter()) {
+            if link.0 >= nodes.len() {
+                return Err(format!("node {i} links to out-of-range node {}", link.0));
+            }
+        }
+    }
+    if root.0 >= nodes.len() {
+        return Err(format!("root id {} out of range", root.0));
+    }
+    let marking = read_marking(&mut r)?;
+    r.done()?;
+    Ok((UFilterConfig { mode, strategy }, ViewAsg::from_parts(nodes, root, relations), marking))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bookdemo;
+
+    #[test]
+    fn records_roundtrip() {
+        let records = [
+            LogRecord::Add {
+                name: "books".into(),
+                view_text: "FOR $b IN …".into(),
+                deps: vec!["book".into(), "publisher".into()],
+                cached: true,
+                artifact: vec![1, 2, 3],
+            },
+            LogRecord::Drop { name: "books".into() },
+            LogRecord::Ddl { sql: "CREATE TABLE t (id INTEGER)".into() },
+        ];
+        for rec in &records {
+            let bytes = encode_record(rec);
+            assert_eq!(&decode_record(&bytes).unwrap(), rec);
+        }
+        assert!(decode_record(&[]).is_err());
+        assert!(decode_record(&[99]).is_err());
+    }
+
+    #[test]
+    fn artifact_roundtrips_compiled_views() {
+        let schema = bookdemo::book_schema();
+        for text in [bookdemo::BOOK_VIEW, bookdemo::BOOK_STATS_VIEW] {
+            let filter = UFilter::compile(text, &schema).unwrap();
+            let sig = ViewSignature::of(&filter.asg);
+            let bytes = encode_artifact(&filter, &sig);
+            // Determinism: encoding twice yields identical bytes.
+            assert_eq!(bytes, encode_artifact(&filter, &sig));
+            let (config, asg, marking) = decode_artifact(&bytes).unwrap();
+            assert_eq!(config, filter.config);
+            assert_eq!(asg.describe(), filter.asg.describe());
+            assert_eq!(asg.has_non_injective(), filter.asg.has_non_injective());
+            assert_eq!(marking.rule1, filter.marking.rule1);
+            assert_eq!(marking.rule3, filter.marking.rule3);
+            assert_eq!(marking.delete_anchor, filter.marking.delete_anchor);
+        }
+    }
+
+    /// The persisted signature must route exactly like one freshly
+    /// extracted from the ASG — byte-equal re-encoding is the proxy (the
+    /// parts decomposition is deterministic, so equal bytes ⇔ equal
+    /// signatures).
+    #[test]
+    fn signature_header_roundtrips() {
+        let schema = bookdemo::book_schema();
+        for text in [bookdemo::BOOK_VIEW, bookdemo::BOOK_STATS_VIEW] {
+            let filter = UFilter::compile(text, &schema).unwrap();
+            let sig = ViewSignature::of(&filter.asg);
+            let bytes = encode_artifact(&filter, &sig);
+            let (config, decoded) = decode_artifact_header(&bytes).unwrap();
+            assert_eq!(config, filter.config);
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            put_signature(&mut a, &sig);
+            put_signature(&mut b, &decoded);
+            assert_eq!(a, b, "decoded signature re-encodes identically");
+        }
+    }
+
+    #[test]
+    fn damaged_artifacts_error_cleanly() {
+        let filter = UFilter::compile(bookdemo::BOOK_VIEW, &bookdemo::book_schema()).unwrap();
+        let sig = ViewSignature::of(&filter.asg);
+        let bytes = encode_artifact(&filter, &sig);
+        assert!(decode_artifact(&[]).is_err());
+        assert!(decode_artifact(&bytes[..bytes.len() / 2]).is_err(), "truncation detected");
+        assert!(decode_artifact_header(&bytes[..4]).is_err(), "header truncation detected");
+        let mut vsn = bytes.clone();
+        vsn[0] = 99;
+        assert!(decode_artifact(&vsn).unwrap_err().contains("version"));
+        assert!(decode_artifact_header(&vsn).unwrap_err().contains("version"));
+    }
+}

@@ -50,7 +50,7 @@ pub fn apply_and_verify(
 ) -> Result<(bool, Option<RectangleVerdict>), String> {
     let u: UpdateStmt = filter.parse(update_text)?;
     // Expected view: u applied to the materialized view.
-    let mut expected = materialize(db, &filter.query).map_err(|e| e.to_string())?;
+    let mut expected = materialize(db, filter.query()).map_err(|e| e.to_string())?;
     apply_update(&mut expected, &u).map_err(|e| e.to_string())?;
 
     let reports = filter.run(&u, Some(db), true);
@@ -58,7 +58,7 @@ pub fn apply_and_verify(
     if !accepted {
         return Ok((false, None));
     }
-    let verdict = verify_applied(db, &filter.query, &expected)?;
+    let verdict = verify_applied(db, filter.query(), &expected)?;
     Ok((true, Some(verdict)))
 }
 
@@ -83,7 +83,7 @@ pub fn blind_apply(
     db: &mut Db,
 ) -> Result<BlindOutcome, String> {
     let u = filter.parse(update_text)?;
-    let mut expected = materialize(db, &filter.query).map_err(|e| e.to_string())?;
+    let mut expected = materialize(db, filter.query()).map_err(|e| e.to_string())?;
     apply_update(&mut expected, &u).map_err(|e| e.to_string())?;
 
     let actions = crate::target::resolve(&filter.asg, &u).map_err(|e| e.to_string())?;
@@ -93,7 +93,7 @@ pub fn blind_apply(
         rows_affected += blind_translate_and_run(filter, action, db)?;
     }
     // Detect side effects the expensive way: regenerate and compare.
-    let verdict = verify_applied(db, &filter.query, &expected)?;
+    let verdict = verify_applied(db, filter.query(), &expected)?;
     match verdict {
         RectangleVerdict::Holds => {
             db.commit().map_err(|e| e.to_string())?;

@@ -846,7 +846,7 @@ mod hidden_pred_tests {
             other => panic!("unexpected year {other}"),
         }
         // And the book is visible in the regenerated view.
-        let v = ufilter_xquery::materialize(&db, &filter.query).unwrap();
+        let v = ufilter_xquery::materialize(&db, filter.query()).unwrap();
         let visible = v.children_named(v.root(), "book").iter().any(|b| {
             v.child_named(*b, "bookid").map(|n| v.text_content(n)) == Some("98020".into())
         });

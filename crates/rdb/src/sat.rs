@@ -36,6 +36,28 @@ pub struct Domain {
 }
 
 impl Domain {
+    /// Reassemble a domain from previously extracted parts. Persistence
+    /// support: a domain round-tripped through an external encoding must
+    /// preserve the (otherwise private) contradiction flag, not re-derive
+    /// it — `constrain` records contradictions incrementally and the parts
+    /// alone cannot distinguish `price = 1 AND price = 2` from an
+    /// untightened pin.
+    pub fn from_parts(
+        eq: Option<Value>,
+        ne: Vec<Value>,
+        lower: Option<Bound>,
+        upper: Option<Bound>,
+        contradiction: bool,
+    ) -> Domain {
+        Domain { eq, ne, lower, upper, contradiction }
+    }
+
+    /// Whether a contradiction has been recorded (`price = 1 AND price = 2`,
+    /// or any comparison against a NULL literal).
+    pub fn is_contradiction(&self) -> bool {
+        self.contradiction
+    }
+
     /// Add one atom `col op v` to the domain.
     pub fn constrain(&mut self, op: CmpOp, v: &Value) {
         if self.contradiction || v.is_null() {

@@ -114,6 +114,58 @@ impl ViewSignature {
         self.relations.iter().map(String::as_str)
     }
 
+    /// Decompose into [`SignatureParts`] — plain, deterministically-ordered
+    /// vectors the persistence layer can serialize. Unordered sets come out
+    /// sorted, so equal signatures always produce equal parts (and equal
+    /// bytes on disk).
+    pub fn to_parts(&self) -> SignatureParts {
+        let mut edges: Vec<(String, String)> = self.edges.iter().cloned().collect();
+        edges.sort();
+        let mut leaf_domains: Vec<(String, Vec<LeafTarget>)> = self
+            .leaf_domains
+            .iter()
+            .map(|(tag, targets)| {
+                (tag.clone(), targets.iter().map(|t| (t.ty, t.domain.clone(), t.sat_ty)).collect())
+            })
+            .collect();
+        leaf_domains.sort_by(|a, b| a.0.cmp(&b.0));
+        SignatureParts {
+            tokens: self.tokens.iter().cloned().collect(),
+            edges,
+            root_children: {
+                let mut rc: Vec<String> = self.root_children.iter().cloned().collect();
+                rc.sort();
+                rc
+            },
+            leaf_domains,
+            relations: self.relations.iter().cloned().collect(),
+        }
+    }
+
+    /// Reassemble a signature from its serialized decomposition. Inverse of
+    /// [`to_parts`](Self::to_parts).
+    pub fn from_parts(parts: SignatureParts) -> ViewSignature {
+        ViewSignature {
+            tokens: parts.tokens.into_iter().collect(),
+            edges: parts.edges.into_iter().collect(),
+            root_children: parts.root_children.into_iter().collect(),
+            leaf_domains: parts
+                .leaf_domains
+                .into_iter()
+                .map(|(tag, targets)| {
+                    (
+                        tag,
+                        targets
+                            .into_iter()
+                            .map(|(ty, domain, sat_ty)| LeafDomain { ty, domain, sat_ty })
+                            .collect(),
+                    )
+                })
+                .collect(),
+            relations: parts.relations.into_iter().collect(),
+        }
+    }
+
     /// Level 2: do the update's path steps exist as ASG structure? (Level
     /// 1 — token coverage — is answered by the inverted index instead of a
     /// per-signature scan.)
@@ -143,6 +195,30 @@ impl ViewSignature {
             })
         })
     }
+}
+
+/// One predicate resolution target in [`SignatureParts::leaf_domains`]:
+/// `(leaf type, merged check domain, satisfiability type hint)`.
+pub type LeafTarget = (DataType, Domain, DataType);
+
+/// A [`ViewSignature`] decomposed into plain, deterministically-ordered
+/// vectors — the exchange form `ufilter-core`'s persistence layer writes
+/// into each compiled-view artifact so a warm restart can rebuild the
+/// relevance index without re-walking (or even decoding) the view ASG.
+#[derive(Debug, Clone)]
+pub struct SignatureParts {
+    /// Sorted lower-cased tag vocabulary (level 1).
+    pub tokens: Vec<String>,
+    /// Sorted lower-cased parent→child tag edges (level 2).
+    pub edges: Vec<(String, String)>,
+    /// Sorted lower-cased tags of the root's direct element children.
+    pub root_children: Vec<String>,
+    /// Per-tag predicate resolution targets `(leaf type, merged check
+    /// domain, satisfiability type hint)` (level 3), sorted by tag; the
+    /// targets of one tag keep their extraction order.
+    pub leaf_domains: Vec<(String, Vec<LeafTarget>)>,
+    /// Sorted lower-cased base relations the view reads.
+    pub relations: Vec<String>,
 }
 
 /// The result of routing one update through the index.
@@ -215,8 +291,15 @@ impl RelevanceIndex {
     /// Index `name`'s compiled ASG (replacing any previous signature under
     /// that name).
     pub fn insert(&mut self, name: &str, asg: &ViewAsg) {
+        self.insert_signature(name, ViewSignature::of(asg));
+    }
+
+    /// Index `name` under a pre-extracted signature (replacing any previous
+    /// one). Warm restarts use this with the signature deserialized from
+    /// the view's persisted artifact, skipping the ASG walk of
+    /// [`ViewSignature::of`] entirely.
+    pub fn insert_signature(&mut self, name: &str, sig: ViewSignature) {
         self.remove(name);
-        let sig = ViewSignature::of(asg);
         for token in &sig.tokens {
             self.tag_postings.entry(token.clone()).or_default().insert(name.to_string());
         }

@@ -98,7 +98,7 @@ mod footprint;
 mod index;
 
 pub use footprint::Footprint;
-pub use index::{RelevanceIndex, Route, ViewSignature};
+pub use index::{LeafTarget, RelevanceIndex, Route, SignatureParts, ViewSignature};
 
 /// Whether a check outcome proves the update was *statically irrelevant*
 /// to the view it was checked against: target resolution or Step-1

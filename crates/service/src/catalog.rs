@@ -17,12 +17,12 @@
 //! That rule makes deadlock impossible: every multi-lock acquisition is a
 //! prefix-ordered sweep, and single-lock acquisitions cannot form a cycle.
 
-use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use ufilter_core::catalog::is_schema_ddl;
 use ufilter_core::{
-    BatchItemReport, BatchReport, BatchStats, CatalogError, Footprint, ProbeCache, Route,
-    UFilterConfig, ViewCatalog, ViewInfo,
+    BatchItemReport, BatchReport, BatchStats, CatalogError, CatalogStore, Footprint, LogRecord,
+    ProbeCache, ReplayStats, Route, UFilterConfig, ViewCatalog, ViewInfo,
 };
 use ufilter_rdb::{DatabaseSchema, Db, ExecOutcome, Parser, Stmt};
 use ufilter_xquery::UpdateStmt;
@@ -50,6 +50,12 @@ pub fn affinity_hash(parts: &[&str]) -> u64 {
 /// (compile-once cache, RESTRICT DDL guard, batch amortization).
 pub struct ShardedCatalog {
     shards: Vec<RwLock<ViewCatalog>>,
+    /// Shared durable store (see [`ufilter_core::persist`]): one log for
+    /// the whole catalog, so record order is exactly acknowledgment order
+    /// across shards. Each shard holds a clone for its own `add`/`drop`
+    /// appends; this handle serves guarded-DDL appends and the service's
+    /// `STATS`/`SHUTDOWN`/`CATALOG VERIFY` paths.
+    store: Option<Arc<Mutex<CatalogStore>>>,
 }
 
 impl ShardedCatalog {
@@ -70,7 +76,63 @@ impl ShardedCatalog {
             shards: (0..shards)
                 .map(|_| RwLock::new(ViewCatalog::new(schema.clone()).with_config(config)))
                 .collect(),
+            store: None,
         }
+    }
+
+    /// Attach a durable store to every shard (and keep a handle for the
+    /// DDL/service paths): from now on all catalog mutations append their
+    /// record before acknowledging. Call **after** [`replay`](Self::replay)
+    /// and before the catalog is shared (`&mut self` enforces both).
+    pub fn attach_store(&mut self, store: Arc<Mutex<CatalogStore>>) {
+        for shard in &self.shards {
+            shard.write().expect("catalog shard lock poisoned").attach_store(Arc::clone(&store));
+        }
+        self.store = Some(store);
+    }
+
+    /// The attached store, if any.
+    pub fn store(&self) -> Option<&Arc<Mutex<CatalogStore>>> {
+        self.store.as_ref()
+    }
+
+    /// Rebuild the catalog from recovered records: `Add`s rehydrate into
+    /// their name's shard, `Drop`s unregister from it, `Ddl`s re-execute
+    /// through the all-shards guarded path — exactly the work the original
+    /// session did, so list order, relevance routing and check outcomes
+    /// come out identical. Must run before [`attach_store`](Self::attach_store).
+    pub fn replay(&self, db: &mut Db, records: &[LogRecord]) -> Result<ReplayStats, CatalogError> {
+        if self.store.is_some() {
+            return Err(CatalogError::Persist {
+                detail: "replay must run before attach_store (records would be re-appended)".into(),
+            });
+        }
+        let mut stats = ReplayStats::default();
+        for record in records {
+            stats.records += 1;
+            match record {
+                LogRecord::Add { name, view_text, deps, cached, artifact } => {
+                    stats.adds += 1;
+                    let rehydrated = self
+                        .write(self.shard_of(name))
+                        .add_rehydrated(name, view_text, deps, *cached, artifact)?;
+                    if rehydrated {
+                        stats.rehydrated += 1;
+                    } else {
+                        stats.recompiled += 1;
+                    }
+                }
+                LogRecord::Drop { name } => {
+                    stats.drops += 1;
+                    self.write(self.shard_of(name)).drop_view(name)?;
+                }
+                LogRecord::Ddl { sql } => {
+                    stats.ddl += 1;
+                    self.execute_guarded(db, sql)?;
+                }
+            }
+        }
+        Ok(stats)
     }
 
     /// Number of shards.
@@ -179,10 +241,25 @@ impl ShardedCatalog {
     }
 
     /// Parse `sql`, then [`execute_guarded_stmt`](Self::execute_guarded_stmt).
+    /// With a store attached, successfully-executed schema DDL is appended
+    /// once (by this wrapper, not per shard — the statement path below has
+    /// no SQL text to log). See [`ViewCatalog::execute_guarded`] for the
+    /// re-execute-on-replay rationale.
     pub fn execute_guarded(&self, db: &mut Db, sql: &str) -> Result<ExecOutcome, CatalogError> {
         let stmt =
             Parser::parse_stmt(sql).map_err(|e| CatalogError::Sql { detail: e.to_string() })?;
-        self.execute_guarded_stmt(db, stmt)
+        let ddl = is_schema_ddl(&stmt);
+        let out = self.execute_guarded_stmt(db, stmt)?;
+        if ddl {
+            if let Some(store) = &self.store {
+                store
+                    .lock()
+                    .expect("catalog store lock")
+                    .append(&LogRecord::Ddl { sql: sql.to_string() })
+                    .map_err(|e| CatalogError::Persist { detail: e.to_string() })?;
+            }
+        }
+        Ok(out)
     }
 
     /// Guard and execute one statement atomically with respect to catalog
@@ -353,6 +430,42 @@ mod tests {
         assert_eq!(route.views, 4);
         assert_eq!(route.pruned(), 0);
         assert!(!route.fallback);
+    }
+
+    #[test]
+    fn durable_sharded_catalog_replays_to_identical_state() {
+        let dir =
+            std::env::temp_dir().join(format!("ufilter-sharded-replay-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut db = bookdemo::book_db();
+
+        // Session 1: mutate through every durable path.
+        let mut cat = ShardedCatalog::new(bookdemo::book_schema(), 4);
+        cat.attach_store(Arc::new(Mutex::new(CatalogStore::open(&dir).unwrap())));
+        for name in ["a", "b", "c"] {
+            cat.add(name, bookdemo::BOOK_VIEW).unwrap();
+        }
+        cat.drop_view("b").unwrap();
+        cat.execute_guarded(&mut db, "CREATE TABLE scratch (id INTEGER)").unwrap();
+        let before: Vec<(String, bool)> =
+            cat.list().into_iter().map(|v| (v.name, v.cached)).collect();
+
+        // Session 2: recover from disk alone.
+        let mut db2 = bookdemo::book_db();
+        let store = CatalogStore::open(&dir).unwrap();
+        let mut cat2 = ShardedCatalog::new(bookdemo::book_schema(), 4);
+        let stats = cat2.replay(&mut db2, store.records()).unwrap();
+        cat2.attach_store(Arc::new(Mutex::new(store)));
+        assert_eq!((stats.adds, stats.drops, stats.ddl), (3, 1, 1));
+        assert_eq!(stats.rehydrated, 3, "artifacts (or the cache) served every add");
+        let after: Vec<(String, bool)> =
+            cat2.list().into_iter().map(|v| (v.name, v.cached)).collect();
+        assert_eq!(before, after, "list (with cached flags) is byte-identical");
+        assert!(db2.schema().table("scratch").is_some(), "DDL re-executed on replay");
+
+        // Replay after attach is a usage error, not silent double-logging.
+        assert!(cat2.replay(&mut db2, &[]).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

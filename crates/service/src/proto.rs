@@ -30,6 +30,9 @@
 //! <-- OK dropped <name>
 //! --> CATALOG LIST
 //! <-- OK <n>               (followed by n lines: VIEW <name> reads=<...> cached=<bool>)
+//! --> CATALOG VERIFY       (read-only integrity check of the durable store)
+//! <-- OK generation=<..> snapshot_records=<..> log_records=<..> torn_bytes=<..>
+//!        stale_log=<..> views=<..> ddl=<..> match=<yes|no>
 //!
 //! --> STATS
 //! <-- OK workers=<..> shards=<..> views=<..> requests=<..> checked=<..> ...
@@ -85,6 +88,9 @@ pub enum Request {
     },
     /// `CATALOG LIST`.
     CatalogList,
+    /// `CATALOG VERIFY` — read-only integrity check of the attached
+    /// durable store (errors when the server runs without `--data-dir`).
+    CatalogVerify,
     /// `STATS` — one-line server/pool counters.
     Stats,
     /// `PING` — liveness probe.
@@ -152,7 +158,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 None => Ok(Request::CatalogList),
                 Some(_) => Err("CATALOG LIST takes no operands".into()),
             },
-            other => Err(format!("unknown CATALOG subcommand {other:?} (ADD/DROP/LIST)")),
+            Some("VERIFY") => match parts.next() {
+                None => Ok(Request::CatalogVerify),
+                Some(_) => Err("CATALOG VERIFY takes no operands".into()),
+            },
+            other => Err(format!("unknown CATALOG subcommand {other:?} (ADD/DROP/LIST/VERIFY)")),
         },
         "STATS" | "PING" | "SHUTDOWN" => {
             if parts.next().is_some() {
@@ -245,6 +255,8 @@ mod tests {
         );
         assert_eq!(parse_request("CATALOG LIST").unwrap(), Request::CatalogList);
         assert!(parse_request("CATALOG LIST extra").is_err());
+        assert_eq!(parse_request("CATALOG VERIFY").unwrap(), Request::CatalogVerify);
+        assert!(parse_request("CATALOG VERIFY now").is_err());
         assert!(parse_request("CATALOG NUKE v1").is_err());
     }
 

@@ -97,6 +97,13 @@ impl CheckServer {
         for handle in conns {
             let _ = handle.join();
         }
+        // Clean shutdown: fold the log into a fresh snapshot so the next
+        // start replays one compact file instead of the whole append
+        // history. Best-effort — a failed compaction leaves the (already
+        // fsynced) log authoritative.
+        if let Some(store) = self.catalog.store() {
+            let _ = store.lock().expect("catalog store lock").compact();
+        }
         Ok(())
     }
 }
@@ -223,6 +230,14 @@ impl Connection {
         match req {
             Request::Ping => self.reply(writer, "OK pong"),
             Request::Shutdown => {
+                // Flush the log before acknowledging: once the client has
+                // read "OK bye", every mutation it was acknowledged for is
+                // on disk even if the process dies before the clean
+                // compaction. (Appends already fsync individually; this is
+                // a defensive barrier, and it must precede the reply.)
+                if let Some(store) = self.catalog.store() {
+                    let _ = store.lock().expect("catalog store lock").sync();
+                }
                 self.reply(writer, "OK bye")?;
                 Some(true)
             }
@@ -383,8 +398,55 @@ impl Connection {
                 writer.flush().ok()?;
                 Some(false)
             }
+            Request::CatalogVerify => {
+                let Some(store) = self.catalog.store() else {
+                    self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    return self.reply(
+                        writer,
+                        &err_reply("no durable store attached (start the server with --data-dir)"),
+                    );
+                };
+                let dir = store.lock().expect("catalog store lock").dir().to_path_buf();
+                match ufilter_core::CatalogStore::verify(&dir) {
+                    Ok(report) => {
+                        // Does folding the on-disk records reproduce the
+                        // live view set?
+                        let live: Vec<String> =
+                            self.catalog.list().into_iter().map(|v| v.name).collect();
+                        let matches = if live == report.views { "yes" } else { "no" };
+                        self.reply(
+                            writer,
+                            &format!(
+                                "OK generation={} snapshot_records={} log_records={} \
+                                 torn_bytes={} stale_log={} views={} ddl={} match={matches}",
+                                report.generation,
+                                report.snapshot_records,
+                                report.log_records,
+                                report.torn_bytes,
+                                report.stale_log,
+                                report.views.len(),
+                                report.ddl_records,
+                            ),
+                        )
+                    }
+                    Err(e) => {
+                        self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                        self.reply(writer, &err_reply(&e.to_string()))
+                    }
+                }
+            }
             Request::Stats => {
                 let p = self.pool.stats();
+                // Persistence counters are all zero when the server runs
+                // without --data-dir (the keys are still present — the
+                // reply format does not depend on configuration).
+                let (appends, syncs, compactions, replayed) = match self.catalog.store() {
+                    Some(store) => {
+                        let s = store.lock().expect("catalog store lock").stats();
+                        (s.appends, s.syncs, s.compactions, s.recovered_records)
+                    }
+                    None => (0, 0, 0, 0),
+                };
                 // Key order is a stable part of the reply format; the index
                 // counters (`fanout_requests` onward) always come last, in
                 // this order — the CI smoke script parses them by name.
@@ -393,6 +455,8 @@ impl Connection {
                     &format!(
                         "OK workers={} shards={} views={} connections={} requests={} errors={} \
                          jobs={} checked={} probe_hits={} probe_misses={} compile_hits={} \
+                         persist_appends={appends} persist_syncs={syncs} \
+                         persist_compactions={compactions} persist_replayed={replayed} \
                          fanout_requests={} candidates={} pruned={} fallbacks={}",
                         self.pool.workers(),
                         self.catalog.shard_count(),
@@ -589,6 +653,80 @@ mod tests {
             assert_eq!(a, &answers[0], "every client sees identical outcomes");
         }
         let mut c = Client::connect(addr);
+        assert_eq!(c.roundtrip("SHUTDOWN"), "OK bye");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn durable_server_restarts_warm_with_identical_wire_replies() {
+        use std::sync::Mutex;
+        use ufilter_core::CatalogStore;
+
+        let dir =
+            std::env::temp_dir().join(format!("ufilter-server-restart-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let spawn_durable = |dir: &std::path::Path| {
+            let mut db = bookdemo::book_db();
+            let store = CatalogStore::open(dir).unwrap();
+            let mut catalog = ShardedCatalog::new(bookdemo::book_schema(), 4);
+            catalog.replay(&mut db, store.records()).unwrap();
+            catalog.attach_store(Arc::new(Mutex::new(store)));
+            let server =
+                CheckServer::bind("127.0.0.1:0", Arc::new(catalog), &db, 2).expect("binds");
+            let addr = server.local_addr();
+            (addr, std::thread::spawn(move || server.run().expect("serves")))
+        };
+
+        // Session 1: add two views, capture LIST + CHECK replies, shut down.
+        let (addr, handle) = spawn_durable(&dir);
+        let mut c = Client::connect(addr);
+        for name in ["books", "books2"] {
+            let added = c.roundtrip(&crate::proto::catalog_add_request(name, bookdemo::BOOK_VIEW));
+            assert!(added.starts_with("OK added"), "{added}");
+        }
+        let verify = c.roundtrip("CATALOG VERIFY");
+        assert!(verify.starts_with("OK generation=1 "), "{verify}");
+        assert!(verify.ends_with("match=yes"), "{verify}");
+        let capture = |c: &mut Client| {
+            let mut lines = vec![c.roundtrip("CATALOG LIST")];
+            for _ in 0..2 {
+                lines.push(c.recv());
+            }
+            lines.push(c.roundtrip(&crate::proto::check_request("books", bookdemo::U8)));
+            lines.push(c.roundtrip(&crate::proto::check_request("books2", bookdemo::U10)));
+            lines
+        };
+        let before = capture(&mut c);
+        let stats = c.roundtrip("STATS");
+        assert!(stats.contains("persist_appends=2"), "{stats}");
+        assert!(stats.contains("persist_replayed=0"), "{stats}");
+        assert_eq!(c.roundtrip("SHUTDOWN"), "OK bye");
+        handle.join().unwrap();
+
+        // Session 2: same data dir, nothing re-added — clean shutdown left
+        // a gen-2 snapshot, replay rebuilds the same catalog.
+        let (addr, handle) = spawn_durable(&dir);
+        let mut c = Client::connect(addr);
+        let after = capture(&mut c);
+        assert_eq!(before, after, "wire replies identical across restart");
+        let stats = c.roundtrip("STATS");
+        assert!(stats.contains("persist_replayed=2"), "{stats}");
+        let verify = c.roundtrip("CATALOG VERIFY");
+        assert!(verify.starts_with("OK generation=2 "), "{verify}");
+        assert!(verify.ends_with("match=yes"), "{verify}");
+        assert_eq!(c.roundtrip("SHUTDOWN"), "OK bye");
+        handle.join().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn verify_without_store_is_an_error() {
+        let (addr, handle) = spawn_book_server(1);
+        let mut c = Client::connect(addr);
+        let reply = c.roundtrip("CATALOG VERIFY");
+        assert!(reply.starts_with("ERR "), "{reply}");
+        assert!(reply.contains("data-dir"), "{reply}");
         assert_eq!(c.roundtrip("SHUTDOWN"), "OK bye");
         handle.join().unwrap();
     }

@@ -19,7 +19,7 @@ fn main() {
     let mut db = bookdemo::book_db();
 
     let show_view = |db: &u_filter::rdb::Db, label: &str| {
-        let v = materialize(db, &filter.query).expect("view materializes");
+        let v = materialize(db, filter.query()).expect("view materializes");
         println!("\n--- {label}: view has {} elements ---", v.count_elements(v.root()));
         println!("{}", u_filter::xml::to_pretty_string(&v, v.root()));
     };

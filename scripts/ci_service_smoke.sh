@@ -2,14 +2,20 @@
 # CI smoke for the check service: start `ufilter serve` on an ephemeral
 # loopback port, drive a scripted client session (catalog add, check,
 # batch, checkall fan-out, stats, shutdown), and fail on any non-OK reply
-# or hang.
+# or hang. A second phase SIGKILLs a durable (--data-dir) server mid-session
+# and asserts the restarted server recovers to byte-identical replies.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BIN=${UFILTER_BIN:-target/release/ufilter}
 OUT=$(mktemp)
 SCRIPT=$(mktemp)
-trap 'rm -f "$OUT" "$SCRIPT"; kill "$SERVE_PID" 2>/dev/null || true' EXIT
+DATA_DIR=$(mktemp -d)
+SERVE_PID=""
+SERVE2_PID=""
+trap 'rm -f "$OUT" "$SCRIPT"; rm -rf "$DATA_DIR"; \
+      kill "$SERVE_PID" 2>/dev/null || true; \
+      kill "$SERVE2_PID" 2>/dev/null || true' EXIT
 
 cat > "$SCRIPT" <<'EOF'
 ping
@@ -88,3 +94,85 @@ if kill -0 "$SERVE_PID" 2>/dev/null; then
 fi
 wait "$SERVE_PID"
 echo "service smoke OK"
+
+# ---- crash-recovery phase: SIGKILL mid-session, restart warm ------------
+# A durable server is killed with SIGKILL (no shutdown snapshot, no flush
+# beyond the per-append fsync) and restarted on the same --data-dir. The
+# recovered catalog must serve CATALOG LIST and CHECK replies byte-identical
+# to the pre-kill session.
+
+"$BIN" --schema fixtures/book.sql --data-dir "$DATA_DIR" \
+       --listen 127.0.0.1:0 --workers 2 serve > "$OUT" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    grep -q LISTENING "$OUT" && break
+    kill -0 "$SERVE_PID" 2>/dev/null || { echo "FAIL: durable serve died early"; exit 1; }
+    sleep 0.1
+done
+grep -q LISTENING "$OUT" || { echo "FAIL: durable serve never bound"; exit 1; }
+ADDR=$(awk '/^LISTENING/{print $2; exit}' "$OUT")
+echo "durable serve bound at $ADDR"
+
+cat > "$SCRIPT" <<'EOF'
+add ci_books fixtures/bookview.xq
+add ci_stats fixtures/bookstats.xq
+EOF
+timeout 60 "$BIN" client "$ADDR" "$SCRIPT" > /dev/null
+
+# The probe session replayed verbatim before the kill and after recovery.
+cat > "$SCRIPT" <<'EOF'
+list
+check ci_books fixtures/u8.xq
+check ci_stats fixtures/u_agg.xq
+EOF
+PRE_KILL=$(timeout 60 "$BIN" client "$ADDR" "$SCRIPT")
+grep -q '^ERR' <<< "$PRE_KILL" && { echo "FAIL: pre-kill probe got an ERR"; exit 1; }
+grep -q 'translatable' <<< "$PRE_KILL" || { echo "FAIL: pre-kill probe has no check outcome"; exit 1; }
+
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+echo "durable serve killed with SIGKILL"
+
+: > "$OUT"
+"$BIN" --schema fixtures/book.sql --data-dir "$DATA_DIR" \
+       --listen 127.0.0.1:0 --workers 2 serve > "$OUT" &
+SERVE2_PID=$!
+for _ in $(seq 1 100); do
+    grep -q LISTENING "$OUT" && break
+    kill -0 "$SERVE2_PID" 2>/dev/null || { echo "FAIL: restarted serve died early"; exit 1; }
+    sleep 0.1
+done
+grep -q LISTENING "$OUT" || { echo "FAIL: restarted serve never bound"; exit 1; }
+grep -q '^RECOVERED' "$OUT" || { echo "FAIL: restarted serve did not report RECOVERED"; exit 1; }
+ADDR2=$(awk '/^LISTENING/{print $2; exit}' "$OUT")
+echo "restarted serve bound at $ADDR2 ($(grep '^RECOVERED' "$OUT" | head -1))"
+
+POST_KILL=$(timeout 60 "$BIN" client "$ADDR2" "$SCRIPT")
+if [ "$PRE_KILL" != "$POST_KILL" ]; then
+    echo "FAIL: recovered replies differ from pre-kill replies"
+    diff <(echo "$PRE_KILL") <(echo "$POST_KILL") || true
+    exit 1
+fi
+echo "recovered LIST + CHECK replies byte-identical to pre-kill session"
+
+# The recovered store must pass an online integrity check, then stop cleanly.
+cat > "$SCRIPT" <<'EOF'
+verify
+shutdown
+EOF
+VERIFY_OUT=$(timeout 60 "$BIN" client "$ADDR2" "$SCRIPT")
+grep -q '^ERR' <<< "$VERIFY_OUT" && { echo "FAIL: CATALOG VERIFY errored after recovery"; exit 1; }
+grep -q '^OK generation=' <<< "$VERIFY_OUT" || { echo "FAIL: no CATALOG VERIFY reply"; exit 1; }
+grep -q 'match=yes' <<< "$VERIFY_OUT" \
+    || { echo "FAIL: on-disk records do not fold to the live view set"; exit 1; }
+
+for _ in $(seq 1 300); do
+    kill -0 "$SERVE2_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$SERVE2_PID" 2>/dev/null; then
+    echo "FAIL: restarted serve still running after SHUTDOWN"
+    exit 1
+fi
+wait "$SERVE2_PID" 2>/dev/null || true
+echo "crash-recovery smoke OK"

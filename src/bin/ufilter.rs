@@ -19,9 +19,10 @@
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use u_filter::core::catalog::{is_schema_ddl, ViewCatalog};
+use u_filter::core::persist::CatalogStore;
 use u_filter::core::wire;
 use u_filter::service::{proto, CheckServer, ShardedCatalog};
 use u_filter::xquery::materialize;
@@ -44,14 +45,16 @@ fn cmd_usage(cmd: &str) -> &'static str {
         "sql" => "ufilter --schema <s.sql> [--catalog <manifest>] sql <statement>",
         "catalog" => {
             "ufilter --schema <s.sql> --catalog <manifest> catalog add <name> <view.xq> \
-             | catalog list | catalog drop <name>"
+             | catalog list | catalog drop <name> \
+             | ufilter --data-dir <dir> catalog compact | catalog verify"
         }
         "check-batch" => {
             "ufilter --schema <s.sql> --catalog <manifest> check-batch <updates.ubatch>"
         }
         "check-all" => "ufilter --schema <s.sql> --catalog <manifest> check-all <update.xq>",
         "serve" => {
-            "ufilter --schema <s.sql> [--views <manifest>] [--listen <addr>] [--workers <n>] serve"
+            "ufilter --schema <s.sql> [--views <manifest>] [--data-dir <dir>] [--listen <addr>] \
+             [--workers <n>] serve"
         }
         "client" => "ufilter client <host:port> <script.ucl | ->",
         _ => USAGE_LINE,
@@ -66,6 +69,7 @@ struct Args {
     schema: Option<String>,
     view: Option<String>,
     catalog: Option<String>,
+    data_dir: Option<String>,
     listen: Option<String>,
     workers: Option<usize>,
     strategy: Strategy,
@@ -94,6 +98,7 @@ fn parse_args() -> Result<Args, String> {
         schema: None,
         view: None,
         catalog: None,
+        data_dir: None,
         listen: None,
         workers: None,
         strategy: Strategy::Outside,
@@ -115,6 +120,11 @@ fn parse_args() -> Result<Args, String> {
             // both name the same `name=viewfile` manifest.
             "--catalog" | "--views" => {
                 out.catalog = Some(args.next().ok_or_else(|| general(format!("{a} needs a file")))?)
+            }
+            "--data-dir" => {
+                out.data_dir = Some(
+                    args.next().ok_or_else(|| general("--data-dir needs a directory".into()))?,
+                )
             }
             "--listen" => {
                 out.listen =
@@ -175,21 +185,33 @@ COMMANDS:
     catalog add <name> <view.xq>   register a view in the --catalog manifest
     catalog list                   list registered views with their relations
     catalog drop <name>            unregister a view
+    catalog compact                fold the --data-dir snapshot+log into a fresh
+                                   snapshot (offline; the server also compacts
+                                   on clean shutdown)
+    catalog verify                 read-only integrity check of the --data-dir
+                                   files; exit 1 if anything would be repaired
     check-batch <updates-file>     batch-check an update stream against the
                                    catalog; blocks start with '-- view: <name>'
     check-all <update.xq>          fan one update out to every catalog view it
                                    could affect (relevance-index routed); prints
                                    one wire outcome per candidate view
     serve                run the concurrent check server (sharded catalog +
-                         worker pool); prints 'LISTENING <addr>' once bound
+                         worker pool); prints 'LISTENING <addr>' once bound.
+                         With --data-dir, catalog mutations are durable: the
+                         server logs them before acknowledging, recovers them
+                         on restart (prints 'RECOVERED ...'), and compacts on
+                         clean shutdown
     client <addr> <script>  drive a running server with a scripted session
                             ('-' reads the script from stdin); script verbs:
-                            add/drop/list/check/batch/stats/ping/shutdown
+                            add/drop/list/verify/check/batch/checkall/batchall/
+                            stats/ping/shutdown
     help                 this message
 
 OPTIONS:
     --catalog <file>                     view manifest ('name=viewfile' lines)
     --views <file>                       alias for --catalog (serve-flavoured)
+    --data-dir <dir>                     durable catalog directory (serve,
+                                         catalog compact/verify)
     --listen <addr>                      serve: bind address (default 127.0.0.1:0)
     --workers <n>                        serve: worker threads (default 4)
     --strategy internal|hybrid|outside   update-point strategy (default outside)
@@ -267,6 +289,12 @@ fn catalog_path(args: &Args) -> Result<&str, String> {
         .ok_or_else(|| "--catalog <file> is required for this command".to_string())
 }
 
+fn data_dir_path(args: &Args) -> Result<&str, String> {
+    args.data_dir
+        .as_deref()
+        .ok_or_else(|| "--data-dir <dir> is required for this command".to_string())
+}
+
 /// Parse an update-stream file: blocks introduced by `-- view: <name>`
 /// lines, each holding one update statement. Other `--` lines are comments.
 fn parse_batch_file(path: &str, text: &str) -> Result<Vec<(String, String)>, String> {
@@ -342,6 +370,8 @@ fn parse_uall_file(path: &str, text: &str) -> Result<Vec<String>, String> {
 ///                           the exact '<view>: <wire-outcome>' lines check-all prints
 /// batchall <updates.uall>   fan a '-- update'-separated stream out; prints
 ///                           '[i] <view>: <wire-outcome>' per candidate
+/// verify                    CATALOG VERIFY: integrity-check the server's
+///                           durable store (ERR when no --data-dir)
 /// stats | ping | shutdown   forwarded verbatim
 /// ```
 ///
@@ -530,6 +560,13 @@ fn run_client(script: &str, stream: TcpStream) -> Result<bool, String> {
                     }
                 }
             }
+            "verify" => {
+                arity(0)?;
+                send(&mut writer, "CATALOG VERIFY")?;
+                let reply = recv(&mut reader)?;
+                all_ok &= !reply.starts_with("ERR");
+                println!("{reply}");
+            }
             "stats" | "ping" | "shutdown" => {
                 arity(0)?;
                 send(&mut writer, verb.to_uppercase().as_str())?;
@@ -540,7 +577,7 @@ fn run_client(script: &str, stream: TcpStream) -> Result<bool, String> {
             other => {
                 return Err(err_here(format!(
                     "unknown verb '{other}' \
-                     (add/drop/list/check/batch/checkall/batchall/stats/ping/shutdown)"
+                     (add/drop/list/verify/check/batch/checkall/batchall/stats/ping/shutdown)"
                 )))
             }
         }
@@ -580,9 +617,52 @@ fn run() -> Result<bool, String> {
             Ok(true)
         }
         "catalog" => {
-            let path = catalog_path(&args)?;
-            match args.operand(0, "catalog subcommand (add/list/drop)")? {
+            match args.operand(0, "catalog subcommand (add/list/drop/compact/verify)")? {
+                // `compact`/`verify` operate on the durable --data-dir store
+                // (no manifest, schema, or server needed); the manifest
+                // subcommands keep requiring --catalog.
+                "compact" => {
+                    args.at_most(1)?;
+                    let dir = data_dir_path(&args)?;
+                    let mut store = CatalogStore::open(dir).map_err(|e| e.to_string())?;
+                    let open_stats = store.stats();
+                    if open_stats.truncated_bytes > 0 {
+                        eprintln!(
+                            "warning: truncated {} byte(s) of torn log tail",
+                            open_stats.truncated_bytes
+                        );
+                    }
+                    let c = store.compact().map_err(|e| e.to_string())?;
+                    println!(
+                        "compacted {dir}: {} record(s) -> {} (generation {})",
+                        c.records_before, c.records_after, c.generation
+                    );
+                    Ok(true)
+                }
+                "verify" => {
+                    args.at_most(1)?;
+                    let dir = data_dir_path(&args)?;
+                    let r = CatalogStore::verify(dir).map_err(|e| e.to_string())?;
+                    println!(
+                        "generation {}: {} snapshot record(s), {} log record(s), {} ddl record(s)",
+                        r.generation, r.snapshot_records, r.log_records, r.ddl_records
+                    );
+                    for view in &r.views {
+                        println!("view {view}");
+                    }
+                    if r.torn_bytes > 0 {
+                        println!("torn tail: {} byte(s) (open would truncate them)", r.torn_bytes);
+                    }
+                    if r.stale_log {
+                        println!(
+                            "stale log from an interrupted compaction (open would discard it)"
+                        );
+                    }
+                    println!("{}", if r.is_clean() { "clean" } else { "repairs pending" });
+                    Ok(r.is_clean())
+                }
                 "add" => {
+                    let path = catalog_path(&args)?;
                     let name = args.operand(1, "catalog add needs a view name")?;
                     let file = args.operand(2, "catalog add needs a view file")?;
                     args.at_most(3)?;
@@ -614,6 +694,7 @@ fn run() -> Result<bool, String> {
                 }
                 "list" => {
                     args.at_most(1)?;
+                    let path = catalog_path(&args)?;
                     let db = load_db(&args)?;
                     let catalog = build_catalog(&args, path, &db)?;
                     for info in catalog.list() {
@@ -630,6 +711,7 @@ fn run() -> Result<bool, String> {
                 "drop" => {
                     let name = args.operand(1, "catalog drop needs a view name")?;
                     args.at_most(2)?;
+                    let path = catalog_path(&args)?;
                     let mut entries = load_manifest(path, false)?;
                     let before = entries.len();
                     entries.retain(|(n, _)| n != name);
@@ -713,23 +795,49 @@ fn run() -> Result<bool, String> {
         }
         "serve" => {
             args.at_most(0)?;
-            let db = load_db(&args)?;
+            let mut db = load_db(&args)?;
             let workers = args.workers.unwrap_or(4);
             let config = UFilterConfig { mode: args.mode, strategy: args.strategy };
             // Shard count is a concurrency knob, not a correctness one:
             // 2x workers keeps shard write locks (catalog DDL/add/drop)
             // from serializing the read path.
-            let catalog = ShardedCatalog::with_config(db.schema().clone(), config, workers * 2);
+            let mut catalog = ShardedCatalog::with_config(db.schema().clone(), config, workers * 2);
+            // Recover the durable catalog first (replay, then attach so the
+            // replayed records are not re-appended), then seed from the
+            // manifest — skipping names recovery already registered, so a
+            // restart with both --data-dir and --views never trips the
+            // duplicate check.
+            let mut recovered = None;
+            if let Some(dir) = args.data_dir.as_deref() {
+                let store = CatalogStore::open(dir).map_err(|e| format!("{dir}: {e}"))?;
+                let stats = catalog
+                    .replay(&mut db, store.records())
+                    .map_err(|e| format!("{dir}: replay: {e}"))?;
+                catalog.attach_store(Arc::new(Mutex::new(store)));
+                recovered = Some(stats);
+            }
             if let Some(path) = args.catalog.as_deref() {
+                let registered: std::collections::HashSet<String> =
+                    catalog.list().into_iter().map(|v| v.name).collect();
                 for (name, file) in load_manifest(path, false)? {
+                    if registered.contains(&name) {
+                        continue; // already recovered from the data dir
+                    }
                     let text =
                         std::fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?;
                     catalog.add(&name, &text).map_err(|e| e.to_string())?;
                 }
             }
+            let catalog = catalog;
             let listen = args.listen.as_deref().unwrap_or("127.0.0.1:0");
             let server = CheckServer::bind(listen, Arc::new(catalog), &db, workers)
                 .map_err(|e| format!("{listen}: {e}"))?;
+            if let Some(s) = recovered {
+                println!(
+                    "RECOVERED records={} adds={} drops={} ddl={} rehydrated={} recompiled={}",
+                    s.records, s.adds, s.drops, s.ddl, s.rehydrated, s.recompiled
+                );
+            }
             // Scripts read this line to learn the resolved ephemeral port.
             println!("LISTENING {}", server.local_addr());
             server.run().map_err(|e| e.to_string())?;
@@ -760,7 +868,7 @@ fn run() -> Result<bool, String> {
             args.at_most(0)?;
             let db = load_db(&args)?;
             let filter = load_filter(&args, &db)?;
-            let doc = materialize(&db, &filter.query).map_err(|e| e.to_string())?;
+            let doc = materialize(&db, filter.query()).map_err(|e| e.to_string())?;
             print!("{}", u_filter::xml::to_pretty_string(&doc, doc.root()));
             Ok(true)
         }

@@ -94,12 +94,12 @@ fn view_update_view_roundtrip_via_documents() {
     let filter = bookdemo::book_filter();
     let mut db = bookdemo::book_db();
     let u = filter.parse(bookdemo::U8).unwrap();
-    let mut expected = materialize(&db, &filter.query).unwrap();
+    let mut expected = materialize(&db, filter.query()).unwrap();
     apply_update(&mut expected, &u).unwrap();
 
     let report = filter.apply(bookdemo::U8, &mut db).remove(0);
     assert!(report.outcome.is_translatable());
-    let regenerated = materialize(&db, &filter.query).unwrap();
+    let regenerated = materialize(&db, filter.query()).unwrap();
     assert!(expected.subtree_eq_unordered(expected.root(), &regenerated, regenerated.root()));
 }
 

@@ -52,7 +52,7 @@ fn every_newly_included_view_compiles_and_materializes() {
     for (name, _) in subset_views() {
         let f = catalog.get(name).expect("registered");
         // The evaluator must handle Distinct sources and aggregate values.
-        let doc = u_filter::xquery::materialize(&db, &f.query)
+        let doc = u_filter::xquery::materialize(&db, f.query())
             .unwrap_or_else(|e| panic!("{name} failed to materialize: {e}"));
         let _ = doc;
     }
