@@ -305,11 +305,20 @@ impl<'a> Builder<'a> {
             }
         }
 
-        let tag_id = self.asg.push(AsgNodeKind::Tag, col.name.clone());
-        self.asg.attach(parent, tag_id);
-        self.asg.node_mut(tag_id).card = card;
+        // `$v/col` materializes as `<col>value</col>`; `$v/col/text()`
+        // materializes as a bare text node with no element wrapper. The
+        // graph must mirror that distinction, or fragment validation would
+        // admit a `<col>` element the view can never reproduce.
+        let leaf_parent = if p.steps.last().is_some_and(|s| s == "text()") {
+            parent
+        } else {
+            let tag_id = self.asg.push(AsgNodeKind::Tag, col.name.clone());
+            self.asg.attach(parent, tag_id);
+            self.asg.node_mut(tag_id).card = card;
+            tag_id
+        };
         let leaf_id = self.asg.push(AsgNodeKind::Leaf, "text()".to_string());
-        self.asg.attach(tag_id, leaf_id);
+        self.asg.attach(leaf_parent, leaf_id);
         {
             let leaf = self.asg.node_mut(leaf_id);
             leaf.card = nullable_card;

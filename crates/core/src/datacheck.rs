@@ -109,6 +109,17 @@ pub fn run_shared_checks(
         }
         notes.push(format!("shared data verified: {} exists and is consistent", check.relation));
     }
+    for pre in &plan.preconditions {
+        let rs = db.query(&pre.probe).map_err(|e| (CheckStep::DataPoint, e.to_string()))?;
+        if rs.is_empty() != pre.expect_empty {
+            return Err((CheckStep::DataPoint, pre.reason.clone()));
+        }
+        notes.push(if pre.expect_empty {
+            "precondition probe empty: no conflicting occurrence".into()
+        } else {
+            "precondition probe non-empty: referenced data exists".into()
+        });
+    }
     Ok(notes)
 }
 
@@ -232,7 +243,22 @@ pub fn run_internal(
     plan: &TranslationPlan,
     apply: bool,
 ) -> DataCheckReport {
+    // Value-element ops translate to plain UPDATEs; the mapping relational
+    // view has no slot for them (it reads whole tuples), so they execute
+    // directly, like the hybrid strategy (which re-runs the shared checks
+    // and preconditions itself).
+    if !plan.statements.is_empty()
+        && plan.statements.iter().all(|p| matches!(p.stmt, Stmt::Update(_)))
+    {
+        let mut inner = run_hybrid(db, plan, apply);
+        inner.notes.push("internal strategy: value op executed directly".into());
+        return inner;
+    }
     let mut report = DataCheckReport::default();
+    match run_shared_checks(db, plan) {
+        Ok(notes) => report.notes.extend(notes),
+        Err((step, reason)) => return DataCheckReport::reject(step, reason),
+    }
     let view_name = match ensure_relational_view(db, asg, schema) {
         Ok(n) => n,
         Err(e) => return DataCheckReport::reject(CheckStep::DataPoint, e),
@@ -519,6 +545,7 @@ mod tests {
         let plan = TranslationPlan {
             context_probe: None,
             tab_name: None,
+            preconditions: Vec::new(),
             shared_checks: vec![crate::translate::SharedCheck {
                 relation: "publisher".into(),
                 key_cols: vec!["pubid".into()],
@@ -540,6 +567,7 @@ mod tests {
         let mk = |key: &str, name: &str| TranslationPlan {
             context_probe: None,
             tab_name: None,
+            preconditions: Vec::new(),
             shared_checks: vec![crate::translate::SharedCheck {
                 relation: "publisher".into(),
                 key_cols: vec!["pubid".into()],
@@ -563,6 +591,7 @@ mod tests {
         let plan = TranslationPlan {
             context_probe: None,
             tab_name: None,
+            preconditions: Vec::new(),
             shared_checks: Vec::new(),
             statements: vec![crate::translate::PlannedStmt {
                 stmt: ufilter_rdb::Parser::parse_stmt("DELETE FROM review WHERE bookid = '98001'")
@@ -585,6 +614,7 @@ mod tests {
         let plan = TranslationPlan {
             context_probe: None,
             tab_name: None,
+            preconditions: Vec::new(),
             shared_checks: Vec::new(),
             statements: vec![crate::translate::PlannedStmt {
                 stmt: ufilter_rdb::Parser::parse_stmt("DELETE FROM review WHERE bookid = 'nope'")

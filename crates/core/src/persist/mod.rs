@@ -36,7 +36,10 @@ use std::path::{Path, PathBuf};
 mod codec;
 mod frame;
 
-pub use codec::{decode_artifact, decode_artifact_header, encode_artifact, ARTIFACT_VERSION};
+pub use codec::{
+    decode_artifact, decode_artifact_header, decode_record, encode_artifact, encode_record,
+    ARTIFACT_VERSION,
+};
 pub use frame::{crc32, FileKind, FORMAT_VERSION, HEADER_LEN, MAGIC};
 
 /// One durable catalog mutation, in the order it was acknowledged.

@@ -480,26 +480,29 @@ impl UFilter {
         }
 
         // ---- Step 2: STAR ----------------------------------------------
-        let conditions = match star::check(&self.asg, &self.marking, action, self.config.mode) {
-            StarVerdict::Untranslatable(reason) => {
-                trace.push((CheckStep::Star, reason.clone()));
-                return Err(CheckReport {
-                    trace,
-                    outcome: CheckOutcome::Untranslatable { step: CheckStep::Star, reason },
-                });
-            }
-            StarVerdict::Ok(conditions) => {
-                let node = self.asg.node(action.node);
-                trace.push((
-                    CheckStep::Star,
-                    match (&node.upoint, &node.ucontext) {
-                        (Some(up), Some(uc)) => format!("target <{}> marked ({up}|{uc})", node.tag),
-                        _ => format!("target <{}>", node.tag),
-                    },
-                ));
-                conditions
-            }
-        };
+        let conditions =
+            match star::check(&self.asg, &self.marking, &self.schema, action, self.config.mode) {
+                StarVerdict::Untranslatable(reason) => {
+                    trace.push((CheckStep::Star, reason.clone()));
+                    return Err(CheckReport {
+                        trace,
+                        outcome: CheckOutcome::Untranslatable { step: CheckStep::Star, reason },
+                    });
+                }
+                StarVerdict::Ok(conditions) => {
+                    let node = self.asg.node(action.node);
+                    trace.push((
+                        CheckStep::Star,
+                        match (&node.upoint, &node.ucontext) {
+                            (Some(up), Some(uc)) => {
+                                format!("target <{}> marked ({up}|{uc})", node.tag)
+                            }
+                            _ => format!("target <{}>", node.tag),
+                        },
+                    ));
+                    conditions
+                }
+            };
 
         // ---- Step 3 preparation ----------------------------------------
         let Some(db) = db else {

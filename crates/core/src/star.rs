@@ -321,10 +321,12 @@ pub enum StarVerdict {
 }
 
 /// The STAR checking procedure (Observations 1 and 2): constant-time lookup
-/// of the target node's `(UPoint | UContext)` mark.
+/// of the target node's `(UPoint | UContext)` mark. (`schema` backs the
+/// value-target guards, which need key information the ASG does not carry.)
 pub fn check(
     asg: &ViewAsg,
     marking: &StarMarking,
+    schema: &DatabaseSchema,
     action: &ResolvedAction,
     mode: StarMode,
 ) -> StarVerdict {
@@ -340,27 +342,73 @@ pub fn check(
             node.tag
         )),
         AsgNodeKind::Leaf | AsgNodeKind::Tag => {
-            // One exception the vC treatment implies: deleting a value that
-            // a view non-correlation predicate ranges over (SET NULL makes
-            // the predicate unknown) silently drops the enclosing element —
-            // a view side effect.
-            if matches!(action.kind, UpdateKind::Delete | UpdateKind::Replace) {
-                if let Some(leaf) = crate::target::find_leaf(asg, action.node) {
-                    let mut cur = Some(action.node);
-                    while let Some(c) = cur {
-                        let n = asg.node(c);
-                        if n.local_preds
-                            .iter()
-                            .any(|p| p.column.matches(&leaf.name.table, &leaf.name.column))
-                        {
-                            return StarVerdict::Untranslatable(format!(
-                                "deleting the {} value nullifies the view predicate on it; \
-                                 the enclosing element would vanish as a side effect",
-                                leaf.name
-                            ));
-                        }
-                        cur = n.parent;
+            // "Any valid update of a vL node will be translatable" (§5) —
+            // with the exceptions the vC treatment implies: rewriting a
+            // stored attribute (SET NULL / SET value) reaches every view
+            // position that observes it, not just the targeted element, so
+            // any *second* observer turns the value update into a side
+            // effect the per-element XML semantics cannot express.
+            if let Some(leaf) = crate::target::find_leaf(asg, action.node) {
+                // (a) A view non-correlation predicate ranges over the
+                // column: changing the value flips membership of whichever
+                // region carries the predicate.
+                for n in asg.iter() {
+                    if n.local_preds
+                        .iter()
+                        .any(|p| p.column.matches(&leaf.name.table, &leaf.name.column))
+                    {
+                        return StarVerdict::Untranslatable(format!(
+                            "changing the {} value rewrites a column the view predicate \
+                             at <{}> ranges over; element membership would shift as a \
+                             side effect",
+                            leaf.name, n.tag
+                        ));
                     }
+                }
+                // (b) The column is a correlation (join) column: rewriting
+                // it re-parents or detaches instances elsewhere in the view.
+                for n in asg.iter() {
+                    if n.conditions.iter().any(|jc| {
+                        jc.left.matches(&leaf.name.table, &leaf.name.column)
+                            || jc.right.matches(&leaf.name.table, &leaf.name.column)
+                    }) {
+                        return StarVerdict::Untranslatable(format!(
+                            "{} is a correlation column of <{}>; changing it would \
+                             re-parent or detach view instances as a side effect",
+                            leaf.name, n.tag
+                        ));
+                    }
+                }
+                // (c) The view projects the same column at more than one
+                // position: the other occurrence changes too, which the
+                // single-element XML update does not express.
+                let occurrences = asg
+                    .iter()
+                    .filter(|n| {
+                        n.leaf
+                            .as_ref()
+                            .is_some_and(|l| l.name.matches(&leaf.name.table, &leaf.name.column))
+                    })
+                    .count();
+                if occurrences > 1 {
+                    return StarVerdict::Untranslatable(format!(
+                        "{} is projected at {occurrences} view positions; updating one \
+                         occurrence would change the others as a side effect",
+                        leaf.name
+                    ));
+                }
+                // (d) Swapping a unique-identifier value re-keys the row the
+                // region is anchored on.
+                if action.kind == UpdateKind::Replace
+                    && schema
+                        .table(&leaf.name.table)
+                        .is_some_and(|t| t.is_unique_identifier(&leaf.name.column))
+                {
+                    return StarVerdict::Untranslatable(format!(
+                        "{} is a unique identifier; replacing a key value is not \
+                         supported",
+                        leaf.name
+                    ));
                 }
             }
             StarVerdict::Ok(Vec::new())
@@ -384,6 +432,21 @@ pub fn check(
                     }
                 }
                 UpdateKind::Insert => {
+                    // A non-starred vC is a wrapper constructed exactly once
+                    // per parent binding tuple (the paper's publisher-under-
+                    // book). It can only come into existence together with
+                    // its parent — as part of a parent-level insert group —
+                    // never on its own: the view emits one instance per
+                    // existing tuple, so a standalone second occurrence has
+                    // no base counterpart whatever SQL we run.
+                    if !node.card.is_starred() {
+                        return StarVerdict::Untranslatable(format!(
+                            "<{}> occurs exactly once per parent instance (cardinality \
+                             {}); an inserted extra occurrence can never appear in the \
+                             view",
+                            node.tag, node.card
+                        ));
+                    }
                     if marking.rule1.contains(&action.node) {
                         return StarVerdict::Untranslatable(format!(
                             "insertion on <{}>: structural duplication (Rule 1)",
@@ -510,8 +573,8 @@ mod tests {
         let f = filter();
         let u = ufilter_xquery::parse_update(bookdemo::U4).unwrap();
         let actions = resolve(&f.asg, &u).unwrap();
-        let strict = check(&f.asg, &f.marking, &actions[0], StarMode::Strict);
-        let refined = check(&f.asg, &f.marking, &actions[0], StarMode::Refined);
+        let strict = check(&f.asg, &f.marking, &f.schema, &actions[0], StarMode::Strict);
+        let refined = check(&f.asg, &f.marking, &f.schema, &actions[0], StarMode::Refined);
         assert!(matches!(strict, StarVerdict::Untranslatable(_)));
         match refined {
             StarVerdict::Ok(conds) => {
@@ -525,7 +588,7 @@ mod tests {
         let actions = resolve(&f.asg, &u).unwrap();
         for mode in [StarMode::Strict, StarMode::Refined] {
             assert!(matches!(
-                check(&f.asg, &f.marking, &actions[0], mode),
+                check(&f.asg, &f.marking, &f.schema, &actions[0], mode),
                 StarVerdict::Untranslatable(_)
             ));
         }
@@ -540,7 +603,7 @@ mod tests {
         .unwrap();
         let actions = resolve(&f.asg, &u).unwrap();
         assert!(matches!(
-            check(&f.asg, &f.marking, &actions[0], StarMode::Refined),
+            check(&f.asg, &f.marking, &f.schema, &actions[0], StarMode::Refined),
             StarVerdict::Untranslatable(_)
         ));
     }
@@ -636,7 +699,7 @@ RETURN { <rev> $r/reviewid </rev> },
         );
         let del = first_action(&f, r#"FOR $r IN document("V.xml")/rev UPDATE $r { DELETE $r }"#);
         assert_eq!(non_injective_check(&f.asg, &f.schema, &del), None);
-        let verdict = check(&f.asg, &f.marking, &del, StarMode::Refined);
+        let verdict = check(&f.asg, &f.marking, &f.schema, &del, StarMode::Refined);
         assert!(matches!(verdict, StarVerdict::Ok(_)), "{verdict:?}");
     }
 
@@ -673,7 +736,7 @@ UPDATE $root { INSERT <pub><pubid>Z9</pubid><pubname>New House</pubname></pub> }
         let actions = resolve(&f.asg, &u).unwrap();
         let t = std::time::Instant::now();
         for _ in 0..10_000 {
-            let _ = check(&f.asg, &f.marking, &actions[0], StarMode::Refined);
+            let _ = check(&f.asg, &f.marking, &f.schema, &actions[0], StarMode::Refined);
         }
         assert!(t.elapsed().as_millis() < 500);
     }

@@ -128,6 +128,24 @@ pub fn resolve(asg: &ViewAsg, u: &UpdateStmt) -> Result<Vec<ResolvedAction>, Inv
                 })?;
                 let steps: Vec<&str> = target.steps.iter().map(String::as_str).collect();
                 let node = resolve_steps(asg, base, &steps, &target.var)?;
+                // A same-tag replace of a *value* element swaps the value in
+                // place — one action, translated to a single SET. The
+                // delete+insert split would misfire here: its check-time
+                // "value absent" precondition reads the pre-delete state.
+                let n = asg.node(node);
+                let frag_tag = with.name(with.root()).unwrap_or("");
+                if matches!(n.kind, AsgNodeKind::Tag | AsgNodeKind::Leaf)
+                    && n.tag.eq_ignore_ascii_case(frag_tag)
+                {
+                    out.push(ResolvedAction {
+                        kind: UpdateKind::Replace,
+                        node,
+                        context_node,
+                        predicates: predicates.clone(),
+                        fragment: Some(with.clone()),
+                    });
+                    continue;
+                }
                 out.push(ResolvedAction {
                     kind: UpdateKind::Delete,
                     node,

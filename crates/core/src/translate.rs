@@ -38,6 +38,22 @@ pub struct SharedCheck {
     pub supplied: Vec<(String, Value)>,
 }
 
+/// A data-driven gate run before the plan may execute — the plan-level
+/// analogue of the outside strategy's key-conflict probe. Value-element
+/// inserts demand an *empty* probe ("the value slot must still be empty");
+/// foreign-key existence gates demand a *non-empty* one ("the referenced
+/// row must already be stored").
+#[derive(Debug, Clone)]
+pub struct Precondition {
+    /// Probe query deciding the gate.
+    pub probe: Select,
+    /// When `true`, any returned row rejects the update; when `false`, an
+    /// empty result rejects it.
+    pub expect_empty: bool,
+    /// Reason reported when the gate fails.
+    pub reason: String,
+}
+
 /// One translated statement with its optional outside-strategy pre-probe.
 #[derive(Debug, Clone)]
 pub struct PlannedStmt {
@@ -60,6 +76,8 @@ pub struct TranslationPlan {
     pub tab_name: Option<String>,
     /// Refined-mode shared-data conditions to discharge (Observation 2).
     pub shared_checks: Vec<SharedCheck>,
+    /// Reject-if-nonempty probes evaluated before any statement runs.
+    pub preconditions: Vec<Precondition>,
     /// The translated statements, in execution order.
     pub statements: Vec<PlannedStmt>,
     /// Human-readable planning notes for the report trace.
@@ -95,14 +113,26 @@ pub fn build_plan(
         context_probe,
         tab_name,
         shared_checks: Vec::new(),
+        preconditions: Vec::new(),
         statements: Vec::new(),
         notes: Vec::new(),
     };
     let ctx_cols: Vec<ColRef> =
         context_rows.first().map(|(cols, _)| cols.clone()).unwrap_or_default();
+    let is_value_target =
+        matches!(asg.node(action.node).kind, AsgNodeKind::Tag | AsgNodeKind::Leaf);
     match action.kind {
-        UpdateKind::Delete | UpdateKind::Replace => {
+        UpdateKind::Delete => {
             plan_delete(asg, marking, schema, action, &ctx_cols, &mut plan)?;
+        }
+        UpdateKind::Replace if is_value_target && action.fragment.is_some() => {
+            plan_value_set(asg, schema, action, &mut plan)?;
+        }
+        UpdateKind::Replace => {
+            plan_delete(asg, marking, schema, action, &ctx_cols, &mut plan)?;
+        }
+        UpdateKind::Insert if is_value_target => {
+            plan_value_insert(asg, schema, action, &mut plan)?;
         }
         UpdateKind::Insert => {
             plan_insert(asg, marking, schema, action, context_rows, &mut plan)?;
@@ -364,6 +394,132 @@ fn in_probe_pred(key_cols: &[ColRef], probe: &Select) -> Expr {
 }
 
 // ---------------------------------------------------------------------------
+// value-element ops
+// ---------------------------------------------------------------------------
+//
+// Materialization omits NULL columns, so a cardinality-? value element is
+// *absent* exactly when its column is NULL. Inserting one into an existing
+// region is therefore `UPDATE … SET col = v` gated on the slot being empty,
+// and replacing one swaps the value only where it is currently present
+// (`… AND col IS NOT NULL`), mirroring the XML-side in-place replace.
+
+/// Resolve the pieces every value-element translation needs: the leaf
+/// column, its owning table, the region probe keyed on that table's primary
+/// key, and the parsed replacement value.
+#[allow(clippy::type_complexity)]
+fn value_parts(
+    asg: &ViewAsg,
+    schema: &DatabaseSchema,
+    action: &ResolvedAction,
+) -> Result<(ufilter_asg::LeafInfo, String, Vec<ColRef>, Select, Value), CheckOutcome> {
+    let node = asg.node(action.node);
+    if node.card.is_starred() {
+        return Err(untranslatable(
+            CheckStep::Star,
+            format!("<{}> is a repeating value element; no single SET targets it", node.tag),
+        ));
+    }
+    let leaf = crate::target::find_leaf(asg, action.node)
+        .ok_or_else(|| untranslatable(CheckStep::Star, "no leaf under target"))?
+        .clone();
+    let owner = schema
+        .table(&leaf.name.table)
+        .ok_or_else(|| untranslatable(CheckStep::Star, "unknown relation"))?;
+    let parent_internal = asg.internal_ancestor(action.node).unwrap_or(asg.root());
+    let info = path_info(asg, parent_internal);
+    let key_cols: Vec<ColRef> =
+        owner.primary_key.iter().map(|k| ColRef::new(owner.name.clone(), k.clone())).collect();
+    let probe =
+        build_probe(schema, &info, &action.predicates, &SelectSpec::Columns(key_cols.clone()));
+    let frag = action.fragment.as_ref().expect("value op carries a fragment");
+    let text = clean_text(&frag.text_content(frag.root()));
+    let value = Value::parse_as(&text, leaf.ty).unwrap_or(Value::Str(text));
+    Ok((leaf, owner.name.clone(), key_cols, probe, value))
+}
+
+/// `SELECT rowid FROM R WHERE pk IN (region probe) AND col IS (NOT) NULL`.
+fn value_slot_probe(
+    table: &str,
+    key_cols: &[ColRef],
+    region: &Select,
+    col: &str,
+    present: bool,
+) -> Select {
+    let slot = Expr::IsNull { expr: Box::new(Expr::col(table, col)), negated: present };
+    Select::new(
+        vec![SelectItemExpr(Expr::col(table, "rowid"))],
+        vec![FromTable(table)],
+        Some(Expr::and(vec![in_probe_pred(key_cols, region), slot])),
+    )
+}
+
+/// INSERT of a value element into an existing region: the slot must be
+/// empty everywhere the region probe matches (view-schema cardinality `?`
+/// admits at most one occurrence), then `UPDATE … SET col = v`.
+fn plan_value_insert(
+    asg: &ViewAsg,
+    schema: &DatabaseSchema,
+    action: &ResolvedAction,
+    plan: &mut TranslationPlan,
+) -> Result<(), CheckOutcome> {
+    let (leaf, table, key_cols, probe, value) = value_parts(asg, schema, action)?;
+    let col = leaf.name.column.clone();
+    plan.preconditions.push(Precondition {
+        probe: value_slot_probe(&table, &key_cols, &probe, &col, true),
+        expect_empty: true,
+        reason: format!(
+            "<{}> already present: {} holds a value, and a second occurrence would \
+             violate the view schema",
+            asg.node(action.node).tag,
+            leaf.name
+        ),
+    });
+    let where_clause = Expr::and(vec![
+        in_probe_pred(&key_cols, &probe),
+        Expr::IsNull { expr: Box::new(Expr::col(table.clone(), col.clone())), negated: false },
+    ]);
+    plan.statements.push(PlannedStmt {
+        stmt: Stmt::Update(Update {
+            table: table.clone(),
+            assignments: vec![(col.clone(), value)],
+            where_clause: Some(where_clause.clone()),
+        }),
+        probe: Some(value_slot_probe(&table, &key_cols, &probe, &col, false)),
+        relation: table,
+    });
+    plan.notes.push("value insert: filling an empty optional column slot".into());
+    Ok(())
+}
+
+/// REPLACE of a value element: swap the value wherever it currently
+/// exists; absent occurrences stay absent (the XML replace matches only
+/// existing elements).
+fn plan_value_set(
+    asg: &ViewAsg,
+    schema: &DatabaseSchema,
+    action: &ResolvedAction,
+    plan: &mut TranslationPlan,
+) -> Result<(), CheckOutcome> {
+    let (leaf, table, key_cols, probe, value) = value_parts(asg, schema, action)?;
+    let col = leaf.name.column.clone();
+    let where_clause = Expr::and(vec![
+        in_probe_pred(&key_cols, &probe),
+        Expr::IsNull { expr: Box::new(Expr::col(table.clone(), col.clone())), negated: true },
+    ]);
+    plan.statements.push(PlannedStmt {
+        stmt: Stmt::Update(Update {
+            table: table.clone(),
+            assignments: vec![(col, value)],
+            where_clause: Some(where_clause),
+        }),
+        probe: Some(value_slot_probe(&table, &key_cols, &probe, &leaf.name.column, true)),
+        relation: table,
+    });
+    plan.notes.push("value replace: in-place SET on the present occurrences".into());
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
 // inserts
 // ---------------------------------------------------------------------------
 
@@ -455,9 +611,28 @@ fn emit_insert_group(
                         continue;
                     }
                     if let Some(d) = drafts.get_mut(&dst.table.to_ascii_lowercase()) {
-                        if d.get(&dst.column).is_none() {
-                            d.set(&dst.column, v.clone());
-                            changed = true;
+                        match d.get(&dst.column) {
+                            None => {
+                                d.set(&dst.column, v.clone());
+                                changed = true;
+                            }
+                            // The join equality must actually hold between the
+                            // fragment and the targeted context instance, or
+                            // the inserted element can never surface under that
+                            // instance: any SQL we emit either does nothing
+                            // visible there (a silent side effect elsewhere) or
+                            // nothing at all while the XML side still grows.
+                            Some(have) if have.sql_eq(&v) == Some(false) => {
+                                return Err(untranslatable(
+                                    CheckStep::DataPoint,
+                                    format!(
+                                        "the fragment fixes {dst} = {have} but the view's \
+                                         join with the targeted context requires {src} = {v}; \
+                                         the inserted element can never appear at this position",
+                                    ),
+                                ));
+                            }
+                            Some(_) => {}
                         }
                     }
                 }
@@ -480,6 +655,43 @@ fn emit_insert_group(
             let supplied = draft.get(&lp.column.column).map(|v| !v.is_null()).unwrap_or(false);
             if supplied {
                 continue; // fragment provided it; Step 1 validated it
+            }
+            // Synthesis is only sound for columns the view never shows.
+            // A *projected* predicate column fixes visible content: an
+            // invented value would surface as an element the fragment
+            // never contained (a silent side effect), and NULL would keep
+            // the element out of the view (a lost update). Either way the
+            // fragment must spell the value out.
+            if projected_in_subtree(asg, node, &lp.column) {
+                return Err(untranslatable(
+                    CheckStep::DataPoint,
+                    format!(
+                        "the view constrains and projects {}; the fragment must \
+                         supply its element explicitly or the inserted content \
+                         cannot appear as given",
+                        lp.column
+                    ),
+                ));
+            }
+            // Nor is synthesis sound for foreign-key columns: a witness
+            // picked from the predicate's value domain is not guaranteed to
+            // reference a stored parent row, and NULL keeps the row out of
+            // the view (three-valued predicates). Which parent the new row
+            // attaches to is the updater's decision, not ours.
+            if schema.table(rel).is_some_and(|t| {
+                t.foreign_keys
+                    .iter()
+                    .any(|fk| fk.columns.iter().any(|c| c.eq_ignore_ascii_case(&lp.column.column)))
+            }) {
+                return Err(untranslatable(
+                    CheckStep::DataPoint,
+                    format!(
+                        "the view constrains {}, a foreign-key column the fragment \
+                         does not determine; no synthesized value is guaranteed to \
+                         reference an existing row",
+                        lp.column
+                    ),
+                ));
             }
             per_column
                 .entry(lp.column.column.to_ascii_lowercase())
@@ -519,7 +731,18 @@ fn emit_insert_group(
         })?;
         let draft = drafts.get(&rel).expect("drafted");
         if draft.values.is_empty() {
-            continue;
+            // Nothing determined for this relation — not by the fragment,
+            // not by join propagation, not by synthesis. No base row can
+            // come into existence, so the inserted element would never
+            // appear in a recomputed view; skipping it silently would turn
+            // the whole insert into a no-op translation (a lost update).
+            return Err(untranslatable(
+                CheckStep::DataPoint,
+                format!(
+                    "the inserted element determines no column of {rel}; no base \
+                     row can make it appear in the view"
+                ),
+            ));
         }
         let key_vals: Option<Vec<Value>> =
             table.primary_key.iter().map(|k| draft.get(k).cloned()).collect();
@@ -543,7 +766,77 @@ fn emit_insert_group(
             ));
             continue;
         }
-        // Fresh insert.
+        // Fresh insert. Every NOT NULL column must be determined — by the
+        // fragment, join propagation, or hidden-predicate synthesis — or
+        // the base row cannot exist and the engine would refuse at
+        // execution time (the check must refuse first).
+        for col in &table.columns {
+            let supplied = draft.get(&col.name).map(|v| !v.is_null()).unwrap_or(false);
+            let required =
+                col.not_null || table.primary_key.iter().any(|k| k.eq_ignore_ascii_case(&col.name));
+            if required && !supplied {
+                return Err(untranslatable(
+                    CheckStep::DataPoint,
+                    format!(
+                        "{}.{} is required (NOT NULL or key) but neither the fragment \
+                         nor the view determines its value; the inserted element \
+                         cannot exist in the base",
+                        table.name, col.name
+                    ),
+                ));
+            }
+        }
+        // Determined foreign-key values must reference a stored row, or the
+        // engine refuses the insert after the check accepted it. A parent
+        // emitted earlier in this same plan (FK-topological order puts
+        // referenced relations first) satisfies the reference without a
+        // probe.
+        for fk in &table.foreign_keys {
+            let vals: Option<Vec<Value>> =
+                fk.columns.iter().map(|c| draft.get(c).cloned()).collect();
+            let Some(vals) = vals else { continue };
+            if vals.iter().any(Value::is_null) {
+                continue; // NULL references nothing; the engine allows it
+            }
+            let satisfied_in_plan = plan.statements.iter().any(|p| match &p.stmt {
+                Stmt::Insert(ins) if ins.table.eq_ignore_ascii_case(&fk.ref_table) => {
+                    ins.rows.iter().any(|row| {
+                        fk.ref_columns.iter().zip(&vals).all(|(rc, v)| {
+                            ins.columns
+                                .iter()
+                                .position(|c| c.eq_ignore_ascii_case(rc))
+                                .is_some_and(|i| row[i].sql_eq(v) == Some(true))
+                        })
+                    })
+                }
+                _ => false,
+            });
+            if satisfied_in_plan {
+                continue;
+            }
+            let conj: Vec<Expr> = fk
+                .ref_columns
+                .iter()
+                .zip(&vals)
+                .map(|(c, v)| Expr::eq(Expr::col(&fk.ref_table, c.clone()), Expr::lit(v.clone())))
+                .collect();
+            plan.preconditions.push(Precondition {
+                probe: Select::new(
+                    vec![SelectItemExpr(Expr::col(&fk.ref_table, "rowid"))],
+                    vec![FromTable(&fk.ref_table)],
+                    Some(Expr::and(conj)),
+                ),
+                expect_empty: false,
+                reason: format!(
+                    "{}({}) references {}({}) but no such row is stored; the \
+                     engine would refuse the insert",
+                    table.name,
+                    fk.columns.join(", "),
+                    fk.ref_table,
+                    fk.ref_columns.join(", ")
+                ),
+            });
+        }
         let columns: Vec<String> = draft.values.iter().map(|(c, _)| c.clone()).collect();
         let row: Vec<Value> = draft.values.iter().map(|(_, v)| v.clone()).collect();
         let probe = key_vals.map(|kv| key_conflict_probe(&table.name, &table.primary_key, &kv));
@@ -579,6 +872,16 @@ fn emit_insert_group(
         )?;
     }
     Ok(())
+}
+
+/// Does the view expose `col` anywhere under `node`'s subtree?
+fn projected_in_subtree(asg: &ViewAsg, node: AsgNodeId, col: &ColRef) -> bool {
+    asg.subtree(node).into_iter().any(|s| {
+        asg.node(s).leaf.as_ref().is_some_and(|l| {
+            l.name.table.eq_ignore_ascii_case(&col.table)
+                && l.name.column.eq_ignore_ascii_case(&col.column)
+        })
+    })
 }
 
 /// Walk the ASG subtree in lockstep with the fragment, collecting leaf

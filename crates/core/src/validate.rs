@@ -51,9 +51,36 @@ pub fn validate(asg: &ViewAsg, action: &ResolvedAction) -> Result<(), InvalidRea
             let frag = action.fragment.as_ref().ok_or_else(|| InvalidReason::Malformed {
                 detail: "insert without fragment".into(),
             })?;
+            // Dual of the delete check (ii): a value element with incoming
+            // edge `1` is always present, so inserting another can only
+            // produce a second occurrence — a schema violation.
+            let node = asg.node(action.node);
+            if matches!(node.kind, AsgNodeKind::Tag | AsgNodeKind::Leaf) {
+                if node.card == Card::One {
+                    return Err(InvalidReason::HierarchyViolation {
+                        detail: format!(
+                            "<{}> has incoming edge cardinality 1 (always present); inserting \
+                             another occurrence is invalid",
+                            node.tag
+                        ),
+                    });
+                }
+                require_value_text(asg, action.node, frag)?;
+            }
             validate_fragment(asg, action.node, frag, frag.root())
         }
-        UpdateKind::Replace => Ok(()), // resolution splits replace into delete+insert
+        UpdateKind::Replace => {
+            // Complex-element replaces were split into delete+insert during
+            // resolution; a surviving Replace action is an in-place value
+            // swap — validate the replacement value like an insert's.
+            match &action.fragment {
+                Some(frag) => {
+                    require_value_text(asg, action.node, frag)?;
+                    validate_fragment(asg, action.node, frag, frag.root())
+                }
+                None => Ok(()),
+            }
+        }
     }
 }
 
@@ -81,6 +108,30 @@ fn predicates_overlap_view(asg: &ViewAsg, action: &ResolvedAction) -> Result<(),
                 detail: format!("predicates on {t}.{c} contradict the view's check annotation"),
             });
         }
+    }
+    Ok(())
+}
+
+/// A fragment aimed at a *value* element must carry a value: materialization
+/// omits NULL attributes entirely, so an empty `<price/>` can never appear
+/// in a view instance and inserting (or swapping in) one is invalid.
+fn require_value_text(
+    asg: &ViewAsg,
+    node: ufilter_asg::AsgNodeId,
+    frag: &Document,
+) -> Result<(), InvalidReason> {
+    let n = asg.node(node);
+    if !matches!(n.kind, AsgNodeKind::Tag | AsgNodeKind::Leaf) {
+        return Ok(());
+    }
+    if clean_text(&frag.text_content(frag.root())).is_empty() {
+        return Err(InvalidReason::TypeViolation {
+            detail: format!(
+                "<{}> is a value element: an empty occurrence cannot appear in any \
+                 view instance",
+                n.tag
+            ),
+        });
     }
     Ok(())
 }

@@ -1,0 +1,145 @@
+//! Corpus files: minimized counterexamples rendered as plain text, checked
+//! into `fixtures/fuzz_corpus/` and replayed as regression tests.
+//!
+//! Format (line-oriented; `--` headers open sections):
+//!
+//! ```text
+//! # ufilter-fuzz case
+//! # seed: 42
+//! -- schema
+//! CREATE TABLE ...;
+//! INSERT INTO ...;
+//! -- view v0
+//! <V0> ... </V0>
+//! -- update
+//! FOR $r IN document("V.xml") ...
+//! ```
+//!
+//! A case holds exactly one schema section, one or more views, and one or
+//! more updates — the same shape [`RawPlan`] lowers to, so replay is just
+//! [`crate::oracle::run_raw`].
+
+use crate::oracle::RawPlan;
+
+/// Render a raw plan as a corpus file.
+pub fn render(plan: &RawPlan, note: &str) -> String {
+    let mut out = String::from("# ufilter-fuzz case\n");
+    out.push_str(&format!("# seed: {}\n", plan.seed));
+    if !note.is_empty() {
+        for line in note.lines() {
+            out.push_str(&format!("# {line}\n"));
+        }
+    }
+    out.push_str("-- schema\n");
+    out.push_str(plan.schema_sql.trim_end());
+    out.push('\n');
+    for (name, text) in &plan.views {
+        out.push_str(&format!("-- view {name}\n"));
+        out.push_str(text.trim_end());
+        out.push('\n');
+    }
+    for u in &plan.updates {
+        out.push_str("-- update\n");
+        out.push_str(u.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a corpus file back into a raw plan.
+pub fn parse(text: &str) -> Result<RawPlan, String> {
+    let mut seed = 0u64;
+    let mut schema_sql: Option<String> = None;
+    let mut views: Vec<(String, String)> = Vec::new();
+    let mut updates: Vec<String> = Vec::new();
+
+    enum Section {
+        None,
+        Schema,
+        View(String),
+        Update,
+    }
+    let mut current = Section::None;
+    let mut buf = String::new();
+
+    let mut flush = |section: &Section, buf: &mut String| -> Result<(), String> {
+        let body = std::mem::take(buf).trim().to_string();
+        match section {
+            Section::None => Ok(()),
+            Section::Schema => {
+                if schema_sql.replace(body).is_some() {
+                    return Err("duplicate -- schema section".into());
+                }
+                Ok(())
+            }
+            Section::View(name) => {
+                views.push((name.clone(), body));
+                Ok(())
+            }
+            Section::Update => {
+                updates.push(body);
+                Ok(())
+            }
+        }
+    };
+
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# seed:") {
+            seed = rest.trim().parse().map_err(|e| format!("bad seed line: {e}"))?;
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix("-- ") {
+            flush(&current, &mut buf)?;
+            current = if header.trim() == "schema" {
+                Section::Schema
+            } else if let Some(name) = header.trim().strip_prefix("view ") {
+                Section::View(name.trim().to_string())
+            } else if header.trim() == "update" {
+                Section::Update
+            } else {
+                return Err(format!("unknown section header: {line}"));
+            };
+            continue;
+        }
+        buf.push_str(line);
+        buf.push('\n');
+    }
+    flush(&current, &mut buf)?;
+
+    let schema_sql = schema_sql.ok_or("missing -- schema section")?;
+    if views.is_empty() {
+        return Err("no -- view sections".into());
+    }
+    if updates.is_empty() {
+        return Err("no -- update sections".into());
+    }
+    Ok(RawPlan { seed, schema_sql, views, updates })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_round_trips() {
+        let plan = RawPlan {
+            seed: 7,
+            schema_sql: "CREATE TABLE t(a INT);\nINSERT INTO t VALUES (1);".into(),
+            views: vec![("v0".into(), "<V0>\nFOR $b IN x\n</V0>".into())],
+            updates: vec!["FOR $r IN document(\"V.xml\")\nUPDATE $r { DELETE $r/x }".into()],
+        };
+        let text = render(&plan, "example note");
+        let back = parse(&text).expect("parses");
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn parse_rejects_incomplete_cases() {
+        assert!(parse("# ufilter-fuzz case\n-- schema\nCREATE TABLE t(a INT);").is_err());
+        assert!(parse("-- view v\n<V></V>\n-- update\nu").is_err());
+        assert!(parse("-- wat\nx").is_err());
+    }
+}

@@ -1,0 +1,276 @@
+//! Schema + data generator: small relational databases in the repo's DDL
+//! dialect (the Fig. 1 book database generalised).
+//!
+//! Shapes covered: 1-3 tables chained by optional foreign keys (`ON DELETE
+//! CASCADE`), string keys, `INT`/`DOUBLE`/`VARCHAR2` data columns,
+//! occasional `NOT NULL` and `CHECK (col > 0.00)` constraints, and 2-5 rows
+//! per table with foreign-key-consistent values. Every value a row holds is
+//! chosen so that its SQL literal, its XML text rendering and
+//! `ufilter_rdb::Value::render` agree byte-for-byte — the differential
+//! oracle compares materialized documents textually.
+
+use crate::rng::FuzzRng;
+
+/// Column type of a generated data column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColTy {
+    Str,
+    Int,
+    Double,
+}
+
+/// A generated literal. Doubles are constructed from integer cents so that
+/// their shortest-representation text is stable under parse/render cycles.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lit {
+    Str(String),
+    Int(i64),
+    Double(f64),
+}
+
+impl Lit {
+    /// SQL literal form (`'red'`, `7`, `12.50`).
+    pub fn sql(&self) -> String {
+        match self {
+            Lit::Str(s) => format!("'{s}'"),
+            Lit::Int(i) => i.to_string(),
+            Lit::Double(d) => render_double(*d),
+        }
+    }
+
+    /// XML text form — must match [`ufilter_rdb::Value::render`].
+    pub fn text(&self) -> String {
+        match self {
+            Lit::Str(s) => s.clone(),
+            Lit::Int(i) => i.to_string(),
+            Lit::Double(d) => render_double(*d),
+        }
+    }
+
+    pub fn to_value(&self) -> ufilter_rdb::Value {
+        match self {
+            Lit::Str(s) => ufilter_rdb::Value::Str(s.clone()),
+            Lit::Int(i) => ufilter_rdb::Value::Int(*i),
+            Lit::Double(d) => ufilter_rdb::Value::Double(*d),
+        }
+    }
+}
+
+/// Same formatting rule as `Value::render` for doubles.
+fn render_double(d: f64) -> String {
+    if d.fract() == 0.0 && d.abs() < 1e15 {
+        format!("{d:.2}")
+    } else {
+        d.to_string()
+    }
+}
+
+/// A non-key, non-FK data column.
+#[derive(Debug, Clone)]
+pub struct GenColumn {
+    pub name: String,
+    pub ty: ColTy,
+    pub not_null: bool,
+    /// Render a `CHECK (name > 0.00)` constraint (Double columns only).
+    pub check_positive: bool,
+}
+
+/// Foreign key from this table to an earlier one.
+#[derive(Debug, Clone)]
+pub struct GenFk {
+    pub column: String,
+    pub parent: String,
+    pub parent_key: String,
+}
+
+/// One generated table: key column, optional FK, data columns, rows.
+/// Column order is `key, fk?, cols...` everywhere (DDL, rows, inserts).
+#[derive(Debug, Clone)]
+pub struct GenTable {
+    pub name: String,
+    pub key: String,
+    pub fk: Option<GenFk>,
+    pub cols: Vec<GenColumn>,
+    /// Row values in column order.
+    pub rows: Vec<Vec<Lit>>,
+}
+
+impl GenTable {
+    /// All column names in declaration order.
+    pub fn column_names(&self) -> Vec<String> {
+        let mut out = vec![self.key.clone()];
+        if let Some(fk) = &self.fk {
+            out.push(fk.column.clone());
+        }
+        out.extend(self.cols.iter().map(|c| c.name.clone()));
+        out
+    }
+
+    /// Type of a named column (key and FK columns are strings).
+    pub fn column_ty(&self, name: &str) -> Option<ColTy> {
+        if name == self.key || self.fk.as_ref().is_some_and(|f| f.column == name) {
+            return Some(ColTy::Str);
+        }
+        self.cols.iter().find(|c| c.name == name).map(|c| c.ty)
+    }
+
+    /// Names of numeric (Int/Double) data columns.
+    pub fn numeric_cols(&self) -> Vec<&GenColumn> {
+        self.cols.iter().filter(|c| matches!(c.ty, ColTy::Int | ColTy::Double)).collect()
+    }
+}
+
+/// A generated database: tables plus rows, renderable as one SQL script.
+#[derive(Debug, Clone)]
+pub struct GenSchema {
+    pub tables: Vec<GenTable>,
+}
+
+const TABLE_NAMES: [&str; 3] = ["alpha", "beta", "gamma"];
+const WORDS: [&str; 8] = ["red", "blue", "lime", "onyx", "pearl", "amber", "jade", "slate"];
+// (name, type): the pool data columns are drawn from. Names are distinct
+// from every key/FK column name (`<table>id`).
+const COL_POOL: [(&str, ColTy); 9] = [
+    ("label", ColTy::Str),
+    ("city", ColTy::Str),
+    ("note", ColTy::Str),
+    ("qty", ColTy::Int),
+    ("rank", ColTy::Int),
+    ("grade", ColTy::Int),
+    ("price", ColTy::Double),
+    ("score", ColTy::Double),
+    ("bonus", ColTy::Double),
+];
+
+impl GenSchema {
+    pub fn generate(rng: &mut FuzzRng) -> GenSchema {
+        let n_tables = rng.int(1, 3) as usize;
+        let mut tables: Vec<GenTable> = Vec::new();
+        for t in 0..n_tables {
+            let name = TABLE_NAMES[t].to_string();
+            let key = format!("{name}id");
+            // Chain tables: each may reference the previous one, which
+            // gives the view generator parent/child join material.
+            let fk = if t > 0 && rng.chance(0.7) {
+                let parent = &tables[t - 1];
+                Some(GenFk {
+                    column: parent.key.clone(),
+                    parent: parent.name.clone(),
+                    parent_key: parent.key.clone(),
+                })
+            } else {
+                None
+            };
+            let n_cols = rng.int(1, 3) as usize;
+            let picks = rng.subset(COL_POOL.len(), n_cols);
+            let cols: Vec<GenColumn> = picks
+                .into_iter()
+                .map(|i| {
+                    let (cname, ty) = COL_POOL[i];
+                    GenColumn {
+                        name: cname.to_string(),
+                        ty,
+                        not_null: rng.chance(0.25),
+                        check_positive: ty == ColTy::Double && rng.chance(0.35),
+                    }
+                })
+                .collect();
+
+            let n_rows = rng.int(2, 5) as usize;
+            let mut rows = Vec::new();
+            for r in 0..n_rows {
+                let mut row = vec![Lit::Str(format!("k{t}{r:02}"))];
+                if let Some(fk) = &fk {
+                    let parent =
+                        tables.iter().find(|p| p.name == fk.parent).expect("parent generated");
+                    let pr = rng.index(parent.rows.len());
+                    row.push(parent.rows[pr][0].clone());
+                }
+                for c in &cols {
+                    row.push(gen_value(rng, c));
+                }
+                rows.push(row);
+            }
+            tables.push(GenTable { name, key, fk, cols, rows });
+        }
+        GenSchema { tables }
+    }
+
+    pub fn table(&self, name: &str) -> Option<&GenTable> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    /// Tables whose FK points at `parent`.
+    pub fn children_of(&self, parent: &str) -> Vec<&GenTable> {
+        self.tables.iter().filter(|t| t.fk.as_ref().is_some_and(|f| f.parent == parent)).collect()
+    }
+
+    /// The full DDL + INSERT script (the `-- schema` section of a corpus
+    /// case; also what the oracle executes on a fresh [`ufilter_rdb::Db`]).
+    pub fn sql(&self) -> String {
+        let mut out = String::new();
+        for t in &self.tables {
+            let mut defs: Vec<String> = vec![format!("{} VARCHAR2(10)", t.key)];
+            if let Some(fk) = &t.fk {
+                defs.push(format!("{} VARCHAR2(10)", fk.column));
+            }
+            for c in &t.cols {
+                let ty = match c.ty {
+                    ColTy::Str => "VARCHAR2(40)".to_string(),
+                    ColTy::Int => "INT".to_string(),
+                    ColTy::Double => "DOUBLE".to_string(),
+                };
+                let mut def = format!("{} {}", c.name, ty);
+                if c.check_positive {
+                    def.push_str(&format!(" CHECK ({} > 0.00)", c.name));
+                }
+                if c.not_null {
+                    def.push_str(" NOT NULL");
+                }
+                defs.push(def);
+            }
+            let cap = {
+                let mut s = t.name.clone();
+                if let Some(c) = s.get_mut(0..1) {
+                    c.make_ascii_uppercase();
+                }
+                s
+            };
+            defs.push(format!("CONSTRAINTS {cap}PK PRIMARYKEY ({})", t.key));
+            if let Some(fk) = &t.fk {
+                defs.push(format!(
+                    "FOREIGNKEY ({}) REFERENCES {} ({}) ON DELETE CASCADE",
+                    fk.column, fk.parent, fk.parent_key
+                ));
+            }
+            out.push_str(&format!("CREATE TABLE {}({});\n", t.name, defs.join(", ")));
+        }
+        for t in &self.tables {
+            for row in &t.rows {
+                let vals: Vec<String> = row.iter().map(Lit::sql).collect();
+                out.push_str(&format!("INSERT INTO {} VALUES ({});\n", t.name, vals.join(", ")));
+            }
+        }
+        out
+    }
+}
+
+/// A column value consistent with the column's constraints: positive when
+/// CHECKed, occasionally negative otherwise (exercising the signed-literal
+/// path the round-trip property fixed).
+fn gen_value(rng: &mut FuzzRng, c: &GenColumn) -> Lit {
+    match c.ty {
+        ColTy::Str => Lit::Str(rng.pick(&WORDS).to_string()),
+        ColTy::Int => {
+            if !c.check_positive && rng.chance(0.15) {
+                Lit::Int(rng.int(-20, -1))
+            } else {
+                Lit::Int(rng.int(1, 99))
+            }
+        }
+        ColTy::Double => {
+            let cents = rng.int(100, 9900);
+            Lit::Double(cents as f64 / 100.0)
+        }
+    }
+}

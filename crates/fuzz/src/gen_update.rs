@@ -1,0 +1,425 @@
+//! Update-statement generator: region-aware inserts, deletes and replaces
+//! aimed at a generated view, plus adversarial variants (unknown targets,
+//! predicates outside the view, constraint-violating values) and raw
+//! malformed texts.
+//!
+//! The generator is *blind* to the checker's verdict: it produces a
+//! distribution over plausible and implausible updates and lets the
+//! differential oracle classify them. Shapes mirror the paper's u1-u13
+//! (root inserts of region fragments, keyed deletes, child inserts,
+//! attribute replaces).
+
+use ufilter_rdb::{CmpOp, Value};
+use ufilter_xml::Document;
+use ufilter_xquery::{
+    print_update, Operand, PathExpr, Predicate, UpdBinding, UpdateAction, UpdateStmt,
+};
+
+use crate::gen_schema::{GenSchema, Lit};
+use crate::gen_view::{fresh_value, GenView, Region};
+use crate::rng::FuzzRng;
+
+const VDOC: &str = "V.xml";
+
+/// One generated update: an AST (printable, parseable) or raw text.
+#[derive(Debug, Clone)]
+pub enum UpdSpec {
+    Ast(UpdateStmt),
+    Raw(String),
+}
+
+/// A generated update plus bookkeeping for stats and shrinking.
+#[derive(Debug, Clone)]
+pub struct GenUpdate {
+    /// Strategy label (for run statistics and failure messages).
+    pub label: &'static str,
+    pub spec: UpdSpec,
+}
+
+impl GenUpdate {
+    /// The update text submitted to every check surface.
+    pub fn text(&self) -> String {
+        match &self.spec {
+            UpdSpec::Ast(u) => print_update(u),
+            UpdSpec::Raw(t) => t.clone(),
+        }
+    }
+}
+
+/// Generate one update aimed at `view` (which the oracle will also check
+/// against every *other* view in the plan, exercising fan-out routing).
+pub fn generate(rng: &mut FuzzRng, schema: &GenSchema, view: &GenView) -> GenUpdate {
+    let regions = view.all_regions();
+    if regions.is_empty() || rng.chance(0.08) {
+        return malformed(rng);
+    }
+    let region = regions[rng.index(regions.len())];
+    let roll = rng.index(100);
+    match roll {
+        0..=24 => insert_region(rng, schema, region),
+        25..=39 => delete_region(rng, schema, region),
+        40..=54 => insert_child(rng, schema, region),
+        55..=69 => delete_child(rng, region),
+        70..=84 => replace_col(rng, schema, region),
+        85..=92 => multi_action(rng, schema, region),
+        _ => adversarial(rng, schema, region),
+    }
+}
+
+/// `FOR $r IN document(V) UPDATE $r { INSERT <region instance> }` — the u1
+/// shape. Only top-level regions can be inserted at the root; nested ones
+/// fall through to a child insert.
+fn insert_region(rng: &mut FuzzRng, schema: &GenSchema, region: &Region) -> GenUpdate {
+    if region.steps.len() > 1 {
+        return insert_child(rng, schema, region);
+    }
+    let frag = region_fragment(rng, schema, region, 0);
+    GenUpdate {
+        label: "insert-region",
+        spec: UpdSpec::Ast(UpdateStmt {
+            bindings: vec![UpdBinding::Document {
+                var: "r".into(),
+                doc: VDOC.into(),
+                steps: vec![],
+            }],
+            predicates: vec![],
+            target: "r".into(),
+            actions: vec![UpdateAction::Insert(frag)],
+        }),
+    }
+}
+
+/// `FOR $r …, $x IN $r/…/tag WHERE key UPDATE $r { DELETE $x }` — the
+/// u8/u10 shape.
+fn delete_region(rng: &mut FuzzRng, schema: &GenSchema, region: &Region) -> GenUpdate {
+    let (bindings, var) = bind_region(region);
+    let predicates = region_pred(rng, schema, region, &var);
+    GenUpdate {
+        label: "delete-region",
+        spec: UpdSpec::Ast(UpdateStmt {
+            bindings,
+            predicates,
+            target: "r".into(),
+            actions: vec![UpdateAction::Delete(PathExpr { var, steps: vec![] })],
+        }),
+    }
+}
+
+/// `UPDATE $x { INSERT <child> }` — the u3 shape: add a nested-region
+/// instance, a group instance, or (adversarially) a bare column element.
+fn insert_child(rng: &mut FuzzRng, schema: &GenSchema, region: &Region) -> GenUpdate {
+    let (bindings, var) = bind_region(region);
+    let predicates = region_pred(rng, schema, region, &var);
+    let frag = child_fragment(rng, schema, region);
+    GenUpdate {
+        label: "insert-child",
+        spec: UpdSpec::Ast(UpdateStmt {
+            bindings,
+            predicates,
+            target: var,
+            actions: vec![UpdateAction::Insert(frag)],
+        }),
+    }
+}
+
+/// `UPDATE $x { DELETE $x/tag }` — the u2 shape (delete a nested group,
+/// child region, or a non-deletable column element).
+fn delete_child(rng: &mut FuzzRng, region: &Region) -> GenUpdate {
+    let (bindings, var) = bind_region(region);
+    let mut tags: Vec<String> = Vec::new();
+    tags.extend(region.groups.iter().map(|(t, _, _)| t.clone()));
+    tags.extend(region.children.iter().map(|c| c.tag.clone()));
+    tags.extend(region.cols.iter().map(|c| c.tag.clone()));
+    if let Some(k) = &region.key_tag {
+        tags.push(k.clone());
+    }
+    let tag = if tags.is_empty() || rng.chance(0.1) {
+        "nosuchtag".to_string()
+    } else {
+        tags[rng.index(tags.len())].clone()
+    };
+    GenUpdate {
+        label: "delete-child",
+        spec: UpdSpec::Ast(UpdateStmt {
+            bindings,
+            predicates: vec![],
+            target: var.clone(),
+            actions: vec![UpdateAction::Delete(PathExpr { var, steps: vec![tag] })],
+        }),
+    }
+}
+
+/// `UPDATE $x { REPLACE $x/col WITH <col>v</col> }` — the u13 shape.
+fn replace_col(rng: &mut FuzzRng, schema: &GenSchema, region: &Region) -> GenUpdate {
+    let (bindings, var) = bind_region(region);
+    let predicates = region_pred(rng, schema, region, &var);
+    let (tag, val) = match (region.cols.is_empty(), &region.key_tag) {
+        (false, _) => {
+            let c = &region.cols[rng.index(region.cols.len())];
+            (c.tag.clone(), fresh_value(rng, c.ty))
+        }
+        (true, Some(k)) => (k.clone(), Lit::Str(format!("n{:03}", rng.int(0, 999)))),
+        (true, None) => ("nosuchcol".to_string(), Lit::Int(1)),
+    };
+    let mut with = Document::new(tag.clone());
+    let root = with.root();
+    let text = with.new_text(val.text());
+    with.append_child(root, text);
+    GenUpdate {
+        label: "replace-col",
+        spec: UpdSpec::Ast(UpdateStmt {
+            bindings,
+            predicates,
+            target: var.clone(),
+            actions: vec![UpdateAction::Replace {
+                target: PathExpr { var, steps: vec![tag] },
+                with,
+            }],
+        }),
+    }
+}
+
+/// Two actions against the same target in one statement.
+fn multi_action(rng: &mut FuzzRng, schema: &GenSchema, region: &Region) -> GenUpdate {
+    let a = insert_child(rng, schema, region);
+    let b =
+        if rng.chance(0.5) { delete_child(rng, region) } else { replace_col(rng, schema, region) };
+    let (UpdSpec::Ast(mut ua), UpdSpec::Ast(ub)) = (a.spec, b.spec) else { unreachable!() };
+    ua.actions.extend(ub.actions);
+    GenUpdate { label: "multi-action", spec: UpdSpec::Ast(ua) }
+}
+
+/// Off-grammar-but-parseable adversaries: unknown region tags, predicates
+/// over paths the view does not project, wrong fragment roots.
+fn adversarial(rng: &mut FuzzRng, schema: &GenSchema, region: &Region) -> GenUpdate {
+    match rng.index(3) {
+        0 => {
+            // Target a tag no view constructs.
+            GenUpdate {
+                label: "unknown-target",
+                spec: UpdSpec::Ast(UpdateStmt {
+                    bindings: vec![
+                        UpdBinding::Document { var: "r".into(), doc: VDOC.into(), steps: vec![] },
+                        UpdBinding::Path {
+                            var: "x".into(),
+                            path: PathExpr { var: "r".into(), steps: vec!["phantom".into()] },
+                        },
+                    ],
+                    predicates: vec![],
+                    target: "r".into(),
+                    actions: vec![UpdateAction::Delete(PathExpr {
+                        var: "x".into(),
+                        steps: vec![],
+                    })],
+                }),
+            }
+        }
+        1 => {
+            // Predicate over a path outside the view's projections.
+            let (bindings, var) = bind_region(region);
+            GenUpdate {
+                label: "outside-predicate",
+                spec: UpdSpec::Ast(UpdateStmt {
+                    bindings,
+                    predicates: vec![Predicate {
+                        lhs: Operand::Path(PathExpr {
+                            var: var.clone(),
+                            steps: vec!["unprojected".into(), "text()".into()],
+                        }),
+                        op: CmpOp::Eq,
+                        rhs: Operand::Literal(Value::Str("x".into())),
+                    }],
+                    target: var.clone(),
+                    actions: vec![UpdateAction::Delete(PathExpr { var, steps: vec![] })],
+                }),
+            }
+        }
+        _ => {
+            // Fragment whose root tag is not the region tag.
+            let mut frag = region_fragment(rng, schema, region, 0);
+            // Rename by rebuilding under a bogus root.
+            let mut bogus = Document::new("imposter");
+            let broot = bogus.root();
+            for c in frag.children(frag.root()).to_vec() {
+                let imported = bogus.import_subtree(&frag, c);
+                bogus.append_child(broot, imported);
+            }
+            frag = bogus;
+            GenUpdate {
+                label: "wrong-root",
+                spec: UpdSpec::Ast(UpdateStmt {
+                    bindings: vec![UpdBinding::Document {
+                        var: "r".into(),
+                        doc: VDOC.into(),
+                        steps: vec![],
+                    }],
+                    predicates: vec![],
+                    target: "r".into(),
+                    actions: vec![UpdateAction::Insert(frag)],
+                }),
+            }
+        }
+    }
+}
+
+/// Raw texts that must be rejected as malformed — identically on every
+/// surface, without crashing any of them.
+fn malformed(rng: &mut FuzzRng) -> GenUpdate {
+    let texts = [
+        "FOR $r IN document(\"V.xml\") UPDATE $r { }",
+        "UPDATE $r { DELETE $x }",
+        "FOR $r IN document(\"V.xml\") UPDATE $r { INSERT <a><b></a> }",
+        "FOR $r IN document(\"V.xml\") UPDATE $r { DELETE }",
+        "FOR $r IN document(\"V.xml\") WHERE UPDATE $r { DELETE $r/x }",
+        "not an update at all !!",
+        "FOR $r IN document(\"V.xml\")",
+    ];
+    GenUpdate { label: "malformed", spec: UpdSpec::Raw(texts[rng.index(texts.len())].to_string()) }
+}
+
+/// Root binding plus a path binding down to the region's elements.
+fn bind_region(region: &Region) -> (Vec<UpdBinding>, String) {
+    let bindings = vec![
+        UpdBinding::Document { var: "r".into(), doc: VDOC.into(), steps: vec![] },
+        UpdBinding::Path {
+            var: "x".into(),
+            path: PathExpr { var: "r".into(), steps: region.steps.clone() },
+        },
+    ];
+    (bindings, "x".into())
+}
+
+/// A key (or column) predicate selecting region instances, with the value
+/// drawn from the table's real rows most of the time.
+fn region_pred(
+    rng: &mut FuzzRng,
+    schema: &GenSchema,
+    region: &Region,
+    var: &str,
+) -> Vec<Predicate> {
+    if rng.chance(0.25) {
+        return vec![]; // unkeyed: select every instance
+    }
+    let Some(key_tag) = &region.key_tag else { return vec![] };
+    let table = schema.table(&region.table).expect("region table exists");
+    let value = if rng.chance(0.8) && !table.rows.is_empty() {
+        table.rows[rng.index(table.rows.len())][0].text()
+    } else {
+        "zzz".to_string()
+    };
+    vec![Predicate {
+        lhs: Operand::Path(PathExpr {
+            var: var.to_string(),
+            steps: vec![key_tag.clone(), "text()".into()],
+        }),
+        op: CmpOp::Eq,
+        rhs: Operand::Literal(Value::Str(value)),
+    }]
+}
+
+/// Build a region-instance fragment: `<tag><key>..</key><col>..</col>…`
+/// with optional group and child-region instances. `depth` caps recursion.
+fn region_fragment(
+    rng: &mut FuzzRng,
+    schema: &GenSchema,
+    region: &Region,
+    depth: usize,
+) -> Document {
+    let mut doc = Document::new(region.tag.clone());
+    let root = doc.root();
+    let table = schema.table(&region.table).expect("region table exists");
+
+    if let Some(key_tag) = &region.key_tag {
+        // Fresh key most of the time; sometimes a duplicate of an existing
+        // row (the u4 point-check shape).
+        let v = if rng.chance(0.3) && !table.rows.is_empty() {
+            table.rows[rng.index(table.rows.len())][0].text()
+        } else {
+            format!("n{:03}", rng.int(0, 999))
+        };
+        doc.append_text_element(root, key_tag.clone(), v);
+    }
+    for c in &region.cols {
+        if rng.chance(0.1) {
+            continue; // omitted attribute: NOT NULL / completeness paths
+        }
+        let v = if rng.chance(0.1) {
+            // Deliberately ill-typed or constraint-violating value.
+            Lit::Str("oops".into())
+        } else {
+            fresh_value(rng, c.ty)
+        };
+        doc.append_text_element(root, c.tag.clone(), v.text());
+    }
+    for (gtag, ptable, gcols) in &region.groups {
+        if rng.chance(0.2) {
+            continue;
+        }
+        let parent = schema.table(ptable).expect("group table exists");
+        let gel = doc.new_element(gtag.clone());
+        doc.append_child(root, gel);
+        if rng.chance(0.6) && !parent.rows.is_empty() {
+            // Values copied from an existing parent row (context-consistent).
+            let prow = &parent.rows[rng.index(parent.rows.len())];
+            let names = parent.column_names();
+            for gc in gcols {
+                if let Some(pos) = names.iter().position(|n| n == &gc.tag) {
+                    doc.append_text_element(gel, gc.tag.clone(), prow[pos].text());
+                }
+            }
+        } else {
+            for gc in gcols {
+                doc.append_text_element(gel, gc.tag.clone(), fresh_value(rng, gc.ty).text());
+            }
+        }
+    }
+    if depth < 1 {
+        for child in &region.children {
+            if rng.chance(0.4) {
+                let cfrag = region_fragment(rng, schema, child, depth + 1);
+                let imported = doc.import_subtree(&cfrag, cfrag.root());
+                doc.append_child(root, imported);
+            }
+        }
+    }
+    doc
+}
+
+/// A fragment to insert *under* an existing region instance: a child
+/// region, a group instance, or a lone column element.
+fn child_fragment(rng: &mut FuzzRng, schema: &GenSchema, region: &Region) -> Document {
+    if !region.children.is_empty() && rng.chance(0.6) {
+        let child = &region.children[rng.index(region.children.len())];
+        return region_fragment(rng, schema, child, 1);
+    }
+    if !region.groups.is_empty() && rng.chance(0.5) {
+        let (gtag, ptable, gcols) = &region.groups[rng.index(region.groups.len())];
+        let parent = schema.table(ptable).expect("group table exists");
+        let mut doc = Document::new(gtag.clone());
+        let root = doc.root();
+        if !parent.rows.is_empty() && rng.chance(0.7) {
+            let prow = &parent.rows[rng.index(parent.rows.len())];
+            let names = parent.column_names();
+            for gc in gcols {
+                if let Some(pos) = names.iter().position(|n| n == &gc.tag) {
+                    doc.append_text_element(root, gc.tag.clone(), prow[pos].text());
+                }
+            }
+        } else {
+            for gc in gcols {
+                doc.append_text_element(root, gc.tag.clone(), fresh_value(rng, gc.ty).text());
+            }
+        }
+        return doc;
+    }
+    // A bare column element (duplicate attribute / unknown child paths).
+    let (tag, ty) = match region.cols.first() {
+        Some(c) => (c.tag.clone(), c.ty),
+        None => ("stray".to_string(), crate::gen_schema::ColTy::Int),
+    };
+    let mut doc = Document::new(tag);
+    let root = doc.root();
+    let text = doc.new_text(fresh_value(rng, ty).text());
+    doc.append_child(root, text);
+    doc
+}

@@ -1,0 +1,93 @@
+//! Wire-frame generator: byte sequences thrown at a live [`CheckServer`]
+//! to probe protocol robustness. Every frame must produce an `OK`/`ERR`
+//! reply or a clean disconnect — never a crash, hang, or runaway
+//! allocation on the server side.
+//!
+//! [`CheckServer`]: ufilter_service::CheckServer
+
+use crate::rng::FuzzRng;
+
+/// What the client should expect after writing the frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expect {
+    /// A one-line `OK …` or `ERR …` reply; the connection stays usable.
+    Reply,
+    /// The server is allowed (or expected) to close the connection.
+    MayDisconnect,
+}
+
+/// One fuzz frame: raw bytes (not necessarily UTF-8, not necessarily
+/// newline-terminated) plus the contract the server must honour.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    pub label: &'static str,
+    pub bytes: Vec<u8>,
+    pub expect: Expect,
+}
+
+fn line(label: &'static str, s: &str, expect: Expect) -> Frame {
+    Frame { label, bytes: format!("{s}\n").into_bytes(), expect }
+}
+
+/// Generate one adversarial frame.
+pub fn generate(rng: &mut FuzzRng) -> Frame {
+    match rng.index(12) {
+        // Blank lines are skipped silently (no reply), so pipeline a PING
+        // behind one: the skip must not desynchronize the reply stream.
+        0 => line("empty-then-ping", "\nPING", Expect::Reply),
+        1 => line("unknown-verb", "FROBNICATE now", Expect::Reply),
+        2 => line("check-missing-args", "CHECK", Expect::Reply),
+        3 => line("check-unescaped", "CHECK books FOR $r IN doc", Expect::Reply),
+        4 => line("bad-escape", "CHECK books %zz%", Expect::Reply),
+        5 => {
+            // A count large enough to be refused, small enough to be a
+            // plausible typo; must be an ERR, not an allocation.
+            line("huge-batch", "BATCH 99999999999", Expect::Reply)
+        }
+        6 => {
+            let n = rng.int(2, 5);
+            line(
+                "batch-garbage-items",
+                &format!("BATCH {n}\n{}", vec!["???"; n as usize].join("\n")),
+                Expect::Reply,
+            )
+        }
+        7 => {
+            // Non-UTF-8: the server closes by design (not this protocol).
+            let mut bytes = b"CHECK books ".to_vec();
+            bytes.extend([0xff, 0xfe, 0x80, b'\n']);
+            Frame { label: "non-utf8", bytes, expect: Expect::MayDisconnect }
+        }
+        8 => {
+            // Interior NUL bytes are valid UTF-8; must get a normal ERR.
+            Frame {
+                label: "nul-bytes",
+                bytes: b"CHECK\x00books u\n".to_vec(),
+                expect: Expect::Reply,
+            }
+        }
+        9 => {
+            // An oversized but newline-terminated line: parses (and fails)
+            // as a huge unknown request or oversized operand.
+            let n = rng.int(100_000, 400_000) as usize;
+            let mut bytes = b"CHECK books ".to_vec();
+            bytes.extend(std::iter::repeat_n(b'A', n));
+            bytes.push(b'\n');
+            Frame { label: "long-line", bytes, expect: Expect::Reply }
+        }
+        10 => {
+            // CR-only terminator: no LF ever arrives, so the client sees
+            // no reply; on close the server discards the partial line.
+            Frame { label: "cr-only", bytes: b"PING\r".to_vec(), expect: Expect::MayDisconnect }
+        }
+        _ => {
+            // Random printable garbage.
+            let n = rng.int(1, 60) as usize;
+            let mut s = String::new();
+            for _ in 0..n {
+                s.push((rng.int(32, 126) as u8) as char);
+            }
+            line("printable-garbage", &s.replace('\n', " "), Expect::Reply)
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Seeded randomness for the generators.
+//!
+//! Everything the fuzzer produces is a pure function of a single `u64`
+//! seed: the vendored `rand` stub is splitmix64 under the hood, so a seed
+//! printed in a failure message replays the exact same plan on any
+//! machine. Sub-generators fork their own streams (`fork`) so that adding
+//! draws to one generator does not shift what an unrelated generator sees.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic random stream plus convenience pickers.
+pub struct FuzzRng {
+    inner: StdRng,
+}
+
+impl FuzzRng {
+    pub fn new(seed: u64) -> FuzzRng {
+        FuzzRng { inner: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Derive an independent child stream (stable under later changes to
+    /// how many draws the parent makes *after* the fork).
+    pub fn fork(&mut self) -> FuzzRng {
+        FuzzRng::new(self.u64())
+    }
+
+    pub fn u64(&mut self) -> u64 {
+        self.inner.gen_range(0..u64::MAX)
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive).
+    pub fn int(&mut self, lo: i64, hi: i64) -> i64 {
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Uniform index in `[0, n)`. `n` must be positive.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli draw.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.inner.gen_bool(p)
+    }
+
+    /// Pick one element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.index(xs.len())]
+    }
+
+    /// Pick a random subset of `k` distinct indices out of `n`, in order.
+    pub fn subset(&mut self, n: usize, k: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..n).collect();
+        // Partial Fisher-Yates: the first k slots end up uniform.
+        for i in 0..k.min(n) {
+            let j = self.inner.gen_range(i..n);
+            idx.swap(i, j);
+        }
+        let mut out: Vec<usize> = idx.into_iter().take(k).collect();
+        out.sort_unstable();
+        out
+    }
+}

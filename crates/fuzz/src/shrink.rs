@@ -1,0 +1,195 @@
+//! Counterexample shrinking: greedy structural minimization of a failing
+//! [`Plan`].
+//!
+//! Each step proposes one-change-smaller candidate plans (drop an update,
+//! a view, a row, a predicate, an action, a content item, a comment) and
+//! keeps the first candidate that still fails with the *same divergence
+//! kind* — the kind match stops the shrinker from drifting onto unrelated
+//! failures (e.g. reducing a surface mismatch into a view that no longer
+//! compiles). Runs to a fixpoint under an evaluation budget.
+
+use ufilter_xquery::{Content, Flwr};
+
+use crate::gen_update::{GenUpdate, UpdSpec};
+use crate::gen_view::GenView;
+use crate::oracle::{run_raw, Divergence, OracleOptions, Plan};
+
+/// Minimize `plan`, known to fail with `original`. Returns the smallest
+/// failing plan found and its divergence.
+pub fn shrink(
+    plan: Plan,
+    original: Divergence,
+    opts: &OracleOptions,
+    mut budget: usize,
+) -> (Plan, Divergence) {
+    let mut best = plan;
+    let mut best_div = original;
+    'outer: loop {
+        for cand in candidates(&best) {
+            if budget == 0 {
+                break 'outer;
+            }
+            budget -= 1;
+            if let Err(div) = run_raw(&cand.raw(), opts) {
+                if div.kind == best_div.kind {
+                    best = cand;
+                    best_div = div;
+                    continue 'outer; // restart from the smaller plan
+                }
+            }
+        }
+        break; // no candidate still fails: fixpoint
+    }
+    (best, best_div)
+}
+
+/// All one-step reductions of a plan.
+fn candidates(p: &Plan) -> Vec<Plan> {
+    let mut out = Vec::new();
+    let clone_with = |views: Vec<GenView>, updates: Vec<GenUpdate>, schema| Plan {
+        seed: p.seed,
+        schema,
+        views,
+        updates,
+    };
+
+    // Drop one update.
+    if p.updates.len() > 1 {
+        for j in 0..p.updates.len() {
+            let mut updates = p.updates.clone();
+            updates.remove(j);
+            out.push(clone_with(p.views.clone(), updates, p.schema.clone()));
+        }
+    }
+    // Drop one view.
+    if p.views.len() > 1 {
+        for i in 0..p.views.len() {
+            let mut views = p.views.clone();
+            views.remove(i);
+            out.push(clone_with(views, p.updates.clone(), p.schema.clone()));
+        }
+    }
+    // Drop one table row.
+    for (t, table) in p.schema.tables.iter().enumerate() {
+        if table.rows.len() > 1 {
+            for r in 0..table.rows.len() {
+                let mut schema = p.schema.clone();
+                schema.tables[t].rows.remove(r);
+                out.push(clone_with(p.views.clone(), p.updates.clone(), schema));
+            }
+        }
+    }
+    // Drop an unreferenced trailing table (views may reference earlier
+    // tables through FKs, so only the last table is safely removable).
+    if p.schema.tables.len() > 1 {
+        let last = &p.schema.tables[p.schema.tables.len() - 1];
+        let referenced =
+            p.views.iter().any(|v| v.query.relations().iter().any(|r| r == &last.name));
+        if !referenced {
+            let mut schema = p.schema.clone();
+            schema.tables.pop();
+            out.push(clone_with(p.views.clone(), p.updates.clone(), schema));
+        }
+    }
+    // Reduce one update.
+    for (j, u) in p.updates.iter().enumerate() {
+        for red in update_reductions(u) {
+            let mut updates = p.updates.clone();
+            updates[j] = red;
+            out.push(clone_with(p.views.clone(), updates, p.schema.clone()));
+        }
+    }
+    // Reduce one view.
+    for (i, v) in p.views.iter().enumerate() {
+        for red in view_reductions(v) {
+            let mut views = p.views.clone();
+            views[i] = red;
+            out.push(clone_with(views, p.updates.clone(), p.schema.clone()));
+        }
+    }
+    out
+}
+
+fn update_reductions(u: &GenUpdate) -> Vec<GenUpdate> {
+    let UpdSpec::Ast(stmt) = &u.spec else { return Vec::new() };
+    let mut out = Vec::new();
+    for i in 0..stmt.predicates.len() {
+        let mut s = stmt.clone();
+        s.predicates.remove(i);
+        out.push(GenUpdate { label: u.label, spec: UpdSpec::Ast(s) });
+    }
+    if stmt.actions.len() > 1 {
+        for i in 0..stmt.actions.len() {
+            let mut s = stmt.clone();
+            s.actions.remove(i);
+            out.push(GenUpdate { label: u.label, spec: UpdSpec::Ast(s) });
+        }
+    }
+    out
+}
+
+fn view_reductions(v: &GenView) -> Vec<GenView> {
+    let mut out = Vec::new();
+    if v.comment {
+        out.push(GenView { comment: false, ..v.clone() });
+    }
+    for content in reduce_content(&v.query.content) {
+        let mut red = v.clone();
+        red.query.content = content;
+        out.push(red);
+    }
+    out
+}
+
+/// One-step reductions of a content list: drop one item (keeping at least
+/// one), or reduce one item in place.
+fn reduce_content(items: &[Content]) -> Vec<Vec<Content>> {
+    let mut out = Vec::new();
+    if items.len() > 1 {
+        for i in 0..items.len() {
+            let mut xs = items.to_vec();
+            xs.remove(i);
+            out.push(xs);
+        }
+    }
+    for (i, item) in items.iter().enumerate() {
+        let reduced: Vec<Content> = match item {
+            Content::Flwr(f) => reduce_flwr(f).into_iter().map(Content::Flwr).collect(),
+            Content::Element(e) => reduce_content(&e.content)
+                .into_iter()
+                .map(|c| {
+                    Content::Element(ufilter_xquery::ElementCtor { tag: e.tag.clone(), content: c })
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
+        for r in reduced {
+            let mut xs = items.to_vec();
+            xs[i] = r;
+            out.push(xs);
+        }
+    }
+    out
+}
+
+fn reduce_flwr(f: &Flwr) -> Vec<Flwr> {
+    let mut out = Vec::new();
+    for i in 0..f.predicates.len() {
+        let mut g = f.clone();
+        g.predicates.remove(i);
+        out.push(g);
+    }
+    if f.bindings.iter().any(|b| b.distinct) {
+        let mut g = f.clone();
+        for b in &mut g.bindings {
+            b.distinct = false;
+        }
+        out.push(g);
+    }
+    for ret in reduce_content(&f.ret) {
+        let mut g = f.clone();
+        g.ret = ret;
+        out.push(g);
+    }
+    out
+}

@@ -1,0 +1,84 @@
+//! Generator contracts: everything the generators emit must stay inside
+//! the supported surface — schemas execute, views compile, printed ASTs
+//! round-trip through the parsers unchanged (the `parse(print(q)) == q`
+//! property that surfaced the negative-literal and quote-selection
+//! asymmetries fixed in `ufilter-xquery`).
+
+use ufilter_core::UFilter;
+use ufilter_fuzz::gen_schema::GenSchema;
+use ufilter_fuzz::gen_update::UpdSpec;
+use ufilter_fuzz::oracle::Plan;
+use ufilter_fuzz::FuzzRng;
+use ufilter_rdb::Db;
+use ufilter_xquery::{expressible, parse_update, parse_view_query};
+
+const SEEDS: u64 = 150;
+
+#[test]
+fn generated_schemas_execute() {
+    for seed in 0..SEEDS {
+        let schema = GenSchema::generate(&mut FuzzRng::new(seed));
+        let mut db = Db::new();
+        db.execute_script(&schema.sql())
+            .unwrap_or_else(|e| panic!("seed {seed}: schema script failed: {e}\n{}", schema.sql()));
+        for t in &schema.tables {
+            assert!(db.schema().table(&t.name).is_some(), "seed {seed}: table {} missing", t.name);
+        }
+    }
+}
+
+#[test]
+fn generated_views_compile_and_round_trip() {
+    for seed in 0..SEEDS {
+        let plan = Plan::generate(seed);
+        let mut db = Db::new();
+        db.execute_script(&plan.schema.sql()).expect("schema executes");
+        let schema = db.schema().clone();
+        for v in &plan.views {
+            let text = v.text();
+            // Inside the expressible subset.
+            expressible(&text).unwrap_or_else(|fs| {
+                panic!("seed {seed}: view {} uses unsupported features {fs:?}\n{text}", v.name)
+            });
+            // parse(print(ast)) == ast.
+            let reparsed = parse_view_query(&text)
+                .unwrap_or_else(|e| panic!("seed {seed}: printed view unparseable: {e}\n{text}"));
+            assert_eq!(v.query, reparsed, "seed {seed}: round trip changed the AST\n{text}");
+            // And the whole pipeline accepts it.
+            UFilter::compile(&text, &schema).unwrap_or_else(|e| {
+                panic!("seed {seed}: view {} does not compile: {e}\n{text}", v.name)
+            });
+        }
+    }
+}
+
+#[test]
+fn generated_updates_round_trip() {
+    let mut ast_updates = 0usize;
+    for seed in 0..SEEDS {
+        let plan = Plan::generate(seed);
+        for u in &plan.updates {
+            let UpdSpec::Ast(stmt) = &u.spec else { continue };
+            ast_updates += 1;
+            let text = u.text();
+            let reparsed = parse_update(&text).unwrap_or_else(|e| {
+                panic!("seed {seed}: printed update ({}) unparseable: {e}\n{text}", u.label)
+            });
+            assert_eq!(
+                *stmt, reparsed,
+                "seed {seed}: update round trip changed the AST ({})\n{text}",
+                u.label
+            );
+        }
+    }
+    assert!(ast_updates > SEEDS as usize, "expected plenty of AST updates, got {ast_updates}");
+}
+
+#[test]
+fn plans_are_seed_deterministic() {
+    for seed in [0u64, 1, 17, 99] {
+        let a = Plan::generate(seed).raw();
+        let b = Plan::generate(seed).raw();
+        assert_eq!(a, b, "seed {seed}: plan generation is not deterministic");
+    }
+}

@@ -1022,6 +1022,42 @@ impl Db {
     pub fn row_count(&self, table: &str) -> usize {
         self.table_data(table).map(|d| d.heap.len()).unwrap_or(0)
     }
+
+    // ---- snapshot / restore (execute-compare harnesses) -----------------------
+
+    /// Capture a point-in-time copy of the whole database: schema, table
+    /// heaps, indexes, views, and planner configuration. Snapshots taken
+    /// from equal databases are equal (heap row-ids and index layout are
+    /// copied verbatim), so `snapshot → mutate → restore → snapshot` yields
+    /// a byte-stable state — the rollback primitive differential harnesses
+    /// use around execute-recompute-compare runs.
+    ///
+    /// An open transaction's undo log is deliberately *not* captured:
+    /// restoring into the middle of someone else's transaction would make
+    /// its rollback undefined. Taking a snapshot inside a transaction is an
+    /// error for the same reason.
+    pub fn snapshot(&self) -> Result<DbSnapshot> {
+        if self.txn.is_some() {
+            return Err(RdbError::Semantic(
+                "snapshot inside an open transaction (commit or rollback first)".into(),
+            ));
+        }
+        Ok(DbSnapshot { db: Box::new(self.clone()) })
+    }
+
+    /// Restore the state captured by [`snapshot`](Self::snapshot),
+    /// discarding every change made since (including schema changes). Any
+    /// open transaction is discarded wholesale — the snapshot state already
+    /// is the rollback target.
+    pub fn restore(&mut self, snap: &DbSnapshot) {
+        *self = (*snap.db).clone();
+    }
+}
+
+/// An opaque point-in-time database copy — see [`Db::snapshot`].
+#[derive(Clone)]
+pub struct DbSnapshot {
+    db: Box<Db>,
 }
 
 impl Default for Db {
@@ -1096,5 +1132,37 @@ mod script_tests {
         let err = db.execute_script("INSERT INTO t VALUES (3); INSERT INTO t VALUES (3);");
         assert!(err.is_err());
         assert_eq!(db.row_count("t"), 3);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_data_and_schema() {
+        let mut db = Db::new();
+        db.execute_script(
+            "CREATE TABLE t(a INT, b VARCHAR2(10), CONSTRAINTS TPK PRIMARYKEY (a)); \
+             INSERT INTO t VALUES (1, 'one'); INSERT INTO t VALUES (2, 'two');",
+        )
+        .unwrap();
+        let before = db.dump();
+        let snap = db.snapshot().unwrap();
+
+        // Mutate data *and* schema, then restore.
+        db.execute_script(
+            "DELETE FROM t WHERE a = 1; INSERT INTO t VALUES (9, 'nine'); \
+             CREATE TABLE extra(x INT, CONSTRAINTS XPK PRIMARYKEY (x));",
+        )
+        .unwrap();
+        assert_ne!(db.dump(), before);
+        db.restore(&snap);
+        assert_eq!(db.dump(), before);
+        assert!(db.schema().table("extra").is_none(), "restored schema drops new table");
+
+        // Determinism: snapshot → restore → snapshot yields equal dumps,
+        // and restoring over an open transaction discards it cleanly.
+        db.begin().unwrap();
+        db.execute_sql("DELETE FROM t WHERE a = 2").unwrap();
+        assert!(db.snapshot().is_err(), "snapshot inside a transaction is refused");
+        db.restore(&snap);
+        assert!(!db.in_transaction());
+        assert_eq!(db.dump(), before);
     }
 }

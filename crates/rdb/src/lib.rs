@@ -39,7 +39,7 @@ pub mod txn;
 pub mod types;
 pub mod view;
 
-pub use db::{Db, ExecOutcome, ExecStats, PlannerConfig, TableData};
+pub use db::{Db, DbSnapshot, ExecOutcome, ExecStats, PlannerConfig, TableData};
 pub use error::{RdbError, Result, Warning};
 pub use exec::ResultSet;
 pub use expr::{CmpOp, ColRef, Expr};

@@ -47,6 +47,11 @@
 
 use ufilter_core::wire::{escape, unescape};
 
+/// Upper bound on the `BATCH`/`BATCHALL` item count. The count arrives
+/// before any item line and sizes server-side buffers, so it must be capped
+/// at parse time; anything above this is a protocol error, not a request.
+pub const MAX_BATCH_ITEMS: usize = 65_536;
+
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
@@ -123,6 +128,12 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 .map_err(|_| format!("{verb} count must be a non-negative integer"))?;
             if parts.next().is_some() {
                 return Err(format!("{verb} takes exactly one operand"));
+            }
+            // The count sizes server-side buffers before any item line is
+            // read, so an absurd value must be refused here — otherwise a
+            // one-line request commits the server to allocating for it.
+            if count > MAX_BATCH_ITEMS {
+                return Err(format!("{verb} count {count} exceeds the limit ({MAX_BATCH_ITEMS})"));
             }
             Ok(if verb == "BATCH" { Request::Batch { count } } else { Request::BatchAll { count } })
         }
@@ -273,6 +284,14 @@ mod tests {
         assert_eq!(parse_request("BATCH 3").unwrap(), Request::Batch { count: 3 });
         assert!(parse_request("BATCH").is_err());
         assert!(parse_request("BATCH many").is_err());
+        // The count pre-sizes server buffers; absurd values are refused at
+        // parse time (surfaced by wire-frame fuzzing).
+        assert_eq!(
+            parse_request(&format!("BATCH {MAX_BATCH_ITEMS}")).unwrap(),
+            Request::Batch { count: MAX_BATCH_ITEMS }
+        );
+        assert!(parse_request(&format!("BATCH {}", MAX_BATCH_ITEMS + 1)).is_err());
+        assert!(parse_request("BATCHALL 99999999999").is_err());
         let (view, text) = parse_batch_item(&batch_item("books", "a b\nc")).unwrap();
         assert_eq!((view.as_str(), text.as_str()), ("books", "a b\nc"));
         assert!(parse_batch_item("no-space-here").is_err());

@@ -24,6 +24,12 @@ use crate::catalog::ShardedCatalog;
 use crate::pool::CheckPool;
 use crate::proto::{err_reply, parse_batch_item, parse_batchall_item, parse_request, Request};
 
+/// Longest request line the server will buffer before giving up on the
+/// connection. Escaped view/update texts are a few KB; this leaves three
+/// orders of magnitude of headroom while bounding what one client can make
+/// the server allocate.
+const MAX_LINE_BYTES: usize = 8 * 1024 * 1024;
+
 /// Counters the `STATS` command reports (monotonic, server lifetime).
 #[derive(Debug, Default)]
 struct ServerStats {
@@ -178,6 +184,12 @@ impl Connection {
     fn read_line(&self, reader: &mut BufReader<TcpStream>, line: &mut String) -> Option<usize> {
         let mut bytes: Vec<u8> = Vec::new();
         loop {
+            // A line that never ends is not this protocol: close rather than
+            // buffer without bound (a client streaming newline-free data
+            // would otherwise grow this allocation until OOM).
+            if bytes.len() > MAX_LINE_BYTES {
+                return None;
+            }
             let (used, done) = match reader.fill_buf() {
                 Ok([]) => (0, true), // EOF; deliver what we have (may be 0)
                 Ok(buf) => match buf.iter().position(|b| *b == b'\n') {

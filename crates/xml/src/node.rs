@@ -257,6 +257,17 @@ impl Document {
     }
 }
 
+/// Ordered structural equality of the two documents' root subtrees — the
+/// same relation as [`Document::subtree_eq`]: arena layout and detached
+/// nodes are ignored, text compares trimmed (numeric text by value), and
+/// whitespace-only text nodes are insignificant. This makes types embedding
+/// fragments (update ASTs, generated counterexamples) directly comparable.
+impl PartialEq for Document {
+    fn eq(&self, other: &Document) -> bool {
+        self.subtree_eq(self.root(), other, other.root())
+    }
+}
+
 fn escape_canon(s: &str) -> String {
     s.replace('\\', "\\\\").replace(';', "\\;").replace('<', "\\<")
 }

@@ -136,6 +136,12 @@ pub fn lex(input: &str) -> Result<Vec<(Tok, usize)>, LexError> {
                 } else if chars.get(i + 1) == Some(&'=') {
                     out.push((Tok::Sym("<="), start));
                     i += 2;
+                } else if chars.get(i + 1) == Some(&'>') {
+                    // SQL-style `<>` — the inequality spelling `CmpOp`
+                    // itself prints, so printed predicates re-lex
+                    // (surfaced by the fuzz round-trip property).
+                    out.push((Tok::Sym("!="), start));
+                    i += 2;
                 } else {
                     out.push((Tok::Sym("<"), start));
                     i += 1;
@@ -169,35 +175,22 @@ pub fn lex(input: &str) -> Result<Vec<(Tok, usize)>, LexError> {
                 i += 1;
             }
             '0'..='9' => {
-                let ns = i;
-                let mut is_float = false;
-                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
-                    if chars[i] == '.' {
-                        if !chars.get(i + 1).is_some_and(|c| c.is_ascii_digit()) {
-                            break;
-                        }
-                        is_float = true;
-                    }
-                    i += 1;
-                }
-                let text: String = chars[ns..i].iter().collect();
-                if is_float {
-                    out.push((
-                        Tok::Float(text.parse().map_err(|e| LexError {
-                            message: format!("bad number {text}: {e}"),
-                            offset: start,
-                        })?),
-                        start,
-                    ));
-                } else {
-                    out.push((
-                        Tok::Int(text.parse().map_err(|e| LexError {
-                            message: format!("bad number {text}: {e}"),
-                            offset: start,
-                        })?),
-                        start,
-                    ));
-                }
+                let (tok, ni) = lex_number(&chars, i, start)?;
+                out.push((tok, start));
+                i = ni;
+            }
+            // A `-` immediately followed by a digit is a negative numeric
+            // literal (the pretty-printer emits these for negative values;
+            // elsewhere `-` only occurs inside names, handled above).
+            '-' if chars.get(i + 1).is_some_and(|c| c.is_ascii_digit()) => {
+                let (tok, ni) = lex_number(&chars, i + 1, start)?;
+                let negated = match tok {
+                    Tok::Int(v) => Tok::Int(-v),
+                    Tok::Float(v) => Tok::Float(-v),
+                    other => other,
+                };
+                out.push((negated, start));
+                i = ni;
             }
             c if c.is_alphabetic() || c == '_' => {
                 let ns = i;
@@ -228,6 +221,37 @@ pub fn lex(input: &str) -> Result<Vec<(Tok, usize)>, LexError> {
 
 fn is_name_char(c: char) -> bool {
     c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | ':')
+}
+
+/// Lex an unsigned numeric literal starting at `chars[i]` (a digit).
+/// Returns the token and the index just past it.
+fn lex_number(chars: &[char], i: usize, start: usize) -> Result<(Tok, usize), LexError> {
+    let ns = i;
+    let mut i = i;
+    let mut is_float = false;
+    while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+        if chars[i] == '.' {
+            if !chars.get(i + 1).is_some_and(|c| c.is_ascii_digit()) {
+                break;
+            }
+            is_float = true;
+        }
+        i += 1;
+    }
+    let text: String = chars[ns..i].iter().collect();
+    let tok =
+        if is_float {
+            Tok::Float(text.parse().map_err(|e| LexError {
+                message: format!("bad number {text}: {e}"),
+                offset: start,
+            })?)
+        } else {
+            Tok::Int(text.parse().map_err(|e| LexError {
+                message: format!("bad number {text}: {e}"),
+                offset: start,
+            })?)
+        };
+    Ok((tok, i))
 }
 
 /// Replace every (possibly nested) `(: … :)` comment outside string
@@ -361,6 +385,18 @@ mod tests {
         let ts = toks("for $x in document('d')");
         assert!(ts[0].is_kw("FOR"));
         assert!(ts[2].is_kw("IN"));
+    }
+
+    #[test]
+    fn negative_number_literals() {
+        let ts = toks("$a/x > -5 $a/y = -2.50");
+        assert!(ts.contains(&Tok::Int(-5)));
+        assert!(ts.contains(&Tok::Float(-2.5)));
+        // `-` inside a name is still a name character, not negation.
+        let name = toks("$a/x-5");
+        assert_eq!(name[2], Tok::Ident("x-5".into()));
+        // A bare `-` (not followed by a digit) is still rejected.
+        assert!(lex("$a/x - 5").is_err());
     }
 
     #[test]

@@ -22,12 +22,26 @@ fn pad(depth: usize) -> String {
     "  ".repeat(depth)
 }
 
+/// Quote a string for the query grammar. The lexer has no escape sequences,
+/// so the printer picks whichever delimiter the text does not contain —
+/// double quotes preferred, single quotes when the text holds a `"`. A
+/// string containing *both* quote characters is not representable (and not
+/// producible by the parser either: a lexed string can never contain its
+/// own delimiter), so such values never reach a printed AST.
+fn quote(s: &str) -> String {
+    if s.contains('"') {
+        format!("'{s}'")
+    } else {
+        format!("\"{s}\"")
+    }
+}
+
 fn print_content(items: &[Content], depth: usize, out: &mut String) {
     for (i, item) in items.iter().enumerate() {
         let sep = if i + 1 < items.len() { "," } else { "" };
         match item {
             Content::Text(t) => {
-                let _ = writeln!(out, "{}\"{t}\"{sep}", pad(depth));
+                let _ = writeln!(out, "{}{}{sep}", pad(depth), quote(t));
             }
             Content::Projection(p) => {
                 let _ = writeln!(out, "{}{p}{sep}", pad(depth));
@@ -82,7 +96,7 @@ fn print_operand(o: &Operand) -> String {
     match o {
         Operand::Path(p) => p.to_string(),
         Operand::Literal(v) => match v {
-            ufilter_rdb::Value::Str(s) => format!("\"{s}\""),
+            ufilter_rdb::Value::Str(s) => quote(s),
             other => other.render(),
         },
         Operand::Aggregate(a) => a.to_string(),
@@ -192,10 +206,59 @@ $publisher/pubid, $publisher/pubname
             let printed = print_update(&u);
             let reparsed = parse_update(&printed)
                 .unwrap_or_else(|e| panic!("printer output unparseable: {e}\n{printed}"));
-            // Compare structurally via a second print (UpdateStmt has no
-            // PartialEq because Document doesn't).
-            assert_eq!(printed, print_update(&reparsed), "unstable print:\n{printed}");
+            assert_eq!(u, reparsed, "round trip changed the AST:\n{printed}");
         }
+    }
+
+    #[test]
+    fn negative_literals_round_trip() {
+        // Surfaced by the fuzz round-trip property: the printer renders
+        // negative Int/Double literals, which the lexer used to reject.
+        let q = parse_view_query(
+            "<V> FOR $b IN document(\"d\")/book/row \
+             WHERE $b/year > -5 AND $b/price <= -2.50 \
+             RETURN { <x> $b/title </x> } </V>",
+        )
+        .unwrap();
+        let printed = print_view_query(&q);
+        assert_eq!(q, parse_view_query(&printed).unwrap(), "{printed}");
+    }
+
+    #[test]
+    fn quote_bearing_strings_round_trip() {
+        // Surfaced by the fuzz round-trip property: text containing a
+        // double quote must print single-quoted (the grammar has no escape
+        // sequences). Either quote character alone is representable.
+        use crate::ast::{Content, ViewQuery};
+        for text in ["she said \"hi\"", "it's fine", "plain"] {
+            let q = ViewQuery { root_tag: "V".into(), content: vec![Content::Text(text.into())] };
+            let printed = print_view_query(&q);
+            assert_eq!(
+                q,
+                parse_view_query(&printed).unwrap_or_else(|e| panic!("{e}\n{printed}")),
+                "{printed}"
+            );
+        }
+    }
+
+    #[test]
+    fn sql_style_not_equal_round_trips() {
+        // Surfaced by the fuzz round-trip property: `CmpOp::Ne` prints as
+        // the SQL spelling `<>`, which the lexer used to reject. Both
+        // spellings must lex to the same predicate.
+        let spell = |op: &str| {
+            format!(
+                "<V> FOR $b IN document(\"d\")/book/row \
+                 WHERE $b/title {op} \"x\" \
+                 RETURN {{ <x> $b/title </x> }} </V>"
+            )
+        };
+        let a = parse_view_query(&spell("<>")).unwrap();
+        let b = parse_view_query(&spell("!=")).unwrap();
+        assert_eq!(a, b);
+        let printed = print_view_query(&a);
+        assert!(printed.contains("<>"), "{printed}");
+        assert_eq!(a, parse_view_query(&printed).unwrap(), "{printed}");
     }
 
     #[test]

@@ -20,7 +20,7 @@ use crate::lexer::Tok;
 use crate::parser::{ParseError, P};
 
 /// A FOR binding in an update.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum UpdBinding {
     /// `$var IN document("BookView.xml")[/step…]`.
     Document { var: String, doc: String, steps: Vec<String> },
@@ -36,8 +36,9 @@ impl UpdBinding {
     }
 }
 
-/// One action inside `UPDATE $var { … }`.
-#[derive(Debug, Clone)]
+/// One action inside `UPDATE $var { … }`. Equality is structural: embedded
+/// fragments compare via [`ufilter_xml::Document`]'s subtree equality.
+#[derive(Debug, Clone, PartialEq)]
 pub enum UpdateAction {
     /// Insert the fragment as a new child of the target.
     Insert(Document),
@@ -66,8 +67,10 @@ pub enum UpdateKind {
     Replace,
 }
 
-/// A parsed update statement.
-#[derive(Debug, Clone)]
+/// A parsed update statement. Equality is structural (fragments compare as
+/// documents), which makes `parse(print(u)) == u` a directly checkable
+/// round-trip property.
+#[derive(Debug, Clone, PartialEq)]
 pub struct UpdateStmt {
     pub bindings: Vec<UpdBinding>,
     pub predicates: Vec<Predicate>,

@@ -1,0 +1,104 @@
+//! Grammar-based differential fuzzing with a blind execute–recompute
+//! oracle (see `docs/FUZZING.md`).
+//!
+//! Every generated (view, update) pair runs through all four check
+//! surfaces — direct [`UFilter::check`], `ViewCatalog::check_batch_text`,
+//! `check_all` routing, and a served `CHECK` over TCP — and the wire
+//! lines must be byte-identical. Accepted translatable updates must then
+//! satisfy the paper's Definition 1 rectangle (execute–recompute) via
+//! `apply_and_verify`; the oracle is *blind* — it never looks at the
+//! checker's reasoning, only at observable outcomes.
+//!
+//! `UFILTER_FUZZ_CASES` sets the minimum number of cases (default 120
+//! locally; CI pins 500). Any failure prints a seed plus a minimized,
+//! replayable corpus rendering.
+
+use ufilter_fuzz::{cases_from_env, corpus, run_many, run_raw, OracleOptions, Plan, Surface};
+
+const BASE_SEED: u64 = 0x000F_0220_2600;
+
+#[test]
+fn differential_oracle_finds_no_divergence() {
+    let cases = cases_from_env(120);
+    match run_many(BASE_SEED, cases, &OracleOptions::default()) {
+        Ok(stats) => {
+            // The sweep must exercise every outcome class, or the
+            // generators have silently collapsed.
+            assert!(stats.cases >= cases, "covered {} < {cases} cases", stats.cases);
+            assert!(stats.translatable > 0, "no translatable outcomes: {stats:?}");
+            assert!(stats.untranslatable > 0, "no untranslatable outcomes: {stats:?}");
+            assert!(stats.invalid > 0, "no invalid outcomes: {stats:?}");
+            assert!(stats.rectangles > 0, "no rectangles verified: {stats:?}");
+        }
+        Err(fail) => {
+            panic!("divergence: {}\nminimized corpus case:\n{}", fail.divergence, fail.corpus)
+        }
+    }
+}
+
+/// Corrupt one surface's wire line and the oracle must notice, shrink the
+/// plan to a minimal counterexample, and that counterexample must replay —
+/// both from its raw text and by regenerating the plan from its seed.
+#[test]
+fn injected_divergence_is_caught_shrunk_and_replayable() {
+    fn corrupt(surface: Surface, line: &str) -> Option<String> {
+        if matches!(surface, Surface::Batch) && line.starts_with("translatable") {
+            Some(format!("{line}X"))
+        } else {
+            None
+        }
+    }
+    let opts = OracleOptions { mutate: Some(corrupt), ..OracleOptions::default() };
+
+    let fail = run_many(BASE_SEED, 50, &opts).expect_err("corrupted surface must diverge");
+    assert_eq!(fail.divergence.kind, "surface-mismatch", "{}", fail.divergence);
+
+    // Shrinking kept it reproducible and small.
+    assert_eq!(fail.minimized.views.len(), 1, "not minimal: {} views", fail.minimized.views.len());
+    assert_eq!(
+        fail.minimized.updates.len(),
+        1,
+        "not minimal: {} updates",
+        fail.minimized.updates.len()
+    );
+
+    // Replay 1: the raw minimized plan still fails the same way.
+    let div = run_raw(&fail.minimized, &opts).expect_err("minimized plan must still diverge");
+    assert_eq!(div.kind, fail.divergence.kind);
+
+    // Replay 2: the corpus rendering parses back and fails the same way.
+    let parsed = corpus::parse(&fail.corpus).expect("corpus case parses");
+    let div = run_raw(&parsed, &opts).expect_err("corpus replay must still diverge");
+    assert_eq!(div.kind, fail.divergence.kind);
+
+    // And without the corruption, the same minimized plan is clean.
+    run_raw(&fail.minimized, &OracleOptions::default())
+        .expect("minimized plan is clean without the injected corruption");
+}
+
+/// Checked-in minimized counterexamples replay deterministically. Each
+/// `.case` file pins a once-broken behaviour (see the `#` notes inside).
+#[test]
+fn corpus_fixtures_replay_clean() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/fuzz_corpus");
+    let mut names: Vec<_> = std::fs::read_dir(dir)
+        .expect("fixtures/fuzz_corpus exists")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "case"))
+        .collect();
+    names.sort();
+    assert!(!names.is_empty(), "no .case files in {dir}");
+    for path in names {
+        let text = std::fs::read_to_string(&path).expect("case readable");
+        let plan = corpus::parse(&text)
+            .unwrap_or_else(|e| panic!("{}: bad case file: {e}", path.display()));
+        run_raw(&plan, &OracleOptions::default())
+            .unwrap_or_else(|d| panic!("{}: replay diverged: {d}", path.display()));
+        // Seed replay: regenerating the plan from its recorded seed must
+        // also be clean (the corpus seed is the generator seed).
+        let regen = Plan::generate(plan.seed);
+        run_raw(&regen.raw(), &OracleOptions::default()).unwrap_or_else(|d| {
+            panic!("{}: seed {} replay diverged: {d}", path.display(), plan.seed)
+        });
+    }
+}
