@@ -38,9 +38,14 @@ fn main() {
         // Worker-pool scaling of the check service; redirect to
         // BENCH_serve.json at the repo root.
         "serve" => print!("{}", bench::serve_json(reps)),
-        // Catalog-wide fan-out: RelevanceIndex vs brute force; redirect to
-        // BENCH_route.json at the repo root.
+        // Catalog-wide fan-out: trie/linear routing vs brute force; redirect
+        // to BENCH_route.json at the repo root.
         "route" => print!("{}", bench::route_json(reps)),
+        // Bounded route-scale smoke for CI: trie vs linear candidate parity
+        // over an --n-view signature catalog, one parsable OK line.
+        "routesmoke" => {
+            print!("{}", bench::route_smoke(flag("--n", 10_000), flag("--updates", 50)))
+        }
         // Durable restart: warm artifact rehydrate vs cold recompile;
         // redirect to BENCH_persist.json at the repo root.
         "persist" => print!("{}", bench::persist_json(reps)),
@@ -69,7 +74,7 @@ fn main() {
         other => {
             eprintln!(
                 "unknown figure '{other}'; expected one of: \
-                 baseline batch serve route persist fig12 fig13 fig14 fig15 fig16 fig17 marking \
+                 baseline batch serve route routesmoke persist fig12 fig13 fig14 fig15 fig16 fig17 marking \
                  ablation \
                  all"
             );

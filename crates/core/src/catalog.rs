@@ -45,7 +45,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use ufilter_rdb::{DatabaseSchema, Db, ExecOutcome, Parser, Stmt};
-use ufilter_route::{Footprint, RelevanceIndex, Route, ViewSignature};
+use ufilter_route::{Footprint, IndexStats, Route, TrieIndex, ViewSignature};
 use ufilter_xquery::{parse_update, UpdateStmt};
 
 use crate::outcome::CheckReport;
@@ -326,9 +326,10 @@ pub struct ViewCatalog {
     /// shard epochs advance in lockstep and a worker cache shared across
     /// shards never thrashes.
     epoch: u64,
-    /// The shared relevance index over every registered view, maintained
-    /// incrementally by `add`/`drop_view` (see `ufilter_route`).
-    index: RelevanceIndex,
+    /// The shared path-trie relevance index over every registered view,
+    /// maintained incrementally by `add`/`drop_view` (see
+    /// [`ufilter_route::TrieIndex`]).
+    index: TrieIndex,
     /// Durable backing store (see [`crate::persist`]). When attached, every
     /// mutating operation appends (and fsyncs) its record **before** the
     /// in-memory mutation is acknowledged. Shared behind a mutex because the
@@ -346,7 +347,7 @@ impl ViewCatalog {
             compiled: HashMap::new(),
             compile_hits: 0,
             epoch: 0,
-            index: RelevanceIndex::new(),
+            index: TrieIndex::new(),
             store: None,
         }
     }
@@ -517,6 +518,21 @@ impl ViewCatalog {
     /// per request and routes it through every shard's index.
     pub fn route_footprint(&self, fp: &Footprint) -> Route {
         self.index.route_footprint(fp)
+    }
+
+    /// Resident-size and churn gauges of the routing index (the service
+    /// `STATS` verb sums these across shards).
+    pub fn index_stats(&self) -> IndexStats {
+        self.index.stats()
+    }
+
+    /// How many registered views hold a *hydrated* compiled filter (their
+    /// ASG has been decoded or compiled). Replayed views hydrate lazily on
+    /// first check, so right after a warm restart this is 0 even though
+    /// the routing index is fully populated — the invariant the
+    /// persist+route integration test pins.
+    pub fn hydrated_count(&self) -> usize {
+        self.views.values().filter(|r| r.filter.get().is_some()).count()
     }
 
     /// The catalog's RESTRICT rule: reject schema-affecting DDL (see

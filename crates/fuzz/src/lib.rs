@@ -5,8 +5,9 @@
 //! ([`gen_wire`]), a blind execute-recompute differential oracle
 //! ([`oracle`]) that cross-checks four check surfaces byte-for-byte and
 //! validates accepted updates against the paper's Definition 1 rectangle,
-//! greedy counterexample shrinking ([`shrink`]) and a replayable corpus
-//! format ([`corpus`]).
+//! a routing-agreement stage ([`route_stage`]) holding the shared path
+//! trie to the linear-walk oracle's exact `Route`, greedy counterexample
+//! shrinking ([`shrink`]) and a replayable corpus format ([`corpus`]).
 //!
 //! Everything is a pure function of a `u64` seed; a failure message's seed
 //! reproduces the exact plan anywhere. See `docs/FUZZING.md` for the
@@ -19,10 +20,12 @@ pub mod gen_view;
 pub mod gen_wire;
 pub mod oracle;
 pub mod rng;
+pub mod route_stage;
 pub mod shrink;
 
 pub use oracle::{run_raw, run_seed, Divergence, OracleOptions, Plan, RawPlan, RunStats, Surface};
 pub use rng::FuzzRng;
+pub use route_stage::{run_route_many, RouteStats};
 
 /// A fuzz-run failure: the divergence, plus the minimized plan and the
 /// corpus rendering that reproduces it without the generator.

@@ -14,13 +14,31 @@ use crate::gen_update::{GenUpdate, UpdSpec};
 use crate::gen_view::GenView;
 use crate::oracle::{run_raw, Divergence, OracleOptions, Plan};
 
-/// Minimize `plan`, known to fail with `original`. Returns the smallest
-/// failing plan found and its divergence.
+/// Minimize `plan`, known to fail with `original`, against the full
+/// differential oracle ([`run_raw`]). Returns the smallest failing plan
+/// found and its divergence.
 pub fn shrink(
     plan: Plan,
     original: Divergence,
     opts: &OracleOptions,
+    budget: usize,
+) -> (Plan, Divergence) {
+    shrink_with(plan, original, budget, |raw| match run_raw(raw, opts) {
+        Ok(_) => Ok(()),
+        Err(div) => Err(div),
+    })
+}
+
+/// Minimize `plan` against an arbitrary `runner` — the oracle stages that
+/// are not the full four-surface check (e.g. the routing-agreement stage)
+/// plug in here. A candidate is kept only when the runner fails with the
+/// *same divergence kind*, so shrinking never drifts onto an unrelated
+/// failure.
+pub fn shrink_with(
+    plan: Plan,
+    original: Divergence,
     mut budget: usize,
+    runner: impl Fn(&crate::oracle::RawPlan) -> Result<(), Divergence>,
 ) -> (Plan, Divergence) {
     let mut best = plan;
     let mut best_div = original;
@@ -30,7 +48,7 @@ pub fn shrink(
                 break 'outer;
             }
             budget -= 1;
-            if let Err(div) = run_raw(&cand.raw(), opts) {
+            if let Err(div) = runner(&cand.raw()) {
                 if div.kind == best_div.kind {
                     best = cand;
                     best_div = div;

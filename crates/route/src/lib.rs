@@ -4,12 +4,21 @@
 //! before* translation. This crate pushes the same idea one level up: with
 //! a thousand views registered, checking one update against each of them is
 //! a thousand validate→STAR pipelines, almost all of which end in a trivial
-//! "this update does not even address this view". The [`RelevanceIndex`]
+//! "this update does not even address this view". The routing index
 //! decides that *statically*, from the compiled view ASGs alone, so the
 //! full per-view pipeline only runs on the candidate views that could
 //! possibly be affected — the static query-update-independence move of the
 //! type-based and rewrite-based independence literature, specialised to the
 //! paper's ASG artifacts.
+//!
+//! Two implementations share the signature/footprint contract: the
+//! [`TrieIndex`] (production — every view's signature merged into one
+//! shared path trie with compact integer postings, built for 10^5–10^6-view
+//! catalogs) and the original per-view [`RelevanceIndex`] (retained as the
+//! linear-walk differential oracle). Both route to identical [`Route`]s;
+//! the workspace's `tests/route_soundness.rs` and the `ufilter-fuzz`
+//! routing stage hold them to full equality on randomized and
+//! grammar-fuzzed streams with add/drop churn.
 //!
 //! ## Index levels
 //!
@@ -96,9 +105,13 @@
 
 mod footprint;
 mod index;
+mod postings;
+mod trie;
 
 pub use footprint::Footprint;
 pub use index::{LeafTarget, RelevanceIndex, Route, SignatureParts, ViewSignature};
+pub use postings::IndexStats;
+pub use trie::TrieIndex;
 
 /// Whether a check outcome proves the update was *statically irrelevant*
 /// to the view it was checked against: target resolution or Step-1

@@ -21,8 +21,8 @@ use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use ufilter_core::catalog::is_schema_ddl;
 use ufilter_core::{
-    BatchItemReport, BatchReport, BatchStats, CatalogError, CatalogStore, Footprint, LogRecord,
-    ProbeCache, ReplayStats, Route, UFilterConfig, ViewCatalog, ViewInfo,
+    BatchItemReport, BatchReport, BatchStats, CatalogError, CatalogStore, Footprint, IndexStats,
+    LogRecord, ProbeCache, ReplayStats, Route, UFilterConfig, ViewCatalog, ViewInfo,
 };
 use ufilter_rdb::{DatabaseSchema, Db, ExecOutcome, Parser, Stmt};
 use ufilter_xquery::UpdateStmt;
@@ -227,6 +227,18 @@ impl ShardedCatalog {
     /// in ascending name order (a sound superset — see `ufilter_route`).
     pub fn relevant_views(&self, u: &UpdateStmt) -> Vec<String> {
         self.route_update(u).candidates
+    }
+
+    /// Routing-index gauges summed over every shard's trie (read locks,
+    /// one shard at a time, ascending): live nodes, posting entries,
+    /// approximate resident bytes, and incremental insert/remove counts
+    /// since the process started. The service `STATS` verb reports these.
+    pub fn index_stats(&self) -> IndexStats {
+        let mut merged = IndexStats::default();
+        for i in 0..self.shards.len() {
+            merged.merge(&self.read(i).index_stats());
+        }
+        merged
     }
 
     /// The RESTRICT rule across every shard: reject schema-affecting DDL on

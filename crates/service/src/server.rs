@@ -461,7 +461,10 @@ impl Connection {
                 };
                 // Key order is a stable part of the reply format; the index
                 // counters (`fanout_requests` onward) always come last, in
-                // this order — the CI smoke script parses them by name.
+                // this order — the fan-out counters, then the routing-index
+                // gauges (`trie_*`) — and the CI smoke script parses them
+                // by name.
+                let trie = self.catalog.index_stats();
                 self.reply(
                     writer,
                     &format!(
@@ -469,7 +472,9 @@ impl Connection {
                          jobs={} checked={} probe_hits={} probe_misses={} compile_hits={} \
                          persist_appends={appends} persist_syncs={syncs} \
                          persist_compactions={compactions} persist_replayed={replayed} \
-                         fanout_requests={} candidates={} pruned={} fallbacks={}",
+                         fanout_requests={} candidates={} pruned={} fallbacks={} \
+                         trie_nodes={} trie_postings={} trie_bytes={} trie_inserts={} \
+                         trie_removes={}",
                         self.pool.workers(),
                         self.catalog.shard_count(),
                         self.catalog.len(),
@@ -485,6 +490,11 @@ impl Connection {
                         p.fanout_candidates,
                         p.fanout_pruned,
                         p.fanout_fallbacks,
+                        trie.nodes,
+                        trie.postings,
+                        trie.bytes,
+                        trie.inserts,
+                        trie.removes,
                     ),
                 )
             }
@@ -633,12 +643,41 @@ mod tests {
         assert!(c.recv().starts_with("ERR "), "malformed batchall item rejected");
         assert_eq!(c.roundtrip("PING"), "OK pong", "connection in sync after batchall ERR");
 
-        // STATS carries the index counters, stable-ordered at the tail.
+        // STATS carries the fan-out counters and the routing-index gauges,
+        // stable-ordered at the tail.
         let stats = c.roundtrip("STATS");
         assert!(stats.contains("fanout_requests=3"), "{stats}");
         let keys: Vec<&str> = stats.split(' ').filter_map(|kv| kv.split('=').next()).collect();
-        let tail = &keys[keys.len() - 4..];
-        assert_eq!(tail, ["fanout_requests", "candidates", "pruned", "fallbacks"], "{stats}");
+        let tail = &keys[keys.len() - 9..];
+        assert_eq!(
+            tail,
+            [
+                "fanout_requests",
+                "candidates",
+                "pruned",
+                "fallbacks",
+                "trie_nodes",
+                "trie_postings",
+                "trie_bytes",
+                "trie_inserts",
+                "trie_removes"
+            ],
+            "{stats}"
+        );
+        // One registered view populates the trie: nodes, postings and at
+        // least one recorded insert.
+        let gauge = |key: &str| -> u64 {
+            stats
+                .split(' ')
+                .find_map(|kv| kv.strip_prefix(&format!("{key}=")))
+                .unwrap_or_else(|| panic!("missing {key} in {stats}"))
+                .parse()
+                .unwrap()
+        };
+        assert!(gauge("trie_nodes") > 0, "{stats}");
+        assert!(gauge("trie_postings") > 0, "{stats}");
+        assert!(gauge("trie_bytes") > 0, "{stats}");
+        assert!(gauge("trie_inserts") >= 1, "{stats}");
 
         assert_eq!(c.roundtrip("SHUTDOWN"), "OK bye");
         handle.join().expect("clean shutdown");

@@ -72,16 +72,21 @@ PRUNED=$(sed -n 's/^--- views=[0-9]* candidates=[0-9]* pruned=\([0-9]*\) .*/\1/p
 # 27 views at checkall time: the 26-view manifest plus ci_books added above.
 [ "$PRUNED" -gt 0 ] || { echo "FAIL: checkall pruned nothing over 27 views"; exit 1; }
 
-# The STATS reply must carry the stable-ordered index counters, and they
-# must parse as integers (fanout_requests counts the one checkall above).
+# The STATS reply must carry the stable-ordered fan-out counters and the
+# routing-index gauges, and they must parse as integers (fanout_requests
+# counts the one checkall above).
 STATS_LINE=$(grep '^OK workers=' <<< "$CLIENT_OUT" | head -1)
-for key in fanout_requests candidates pruned fallbacks; do
+for key in fanout_requests candidates pruned fallbacks \
+           trie_nodes trie_postings trie_bytes trie_inserts trie_removes; do
     VAL=$(tr ' ' '\n' <<< "$STATS_LINE" | sed -n "s/^${key}=\([0-9]*\)$/\1/p")
     [[ "$VAL" =~ ^[0-9]+$ ]] || { echo "FAIL: STATS ${key} missing or non-numeric"; exit 1; }
     echo "STATS ${key}=${VAL}"
 done
 FANOUT_REQS=$(tr ' ' '\n' <<< "$STATS_LINE" | sed -n 's/^fanout_requests=\([0-9]*\)$/\1/p')
 [ "$FANOUT_REQS" -ge 1 ] || { echo "FAIL: STATS fanout_requests did not count checkall"; exit 1; }
+# The routing trie is populated (26-view manifest registered at startup).
+TRIE_NODES=$(tr ' ' '\n' <<< "$STATS_LINE" | sed -n 's/^trie_nodes=\([0-9]*\)$/\1/p')
+[ "$TRIE_NODES" -ge 1 ] || { echo "FAIL: STATS trie_nodes is zero with views registered"; exit 1; }
 
 # SHUTDOWN must actually stop the server.
 for _ in $(seq 1 300); do
@@ -176,3 +181,21 @@ if kill -0 "$SERVE2_PID" 2>/dev/null; then
 fi
 wait "$SERVE2_PID" 2>/dev/null || true
 echo "crash-recovery smoke OK"
+
+# ---- route-scale phase: 10k-view trie build + 50-update route -----------
+# Bounded scale check on the shared path-trie router: build a 10^4-view
+# signature catalog into the trie AND the legacy linear index, route a
+# 50-update stream through both, and fail on any candidate-set divergence
+# (the binary exits non-zero on mismatch).
+FIGS=${PAPER_FIGURES_BIN:-target/release/paper-figures}
+if [ -x "$FIGS" ]; then
+    SMOKE=$(timeout 120 "$FIGS" routesmoke --n 10000 --updates 50)
+    echo "$SMOKE"
+    grep -q '^route-smoke OK n=10000 updates=50 ' <<< "$SMOKE" \
+        || { echo "FAIL: route-scale smoke did not report OK"; exit 1; }
+    NODES=$(tr ' ' '\n' <<< "$SMOKE" | sed -n 's/^trie_nodes=\([0-9]*\)$/\1/p')
+    [ "$NODES" -ge 1 ] || { echo "FAIL: route-scale smoke built an empty trie"; exit 1; }
+    echo "route-scale smoke OK"
+else
+    echo "SKIP: $FIGS not built; route-scale smoke skipped"
+fi

@@ -14,12 +14,15 @@
 //! 3. **Irrelevance of the pruned**: every pruned view, brute-force
 //!    checked, really does come back statically irrelevant.
 
+use u_filter::asg::build_view_asg;
 use u_filter::core::catalog::{FanoutReport, ViewCatalog};
 use u_filter::core::wire::encode_outcome;
 use u_filter::core::{bookdemo, wire_outcome_is_irrelevant, ProbeCache};
+use u_filter::route::{RelevanceIndex, TrieIndex};
 use u_filter::tpch::{
     fanout_stream, generate, many_views, stream, stream_views, tpch_schema, Scale, StreamSpec,
 };
+use u_filter::xquery::{parse_update, parse_view_query};
 use ufilter_rdb::{Db, DeletePolicy};
 
 /// Wire lines of one fan-out report, keyed by (update, view).
@@ -201,6 +204,112 @@ UPDATE $root { INSERT <book><title>T</title><price>9.99</price></book> }"#
     let line = encode_outcome(&dedup_item.reports[0].outcome);
     assert!(line.starts_with("untranslatable non-injective "), "{line}");
     assert!(!wire_outcome_is_irrelevant(&line), "non-injective outcomes are never prunable");
+}
+
+/// Route every parseable update through both indexes and demand the full
+/// [`u_filter::route::Route`] — candidates, per-level pruning counters and
+/// the fallback flag — is identical. The trie may *compute* pruning
+/// differently (shared nodes, interval stabs), but it must never *decide*
+/// differently.
+fn assert_indexes_agree(trie: &TrieIndex, linear: &RelevanceIndex, updates: &[String], ctx: &str) {
+    for text in updates {
+        let Ok(u) = parse_update(text) else { continue };
+        assert_eq!(
+            trie.route(&u),
+            linear.route(&u),
+            "trie and linear walk diverged ({ctx})\nupdate: {text}"
+        );
+    }
+}
+
+/// Differential harness over the two index implementations: the shared
+/// path trie (production) against the per-view linear walk (oracle), on
+/// randomized TPC-H streams with mid-stream add/drop churn. Signature
+/// level only — no UFilter compilation — so the catalog can be large.
+#[test]
+fn trie_and_linear_walk_agree_on_tpch_streams_with_churn() {
+    let scale = Scale::tiny();
+    let schema = tpch_schema(DeletePolicy::Cascade);
+    let views: Vec<(String, ufilter_asg::ViewAsg)> = many_views(60, scale)
+        .into_iter()
+        .map(|(name, text)| {
+            let q = parse_view_query(&text).expect("generated view parses");
+            (name, build_view_asg(&q, &schema).expect("generated view builds"))
+        })
+        .collect();
+    let mut trie = TrieIndex::new();
+    let mut linear = RelevanceIndex::new();
+    for (name, asg) in &views {
+        trie.insert(name, asg);
+        linear.insert(name, asg);
+    }
+
+    for seed in [11, 12, 13] {
+        let mut updates = fanout_stream(20, scale, seed);
+        updates.extend(stream(StreamSpec::heavy(6), scale, seed).into_iter().map(|(_, u)| u));
+        assert_indexes_agree(&trie, &linear, &updates, "full catalog");
+
+        // Mid-stream churn: drop every third view from both indexes, route
+        // the same stream, then re-insert and route again — the trie's
+        // incremental remove (node free cascade, postings compaction) must
+        // land it in the same state as the rebuilt-from-scratch oracle.
+        for (name, _) in views.iter().step_by(3) {
+            trie.remove(name);
+            linear.remove(name);
+        }
+        assert_indexes_agree(&trie, &linear, &updates, "after drop churn");
+        for (name, asg) in views.iter().step_by(3) {
+            trie.insert(name, asg);
+            linear.insert(name, asg);
+        }
+        assert_indexes_agree(&trie, &linear, &updates, "after re-add churn");
+    }
+}
+
+/// The same differential over fuzz-generated plans: grammar-random views
+/// and updates (shapes far outside the TPC-H families), with per-plan
+/// drop-half/re-add churn.
+#[test]
+fn trie_and_linear_walk_agree_on_fuzz_streams_with_churn() {
+    let mut routed = 0usize;
+    for seed in 0..60u64 {
+        let plan = ufilter_fuzz::Plan::generate(seed).raw();
+        let mut db = Db::new();
+        if db.execute_script(&plan.schema_sql).is_err() {
+            continue;
+        }
+        let schema = db.schema().clone();
+        let mut trie = TrieIndex::new();
+        let mut linear = RelevanceIndex::new();
+        let mut built = Vec::new();
+        for (name, text) in &plan.views {
+            let Ok(q) = parse_view_query(text) else { continue };
+            let Ok(asg) = build_view_asg(&q, &schema) else { continue };
+            trie.insert(name, &asg);
+            linear.insert(name, &asg);
+            built.push((name.clone(), asg));
+        }
+        if built.is_empty() {
+            continue;
+        }
+        let ctx = format!("fuzz seed {seed}");
+        assert_indexes_agree(&trie, &linear, &plan.updates, &ctx);
+        routed += plan.updates.len();
+
+        // Churn: drop the first half, route, re-add, route.
+        let half = built.len().div_ceil(2);
+        for (name, _) in &built[..half] {
+            trie.remove(name);
+            linear.remove(name);
+        }
+        assert_indexes_agree(&trie, &linear, &plan.updates, &format!("{ctx}, half dropped"));
+        for (name, asg) in &built[..half] {
+            trie.insert(name, asg);
+            linear.insert(name, asg);
+        }
+        assert_indexes_agree(&trie, &linear, &plan.updates, &format!("{ctx}, re-added"));
+    }
+    assert!(routed >= 100, "fuzz sweep routed too few updates to mean anything: {routed}");
 }
 
 #[test]
