@@ -1,0 +1,41 @@
+//! Criterion micro-benches for the observability layer: the record hot
+//! path (the cost every pipeline span pays), snapshot assembly, and
+//! quantile extraction. The companion correctness gate is the
+//! `obs_overhead` integration test; these benches put absolute numbers on
+//! the same costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ufilter_core::obs::{self, Histogram, Stage};
+
+fn bench_record(c: &mut Criterion) {
+    let h = Histogram::new();
+    let mut v: u64 = 1;
+    c.bench_function("obs_histogram_record", |b| {
+        b.iter(|| {
+            // A cheap LCG walks values across buckets so the bench does
+            // not sit in one cache-hot counter.
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            h.record(v >> 32);
+        })
+    });
+    c.bench_function("obs_stage_span", |b| {
+        b.iter(|| {
+            let span = obs::clock();
+            obs::stage_elapsed(Stage::Parse, span);
+        })
+    });
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let h = Histogram::new();
+    for i in 0..100_000u64 {
+        h.record(i * 37);
+    }
+    c.bench_function("obs_histogram_snapshot", |b| b.iter(|| h.snapshot()));
+    let snap = h.snapshot();
+    c.bench_function("obs_snapshot_p999", |b| b.iter(|| snap.quantile(0.999)));
+    c.bench_function("obs_registry_merge", |b| b.iter(obs::snapshot));
+}
+
+criterion_group!(benches, bench_record, bench_snapshot);
+criterion_main!(benches);

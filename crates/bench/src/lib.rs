@@ -1002,6 +1002,7 @@ pub fn serve_throughput(
     mode: ServeMode,
 ) -> Table {
     use std::sync::Arc;
+    use ufilter_core::obs::{self, Verb};
     use ufilter_service::{CheckPool, ShardedCatalog};
 
     let db = generate(Scale::mb(mb), 42, DeletePolicy::Cascade);
@@ -1024,6 +1025,18 @@ pub fn serve_throughput(
         ServeMode::Pipelined => pool.check_stream(&s).items.len(),
     };
 
+    // The percentile columns come from the same lock-free request
+    // histograms the `METRICS` verb scrapes: the pool entry points record
+    // one `check` sample per request (per-request mode) or one `batch`
+    // sample per stream pass (pipelined mode). Diffing snapshots taken
+    // around the measured reps windows out the warm-up pass and any prior
+    // in-process traffic.
+    let verb = match mode {
+        ServeMode::PerRequest => Verb::Check,
+        ServeMode::Pipelined => Verb::Batch,
+    };
+    let us = |nanos: u64| format!("{:.1}", nanos as f64 / 1_000.0);
+
     let mut rows = Vec::new();
     let mut base_rate = None;
     for &w in workers {
@@ -1033,6 +1046,7 @@ pub fn serve_throughput(
         }
         let pool = CheckPool::new(catalog, &db, w);
         assert!(run_pass(&pool) >= s.len()); // warm-up pass
+        let before = obs::snapshot();
         let mut samples = Vec::with_capacity(reps);
         for _ in 0..reps {
             let t = Instant::now();
@@ -1040,6 +1054,7 @@ pub fn serve_throughput(
             samples.push(t.elapsed());
             assert!(n >= s.len());
         }
+        let lat = obs::snapshot().verb(verb).diff(before.verb(verb));
         samples.sort();
         let t = samples[samples.len() / 2];
         let rate = throughput(t);
@@ -1049,6 +1064,9 @@ pub fn serve_throughput(
             ms(t),
             format!("{rate:.0}"),
             format!("{:.2}x", rate / base),
+            us(lat.p50()),
+            us(lat.p99()),
+            us(lat.p999()),
         ]);
     }
     let mode_name = match mode {
@@ -1066,6 +1084,9 @@ pub fn serve_throughput(
             "stream (ms)".into(),
             "updates/s".into(),
             "vs 1 worker".into(),
+            "p50 (µs)".into(),
+            "p99 (µs)".into(),
+            "p999 (µs)".into(),
         ],
         rows,
     }
@@ -1091,9 +1112,10 @@ pub fn serve_json(reps: usize) -> String {
     ];
     let body = tables.iter().map(Table::to_json).collect::<Vec<_>>().join(",\n    ");
     format!(
-        "{{\n  \"schema_version\": 1,\n  \"note\": \"steady-state medians; per-request gains \
+        "{{\n  \"schema_version\": 2,\n  \"note\": \"steady-state medians; per-request gains \
          are probe-cache affinity (real on any core count), pipelined gains are parallelism \
-         (need cores > 1)\",\n  \
+         (need cores > 1); p50/p99/p999 are request-latency quantiles from the lock-free \
+         METRICS histograms (check samples per-request, batch samples per stream pass)\",\n  \
          \"cores\": {cores},\n  \"reps\": {reps},\n  \"tables\": [\n    {body}\n  ]\n}}\n"
     )
 }

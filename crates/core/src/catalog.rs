@@ -48,6 +48,7 @@ use ufilter_rdb::{DatabaseSchema, Db, ExecOutcome, Parser, Stmt};
 use ufilter_route::{Footprint, IndexStats, Route, TrieIndex, ViewSignature};
 use ufilter_xquery::{parse_update, UpdateStmt};
 
+use crate::obs::{self, Stage};
 use crate::outcome::CheckReport;
 use crate::persist::{self, CatalogStore, LogRecord, ReplayStats};
 use crate::pipeline::{malformed, CompileError, ProbeCache, UFilter, UFilterConfig};
@@ -790,7 +791,9 @@ impl ViewCatalog {
                     r.clone()
                 }
                 None => {
+                    let span = obs::clock();
                     let r = parse_update(text).map_err(|e| e.to_string());
+                    obs::stage_elapsed(Stage::Parse, span);
                     parsed.insert(text, r.clone());
                     r
                 }
@@ -964,8 +967,12 @@ impl ViewCatalog {
         // statement is cloned out of `parsed` only at stream build.
         let mut work: Vec<(usize, String)> = Vec::new();
         for (ui, text) in updates.iter().copied().enumerate() {
-            let entry =
-                parsed.entry(text).or_insert_with(|| parse_update(text).map_err(|e| e.to_string()));
+            let entry = parsed.entry(text).or_insert_with(|| {
+                let span = obs::clock();
+                let r = parse_update(text).map_err(|e| e.to_string());
+                obs::stage_elapsed(Stage::Parse, span);
+                r
+            });
             match entry {
                 Err(m) => {
                     // Unparsable text fails identically for every view —
@@ -983,6 +990,7 @@ impl ViewCatalog {
                     }
                 }
                 Ok(u) => {
+                    let span = obs::clock();
                     let route = if use_index {
                         self.index.route(u)
                     } else {
@@ -992,6 +1000,8 @@ impl ViewCatalog {
                             ..Route::default()
                         }
                     };
+                    obs::stage_elapsed(Stage::Route, span);
+                    obs::record_route_candidates(route.candidates.len());
                     fanout.absorb(&route);
                     for view in route.candidates {
                         work.push((ui, view));

@@ -39,6 +39,7 @@
 pub mod bookdemo;
 pub mod catalog;
 pub mod datacheck;
+pub mod obs;
 pub mod outcome;
 pub mod persist;
 pub mod pipeline;
@@ -55,6 +56,7 @@ pub use catalog::{
     ViewCatalog, ViewInfo,
 };
 pub use datacheck::{DataCheckReport, Strategy};
+pub use obs::{Histogram, HistogramSnapshot, MetricsSnapshot, Stage, Verb};
 pub use outcome::{CheckOutcome, CheckReport, CheckStep, Condition, InvalidReason};
 pub use persist::{CatalogStore, LogRecord, PersistError, ReplayStats, VerifyReport};
 pub use pipeline::{CompileError, ProbeCache, UFilter, UFilterConfig};

@@ -33,6 +33,8 @@ use std::fs::{self, File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
+use crate::obs;
+
 mod codec;
 mod frame;
 
@@ -407,10 +409,13 @@ impl CatalogStore {
             frame::encode_frame(&mut buf, &codec::encode_record(record));
         }
         let path = self.dir.join(LOG_FILE);
-        self.log
-            .write_all(&buf)
-            .and_then(|()| self.log.sync_data())
-            .map_err(|source| PersistError::Io { path, source })?;
+        let span = obs::clock();
+        let written = self.log.write_all(&buf);
+        obs::persist_elapsed(obs::PersistOp::Append, span);
+        let span = obs::clock();
+        let synced = written.and_then(|()| self.log.sync_data());
+        obs::persist_elapsed(obs::PersistOp::Fsync, span);
+        synced.map_err(|source| PersistError::Io { path, source })?;
         self.stats.appends += records.len() as u64;
         self.stats.syncs += 1;
         Ok(())
@@ -419,9 +424,10 @@ impl CatalogStore {
     /// Fsync the log without appending (the server's shutdown path calls
     /// this defensively before acknowledging `SHUTDOWN`).
     pub fn sync(&mut self) -> Result<(), PersistError> {
-        self.log
-            .sync_data()
-            .map_err(|source| PersistError::Io { path: self.dir.join(LOG_FILE), source })?;
+        let span = obs::clock();
+        let synced = self.log.sync_data();
+        obs::persist_elapsed(obs::PersistOp::Fsync, span);
+        synced.map_err(|source| PersistError::Io { path: self.dir.join(LOG_FILE), source })?;
         self.stats.syncs += 1;
         Ok(())
     }

@@ -7,6 +7,7 @@ use ufilter_rdb::{DatabaseSchema, Db, Row, Select};
 use ufilter_xquery::{features, parse_update, parse_view_query, UpdateStmt, ViewQuery};
 
 use crate::datacheck::{self, DataCheckReport, Strategy};
+use crate::obs::{self, Stage};
 use crate::outcome::{CheckOutcome, CheckReport, CheckStep};
 use crate::probe::{build_probe, path_info, SelectSpec};
 use crate::star::{self, StarMarking, StarMode, StarVerdict};
@@ -149,7 +150,9 @@ impl ProbeCache {
             self.hits += 1;
             return Ok((rs.clone(), true));
         }
+        let span = obs::clock();
         let rs = fetch()?;
+        obs::stage_elapsed(Stage::ProbeSql, span);
         self.misses += 1;
         self.entries.insert(sql.to_string(), rs.clone());
         Ok((rs, false))
@@ -225,11 +228,16 @@ impl UFilter {
     /// Compile a view: parse, expressibility-check, build both ASGs, run
     /// the STAR marking procedure.
     pub fn compile(view_text: &str, schema: &DatabaseSchema) -> Result<UFilter, CompileError> {
+        let span = obs::clock();
         if let Err(found) = features::expressible(view_text) {
             return Err(CompileError::Unsupported(found));
         }
         let query = parse_view_query(view_text).map_err(CompileError::Parse)?;
-        Self::compile_query(query, schema)
+        let out = Self::compile_query(query, schema);
+        if out.is_ok() {
+            obs::stage_elapsed(Stage::Compile, span);
+        }
+        out
     }
 
     /// Compile an already-parsed view query.
@@ -260,7 +268,10 @@ impl UFilter {
 
     /// Parse an update against this view.
     pub fn parse(&self, update_text: &str) -> Result<UpdateStmt, String> {
-        parse_update(update_text).map_err(|e| e.to_string())
+        let span = obs::clock();
+        let out = parse_update(update_text).map_err(|e| e.to_string());
+        obs::stage_elapsed(Stage::Parse, span);
+        out
     }
 
     /// Steps 1–2 only (no database access): validation + STAR.
@@ -460,7 +471,10 @@ impl UFilter {
         let mut trace: Vec<(CheckStep, String)> = Vec::new();
 
         // ---- Step 1: update validation --------------------------------
-        if let Err(reason) = validate(&self.asg, action) {
+        let span = obs::clock();
+        let validated = validate(&self.asg, action);
+        obs::stage_elapsed(Stage::Validate, span);
+        if let Err(reason) = validated {
             trace.push((CheckStep::Validation, reason.to_string()));
             return Err(CheckReport { trace, outcome: CheckOutcome::Invalid(reason) });
         }
@@ -471,7 +485,10 @@ impl UFilter {
         // aggregate values, aggregate-gated membership) have no exact
         // translation, whatever their STAR marks say. Views without such
         // regions skip this in O(nodes) with no behavior change.
-        if let Some(reason) = star::non_injective_check(&self.asg, &self.schema, action) {
+        let span = obs::clock();
+        let classified = star::non_injective_check(&self.asg, &self.schema, action);
+        obs::stage_elapsed(Stage::NonInjective, span);
+        if let Some(reason) = classified {
             trace.push((CheckStep::NonInjective, reason.clone()));
             return Err(CheckReport {
                 trace,
@@ -480,29 +497,31 @@ impl UFilter {
         }
 
         // ---- Step 2: STAR ----------------------------------------------
-        let conditions =
-            match star::check(&self.asg, &self.marking, &self.schema, action, self.config.mode) {
-                StarVerdict::Untranslatable(reason) => {
-                    trace.push((CheckStep::Star, reason.clone()));
-                    return Err(CheckReport {
-                        trace,
-                        outcome: CheckOutcome::Untranslatable { step: CheckStep::Star, reason },
-                    });
-                }
-                StarVerdict::Ok(conditions) => {
-                    let node = self.asg.node(action.node);
-                    trace.push((
-                        CheckStep::Star,
-                        match (&node.upoint, &node.ucontext) {
-                            (Some(up), Some(uc)) => {
-                                format!("target <{}> marked ({up}|{uc})", node.tag)
-                            }
-                            _ => format!("target <{}>", node.tag),
-                        },
-                    ));
-                    conditions
-                }
-            };
+        let span = obs::clock();
+        let verdict = star::check(&self.asg, &self.marking, &self.schema, action, self.config.mode);
+        obs::stage_elapsed(Stage::Star, span);
+        let conditions = match verdict {
+            StarVerdict::Untranslatable(reason) => {
+                trace.push((CheckStep::Star, reason.clone()));
+                return Err(CheckReport {
+                    trace,
+                    outcome: CheckOutcome::Untranslatable { step: CheckStep::Star, reason },
+                });
+            }
+            StarVerdict::Ok(conditions) => {
+                let node = self.asg.node(action.node);
+                trace.push((
+                    CheckStep::Star,
+                    match (&node.upoint, &node.ucontext) {
+                        (Some(up), Some(uc)) => {
+                            format!("target <{}> marked ({up}|{uc})", node.tag)
+                        }
+                        _ => format!("target <{}>", node.tag),
+                    },
+                ));
+                conditions
+            }
+        };
 
         // ---- Step 3 preparation ----------------------------------------
         let Some(db) = db else {
@@ -520,7 +539,8 @@ impl UFilter {
             };
 
         // Build the translation plan.
-        let plan = match build_plan(
+        let span = obs::clock();
+        let planned = build_plan(
             &self.asg,
             &self.marking,
             &self.schema,
@@ -528,7 +548,9 @@ impl UFilter {
             context_probe,
             &context_rows,
             tab_name,
-        ) {
+        );
+        obs::stage_elapsed(Stage::Translate, span);
+        let plan = match planned {
             Ok(p) => p,
             Err(outcome) => {
                 if let CheckOutcome::Untranslatable { step, reason } = &outcome {

@@ -1,0 +1,127 @@
+//! Property tests for the log-linear observability histogram: the bucketed
+//! quantiles must track an exact sorted-vector oracle to within one bucket,
+//! merge must be order-insensitive, and the bucket scheme must be exact at
+//! its edges.
+
+use proptest::prelude::*;
+use ufilter_core::obs::{bucket_index, bucket_lower, bucket_upper, Histogram, BUCKETS};
+
+/// The exact quantile the histogram approximates: the rank-⌈q·n⌉ element
+/// (1-based) of the sorted sample, matching `HistogramSnapshot::quantile`.
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The histogram quantile lands in the same bucket as the exact
+    /// sorted-vector quantile — i.e. the only error is bucket rounding,
+    /// never rank arithmetic.
+    #[test]
+    fn quantiles_match_sorted_vector_oracle_to_bucket_precision(
+        mut values in prop::collection::vec(0u64..u64::MAX, 1..400),
+        // Probe fixed quantiles plus a random one.
+        q_extra in 0.001f64..1.0,
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let snap = h.snapshot();
+        for q in [0.5, 0.9, 0.99, 0.999, q_extra] {
+            let exact = oracle_quantile(&values, q);
+            let approx = snap.quantile(q);
+            prop_assert_eq!(
+                bucket_index(approx),
+                bucket_index(exact),
+                "q={}: approx {} and exact {} fall in different buckets",
+                q, approx, exact
+            );
+            // And the approximation is the bucket's inclusive upper bound,
+            // so it never understates the exact value's bucket.
+            prop_assert!(approx >= exact || bucket_upper(bucket_index(exact)) == approx);
+        }
+    }
+
+    /// Merging snapshots is commutative and associative: any merge order
+    /// over a partition of the samples yields the same snapshot.
+    #[test]
+    fn merge_is_commutative_and_associative(
+        a in prop::collection::vec(0u64..u64::MAX, 0..100),
+        b in prop::collection::vec(0u64..u64::MAX, 0..100),
+        c in prop::collection::vec(0u64..u64::MAX, 0..100),
+    ) {
+        let snap = |vals: &[u64]| {
+            let h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        let (sa, sb, sc) = (snap(&a), snap(&b), snap(&c));
+
+        // (a ⊕ b) ⊕ c
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        // a ⊕ (b ⊕ c)
+        let mut right_inner = sb.clone();
+        right_inner.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&right_inner);
+        // c ⊕ b ⊕ a (commuted)
+        let mut commuted = sc.clone();
+        commuted.merge(&sb);
+        commuted.merge(&sa);
+
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert_eq!(left.sum(), right.sum());
+        prop_assert_eq!(left.max(), right.max());
+        prop_assert_eq!(left.count(), commuted.count());
+        prop_assert_eq!(left.sum(), commuted.sum());
+        prop_assert_eq!(left.max(), commuted.max());
+        // Bucket-for-bucket equality, probed through quantiles.
+        for q in [0.001, 0.25, 0.5, 0.75, 0.99, 1.0] {
+            prop_assert_eq!(left.quantile(q), right.quantile(q));
+            prop_assert_eq!(left.quantile(q), commuted.quantile(q));
+        }
+    }
+
+    /// Round-trip: every value lands in a bucket whose [lower, upper]
+    /// range contains it.
+    #[test]
+    fn bucket_bounds_contain_their_values(v in 0u64..u64::MAX) {
+        let i = bucket_index(v);
+        prop_assert!(i < BUCKETS);
+        prop_assert!(bucket_lower(i) <= v, "lower({}) = {} > {}", i, bucket_lower(i), v);
+        prop_assert!(v <= bucket_upper(i), "upper({}) = {} < {}", i, bucket_upper(i), v);
+    }
+}
+
+#[test]
+fn edge_values_record_exactly() {
+    // 0, sub-microsecond values, and u64::MAX all record and read back.
+    let h = Histogram::new();
+    h.record(0);
+    h.record(1); // 1ns
+    h.record(999); // sub-µs
+    h.record(u64::MAX);
+    let snap = h.snapshot();
+    assert_eq!(snap.count(), 4);
+    assert_eq!(snap.max(), u64::MAX);
+    // Values below 16 are exact (dedicated unit buckets).
+    assert_eq!(bucket_lower(bucket_index(0)), 0);
+    assert_eq!(bucket_upper(bucket_index(0)), 0);
+    assert_eq!(bucket_lower(bucket_index(1)), 1);
+    assert_eq!(bucket_upper(bucket_index(1)), 1);
+    // u64::MAX maps to the last bucket whose upper bound is saturated.
+    assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    assert_eq!(bucket_upper(BUCKETS - 1), u64::MAX);
+    // The p100 quantile is the max bucket's upper bound.
+    assert_eq!(snap.quantile(1.0), u64::MAX);
+    // p25 of {0, 1, 999, MAX} is the rank-1 element: exactly 0.
+    assert_eq!(snap.quantile(0.25), 0);
+}

@@ -20,6 +20,7 @@
 use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use ufilter_core::catalog::is_schema_ddl;
+use ufilter_core::obs::{self, LockKind};
 use ufilter_core::{
     BatchItemReport, BatchReport, BatchStats, CatalogError, CatalogStore, Footprint, IndexStats,
     LogRecord, ProbeCache, ReplayStats, Route, UFilterConfig, ViewCatalog, ViewInfo,
@@ -157,12 +158,18 @@ impl ShardedCatalog {
     /// exist in at most one shard by construction, so [`ViewCatalog::add`]'s
     /// duplicate check remains authoritative.
     pub fn add(&self, name: &str, view_text: &str) -> Result<ViewInfo, CatalogError> {
-        self.write(self.shard_of(name)).add(name, view_text)
+        let span = obs::clock();
+        let out = self.write(self.shard_of(name)).add(name, view_text);
+        obs::lock_hold_elapsed(LockKind::Write, span);
+        out
     }
 
     /// Unregister `name` (one shard write lock).
     pub fn drop_view(&self, name: &str) -> Result<(), CatalogError> {
-        self.write(self.shard_of(name)).drop_view(name)
+        let span = obs::clock();
+        let out = self.write(self.shard_of(name)).drop_view(name);
+        obs::lock_hold_elapsed(LockKind::Write, span);
+        out
     }
 
     /// All registered views in name order (read locks, one shard at a time,
@@ -285,15 +292,29 @@ impl ShardedCatalog {
         db: &mut Db,
         stmt: Stmt,
     ) -> Result<ExecOutcome, CatalogError> {
+        let span = obs::clock();
         let mut guards: Vec<RwLockWriteGuard<'_, ViewCatalog>> =
             (0..self.shards.len()).map(|i| self.write(i)).collect();
-        for shard in &guards {
+        let out = Self::run_under_guards(&mut guards, db, stmt);
+        drop(guards);
+        obs::lock_hold_elapsed(LockKind::Write, span);
+        out
+    }
+
+    /// [`execute_guarded_stmt`](Self::execute_guarded_stmt)'s body with
+    /// every shard write lock already held.
+    fn run_under_guards(
+        guards: &mut [RwLockWriteGuard<'_, ViewCatalog>],
+        db: &mut Db,
+        stmt: Stmt,
+    ) -> Result<ExecOutcome, CatalogError> {
+        for shard in guards.iter() {
             shard.guard_ddl(&stmt)?;
         }
         let ddl = is_schema_ddl(&stmt);
         let out = db.run(stmt).map_err(|e| CatalogError::Sql { detail: e.to_string() })?;
         if ddl {
-            for shard in &mut guards {
+            for shard in guards.iter_mut() {
                 shard.set_schema(db.schema().clone());
             }
         }
@@ -332,7 +353,9 @@ impl ShardedCatalog {
             if sub.is_empty() {
                 continue;
             }
+            let span = obs::clock();
             let report = self.read(shard).check_batch_refs(&sub, db, cache);
+            obs::lock_hold_elapsed(LockKind::Read, span);
             stats.merge(&report.stats);
             for mut item in report.items {
                 item.index = globals[item.index];

@@ -45,11 +45,13 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod metrics;
 pub mod pool;
 pub mod proto;
 pub mod server;
 
 pub use catalog::{affinity_hash, ShardedCatalog};
+pub use metrics::{StatsFamily, STATS_FAMILIES};
 pub use pool::{CheckPool, PoolStatsSnapshot};
 pub use proto::Request;
 pub use server::{CheckServer, ShutdownHandle};

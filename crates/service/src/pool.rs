@@ -20,7 +20,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
+use ufilter_core::obs::{self, Stage, Verb};
 use ufilter_core::{
     BatchItemReport, BatchReport, BatchStats, CheckReport, FanoutItem, FanoutReport, FanoutStats,
     ProbeCache, Route,
@@ -35,6 +37,9 @@ use crate::catalog::{affinity_hash, ShardedCatalog};
 struct Job {
     items: Vec<(usize, String, String)>,
     reply: Sender<(Vec<BatchItemReport>, BatchStats)>,
+    /// Dispatch time (None when metrics are disabled); the receiving worker
+    /// records the queue wait.
+    enqueued: Option<Instant>,
 }
 
 /// Monotonic counters the pool aggregates across workers (read by the
@@ -150,6 +155,13 @@ impl CheckPool {
     /// [`ShardedCatalog::check_batch_text`] of the same stream — routing
     /// only decides which worker's cache absorbs which probes.
     pub fn check_stream(&self, items: &[(String, String)]) -> BatchReport {
+        let span = obs::clock();
+        let report = self.stream_inner(items);
+        obs::verb_elapsed(Verb::Batch, span);
+        report
+    }
+
+    fn stream_inner(&self, items: &[(String, String)]) -> BatchReport {
         let mut per_worker: Vec<Vec<(usize, String, String)>> =
             vec![Vec::new(); self.senders.len()];
         for (i, (view, text)) in items.iter().enumerate() {
@@ -163,7 +175,7 @@ impl CheckPool {
             }
             expected += 1;
             self.senders[w]
-                .send(Job { items: job_items, reply: reply.clone() })
+                .send(Job { items: job_items, reply: reply.clone(), enqueued: obs::clock() })
                 .expect("worker thread alive while pool exists");
         }
         drop(reply);
@@ -180,8 +192,10 @@ impl CheckPool {
 
     /// Check a single update (a one-item [`check_stream`](Self::check_stream)).
     pub fn check_one(&self, view: &str, text: &str) -> Vec<CheckReport> {
+        let span = obs::clock();
         let mut report =
-            self.check_stream(std::slice::from_ref(&(view.to_string(), text.to_string())));
+            self.stream_inner(std::slice::from_ref(&(view.to_string(), text.to_string())));
+        obs::verb_elapsed(Verb::Check, span);
         report.items.remove(0).reports
     }
 
@@ -191,7 +205,10 @@ impl CheckPool {
     /// come back in candidate-name order with outcomes byte-identical (in
     /// wire form) to a per-view `CHECK` of each candidate.
     pub fn check_all(&self, update_text: &str) -> FanoutReport {
-        self.check_all_batch(std::slice::from_ref(&update_text.to_string()))
+        let span = obs::clock();
+        let report = self.fan_out_inner(std::slice::from_ref(&update_text.to_string()));
+        obs::verb_elapsed(Verb::CheckAll, span);
+        report
     }
 
     /// [`check_all`](Self::check_all) over a stream of updates (the
@@ -214,6 +231,13 @@ impl CheckPool {
     /// run would serialize the whole service against its slowest check,
     /// so the catalog deliberately does not offer that.
     pub fn check_all_batch(&self, updates: &[String]) -> FanoutReport {
+        let span = obs::clock();
+        let report = self.fan_out_inner(updates);
+        obs::verb_elapsed(Verb::BatchAll, span);
+        report
+    }
+
+    fn fan_out_inner(&self, updates: &[String]) -> FanoutReport {
         let mut fanout = FanoutStats { views: self.catalog.len(), ..FanoutStats::default() };
         // (update index, candidate view) for every surviving pair. Updates
         // that fail to parse are deliberately fanned out to *all* views:
@@ -221,9 +245,15 @@ impl CheckPool {
         // the brute-force loop yields, so outcomes stay byte-identical.
         let mut work: Vec<(usize, String)> = Vec::new();
         for (ui, text) in updates.iter().enumerate() {
-            match parse_update(text) {
+            let span = obs::clock();
+            let parsed = parse_update(text);
+            obs::stage_elapsed(Stage::Parse, span);
+            match parsed {
                 Ok(u) => {
+                    let span = obs::clock();
                     let route = self.catalog.route_update(&u);
+                    obs::stage_elapsed(Stage::Route, span);
+                    obs::record_route_candidates(route.candidates.len());
                     fanout.absorb(&route);
                     work.extend(route.candidates.into_iter().map(|v| (ui, v)));
                 }
@@ -243,7 +273,7 @@ impl CheckPool {
         self.stats.record_fanout(&fanout);
         let stream: Vec<(String, String)> =
             work.iter().map(|(ui, view)| (view.clone(), updates[*ui].clone())).collect();
-        let batch = self.check_stream(&stream);
+        let batch = self.stream_inner(&stream);
         let mut items: Vec<FanoutItem> = batch
             .items
             .into_iter()
@@ -279,6 +309,7 @@ fn worker_main(
     // jobs (and across views routed here) is sound.
     let mut cache = ProbeCache::new();
     while let Ok(job) = rx.recv() {
+        obs::queue_wait_elapsed(job.enqueued);
         let borrowed: Vec<(usize, &str, &str)> =
             job.items.iter().map(|(i, v, t)| (*i, v.as_str(), t.as_str())).collect();
         let (items, batch_stats) = catalog.check_indexed(&borrowed, db, &mut cache);

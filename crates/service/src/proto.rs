@@ -36,6 +36,8 @@
 //!
 //! --> STATS
 //! <-- OK workers=<..> shards=<..> views=<..> requests=<..> checked=<..> ...
+//! --> METRICS
+//! <-- OK <n>               (followed by n raw Prometheus text-format lines)
 //! --> PING
 //! <-- OK pong
 //! --> SHUTDOWN
@@ -98,10 +100,34 @@ pub enum Request {
     CatalogVerify,
     /// `STATS` — one-line server/pool counters.
     Stats,
+    /// `METRICS` — multi-line Prometheus text exposition (histogram
+    /// summaries + every `STATS` counter as a typed family).
+    Metrics,
     /// `PING` — liveness probe.
     Ping,
     /// `SHUTDOWN` — stop accepting connections and drain.
     Shutdown,
+}
+
+impl Request {
+    /// The wire verb this request arrived as (stable lowercase label for
+    /// slow-request logs and per-verb latency families).
+    pub fn wire_verb(&self) -> &'static str {
+        match self {
+            Request::Check { .. } => "check",
+            Request::Batch { .. } => "batch",
+            Request::CheckAll { .. } => "checkall",
+            Request::BatchAll { .. } => "batchall",
+            Request::CatalogAdd { .. } => "catalog_add",
+            Request::CatalogDrop { .. } => "catalog_drop",
+            Request::CatalogList => "catalog_list",
+            Request::CatalogVerify => "catalog_verify",
+            Request::Stats => "stats",
+            Request::Metrics => "metrics",
+            Request::Ping => "ping",
+            Request::Shutdown => "shutdown",
+        }
+    }
 }
 
 /// Parse one request line. `Err` carries a human-readable detail suitable
@@ -175,12 +201,13 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             },
             other => Err(format!("unknown CATALOG subcommand {other:?} (ADD/DROP/LIST/VERIFY)")),
         },
-        "STATS" | "PING" | "SHUTDOWN" => {
+        "STATS" | "METRICS" | "PING" | "SHUTDOWN" => {
             if parts.next().is_some() {
                 return Err(format!("{verb} takes no operands"));
             }
             Ok(match verb {
                 "STATS" => Request::Stats,
+                "METRICS" => Request::Metrics,
                 "PING" => Request::Ping,
                 _ => Request::Shutdown,
             })
@@ -275,8 +302,18 @@ mod tests {
     fn zero_operand_verbs_reject_operands() {
         assert_eq!(parse_request("PING").unwrap(), Request::Ping);
         assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
+        assert_eq!(parse_request("METRICS").unwrap(), Request::Metrics);
         assert_eq!(parse_request("SHUTDOWN").unwrap(), Request::Shutdown);
         assert!(parse_request("PING now").is_err());
+        assert!(parse_request("METRICS now").is_err());
+    }
+
+    #[test]
+    fn wire_verbs_are_stable_lowercase_labels() {
+        assert_eq!(Request::Metrics.wire_verb(), "metrics");
+        assert_eq!(Request::Check { view: "v".into(), update: "u".into() }.wire_verb(), "check");
+        assert_eq!(Request::CatalogList.wire_verb(), "catalog_list");
+        assert_eq!(Request::Shutdown.wire_verb(), "shutdown");
     }
 
     #[test]

@@ -14,13 +14,15 @@ use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use ufilter_core::obs::{self, Verb};
 use ufilter_core::wire::{encode_outcome, escape};
 use ufilter_core::CheckReport;
 use ufilter_rdb::Db;
 
 use crate::catalog::ShardedCatalog;
+use crate::metrics::{self, STATS_FAMILIES};
 use crate::pool::CheckPool;
 use crate::proto::{err_reply, parse_batch_item, parse_batchall_item, parse_request, Request};
 
@@ -46,6 +48,7 @@ pub struct CheckServer {
     pool: Arc<CheckPool>,
     shutdown: Arc<AtomicBool>,
     stats: Arc<ServerStats>,
+    slow_ms: Option<u64>,
 }
 
 impl CheckServer {
@@ -67,7 +70,16 @@ impl CheckServer {
             pool,
             shutdown: Arc::new(AtomicBool::new(false)),
             stats: Arc::new(ServerStats::default()),
+            slow_ms: None,
         })
+    }
+
+    /// Log any request slower than `ms` milliseconds to stderr as a
+    /// single-line structured record with a per-request trace id
+    /// (`SLOW trace=<16hex> verb=<verb> dur_us=<n> request=<escaped>`).
+    /// `None` (the default) disables slow logging.
+    pub fn set_slow_ms(&mut self, ms: Option<u64>) {
+        self.slow_ms = ms;
     }
 
     /// The address the server actually bound (resolves `:0`).
@@ -97,6 +109,7 @@ impl CheckServer {
                 shutdown: Arc::clone(&self.shutdown),
                 stats: Arc::clone(&self.stats),
                 addr: self.addr,
+                slow_ms: self.slow_ms,
             };
             conns.push(std::thread::spawn(move || conn.serve(stream)));
         }
@@ -135,6 +148,7 @@ struct Connection {
     shutdown: Arc<AtomicBool>,
     stats: Arc<ServerStats>,
     addr: SocketAddr,
+    slow_ms: Option<u64>,
 }
 
 impl Connection {
@@ -157,7 +171,7 @@ impl Connection {
             }
             self.stats.requests.fetch_add(1, Ordering::Relaxed);
             let stop = match parse_request(&line) {
-                Ok(req) => self.handle(req, &mut reader, &mut writer),
+                Ok(req) => self.handle(req, &mut reader, &mut writer, &line),
                 Err(detail) => {
                     self.stats.errors.fetch_add(1, Ordering::Relaxed);
                     self.reply(&mut writer, &err_reply(&detail))
@@ -231,9 +245,56 @@ impl Connection {
         Some(false)
     }
 
+    /// Handle one parsed request, wrapped with observability: per-verb
+    /// latency recording (pool-backed verbs record themselves inside the
+    /// pool, so both TCP and in-process callers hit the same histograms)
+    /// and the `--slow-ms` structured slow-request log.
+    fn handle(
+        &self,
+        req: Request,
+        reader: &mut BufReader<TcpStream>,
+        writer: &mut BufWriter<TcpStream>,
+        line: &str,
+    ) -> Option<bool> {
+        let recorded = match &req {
+            Request::CatalogAdd { .. } => Some(Verb::CatalogAdd),
+            Request::CatalogDrop { .. } => Some(Verb::CatalogDrop),
+            Request::CatalogList => Some(Verb::CatalogList),
+            Request::CatalogVerify => Some(Verb::CatalogVerify),
+            Request::Stats => Some(Verb::Stats),
+            Request::Metrics => Some(Verb::Metrics),
+            Request::Ping => Some(Verb::Ping),
+            // CHECK/BATCH/CHECKALL/BATCHALL latency is recorded by the pool
+            // entry points; SHUTDOWN is terminal and fires once.
+            _ => None,
+        };
+        let wire_verb = req.wire_verb();
+        // The slow log works even with metrics disabled, so it times with
+        // its own clock rather than obs::clock().
+        let slow_from = self.slow_ms.map(|_| Instant::now());
+        let span = if recorded.is_some() { obs::clock() } else { None };
+        let out = self.handle_inner(req, reader, writer);
+        if let Some(verb) = recorded {
+            obs::verb_elapsed(verb, span);
+        }
+        if let (Some(started), Some(threshold)) = (slow_from, self.slow_ms) {
+            let dur = started.elapsed();
+            if dur >= Duration::from_millis(threshold) {
+                let shown: String = line.trim_end().chars().take(200).collect();
+                eprintln!(
+                    "SLOW trace={:016x} verb={wire_verb} dur_us={} request={}",
+                    obs::next_trace_id(),
+                    dur.as_micros(),
+                    escape(&shown),
+                );
+            }
+        }
+        out
+    }
+
     /// Handle one parsed request. `None` = close connection, `Some(true)` =
     /// server shutdown requested, `Some(false)` = keep serving.
-    fn handle(
+    fn handle_inner(
         &self,
         req: Request,
         reader: &mut BufReader<TcpStream>,
@@ -498,7 +559,58 @@ impl Connection {
                     ),
                 )
             }
+            Request::Metrics => {
+                let lines = self.metrics_lines();
+                writeln!(writer, "OK {}", lines.len()).ok()?;
+                for l in &lines {
+                    writeln!(writer, "{l}").ok()?;
+                }
+                writer.flush().ok()?;
+                Some(false)
+            }
         }
+    }
+
+    /// The Prometheus exposition: every `STATS` value as a typed family
+    /// (same live sources as the `STATS` reply, in [`STATS_FAMILIES`]
+    /// order) plus every histogram as a quantile summary.
+    fn metrics_lines(&self) -> Vec<String> {
+        let p = self.pool.stats();
+        let (appends, syncs, compactions, replayed) = match self.catalog.store() {
+            Some(store) => {
+                let s = store.lock().expect("catalog store lock").stats();
+                (s.appends, s.syncs, s.compactions, s.recovered_records)
+            }
+            None => (0, 0, 0, 0),
+        };
+        let trie = self.catalog.index_stats();
+        let values: [u64; STATS_FAMILIES.len()] = [
+            self.pool.workers() as u64,
+            self.catalog.shard_count() as u64,
+            self.catalog.len() as u64,
+            self.stats.connections.load(Ordering::Relaxed) as u64,
+            self.stats.requests.load(Ordering::Relaxed) as u64,
+            self.stats.errors.load(Ordering::Relaxed) as u64,
+            p.jobs as u64,
+            p.items as u64,
+            p.probe_hits as u64,
+            p.probe_misses as u64,
+            self.catalog.compile_cache_hits() as u64,
+            appends,
+            syncs,
+            compactions,
+            replayed as u64,
+            p.fanout_requests as u64,
+            p.fanout_candidates as u64,
+            p.fanout_pruned as u64,
+            p.fanout_fallbacks as u64,
+            trie.nodes as u64,
+            trie.postings as u64,
+            trie.bytes as u64,
+            trie.inserts,
+            trie.removes,
+        ];
+        metrics::render(&values, &obs::snapshot())
     }
 }
 
@@ -681,6 +793,87 @@ mod tests {
 
         assert_eq!(c.roundtrip("SHUTDOWN"), "OK bye");
         handle.join().expect("clean shutdown");
+    }
+
+    #[test]
+    fn metrics_reports_prometheus_families_after_traffic() {
+        let (addr, handle) = spawn_book_server(2);
+        let mut c = Client::connect(addr);
+
+        // Traffic first, so the check-stage histograms have samples.
+        let ok = c.roundtrip(&crate::proto::check_request("books", bookdemo::U8));
+        assert!(ok.starts_with("OK "), "{ok}");
+        c.send(&crate::proto::checkall_request(bookdemo::U8));
+        assert_eq!(c.recv(), "OK 1");
+        c.recv(); // ITEM
+        c.recv(); // END
+
+        let header = c.roundtrip("METRICS");
+        let n: usize = header.strip_prefix("OK ").expect(&header).parse().unwrap();
+        let lines: Vec<String> = (0..n).map(|_| c.recv()).collect();
+        assert!(n > 50, "full exposition, not a stub: {n} lines");
+
+        let value_of = |prefix: &str| -> f64 {
+            lines
+                .iter()
+                .find(|l| l.starts_with(prefix))
+                .unwrap_or_else(|| panic!("no line starts with {prefix}"))
+                .rsplit(' ')
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        // Exposition-format sanity: HELP/TYPE for every STATS family, and
+        // the per-server gauges carry this server's live values.
+        for family in STATS_FAMILIES {
+            assert!(
+                lines.iter().any(|l| *l == format!("# TYPE {} {}", family.family, family.kind)),
+                "missing TYPE for {}",
+                family.family
+            );
+        }
+        assert_eq!(value_of("ufilter_workers "), 2.0);
+        assert_eq!(value_of("ufilter_views "), 1.0);
+        assert!(value_of("ufilter_requests_total ") >= 3.0);
+
+        // The histogram summaries saw the traffic above. The obs registry
+        // is process-global (shared with sibling tests), so only >= holds.
+        for prefix in [
+            "ufilter_check_stage_duration_seconds_count{stage=\"parse\"}",
+            "ufilter_check_stage_duration_seconds_count{stage=\"validate\"}",
+            "ufilter_check_stage_duration_seconds_count{stage=\"star\"}",
+            "ufilter_request_duration_seconds_count{verb=\"check\"}",
+            "ufilter_request_duration_seconds_count{verb=\"checkall\"}",
+            "ufilter_queue_wait_seconds_count",
+            "ufilter_shard_lock_hold_seconds_count{kind=\"read\"}",
+            "ufilter_route_candidates_count",
+        ] {
+            assert!(value_of(prefix) >= 1.0, "{prefix} has no samples");
+        }
+        // Quantiles are ordered and the labels are well-formed.
+        let p50 = value_of("ufilter_request_duration_seconds{verb=\"check\",quantile=\"0.5\"}");
+        let p999 = value_of("ufilter_request_duration_seconds{verb=\"check\",quantile=\"0.999\"}");
+        assert!(p50 > 0.0 && p999 >= p50, "p50={p50} p999={p999}");
+
+        // A request's own latency lands after its reply renders, so the
+        // METRICS verb only shows up from the second scrape on.
+        let header = c.roundtrip("METRICS");
+        let n: usize = header.strip_prefix("OK ").expect(&header).parse().unwrap();
+        let lines: Vec<String> = (0..n).map(|_| c.recv()).collect();
+        let metrics_count = lines
+            .iter()
+            .find(|l| l.starts_with("ufilter_request_duration_seconds_count{verb=\"metrics\"}"))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap();
+        assert!(metrics_count >= 1.0, "second scrape sees the first METRICS request");
+
+        // The connection is still in sync and STATS is untouched.
+        assert_eq!(c.roundtrip("PING"), "OK pong");
+        assert!(c.roundtrip("METRICS extra").starts_with("ERR "));
+        assert_eq!(c.roundtrip("SHUTDOWN"), "OK bye");
+        handle.join().unwrap();
     }
 
     #[test]

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # CI smoke for the check service: start `ufilter serve` on an ephemeral
 # loopback port, drive a scripted client session (catalog add, check,
-# batch, checkall fan-out, stats, shutdown), and fail on any non-OK reply
-# or hang. A second phase SIGKILLs a durable (--data-dir) server mid-session
+# batch, checkall fan-out, stats, metrics, shutdown), and fail on any
+# non-OK reply, missing Prometheus metric family, or hang. A second phase SIGKILLs a durable (--data-dir) server mid-session
 # and asserts the restarted server recovers to byte-identical replies.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -26,6 +26,7 @@ check ci_books fixtures/u8.xq
 check ci_stats fixtures/u_agg.xq
 batch fixtures/batch.ubatch
 checkall fixtures/u8.xq
+metrics
 stats
 drop ci_books
 drop ci_stats
@@ -87,6 +88,35 @@ FANOUT_REQS=$(tr ' ' '\n' <<< "$STATS_LINE" | sed -n 's/^fanout_requests=\([0-9]
 # The routing trie is populated (26-view manifest registered at startup).
 TRIE_NODES=$(tr ' ' '\n' <<< "$STATS_LINE" | sed -n 's/^trie_nodes=\([0-9]*\)$/\1/p')
 [ "$TRIE_NODES" -ge 1 ] || { echo "FAIL: STATS trie_nodes is zero with views registered"; exit 1; }
+
+# The METRICS scrape (mid-session, after real check/batch/checkall traffic)
+# must expose the required Prometheus families with sane values. Helper:
+# first whitespace token is the full series name incl. labels.
+metric_value() {
+    awk -v k="$1" '$1 == k {print $2; exit}' <<< "$CLIENT_OUT"
+}
+grep -q '^# TYPE ufilter_requests_total counter' <<< "$CLIENT_OUT" \
+    || { echo "FAIL: METRICS lacks the ufilter_requests_total family"; exit 1; }
+grep -q '^# TYPE ufilter_request_duration_seconds summary' <<< "$CLIENT_OUT" \
+    || { echo "FAIL: METRICS lacks the request-latency summary"; exit 1; }
+for series in 'ufilter_request_duration_seconds_count{verb="check"}' \
+              'ufilter_check_stage_duration_seconds_count{stage="parse"}' \
+              'ufilter_check_stage_duration_seconds_count{stage="star"}' \
+              'ufilter_route_candidates_count' \
+              'ufilter_queue_wait_seconds_count'; do
+    VAL=$(metric_value "$series")
+    [[ "$VAL" =~ ^[0-9.]+$ ]] || { echo "FAIL: METRICS ${series} missing or non-numeric"; exit 1; }
+    awk -v v="$VAL" 'BEGIN { exit !(v >= 1) }' \
+        || { echo "FAIL: METRICS ${series}=${VAL}, expected >= 1 after traffic"; exit 1; }
+    echo "METRICS ${series}=${VAL}"
+done
+WORKERS_METRIC=$(metric_value ufilter_workers)
+[ "${WORKERS_METRIC%%.*}" = "2" ] \
+    || { echo "FAIL: METRICS ufilter_workers=${WORKERS_METRIC}, expected 2"; exit 1; }
+P99=$(metric_value 'ufilter_request_duration_seconds{verb="check",quantile="0.99"}')
+awk -v v="$P99" 'BEGIN { exit !(v > 0 && v < 60) }' \
+    || { echo "FAIL: METRICS check p99=${P99}s is not a sane latency"; exit 1; }
+echo "METRICS check p99=${P99}s"
 
 # SHUTDOWN must actually stop the server.
 for _ in $(seq 1 300); do

@@ -54,7 +54,7 @@ fn cmd_usage(cmd: &str) -> &'static str {
         "check-all" => "ufilter --schema <s.sql> --catalog <manifest> check-all <update.xq>",
         "serve" => {
             "ufilter --schema <s.sql> [--views <manifest>] [--data-dir <dir>] [--listen <addr>] \
-             [--workers <n>] serve"
+             [--workers <n>] [--slow-ms <ms>] serve"
         }
         "client" => "ufilter client <host:port> <script.ucl | ->",
         _ => USAGE_LINE,
@@ -72,6 +72,7 @@ struct Args {
     data_dir: Option<String>,
     listen: Option<String>,
     workers: Option<usize>,
+    slow_ms: Option<u64>,
     strategy: Strategy,
     mode: StarMode,
     command: String,
@@ -101,6 +102,7 @@ fn parse_args() -> Result<Args, String> {
         data_dir: None,
         listen: None,
         workers: None,
+        slow_ms: None,
         strategy: Strategy::Outside,
         mode: StarMode::Refined,
         command: String::new(),
@@ -136,6 +138,12 @@ fn parse_args() -> Result<Args, String> {
                     Some(v.parse::<usize>().ok().filter(|w| *w >= 1).ok_or_else(|| {
                         general(format!("--workers needs a count >= 1, got {v}"))
                     })?);
+            }
+            "--slow-ms" => {
+                let v = args.next().ok_or_else(|| general("--slow-ms needs a threshold".into()))?;
+                out.slow_ms = Some(v.parse::<u64>().map_err(|_| {
+                    general(format!("--slow-ms needs a millisecond count, got {v}"))
+                })?);
             }
             "--strategy" => {
                 out.strategy = match args.next().as_deref() {
@@ -204,7 +212,7 @@ COMMANDS:
     client <addr> <script>  drive a running server with a scripted session
                             ('-' reads the script from stdin); script verbs:
                             add/drop/list/verify/check/batch/checkall/batchall/
-                            stats/ping/shutdown
+                            stats/metrics/ping/shutdown
     help                 this message
 
 OPTIONS:
@@ -214,6 +222,9 @@ OPTIONS:
                                          catalog compact/verify)
     --listen <addr>                      serve: bind address (default 127.0.0.1:0)
     --workers <n>                        serve: worker threads (default 4)
+    --slow-ms <ms>                       serve: log requests slower than <ms>
+                                         milliseconds to stderr as SLOW lines
+                                         with a trace id (default: off)
     --strategy internal|hybrid|outside   update-point strategy (default outside)
     --mode strict|refined                Observation-2 handling (default refined)
 ";
@@ -372,6 +383,9 @@ fn parse_uall_file(path: &str, text: &str) -> Result<Vec<String>, String> {
 ///                           '[i] <view>: <wire-outcome>' per candidate
 /// verify                    CATALOG VERIFY: integrity-check the server's
 ///                           durable store (ERR when no --data-dir)
+/// metrics                   METRICS: print the server's Prometheus
+///                           text-format exposition (counters + latency
+///                           quantiles), one line per metric
 /// stats | ping | shutdown   forwarded verbatim
 /// ```
 ///
@@ -567,6 +581,22 @@ fn run_client(script: &str, stream: TcpStream) -> Result<bool, String> {
                 all_ok &= !reply.starts_with("ERR");
                 println!("{reply}");
             }
+            "metrics" => {
+                arity(0)?;
+                send(&mut writer, "METRICS")?;
+                let head = recv(&mut reader)?;
+                match head.strip_prefix("OK ").and_then(|n| n.parse::<usize>().ok()) {
+                    Some(n) => {
+                        for _ in 0..n {
+                            println!("{}", recv(&mut reader)?);
+                        }
+                    }
+                    None => {
+                        all_ok = false;
+                        println!("{head}");
+                    }
+                }
+            }
             "stats" | "ping" | "shutdown" => {
                 arity(0)?;
                 send(&mut writer, verb.to_uppercase().as_str())?;
@@ -576,8 +606,8 @@ fn run_client(script: &str, stream: TcpStream) -> Result<bool, String> {
             }
             other => {
                 return Err(err_here(format!(
-                    "unknown verb '{other}' \
-                     (add/drop/list/verify/check/batch/checkall/batchall/stats/ping/shutdown)"
+                    "unknown verb '{other}' (add/drop/list/verify/check/batch/checkall/\
+                     batchall/stats/metrics/ping/shutdown)"
                 )))
             }
         }
@@ -830,8 +860,9 @@ fn run() -> Result<bool, String> {
             }
             let catalog = catalog;
             let listen = args.listen.as_deref().unwrap_or("127.0.0.1:0");
-            let server = CheckServer::bind(listen, Arc::new(catalog), &db, workers)
+            let mut server = CheckServer::bind(listen, Arc::new(catalog), &db, workers)
                 .map_err(|e| format!("{listen}: {e}"))?;
+            server.set_slow_ms(args.slow_ms);
             if let Some(s) = recovered {
                 println!(
                     "RECOVERED records={} adds={} drops={} ddl={} rehydrated={} recompiled={}",

@@ -377,6 +377,9 @@ fn unknown_options_and_bad_values_give_usage() {
         &["--workers", "serve"], // swallows "serve" as the count
         &["--schema", "fixtures/book.sql", "--workers", "zero", "serve"],
         &["--schema", "fixtures/book.sql", "--workers", "0", "serve"],
+        &["--schema", "fixtures/book.sql", "--slow-ms", "soon", "serve"],
+        &["--schema", "fixtures/book.sql", "--slow-ms", "-1", "serve"],
+        &["--slow-ms"],
         &["--listen"],
         &["--views"],
         &["--schema", "fixtures/book.sql", "--view", "fixtures/bookview.xq", "check", "--later"],

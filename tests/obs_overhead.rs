@@ -1,0 +1,56 @@
+//! Overhead self-check: the instrumented check pipeline must stay within a
+//! small factor of the same pipeline with metrics disabled.
+//!
+//! This test lives in its own integration binary because it toggles the
+//! process-global metrics enable flag — sharing a process with other tests
+//! would let a disabled window swallow their samples.
+
+use std::time::Instant;
+
+use u_filter::core::{bookdemo, obs};
+
+/// Run `iters` checks per batch, `batches` times, and return the fastest
+/// batch in nanoseconds — min-of-batches filters scheduler noise the way
+/// a mean cannot.
+fn min_batch_nanos(batches: u32, iters: u32, f: &mut impl FnMut()) -> u128 {
+    (0..batches)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_nanos()
+        })
+        .min()
+        .expect("at least one batch")
+}
+
+#[test]
+fn instrumented_pipeline_stays_within_a_small_factor_of_disabled() {
+    let filter = bookdemo::book_filter();
+    let mut db = bookdemo::book_db();
+    let run = |db: &mut _| {
+        let reports = filter.check(bookdemo::U8, db);
+        assert!(reports[0].outcome.is_translatable());
+    };
+
+    // Warm up caches and code paths before either timed window.
+    for _ in 0..20 {
+        run(&mut db);
+    }
+
+    obs::set_enabled(true);
+    let enabled = min_batch_nanos(5, 30, &mut || run(&mut db));
+    obs::set_enabled(false);
+    let disabled = min_batch_nanos(5, 30, &mut || run(&mut db));
+    obs::set_enabled(true);
+
+    // A span is four relaxed atomic adds plus one Instant read — orders of
+    // magnitude below a single pipeline stage. The 3x factor plus absolute
+    // slack keeps this meaningful without being flaky on loaded CI boxes.
+    let budget = disabled.saturating_mul(3) + 2_000_000; // +2ms absolute
+    assert!(
+        enabled <= budget,
+        "metrics overhead too high: enabled={enabled}ns disabled={disabled}ns budget={budget}ns"
+    );
+}

@@ -201,6 +201,95 @@ stats
     serve.shutdown();
 }
 
+/// `client metrics` prints the server's Prometheus exposition: typed
+/// families for every STATS counter plus latency summaries with non-zero
+/// counts once traffic has flowed.
+#[test]
+fn client_metrics_prints_prometheus_exposition() {
+    let serve = Serve::spawn("2");
+    let (out, code) = serve.client(
+        "check books fixtures/u8.xq\n\
+         checkall fixtures/u8.xq\n\
+         metrics\n",
+    );
+    assert_eq!(code, Some(0), "{out}");
+    assert!(out.contains("# TYPE ufilter_requests_total counter"), "{out}");
+    assert!(out.contains("# TYPE ufilter_request_duration_seconds summary"), "{out}");
+    assert!(out.contains("ufilter_workers 2"), "{out}");
+    // The check + checkall traffic left real samples behind.
+    for prefix in [
+        "ufilter_request_duration_seconds_count{verb=\"check\"}",
+        "ufilter_check_stage_duration_seconds_count{stage=\"star\"}",
+        "ufilter_route_candidates_count",
+    ] {
+        let line = out
+            .lines()
+            .find(|l| l.starts_with(prefix))
+            .unwrap_or_else(|| panic!("missing {prefix}: {out}"));
+        let count: f64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(count >= 1.0, "{line}");
+    }
+    serve.shutdown();
+}
+
+/// `serve --slow-ms 0` logs every request as a single-line SLOW record on
+/// stderr, carrying a 16-hex trace id, the wire verb, and the duration.
+#[test]
+fn slow_ms_zero_logs_slow_lines_with_trace_ids() {
+    let mut child = bin()
+        .args([
+            "--schema",
+            "fixtures/book.sql",
+            "--views",
+            "fixtures/views.cat",
+            "--listen",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--slow-ms",
+            "0",
+            "serve",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+    let stdout = child.stdout.take().expect("piped");
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line).expect("serve prints LISTENING");
+    let addr = line.trim().strip_prefix("LISTENING ").expect("LISTENING banner").to_string();
+
+    let mut serve = Serve { child, addr };
+    let (out, code) = serve.client("check books fixtures/u8.xq\nping\nshutdown\n");
+    assert_eq!(code, Some(0), "{out}");
+    let status = serve.child.wait().expect("serve exits");
+    assert!(status.success(), "serve exit status: {status:?}");
+
+    let mut stderr = String::new();
+    {
+        use std::io::Read;
+        let mut pipe = serve.child.stderr.take().expect("piped");
+        pipe.read_to_string(&mut stderr).expect("stderr readable");
+    }
+    let slow: Vec<&str> = stderr.lines().filter(|l| l.starts_with("SLOW ")).collect();
+    // Every verb crosses a 0ms threshold — the slow log is a diagnostic
+    // surface and covers even SHUTDOWN (unlike the metrics histograms).
+    assert!(slow.len() >= 3, "expected >=3 SLOW lines: {stderr}");
+    assert!(slow.iter().any(|l| l.contains("verb=check")), "{stderr}");
+    assert!(slow.iter().any(|l| l.contains("verb=ping")), "{stderr}");
+    assert!(slow.iter().any(|l| l.contains("verb=shutdown")), "{stderr}");
+    for l in &slow {
+        let trace = l
+            .split_whitespace()
+            .find_map(|w| w.strip_prefix("trace="))
+            .unwrap_or_else(|| panic!("no trace id: {l}"));
+        assert_eq!(trace.len(), 16, "{l}");
+        assert!(trace.chars().all(|c| c.is_ascii_hexdigit()), "{l}");
+        assert!(l.contains("dur_us="), "{l}");
+        assert!(l.contains("request="), "{l}");
+    }
+}
+
 #[test]
 fn client_surfaces_server_errors_with_exit_1() {
     let serve = Serve::spawn("1");
