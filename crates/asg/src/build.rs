@@ -140,14 +140,20 @@ impl<'a> Builder<'a> {
         let mut conditions: Vec<JoinCond> = Vec::new();
         let mut local_preds: Vec<LocalPred> = Vec::new();
         let mut agg_deps: Vec<AggSource> = Vec::new();
+        let mut gate_cols: Vec<ColRef> = Vec::new();
         for p in &f.predicates {
             match self.classify_pred(p, &inner)? {
                 Classified::Join(j) => conditions.push(j),
                 Classified::Local(l) => local_preds.push(l),
-                Classified::AggGate(sources) => {
+                Classified::AggGate(sources, cols) => {
                     for s in sources {
                         if !agg_deps.contains(&s) {
                             agg_deps.push(s);
+                        }
+                    }
+                    for c in cols {
+                        if !gate_cols.contains(&c) {
+                            gate_cols.push(c);
                         }
                     }
                 }
@@ -211,6 +217,11 @@ impl<'a> Builder<'a> {
                 for a in &agg_deps {
                     if !node.agg_deps.contains(a) {
                         node.agg_deps.push(a.clone());
+                    }
+                }
+                for c in &gate_cols {
+                    if !node.gate_cols.contains(c) {
+                        node.gate_cols.push(c.clone());
                     }
                 }
             }
@@ -352,13 +363,15 @@ impl<'a> Builder<'a> {
         // gated region conservatively. Any path side must still bind.
         let aggs = p.aggregates();
         if !aggs.is_empty() {
+            let mut cols = Vec::new();
             for side in [&p.lhs, &p.rhs] {
                 if let ufilter_xquery::Operand::Path(path) = side {
-                    qualify(path)?;
+                    cols.push(qualify(path)?);
                 }
             }
             return Ok(Classified::AggGate(
                 aggs.into_iter().map(|a| self.agg_source(a)).collect::<Result<Vec<_>, _>>()?,
+                cols,
             ));
         }
         if let Some((a, op, b)) = p.as_correlation() {
@@ -383,8 +396,9 @@ impl<'a> Builder<'a> {
 enum Classified {
     Join(JoinCond),
     Local(LocalPred),
-    /// An aggregate-gated predicate: the scans it references.
-    AggGate(Vec<AggSource>),
+    /// An aggregate-gated predicate: the scans it references plus the
+    /// path-side columns it compares against them.
+    AggGate(Vec<AggSource>, Vec<ColRef>),
 }
 
 /// `UPBinding(v)`: the relations owning the leaf attributes in `v`'s

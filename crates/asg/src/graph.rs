@@ -225,6 +225,11 @@ pub struct AsgNode {
     /// (`WHERE $b/bid = max(…)`): view membership of the region is gated by
     /// them, so updates into the region are conservatively untranslatable.
     pub agg_deps: Vec<AggSource>,
+    /// Path-side columns compared by this node's aggregate gate predicates
+    /// (`$b/bid = max(…)` records `book.bid`). The independence analysis
+    /// treats them as part of the region's read-set: a write to a gate
+    /// column could flip view membership, so it can never be independent.
+    pub gate_cols: Vec<ColRef>,
 
     // ---- STAR marks (written by the marking procedure) -------------------
     /// `UContext` mark (root/internal nodes, after marking).
@@ -251,6 +256,7 @@ impl AsgNode {
             non_injective: false,
             agg: None,
             agg_deps: Vec::new(),
+            gate_cols: Vec::new(),
             ucontext: None,
             upoint: None,
         }
@@ -486,6 +492,21 @@ impl ViewAsg {
         self.subtree(id).into_iter().any(|n| self.node(n).non_injective)
     }
 
+    /// Every path-side column compared by an aggregate gate predicate
+    /// anywhere in the view, in node order (duplicates removed). Part of
+    /// the view's read-set for the independence analysis.
+    pub fn gate_columns(&self) -> Vec<ColRef> {
+        let mut out: Vec<ColRef> = Vec::new();
+        for n in &self.nodes {
+            for c in &n.gate_cols {
+                if !out.contains(c) {
+                    out.push(c.clone());
+                }
+            }
+        }
+        out
+    }
+
     /// The aggregate predicates gating view membership anywhere on the
     /// root→`id` path (each paired with the tag of the node that declared
     /// it).
@@ -529,6 +550,9 @@ impl ViewAsg {
             }
             for a in &n.agg_deps {
                 out.push_str(&format!(" [gate {a}]"));
+            }
+            for c in &n.gate_cols {
+                out.push_str(&format!(" [gate-col {c}]"));
             }
             if matches!(n.kind, AsgNodeKind::Root | AsgNodeKind::Internal) {
                 out.push_str(&format!(

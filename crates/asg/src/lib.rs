@@ -18,6 +18,7 @@ pub mod base;
 pub mod build;
 pub mod closure;
 pub mod graph;
+pub mod readset;
 
 pub use base::{BaseAsg, BaseRel, FkEdge};
 pub use build::{build_view_asg, view_closure, AsgError};
@@ -26,3 +27,4 @@ pub use graph::{
     AggSource, AsgNode, AsgNodeId, AsgNodeKind, Card, JoinCond, LeafInfo, LocalPred, UContext,
     UPoint, ViewAsg,
 };
+pub use readset::{DistinctRegion, ReadSets};

@@ -286,13 +286,14 @@ impl Registered {
             let seed = self.seed.as_ref().expect("unhydrated entry carries a seed");
             let decoded = persist::decode_artifact(&seed.artifact)
                 .ok()
-                .filter(|(config, _, _)| *config == seed.config)
-                .map(|(config, asg, marking)| {
+                .filter(|(config, _, _, _)| *config == seed.config)
+                .map(|(config, asg, marking, read_sets)| {
                     UFilter::from_artifact(
                         seed.view_text.clone(),
                         (*seed.schema).clone(),
                         asg,
                         marking,
+                        read_sets,
                         config,
                     )
                 });

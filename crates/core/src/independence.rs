@@ -1,0 +1,712 @@
+//! Static query–update **independence analysis** — the precision upgrade
+//! over the blunt non-injective gate.
+//!
+//! [`star::non_injective_check`](crate::star::non_injective_check) rejects
+//! any update whose affected relations overlap an aggregate or `Distinct()`
+//! region's relations. That is sound but coarse: replacing a column no
+//! aggregate operand reads cannot change the aggregate's value, and a
+//! delete whose anchor closure misses the aggregated relation entirely
+//! cannot change its cardinality. This pass re-examines exactly the updates
+//! the blunt gate rejected, comparing the update's **write-set** (which
+//! relations and columns its translation can touch, deletes closed over
+//! referential actions) against the view's precomputed **read-set**
+//! ([`ReadSets`]: aggregate operands, gate-predicate columns, Distinct
+//! region scans and membership predicates).
+//!
+//! The verdict is three-valued, and only [`Verdict::Independent`] changes
+//! behavior — the unchanged STAR/data-check/translation path then runs, so
+//! every structural guard (multi-position projections, correlation columns,
+//! shared-source delete rules) still applies to the newly admitted updates:
+//!
+//! * **Independent** — the write-set provably misses every read-set entry:
+//!   no aggregate operand or gate column is written, row cardinality of
+//!   every aggregated relation is preserved (value writes never change it;
+//!   deletes only when the anchor's referential closure misses the
+//!   relation), and every `Distinct()` region either scans other relations
+//!   or its membership predicates are domain-disjoint from the update's
+//!   constant predicates (the touched rows were invisible before and stay
+//!   invisible after).
+//! * **Dependent** — a concrete read-set entry overlaps the write-set; the
+//!   rejection detail names it.
+//! * **Unknown** — the analysis cannot bound the write-set (structural
+//!   inserts into aggregate-fed or gated regions, complex replaces).
+//!   Rejected exactly like Dependent — soundness never hinges on the
+//!   analysis being clever.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ufilter_asg::readset::{DistinctRegion, ReadSets};
+use ufilter_asg::{AsgNodeId, AsgNodeKind, ViewAsg};
+use ufilter_rdb::{ColRef, DatabaseSchema, DeletePolicy};
+use ufilter_route::{constant_preds_disjoint, ConstPred};
+use ufilter_xquery::UpdateKind;
+
+use crate::star::StarMarking;
+use crate::target::{find_leaf, ResolvedAction};
+
+/// Three-valued outcome of the independence analysis. Only `Independent`
+/// admits the update; `Unknown` rejects exactly like `Dependent`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The update's write-set provably misses every non-injective read-set.
+    Independent,
+    /// A read-set entry the update provably (or plausibly) writes.
+    Dependent {
+        /// The blocking read-set entry, stable and human-readable
+        /// (`aggregate count(review)`, `Distinct region <b>`, …).
+        blocker: String,
+    },
+    /// The analysis cannot bound the update's write-set.
+    Unknown {
+        /// What defeated the analysis.
+        blocker: String,
+    },
+}
+
+// ---- process-global verdict counters (served via STATS/METRICS) ---------
+
+static CHECKED: AtomicU64 = AtomicU64::new(0);
+static INDEPENDENT: AtomicU64 = AtomicU64::new(0);
+static DEPENDENT: AtomicU64 = AtomicU64::new(0);
+static UNKNOWN: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the process-wide independence counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndependenceStats {
+    /// Analyses run (= blunt non-injective rejections re-examined).
+    pub checked: u64,
+    /// Verdicts that admitted the update to the unchanged pipeline.
+    pub independent: u64,
+    /// Rejections with a named blocking read-set entry.
+    pub dependent: u64,
+    /// Rejections because the write-set could not be bounded.
+    pub unknown: u64,
+}
+
+/// Read the process-wide counters (monotonic, relaxed).
+pub fn stats() -> IndependenceStats {
+    IndependenceStats {
+        checked: CHECKED.load(Ordering::Relaxed),
+        independent: INDEPENDENT.load(Ordering::Relaxed),
+        dependent: DEPENDENT.load(Ordering::Relaxed),
+        unknown: UNKNOWN.load(Ordering::Relaxed),
+    }
+}
+
+pub(crate) fn record(verdict: &Verdict) {
+    CHECKED.fetch_add(1, Ordering::Relaxed);
+    match verdict {
+        Verdict::Independent => INDEPENDENT.fetch_add(1, Ordering::Relaxed),
+        Verdict::Dependent { .. } => DEPENDENT.fetch_add(1, Ordering::Relaxed),
+        Verdict::Unknown { .. } => UNKNOWN.fetch_add(1, Ordering::Relaxed),
+    };
+}
+
+/// Classify one blunt-rejected action. Callers only invoke this after
+/// `non_injective_check` returned `Some(_)` — accepted updates never reach
+/// the analysis, which is what keeps their outcomes bit-identical.
+pub fn classify(
+    asg: &ViewAsg,
+    schema: &DatabaseSchema,
+    marking: &StarMarking,
+    reads: &ReadSets,
+    action: &ResolvedAction,
+) -> Verdict {
+    let node = asg.node(action.node);
+
+    // The update rewrites non-injective output itself: an aggregate value
+    // has no per-row identity to translate through, and instances of a
+    // Distinct region correspond to whole dedup groups. Never independent.
+    if node.kind == AsgNodeKind::Aggregate || asg.in_non_injective_region(action.node) {
+        return Verdict::Dependent { blocker: region_name(asg, action.node) };
+    }
+
+    match node.kind {
+        AsgNodeKind::Tag | AsgNodeKind::Leaf => {
+            // A value write: REPLACE of a value, INSERT of an optional
+            // column element, DELETE of one. All translate to UPDATE … SET
+            // on a single column of existing rows — group cardinality of
+            // every relation is preserved by construction.
+            match find_leaf(asg, action.node) {
+                Some(leaf) => value_write(schema, reads, action, &leaf.name),
+                None => {
+                    Verdict::Unknown { blocker: "value target maps to no relation column".into() }
+                }
+            }
+        }
+        AsgNodeKind::Internal | AsgNodeKind::Root => match action.kind {
+            UpdateKind::Delete => structural_delete(asg, schema, marking, reads, action),
+            UpdateKind::Insert => structural_insert(asg, reads, action),
+            UpdateKind::Replace => {
+                Verdict::Unknown { blocker: "replace of a complex element".into() }
+            }
+        },
+        AsgNodeKind::Aggregate => unreachable!("handled above"),
+    }
+}
+
+/// Name the non-injective region an in-region target lies in, for the wire
+/// detail: the nearest marked ancestor-or-self, else the first marked node
+/// of the subtree.
+fn region_name(asg: &ViewAsg, id: AsgNodeId) -> String {
+    let describe = |id: AsgNodeId| {
+        let n = asg.node(id);
+        match &n.agg {
+            Some(a) => format!("aggregate {a}"),
+            None => format!("Distinct region <{}>", n.tag),
+        }
+    };
+    if asg.node(id).kind == AsgNodeKind::Aggregate {
+        return describe(id);
+    }
+    let mut cur = Some(id);
+    while let Some(c) = cur {
+        if asg.node(c).non_injective {
+            return describe(c);
+        }
+        cur = asg.node(c).parent;
+    }
+    asg.subtree(id)
+        .into_iter()
+        .find(|n| asg.node(*n).non_injective)
+        .map(describe)
+        .unwrap_or_else(|| "non-injective region".to_string())
+}
+
+/// A single-column write (`UPDATE t SET c = …` / `SET c = NULL`) against
+/// the read-sets. Row cardinality is untouched, so `count(t)` over whole
+/// rows survives; `count(t.c)` counts non-NULL `c` values and therefore
+/// *reads* `c` like every other operand.
+fn value_write(
+    schema: &DatabaseSchema,
+    reads: &ReadSets,
+    action: &ResolvedAction,
+    written: &ColRef,
+) -> Verdict {
+    let (t, c) = (written.table.as_str(), written.column.as_str());
+    // A write to a column some foreign key references rewrites parent
+    // keys: the engine's referential action gives the write a footprint in
+    // the referencing relation this pass does not model.
+    for (owner, fk) in schema.foreign_keys() {
+        if fk.ref_table.eq_ignore_ascii_case(t)
+            && fk.ref_columns.iter().any(|rc| rc.eq_ignore_ascii_case(c))
+        {
+            return Verdict::Unknown {
+                blocker: format!("column {t}.{c} is referenced by foreign key on {owner}"),
+            };
+        }
+    }
+    for s in &reads.sources {
+        if s.table.eq_ignore_ascii_case(t)
+            && s.column.as_deref().is_some_and(|sc| sc.eq_ignore_ascii_case(c))
+        {
+            return Verdict::Dependent { blocker: format!("aggregate {s}") };
+        }
+    }
+    for g in &reads.gate_cols {
+        if g.matches(t, c) {
+            return Verdict::Dependent { blocker: format!("aggregate gate column {g}") };
+        }
+    }
+    for d in &reads.distinct {
+        if d.tables.iter().any(|x| x.eq_ignore_ascii_case(t))
+            && !rescued_by_disjointness(d, t, Some(c), action)
+        {
+            return Verdict::Dependent { blocker: format!("Distinct region <{}>", d.tag) };
+        }
+    }
+    Verdict::Independent
+}
+
+/// A structural delete: rows leave the anchor relation (Rule 2's clean
+/// extended source) and its referential closure. CASCADE removes whole
+/// rows of the referencing relation; SET NULL rewrites the FK columns of
+/// surviving rows.
+fn structural_delete(
+    asg: &ViewAsg,
+    schema: &DatabaseSchema,
+    marking: &StarMarking,
+    reads: &ReadSets,
+    action: &ResolvedAction,
+) -> Verdict {
+    // Write-set seed: the translation deletes from the marked anchor. An
+    // unsafe-delete node has none — STAR rejects it anyway, but stay sound
+    // and fall back to the blunt footprint.
+    let node = asg.node(action.node);
+    let mut removed: Vec<String> = match marking.delete_anchor.get(&action.node) {
+        Some(anchor) => vec![anchor.clone()],
+        None => {
+            let mut all: Vec<String> = Vec::new();
+            for r in node.upbinding.iter().cloned().chain(asg.cr(action.node)) {
+                if !all.iter().any(|x| x.eq_ignore_ascii_case(&r)) {
+                    all.push(r);
+                }
+            }
+            all
+        }
+    };
+    let mut nulled: Vec<ColRef> = Vec::new();
+    let mut i = 0;
+    while i < removed.len() {
+        let cur = removed[i].clone();
+        for (owner, fk) in schema.foreign_keys() {
+            if !fk.ref_table.eq_ignore_ascii_case(&cur) {
+                continue;
+            }
+            match fk.on_delete {
+                DeletePolicy::Cascade => {
+                    if !removed.iter().any(|x| x.eq_ignore_ascii_case(owner)) {
+                        removed.push(owner.to_string());
+                    }
+                }
+                DeletePolicy::SetNull => {
+                    for col in &fk.columns {
+                        let cr = ColRef::new(owner.to_string(), col.clone());
+                        if !nulled.contains(&cr) {
+                            nulled.push(cr);
+                        }
+                    }
+                }
+                DeletePolicy::Restrict => {}
+            }
+        }
+        i += 1;
+    }
+
+    for s in &reads.sources {
+        if removed.iter().any(|x| x.eq_ignore_ascii_case(&s.table)) {
+            return Verdict::Dependent { blocker: format!("aggregate {s}") };
+        }
+        // SET NULL rewrites only the FK columns: whole-row counts survive,
+        // but any aggregate whose operand is a nulled column changes.
+        if let Some(sc) = &s.column {
+            if nulled.iter().any(|n| n.matches(&s.table, sc)) {
+                return Verdict::Dependent { blocker: format!("aggregate {s}") };
+            }
+        }
+    }
+    for g in &reads.gate_cols {
+        if nulled.contains(g) {
+            return Verdict::Dependent { blocker: format!("aggregate gate column {g}") };
+        }
+    }
+    for d in &reads.distinct {
+        for t in &removed {
+            if d.tables.iter().any(|x| x.eq_ignore_ascii_case(t))
+                && !rescued_by_disjointness(d, t, None, action)
+            {
+                return Verdict::Dependent { blocker: format!("Distinct region <{}>", d.tag) };
+            }
+        }
+        if nulled.iter().any(|n| d.tables.iter().any(|x| x.eq_ignore_ascii_case(&n.table))) {
+            return Verdict::Dependent { blocker: format!("Distinct region <{}>", d.tag) };
+        }
+    }
+    Verdict::Independent
+}
+
+/// A structural insert. The inserted fragment populates some subset of the
+/// region's relations; this analysis does not model which, so any overlap
+/// with a read-set is `Unknown`, and membership gates defeat it outright
+/// (the new row's gate value cannot be reasoned about statically).
+fn structural_insert(asg: &ViewAsg, reads: &ReadSets, action: &ResolvedAction) -> Verdict {
+    if let Some((tag, gate)) = asg.path_agg_deps(action.node).into_iter().next() {
+        return Verdict::Unknown {
+            blocker: format!("membership of inserted <{tag}> depends on the aggregate gate {gate}"),
+        };
+    }
+    let node = asg.node(action.node);
+    let mut inserted: Vec<String> = Vec::new();
+    for r in node.upbinding.iter().cloned().chain(asg.cr(action.node)) {
+        if !inserted.iter().any(|x| x.eq_ignore_ascii_case(&r)) {
+            inserted.push(r);
+        }
+    }
+    for s in &reads.sources {
+        if inserted.iter().any(|x| x.eq_ignore_ascii_case(&s.table)) {
+            return Verdict::Unknown { blocker: format!("aggregate {s}") };
+        }
+    }
+    for d in &reads.distinct {
+        if d.tables.iter().any(|t| inserted.iter().any(|x| x.eq_ignore_ascii_case(t))) {
+            return Verdict::Unknown { blocker: format!("Distinct region <{}>", d.tag) };
+        }
+    }
+    // The blunt gate rejected for a reason this pass cannot see; reject.
+    Verdict::Unknown { blocker: "insert with unmodeled footprint".into() }
+}
+
+/// Domain-disjointness rescue: the region's constant membership predicates
+/// on `table` (excluding the written column, whose value changes) are
+/// jointly unsatisfiable with the update's constant predicates on the same
+/// table — every touched row was invisible to the region before the update
+/// and, since the proving columns are untouched, stays invisible after.
+fn rescued_by_disjointness(
+    d: &DistinctRegion,
+    table: &str,
+    written: Option<&str>,
+    action: &ResolvedAction,
+) -> bool {
+    let region: Vec<ConstPred> = d
+        .preds
+        .iter()
+        .filter(|p| p.column.table.eq_ignore_ascii_case(table))
+        .filter(|p| written.is_none_or(|w| !p.column.column.eq_ignore_ascii_case(w)))
+        .map(|p| (p.column.clone(), p.op, p.value.clone()))
+        .collect();
+    if region.is_empty() {
+        return false;
+    }
+    let update: Vec<ConstPred> = action
+        .predicates
+        .iter()
+        .filter(|(c, _, _)| c.table.eq_ignore_ascii_case(table))
+        .filter(|(c, _, _)| written.is_none_or(|w| !c.column.eq_ignore_ascii_case(w)))
+        .cloned()
+        .collect();
+    constant_preds_disjoint(&update, &region)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::UFilter;
+    use crate::star::non_injective_check;
+    use crate::target::resolve;
+    use ufilter_rdb::{Column, DataType, DatabaseSchema, TableSchema};
+
+    fn schema() -> DatabaseSchema {
+        let mut schema = DatabaseSchema::new();
+        schema.add(
+            TableSchema::new("publisher")
+                .column(Column::new("pubid", DataType::Str))
+                .column(Column::new("pubname", DataType::Str))
+                .primary_key(["pubid"]),
+        );
+        schema.add(
+            TableSchema::new("book")
+                .column(Column::new("bookid", DataType::Str))
+                .column(Column::new("title", DataType::Str))
+                .column(Column::new("price", DataType::Double))
+                .column(Column::new("pubid", DataType::Str))
+                .primary_key(["bookid"])
+                .foreign_key(
+                    "BookFK",
+                    vec!["pubid"],
+                    "publisher",
+                    vec!["pubid"],
+                    DeletePolicy::Cascade,
+                ),
+        );
+        schema
+    }
+
+    fn compile(view: &str) -> UFilter {
+        UFilter::compile(view, &schema()).expect("compiles")
+    }
+
+    fn verdict(f: &UFilter, update: &str) -> Verdict {
+        let u = ufilter_xquery::parse_update(update).unwrap();
+        let action = resolve(&f.asg, &u).unwrap().remove(0);
+        assert!(
+            non_injective_check(&f.asg, &f.schema, &action).is_some(),
+            "the analysis only runs on blunt-rejected actions: {update}"
+        );
+        classify(&f.asg, &f.schema, &f.marking, &f.read_sets, &action)
+    }
+
+    const AGG_VIEW: &str = r#"<V> FOR $b IN document("d")/book/row
+RETURN { <b> $b/bookid, $b/title, $b/price </b> },
+<n> count(document("d")/book/row) </n>,
+<top> max(document("d")/book/row/price) </top> </V>"#;
+
+    #[test]
+    fn non_operand_value_writes_are_independent() {
+        let f = compile(AGG_VIEW);
+        // Replacing a title touches no operand: count(book) counts rows,
+        // max(book.price) reads price, neither reads title.
+        let v = verdict(
+            &f,
+            r#"FOR $b IN document("V.xml")/b
+WHERE $b/bookid = "98001" UPDATE $b { REPLACE $b/title WITH <title>New</title> }"#,
+        );
+        assert_eq!(v, Verdict::Independent, "{v:?}");
+    }
+
+    #[test]
+    fn operand_value_writes_stay_dependent() {
+        let f = compile(AGG_VIEW);
+        let v = verdict(
+            &f,
+            r#"FOR $b IN document("V.xml")/b
+WHERE $b/bookid = "98001" UPDATE $b { REPLACE $b/price WITH <price>9.99</price> }"#,
+        );
+        assert_eq!(v, Verdict::Dependent { blocker: "aggregate max(book.price)".into() }, "{v:?}");
+    }
+
+    #[test]
+    fn referenced_key_writes_stay_unknown() {
+        // publisher.pubid is the target of book's FK: rewriting it has a
+        // referential footprint in book (which feeds the count), so the
+        // write-set cannot be bounded to the single publisher column.
+        let f = compile(
+            r#"<V> FOR $p IN document("d")/publisher/row
+RETURN { <p> $p/pubid, $p/pubname </p> },
+<n> count(document("d")/book/row) </n> </V>"#,
+        );
+        let v = verdict(
+            &f,
+            r#"FOR $p IN document("V.xml")/p
+WHERE $p/pubid = "P01" UPDATE $p { REPLACE $p/pubid WITH <pubid>P99</pubid> }"#,
+        );
+        assert_eq!(
+            v,
+            Verdict::Unknown {
+                blocker: "column publisher.pubid is referenced by foreign key on book".into()
+            },
+            "{v:?}"
+        );
+        // The sibling non-key column has no referential footprint.
+        let v = verdict(
+            &f,
+            r#"FOR $p IN document("V.xml")/p
+WHERE $p/pubid = "P01" UPDATE $p { REPLACE $p/pubname WITH <pubname>N</pubname> }"#,
+        );
+        assert_eq!(v, Verdict::Independent, "{v:?}");
+    }
+
+    #[test]
+    fn deletes_into_whole_row_counts_stay_dependent() {
+        let f = compile(AGG_VIEW);
+        let v = verdict(
+            &f,
+            r#"FOR $b IN document("V.xml")/b
+WHERE $b/bookid = "98001" UPDATE $b { DELETE $b }"#,
+        );
+        assert_eq!(v, Verdict::Dependent { blocker: "aggregate count(book)".into() }, "{v:?}");
+    }
+
+    fn set_null_schema() -> DatabaseSchema {
+        let mut schema = DatabaseSchema::new();
+        schema.add(
+            TableSchema::new("publisher")
+                .column(Column::new("pubid", DataType::Str))
+                .column(Column::new("pubname", DataType::Str))
+                .primary_key(["pubid"]),
+        );
+        schema.add(
+            TableSchema::new("book")
+                .column(Column::new("bookid", DataType::Str))
+                .column(Column::new("pubid", DataType::Str))
+                .primary_key(["bookid"])
+                .foreign_key(
+                    "BookFK",
+                    vec!["pubid"],
+                    "publisher",
+                    vec!["pubid"],
+                    DeletePolicy::SetNull,
+                ),
+        );
+        schema
+    }
+
+    const SET_NULL_VIEW: &str = r#"<V> FOR $p IN document("d")/publisher/row
+RETURN { <pub> $p/pubid </pub> },
+<n> count(document("d")/book/row) </n> </V>"#;
+
+    #[test]
+    fn set_null_deletes_preserve_whole_row_counts() {
+        // The blunt footprint closes publisher over ON DELETE SET NULL into
+        // book, intersecting count(book). But SET NULL only rewrites
+        // book.pubid on surviving rows — the row cardinality count(book)
+        // reads is preserved.
+        let f = UFilter::compile(SET_NULL_VIEW, &set_null_schema()).expect("compiles");
+        let v = verdict(
+            &f,
+            r#"FOR $p IN document("V.xml")/pub
+WHERE $p/pubid = "A01" UPDATE $p { DELETE $p }"#,
+        );
+        assert_eq!(v, Verdict::Independent, "{v:?}");
+    }
+
+    #[test]
+    fn set_null_deletes_into_nulled_operand_columns_stay_dependent() {
+        // count(book.pubid) counts non-NULL pubid values, which SET NULL
+        // rewrites — the nulled-column write-set catches it.
+        let view = SET_NULL_VIEW.replace("/book/row)", "/book/row/pubid)");
+        let f = UFilter::compile(&view, &set_null_schema()).expect("compiles");
+        let v = verdict(
+            &f,
+            r#"FOR $p IN document("V.xml")/pub
+WHERE $p/pubid = "A01" UPDATE $p { DELETE $p }"#,
+        );
+        assert_eq!(
+            v,
+            Verdict::Dependent { blocker: "aggregate count(book.pubid)".into() },
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn cascading_deletes_into_the_aggregated_relation_stay_dependent() {
+        // Deleting a publisher cascades into book, which count(book) reads.
+        let f = compile(
+            r#"<V> FOR $p IN document("d")/publisher/row
+RETURN { <pub> $p/pubid </pub> },
+<n> count(document("d")/book/row) </n> </V>"#,
+        );
+        let v = verdict(
+            &f,
+            r#"FOR $p IN document("V.xml")/pub
+WHERE $p/pubid = "A01" UPDATE $p { DELETE $p }"#,
+        );
+        assert_eq!(v, Verdict::Dependent { blocker: "aggregate count(book)".into() }, "{v:?}");
+    }
+
+    #[test]
+    fn targets_inside_regions_stay_dependent_with_named_blocker() {
+        let f = compile(AGG_VIEW);
+        let v = verdict(&f, r#"FOR $r IN document("V.xml") UPDATE $r { DELETE $r/n }"#);
+        assert_eq!(v, Verdict::Dependent { blocker: "aggregate count(book)".into() }, "{v:?}");
+    }
+
+    #[test]
+    fn structural_inserts_stay_unknown() {
+        let f = compile(
+            r#"<V> FOR $b IN document("d")/book/row
+RETURN { <b> $b/bookid, $b/title </b> },
+<top> max(document("d")/book/row/price) </top> </V>"#,
+        );
+        let v = verdict(
+            &f,
+            r#"FOR $root IN document("V.xml")
+UPDATE $root { INSERT <b><bookid>Z1</bookid><title>T</title></b> }"#,
+        );
+        assert!(matches!(v, Verdict::Unknown { .. }), "{v:?}");
+    }
+
+    const DISTINCT_VIEW: &str = r#"<V> FOR $b IN document("d")/book/row
+RETURN { <b> $b/bookid, $b/title, $b/price,
+FOR $t IN distinct(document("d")/book/row)
+WHERE $t/price > 50.00
+RETURN { <d> $t/pubid </d> } </b> },
+<n> count(document("d")/book/row) </n> </V>"#;
+
+    #[test]
+    fn distinct_tables_block_value_writes_without_disjoint_predicates() {
+        let f = compile(DISTINCT_VIEW);
+        // `title` is no aggregate operand (count ranges over whole rows),
+        // but book is Distinct-scanned and nothing proves the touched rows
+        // invisible to the region.
+        let v = verdict(
+            &f,
+            r#"FOR $b IN document("V.xml")/b
+WHERE $b/bookid = "98001" UPDATE $b { REPLACE $b/title WITH <title>New</title> }"#,
+        );
+        assert_eq!(v, Verdict::Dependent { blocker: "Distinct region <d>".into() }, "{v:?}");
+    }
+
+    #[test]
+    fn disjoint_predicates_rescue_distinct_scanned_tables() {
+        let f = compile(DISTINCT_VIEW);
+        // The region only sees rows with price > 50; the update only
+        // touches rows with price < 10 and does not write price — the
+        // touched rows are invisible to the region before and after.
+        let v = verdict(
+            &f,
+            r#"FOR $b IN document("V.xml")/b
+WHERE $b/price < 10.00 UPDATE $b { REPLACE $b/title WITH <title>New</title> }"#,
+        );
+        assert_eq!(v, Verdict::Independent, "{v:?}");
+    }
+
+    #[test]
+    fn non_gate_writes_in_gated_regions_are_independent() {
+        let f = compile(
+            r#"<V> FOR $b IN document("d")/book/row
+WHERE $b/price = max(document("d")/book/row/price)
+RETURN { <b> $b/bookid, $b/title </b> } </V>"#,
+        );
+        // Membership is gated on price; writing title touches neither the
+        // gate column nor an operand, so membership is stable.
+        let v = verdict(
+            &f,
+            r#"FOR $b IN document("V.xml")/b
+WHERE $b/bookid = "98001" UPDATE $b { REPLACE $b/title WITH <title>New</title> }"#,
+        );
+        assert_eq!(v, Verdict::Independent, "{v:?}");
+    }
+
+    #[test]
+    fn gate_column_writes_stay_dependent() {
+        let f = compile(
+            r#"<V> FOR $b IN document("d")/book/row
+WHERE $b/price = max(document("d")/book/row/price)
+RETURN { <b> $b/bookid, $b/price </b> } </V>"#,
+        );
+        let v = verdict(
+            &f,
+            r#"FOR $b IN document("V.xml")/b
+WHERE $b/bookid = "98001" UPDATE $b { REPLACE $b/price WITH <price>1.00</price> }"#,
+        );
+        // price is both the max() operand and the gate column; the operand
+        // check fires first, either blocker is a correct rejection.
+        assert_eq!(v, Verdict::Dependent { blocker: "aggregate max(book.price)".into() }, "{v:?}");
+    }
+
+    /// Satellite pin: the `untranslatable non-injective` wire detail names
+    /// the blocking read-set entry, stably and escaped. These literals are
+    /// the compatibility contract — changing them is a wire format change.
+    #[test]
+    fn wire_detail_pins_the_blocking_region() {
+        let f = compile(AGG_VIEW);
+        let reports = f.check_schema(
+            r#"FOR $b IN document("V.xml")/b
+WHERE $b/bookid = "98001" UPDATE $b { REPLACE $b/price WITH <price>9.99</price> }"#,
+        );
+        let line = crate::wire::encode_outcome(&reports[0].outcome);
+        assert_eq!(
+            line,
+            "untranslatable non-injective the%20update%20touches%20relation%20book%20which%20\
+             feeds%20the%20aggregate%20count(book);%20the%20aggregate%20value%20could%20change%20\
+             as%20a%20side%20effect;%20independence:%20dependent%20on%20aggregate%20max(book.price)"
+        );
+        assert!(crate::wire::decode_outcome(&line).is_ok(), "stays decodable");
+
+        let reports = f.check_schema(
+            r#"FOR $root IN document("V.xml")
+UPDATE $root { INSERT <b><bookid>Z1</bookid><title>T</title><price>5.00</price></b> }"#,
+        );
+        let line = crate::wire::encode_outcome(&reports[0].outcome);
+        assert!(
+            line.starts_with("untranslatable non-injective"),
+            "insert into an aggregate-fed region stays rejected: {line}"
+        );
+        assert!(
+            line.contains("independence:%20unknown%2C%20blocked%20by%20aggregate"),
+            "unknown verdicts name the unprovable read-set entry: {line}"
+        );
+
+        // Independent verdicts leave the accepted wire line untouched — the
+        // unchanged translation path runs.
+        let reports = f.check_schema(
+            r#"FOR $b IN document("V.xml")/b
+WHERE $b/bookid = "98001" UPDATE $b { REPLACE $b/title WITH <title>New</title> }"#,
+        );
+        let line = crate::wire::encode_outcome(&reports[0].outcome);
+        assert!(line.starts_with("translatable"), "{line}");
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let before = stats();
+        record(&Verdict::Independent);
+        record(&Verdict::Dependent { blocker: "x".into() });
+        record(&Verdict::Unknown { blocker: "y".into() });
+        let after = stats();
+        assert_eq!(after.checked, before.checked + 3);
+        assert_eq!(after.independent, before.independent + 1);
+        assert_eq!(after.dependent, before.dependent + 1);
+        assert_eq!(after.unknown, before.unknown + 1);
+    }
+}

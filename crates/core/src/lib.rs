@@ -39,6 +39,7 @@
 pub mod bookdemo;
 pub mod catalog;
 pub mod datacheck;
+pub mod independence;
 pub mod obs;
 pub mod outcome;
 pub mod persist;
@@ -56,6 +57,7 @@ pub use catalog::{
     ViewCatalog, ViewInfo,
 };
 pub use datacheck::{DataCheckReport, Strategy};
+pub use independence::{IndependenceStats, Verdict};
 pub use obs::{Histogram, HistogramSnapshot, MetricsSnapshot, Stage, Verb};
 pub use outcome::{CheckOutcome, CheckReport, CheckStep, Condition, InvalidReason};
 pub use persist::{CatalogStore, LogRecord, PersistError, ReplayStats, VerifyReport};

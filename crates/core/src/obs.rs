@@ -242,6 +242,9 @@ pub enum Stage {
     Validate,
     /// Step 1½: conservative aggregate/Distinct classification.
     NonInjective,
+    /// Step 1½ refinement: the static query-update independence analysis,
+    /// run only on updates the blunt non-injective check rejected.
+    Independence,
     /// Step 2: the constant-time STAR check.
     Star,
     /// Translation-plan construction for a surviving update.
@@ -254,12 +257,13 @@ pub enum Stage {
 impl Stage {
     /// Every stage, in pipeline order (the exposition emits them in this
     /// order).
-    pub const ALL: [Stage; 8] = [
+    pub const ALL: [Stage; 9] = [
         Stage::Parse,
         Stage::Compile,
         Stage::Route,
         Stage::Validate,
         Stage::NonInjective,
+        Stage::Independence,
         Stage::Star,
         Stage::Translate,
         Stage::ProbeSql,
@@ -273,6 +277,7 @@ impl Stage {
             Stage::Route => "route",
             Stage::Validate => "validate",
             Stage::NonInjective => "non_injective",
+            Stage::Independence => "independence",
             Stage::Star => "star",
             Stage::Translate => "translate",
             Stage::ProbeSql => "probe_sql",

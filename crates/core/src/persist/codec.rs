@@ -15,6 +15,7 @@ use ufilter_asg::graph::{
     AggSource, AsgNode, AsgNodeId, AsgNodeKind, Card, JoinCond, LeafInfo, LocalPred, UContext,
     UPoint, ViewAsg,
 };
+use ufilter_asg::{DistinctRegion, ReadSets};
 use ufilter_rdb::sat::{Bound, Domain};
 use ufilter_rdb::{CmpOp, ColRef, DataType, Value};
 use ufilter_route::{SignatureParts, ViewSignature};
@@ -30,7 +31,10 @@ use super::LogRecord;
 /// from the record's view text, never a hard error). Version 2 added the
 /// routing-signature block between the config bytes and the ASG, so a warm
 /// restart can rebuild the relevance index without decoding the ASG at all.
-pub const ARTIFACT_VERSION: u8 = 2;
+/// Version 3 added the per-node aggregate gate columns and the trailing
+/// read-sets block, so a warm restart skips the independence-analysis
+/// read-set extraction along with everything else.
+pub const ARTIFACT_VERSION: u8 = 3;
 
 // ---- write primitives --------------------------------------------------
 
@@ -374,6 +378,7 @@ fn put_node(out: &mut Vec<u8>, n: &AsgNode) {
     put_bool(out, n.non_injective);
     put_opt(out, &n.agg, put_agg);
     put_vec(out, &n.agg_deps, put_agg);
+    put_vec(out, &n.gate_cols, put_colref);
     put_opt(out, &n.ucontext, |o, u: &UContext| {
         put_bool(o, u.safe_delete);
         put_bool(o, u.safe_insert);
@@ -419,6 +424,7 @@ fn read_node(r: &mut Reader) -> Result<AsgNode, String> {
     let non_injective = r.bool()?;
     let agg = r.opt(read_agg)?;
     let agg_deps = r.vec(read_agg)?;
+    let gate_cols = r.vec(read_colref)?;
     let ucontext = r.opt(|r| Ok(UContext { safe_delete: r.bool()?, safe_insert: r.bool()? }))?;
     let upoint = r.opt(|r| {
         Ok(match r.u8()? {
@@ -443,9 +449,39 @@ fn read_node(r: &mut Reader) -> Result<AsgNode, String> {
         non_injective,
         agg,
         agg_deps,
+        gate_cols,
         ucontext,
         upoint,
     })
+}
+
+fn put_read_sets(out: &mut Vec<u8>, rs: &ReadSets) {
+    put_vec(out, &rs.sources, put_agg);
+    put_vec(out, &rs.gate_cols, put_colref);
+    put_vec(out, &rs.distinct, |o, d: &DistinctRegion| {
+        put_str(o, &d.tag);
+        put_vec(o, &d.tables, |o, s: &String| put_str(o, s));
+        put_vec(o, &d.preds, |o, p: &LocalPred| {
+            put_colref(o, &p.column);
+            o.push(cmpop_code(p.op));
+            put_value(o, &p.value);
+        });
+    });
+}
+
+fn read_read_sets(r: &mut Reader) -> Result<ReadSets, String> {
+    let sources = r.vec(read_agg)?;
+    let gate_cols = r.vec(read_colref)?;
+    let distinct = r.vec(|r| {
+        Ok(DistinctRegion {
+            tag: r.str()?,
+            tables: r.vec(|r| r.str())?,
+            preds: r.vec(|r| {
+                Ok(LocalPred { column: read_colref(r)?, op: read_cmpop(r)?, value: read_value(r)? })
+            })?,
+        })
+    })?;
+    Ok(ReadSets { sources, gate_cols, distinct })
 }
 
 fn put_marking(out: &mut Vec<u8>, m: &StarMarking) {
@@ -560,6 +596,7 @@ pub fn encode_artifact(filter: &UFilter, sig: &ViewSignature) -> Vec<u8> {
     let nodes: Vec<&AsgNode> = filter.asg.iter().collect();
     put_vec(&mut out, &nodes, |o, n| put_node(o, n));
     put_marking(&mut out, &filter.marking);
+    put_read_sets(&mut out, &filter.read_sets);
     out
 }
 
@@ -573,14 +610,16 @@ pub fn decode_artifact_header(bytes: &[u8]) -> Result<(UFilterConfig, ViewSignat
     read_prelude(&mut Reader::new(bytes))
 }
 
-/// Parse artifact bytes back into the config + ASG + marking triple (the
-/// routing-signature block is validated and skipped; fetch it with
-/// [`decode_artifact_header`]).
+/// Parse artifact bytes back into the config + ASG + marking + read-sets
+/// tuple (the routing-signature block is validated and skipped; fetch it
+/// with [`decode_artifact_header`]).
 ///
 /// Returns `Err` on any structural damage *and* on an unknown artifact
 /// version — callers treat both the same way: fall back to recompiling
 /// from the record's view text.
-pub fn decode_artifact(bytes: &[u8]) -> Result<(UFilterConfig, ViewAsg, StarMarking), String> {
+pub fn decode_artifact(
+    bytes: &[u8],
+) -> Result<(UFilterConfig, ViewAsg, StarMarking, ReadSets), String> {
     let mut r = Reader::new(bytes);
     let (UFilterConfig { mode, strategy }, _sig) = read_prelude(&mut r)?;
     let root = AsgNodeId(r.u32()? as usize);
@@ -600,8 +639,14 @@ pub fn decode_artifact(bytes: &[u8]) -> Result<(UFilterConfig, ViewAsg, StarMark
         return Err(format!("root id {} out of range", root.0));
     }
     let marking = read_marking(&mut r)?;
+    let read_sets = read_read_sets(&mut r)?;
     r.done()?;
-    Ok((UFilterConfig { mode, strategy }, ViewAsg::from_parts(nodes, root, relations), marking))
+    Ok((
+        UFilterConfig { mode, strategy },
+        ViewAsg::from_parts(nodes, root, relations),
+        marking,
+        read_sets,
+    ))
 }
 
 #[cfg(test)]
@@ -639,13 +684,15 @@ mod tests {
             let bytes = encode_artifact(&filter, &sig);
             // Determinism: encoding twice yields identical bytes.
             assert_eq!(bytes, encode_artifact(&filter, &sig));
-            let (config, asg, marking) = decode_artifact(&bytes).unwrap();
+            let (config, asg, marking, read_sets) = decode_artifact(&bytes).unwrap();
             assert_eq!(config, filter.config);
             assert_eq!(asg.describe(), filter.asg.describe());
             assert_eq!(asg.has_non_injective(), filter.asg.has_non_injective());
             assert_eq!(marking.rule1, filter.marking.rule1);
             assert_eq!(marking.rule3, filter.marking.rule3);
             assert_eq!(marking.delete_anchor, filter.marking.delete_anchor);
+            assert_eq!(read_sets, filter.read_sets, "read-sets survive the roundtrip");
+            assert_eq!(read_sets, ufilter_asg::ReadSets::extract(&asg), "and match re-extraction");
         }
     }
 

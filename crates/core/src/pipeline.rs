@@ -2,11 +2,12 @@
 //! STAR marking), then push every incoming update through the three checks,
 //! handing survivors to the translation engine.
 
-use ufilter_asg::{build_view_asg, AsgNodeKind, BaseAsg, ViewAsg};
+use ufilter_asg::{build_view_asg, AsgNodeKind, BaseAsg, ReadSets, ViewAsg};
 use ufilter_rdb::{DatabaseSchema, Db, Row, Select};
 use ufilter_xquery::{features, parse_update, parse_view_query, UpdateStmt, ViewQuery};
 
 use crate::datacheck::{self, DataCheckReport, Strategy};
+use crate::independence;
 use crate::obs::{self, Stage};
 use crate::outcome::{CheckOutcome, CheckReport, CheckStep};
 use crate::probe::{build_probe, path_info, SelectSpec};
@@ -184,6 +185,10 @@ pub struct UFilter {
     pub base: BaseAsg,
     /// The compile-time STAR marking summary.
     pub marking: StarMarking,
+    /// Read-sets of the view's non-injective machinery (aggregate operands,
+    /// gate columns, Distinct regions), extracted once for the independence
+    /// analysis. Empty for classic views.
+    pub read_sets: ReadSets,
     /// Mode/strategy the checks run under.
     pub config: UFilterConfig,
 }
@@ -211,6 +216,7 @@ impl UFilter {
         schema: DatabaseSchema,
         asg: ViewAsg,
         marking: StarMarking,
+        read_sets: ReadSets,
         config: UFilterConfig,
     ) -> UFilter {
         let leaves: Vec<ufilter_rdb::ColRef> =
@@ -222,6 +228,7 @@ impl UFilter {
             asg,
             base,
             marking,
+            read_sets,
             config,
         }
     }
@@ -250,12 +257,14 @@ impl UFilter {
             asg.iter().filter_map(|n| n.leaf.as_ref().map(|l| l.name.clone())).collect();
         let base = BaseAsg::build(schema, &asg.relations, &leaves);
         let marking = star::mark(&mut asg, &base, schema);
+        let read_sets = ReadSets::extract(&asg);
         Ok(UFilter {
             query: QuerySource::Parsed(query),
             schema: schema.clone(),
             asg,
             base,
             marking,
+            read_sets,
             config: UFilterConfig::default(),
         })
     }
@@ -489,11 +498,43 @@ impl UFilter {
         let classified = star::non_injective_check(&self.asg, &self.schema, action);
         obs::stage_elapsed(Stage::NonInjective, span);
         if let Some(reason) = classified {
-            trace.push((CheckStep::NonInjective, reason.clone()));
-            return Err(CheckReport {
-                trace,
-                outcome: CheckOutcome::Untranslatable { step: CheckStep::NonInjective, reason },
-            });
+            // The blunt footprint check rejected — refine with the static
+            // independence analysis. Only a provably-independent verdict
+            // changes the outcome (the update falls through to the
+            // unchanged STAR/data/translation path); Dependent and Unknown
+            // reject exactly as before, with the blocker appended.
+            let span = obs::clock();
+            let verdict = independence::classify(
+                &self.asg,
+                &self.schema,
+                &self.marking,
+                &self.read_sets,
+                action,
+            );
+            independence::record(&verdict);
+            obs::stage_elapsed(Stage::Independence, span);
+            let reason = match verdict {
+                independence::Verdict::Independent => {
+                    trace.push((
+                        CheckStep::NonInjective,
+                        format!("{reason}; independence: update write-set is disjoint from every non-injective read-set"),
+                    ));
+                    None
+                }
+                independence::Verdict::Dependent { blocker } => {
+                    Some(format!("{reason}; independence: dependent on {blocker}"))
+                }
+                independence::Verdict::Unknown { blocker } => {
+                    Some(format!("{reason}; independence: unknown, blocked by {blocker}"))
+                }
+            };
+            if let Some(reason) = reason {
+                trace.push((CheckStep::NonInjective, reason.clone()));
+                return Err(CheckReport {
+                    trace,
+                    outcome: CheckOutcome::Untranslatable { step: CheckStep::NonInjective, reason },
+                });
+            }
         }
 
         // ---- Step 2: STAR ----------------------------------------------

@@ -15,7 +15,7 @@ use ufilter_xquery::{
     print_update, Operand, PathExpr, Predicate, UpdBinding, UpdateAction, UpdateStmt,
 };
 
-use crate::gen_schema::{GenSchema, Lit};
+use crate::gen_schema::{ColTy, GenSchema, Lit};
 use crate::gen_view::{fresh_value, GenView, Region};
 use crate::rng::FuzzRng;
 
@@ -64,6 +64,351 @@ pub fn generate(rng: &mut FuzzRng, schema: &GenSchema, view: &GenView) -> GenUpd
         85..=92 => multi_action(rng, schema, region),
         _ => adversarial(rng, schema, region),
     }
+}
+
+/// Bias mode for the independence-acceptance stream: aim updates at
+/// regions whose table feeds a standalone aggregate, so every generated
+/// shape lands in the blunt non-injective gate and exercises the
+/// independence analysis. Strategies: value replaces that miss the operand
+/// column (should flip to accepted), group-preserving multi-replaces,
+/// replaces carrying a predicate provably domain-disjoint from a
+/// `distinct()` region's membership predicates, operand-column replaces
+/// (must stay rejected), and a residue of ordinary updates for mixture.
+pub fn generate_biased(rng: &mut FuzzRng, schema: &GenSchema, view: &GenView) -> GenUpdate {
+    let regions = view.all_regions();
+    // Hot regions: the region's own table — or a table its deletes cascade
+    // into — feeds one of the view's standalone aggregates.
+    let hot: Vec<&Region> = regions
+        .iter()
+        .copied()
+        .filter(|r| {
+            view.aggregates.iter().any(|a| {
+                a.table == r.table || schema.children_of(&r.table).iter().any(|c| c.name == a.table)
+            })
+        })
+        .collect();
+    if hot.is_empty() {
+        return generate(rng, schema, view);
+    }
+    // Prefer targets outside every Distinct region: writes landing inside
+    // one are correctly Dependent and can never flip.
+    let flippable: Vec<&Region> = hot.iter().copied().filter(|r| !subtree_distinct(r)).collect();
+    // Best targets are top-level (the addressed element's existence does
+    // not hinge on a parent region's membership), have at least one row
+    // satisfying their membership predicates, and keep a writable column
+    // once the avoid set is carved out.
+    let prime: Vec<&Region> = flippable
+        .iter()
+        .copied()
+        .filter(|r| {
+            r.steps.len() == 1
+                && !live_rows(schema, r, &[]).is_empty()
+                && !safe_cols(r, &avoid_for(view, &regions, r)).is_empty()
+        })
+        .collect();
+    let region = if !prime.is_empty() {
+        prime[rng.index(prime.len())]
+    } else if !flippable.is_empty() {
+        flippable[rng.index(flippable.len())]
+    } else {
+        hot[rng.index(hot.len())]
+    };
+    let avoid = avoid_for(view, &regions, region);
+    let operands: Vec<&str> = view
+        .aggregates
+        .iter()
+        .filter(|a| a.table == region.table)
+        .filter_map(|a| a.column.as_deref())
+        .collect();
+    match rng.index(100) {
+        0..=44 => replace_nonoperand(rng, schema, region, &avoid),
+        45..=64 => multi_replace_nonoperand(rng, schema, region, &avoid),
+        65..=79 => disjoint_pred_replace(rng, schema, &regions, region, &avoid),
+        80..=89 => replace_operand(rng, schema, region, &operands),
+        _ => generate(rng, schema, view),
+    }
+}
+
+/// Columns a flip-seeking write against `region` must avoid: aggregate
+/// operands, plus everything the unchanged downstream pipeline rejects
+/// writes to — membership-predicate and gate columns of any same-table
+/// region, and columns the view projects at a second position (sibling
+/// regions or parent groups over the same table).
+fn avoid_for(view: &GenView, regions: &[&Region], region: &Region) -> Vec<String> {
+    let mut avoid: Vec<String> = view
+        .aggregates
+        .iter()
+        .filter(|a| a.table == region.table)
+        .filter_map(|a| a.column.clone())
+        .collect();
+    for r in regions {
+        if r.table == region.table {
+            avoid.extend(r.preds.iter().map(|p| p.col.clone()));
+            avoid.extend(r.gate_col.iter().cloned());
+            if r.tag != region.tag {
+                avoid.extend(r.cols.iter().map(|c| c.tag.clone()));
+            }
+        }
+        for (_, ptable, gcols) in &r.groups {
+            if *ptable == region.table {
+                avoid.extend(gcols.iter().map(|c| c.tag.clone()));
+            }
+        }
+    }
+    avoid
+}
+
+/// Whether `region` or any nested region carries a `distinct()` binding.
+fn subtree_distinct(region: &Region) -> bool {
+    region.distinct || region.children.iter().any(subtree_distinct)
+}
+
+/// Columns of `region` a flip-seeking value write may target.
+fn safe_cols<'a>(region: &'a Region, avoid: &[String]) -> Vec<&'a crate::gen_view::RegionCol> {
+    region.cols.iter().filter(|c| !avoid.contains(&c.tag)).collect()
+}
+
+/// Whether `lit` satisfies `op value` (the update generator's miniature
+/// predicate evaluator, for picking keys of rows a region actually shows).
+fn pred_holds(lit: &Lit, op: CmpOp, value: &Value) -> bool {
+    use std::cmp::Ordering;
+    let ord = match (lit, value) {
+        (Lit::Str(a), Value::Str(b)) => a.as_str().cmp(b.as_str()),
+        (Lit::Int(a), Value::Int(b)) => a.cmp(b),
+        (Lit::Int(a), Value::Double(b)) => (*a as f64).partial_cmp(b).unwrap_or(Ordering::Equal),
+        (Lit::Double(a), Value::Double(b)) => a.partial_cmp(b).unwrap_or(Ordering::Equal),
+        (Lit::Double(a), Value::Int(b)) => a.partial_cmp(&(*b as f64)).unwrap_or(Ordering::Equal),
+        _ => return false,
+    };
+    match op {
+        CmpOp::Eq => ord == Ordering::Equal,
+        CmpOp::Ne => ord != Ordering::Equal,
+        CmpOp::Lt => ord == Ordering::Less,
+        CmpOp::Le => ord != Ordering::Greater,
+        CmpOp::Gt => ord == Ordering::Greater,
+        CmpOp::Ge => ord != Ordering::Less,
+    }
+}
+
+/// The region table's rows that satisfy the region's recorded membership
+/// predicates plus `extra` — rows whose view element provably exists (up
+/// to aggregate gates and parent membership, which are not modelled).
+fn live_rows<'a>(
+    schema: &'a GenSchema,
+    region: &Region,
+    extra: &[(String, CmpOp, Value)],
+) -> Vec<&'a Vec<Lit>> {
+    let table = schema.table(&region.table).expect("region table exists");
+    let names = table.column_names();
+    let holds = |row: &[Lit], col: &str, op: CmpOp, v: &Value| {
+        names.iter().position(|n| n == col).map(|i| pred_holds(&row[i], op, v)).unwrap_or(true)
+    };
+    table
+        .rows
+        .iter()
+        .filter(|row| {
+            region.preds.iter().all(|p| holds(row, &p.col, p.op, &p.value))
+                && extra.iter().all(|(c, op, v)| holds(row, c, *op, v))
+        })
+        .collect()
+}
+
+/// A key predicate whose value comes from a row that satisfies both the
+/// region's recorded membership predicates and `extra` — so the addressed
+/// view element actually exists and the data-context checks pass.
+fn satisfying_key_pred(
+    rng: &mut FuzzRng,
+    schema: &GenSchema,
+    region: &Region,
+    var: &str,
+    extra: &[(String, CmpOp, Value)],
+) -> Option<Vec<Predicate>> {
+    let key_tag = region.key_tag.as_ref()?;
+    let rows = live_rows(schema, region, extra);
+    if rows.is_empty() {
+        return None;
+    }
+    let row = rows[rng.index(rows.len())];
+    Some(vec![Predicate {
+        lhs: Operand::Path(PathExpr {
+            var: var.to_string(),
+            steps: vec![key_tag.clone(), "text()".into()],
+        }),
+        op: CmpOp::Eq,
+        rhs: Operand::Literal(Value::Str(row[0].text())),
+    }])
+}
+
+/// One keyed single-column replace of `tag` with a fresh value.
+fn keyed_replace(
+    rng: &mut FuzzRng,
+    schema: &GenSchema,
+    region: &Region,
+    tag: &str,
+    ty: ColTy,
+    label: &'static str,
+) -> GenUpdate {
+    let (bindings, var) = bind_region(region);
+    let predicates = satisfying_key_pred(rng, schema, region, &var, &[])
+        .unwrap_or_else(|| region_pred(rng, schema, region, &var));
+    let mut with = Document::new(tag.to_string());
+    let root = with.root();
+    let text = with.new_text(fresh_value(rng, ty).text());
+    with.append_child(root, text);
+    GenUpdate {
+        label,
+        spec: UpdSpec::Ast(UpdateStmt {
+            bindings,
+            predicates,
+            target: var.clone(),
+            actions: vec![UpdateAction::Replace {
+                target: PathExpr { var, steps: vec![tag.to_string()] },
+                with,
+            }],
+        }),
+    }
+}
+
+/// A value write that provably misses every aggregate operand.
+fn replace_nonoperand(
+    rng: &mut FuzzRng,
+    schema: &GenSchema,
+    region: &Region,
+    avoid: &[String],
+) -> GenUpdate {
+    let safe = safe_cols(region, avoid);
+    if safe.is_empty() {
+        return replace_col(rng, schema, region);
+    }
+    let c = safe[rng.index(safe.len())];
+    keyed_replace(rng, schema, region, &c.tag.clone(), c.ty, "biased-replace")
+}
+
+/// Two value writes against the same rows in one statement — still group
+/// cardinality preserving, so both must pass the analysis together.
+fn multi_replace_nonoperand(
+    rng: &mut FuzzRng,
+    schema: &GenSchema,
+    region: &Region,
+    avoid: &[String],
+) -> GenUpdate {
+    let safe = safe_cols(region, avoid);
+    if safe.len() < 2 {
+        return replace_nonoperand(rng, schema, region, avoid);
+    }
+    let i = rng.index(safe.len());
+    let mut j = rng.index(safe.len());
+    if j == i {
+        j = (j + 1) % safe.len();
+    }
+    let (a, b) = (safe[i], safe[j]);
+    let first = keyed_replace(rng, schema, region, &a.tag.clone(), a.ty, "biased-multi-replace");
+    let UpdSpec::Ast(mut ua) = first.spec else { unreachable!() };
+    let mut with = Document::new(b.tag.clone());
+    let root = with.root();
+    let text = with.new_text(fresh_value(rng, b.ty).text());
+    with.append_child(root, text);
+    ua.actions.push(UpdateAction::Replace {
+        target: PathExpr { var: ua.target.clone(), steps: vec![b.tag.clone()] },
+        with,
+    });
+    GenUpdate { label: "biased-multi-replace", spec: UpdSpec::Ast(ua) }
+}
+
+/// A non-operand value write whose predicate is the *complement* of a
+/// `distinct()` region's membership predicate over the same table — the
+/// touched rows are provably invisible to the region, so the analysis's
+/// domain-disjointness rescue should admit the update even though the
+/// table is Distinct-scanned.
+fn disjoint_pred_replace(
+    rng: &mut FuzzRng,
+    schema: &GenSchema,
+    regions: &[&Region],
+    region: &Region,
+    avoid: &[String],
+) -> GenUpdate {
+    // Donor: a *different*, distinct() region over the same table whose
+    // membership predicate column the target region projects (the update
+    // predicate must reference a projected path to validate).
+    let donors: Vec<(&Region, &crate::gen_view::GenPred)> = regions
+        .iter()
+        .copied()
+        .filter(|r| r.distinct && r.table == region.table && r.tag != region.tag)
+        .flat_map(|r| r.preds.iter().map(move |p| (r, p)))
+        .filter(|(_, p)| region.cols.iter().any(|c| c.tag == p.col))
+        .collect();
+    let Some((_, pred)) = donors.first() else {
+        return replace_nonoperand(rng, schema, region, avoid);
+    };
+    let comp = complement(pred.op);
+    // Write a column that is neither an operand nor the proving column (a
+    // write to the proving column would void the rescue). `avoid` already
+    // excludes every membership-predicate column over this table.
+    let safe = safe_cols(region, avoid);
+    if safe.is_empty() {
+        return replace_nonoperand(rng, schema, region, avoid);
+    }
+    let c = safe[rng.index(safe.len())];
+    let (bindings, var) = bind_region(region);
+    // The addressed element must exist: pick a key among rows satisfying
+    // the target region's membership predicates AND the complement.
+    let extra = [(pred.col.clone(), comp, pred.value.clone())];
+    let Some(mut predicates) = satisfying_key_pred(rng, schema, region, &var, &extra) else {
+        return replace_nonoperand(rng, schema, region, avoid);
+    };
+    predicates.push(Predicate {
+        lhs: Operand::Path(PathExpr {
+            var: var.clone(),
+            steps: vec![pred.col.clone(), "text()".into()],
+        }),
+        op: comp,
+        rhs: Operand::Literal(pred.value.clone()),
+    });
+    let mut with = Document::new(c.tag.clone());
+    let root = with.root();
+    let text = with.new_text(fresh_value(rng, c.ty).text());
+    with.append_child(root, text);
+    GenUpdate {
+        label: "biased-disjoint",
+        spec: UpdSpec::Ast(UpdateStmt {
+            bindings,
+            predicates,
+            target: var.clone(),
+            actions: vec![UpdateAction::Replace {
+                target: PathExpr { var, steps: vec![c.tag.clone()] },
+                with,
+            }],
+        }),
+    }
+}
+
+/// The complementary comparison: `complement(op) v` selects exactly the
+/// rows `op v` does not, so the two predicate sets are domain-disjoint.
+fn complement(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Eq => CmpOp::Ne,
+        CmpOp::Ne => CmpOp::Eq,
+        CmpOp::Lt => CmpOp::Ge,
+        CmpOp::Le => CmpOp::Gt,
+        CmpOp::Gt => CmpOp::Le,
+        CmpOp::Ge => CmpOp::Lt,
+    }
+}
+
+/// A value write straight into an aggregate operand column: the analysis
+/// must keep rejecting it, with the aggregate named on the wire.
+fn replace_operand(
+    rng: &mut FuzzRng,
+    schema: &GenSchema,
+    region: &Region,
+    operands: &[&str],
+) -> GenUpdate {
+    let hit: Vec<_> = region.cols.iter().filter(|c| operands.contains(&c.tag.as_str())).collect();
+    if hit.is_empty() {
+        return replace_col(rng, schema, region);
+    }
+    let c = hit[rng.index(hit.len())];
+    keyed_replace(rng, schema, region, &c.tag.clone(), c.ty, "biased-operand")
 }
 
 /// `FOR $r IN document(V) UPDATE $r { INSERT <region instance> }` — the u1

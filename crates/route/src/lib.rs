@@ -105,11 +105,13 @@
 
 mod footprint;
 mod index;
+mod overlap;
 mod postings;
 mod trie;
 
 pub use footprint::Footprint;
 pub use index::{LeafTarget, RelevanceIndex, Route, SignatureParts, ViewSignature};
+pub use overlap::{constant_preds_disjoint, ConstPred};
 pub use postings::IndexStats;
 pub use trie::TrieIndex;
 

@@ -1,0 +1,79 @@
+//! Constant-predicate disjointness over the `col θ literal` fragment.
+//!
+//! The routing index's level-3 pruning and the core independence analysis
+//! ask the same question from opposite directions: can a row satisfy *both*
+//! of two constant predicate sets at once? Routing uses the answer to prune
+//! views an update cannot address; the independence pass uses it to prove
+//! that the rows an update touches are invisible to a `Distinct()` region's
+//! membership predicates. Both reduce to per-column [`Domain`]
+//! intersection, shared here.
+
+use ufilter_rdb::sat::Domain;
+use ufilter_rdb::{CmpOp, ColRef, Value};
+
+/// One constant predicate atom: `column op literal`.
+pub type ConstPred = (ColRef, CmpOp, Value);
+
+/// Whether `a` and `b` provably select **disjoint** rows: some column is
+/// constrained by both sides and the combined per-column domain is
+/// unsatisfiable. `false` means "may overlap" — callers must treat it
+/// conservatively. Columns appearing on only one side never prove
+/// anything; NULL literals make their atom unsatisfiable (SQL three-valued
+/// comparison), which correctly reports the sides disjoint.
+pub fn constant_preds_disjoint(a: &[ConstPred], b: &[ConstPred]) -> bool {
+    for (col, _, _) in a {
+        let on_col = |c: &ColRef| c.matches(&col.table, &col.column);
+        if !b.iter().any(|(c, _, _)| on_col(c)) {
+            continue;
+        }
+        let mut domain = Domain::default();
+        let mut hint = None;
+        for (_, op, v) in a.iter().chain(b.iter()).filter(|(c, _, _)| on_col(c)) {
+            domain.constrain(*op, v);
+            hint = hint.or_else(|| v.data_type());
+        }
+        if !domain.satisfiable(hint) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pred(table: &str, col: &str, op: CmpOp, v: Value) -> ConstPred {
+        (ColRef::new(table, col), op, v)
+    }
+
+    #[test]
+    fn disjoint_intervals_are_detected() {
+        let a = [pred("book", "price", CmpOp::Lt, Value::Double(10.0))];
+        let b = [pred("book", "price", CmpOp::Gt, Value::Double(20.0))];
+        assert!(constant_preds_disjoint(&a, &b));
+        assert!(constant_preds_disjoint(&b, &a));
+    }
+
+    #[test]
+    fn overlapping_or_unrelated_atoms_stay_conservative() {
+        let a = [pred("book", "price", CmpOp::Gt, Value::Double(5.0))];
+        let b = [pred("book", "price", CmpOp::Lt, Value::Double(20.0))];
+        assert!(!constant_preds_disjoint(&a, &b));
+        // Different columns prove nothing.
+        let c = [pred("book", "year", CmpOp::Gt, Value::Int(1990))];
+        assert!(!constant_preds_disjoint(&a, &c));
+        // Empty sides prove nothing.
+        assert!(!constant_preds_disjoint(&a, &[]));
+        assert!(!constant_preds_disjoint(&[], &b));
+    }
+
+    #[test]
+    fn contradictory_equalities_are_disjoint() {
+        let a = [pred("book", "bookid", CmpOp::Eq, Value::str("98001"))];
+        let b = [pred("book", "bookid", CmpOp::Eq, Value::str("98002"))];
+        assert!(constant_preds_disjoint(&a, &b));
+        let same = [pred("book", "bookid", CmpOp::Eq, Value::str("98001"))];
+        assert!(!constant_preds_disjoint(&a, &same));
+    }
+}

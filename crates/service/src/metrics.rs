@@ -138,6 +138,30 @@ pub const STATS_FAMILIES: &[StatsFamily] = &[
         "counter",
         "View signatures removed from the routing trie.",
     ),
+    fam(
+        "independence_checked",
+        "ufilter_independence_checked_total",
+        "counter",
+        "Blunt non-injective rejections re-examined by the independence analysis.",
+    ),
+    fam(
+        "independence_independent",
+        "ufilter_independence_independent_total",
+        "counter",
+        "Independence verdicts that admitted the update to the unchanged pipeline.",
+    ),
+    fam(
+        "independence_dependent",
+        "ufilter_independence_dependent_total",
+        "counter",
+        "Independence rejections with a named blocking read-set entry.",
+    ),
+    fam(
+        "independence_unknown",
+        "ufilter_independence_unknown_total",
+        "counter",
+        "Independence rejections where the write-set could not be bounded.",
+    ),
 ];
 
 /// The quantiles every summary family exposes.

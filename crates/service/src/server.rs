@@ -526,6 +526,7 @@ impl Connection {
                 // gauges (`trie_*`) — and the CI smoke script parses them
                 // by name.
                 let trie = self.catalog.index_stats();
+                let indep = ufilter_core::independence::stats();
                 self.reply(
                     writer,
                     &format!(
@@ -535,7 +536,8 @@ impl Connection {
                          persist_compactions={compactions} persist_replayed={replayed} \
                          fanout_requests={} candidates={} pruned={} fallbacks={} \
                          trie_nodes={} trie_postings={} trie_bytes={} trie_inserts={} \
-                         trie_removes={}",
+                         trie_removes={} independence_checked={} independence_independent={} \
+                         independence_dependent={} independence_unknown={}",
                         self.pool.workers(),
                         self.catalog.shard_count(),
                         self.catalog.len(),
@@ -556,6 +558,10 @@ impl Connection {
                         trie.bytes,
                         trie.inserts,
                         trie.removes,
+                        indep.checked,
+                        indep.independent,
+                        indep.dependent,
+                        indep.unknown,
                     ),
                 )
             }
@@ -584,6 +590,7 @@ impl Connection {
             None => (0, 0, 0, 0),
         };
         let trie = self.catalog.index_stats();
+        let indep = ufilter_core::independence::stats();
         let values: [u64; STATS_FAMILIES.len()] = [
             self.pool.workers() as u64,
             self.catalog.shard_count() as u64,
@@ -609,6 +616,10 @@ impl Connection {
             trie.bytes as u64,
             trie.inserts,
             trie.removes,
+            indep.checked,
+            indep.independent,
+            indep.dependent,
+            indep.unknown,
         ];
         metrics::render(&values, &obs::snapshot())
     }
@@ -760,7 +771,7 @@ mod tests {
         let stats = c.roundtrip("STATS");
         assert!(stats.contains("fanout_requests=3"), "{stats}");
         let keys: Vec<&str> = stats.split(' ').filter_map(|kv| kv.split('=').next()).collect();
-        let tail = &keys[keys.len() - 9..];
+        let tail = &keys[keys.len() - 13..];
         assert_eq!(
             tail,
             [
@@ -772,7 +783,11 @@ mod tests {
                 "trie_postings",
                 "trie_bytes",
                 "trie_inserts",
-                "trie_removes"
+                "trie_removes",
+                "independence_checked",
+                "independence_independent",
+                "independence_dependent",
+                "independence_unknown"
             ],
             "{stats}"
         );

@@ -651,6 +651,50 @@ UPDATE $root { INSERT <section_count>9</section_count> }"#,
     ]
 }
 
+/// Updates on the Fig. 12 use-case views that the blunt Step-1½ footprint
+/// check rejects but the static independence analysis proves safe —
+/// `(view label, update text)` pairs, each a value write whose write-set
+/// misses every aggregate operand, aggregate-gate column and Distinct
+/// projection the view reads. These are the README precision-column
+/// entries: per group, XMP 1, TREE 1, R 2 previously-`untranslatable
+/// non-injective` updates now check `translatable`, pinned (flip *and*
+/// byte-identical wire outcome across check-batch and the served `BATCH`)
+/// by `tests/fig12_differential.rs`.
+pub fn independence_updates() -> &'static [(&'static str, &'static str)] {
+    &[
+        // Membership gated by count(author) — a row count no title write
+        // can shift.
+        (
+            "XMP-Q6",
+            r#"FOR $b IN document("V.xml")/book
+WHERE $b/title = "Advanced Unix"
+UPDATE $b { REPLACE $b/title WITH <title>Advanced Unix 2e</title> }"#,
+        ),
+        // Same shape over the TREE group: count(section) gates the region.
+        (
+            "TREE-Q6",
+            r#"FOR $s IN document("V.xml")/section
+WHERE $s/title = "Introduction"
+UPDATE $s { REPLACE $s/title WITH <title>Overview</title> }"#,
+        ),
+        // count(bid) gates items; the write lands on item.description.
+        (
+            "R-Q6",
+            r#"FOR $i IN document("V.xml")/popular_item
+UPDATE $i { REPLACE $i/description WITH <description>Touring Bicycle</description> }"#,
+        ),
+        // reserve_price > avg(reserve_price) gates the region *and* feeds
+        // the aggregate; the write stays on the disjoint description
+        // column.
+        (
+            "R-Q12",
+            r#"FOR $p IN document("V.xml")/pricey
+WHERE $p/description = "Motorcycle"
+UPDATE $p { REPLACE $p/description WITH <description>Vintage Motorcycle</description> }"#,
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

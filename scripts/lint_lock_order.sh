@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Static check of the sharded-catalog lock-ordering rule (the "analysis
+# gate" CI job). The rule, documented at the top of
+# crates/service/src/catalog.rs:
+#
+#   Shard locks are only ever acquired in ascending shard index, and no
+#   thread holds two shard locks unless it is the DDL path acquiring all
+#   of them (ascending). Check/list paths lock one shard at a time.
+#
+# This linter enforces the mechanically checkable consequences of that
+# rule over crates/service/src:
+#
+#   1. Raw `self.shards[i].read()/write()` acquisitions appear only inside
+#      the blessed single-shard accessors (`fn read` / `fn write`), and
+#      `shard.read()/write()` on a loop binding only inside functions that
+#      iterate `&self.shards` directly (Vec iteration is ascending by
+#      construction). Everything else must go through the accessors, so
+#      new code cannot invent an unordered acquisition path.
+#   2. No reversed iteration anywhere near shard state: a `.rev()` on a
+#      line mentioning shards is a descending sweep waiting to deadlock
+#      against the DDL path's ascending one.
+#   3. Every multi-guard collection (`.map(|i| self.write(i))` or
+#      `.map(|i| self.read(i))` into a Vec of guards) iterates the
+#      canonical ascending range `(0..self.shards.len())` on the same
+#      line.
+#   4. The `shards` field never leaks outside catalog.rs — other service
+#      modules cannot acquire shard locks at all, ordered or not.
+#
+# Grep-level checks cannot prove the full rule (e.g. a guard smuggled
+# across a helper call), but every violation the repo has ever discussed
+# starts by tripping one of these four patterns.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SRC=crates/service/src
+fail=0
+
+say() { printf '%s\n' "$*" >&2; }
+
+# ---- 1. raw acquisitions only in blessed functions --------------------
+# Track the enclosing `fn` name; flag shard lock acquisitions outside the
+# allowlist. The allowlist names the single-shard accessors and the
+# ascending `for shard in &self.shards` sweeps.
+ALLOW='^(read|write|attach_store)$'
+viol=$(awk -v allow="$ALLOW" '
+    /fn [a-z_]+/ { if (match($0, /fn [a-z_]+/)) fn = substr($0, RSTART + 3, RLENGTH - 3) }
+    /shards\[[^]]*\]\.(read|write)\(\)/ && fn !~ allow {
+        printf "%s:%d: shard lock outside blessed accessor (fn %s): %s\n", FILENAME, FNR, fn, $0
+    }
+    /[^.]\bshard\.(read|write)\(\)/ && fn !~ allow {
+        printf "%s:%d: loop-binding shard lock outside blessed fn (fn %s): %s\n", FILENAME, FNR, fn, $0
+    }
+' "$SRC"/*.rs)
+if [ -n "$viol" ]; then
+    say "lock-order: raw shard lock acquisition outside read()/write()/attach_store():"
+    say "$viol"
+    fail=1
+fi
+
+# ---- 2. no reversed shard sweeps --------------------------------------
+if grep -n 'rev()' "$SRC"/*.rs | grep -i 'shard' >&2; then
+    say "lock-order: reversed iteration over shard state (descending sweep)"
+    fail=1
+fi
+
+# ---- 3. multi-guard collections iterate the canonical ascending range --
+viol=$(grep -n '\.map(|i| self\.\(read\|write\)(i))' "$SRC"/*.rs |
+    grep -v '(0\.\.self\.shards\.len())' || true)
+if [ -n "$viol" ]; then
+    say "lock-order: guard collection not over (0..self.shards.len()):"
+    say "$viol"
+    fail=1
+fi
+
+# ---- 4. the shards field stays private to catalog.rs ------------------
+viol=$(grep -n '\.shards' "$SRC"/*.rs | grep -v "^$SRC/catalog.rs:" || true)
+if [ -n "$viol" ]; then
+    say "lock-order: shard container referenced outside catalog.rs:"
+    say "$viol"
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    say "lock-order lint FAILED (rule: crates/service/src/catalog.rs header)"
+    exit 1
+fi
+echo "lock-order lint OK: $(grep -c 'fn ' "$SRC"/catalog.rs) fns scanned, ascending-sweep rule holds"

@@ -20,7 +20,9 @@ use u_filter::core::catalog::ViewCatalog;
 use u_filter::core::wire::{encode_outcome, encode_outcomes};
 use u_filter::core::{CheckOutcome, CheckStep};
 use u_filter::service::{proto, CheckServer, ShardedCatalog};
-use u_filter::usecases::{subset_data_sql, subset_schema_sql, subset_updates, subset_views};
+use u_filter::usecases::{
+    independence_updates, subset_data_sql, subset_schema_sql, subset_updates, subset_views,
+};
 use ufilter_rdb::Db;
 
 fn subset_db() -> Db {
@@ -41,7 +43,14 @@ fn subset_catalog(db: &Db) -> ViewCatalog {
 }
 
 fn stream() -> Vec<(String, String)> {
-    subset_updates().iter().map(|(v, u)| (v.to_string(), u.to_string())).collect()
+    // Original pinned stream first (indexes 0..=8 are asserted below),
+    // then the independence-analysis flips — appended, so every
+    // previously-pinned outcome keeps its index and its bytes.
+    subset_updates()
+        .iter()
+        .chain(independence_updates())
+        .map(|(v, u)| (v.to_string(), u.to_string()))
+        .collect()
 }
 
 #[test]
@@ -64,7 +73,7 @@ fn sample_stream_classifies_without_panicking() {
     let catalog = subset_catalog(&db);
     let mut db = db.clone();
     let report = catalog.check_batch_text(&stream(), &mut db);
-    assert_eq!(report.items.len(), subset_updates().len());
+    assert_eq!(report.items.len(), subset_updates().len() + independence_updates().len());
 
     let step_of = |i: usize| match &report.items[i].reports[0].outcome {
         CheckOutcome::Untranslatable { step, .. } => Some(*step),
@@ -86,6 +95,40 @@ fn sample_stream_classifies_without_panicking() {
     // Statically irrelevant shapes keep their classic Step-1 classes.
     assert!(report.items[7].reports[0].outcome.is_invalid(), "unknown target stays invalid");
     assert!(report.items[8].reports[0].outcome.is_invalid(), "hierarchy violation stays invalid");
+}
+
+/// The README precision column: each `independence_updates()` entry is a
+/// use-case update the blunt Step-1½ footprint check rejects that the
+/// independence analysis proves safe. The flip itself is visible in the
+/// trace — the `NonInjective` entry records both the blunt rejection
+/// reason and the overriding independence note — so this pins
+/// rejected→accepted per update, not just final acceptance.
+#[test]
+fn independence_updates_flip_on_the_use_cases() {
+    let db = subset_db();
+    let catalog = subset_catalog(&db);
+    for (view, update) in independence_updates() {
+        let filter = catalog.get(view).expect("use-case view registered");
+        let mut cdb = db.clone();
+        let reports = filter.check(update, &mut cdb);
+        assert!(!reports.is_empty(), "{view}: update produced no reports");
+        for r in &reports {
+            assert!(
+                r.outcome.is_translatable(),
+                "{view}: expected a flip to translatable, got {:?}",
+                r.outcome
+            );
+            let flip = r.trace.iter().any(|(step, note)| {
+                *step == CheckStep::NonInjective && note.contains("independence:")
+            });
+            assert!(
+                flip,
+                "{view}: accepted without passing through the blunt gate — \
+                 not a precision win; trace: {:?}",
+                r.trace
+            );
+        }
+    }
 }
 
 struct Client {
@@ -142,8 +185,9 @@ fn served_batch_is_byte_identical_to_check_batch() {
     let mut c = Client::connect(addr);
 
     // Per-item CHECK replies must equal the library's tab-joined outcomes.
+    let stream = stream();
     let mut saw_non_injective = false;
-    for (i, (view, update)) in subset_updates().iter().enumerate() {
+    for (i, (view, update)) in stream.iter().enumerate() {
         c.send(&proto::check_request(view, update));
         let reply = c.recv();
         let lib_line = encode_outcomes(
@@ -157,12 +201,12 @@ fn served_batch_is_byte_identical_to_check_batch() {
     assert!(saw_non_injective, "no CHECK surfaced the non-injective wire code");
 
     // BATCH: the full stream in one request, byte-identical ITEM lines.
-    c.send(&format!("BATCH {}", subset_updates().len()));
-    for (view, update) in subset_updates() {
+    c.send(&format!("BATCH {}", stream.len()));
+    for (view, update) in &stream {
         c.send(&proto::batch_item(view, update));
     }
     let head = c.recv();
-    assert_eq!(head, format!("OK {}", subset_updates().len()), "{head}");
+    assert_eq!(head, format!("OK {}", stream.len()), "{head}");
     let mut got: Vec<String> = Vec::new();
     loop {
         let line = c.recv();

@@ -1,0 +1,131 @@
+//! Acceptance stream for the static query–update independence analysis.
+//!
+//! A seeded stream of ≥2000 updates biased at aggregate/Distinct views
+//! (`gen_view::generate_aggregated` + `gen_update::generate_biased`).
+//! Every update the blunt Step-1½ non-injective gate rejects is
+//! re-examined by the independence analysis; this test pins the criterion
+//! that **at least 25% of those blunt rejections flip to accepted**, and
+//! that every accepted update still satisfies the paper's Definition 1
+//! rectangle — zero oracle mismatches. A second phase replays biased
+//! plans through the full four-surface differential oracle so the flipped
+//! outcomes are also byte-identical across CLI-style direct checks,
+//! `check_batch_text`, `check_all` routing and a served `CHECK`.
+//!
+//! Blunt rejections and flips are observed through the process-global
+//! independence counters, which is why this file holds a single `#[test]`:
+//! a parallel test in the same binary would pollute the per-update deltas.
+
+use ufilter_core::{apply_and_verify, independence, RectangleVerdict, ViewCatalog};
+use ufilter_fuzz::gen_schema::GenSchema;
+use ufilter_fuzz::{gen_update, gen_view, run_raw, FuzzRng, OracleOptions, RawPlan};
+use ufilter_rdb::Db;
+
+const BASE_SEED: u64 = 0x001D_0806_2600;
+const MIN_UPDATES: usize = 2000;
+const UPDATES_PER_PLAN: usize = 16;
+
+#[test]
+fn biased_stream_flips_a_quarter_of_blunt_rejections_with_zero_mismatches() {
+    let mut total = 0usize;
+    let mut blunt_rejected = 0usize;
+    let mut flipped = 0usize;
+    let mut accepted = 0usize;
+    let mut seed = BASE_SEED;
+
+    while total < MIN_UPDATES {
+        let plan_seed = seed;
+        seed += 1;
+        let mut rng = FuzzRng::new(plan_seed);
+        let mut schema_rng = rng.fork();
+        let mut view_rng = rng.fork();
+        let mut upd_rng = rng.fork();
+
+        let gschema = GenSchema::generate(&mut schema_rng);
+        let mut db = Db::new();
+        db.execute_script(&gschema.sql()).expect("generated schema applies");
+        let view = gen_view::generate_aggregated(&mut view_rng, &gschema, 0);
+        let mut catalog = ViewCatalog::new(db.schema().clone());
+        catalog.add("v0", &view.text()).unwrap_or_else(|e| {
+            panic!("seed {plan_seed}: biased view rejected: {e}\n{}", view.text())
+        });
+        let filter = catalog.get("v0").expect("registered view resolves");
+
+        for _ in 0..UPDATES_PER_PLAN {
+            let upd = gen_update::generate_biased(&mut upd_rng, &gschema, &view);
+            let text = upd.text();
+            total += 1;
+
+            let before = independence::stats();
+            let mut cdb = db.clone();
+            let reports = filter.check(&text, &mut cdb);
+            let after = independence::stats();
+            // The analysis runs exactly on blunt-rejected actions, so a
+            // moving `checked` counter marks a previously-rejected update.
+            let was_blunt_rejected = after.checked > before.checked;
+            if was_blunt_rejected {
+                blunt_rejected += 1;
+            }
+
+            let ok = !reports.is_empty() && reports.iter().all(|r| r.outcome.is_translatable());
+            if !ok {
+                continue;
+            }
+            accepted += 1;
+            if was_blunt_rejected {
+                flipped += 1;
+            }
+            // Ground truth for every acceptance: the Definition 1
+            // rectangle (execute–recompute) must hold.
+            let mut adb = db.clone();
+            match apply_and_verify(filter, &text, &mut adb) {
+                Ok((true, Some(RectangleVerdict::Holds))) => {}
+                other => panic!(
+                    "oracle mismatch at seed {plan_seed} [{}]: {other:?}\nview:\n{}\nupdate:\n{text}",
+                    upd.label,
+                    view.text(),
+                ),
+            }
+        }
+    }
+
+    assert!(total >= MIN_UPDATES, "stream too short: {total}");
+    assert!(
+        blunt_rejected * 4 >= total,
+        "bias collapsed: only {blunt_rejected}/{total} updates hit the blunt gate"
+    );
+    assert!(accepted > 0, "no accepted updates at all");
+    assert!(
+        flipped * 4 >= blunt_rejected,
+        "flip rate below 25%: {flipped}/{blunt_rejected} blunt rejections accepted \
+         ({accepted} accepted of {total} total)"
+    );
+
+    // Phase 2: the flipped outcomes must also be byte-identical across all
+    // four check surfaces (direct, batch, fan-out, TCP) and re-verify the
+    // rectangle inside the oracle's own harness.
+    for s in 0..12u64 {
+        let plan_seed = BASE_SEED ^ (0xB1A5_0000 + s);
+        let mut rng = FuzzRng::new(plan_seed);
+        let mut schema_rng = rng.fork();
+        let mut view_rng = rng.fork();
+        let mut upd_rng = rng.fork();
+        let gschema = GenSchema::generate(&mut schema_rng);
+        let views: Vec<gen_view::GenView> = (0..if view_rng.chance(0.4) { 2 } else { 1 })
+            .map(|i| gen_view::generate_aggregated(&mut view_rng, &gschema, i))
+            .collect();
+        let updates: Vec<String> = (0..6)
+            .map(|_| {
+                let v = upd_rng.index(views.len());
+                gen_update::generate_biased(&mut upd_rng, &gschema, &views[v]).text()
+            })
+            .collect();
+        let raw = RawPlan {
+            seed: plan_seed,
+            schema_sql: gschema.sql(),
+            views: views.iter().map(|v| (v.name.clone(), v.text())).collect(),
+            updates,
+        };
+        run_raw(&raw, &OracleOptions::default())
+            .unwrap_or_else(|d| panic!("biased plan diverged across surfaces: {d}"));
+    }
+}

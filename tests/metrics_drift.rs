@@ -17,7 +17,7 @@ use u_filter::service::{CheckServer, ShardedCatalog, STATS_FAMILIES};
 /// The `STATS` reply keys, in reply order, pinned. Changing this list is a
 /// wire-protocol change: update `STATS_FAMILIES`, the server's `STATS`
 /// arm, and `scripts/ci_service_smoke.sh` together.
-const PINNED_STATS_KEYS: [&str; 24] = [
+const PINNED_STATS_KEYS: [&str; 28] = [
     "workers",
     "shards",
     "views",
@@ -42,6 +42,10 @@ const PINNED_STATS_KEYS: [&str; 24] = [
     "trie_bytes",
     "trie_inserts",
     "trie_removes",
+    "independence_checked",
+    "independence_independent",
+    "independence_dependent",
+    "independence_unknown",
 ];
 
 #[test]
@@ -152,6 +156,14 @@ fn live_stats_reply_and_metrics_exposition_carry_the_same_keys() {
     assert_eq!(metric_value("ufilter_workers"), 2.0);
     assert_eq!(metric_value("ufilter_views"), 1.0);
     assert!(metric_value("ufilter_requests_total") >= 2.0);
+    // The independence stage rides the same Stage taxonomy as every other
+    // pipeline span, so its summary series must be present too.
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.starts_with("ufilter_check_stage_duration_seconds{stage=\"independence\"")),
+        "METRICS lacks the independence stage summary"
+    );
 
     assert_eq!(c.roundtrip("SHUTDOWN"), "OK bye");
     handle.join().expect("clean shutdown");
